@@ -1,0 +1,43 @@
+//! Experiment A1: pa-TWiCe vs fa-TWiCe — preferred-set behavior and
+//! modeled energy on benign and attack row streams, plus a head-to-head
+//! software benchmark of the two organizations.
+
+use criterion::{black_box, Criterion};
+use twice::fa::FaTwice;
+use twice::pa::PaTwice;
+use twice::table::CounterTable;
+use twice::{CapacityBound, TwiceParams};
+use twice_bench::{paper_cfg, print_experiment};
+use twice_common::RowId;
+use twice_sim::experiments::ablation::pa_vs_fa;
+use twice_sim::runner::WorkloadKind;
+
+fn main() {
+    let cfg = paper_cfg();
+    for w in [WorkloadKind::S1, WorkloadKind::S3, WorkloadKind::MixHigh] {
+        let label = w.to_string();
+        let r = pa_vs_fa(&cfg, w, 100_000);
+        print_experiment(&format!("A1: pa vs fa on {label}"), &r.table);
+        assert!(r.pa_energy_pj <= r.fa_energy_pj, "{label}");
+    }
+
+    let bound = CapacityBound::for_params(&TwiceParams::paper_default());
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("a1/fa_record_act", |b| {
+        let mut t = FaTwice::new(bound.total());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 200;
+            t.record_act(black_box(RowId(i)))
+        })
+    });
+    c.bench_function("a1/pa_record_act", |b| {
+        let mut t = PaTwice::with_capacity_64way(bound.total());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 200;
+            t.record_act(black_box(RowId(i)))
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,35 @@
+//! Experiment A2: sweeping the detection threshold `thRH` — table
+//! capacity vs worst-case ARR overhead vs safety margin — anticipating
+//! the paper's note that RH thresholds will keep decreasing with
+//! technology scaling (§3.2).
+
+use criterion::{black_box, Criterion};
+use twice::{CapacityBound, TwiceParams};
+use twice_bench::print_experiment;
+use twice_sim::experiments::ablation::th_rh_sweep;
+
+fn main() {
+    let base = TwiceParams::paper_default();
+    let sweep = [8_192u64, 16_384, 24_576, 32_768, 65_536];
+    print_experiment("A2: thRH sweep", &th_rh_sweep(&base, &sweep));
+
+    // Monotonicity checks: lower thRH => bigger table, higher ARR rate.
+    let caps: Vec<usize> = sweep
+        .iter()
+        .filter_map(|&t| {
+            let p = base.clone().with_th_rh(t);
+            p.validate().ok().map(|_| CapacityBound::for_params(&p).total())
+        })
+        .collect();
+    assert!(
+        caps.windows(2).all(|w| w[0] >= w[1]),
+        "capacity must shrink as thRH grows: {caps:?}"
+    );
+
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("a2/bound_at_8192", |b| {
+        let p = base.clone().with_th_rh(8_192);
+        b.iter(|| CapacityBound::for_params(black_box(&p)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,19 @@
+//! Experiment A3: timing sensitivity — how `tREFI` and `tRC` move
+//! `maxact` and the table capacity (§4.4: "because tREFI >> tRFC,
+//! maxact only changes slightly").
+
+use criterion::{black_box, Criterion};
+use twice::TwiceParams;
+use twice_bench::print_experiment;
+use twice_sim::experiments::ablation::timing_sweep;
+
+fn main() {
+    let base = TwiceParams::paper_default();
+    print_experiment("A3: timing sensitivity", &timing_sweep(&base));
+
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("a3/full_sweep", |b| {
+        b.iter(|| timing_sweep(black_box(&base)))
+    });
+    c.final_summary();
+}

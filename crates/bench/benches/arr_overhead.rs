@@ -1,0 +1,40 @@
+//! Experiment B3: the ARR protocol overhead claims (§5.2/§7.1) — rate
+//! bound, per-event cost, bank-blocking window, update-under-tRFC — and
+//! a benchmark of the full PRE→ARR conversion path through the RCD.
+
+use criterion::{black_box, BatchSize, Criterion};
+use twice::TwiceParams;
+use twice_bench::print_experiment;
+use twice_common::{RowId, Span, Time};
+use twice_dram::cmd::DramCommand;
+use twice_dram::device::{DramRank, RankConfig};
+use twice_sim::experiments::ablation::arr_overhead;
+
+fn main() {
+    let params = TwiceParams::paper_default();
+    let result = arr_overhead(&params);
+    print_experiment("ARR protocol overhead (paper 5.2/7.1)", &result.table);
+    assert!(result.update_fits);
+
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("arr/device_arr_command", |b| {
+        b.iter_batched(
+            || {
+                let mut rank =
+                    DramRank::new(RankConfig::for_test(1, 1024).with_n_th(1_000_000));
+                rank.issue(DramCommand::Activate { bank: 0, row: RowId(8) }, Time::ZERO)
+                    .unwrap();
+                rank
+            },
+            |mut rank| {
+                rank.issue(
+                    DramCommand::AdjacentRowRefresh { bank: 0, row: black_box(RowId(8)) },
+                    Time::ZERO + Span::from_ns(31),
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.final_summary();
+}

@@ -1,0 +1,33 @@
+//! Experiment B1: the §4.4 counter-table capacity bound — closed form,
+//! paper comparison, front-loading adversary, and a live-engine stress —
+//! plus benchmarks of the bound computation and the adversarial
+//! simulation.
+
+use criterion::{black_box, Criterion};
+use twice::{CapacityBound, TwiceParams};
+use twice_bench::print_experiment;
+use twice_sim::config::SimConfig;
+use twice_sim::experiments::capacity::{capacity, stress_live_engine};
+
+fn main() {
+    let params = TwiceParams::paper_default();
+    let result = capacity(&params, 256);
+    print_experiment("Capacity bound (paper 4.4)", &result.table);
+    assert!(result.adversarial_occupancy <= result.bound.total());
+
+    let (live_max, full_events) = stress_live_engine(&SimConfig::fast_test(), 100_000);
+    println!(
+        "live-engine stress (fast system): max occupancy {live_max}, table-full events {full_events}"
+    );
+    assert_eq!(full_events, 0);
+
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("bound/closed_form", |b| {
+        b.iter(|| CapacityBound::for_params(black_box(&params)))
+    });
+    c = c.sample_size(10);
+    c.bench_function("bound/adversary_64_pis", |b| {
+        b.iter(|| twice::bound::adversarial_max_occupancy(black_box(&params), 64))
+    });
+    c.final_summary();
+}

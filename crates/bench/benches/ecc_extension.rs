@@ -1,0 +1,30 @@
+//! Experiment E3 (extension): in-DRAM SEC-DED ECC vs a sustained hammer
+//! — ECC absorbs lone flips but not overdriven multi-bit damage; TWiCe
+//! prevents the damage outright. Also benchmarks the Hamming codec.
+
+use criterion::{black_box, Criterion};
+use twice_bench::print_experiment;
+use twice_dram::ecc::{decode, encode};
+use twice_sim::config::SimConfig;
+use twice_sim::experiments::ecc::ecc_experiment;
+
+fn main() {
+    let cfg = SimConfig::fast_test();
+    let (table, runs) = ecc_experiment(&cfg, 60_000);
+    print_experiment("E3: ECC vs sustained hammer", &table);
+    assert!(runs[0].uncorrectable + runs[0].silent > 0);
+    assert_eq!(runs[1].corrupted_rows, 0);
+
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("ecc/encode", |b| {
+        b.iter(|| encode(black_box(0xDEAD_BEEF_0123_4567)))
+    });
+    let cw = encode(0xDEAD_BEEF_0123_4567);
+    c.bench_function("ecc/decode_clean", |b| b.iter(|| decode(black_box(cw))));
+    let mut corrupted = cw;
+    corrupted.flip(17);
+    c.bench_function("ecc/decode_corrected", |b| {
+        b.iter(|| decode(black_box(corrupted)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,34 @@
+//! Extended defense sweep (beyond the paper's four-scheme lineup):
+//! PARA, PRoHIT, CBT, CRA, TRR, Graphene, TWiCe(split), and the oracle
+//! on S1 and S3 at paper scale.
+
+use criterion::{black_box, Criterion};
+use twice_bench::{bench_requests, paper_cfg, print_experiment};
+use twice_mitigations::DefenseKind;
+use twice_sim::experiments::fig7::figure7_extended;
+use twice_sim::runner::{run, WorkloadKind};
+
+fn main() {
+    let cfg = paper_cfg();
+    let requests = bench_requests(250_000);
+    let result = figure7_extended(&cfg, requests);
+    print_experiment(
+        &format!("Extended sweep at {requests} requests/run"),
+        &result.table,
+    );
+
+    // TWiCe and the oracle agree on S3's analytic overhead; Graphene's
+    // exact tracking also stays in the same band.
+    let twice_s3 = result.ratio("S3", "TWiCe").unwrap();
+    let oracle_s3 = result.ratio("S3", "oracle").unwrap();
+    assert!((twice_s3 - oracle_s3).abs() < 1e-4);
+    let cra_s1 = result.ratio("S1", "CRA").unwrap();
+    assert!(cra_s1 > 0.5, "CRA must degrade on random traffic");
+
+    let mut c = Criterion::default().configure_from_args();
+    c = c.sample_size(10);
+    c.bench_function("fig7x/s3_under_graphene_50k", |b| {
+        b.iter(|| run(black_box(&cfg), WorkloadKind::S3, DefenseKind::Graphene, 50_000))
+    });
+    c.final_summary();
+}

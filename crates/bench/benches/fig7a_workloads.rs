@@ -1,0 +1,50 @@
+//! Experiment F7a: regenerates Figure 7(a) — the relative number of
+//! additional ACTs of PARA-0.001, PARA-0.002, CBT-256, and TWiCe on the
+//! multi-programmed and multi-threaded workloads — at paper scale
+//! (DDR4-2400, 64 banks, real thresholds).
+//!
+//! Expected shape (recorded in EXPERIMENTS.md): TWiCe all-zero; PARA-p
+//! ≈ p; CBT small but non-zero only where traffic concentrates.
+//!
+//! `TWICE_BENCH_REQUESTS` scales the per-run trace; `TWICE_BENCH_FULL`
+//! runs all 29 SPECrate applications.
+
+use criterion::{black_box, Criterion};
+use twice_bench::{bench_requests, paper_cfg, print_experiment, spec_sample};
+use twice_mitigations::DefenseKind;
+use twice_sim::experiments::fig7::figure7a;
+use twice_sim::runner::{run, WorkloadKind};
+
+fn main() {
+    let cfg = paper_cfg();
+    let requests = bench_requests(250_000);
+    let sample = spec_sample();
+    let result = figure7a(&cfg, &sample, requests);
+    print_experiment(
+        &format!(
+            "Figure 7(a) at {requests} requests/run, SPECrate sample {:?}",
+            sample
+        ),
+        &result.table,
+    );
+
+    // Sanity: the headline claims, asserted so regressions fail loudly.
+    for (w, _) in &result.rows {
+        let twice = result.ratio(w, "TWiCe").expect("TWiCe column");
+        assert_eq!(twice, 0.0, "TWiCe must add no ACTs on {w}");
+    }
+
+    let mut c = Criterion::default().configure_from_args();
+    c = c.sample_size(10);
+    c.bench_function("fig7a/mix_high_under_twice_10k", |b| {
+        b.iter(|| {
+            run(
+                black_box(&cfg),
+                WorkloadKind::MixHigh,
+                DefenseKind::figure7_lineup()[3],
+                10_000,
+            )
+        })
+    });
+    c.final_summary();
+}

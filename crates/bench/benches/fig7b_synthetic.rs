@@ -1,0 +1,65 @@
+//! Experiment F7b: regenerates Figure 7(b) — additional ACTs on the
+//! synthetic S1 (random), S2 (CBT-adversarial), and S3 (single-row
+//! hammer) patterns — at paper scale.
+//!
+//! Expected shape: TWiCe 0 on S1/S2 and ~0.006% on S3 (2 extra ACTs per
+//! 32,768); PARA-p ≈ p everywhere; CBT worst on S2 (coarse-group
+//! refresh bursts) and ~0.39% on S3 (128-row leaf per 32K ACTs).
+//!
+//! S2 runs longer than the others so the trace reaches its second phase
+//! (counter exhaustion needs most of a refresh window).
+
+use criterion::{black_box, Criterion};
+use twice_bench::{bench_requests, paper_cfg, print_experiment};
+use twice_mitigations::DefenseKind;
+use twice_sim::experiments::fig7::figure7b;
+use twice_sim::runner::{run, WorkloadKind};
+
+fn main() {
+    let cfg = paper_cfg();
+    let requests = bench_requests(250_000);
+    // figure7b runs every workload at the same length; pick one that
+    // covers S2's two phases.
+    let s2_covering = requests.max(1_500_000);
+    let result = figure7b(&cfg, s2_covering);
+    print_experiment(
+        &format!("Figure 7(b) at {s2_covering} requests/run"),
+        &result.table,
+    );
+
+    // Headline assertions.
+    let twice_s1 = result.ratio("S1", "TWiCe").unwrap();
+    let twice_s2 = result.ratio("S2", "TWiCe").unwrap();
+    let twice_s3 = result.ratio("S3", "TWiCe").unwrap();
+    assert_eq!(twice_s1, 0.0);
+    assert_eq!(twice_s2, 0.0);
+    assert!(
+        twice_s3 > 0.0 && twice_s3 < 0.0001,
+        "TWiCe S3 ratio {twice_s3} (paper: 0.006%)"
+    );
+    let cbt_s3 = result.ratio("S3", "CBT").unwrap();
+    assert!(
+        cbt_s3 > 10.0 * twice_s3,
+        "CBT S3 {cbt_s3} must dwarf TWiCe {twice_s3}"
+    );
+    let cbt_s2 = result.ratio("S2", "CBT").unwrap();
+    let para2_s2 = result.ratio("S2", "PARA-0.002").unwrap();
+    assert!(
+        cbt_s2 > para2_s2,
+        "CBT must be the worst scheme on S2: {cbt_s2} vs {para2_s2}"
+    );
+
+    let mut c = Criterion::default().configure_from_args();
+    c = c.sample_size(10);
+    c.bench_function("fig7b/s3_under_twice_50k", |b| {
+        b.iter(|| {
+            run(
+                black_box(&cfg),
+                WorkloadKind::S3,
+                DefenseKind::figure7_lineup()[3],
+                50_000,
+            )
+        })
+    });
+    c.final_summary();
+}

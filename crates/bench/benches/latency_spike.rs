@@ -1,0 +1,52 @@
+//! Experiment E2: quantifies §3.4's "flurry of refreshes" claim — tail
+//! request latency under CBT's group refreshes vs TWiCe's ARRs, at paper
+//! scale.
+
+use criterion::{black_box, Criterion};
+use twice_bench::{bench_requests, paper_cfg, print_experiment};
+use twice_mitigations::DefenseKind;
+use twice_sim::experiments::latency::latency_spike;
+use twice_sim::runner::{run, WorkloadKind};
+
+fn main() {
+    let cfg = paper_cfg();
+    let requests = bench_requests(250_000);
+    let workloads = vec![
+        ("S3".to_string(), WorkloadKind::S3, requests),
+        ("S2".to_string(), WorkloadKind::S2, requests.max(1_500_000)),
+    ];
+    let result = latency_spike(&cfg, &workloads);
+    print_experiment("E2: latency spikes", &result.table);
+
+    // The headline: CBT's worst-case latency dwarfs TWiCe's on at least
+    // one adversarial pattern.
+    let max_of = |defense: &str| {
+        result
+            .runs
+            .iter()
+            .filter(|m| m.defense.contains(defense))
+            .map(|m| m.latency_max)
+            .max()
+            .expect("runs present")
+    };
+    assert!(
+        max_of("CBT") > max_of("TWiCe"),
+        "CBT {} vs TWiCe {}",
+        max_of("CBT"),
+        max_of("TWiCe")
+    );
+
+    let mut c = Criterion::default().configure_from_args();
+    c = c.sample_size(10);
+    c.bench_function("e2/s3_latency_run_20k", |b| {
+        b.iter(|| {
+            run(
+                black_box(&cfg),
+                WorkloadKind::S3,
+                DefenseKind::Cbt { counters: 256 },
+                20_000,
+            )
+        })
+    });
+    c.final_summary();
+}

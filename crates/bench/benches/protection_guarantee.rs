@@ -1,0 +1,57 @@
+//! Experiment V1: the end-to-end protection guarantee — attacks that
+//! flip bits on an unprotected system must flip nothing under TWiCe —
+//! plus a benchmark of a full attack/defense confrontation.
+
+use criterion::{black_box, Criterion};
+use twice::TableOrganization;
+use twice_bench::print_experiment;
+use twice_mitigations::DefenseKind;
+use twice_sim::config::SimConfig;
+use twice_sim::report::Table;
+use twice_sim::runner::{double_sided, WorkloadKind};
+use twice_sim::verify::confront;
+
+fn main() {
+    let cfg = SimConfig::fast_test();
+    let mut table = Table::new(
+        "V1: protection guarantee (fault model at N_th)",
+        &["attack", "defense", "flips undefended", "flips defended", "detections", "holds"],
+    );
+    let attacks: Vec<(&str, WorkloadKind)> = vec![
+        ("single-sided (S3)", WorkloadKind::S3),
+        ("double-sided", double_sided(100)),
+    ];
+    for (label, attack) in attacks {
+        for org in [
+            TableOrganization::FullyAssociative,
+            TableOrganization::PseudoAssociative,
+            TableOrganization::Split,
+        ] {
+            let out = confront(&cfg, attack.clone(), DefenseKind::Twice(org), 60_000);
+            table.row(&[
+                label.to_string(),
+                format!("TWiCe({})", org.label()),
+                out.unprotected.bit_flips.to_string(),
+                out.defended.bit_flips.to_string(),
+                out.defended.detections.to_string(),
+                out.defense_holds().to_string(),
+            ]);
+            assert!(out.defense_holds(), "{label} under TWiCe({})", org.label());
+        }
+    }
+    print_experiment("Protection guarantee", &table);
+
+    let mut c = Criterion::default().configure_from_args();
+    c = c.sample_size(10);
+    c.bench_function("v1/confrontation_20k", |b| {
+        b.iter(|| {
+            confront(
+                black_box(&cfg),
+                WorkloadKind::S3,
+                DefenseKind::Twice(TableOrganization::FullyAssociative),
+                20_000,
+            )
+        })
+    });
+    c.final_summary();
+}

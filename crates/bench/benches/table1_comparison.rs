@@ -1,0 +1,38 @@
+//! Experiment T1: regenerates Table 1 — the qualitative comparison of
+//! CRA, CBT, PARA, and TWiCe — with *measured* typical/adversarial
+//! overheads and detection capability, on the scaled test system (the
+//! paper-scale adversarial numbers live in the fig7 benches).
+
+use criterion::{black_box, Criterion};
+use twice_bench::print_experiment;
+use twice_mitigations::{make_defense, DefenseKind};
+use twice_sim::config::SimConfig;
+use twice_sim::experiments::table1::table1;
+use twice_common::{BankId, RowId, Time};
+
+fn main() {
+    let cfg = SimConfig::fast_test();
+    let (table, rows) = table1(&cfg, 40_000);
+    print_experiment("Table 1: defense comparison (measured)", &table);
+    assert!(rows.iter().any(|r| r.defense.contains("TWiCe") && r.detects));
+
+    // Kernel: the per-ACT cost of each defense's bookkeeping.
+    let params = cfg.params.clone();
+    let mut c = Criterion::default().configure_from_args();
+    for kind in [
+        DefenseKind::Para { p: 0.001 },
+        DefenseKind::Cbt { counters: 256 },
+        DefenseKind::Cra { cache_entries: 512 },
+        DefenseKind::Twice(twice::TableOrganization::FullyAssociative),
+    ] {
+        let mut d = make_defense(kind, &params, 1, 7);
+        let mut i = 0u32;
+        c.bench_function(&format!("table1/on_activate/{kind}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % 64;
+                d.on_activate(BankId(0), black_box(RowId(i)), Time::ZERO)
+            })
+        });
+    }
+    c.final_summary();
+}

@@ -1,0 +1,24 @@
+//! Experiment T2: regenerates Table 2 (TWiCe parameters and derived
+//! values) and benchmarks the parameter derivations.
+
+use criterion::{black_box, Criterion};
+use twice::TwiceParams;
+use twice_bench::print_experiment;
+use twice_sim::experiments::table2::table2;
+
+fn main() {
+    let params = TwiceParams::paper_default();
+    print_experiment("Table 2: TWiCe parameters", &table2(&params));
+
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("table2/derive_parameters", |b| {
+        b.iter(|| {
+            let p = black_box(&params);
+            (p.th_pi(), p.max_act(), p.max_life(), p.row_addr_bits())
+        })
+    });
+    c.bench_function("table2/validate", |b| {
+        b.iter(|| black_box(&params).validate().is_ok())
+    });
+    c.final_summary();
+}

@@ -1,0 +1,24 @@
+//! Experiment T4: prints the simulated-system configuration (Table 4)
+//! and benchmarks system construction and raw request throughput.
+
+use criterion::{black_box, Criterion};
+use twice_bench::{paper_cfg, print_experiment};
+use twice_mitigations::DefenseKind;
+use twice_sim::experiments::table4::table4;
+use twice_sim::runner::{run, WorkloadKind};
+use twice_sim::system::System;
+
+fn main() {
+    let cfg = paper_cfg();
+    print_experiment("Table 4: simulated system", &table4(&cfg));
+
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("table4/system_construction", |b| {
+        b.iter(|| System::new(black_box(&cfg), DefenseKind::None))
+    });
+    c = c.sample_size(10);
+    c.bench_function("table4/s1_throughput_20k_requests", |b| {
+        b.iter(|| run(black_box(&cfg), WorkloadKind::S1, DefenseKind::None, 20_000))
+    });
+    c.final_summary();
+}

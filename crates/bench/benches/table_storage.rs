@@ -1,0 +1,26 @@
+//! Experiment B2: the §6.2 split-table storage arithmetic (2.71 KB per
+//! 1 GB bank, ~13% saving, +54 B of SB indicators).
+
+use criterion::{black_box, Criterion};
+use twice::cost::TableStorage;
+use twice::{CapacityBound, TwiceParams};
+use twice_bench::print_experiment;
+use twice_sim::experiments::storage::storage;
+
+fn main() {
+    let params = TwiceParams::paper_default();
+    let result = storage(&params);
+    print_experiment("Table storage (paper 6.2/7.1)", &result.table);
+    assert!((2.6..=2.8).contains(&result.split.total_kib()));
+
+    let bound = CapacityBound::for_params(&params);
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("storage/layout_arithmetic", |b| {
+        b.iter(|| {
+            let u = TableStorage::unified(black_box(&params), &bound);
+            let s = TableStorage::split(black_box(&params), &bound);
+            s.saving_vs(&u)
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,63 @@
+//! Shared scaffolding for the TWiCe benchmark harness.
+//!
+//! Every bench target regenerates one table or figure of the paper (see
+//! DESIGN.md's experiment index): it *prints* the experiment's result
+//! table first — that output is what EXPERIMENTS.md records — and then
+//! runs a small Criterion measurement of the hot kernel the experiment
+//! exercises, so `cargo bench` also tracks performance regressions of
+//! the implementation itself.
+//!
+//! Knobs (environment variables):
+//!
+//! * `TWICE_BENCH_REQUESTS` — per-run trace length for the Figure 7
+//!   sweeps (default 250,000; the paper shape is stable from ~100k).
+//! * `TWICE_BENCH_FULL` — set to run the full 29-app SPECrate sweep in
+//!   `fig7a_workloads` instead of the 8-app sample.
+
+use twice_sim::config::SimConfig;
+
+/// The paper-scale configuration every bench uses.
+pub fn paper_cfg() -> SimConfig {
+    SimConfig::paper_default()
+}
+
+/// Per-run request count for figure sweeps.
+pub fn bench_requests(default: u64) -> u64 {
+    std::env::var("TWICE_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether the full SPEC suite was requested.
+pub fn full_suite() -> bool {
+    std::env::var("TWICE_BENCH_FULL").is_ok()
+}
+
+/// The SPECrate sample used by default for `SPECrate(avg)`: two apps per
+/// intensity/pattern class, including five of the paper's `spec-high`.
+pub fn spec_sample() -> Vec<&'static str> {
+    if full_suite() {
+        twice_workloads::spec::spec_cpu2006()
+            .iter()
+            .map(|a| a.name)
+            .collect()
+    } else {
+        vec![
+            "mcf",
+            "libquantum",
+            "lbm",
+            "omnetpp",
+            "sphinx3",
+            "gcc",
+            "povray",
+            "hmmer",
+        ]
+    }
+}
+
+/// Prints a banner followed by the experiment table.
+pub fn print_experiment(id: &str, table: &impl std::fmt::Display) {
+    println!("\n=== {id} ===============================================");
+    println!("{table}");
+}

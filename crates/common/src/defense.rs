@@ -1,0 +1,273 @@
+//! The row-hammer defense interface.
+//!
+//! Every protection scheme in this workspace — TWiCe itself and all the
+//! baselines it is compared against in the paper (PARA, PRoHIT, CBT, CRA)
+//! — implements [`RowHammerDefense`]. The memory-system simulator invokes
+//! the defense on every row activation and on every per-bank auto-refresh,
+//! and carries out the actions the defense requests.
+//!
+//! Two deliberately different refresh channels exist, mirroring §5.2 of the
+//! paper:
+//!
+//! * [`DefenseResponse::arr`] — an **Adjacent Row Refresh**: "refresh
+//!   whatever is *physically* adjacent to this aggressor". Only the DRAM
+//!   device can resolve physical adjacency (row sparing remaps rows), so
+//!   the defense names the aggressor and the device does the rest. TWiCe
+//!   uses this channel exclusively.
+//! * [`DefenseResponse::refresh_rows`] — explicit *logical* row refreshes.
+//!   The MC-resident baselines were proposed with this model (they assume
+//!   the MC knows adjacency); CBT also refreshes whole logical row groups.
+
+use crate::ids::{BankId, RowId};
+use crate::time::Time;
+
+/// An explicit attack-detection event.
+///
+/// Counter-based schemes can pinpoint when and where an attack crossed the
+/// threshold (paper §3.4); probabilistic schemes never produce one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Bank in which the aggressor row lives.
+    pub bank: BankId,
+    /// The aggressor (logical) row.
+    pub row: RowId,
+    /// When the detection threshold was crossed.
+    pub at: Time,
+    /// The activation count that triggered detection.
+    pub act_count: u64,
+}
+
+/// What a defense asks the memory system to do after observing one ACT.
+///
+/// The default (and overwhelmingly common) response is "nothing":
+/// [`DefenseResponse::none`] allocates no memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DefenseResponse {
+    /// Refresh the rows physically adjacent to this aggressor (ARR).
+    pub arr: Option<RowId>,
+    /// Refresh these explicit logical rows.
+    pub refresh_rows: Vec<RowId>,
+    /// Extra DRAM accesses performed for defense metadata, in units of
+    /// row activations (CRA's counter-cache miss traffic).
+    pub metadata_acts: u32,
+    /// Detection event, if this defense detects attacks.
+    pub detection: Option<Detection>,
+}
+
+impl DefenseResponse {
+    /// The empty response (no action). Does not allocate.
+    #[inline]
+    pub fn none() -> DefenseResponse {
+        DefenseResponse::default()
+    }
+
+    /// A response that issues an ARR for `aggressor`.
+    #[inline]
+    pub fn arr(aggressor: RowId) -> DefenseResponse {
+        DefenseResponse {
+            arr: Some(aggressor),
+            ..DefenseResponse::default()
+        }
+    }
+
+    /// Whether this response requests any action at all.
+    #[inline]
+    pub fn is_none(&self) -> bool {
+        self.arr.is_none()
+            && self.refresh_rows.is_empty()
+            && self.metadata_acts == 0
+            && self.detection.is_none()
+    }
+
+    /// Number of *additional* row activations this response costs, given
+    /// how many physical neighbors an ARR would refresh (2 in the interior
+    /// of a bank, 1 at the edge).
+    ///
+    /// This is the paper's Figure 7 metric numerator.
+    #[inline]
+    pub fn additional_acts(&self, arr_neighbor_count: u32) -> u64 {
+        let arr_cost = if self.arr.is_some() {
+            u64::from(arr_neighbor_count)
+        } else {
+            0
+        };
+        arr_cost + self.refresh_rows.len() as u64 + u64::from(self.metadata_acts)
+    }
+}
+
+/// Running totals a simulator accumulates from [`DefenseResponse`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefenseStats {
+    /// Normal ACTs observed.
+    pub acts_observed: u64,
+    /// ARR commands issued.
+    pub arr_issued: u64,
+    /// Rows refreshed through ARR (physical neighbors).
+    pub arr_rows_refreshed: u64,
+    /// Rows refreshed through explicit logical requests.
+    pub explicit_rows_refreshed: u64,
+    /// Metadata access ACTs (CRA traffic).
+    pub metadata_acts: u64,
+    /// Detection events raised.
+    pub detections: u64,
+}
+
+impl DefenseStats {
+    /// Creates zeroed stats.
+    pub fn new() -> DefenseStats {
+        DefenseStats::default()
+    }
+
+    /// Records one observed ACT and the defense's response to it,
+    /// with `arr_neighbor_count` physical neighbors per ARR.
+    pub fn record(&mut self, response: &DefenseResponse, arr_neighbor_count: u32) {
+        self.acts_observed += 1;
+        if response.arr.is_some() {
+            self.arr_issued += 1;
+            self.arr_rows_refreshed += u64::from(arr_neighbor_count);
+        }
+        self.explicit_rows_refreshed += response.refresh_rows.len() as u64;
+        self.metadata_acts += u64::from(response.metadata_acts);
+        if response.detection.is_some() {
+            self.detections += 1;
+        }
+    }
+
+    /// Total additional ACTs caused by the defense.
+    #[inline]
+    pub fn additional_acts(&self) -> u64 {
+        self.arr_rows_refreshed + self.explicit_rows_refreshed + self.metadata_acts
+    }
+
+    /// Additional ACTs relative to normal ACTs (Figure 7's y-axis).
+    ///
+    /// Returns 0 when no ACTs were observed.
+    #[inline]
+    pub fn additional_act_ratio(&self) -> f64 {
+        if self.acts_observed == 0 {
+            0.0
+        } else {
+            self.additional_acts() as f64 / self.acts_observed as f64
+        }
+    }
+}
+
+/// A row-hammer protection scheme observing the activation stream.
+///
+/// Implementations are created for a fixed number of banks and keep all
+/// per-bank state internally, so a single trait object can protect a whole
+/// channel. The trait is object-safe; simulators hold
+/// `Box<dyn RowHammerDefense>`.
+///
+/// # Examples
+///
+/// A defense that never does anything (the unprotected baseline):
+///
+/// ```
+/// use twice_common::defense::{DefenseResponse, RowHammerDefense};
+/// use twice_common::ids::{BankId, RowId};
+/// use twice_common::time::Time;
+///
+/// struct NoDefense;
+///
+/// impl RowHammerDefense for NoDefense {
+///     fn name(&self) -> &str { "none" }
+///     fn on_activate(&mut self, _: BankId, _: RowId, _: Time) -> DefenseResponse {
+///         DefenseResponse::none()
+///     }
+/// }
+///
+/// let mut d = NoDefense;
+/// assert!(d.on_activate(BankId(0), RowId(1), Time::ZERO).is_none());
+/// ```
+pub trait RowHammerDefense {
+    /// A short human-readable name (used in reports, e.g. `"TWiCe"`,
+    /// `"PARA-0.001"`).
+    fn name(&self) -> &str;
+
+    /// Observes one row activation and returns the requested actions.
+    ///
+    /// Called by the simulator *after* the ACT has been accepted by the
+    /// bank, i.e. the stream is legal under DDR timing.
+    fn on_activate(&mut self, bank: BankId, row: RowId, now: Time) -> DefenseResponse;
+
+    /// Observes a per-bank auto-refresh (REF) command.
+    ///
+    /// TWiCe prunes its table here, hiding the update under `tRFC`; CBT
+    /// uses the matching window boundary to reset its tree. The default
+    /// does nothing.
+    fn on_auto_refresh(&mut self, bank: BankId, now: Time) {
+        let _ = (bank, now);
+    }
+
+    /// Clears all internal state, as if freshly constructed.
+    fn reset(&mut self) {}
+
+    /// Current number of live tracking entries for `bank`, if the defense
+    /// is table-based (used by capacity-bound experiments). Defaults to
+    /// `None` for stateless defenses.
+    fn table_occupancy(&self, bank: BankId) -> Option<usize> {
+        let _ = bank;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_none_is_empty() {
+        let r = DefenseResponse::none();
+        assert!(r.is_none());
+        assert_eq!(r.additional_acts(2), 0);
+    }
+
+    #[test]
+    fn arr_costs_neighbor_count() {
+        let r = DefenseResponse::arr(RowId(5));
+        assert!(!r.is_none());
+        assert_eq!(r.additional_acts(2), 2);
+        assert_eq!(r.additional_acts(1), 1); // edge row
+    }
+
+    #[test]
+    fn mixed_response_cost_sums() {
+        let r = DefenseResponse {
+            arr: Some(RowId(1)),
+            refresh_rows: vec![RowId(2), RowId(3)],
+            metadata_acts: 4,
+            detection: None,
+        };
+        assert_eq!(r.additional_acts(2), 2 + 2 + 4);
+    }
+
+    #[test]
+    fn stats_accumulate_and_ratio() {
+        let mut s = DefenseStats::new();
+        for _ in 0..999 {
+            s.record(&DefenseResponse::none(), 2);
+        }
+        let det = Detection {
+            bank: BankId(0),
+            row: RowId(9),
+            at: Time::ZERO,
+            act_count: 32_768,
+        };
+        let r = DefenseResponse {
+            detection: Some(det),
+            ..DefenseResponse::arr(RowId(9))
+        };
+        s.record(&r, 2);
+        assert_eq!(s.acts_observed, 1_000);
+        assert_eq!(s.arr_issued, 1);
+        assert_eq!(s.detections, 1);
+        assert_eq!(s.additional_acts(), 2);
+        assert!((s.additional_act_ratio() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_of_empty_stats_is_zero() {
+        assert_eq!(DefenseStats::new().additional_act_ratio(), 0.0);
+    }
+}

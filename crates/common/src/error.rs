@@ -1,0 +1,59 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied (timing set, topology, defense
+/// parameters, …).
+///
+/// # Examples
+///
+/// ```
+/// use twice_common::ConfigError;
+///
+/// let e = ConfigError::new("tRC must be non-zero");
+/// assert_eq!(e.to_string(), "invalid configuration: tRC must be non-zero");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given explanation.
+    pub fn new(message: impl Into<String>) -> ConfigError {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The explanation, without the `invalid configuration:` prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+
+    #[test]
+    fn message_accessor() {
+        let e = ConfigError::new("boom");
+        assert_eq!(e.message(), "boom");
+    }
+}

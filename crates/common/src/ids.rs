@@ -1,0 +1,151 @@
+//! Strongly-typed identifiers for DRAM structures.
+//!
+//! Each identifier is a newtype over a primitive integer so that a row index
+//! can never be confused with a bank index at a call site. All identifiers
+//! are cheap `Copy` values, ordered, hashable, and printable.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for $inner {
+            fn from(v: $name) -> Self {
+                v.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A memory-channel index within the system.
+    ChannelId,
+    u8
+);
+id_type!(
+    /// A rank index within a channel.
+    RankId,
+    u8
+);
+id_type!(
+    /// A DRAM device index within a rank (devices operate in tandem).
+    DeviceId,
+    u8
+);
+id_type!(
+    /// A *flat, system-global* bank index.
+    ///
+    /// Defense tables (TWiCe, CBT, …) are maintained per bank; using a flat
+    /// index lets them store per-bank state in a plain `Vec`. Use
+    /// [`crate::topology::Topology::bank_id`] to compose one from
+    /// `(channel, rank, bank-in-rank)` and
+    /// [`crate::topology::Topology::decompose_bank`] to go back.
+    BankId,
+    u32
+);
+id_type!(
+    /// A logical (memory-controller-visible) row index within a bank.
+    ///
+    /// Because of in-device row sparing, logical adjacency (`index ± 1`) is
+    /// *not* guaranteed to be physical adjacency; see `twice_dram::remap`.
+    RowId,
+    u32
+);
+id_type!(
+    /// A column index within a row.
+    ColId,
+    u16
+);
+
+impl RowId {
+    /// The logical row directly below, if any.
+    #[inline]
+    pub fn below(self) -> Option<RowId> {
+        self.0.checked_sub(1).map(RowId)
+    }
+
+    /// The logical row directly above, saturating at `u32::MAX` is avoided by
+    /// returning `None` when the successor would overflow; bounds against the
+    /// actual rows-per-bank are the caller's concern.
+    #[inline]
+    pub fn above(self) -> Option<RowId> {
+        self.0.checked_add(1).map(RowId)
+    }
+}
+
+impl fmt::LowerHex for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; exercise the basic API.
+        let b = BankId(3);
+        let r = RowId(0x5a);
+        assert_eq!(b.index(), 3);
+        assert_eq!(format!("{r}"), "RowId(90)");
+        assert_eq!(format!("{r:#x}"), "0x5a");
+    }
+
+    #[test]
+    fn row_neighbors() {
+        assert_eq!(RowId(0).below(), None);
+        assert_eq!(RowId(1).below(), Some(RowId(0)));
+        assert_eq!(RowId(1).above(), Some(RowId(2)));
+        assert_eq!(RowId(u32::MAX).above(), None);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let r: RowId = 7u32.into();
+        let v: u32 = r.into();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(RowId(3) < RowId(4));
+        assert!(BankId(0) < BankId(1));
+    }
+}

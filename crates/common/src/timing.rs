@@ -1,0 +1,238 @@
+//! DDR timing parameter sets and the derived quantities TWiCe builds on.
+//!
+//! The TWiCe bound (paper §4.1/§4.4) rests on exactly two facts encoded
+//! here: a bank can issue at most one ACT per `tRC`, and every row is
+//! refreshed once per `tREFW`. [`DdrTimings`] carries the full JEDEC-style
+//! parameter set used by the DRAM and memory-controller simulators, plus
+//! the derived values of Table 2.
+
+use crate::error::ConfigError;
+use crate::time::Span;
+
+/// A complete DDR timing parameter set.
+///
+/// All values are [`Span`]s (picosecond resolution). The defaults are the
+/// DDR4-2400 values from Tables 2 and 4 of the paper; `tREFI` is defined
+/// JEDEC-style as `tREFW / 8192` (7.8125 µs, quoted as "7.8 µs" in the
+/// paper) so that `refreshes_per_window()` is exactly 8192, matching the
+/// paper's `maxlife`.
+///
+/// # Examples
+///
+/// ```
+/// use twice_common::timing::DdrTimings;
+///
+/// let t = DdrTimings::ddr4_2400();
+/// t.validate().unwrap();
+/// assert_eq!(t.max_acts_per_refi(), 165); // Table 2's maxact
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DdrTimings {
+    /// Refresh window: every row must be refreshed once per `tREFW`.
+    pub t_refw: Span,
+    /// Auto-refresh interval between REF commands to a bank.
+    pub t_refi: Span,
+    /// Refresh command time: the bank is busy for `tRFC` after a REF.
+    pub t_rfc: Span,
+    /// Row cycle time: minimum interval between two ACTs to the same bank.
+    pub t_rc: Span,
+    /// ACT-to-ACT minimum across banks in *different* bank groups
+    /// (DDR4 tRRD_S).
+    pub t_rrd: Span,
+    /// ACT-to-ACT minimum across banks in the *same* bank group
+    /// (DDR4 tRRD_L ≥ tRRD_S).
+    pub t_rrd_l: Span,
+    /// Four-activate window: at most 4 ACTs to a rank per `tFAW`.
+    pub t_faw: Span,
+    /// ACT to column-command delay.
+    pub t_rcd: Span,
+    /// Precharge time.
+    pub t_rp: Span,
+    /// Minimum ACT-to-PRE interval (restore time).
+    pub t_ras: Span,
+    /// CAS (read) latency.
+    pub t_cl: Span,
+    /// Data burst duration on the bus.
+    pub t_bl: Span,
+    /// Command/clock period (DDR4-2400: 0.8333 ns).
+    pub clock: Span,
+    /// RCD command propagation delay (registered DIMM).
+    pub t_pdm: Span,
+}
+
+impl DdrTimings {
+    /// The DDR4-2400 parameter set used throughout the paper's evaluation.
+    pub fn ddr4_2400() -> DdrTimings {
+        let t_refw = Span::from_ms(64);
+        DdrTimings {
+            t_refw,
+            t_refi: t_refw / 8192, // 7.8125 us
+            t_rfc: Span::from_ns(350),
+            t_rc: Span::from_ns(45),
+            t_rrd: Span::from_ns(5),
+            t_rrd_l: Span::from_ns(6),
+            t_faw: Span::from_ns(21),
+            t_rcd: Span::from_ns(14),
+            t_rp: Span::from_ns(14),
+            t_ras: Span::from_ns(31),
+            t_cl: Span::from_ns(14),
+            t_bl: Span::from_ps(3_333), // 8-beat burst at 2400 MT/s
+            clock: Span::from_ps(833),
+            t_pdm: Span::from_ns(1),
+        }
+    }
+
+    /// A compressed parameter set for fast unit tests: the same *ratios* as
+    /// DDR4-2400 where they matter to TWiCe (`tREFW/tREFI = 64`,
+    /// `maxact` small), but a window of only 64 µs.
+    pub fn fast_test() -> DdrTimings {
+        let t_refw = Span::from_us(64);
+        DdrTimings {
+            t_refw,
+            t_refi: t_refw / 64, // 1 us
+            t_rfc: Span::from_ns(100),
+            t_rc: Span::from_ns(45),
+            t_rrd: Span::from_ns(5),
+            t_rrd_l: Span::from_ns(6),
+            t_faw: Span::from_ns(21),
+            t_rcd: Span::from_ns(14),
+            t_rp: Span::from_ns(14),
+            t_ras: Span::from_ns(31),
+            t_cl: Span::from_ns(14),
+            t_bl: Span::from_ps(3_333),
+            clock: Span::from_ps(833),
+            t_pdm: Span::from_ns(1),
+        }
+    }
+
+    /// Number of auto-refresh intervals per refresh window
+    /// (`tREFW / tREFI`; the paper's `maxlife` = 8192 for DDR4).
+    #[inline]
+    pub fn refreshes_per_window(&self) -> u64 {
+        self.t_refw / self.t_refi
+    }
+
+    /// Maximum number of ACTs a bank can receive during one `tREFI`
+    /// (the paper's `maxact`): `(tREFI − tRFC) / tRC` = 165 for DDR4-2400,
+    /// because no row can be activated while the bank refreshes.
+    #[inline]
+    pub fn max_acts_per_refi(&self) -> u64 {
+        self.t_refi.saturating_sub(self.t_rfc) / self.t_rc
+    }
+
+    /// Maximum number of ACTs a bank can receive during one full refresh
+    /// window: `tREFW / tRC` bounds it from above (paper §4.1).
+    #[inline]
+    pub fn max_acts_per_window(&self) -> u64 {
+        self.t_refw / self.t_rc
+    }
+
+    /// Checks internal consistency of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when a parameter is zero where that is
+    /// meaningless, when `tRFC ≥ tREFI` (a bank that never exits refresh),
+    /// when `tRAS + tRP > tRC` (inconsistent row-cycle decomposition), or
+    /// when `tREFI` does not divide `tREFW` (the pruning-interval algebra
+    /// of TWiCe assumes an integral number of PIs per window).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let nonzero = [
+            ("tREFW", self.t_refw),
+            ("tREFI", self.t_refi),
+            ("tRFC", self.t_rfc),
+            ("tRC", self.t_rc),
+            ("tRRD", self.t_rrd),
+            ("tFAW", self.t_faw),
+            ("clock", self.clock),
+        ];
+        for (name, v) in nonzero {
+            if v == Span::ZERO {
+                return Err(ConfigError::new(format!("{name} must be non-zero")));
+            }
+        }
+        if self.t_rrd_l < self.t_rrd {
+            return Err(ConfigError::new(format!(
+                "tRRD_L ({}) must be at least tRRD_S ({})",
+                self.t_rrd_l, self.t_rrd
+            )));
+        }
+        if self.t_rfc >= self.t_refi {
+            return Err(ConfigError::new(format!(
+                "tRFC ({}) must be smaller than tREFI ({})",
+                self.t_rfc, self.t_refi
+            )));
+        }
+        if self.t_ras + self.t_rp > self.t_rc {
+            return Err(ConfigError::new(format!(
+                "tRAS ({}) + tRP ({}) must not exceed tRC ({})",
+                self.t_ras, self.t_rp, self.t_rc
+            )));
+        }
+        if self.t_refw % self.t_refi != Span::ZERO {
+            return Err(ConfigError::new(format!(
+                "tREFI ({}) must divide tREFW ({}) evenly",
+                self.t_refi, self.t_refw
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DdrTimings {
+    fn default() -> Self {
+        DdrTimings::ddr4_2400()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_2400_matches_table2() {
+        let t = DdrTimings::ddr4_2400();
+        t.validate().expect("default timings must validate");
+        assert_eq!(t.refreshes_per_window(), 8192, "maxlife");
+        assert_eq!(t.max_acts_per_refi(), 165, "maxact");
+        // tREFW/tRC = 1,422,222 ACT opportunities per window.
+        assert_eq!(t.max_acts_per_window(), 1_422_222);
+    }
+
+    #[test]
+    fn fast_test_set_validates() {
+        let t = DdrTimings::fast_test();
+        t.validate().unwrap();
+        assert_eq!(t.refreshes_per_window(), 64);
+        assert_eq!(t.max_acts_per_refi(), 20);
+    }
+
+    #[test]
+    fn validation_rejects_zero_trc() {
+        let mut t = DdrTimings::ddr4_2400();
+        t.t_rc = Span::ZERO;
+        let err = t.validate().unwrap_err();
+        assert!(err.to_string().contains("tRC"));
+    }
+
+    #[test]
+    fn validation_rejects_rfc_ge_refi() {
+        let mut t = DdrTimings::ddr4_2400();
+        t.t_rfc = t.t_refi;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_row_cycle() {
+        let mut t = DdrTimings::ddr4_2400();
+        t.t_ras = Span::from_ns(40);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_nonintegral_pi_count() {
+        let mut t = DdrTimings::ddr4_2400();
+        t.t_refi = Span::from_ns(7_800); // does not divide 64 ms
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Main-memory topology: channels → DIMMs → ranks → banks → rows.
+//!
+//! Mirrors the organization of Figure 2 in the paper. The topology is the
+//! source of truth for flat [`BankId`] composition and for per-bank row
+//! counts, which both the DRAM simulator and the defense tables consume.
+
+use crate::error::ConfigError;
+use crate::ids::{BankId, ChannelId, RankId, RowId};
+
+/// The shape of the simulated main-memory system.
+///
+/// # Examples
+///
+/// ```
+/// use twice_common::topology::Topology;
+/// use twice_common::ids::{ChannelId, RankId};
+///
+/// let topo = Topology::paper_default();
+/// assert_eq!(topo.total_banks(), 2 * 2 * 16);
+/// let b = topo.bank_id(ChannelId(1), RankId(0), 3);
+/// let (c, r, i) = topo.decompose_bank(b);
+/// assert_eq!((c, r, i), (ChannelId(1), RankId(0), 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of memory channels (each driven by a memory controller).
+    pub channels: u8,
+    /// Ranks per channel (across all DIMMs of the channel).
+    pub ranks_per_channel: u8,
+    /// Banks per rank.
+    pub banks_per_rank: u16,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Columns per row (cache-line-sized columns).
+    pub cols_per_row: u16,
+    /// Bytes per DRAM row (page size across the rank).
+    pub row_bytes: u32,
+    /// DRAM devices per rank (operate in tandem; x8 devices → 8).
+    pub devices_per_rank: u8,
+}
+
+impl Topology {
+    /// The Table 4 system: 2 channels × 2 ranks × 16 banks, 131,072 rows per
+    /// bank, 8 KB rows (1 GB banks as in §7.1's "2.71 KB per 1 GB bank").
+    pub fn paper_default() -> Topology {
+        Topology {
+            channels: 2,
+            ranks_per_channel: 2,
+            banks_per_rank: 16,
+            rows_per_bank: 131_072,
+            cols_per_row: 128,
+            row_bytes: 8_192,
+            devices_per_rank: 8,
+        }
+    }
+
+    /// A single-bank miniature topology for unit tests.
+    pub fn single_bank(rows: u32) -> Topology {
+        Topology {
+            channels: 1,
+            ranks_per_channel: 1,
+            banks_per_rank: 1,
+            rows_per_bank: rows,
+            cols_per_row: 128,
+            row_bytes: 8_192,
+            devices_per_rank: 8,
+        }
+    }
+
+    /// Total number of banks in the system.
+    #[inline]
+    pub fn total_banks(&self) -> u32 {
+        u32::from(self.channels) * u32::from(self.ranks_per_channel) * u32::from(self.banks_per_rank)
+    }
+
+    /// Banks per channel.
+    #[inline]
+    pub fn banks_per_channel(&self) -> u32 {
+        u32::from(self.ranks_per_channel) * u32::from(self.banks_per_rank)
+    }
+
+    /// Total DRAM capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.total_banks()) * u64::from(self.rows_per_bank) * u64::from(self.row_bytes)
+    }
+
+    /// Composes a flat, system-global [`BankId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is out of range for this topology.
+    #[inline]
+    pub fn bank_id(&self, channel: ChannelId, rank: RankId, bank_in_rank: u16) -> BankId {
+        assert!(channel.0 < self.channels, "channel out of range");
+        assert!(rank.0 < self.ranks_per_channel, "rank out of range");
+        assert!(bank_in_rank < self.banks_per_rank, "bank out of range");
+        let per_channel = self.banks_per_channel();
+        BankId(
+            u32::from(channel.0) * per_channel
+                + u32::from(rank.0) * u32::from(self.banks_per_rank)
+                + u32::from(bank_in_rank),
+        )
+    }
+
+    /// Decomposes a flat [`BankId`] into `(channel, rank, bank-in-rank)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range for this topology.
+    #[inline]
+    pub fn decompose_bank(&self, bank: BankId) -> (ChannelId, RankId, u16) {
+        assert!(bank.0 < self.total_banks(), "bank id out of range");
+        let per_channel = self.banks_per_channel();
+        let channel = bank.0 / per_channel;
+        let rem = bank.0 % per_channel;
+        let rank = rem / u32::from(self.banks_per_rank);
+        let b = rem % u32::from(self.banks_per_rank);
+        (ChannelId(channel as u8), RankId(rank as u8), b as u16)
+    }
+
+    /// Whether `row` exists in a bank of this topology.
+    #[inline]
+    pub fn contains_row(&self, row: RowId) -> bool {
+        row.0 < self.rows_per_bank
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any dimension is zero or if `row_bytes`
+    /// is not a multiple of `cols_per_row` (columns must be equal-sized).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.channels == 0
+            || self.ranks_per_channel == 0
+            || self.banks_per_rank == 0
+            || self.rows_per_bank == 0
+            || self.cols_per_row == 0
+            || self.row_bytes == 0
+            || self.devices_per_rank == 0
+        {
+            return Err(ConfigError::new("all topology dimensions must be non-zero"));
+        }
+        if !self.row_bytes.is_multiple_of(u32::from(self.cols_per_row)) {
+            return Err(ConfigError::new(format!(
+                "row_bytes ({}) must be a multiple of cols_per_row ({})",
+                self.row_bytes, self.cols_per_row
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        let t = Topology::paper_default();
+        t.validate().unwrap();
+        assert_eq!(t.total_banks(), 64);
+        // 64 banks x 131072 rows x 8KB = 64 GB.
+        assert_eq!(t.capacity_bytes(), 64 << 30);
+    }
+
+    #[test]
+    fn bank_id_round_trips_over_all_banks() {
+        let t = Topology::paper_default();
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..t.channels {
+            for r in 0..t.ranks_per_channel {
+                for b in 0..t.banks_per_rank {
+                    let id = t.bank_id(ChannelId(c), RankId(r), b);
+                    assert!(seen.insert(id), "bank ids must be unique");
+                    assert_eq!(t.decompose_bank(id), (ChannelId(c), RankId(r), b));
+                }
+            }
+        }
+        assert_eq!(seen.len() as u32, t.total_banks());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel out of range")]
+    fn bank_id_checks_channel() {
+        let t = Topology::single_bank(16);
+        let _ = t.bank_id(ChannelId(1), RankId(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bank id out of range")]
+    fn decompose_checks_range() {
+        let t = Topology::single_bank(16);
+        let _ = t.decompose_bank(BankId(1));
+    }
+
+    #[test]
+    fn contains_row_bounds() {
+        let t = Topology::single_bank(16);
+        assert!(t.contains_row(RowId(15)));
+        assert!(!t.contains_row(RowId(16)));
+    }
+
+    #[test]
+    fn validation_rejects_unaligned_columns() {
+        let mut t = Topology::paper_default();
+        t.cols_per_row = 100;
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! The Table 3 / §7.1 area, energy, and latency cost model.
+//!
+//! The paper characterized fa-TWiCe (CAM + SRAM, four internal banks) and
+//! pa-TWiCe (64-way SRAM, nine sets) with SPICE on the 45 nm FreePDK
+//! library. Those measurements are *inputs* to the overhead argument, not
+//! outputs of the algorithm, so this module encodes them as calibrated
+//! constants ([`TwiceCostModel::table3_45nm`]) and derives every claim
+//! made from them: table updates hide under `tRFC`, counting hides under
+//! `tRC`, and energy overhead stays below 0.7% of DRAM ACT+PRE energy.
+//!
+//! Storage arithmetic (§6.2/§7.1) lives in [`TableStorage`]: unified
+//! entries are 46 bits (`valid 1 + row_addr 17 + act_cnt 15 + life 13`),
+//! split short entries 20 bits (`valid 1 + row_addr 17 + act_cnt 2`,
+//! life implicit), which reproduces the paper's 2.71 KB per 1 GB bank and
+//! ~13% saving.
+
+use crate::bound::CapacityBound;
+use crate::params::TwiceParams;
+use twice_common::{DdrTimings, Span};
+
+/// Per-operation latency and energy of a TWiCe table implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwiceCostModel {
+    /// fa-TWiCe: one ACT count (CAM search + SRAM update).
+    pub fa_count: OpCost,
+    /// fa-TWiCe: one end-of-PI table update (all four banks in parallel).
+    pub fa_update: OpCost,
+    /// pa-TWiCe: ACT count touching only the preferred set.
+    pub pa_count_preferred: OpCost,
+    /// pa-TWiCe: worst-case ACT count touching all sets.
+    pub pa_count_all: OpCost,
+    /// pa-TWiCe: one end-of-PI table update (nine sets in parallel).
+    pub pa_update: OpCost,
+    /// DRAM ACT+PRE pair, for overhead ratios (Table 3 bottom rows).
+    pub dram_act_pre: OpCost,
+    /// DRAM per-bank refresh, for overhead ratios.
+    pub dram_refresh_bank: OpCost,
+}
+
+/// Latency and energy of one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCost {
+    /// Operation latency.
+    pub latency: Span,
+    /// Energy in picojoules.
+    pub energy_pj: u64,
+}
+
+impl TwiceCostModel {
+    /// The 45 nm FreePDK SPICE characterization of Table 3.
+    pub fn table3_45nm() -> TwiceCostModel {
+        TwiceCostModel {
+            fa_count: OpCost { latency: Span::from_ns(3), energy_pj: 82 },
+            fa_update: OpCost { latency: Span::from_ns(140), energy_pj: 663 },
+            pa_count_preferred: OpCost { latency: Span::from_ns(6), energy_pj: 37 },
+            pa_count_all: OpCost { latency: Span::from_ns(24), energy_pj: 313 },
+            pa_update: OpCost { latency: Span::from_ns(130), energy_pj: 474 },
+            dram_act_pre: OpCost { latency: Span::from_ns(45), energy_pj: 11_490 },
+            dram_refresh_bank: OpCost { latency: Span::from_ns(350), energy_pj: 132_250 },
+        }
+    }
+
+    /// §7.1 "no performance overhead": counting completes within `tRC`,
+    /// so it hides under the activation it accompanies.
+    pub fn count_hides_under_trc(&self, timings: &DdrTimings) -> bool {
+        self.fa_count.latency <= timings.t_rc
+            && self.pa_count_preferred.latency <= timings.t_rc
+            && self.pa_count_all.latency <= timings.t_rc
+    }
+
+    /// §7.1 "no performance overhead": the table update completes within
+    /// `tRFC`, so it hides under the auto-refresh that triggers it.
+    pub fn update_hides_under_trfc(&self, timings: &DdrTimings) -> bool {
+        self.fa_update.latency <= timings.t_rfc && self.pa_update.latency <= timings.t_rfc
+    }
+
+    /// Energy of one ACT count relative to one DRAM ACT+PRE
+    /// (§7.1: ~0.7% for fa-TWiCe).
+    pub fn count_energy_overhead(&self, pa: bool) -> f64 {
+        let e = if pa {
+            self.pa_count_preferred.energy_pj
+        } else {
+            self.fa_count.energy_pj
+        };
+        e as f64 / self.dram_act_pre.energy_pj as f64
+    }
+
+    /// Energy of one table update relative to one per-bank refresh
+    /// (§7.1: ~0.5% for fa-TWiCe).
+    pub fn update_energy_overhead(&self, pa: bool) -> f64 {
+        let e = if pa {
+            self.pa_update.energy_pj
+        } else {
+            self.fa_update.energy_pj
+        };
+        e as f64 / self.dram_refresh_bank.energy_pj as f64
+    }
+}
+
+impl Default for TwiceCostModel {
+    fn default() -> Self {
+        TwiceCostModel::table3_45nm()
+    }
+}
+
+/// Storage arithmetic for a per-bank TWiCe table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStorage {
+    /// Long (full-width) entries and their width in bits.
+    pub long_entries: usize,
+    /// Bits per long entry.
+    pub long_entry_bits: u32,
+    /// Short entries (split organization; zero for unified).
+    pub short_entries: usize,
+    /// Bits per short entry.
+    pub short_entry_bits: u32,
+    /// Set-borrowing indicator bits (pa organization; zero otherwise).
+    pub sb_indicator_bits: u64,
+}
+
+impl TableStorage {
+    /// The unified (non-split) fa-TWiCe layout.
+    pub fn unified(params: &TwiceParams, bound: &CapacityBound) -> TableStorage {
+        TableStorage {
+            long_entries: bound.total(),
+            long_entry_bits: Self::long_bits(params),
+            short_entries: 0,
+            short_entry_bits: 0,
+            sb_indicator_bits: 0,
+        }
+    }
+
+    /// The §6.2 split layout.
+    pub fn split(params: &TwiceParams, bound: &CapacityBound) -> TableStorage {
+        TableStorage {
+            long_entries: bound.split_long(),
+            long_entry_bits: Self::long_bits(params),
+            short_entries: bound.split_short(),
+            short_entry_bits: Self::short_bits(params),
+            sb_indicator_bits: 0,
+        }
+    }
+
+    /// The §6.2 split layout plus pa-TWiCe set-borrowing indicators
+    /// (`sets × (sets−1)` counters wide enough for the way count).
+    pub fn split_pa(params: &TwiceParams, bound: &CapacityBound, ways: usize) -> TableStorage {
+        let sets = bound.total().div_ceil(ways);
+        let indicator_width = usize::BITS - (ways - 1).leading_zeros();
+        TableStorage {
+            sb_indicator_bits: (sets * (sets - 1)) as u64 * u64::from(indicator_width),
+            ..TableStorage::split(params, bound)
+        }
+    }
+
+    fn long_bits(params: &TwiceParams) -> u32 {
+        1 + params.row_addr_bits() + params.act_cnt_bits() + params.life_bits()
+    }
+
+    fn short_bits(params: &TwiceParams) -> u32 {
+        // valid + row_addr + log2(thPI) count bits; life implicit (=1).
+        let th_pi_bits = (64 - (params.th_pi() - 1).leading_zeros()).max(1);
+        1 + params.row_addr_bits() + th_pi_bits
+    }
+
+    /// Total storage in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.long_entries as u64 * u64::from(self.long_entry_bits)
+            + self.short_entries as u64 * u64::from(self.short_entry_bits)
+            + self.sb_indicator_bits
+    }
+
+    /// Total storage in bytes (rounded up).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Total storage in KiB.
+    pub fn total_kib(&self) -> f64 {
+        self.total_bytes() as f64 / 1024.0
+    }
+
+    /// Fractional saving of `self` relative to `other`.
+    pub fn saving_vs(&self, other: &TableStorage) -> f64 {
+        1.0 - self.total_bits() as f64 / other.total_bits() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> (TwiceParams, CapacityBound) {
+        let p = TwiceParams::paper_default();
+        let b = CapacityBound::for_params(&p);
+        (p, b)
+    }
+
+    #[test]
+    fn entry_widths_match_section_7_1() {
+        let (p, b) = paper();
+        let u = TableStorage::unified(&p, &b);
+        assert_eq!(u.long_entry_bits, 46); // 1+17+15+13
+        let s = TableStorage::split(&p, &b);
+        assert_eq!(s.short_entry_bits, 20); // 1+17+2
+    }
+
+    #[test]
+    fn split_storage_reproduces_2_71_kib_scale() {
+        let (p, b) = paper();
+        let s = TableStorage::split(&p, &b);
+        let kib = s.total_kib();
+        // Paper: 2.71 KB with 553 entries; our 556-entry bound gives 2.73.
+        assert!(
+            (2.65..=2.80).contains(&kib),
+            "split table is {kib:.2} KiB, expected ~2.71"
+        );
+    }
+
+    #[test]
+    fn split_saves_about_13_percent() {
+        let (p, b) = paper();
+        let u = TableStorage::unified(&p, &b);
+        let s = TableStorage::split(&p, &b);
+        let saving = s.saving_vs(&u);
+        assert!(
+            (0.11..=0.14).contains(&saving),
+            "saving {saving:.3}, expected ~0.13"
+        );
+    }
+
+    #[test]
+    fn sb_indicators_cost_tens_of_bytes() {
+        let (p, b) = paper();
+        let s = TableStorage::split(&p, &b);
+        let spa = TableStorage::split_pa(&p, &b, 64);
+        let extra = spa.total_bytes() - s.total_bytes();
+        // Paper: "a mere 54-byte increase" for 9 sets x 8 indicators.
+        assert_eq!(spa.sb_indicator_bits, 9 * 8 * 6);
+        assert_eq!(extra, 54);
+    }
+
+    #[test]
+    fn latencies_hide_under_dram_operations() {
+        let m = TwiceCostModel::table3_45nm();
+        let t = twice_common::DdrTimings::ddr4_2400();
+        assert!(m.count_hides_under_trc(&t));
+        assert!(m.update_hides_under_trfc(&t));
+    }
+
+    #[test]
+    fn energy_overheads_match_section_7_1() {
+        let m = TwiceCostModel::table3_45nm();
+        // fa count: 0.082/11.49 ~ 0.71% ("less than 0.7%" in the abstract,
+        // "only 0.7%" in §7.1).
+        let fa = m.count_energy_overhead(false);
+        assert!((0.006..=0.0075).contains(&fa), "fa overhead {fa}");
+        // fa update vs refresh: ~0.5%.
+        let upd = m.update_energy_overhead(false);
+        assert!((0.004..=0.0055).contains(&upd), "update overhead {upd}");
+        // pa preferred-set count is 55% cheaper than fa count.
+        let ratio = m.pa_count_preferred.energy_pj as f64 / m.fa_count.energy_pj as f64;
+        assert!((0.40..=0.50).contains(&ratio), "pa/fa count ratio {ratio}");
+    }
+}

@@ -1,0 +1,390 @@
+//! [`TwiceEngine`]: the TWiCe defense as a [`RowHammerDefense`].
+//!
+//! One counter table per bank (§4.4), driven by the activation stream:
+//!
+//! 1. On every ACT, the target row's entry is incremented (inserted at
+//!    count 1 if absent).
+//! 2. An entry reaching `thRH` triggers an **ARR** for the row and an
+//!    explicit [`Detection`], and is retired from the table (Figure 4 ③).
+//! 3. On every per-bank auto-refresh the table is pruned (Figure 4 ④) —
+//!    the update hides under `tRFC` (§7.1).
+//!
+//! If a table ever reports `TableFull` — impossible under DDR-legal
+//! streams for tables sized by [`CapacityBound`], and property-tested to
+//! be so — the engine fails *safe*: it treats the row as detected and
+//! ARRs it immediately, preserving the no-false-negative guarantee at the
+//! cost of a spurious refresh.
+
+use crate::bound::CapacityBound;
+use crate::fa::FaTwice;
+use crate::pa::PaTwice;
+use crate::params::TwiceParams;
+use crate::split::SplitTwice;
+use crate::table::{CounterTable, RecordOutcome};
+use std::fmt;
+use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
+
+/// Which hardware organization backs each per-bank table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableOrganization {
+    /// fa-TWiCe: fully-associative CAM (§7.1 baseline).
+    #[default]
+    FullyAssociative,
+    /// pa-TWiCe: 64-way pseudo-associative with set borrowing (§6.1).
+    PseudoAssociative,
+    /// Split short/long entries (§6.2).
+    Split,
+}
+
+impl TableOrganization {
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TableOrganization::FullyAssociative => "fa",
+            TableOrganization::PseudoAssociative => "pa",
+            TableOrganization::Split => "split",
+        }
+    }
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// ACTs observed across all banks.
+    pub acts: u64,
+    /// ARRs issued (each is also a detection).
+    pub arrs: u64,
+    /// Defensive ARRs caused by `TableFull` (must stay zero under legal
+    /// streams; non-zero indicates a sizing violation).
+    pub table_full_events: u64,
+    /// Pruning passes executed.
+    pub prunes: u64,
+}
+
+/// The TWiCe row-hammer prevention engine.
+pub struct TwiceEngine {
+    params: TwiceParams,
+    organization: TableOrganization,
+    th_pi: u64,
+    tables: Vec<Box<dyn CounterTable + Send>>,
+    max_occupancy: Vec<usize>,
+    stats: EngineStats,
+    name: String,
+}
+
+impl fmt::Debug for TwiceEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TwiceEngine")
+            .field("organization", &self.organization)
+            .field("banks", &self.tables.len())
+            .field("th_rh", &self.params.th_rh)
+            .field("th_pi", &self.th_pi)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl TwiceEngine {
+    /// Creates an engine with fa-TWiCe tables for `num_banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails validation or `num_banks` is zero.
+    pub fn new(params: TwiceParams, num_banks: u32) -> TwiceEngine {
+        TwiceEngine::with_organization(params, num_banks, TableOrganization::default())
+    }
+
+    /// Creates an engine with the given table organization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails validation or `num_banks` is zero.
+    pub fn with_organization(
+        params: TwiceParams,
+        num_banks: u32,
+        organization: TableOrganization,
+    ) -> TwiceEngine {
+        params.validate().expect("invalid TWiCe parameters");
+        assert!(num_banks > 0, "need at least one bank");
+        let bound = CapacityBound::for_params(&params);
+        let th_pi = params.th_pi();
+        let tables: Vec<Box<dyn CounterTable + Send>> = (0..num_banks)
+            .map(|_| -> Box<dyn CounterTable + Send> {
+                match organization {
+                    TableOrganization::FullyAssociative => Box::new(FaTwice::new(bound.total())),
+                    TableOrganization::PseudoAssociative => {
+                        Box::new(PaTwice::with_capacity_64way(bound.total()))
+                    }
+                    TableOrganization::Split => Box::new(SplitTwice::new(
+                        bound.split_short(),
+                        bound.split_long(),
+                        th_pi,
+                    )),
+                }
+            })
+            .collect();
+        TwiceEngine {
+            name: format!("TWiCe({})", organization.label()),
+            params,
+            organization,
+            th_pi,
+            max_occupancy: vec![0; num_banks as usize],
+            tables,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The engine's parameters.
+    #[inline]
+    pub fn params(&self) -> &TwiceParams {
+        &self.params
+    }
+
+    /// The table organization in use.
+    #[inline]
+    pub fn organization(&self) -> TableOrganization {
+        self.organization
+    }
+
+    /// Aggregate statistics.
+    #[inline]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Highest occupancy ever observed on `bank`'s table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn max_occupancy(&self, bank: BankId) -> usize {
+        self.max_occupancy[bank.index()]
+    }
+
+    /// Highest occupancy observed across all banks.
+    pub fn max_occupancy_any(&self) -> usize {
+        self.max_occupancy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Direct read access to a bank's table (for experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn table(&self, bank: BankId) -> &dyn CounterTable {
+        self.tables[bank.index()].as_ref()
+    }
+}
+
+impl RowHammerDefense for TwiceEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_activate(&mut self, bank: BankId, row: RowId, now: Time) -> DefenseResponse {
+        self.stats.acts += 1;
+        let table = &mut self.tables[bank.index()];
+        let outcome = table.record_act(row);
+        let occ = table.occupancy();
+        if occ > self.max_occupancy[bank.index()] {
+            self.max_occupancy[bank.index()] = occ;
+        }
+        match outcome {
+            RecordOutcome::Counted { act_cnt } if act_cnt >= self.params.th_rh => {
+                table.remove(row);
+                self.stats.arrs += 1;
+                DefenseResponse {
+                    detection: Some(Detection {
+                        bank,
+                        row,
+                        at: now,
+                        act_count: act_cnt,
+                    }),
+                    ..DefenseResponse::arr(row)
+                }
+            }
+            RecordOutcome::Counted { .. } => DefenseResponse::none(),
+            RecordOutcome::TableFull => {
+                // Fail safe: refresh the row's neighbors immediately.
+                self.stats.table_full_events += 1;
+                self.stats.arrs += 1;
+                DefenseResponse {
+                    detection: Some(Detection {
+                        bank,
+                        row,
+                        at: now,
+                        act_count: 0,
+                    }),
+                    ..DefenseResponse::arr(row)
+                }
+            }
+        }
+    }
+
+    fn on_auto_refresh(&mut self, bank: BankId, _now: Time) {
+        self.stats.prunes += 1;
+        self.tables[bank.index()].prune(self.th_pi);
+    }
+
+    fn reset(&mut self) {
+        for t in &mut self.tables {
+            t.clear();
+        }
+        self.max_occupancy.iter_mut().for_each(|m| *m = 0);
+        self.stats = EngineStats::default();
+    }
+
+    fn table_occupancy(&self, bank: BankId) -> Option<usize> {
+        Some(self.tables[bank.index()].occupancy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(org: TableOrganization) -> TwiceEngine {
+        TwiceEngine::with_organization(TwiceParams::fast_test(), 2, org)
+    }
+
+    const ALL_ORGS: [TableOrganization; 3] = [
+        TableOrganization::FullyAssociative,
+        TableOrganization::PseudoAssociative,
+        TableOrganization::Split,
+    ];
+
+    #[test]
+    fn hammering_row_is_arred_exactly_at_th_rh() {
+        for org in ALL_ORGS {
+            let mut e = engine(org);
+            let th_rh = e.params().th_rh;
+            let mut now = Time::ZERO;
+            for i in 1..th_rh {
+                let r = e.on_activate(BankId(0), RowId(7), now);
+                assert!(r.is_none(), "{org:?}: premature action at ACT {i}");
+                now += e.params().timings.t_rc;
+            }
+            let r = e.on_activate(BankId(0), RowId(7), now);
+            assert_eq!(r.arr, Some(RowId(7)), "{org:?}");
+            let d = r.detection.expect("detection expected");
+            assert_eq!(d.act_count, th_rh);
+            assert_eq!(d.row, RowId(7));
+            // Entry retired: counting starts over.
+            let r = e.on_activate(BankId(0), RowId(7), now);
+            assert!(r.is_none());
+            assert_eq!(e.stats().arrs, 1);
+        }
+    }
+
+    #[test]
+    fn pruning_forgets_cold_rows() {
+        for org in ALL_ORGS {
+            let mut e = engine(org);
+            // 3 ACTs (below thPI=4), then a prune: row must be forgotten.
+            for _ in 0..3 {
+                e.on_activate(BankId(0), RowId(5), Time::ZERO);
+            }
+            assert_eq!(e.table_occupancy(BankId(0)), Some(1));
+            e.on_auto_refresh(BankId(0), Time::ZERO);
+            assert_eq!(e.table_occupancy(BankId(0)), Some(0), "{org:?}");
+        }
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let mut e = engine(TableOrganization::FullyAssociative);
+        e.on_activate(BankId(0), RowId(5), Time::ZERO);
+        assert_eq!(e.table_occupancy(BankId(0)), Some(1));
+        assert_eq!(e.table_occupancy(BankId(1)), Some(0));
+        e.on_auto_refresh(BankId(1), Time::ZERO);
+        assert_eq!(e.table_occupancy(BankId(0)), Some(1), "prune is per-bank");
+    }
+
+    #[test]
+    fn slow_hammer_below_th_pi_rate_is_never_tracked_long() {
+        // A row activated thPI-1 times per PI is pruned every PI and can
+        // never reach thRH while tracked (Eq. 1 of §4.3).
+        let mut e = engine(TableOrganization::FullyAssociative);
+        let th_pi = e.params().th_pi();
+        for pi in 0..200 {
+            for _ in 0..(th_pi - 1) {
+                let r = e.on_activate(BankId(0), RowId(9), Time::ZERO);
+                assert!(r.is_none(), "PI {pi}");
+            }
+            e.on_auto_refresh(BankId(0), Time::ZERO);
+            assert_eq!(e.table_occupancy(BankId(0)), Some(0));
+        }
+        assert_eq!(e.stats().arrs, 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut e = engine(TableOrganization::Split);
+        for _ in 0..10 {
+            e.on_activate(BankId(1), RowId(3), Time::ZERO);
+        }
+        assert!(e.max_occupancy(BankId(1)) > 0);
+        e.reset();
+        assert_eq!(e.stats(), EngineStats::default());
+        assert_eq!(e.max_occupancy(BankId(1)), 0);
+        assert_eq!(e.table_occupancy(BankId(1)), Some(0));
+    }
+
+    #[test]
+    fn organizations_make_identical_decisions() {
+        use twice_common::rng::SplitMix64;
+        let params = TwiceParams::fast_test();
+        let max_act = params.max_act();
+        let mut engines: Vec<TwiceEngine> = ALL_ORGS
+            .iter()
+            .map(|&o| TwiceEngine::with_organization(params.clone(), 1, o))
+            .collect();
+        let mut rng = SplitMix64::new(2024);
+        let mut acts_this_pi = 0u64;
+        for step in 0..20_000u64 {
+            // The physical environment guarantees a prune (auto-refresh)
+            // at least every `maxact` ACTs; the split sizing relies on it.
+            if acts_this_pi >= max_act || rng.chance(0.01) {
+                for e in &mut engines {
+                    e.on_auto_refresh(BankId(0), Time::ZERO);
+                }
+                acts_this_pi = 0;
+                continue;
+            }
+            acts_this_pi += 1;
+            // Skewed row distribution so some rows reach thRH.
+            let row = if rng.chance(0.5) {
+                RowId(0)
+            } else {
+                RowId(rng.next_below(30) as u32 + 1)
+            };
+            let responses: Vec<DefenseResponse> = engines
+                .iter_mut()
+                .map(|e| e.on_activate(BankId(0), row, Time::ZERO))
+                .collect();
+            assert_eq!(responses[0].arr, responses[1].arr, "fa vs pa at {step}");
+            assert_eq!(responses[0].arr, responses[2].arr, "fa vs split at {step}");
+        }
+        let arrs: Vec<u64> = engines.iter().map(|e| e.stats().arrs).collect();
+        assert!(arrs[0] > 0, "test should have triggered ARRs");
+        assert_eq!(arrs[0], arrs[1]);
+        assert_eq!(arrs[0], arrs[2]);
+        for e in &engines {
+            assert_eq!(e.stats().table_full_events, 0);
+        }
+    }
+
+    #[test]
+    fn engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TwiceEngine>();
+    }
+
+    #[test]
+    fn debug_and_name_are_informative() {
+        let e = engine(TableOrganization::PseudoAssociative);
+        assert_eq!(e.name(), "TWiCe(pa)");
+        let dbg = format!("{e:?}");
+        assert!(dbg.contains("banks: 2"));
+    }
+}

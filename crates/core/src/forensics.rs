@@ -1,0 +1,238 @@
+//! Attack forensics: turning detections into actionable intelligence.
+//!
+//! The paper's case for counter-based protection over probabilistic
+//! schemes is not just determinism — it is that explicit detection
+//! "enables a system to take action, such as removing/terminating or
+//! developing countermeasures for malware, and penalizing malicious
+//! users responsible for the attack" (§1, §3.4). This module is that
+//! taking-action layer: it aggregates [`Detection`] events into per-row
+//! attack records and classifies ongoing incidents, so a hypervisor or
+//! OS can map an aggressor row back to the tenant that owns it.
+
+use std::collections::HashMap;
+use std::fmt;
+use twice_common::{BankId, Detection, RowId, Span, Time};
+
+/// Aggregated record of detections against one (bank, row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackRecord {
+    /// The bank.
+    pub bank: BankId,
+    /// The aggressor row.
+    pub row: RowId,
+    /// Number of times this row crossed the detection threshold.
+    pub detections: u64,
+    /// First crossing.
+    pub first_at: Time,
+    /// Most recent crossing.
+    pub last_at: Time,
+}
+
+impl AttackRecord {
+    /// Duration between the first and last crossing.
+    pub fn span(&self) -> Span {
+        self.last_at.saturating_since(self.first_at)
+    }
+}
+
+/// Incident severity, classified from repetition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// One crossing: could be an extremely hot (but legitimate) row.
+    Suspicious,
+    /// Repeated crossings of the same row: an active hammer.
+    ActiveAttack,
+    /// Crossings sustained across many windows: a determined attacker.
+    Persistent,
+}
+
+/// A log of detections with per-row aggregation.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionLog {
+    records: HashMap<(u32, u32), AttackRecord>,
+    total: u64,
+}
+
+impl DetectionLog {
+    /// Creates an empty log.
+    pub fn new() -> DetectionLog {
+        DetectionLog::default()
+    }
+
+    /// Ingests one detection event.
+    pub fn record(&mut self, d: Detection) {
+        self.total += 1;
+        let key = (d.bank.0, d.row.0);
+        match self.records.get_mut(&key) {
+            Some(r) => {
+                r.detections += 1;
+                r.last_at = r.last_at.max(d.at);
+            }
+            None => {
+                self.records.insert(
+                    key,
+                    AttackRecord {
+                        bank: d.bank,
+                        row: d.row,
+                        detections: 1,
+                        first_at: d.at,
+                        last_at: d.at,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Ingests many detections.
+    pub fn extend(&mut self, detections: impl IntoIterator<Item = Detection>) {
+        for d in detections {
+            self.record(d);
+        }
+    }
+
+    /// Total events ingested.
+    #[inline]
+    pub fn total_detections(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct (bank, row) aggressors seen.
+    #[inline]
+    pub fn distinct_aggressors(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The record for `(bank, row)`, if any.
+    pub fn get(&self, bank: BankId, row: RowId) -> Option<AttackRecord> {
+        self.records.get(&(bank.0, row.0)).copied()
+    }
+
+    /// Severity classification for one record, given the refresh-window
+    /// length (`tREFW`).
+    pub fn severity(record: &AttackRecord, t_refw: Span) -> Severity {
+        if record.detections == 1 {
+            Severity::Suspicious
+        } else if record.span() > t_refw {
+            Severity::Persistent
+        } else {
+            Severity::ActiveAttack
+        }
+    }
+
+    /// The worst offenders, most detections first (ties by row order).
+    pub fn top_aggressors(&self, n: usize) -> Vec<AttackRecord> {
+        let mut all: Vec<AttackRecord> = self.records.values().copied().collect();
+        all.sort_by(|a, b| {
+            b.detections
+                .cmp(&a.detections)
+                .then(a.bank.cmp(&b.bank))
+                .then(a.row.cmp(&b.row))
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// Renders an incident report.
+    pub fn report(&self, t_refw: Span) -> String {
+        let mut out = String::new();
+        use fmt::Write;
+        writeln!(
+            out,
+            "{} detection(s) across {} aggressor row(s)",
+            self.total,
+            self.records.len()
+        )
+        .expect("string write");
+        for r in self.top_aggressors(10) {
+            writeln!(
+                out,
+                "  {:?} {} {}: {} crossing(s) over {} -> {:?}",
+                r.bank,
+                r.row,
+                if r.detections > 1 { "repeat" } else { "single" },
+                r.detections,
+                r.span(),
+                DetectionLog::severity(&r, t_refw),
+            )
+            .expect("string write");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(bank: u32, row: u32, at_ns: u64) -> Detection {
+        Detection {
+            bank: BankId(bank),
+            row: RowId(row),
+            at: Time::ZERO + Span::from_ns(at_ns),
+            act_count: 32_768,
+        }
+    }
+
+    #[test]
+    fn aggregates_per_row() {
+        let mut log = DetectionLog::new();
+        log.extend([det(0, 5, 100), det(0, 5, 200), det(1, 5, 150)]);
+        assert_eq!(log.total_detections(), 3);
+        assert_eq!(log.distinct_aggressors(), 2);
+        let r = log.get(BankId(0), RowId(5)).unwrap();
+        assert_eq!(r.detections, 2);
+        assert_eq!(r.span(), Span::from_ns(100));
+        assert!(log.get(BankId(2), RowId(5)).is_none());
+    }
+
+    #[test]
+    fn severity_classification() {
+        let refw = Span::from_ms(64);
+        let single = AttackRecord {
+            bank: BankId(0),
+            row: RowId(1),
+            detections: 1,
+            first_at: Time::ZERO,
+            last_at: Time::ZERO,
+        };
+        assert_eq!(DetectionLog::severity(&single, refw), Severity::Suspicious);
+        let active = AttackRecord {
+            detections: 5,
+            last_at: Time::ZERO + Span::from_ms(1),
+            ..single
+        };
+        assert_eq!(DetectionLog::severity(&active, refw), Severity::ActiveAttack);
+        let persistent = AttackRecord {
+            detections: 50,
+            last_at: Time::ZERO + Span::from_ms(200),
+            ..single
+        };
+        assert_eq!(
+            DetectionLog::severity(&persistent, refw),
+            Severity::Persistent
+        );
+        assert!(Severity::Persistent > Severity::Suspicious);
+    }
+
+    #[test]
+    fn top_aggressors_sort_by_count() {
+        let mut log = DetectionLog::new();
+        for _ in 0..3 {
+            log.record(det(0, 7, 0));
+        }
+        log.record(det(0, 9, 0));
+        let top = log.top_aggressors(10);
+        assert_eq!(top[0].row, RowId(7));
+        assert_eq!(top[1].row, RowId(9));
+        assert_eq!(log.top_aggressors(1).len(), 1);
+    }
+
+    #[test]
+    fn report_is_readable() {
+        let mut log = DetectionLog::new();
+        log.extend([det(0, 7, 0), det(0, 7, 500)]);
+        let report = log.report(Span::from_ms(64));
+        assert!(report.contains("2 detection(s)"));
+        assert!(report.contains("ActiveAttack"));
+    }
+}

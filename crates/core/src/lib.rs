@@ -1,0 +1,75 @@
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+//! TWiCe: Time Window Counter based row-hammer prevention (ISCA 2019).
+//!
+//! This crate implements the paper's contribution: a per-bank activation
+//! counter table whose size is **provably bounded** by DRAM timing, which
+//! detects every row whose activation count could reach the row-hammer
+//! threshold within a refresh window and refreshes its physical neighbors
+//! (via the ARR command) before corruption is possible — with **no false
+//! negatives** and negligible extra DRAM traffic.
+//!
+//! The key observation (§4.1): a bank accepts at most one ACT per `tRC`
+//! and every row is refreshed once per `tREFW`, so only a bounded number
+//! of rows can be activation-hot enough to matter. TWiCe tracks *only*
+//! those rows, pruning cold entries at every auto-refresh.
+//!
+//! Module map:
+//!
+//! * [`params`] — [`TwiceParams`]: thresholds and the derived Table 2
+//!   values (`thPI`, `maxact`, `maxlife`).
+//! * [`entry`] — the counter-table entry and the pruning rule.
+//! * [`table`] — the [`table::CounterTable`] abstraction.
+//! * [`fa`] — fa-TWiCe: the fully-associative (CAM) organization.
+//! * [`pa`] — pa-TWiCe: the pseudo-associative organization with
+//!   set-borrowing indicators (§6.1).
+//! * [`split`] — the split short/long-entry organization (§6.2).
+//! * [`engine`] — [`TwiceEngine`], the
+//!   [`twice_common::RowHammerDefense`] implementation.
+//! * [`bound`] — the §4.4 analytic capacity bound and an adversarial
+//!   cross-check.
+//! * [`cost`] — the Table 3 area/energy/latency model.
+//! * [`forensics`] — detection aggregation and incident reports (the
+//!   "take action" capability counter-based schemes enable).
+//!
+//! # Examples
+//!
+//! Detecting a hammering row:
+//!
+//! ```
+//! use twice::{TwiceEngine, TwiceParams};
+//! use twice_common::{BankId, RowId, RowHammerDefense, Time};
+//!
+//! let params = TwiceParams::paper_default();
+//! let th_rh = params.th_rh;
+//! let mut engine = TwiceEngine::new(params, 1);
+//!
+//! let mut now = Time::ZERO;
+//! let step = engine.params().timings.t_rc;
+//! let mut detected = false;
+//! for _ in 0..th_rh {
+//!     let resp = engine.on_activate(BankId(0), RowId(0x50), now);
+//!     detected |= resp.detection.is_some();
+//!     now += step;
+//! }
+//! assert!(detected, "thRH activations must be detected");
+//! ```
+
+pub mod bound;
+pub mod cost;
+pub mod engine;
+pub mod entry;
+pub mod fa;
+pub mod forensics;
+pub mod pa;
+pub mod params;
+pub mod split;
+pub mod table;
+
+pub use bound::CapacityBound;
+pub use engine::{TableOrganization, TwiceEngine};
+pub use forensics::DetectionLog;
+pub use entry::TableEntry;
+pub use params::TwiceParams;
+pub use table::{CounterTable, RecordOutcome};

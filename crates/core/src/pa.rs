@@ -1,0 +1,339 @@
+//! pa-TWiCe: the pseudo-associative organization with set borrowing.
+//!
+//! §6.1: a fully-associative CAM search on every ACT is energy-hungry; a
+//! plain set-associative table is unsafe (a thrashed set would force
+//! security refreshes on eviction). pa-TWiCe maps each row to a
+//! *preferred* set but lets an insertion borrow a slot from any other set
+//! when the preferred one is full. Per-set **set-borrowing (SB)
+//! indicators** count, for each foreign preferred set, how many of its
+//! entries this set currently hosts — so a miss in the preferred set only
+//! probes the sets whose indicator is non-zero (Figure 6).
+//!
+//! Behaviorally pa-TWiCe is identical to fa-TWiCe (no entry is ever
+//! evicted for capacity reasons — total capacity still covers the §4.4
+//! bound); only probe *energy* differs, which [`PaStats`] captures for
+//! the Table 3 / ablation experiments.
+
+use crate::entry::TableEntry;
+use crate::table::{CounterTable, RecordOutcome};
+use twice_common::RowId;
+
+/// Probe statistics for the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PaStats {
+    /// Lookups satisfied by the preferred set alone (no borrowing to
+    /// chase and the row was found or absent with all SB indicators zero).
+    pub preferred_only: u64,
+    /// Lookups that had to probe one or more non-preferred sets.
+    pub extended: u64,
+    /// Total individual set probes performed.
+    pub set_probes: u64,
+    /// Insertions that had to borrow a slot from a foreign set.
+    pub borrowed_insertions: u64,
+}
+
+/// A pseudo-associative TWiCe table: `sets` sets × `ways` ways.
+#[derive(Debug, Clone)]
+pub struct PaTwice {
+    sets: Vec<Vec<Option<TableEntry>>>,
+    /// `sb[s][p]` = number of entries with preferred set `p` stored in
+    /// set `s` (`s != p`).
+    sb: Vec<Vec<u32>>,
+    ways: usize,
+    stats: PaStats,
+}
+
+impl PaTwice {
+    /// Creates a table of `sets × ways` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> PaTwice {
+        assert!(sets > 0 && ways > 0, "geometry must be non-zero");
+        PaTwice {
+            sets: vec![vec![None; ways]; sets],
+            sb: vec![vec![0; sets]; sets],
+            ways,
+            stats: PaStats::default(),
+        }
+    }
+
+    /// The paper's geometry: 9 sets × 64 ways (§6.1/§7.1), sized to cover
+    /// `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity_64way(capacity: usize) -> PaTwice {
+        assert!(capacity > 0, "capacity must be non-zero");
+        PaTwice::new(capacity.div_ceil(64), 64)
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Ways per set.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Probe statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> PaStats {
+        self.stats
+    }
+
+    #[inline]
+    fn preferred_set(&self, row: RowId) -> usize {
+        row.index() % self.sets.len()
+    }
+
+    /// Finds `(set, way)` of `row`, counting probes.
+    fn find(&mut self, row: RowId) -> (Option<(usize, usize)>, bool) {
+        let pref = self.preferred_set(row);
+        self.stats.set_probes += 1;
+        if let Some(way) = self.probe_set(pref, row) {
+            return (Some((pref, way)), false);
+        }
+        // Chase borrowed entries: only sets hosting entries of `pref`.
+        let mut extended = false;
+        for s in 0..self.sets.len() {
+            if s == pref || self.sb[s][pref] == 0 {
+                continue;
+            }
+            extended = true;
+            self.stats.set_probes += 1;
+            if let Some(way) = self.probe_set(s, row) {
+                return (Some((s, way)), true);
+            }
+        }
+        (None, extended)
+    }
+
+    fn probe_set(&self, set: usize, row: RowId) -> Option<usize> {
+        self.sets[set]
+            .iter()
+            .position(|e| e.map(|e| e.row) == Some(row))
+    }
+
+    fn free_way(&self, set: usize) -> Option<usize> {
+        self.sets[set].iter().position(Option::is_none)
+    }
+
+    fn note_lookup(&mut self, extended: bool) {
+        if extended {
+            self.stats.extended += 1;
+        } else {
+            self.stats.preferred_only += 1;
+        }
+    }
+}
+
+impl CounterTable for PaTwice {
+    fn record_act(&mut self, row: RowId) -> RecordOutcome {
+        let (found, extended) = self.find(row);
+        self.note_lookup(extended);
+        if let Some((s, w)) = found {
+            let e = self.sets[s][w].as_mut().expect("found slot must be valid");
+            e.act_cnt += 1;
+            return RecordOutcome::Counted { act_cnt: e.act_cnt };
+        }
+        // Insert: preferred set first (Figure 6 step 4).
+        let pref = self.preferred_set(row);
+        if let Some(w) = self.free_way(pref) {
+            self.sets[pref][w] = Some(TableEntry::new(row));
+            return RecordOutcome::Counted { act_cnt: 1 };
+        }
+        for s in 0..self.sets.len() {
+            if s == pref {
+                continue;
+            }
+            if let Some(w) = self.free_way(s) {
+                self.sets[s][w] = Some(TableEntry::new(row));
+                self.sb[s][pref] += 1;
+                self.stats.borrowed_insertions += 1;
+                return RecordOutcome::Counted { act_cnt: 1 };
+            }
+        }
+        RecordOutcome::TableFull
+    }
+
+    fn remove(&mut self, row: RowId) {
+        let (found, _) = self.find(row);
+        if let Some((s, w)) = found {
+            self.sets[s][w] = None;
+            let pref = self.preferred_set(row);
+            if s != pref {
+                debug_assert!(self.sb[s][pref] > 0);
+                self.sb[s][pref] -= 1;
+            }
+        }
+    }
+
+    fn prune(&mut self, th_pi: u64) {
+        for s in 0..self.sets.len() {
+            for w in 0..self.ways {
+                let Some(e) = self.sets[s][w] else { continue };
+                match e.pruned(th_pi) {
+                    Some(aged) => self.sets[s][w] = Some(aged),
+                    None => {
+                        self.sets[s][w] = None;
+                        let pref = self.preferred_set(e.row);
+                        if s != pref {
+                            debug_assert!(self.sb[s][pref] > 0);
+                            self.sb[s][pref] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+    }
+
+    fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    fn get(&self, row: RowId) -> Option<TableEntry> {
+        let pref = self.preferred_set(row);
+        if let Some(w) = self.probe_set(pref, row) {
+            return self.sets[pref][w];
+        }
+        for s in 0..self.sets.len() {
+            if s != pref && self.sb[s][pref] > 0 {
+                if let Some(w) = self.probe_set(s, row) {
+                    return self.sets[s][w];
+                }
+            }
+        }
+        None
+    }
+
+    fn entries(&self) -> Vec<TableEntry> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().flatten().copied())
+            .collect()
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.iter_mut().for_each(|w| *w = None);
+        }
+        for row in &mut self.sb {
+            row.iter_mut().for_each(|c| *c = 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::conformance;
+
+    #[test]
+    fn basic_contract() {
+        conformance::check_basic_contract(&mut PaTwice::new(4, 8));
+    }
+
+    #[test]
+    fn overflow_reporting() {
+        conformance::check_overflow_reporting(&mut PaTwice::new(2, 4));
+    }
+
+    #[test]
+    fn paper_geometry_is_9_by_64() {
+        let t = PaTwice::with_capacity_64way(556);
+        assert_eq!(t.num_sets(), 9);
+        assert_eq!(t.ways(), 64);
+        assert_eq!(t.capacity(), 576);
+    }
+
+    #[test]
+    fn borrowing_tracks_sb_indicators() {
+        // 2 sets x 2 ways; rows 0,2,4 prefer set 0; rows 1,3 prefer set 1.
+        let mut t = PaTwice::new(2, 2);
+        t.record_act(RowId(0));
+        t.record_act(RowId(2));
+        // Set 0 full: row 4 borrows from set 1.
+        t.record_act(RowId(4));
+        assert_eq!(t.stats().borrowed_insertions, 1);
+        // Lookup of row 4 must chase into set 1 and find it.
+        assert!(matches!(
+            t.record_act(RowId(4)),
+            RecordOutcome::Counted { act_cnt: 2 }
+        ));
+        assert!(t.stats().extended >= 1);
+        // Removing it restores the indicator: a later miss of another
+        // set-0 row stays preferred-only.
+        t.remove(RowId(4));
+        t.remove(RowId(0));
+        let before = t.stats().set_probes;
+        t.record_act(RowId(6)); // miss, set 0 has space, no SB chase
+        assert_eq!(t.stats().set_probes, before + 1);
+    }
+
+    #[test]
+    fn prune_maintains_sb_indicators() {
+        let mut t = PaTwice::new(2, 1);
+        t.record_act(RowId(0)); // set 0
+        t.record_act(RowId(2)); // borrows set 1
+        assert_eq!(t.stats().borrowed_insertions, 1);
+        t.prune(4); // both have act_cnt < 4: pruned, SB back to 0
+        assert_eq!(t.occupancy(), 0);
+        // Fresh borrowed insert works again and lookups don't over-probe.
+        t.record_act(RowId(0));
+        let before = t.stats().set_probes;
+        t.record_act(RowId(4)); // miss in set 0 (occupied by row 0) ...
+        // row 4 prefers set 0, set 0 full -> probe = 1 (pref, SB all zero),
+        // then insert borrows set 1.
+        assert_eq!(t.stats().set_probes, before + 1);
+    }
+
+    #[test]
+    fn preferred_hit_costs_single_probe() {
+        let mut t = PaTwice::new(4, 4);
+        t.record_act(RowId(5));
+        let before = t.stats().set_probes;
+        t.record_act(RowId(5));
+        assert_eq!(t.stats().set_probes, before + 1);
+        assert!(t.stats().preferred_only >= 2);
+    }
+
+    #[test]
+    fn behaves_like_fa_on_random_streams() {
+        use crate::fa::FaTwice;
+        use twice_common::rng::SplitMix64;
+        let mut fa = FaTwice::new(64);
+        let mut pa = PaTwice::new(8, 8);
+        let mut rng = SplitMix64::new(1234);
+        for i in 0..5_000 {
+            let row = RowId(rng.next_below(40) as u32);
+            let a = fa.record_act(row);
+            let b = pa.record_act(row);
+            assert_eq!(a, b, "divergence at step {i}");
+            if rng.chance(0.01) {
+                fa.remove(row);
+                pa.remove(row);
+            }
+            if i % 200 == 199 {
+                fa.prune(4);
+                pa.prune(4);
+                assert_eq!(fa.occupancy(), pa.occupancy());
+            }
+        }
+        let mut fe = fa.entries();
+        let mut pe = pa.entries();
+        fe.sort_by_key(|e| e.row);
+        pe.sort_by_key(|e| e.row);
+        assert_eq!(fe, pe);
+    }
+}

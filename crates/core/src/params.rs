@@ -1,0 +1,221 @@
+//! TWiCe parameters and the derived quantities of Table 2.
+
+use twice_common::{ConfigError, DdrTimings};
+
+/// The TWiCe parameter set.
+///
+/// Holds the DDR timing set plus the two thresholds of the scheme:
+///
+/// * `n_th` — the vendor row-hammer threshold: the number of ACTs on a
+///   row's neighbors within one `tREFW` that may flip its bits (§3.2).
+/// * `th_rh` — TWiCe's detection threshold: an entry reaching `th_rh`
+///   activations triggers an ARR. The proof of §4.3 requires
+///   `th_rh ≤ n_th / 4` (a row can accumulate just under `2·th_rh`
+///   untracked+tracked ACTs, and double-sided hammering halves the
+///   per-aggressor budget).
+///
+/// Everything else is derived:
+///
+/// * `th_pi = th_rh / maxlife` — the pruning threshold (Table 2: 4).
+/// * `maxlife = tREFW / tREFI` — pruning intervals per window (8192).
+/// * `maxact = (tREFI − tRFC) / tRC` — max ACTs per PI (165).
+///
+/// # Examples
+///
+/// ```
+/// use twice::TwiceParams;
+///
+/// let p = TwiceParams::paper_default();
+/// assert_eq!(p.th_pi(), 4);
+/// assert_eq!(p.max_life(), 8192);
+/// assert_eq!(p.max_act(), 165);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwiceParams {
+    /// DDR timing set (defines `tREFW`, `tREFI`, `tRFC`, `tRC`).
+    pub timings: DdrTimings,
+    /// Vendor row-hammer threshold `N_th`.
+    pub n_th: u64,
+    /// TWiCe detection threshold `thRH`.
+    pub th_rh: u64,
+    /// Rows per bank (sizes `row_addr` in the cost model).
+    pub rows_per_bank: u32,
+}
+
+impl TwiceParams {
+    /// The Table 2 parameter set: DDR4-2400, `N_th` = 139K (from
+    /// [Kim et al. 2014]), `thRH` = 32,768, 131,072 rows per bank.
+    pub fn paper_default() -> TwiceParams {
+        TwiceParams {
+            timings: DdrTimings::ddr4_2400(),
+            n_th: 139_000,
+            th_rh: 32_768,
+            rows_per_bank: 131_072,
+        }
+    }
+
+    /// A small parameter set for fast tests: `tREFW/tREFI` = 64,
+    /// `thRH` = 256, so `thPI` = 4 and `maxact` = 20.
+    pub fn fast_test() -> TwiceParams {
+        TwiceParams {
+            timings: DdrTimings::fast_test(),
+            n_th: 1_024,
+            th_rh: 256,
+            rows_per_bank: 4_096,
+        }
+    }
+
+    /// Returns the parameters with a different detection threshold
+    /// (for the `thRH` sweep ablation).
+    pub fn with_th_rh(mut self, th_rh: u64) -> TwiceParams {
+        self.th_rh = th_rh;
+        self
+    }
+
+    /// Pruning intervals per refresh window (`maxlife`, Table 2: 8192).
+    #[inline]
+    pub fn max_life(&self) -> u64 {
+        self.timings.refreshes_per_window()
+    }
+
+    /// Maximum ACTs per pruning interval (`maxact`, Table 2: 165).
+    #[inline]
+    pub fn max_act(&self) -> u64 {
+        self.timings.max_acts_per_refi()
+    }
+
+    /// The pruning threshold `thPI = thRH / (tREFW/tREFI)` (Table 2: 4).
+    ///
+    /// Floor division keeps the §4.3 proof sound when `thRH` is not an
+    /// exact multiple of `maxlife`: an untracked row then accumulates at
+    /// most `thPI·maxlife ≤ thRH` ACTs.
+    #[inline]
+    pub fn th_pi(&self) -> u64 {
+        (self.th_rh / self.max_life()).max(1)
+    }
+
+    /// Checks the proof obligations of §4.3 and basic sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the timing set is invalid, when
+    /// `thRH > N_th / 4` (the deterministic guarantee would not hold),
+    /// when `thRH < maxlife` (the pruning threshold would vanish), or
+    /// when `rows_per_bank` is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.timings.validate()?;
+        if self.rows_per_bank == 0 {
+            return Err(ConfigError::new("rows_per_bank must be non-zero"));
+        }
+        if self.th_rh == 0 {
+            return Err(ConfigError::new("thRH must be non-zero"));
+        }
+        if self.th_rh * 4 > self.n_th {
+            return Err(ConfigError::new(format!(
+                "thRH ({}) must be at most N_th/4 ({}) for the deterministic guarantee",
+                self.th_rh,
+                self.n_th / 4
+            )));
+        }
+        if self.th_rh < self.max_life() {
+            return Err(ConfigError::new(format!(
+                "thRH ({}) must be at least maxlife ({}) so thPI >= 1",
+                self.th_rh,
+                self.max_life()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Bits needed for the `row_addr` field (17 for 131,072 rows).
+    #[inline]
+    pub fn row_addr_bits(&self) -> u32 {
+        bits_for(u64::from(self.rows_per_bank.saturating_sub(1)))
+    }
+
+    /// Bits needed for the `act_cnt` field (15 for `thRH` = 32,768).
+    #[inline]
+    pub fn act_cnt_bits(&self) -> u32 {
+        bits_for(self.th_rh - 1)
+    }
+
+    /// Bits needed for the `life` field (13 for `maxlife` = 8192).
+    #[inline]
+    pub fn life_bits(&self) -> u32 {
+        bits_for(self.max_life() - 1)
+    }
+}
+
+impl Default for TwiceParams {
+    fn default() -> Self {
+        TwiceParams::paper_default()
+    }
+}
+
+/// Bits needed to represent values `0..=max_value`.
+fn bits_for(max_value: u64) -> u32 {
+    64 - max_value.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let p = TwiceParams::paper_default();
+        p.validate().unwrap();
+        assert_eq!(p.th_rh, 32_768);
+        assert_eq!(p.th_pi(), 4);
+        assert_eq!(p.max_act(), 165);
+        assert_eq!(p.max_life(), 8_192);
+    }
+
+    #[test]
+    fn field_widths_match_section_7_1() {
+        let p = TwiceParams::paper_default();
+        assert_eq!(p.row_addr_bits(), 17);
+        assert_eq!(p.act_cnt_bits(), 15);
+        assert_eq!(p.life_bits(), 13);
+    }
+
+    #[test]
+    fn fast_test_set_validates() {
+        let p = TwiceParams::fast_test();
+        p.validate().unwrap();
+        assert_eq!(p.th_pi(), 4);
+        assert_eq!(p.max_life(), 64);
+        assert_eq!(p.max_act(), 20);
+    }
+
+    #[test]
+    fn validation_rejects_weak_threshold_margin() {
+        let p = TwiceParams::paper_default().with_th_rh(40_000);
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("N_th/4"));
+    }
+
+    #[test]
+    fn validation_rejects_vanishing_th_pi() {
+        let mut p = TwiceParams::paper_default();
+        p.th_rh = 4_096; // below maxlife 8192
+        p.n_th = 139_000;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn th_pi_floors_but_never_vanishes() {
+        let mut p = TwiceParams::fast_test();
+        p.th_rh = 100; // 100/64 -> 1
+        assert_eq!(p.th_pi(), 1);
+    }
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(32_767), 15);
+    }
+}

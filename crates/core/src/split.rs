@@ -1,0 +1,352 @@
+//! The split short/long-entry table organization (§6.2).
+//!
+//! Not every entry needs a 15-bit `act_cnt`: only rows that keep up with
+//! `thPI` can survive a pruning interval, so an entry inserted in the
+//! *current* PI needs just `log2(thPI)` count bits until it either proves
+//! itself (reaching `thPI` activations → promoted to a long entry) or is
+//! pruned. Short entries carry no `life` field either — their life is 1 by
+//! construction, which is exactly the field layout that reproduces the
+//! paper's 2.71 KB / "13% less storage" arithmetic.
+//!
+//! Sizing (paper, Table 2 parameters): 124 short + 429 long. A subtlety
+//! the paper leaves implicit: up to `maxact` (165) fresh sub-`thPI`
+//! entries can exist at once — more than the short sub-table holds — so
+//! fresh entries **spill into free long slots** when the short sub-table
+//! is full; the totals still respect the §4.4 bound (165 fresh + 388
+//! survivors = 553 = 124 + 429). Symmetrically, a promotion that finds
+//! the long sub-table full swaps with a spilled fresh entry.
+
+use crate::entry::TableEntry;
+use crate::table::{CounterTable, RecordOutcome};
+use std::collections::HashMap;
+use twice_common::RowId;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Short(usize),
+    Long(usize),
+}
+
+/// A TWiCe table split into short (2-bit-count, life-free) and long
+/// (full-width) entry sub-tables.
+#[derive(Debug, Clone)]
+pub struct SplitTwice {
+    th_pi: u64,
+    short: Vec<Option<TableEntry>>,
+    long: Vec<Option<TableEntry>>,
+    short_free: Vec<usize>,
+    long_free: Vec<usize>,
+    index: HashMap<u32, Loc>,
+    /// Promotions short → long performed.
+    promotions: u64,
+    /// Fresh inserts that spilled into the long sub-table.
+    spills: u64,
+}
+
+impl SplitTwice {
+    /// Creates a split table with `short_capacity` + `long_capacity`
+    /// slots, promoting entries at `th_pi` activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity or `th_pi` is zero.
+    pub fn new(short_capacity: usize, long_capacity: usize, th_pi: u64) -> SplitTwice {
+        assert!(short_capacity > 0 && long_capacity > 0, "capacities must be non-zero");
+        assert!(th_pi > 0, "thPI must be non-zero");
+        SplitTwice {
+            th_pi,
+            short: vec![None; short_capacity],
+            long: vec![None; long_capacity],
+            short_free: (0..short_capacity).rev().collect(),
+            long_free: (0..long_capacity).rev().collect(),
+            index: HashMap::new(),
+            promotions: 0,
+            spills: 0,
+        }
+    }
+
+    /// Short-sub-table slots.
+    #[inline]
+    pub fn short_capacity(&self) -> usize {
+        self.short.len()
+    }
+
+    /// Long-sub-table slots.
+    #[inline]
+    pub fn long_capacity(&self) -> usize {
+        self.long.len()
+    }
+
+    /// Promotions performed so far.
+    #[inline]
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Fresh inserts that spilled into long slots so far.
+    #[inline]
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    fn remove_loc(&mut self, row: RowId, loc: Loc) {
+        self.index.remove(&row.0);
+        match loc {
+            Loc::Short(i) => {
+                self.short[i] = None;
+                self.short_free.push(i);
+            }
+            Loc::Long(i) => {
+                self.long[i] = None;
+                self.long_free.push(i);
+            }
+        }
+    }
+
+    /// Moves the short entry at `i` into the long sub-table.
+    /// Returns `false` when no room could be made.
+    fn promote(&mut self, i: usize) -> bool {
+        let entry = self.short[i].expect("promote target must be valid");
+        if let Some(slot) = self.long_free.pop() {
+            self.long[slot] = Some(entry);
+            self.short[i] = None;
+            self.short_free.push(i);
+            self.index.insert(entry.row.0, Loc::Long(slot));
+            self.promotions += 1;
+            return true;
+        }
+        // Long full: swap with a spilled fresh entry (life 1, below thPI).
+        let victim = self.long.iter().position(|e| {
+            e.map(|e| e.life == 1 && e.act_cnt < self.th_pi) == Some(true)
+        });
+        let Some(slot) = victim else { return false };
+        let spilled = self.long[slot].expect("victim slot must be valid");
+        self.long[slot] = Some(entry);
+        self.short[i] = Some(spilled);
+        self.index.insert(entry.row.0, Loc::Long(slot));
+        self.index.insert(spilled.row.0, Loc::Short(i));
+        self.promotions += 1;
+        true
+    }
+}
+
+impl CounterTable for SplitTwice {
+    fn record_act(&mut self, row: RowId) -> RecordOutcome {
+        if let Some(&loc) = self.index.get(&row.0) {
+            let act_cnt = match loc {
+                Loc::Short(i) => {
+                    let e = self.short[i].as_mut().expect("indexed slot must be valid");
+                    e.act_cnt += 1;
+                    let cnt = e.act_cnt;
+                    if cnt >= self.th_pi && !self.promote(i) {
+                        // Defensive: cannot represent the count in a short
+                        // entry and no long slot is available.
+                        return RecordOutcome::TableFull;
+                    }
+                    cnt
+                }
+                Loc::Long(i) => {
+                    let e = self.long[i].as_mut().expect("indexed slot must be valid");
+                    e.act_cnt += 1;
+                    e.act_cnt
+                }
+            };
+            return RecordOutcome::Counted { act_cnt };
+        }
+        // Fresh insert: short first, spill to long.
+        if let Some(i) = self.short_free.pop() {
+            self.short[i] = Some(TableEntry::new(row));
+            self.index.insert(row.0, Loc::Short(i));
+            return RecordOutcome::Counted { act_cnt: 1 };
+        }
+        if let Some(i) = self.long_free.pop() {
+            self.long[i] = Some(TableEntry::new(row));
+            self.index.insert(row.0, Loc::Long(i));
+            self.spills += 1;
+            return RecordOutcome::Counted { act_cnt: 1 };
+        }
+        RecordOutcome::TableFull
+    }
+
+    fn remove(&mut self, row: RowId) {
+        if let Some(&loc) = self.index.get(&row.0) {
+            self.remove_loc(row, loc);
+        }
+    }
+
+    fn prune(&mut self, th_pi: u64) {
+        // Short entries have life 1; survivors (act_cnt >= thPI) would have
+        // been promoted already when thPI matches construction, but apply
+        // the rule faithfully for robustness: survivors age into long.
+        for i in 0..self.short.len() {
+            let Some(e) = self.short[i] else { continue };
+            match e.pruned(th_pi) {
+                Some(aged) => {
+                    if let Some(slot) = self.long_free.pop() {
+                        self.long[slot] = Some(aged);
+                        self.short[i] = None;
+                        self.short_free.push(i);
+                        self.index.insert(aged.row.0, Loc::Long(slot));
+                    } else {
+                        // Keep in place; still tracked correctly.
+                        self.short[i] = Some(aged);
+                    }
+                }
+                None => self.remove_loc(e.row, Loc::Short(i)),
+            }
+        }
+        for i in 0..self.long.len() {
+            let Some(e) = self.long[i] else { continue };
+            match e.pruned(th_pi) {
+                Some(aged) => self.long[i] = Some(aged),
+                None => self.remove_loc(e.row, Loc::Long(i)),
+            }
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.index.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.short.len() + self.long.len()
+    }
+
+    fn get(&self, row: RowId) -> Option<TableEntry> {
+        self.index.get(&row.0).and_then(|&loc| match loc {
+            Loc::Short(i) => self.short[i],
+            Loc::Long(i) => self.long[i],
+        })
+    }
+
+    fn entries(&self) -> Vec<TableEntry> {
+        self.short
+            .iter()
+            .chain(self.long.iter())
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    fn clear(&mut self) {
+        self.short.iter_mut().for_each(|s| *s = None);
+        self.long.iter_mut().for_each(|s| *s = None);
+        self.short_free = (0..self.short.len()).rev().collect();
+        self.long_free = (0..self.long.len()).rev().collect();
+        self.index.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::conformance;
+
+    #[test]
+    fn basic_contract() {
+        conformance::check_basic_contract(&mut SplitTwice::new(8, 8, 4));
+    }
+
+    #[test]
+    fn overflow_reporting() {
+        conformance::check_overflow_reporting(&mut SplitTwice::new(4, 4, 4));
+    }
+
+    #[test]
+    fn fourth_activation_promotes_to_long() {
+        let mut t = SplitTwice::new(4, 4, 4);
+        for i in 1..=3 {
+            assert_eq!(
+                t.record_act(RowId(9)),
+                RecordOutcome::Counted { act_cnt: i }
+            );
+            assert_eq!(t.promotions(), 0, "stays short below thPI");
+        }
+        t.record_act(RowId(9));
+        assert_eq!(t.promotions(), 1);
+        // Counting continues past the 2-bit range in the long entry.
+        for i in 5..=20 {
+            assert_eq!(
+                t.record_act(RowId(9)),
+                RecordOutcome::Counted { act_cnt: i }
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_entries_spill_into_long_when_short_full() {
+        let mut t = SplitTwice::new(2, 4, 4);
+        for r in 0..4 {
+            assert!(matches!(
+                t.record_act(RowId(r)),
+                RecordOutcome::Counted { act_cnt: 1 }
+            ));
+        }
+        assert_eq!(t.spills(), 2);
+        assert_eq!(t.occupancy(), 4);
+    }
+
+    #[test]
+    fn promotion_swaps_with_spilled_entry_when_long_full() {
+        let mut t = SplitTwice::new(2, 2, 4);
+        // Fill long with spilled fresh entries.
+        t.record_act(RowId(0));
+        t.record_act(RowId(1)); // short full
+        t.record_act(RowId(2));
+        t.record_act(RowId(3)); // long full of spills
+        // Promote row 0: must swap with a spilled long entry.
+        for _ in 0..3 {
+            t.record_act(RowId(0));
+        }
+        assert_eq!(t.promotions(), 1);
+        let e = t.get(RowId(0)).unwrap();
+        assert_eq!(e.act_cnt, 4);
+        // All four rows still tracked.
+        assert_eq!(t.occupancy(), 4);
+        for r in 0..4 {
+            assert!(t.get(RowId(r)).is_some(), "row {r} lost in swap");
+        }
+    }
+
+    #[test]
+    fn prune_clears_sub_thpi_entries_and_ages_survivors() {
+        let mut t = SplitTwice::new(4, 4, 4);
+        t.record_act(RowId(1)); // 1 act: pruned
+        for _ in 0..4 {
+            t.record_act(RowId(2)); // promoted at 4
+        }
+        t.prune(4);
+        assert_eq!(t.get(RowId(1)), None);
+        let e = t.get(RowId(2)).unwrap();
+        assert_eq!((e.act_cnt, e.life), (4, 2));
+    }
+
+    #[test]
+    fn behaves_like_fa_on_random_streams() {
+        use crate::fa::FaTwice;
+        use twice_common::rng::SplitMix64;
+        let mut fa = FaTwice::new(64);
+        let mut sp = SplitTwice::new(24, 40, 4);
+        let mut rng = SplitMix64::new(99);
+        for i in 0..5_000 {
+            let row = RowId(rng.next_below(40) as u32);
+            let a = fa.record_act(row);
+            let b = sp.record_act(row);
+            assert_eq!(a, b, "divergence at step {i}");
+            if rng.chance(0.01) {
+                fa.remove(row);
+                sp.remove(row);
+            }
+            if i % 200 == 199 {
+                fa.prune(4);
+                sp.prune(4);
+                assert_eq!(fa.occupancy(), sp.occupancy());
+            }
+        }
+        let mut fe = fa.entries();
+        let mut se = sp.entries();
+        fe.sort_by_key(|e| e.row);
+        se.sort_by_key(|e| e.row);
+        assert_eq!(fe, se);
+    }
+}

@@ -1,0 +1,133 @@
+//! The counter-table abstraction shared by all TWiCe organizations.
+//!
+//! fa-TWiCe ([`crate::fa`]), pa-TWiCe ([`crate::pa`]) and the split table
+//! ([`crate::split`]) are different *hardware layouts* of the same
+//! algorithmic object; they must make identical tracking decisions. The
+//! [`CounterTable`] trait captures that object, and the equivalence is
+//! property-tested in [`crate::engine`].
+
+use crate::entry::TableEntry;
+use twice_common::RowId;
+
+/// Outcome of recording one activation in a counter table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// The row's entry now holds `act_cnt` activations (1 if freshly
+    /// inserted).
+    Counted {
+        /// The entry's activation count after this ACT.
+        act_cnt: u64,
+    },
+    /// No free entry was available. Cannot occur for tables sized by
+    /// [`crate::bound::CapacityBound`] under DDR-legal streams (that is
+    /// the paper's §4.4 claim, and it is property-tested); the engine
+    /// treats it as an immediate detection as a defensive fallback.
+    TableFull,
+}
+
+/// A bounded table of per-row activation counters with TWiCe pruning.
+pub trait CounterTable {
+    /// Records one ACT on `row`: increments its entry, inserting a fresh
+    /// one if the row is untracked.
+    fn record_act(&mut self, row: RowId) -> RecordOutcome;
+
+    /// Removes the entry for `row` (after the engine issues its ARR).
+    fn remove(&mut self, row: RowId);
+
+    /// End-of-PI pruning (§4.2 step 4): drops entries with
+    /// `act_cnt < thPI × life`, ages the survivors.
+    fn prune(&mut self, th_pi: u64);
+
+    /// Number of valid entries.
+    fn occupancy(&self) -> usize;
+
+    /// Total entry slots.
+    fn capacity(&self) -> usize;
+
+    /// The entry tracking `row`, if any.
+    fn get(&self, row: RowId) -> Option<TableEntry>;
+
+    /// Snapshot of all valid entries (order unspecified).
+    fn entries(&self) -> Vec<TableEntry>;
+
+    /// Clears the table.
+    fn clear(&mut self);
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! A conformance suite every organization's tests run.
+
+    use super::*;
+
+    /// Exercises the shared behavioral contract on `table` (assumed empty,
+    /// capacity ≥ 8, with thPI = 4 semantics supplied by the caller).
+    pub(crate) fn check_basic_contract(table: &mut dyn CounterTable) {
+        assert_eq!(table.occupancy(), 0);
+        // Fresh insert counts 1.
+        assert_eq!(
+            table.record_act(RowId(10)),
+            RecordOutcome::Counted { act_cnt: 1 }
+        );
+        assert_eq!(table.occupancy(), 1);
+        // Increment.
+        assert_eq!(
+            table.record_act(RowId(10)),
+            RecordOutcome::Counted { act_cnt: 2 }
+        );
+        let e = table.get(RowId(10)).unwrap();
+        assert_eq!(e.act_cnt, 2);
+        assert_eq!(e.life, 1);
+        // Independent rows.
+        table.record_act(RowId(11));
+        assert_eq!(table.occupancy(), 2);
+        // Prune with thPI=4: row 10 has 2 (<4), row 11 has 1 (<4): both go.
+        table.prune(4);
+        assert_eq!(table.occupancy(), 0);
+        assert_eq!(table.get(RowId(10)), None);
+
+        // Survivor ages.
+        for _ in 0..4 {
+            table.record_act(RowId(12));
+        }
+        table.prune(4);
+        let e = table.get(RowId(12)).unwrap();
+        assert_eq!(e.life, 2);
+        assert_eq!(e.act_cnt, 4);
+        // Needs 8 total by next prune: 3 more is not enough.
+        for _ in 0..3 {
+            table.record_act(RowId(12));
+        }
+        table.prune(4);
+        assert_eq!(table.get(RowId(12)), None);
+
+        // Remove.
+        table.record_act(RowId(13));
+        table.remove(RowId(13));
+        assert_eq!(table.get(RowId(13)), None);
+        assert_eq!(table.occupancy(), 0);
+
+        // Clear.
+        table.record_act(RowId(14));
+        table.clear();
+        assert_eq!(table.occupancy(), 0);
+    }
+
+    /// Fills the table to capacity and checks `TableFull` is reported.
+    pub(crate) fn check_overflow_reporting(table: &mut dyn CounterTable) {
+        let cap = table.capacity();
+        for i in 0..cap {
+            assert!(matches!(
+                table.record_act(RowId(i as u32)),
+                RecordOutcome::Counted { .. }
+            ));
+        }
+        assert_eq!(table.occupancy(), cap);
+        assert_eq!(table.record_act(RowId(cap as u32)), RecordOutcome::TableFull);
+        // Existing rows still count fine.
+        assert!(matches!(
+            table.record_act(RowId(0)),
+            RecordOutcome::Counted { act_cnt: 2 }
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests on the counter-table data structures themselves: all
+//! three organizations are observationally equivalent to a reference
+//! model under arbitrary operation sequences that respect the per-PI
+//! activation budget.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use twice::fa::FaTwice;
+use twice::pa::PaTwice;
+use twice::split::SplitTwice;
+use twice::table::{CounterTable, RecordOutcome};
+use twice_common::RowId;
+
+/// A trivially correct reference: unbounded map + the pruning rule.
+#[derive(Default)]
+struct ModelTable {
+    entries: HashMap<u32, (u64, u64)>, // row -> (act_cnt, life)
+}
+
+impl ModelTable {
+    fn record_act(&mut self, row: RowId) -> u64 {
+        let e = self.entries.entry(row.0).or_insert((0, 1));
+        e.0 += 1;
+        e.0
+    }
+    fn remove(&mut self, row: RowId) {
+        self.entries.remove(&row.0);
+    }
+    fn prune(&mut self, th_pi: u64) {
+        self.entries.retain(|_, (cnt, life)| {
+            if *cnt >= th_pi * *life {
+                *life += 1;
+                true
+            } else {
+                false
+            }
+        });
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Act(u8),
+    Remove(u8),
+}
+
+/// Ops between prunes bounded by maxact = 20 (fast-test physics).
+fn script() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    let op = prop_oneof![
+        8 => any::<u8>().prop_map(|r| Op::Act(r % 48)),
+        1 => any::<u8>().prop_map(|r| Op::Remove(r % 48)),
+    ];
+    proptest::collection::vec(proptest::collection::vec(op, 0..20), 0..60)
+}
+
+fn run_script<T: CounterTable>(table: &mut T, script: &[Vec<Op>], th_pi: u64) -> Vec<(u32, u64, u64)> {
+    let mut model = ModelTable::default();
+    for pi in script {
+        for op in pi {
+            match op {
+                Op::Act(r) => {
+                    let row = RowId(u32::from(*r));
+                    let outcome = table.record_act(row);
+                    let expected = model.record_act(row);
+                    assert_eq!(
+                        outcome,
+                        RecordOutcome::Counted { act_cnt: expected },
+                        "count mismatch on row {r}"
+                    );
+                }
+                Op::Remove(r) => {
+                    let row = RowId(u32::from(*r));
+                    table.remove(row);
+                    model.remove(row);
+                }
+            }
+        }
+        table.prune(th_pi);
+        model.prune(th_pi);
+        assert_eq!(table.occupancy(), model.entries.len(), "occupancy diverged");
+    }
+    let mut entries: Vec<(u32, u64, u64)> = table
+        .entries()
+        .into_iter()
+        .map(|e| (e.row.0, e.act_cnt, e.life))
+        .collect();
+    entries.sort_unstable();
+    let mut expected: Vec<(u32, u64, u64)> = model
+        .entries
+        .iter()
+        .map(|(r, (c, l))| (*r, *c, *l))
+        .collect();
+    expected.sort_unstable();
+    assert_eq!(entries, expected, "final table contents diverged");
+    entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fa_matches_the_reference_model(s in script()) {
+        run_script(&mut FaTwice::new(128), &s, 4);
+    }
+
+    #[test]
+    fn pa_matches_the_reference_model(s in script()) {
+        run_script(&mut PaTwice::new(8, 16), &s, 4);
+    }
+
+    #[test]
+    fn split_matches_the_reference_model(s in script()) {
+        // Sized like the bound would: shorts for fresh entries, longs
+        // for survivors/promotions, with spill room.
+        run_script(&mut SplitTwice::new(24, 104, 4), &s, 4);
+    }
+
+    #[test]
+    fn all_three_agree_with_each_other(s in script()) {
+        let a = run_script(&mut FaTwice::new(128), &s, 4);
+        let b = run_script(&mut PaTwice::new(8, 16), &s, 4);
+        let c = run_script(&mut SplitTwice::new(24, 104, 4), &s, 4);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+}

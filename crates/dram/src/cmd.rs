@@ -1,0 +1,136 @@
+//! The DRAM command vocabulary.
+//!
+//! Matches §2.4 of the paper plus the newly proposed Adjacent Row Refresh
+//! (§5.2). Banks are addressed by their index *within the rank* here; the
+//! system-global flat [`twice_common::BankId`] is composed one level up.
+
+use std::fmt;
+use twice_common::{ColId, RowId};
+
+/// One DRAM command as driven on the command/address bus of a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Open `row` in `bank` (ACT).
+    Activate {
+        /// Bank index within the rank.
+        bank: u16,
+        /// Logical (MC-visible) row index.
+        row: RowId,
+    },
+    /// Close the open row of `bank` (PRE).
+    Precharge {
+        /// Bank index within the rank.
+        bank: u16,
+    },
+    /// Read a column of the open row (RD).
+    Read {
+        /// Bank index within the rank.
+        bank: u16,
+        /// Column index.
+        col: ColId,
+    },
+    /// Write a column of the open row (WR).
+    Write {
+        /// Bank index within the rank.
+        bank: u16,
+        /// Column index.
+        col: ColId,
+    },
+    /// Per-bank auto-refresh (REF): refreshes the bank's next rowset and
+    /// occupies the bank for `tRFC`.
+    Refresh {
+        /// Bank index within the rank.
+        bank: u16,
+    },
+    /// Adjacent Row Refresh (ARR, §5.2): the device refreshes the rows
+    /// *physically* adjacent to `row`, resolving sparing/remapping
+    /// internally, then returns the bank to the precharged state.
+    /// Takes `2·tRC + tRP`.
+    AdjacentRowRefresh {
+        /// Bank index within the rank.
+        bank: u16,
+        /// The aggressor row whose physical neighbors are refreshed.
+        row: RowId,
+    },
+}
+
+impl DramCommand {
+    /// The bank this command targets.
+    #[inline]
+    pub fn bank(&self) -> u16 {
+        match *self {
+            DramCommand::Activate { bank, .. }
+            | DramCommand::Precharge { bank }
+            | DramCommand::Read { bank, .. }
+            | DramCommand::Write { bank, .. }
+            | DramCommand::Refresh { bank }
+            | DramCommand::AdjacentRowRefresh { bank, .. } => bank,
+        }
+    }
+
+    /// Whether this command opens a row (counts toward tRRD/tFAW).
+    #[inline]
+    pub fn is_activate(&self) -> bool {
+        matches!(self, DramCommand::Activate { .. })
+    }
+
+    /// A short mnemonic (`ACT`, `PRE`, …) for logs and reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCommand::Activate { .. } => "ACT",
+            DramCommand::Precharge { .. } => "PRE",
+            DramCommand::Read { .. } => "RD",
+            DramCommand::Write { .. } => "WR",
+            DramCommand::Refresh { .. } => "REF",
+            DramCommand::AdjacentRowRefresh { .. } => "ARR",
+        }
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DramCommand::Activate { bank, row } => write!(f, "ACT b{bank} r{:#x}", row),
+            DramCommand::Precharge { bank } => write!(f, "PRE b{bank}"),
+            DramCommand::Read { bank, col } => write!(f, "RD b{bank} c{}", col.0),
+            DramCommand::Write { bank, col } => write!(f, "WR b{bank} c{}", col.0),
+            DramCommand::Refresh { bank } => write!(f, "REF b{bank}"),
+            DramCommand::AdjacentRowRefresh { bank, row } => {
+                write!(f, "ARR b{bank} r{:#x}", row)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_accessor_covers_all_variants() {
+        let cmds = [
+            DramCommand::Activate { bank: 3, row: RowId(1) },
+            DramCommand::Precharge { bank: 3 },
+            DramCommand::Read { bank: 3, col: ColId(0) },
+            DramCommand::Write { bank: 3, col: ColId(0) },
+            DramCommand::Refresh { bank: 3 },
+            DramCommand::AdjacentRowRefresh { bank: 3, row: RowId(1) },
+        ];
+        for c in cmds {
+            assert_eq!(c.bank(), 3, "{c}");
+        }
+    }
+
+    #[test]
+    fn only_activate_is_activate() {
+        assert!(DramCommand::Activate { bank: 0, row: RowId(0) }.is_activate());
+        assert!(!DramCommand::Refresh { bank: 0 }.is_activate());
+    }
+
+    #[test]
+    fn display_and_mnemonics() {
+        let arr = DramCommand::AdjacentRowRefresh { bank: 1, row: RowId(0x50) };
+        assert_eq!(arr.mnemonic(), "ARR");
+        assert_eq!(arr.to_string(), "ARR b1 r0x50");
+    }
+}

@@ -1,0 +1,295 @@
+//! In-DRAM ECC: a SEC-DED Hamming(72,64) codec (extension).
+//!
+//! §2.2 names two cell-repair techniques: row sparing (modeled in
+//! [`crate::remap`]) and **in-DRAM ECC**, "which corrects up to a few
+//! errors in a block of bits (called codeword)". This module implements
+//! the standard single-error-correct / double-error-detect extended
+//! Hamming code over 64 data bits — the codeword geometry real in-DRAM
+//! ECC uses — so the interaction the row-hammer literature cares about
+//! becomes measurable: ECC absorbs a *lone* disturbance flip, but
+//! hammering past the threshold produces multi-bit codeword errors that
+//! are at best detected and at worst silently miscorrected. ECC is a
+//! reliability patch, not a row-hammer defense; TWiCe-style prevention
+//! is still required.
+//!
+//! Layout: 72-bit codeword; check bits at positions 1, 2, 4, 8, 16, 32,
+//! 64 (Hamming) plus an overall parity bit at position 0; data bits fill
+//! the remaining positions in ascending order.
+
+/// A 72-bit extended-Hamming codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Codeword(u128);
+
+/// Outcome of decoding a (possibly corrupted) codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// No error.
+    Clean,
+    /// A single-bit error was corrected at codeword position `position`.
+    Corrected {
+        /// The corrected codeword bit position (0..72).
+        position: u8,
+    },
+    /// A double-bit error was detected; data is unrecoverable.
+    Uncorrectable,
+}
+
+const BITS: u8 = 72;
+const CHECK_POSITIONS: [u8; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+fn is_check_position(p: u8) -> bool {
+    p == 0 || p.is_power_of_two()
+}
+
+/// Encodes 64 data bits into a 72-bit codeword.
+pub fn encode(data: u64) -> Codeword {
+    let mut word: u128 = 0;
+    // Scatter data bits into non-check positions.
+    let mut d = 0;
+    for p in 0..BITS {
+        if !is_check_position(p) {
+            if data >> d & 1 == 1 {
+                word |= 1 << p;
+            }
+            d += 1;
+        }
+    }
+    debug_assert_eq!(d, 64);
+    // Hamming check bits: parity over positions with that bit set.
+    for &c in &CHECK_POSITIONS {
+        let mut parity = 0u8;
+        for p in 1..BITS {
+            if p & c != 0 && word >> p & 1 == 1 {
+                parity ^= 1;
+            }
+        }
+        if parity == 1 {
+            word |= 1 << c;
+        }
+    }
+    // Overall parity at position 0: make total parity even.
+    if (word.count_ones() % 2) == 1 {
+        word |= 1;
+    }
+    Codeword(word)
+}
+
+impl Codeword {
+    /// Flips codeword bit `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= 72`.
+    pub fn flip(&mut self, position: u8) {
+        assert!(position < BITS, "codeword has 72 bits");
+        self.0 ^= 1 << position;
+    }
+
+    /// The raw 72 bits.
+    pub fn raw(&self) -> u128 {
+        self.0
+    }
+}
+
+/// Extracts the 64 data bits from a codeword (no checking).
+fn extract(word: u128) -> u64 {
+    let mut data = 0u64;
+    let mut d = 0;
+    for p in 0..BITS {
+        if !is_check_position(p) {
+            if word >> p & 1 == 1 {
+                data |= 1 << d;
+            }
+            d += 1;
+        }
+    }
+    data
+}
+
+/// Decodes a codeword, correcting a single-bit error if present.
+///
+/// Returns the (best-effort) data and the outcome. On
+/// [`EccOutcome::Uncorrectable`] the data is whatever extraction yields
+/// and must not be trusted.
+pub fn decode(cw: Codeword) -> (u64, EccOutcome) {
+    let mut word = cw.0;
+    // Syndrome: XOR of positions of bits that fail their parity group ==
+    // recomputing each check bit and XORing position weights.
+    let mut syndrome: u8 = 0;
+    for &c in &CHECK_POSITIONS {
+        let mut parity = 0u8;
+        for p in 1..BITS {
+            if p & c != 0 && word >> p & 1 == 1 {
+                parity ^= 1;
+            }
+        }
+        if parity == 1 {
+            syndrome |= c;
+        }
+    }
+    let overall_even = word.count_ones().is_multiple_of(2);
+    match (syndrome, overall_even) {
+        (0, true) => (extract(word), EccOutcome::Clean),
+        (0, false) => {
+            // The overall parity bit itself flipped.
+            word ^= 1;
+            (extract(word), EccOutcome::Corrected { position: 0 })
+        }
+        (s, false) if s < BITS => {
+            word ^= 1 << s;
+            (extract(word), EccOutcome::Corrected { position: s })
+        }
+        _ => (extract(word), EccOutcome::Uncorrectable),
+    }
+}
+
+/// Classifies what in-DRAM ECC would make of a row's flipped bits:
+/// groups row bit-offsets into 64-bit data codewords and decodes each.
+///
+/// Returns `(corrected_codewords, uncorrectable_codewords,
+/// silent_codewords)` — "silent" meaning ≥3 flips that alias to a clean
+/// or miscorrected decode.
+pub fn judge_flips(flipped_bits: &[u64]) -> (usize, usize, usize) {
+    use std::collections::HashMap;
+    let mut per_word: HashMap<u64, Vec<u8>> = HashMap::new();
+    for &bit in flipped_bits {
+        // Map a row data-bit offset to (codeword index, data bit).
+        per_word.entry(bit / 64).or_default().push((bit % 64) as u8);
+    }
+    let mut corrected = 0;
+    let mut uncorrectable = 0;
+    let mut silent = 0;
+    for flips in per_word.values() {
+        // Encode an arbitrary data value; apply flips to the *data bits*
+        // of the codeword; decode.
+        let data = 0xA5A5_5A5A_F00D_BEEFu64;
+        let mut cw = encode(data);
+        for &f in flips {
+            cw.flip(data_bit_position(f));
+        }
+        let (out, outcome) = decode(cw);
+        match outcome {
+            EccOutcome::Clean if out == data => corrected += 0, // impossible with >0 flips
+            EccOutcome::Clean => silent += 1,
+            EccOutcome::Corrected { .. } if out == data => corrected += 1,
+            EccOutcome::Corrected { .. } => silent += 1,
+            EccOutcome::Uncorrectable => uncorrectable += 1,
+        }
+    }
+    (corrected, uncorrectable, silent)
+}
+
+/// The codeword position of data bit `d` (inverse of the scatter order).
+fn data_bit_position(d: u8) -> u8 {
+    let mut seen = 0;
+    for p in 0..BITS {
+        if !is_check_position(p) {
+            if seen == d {
+                return p;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("data bit index must be < 64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twice_common::rng::SplitMix64;
+
+    #[test]
+    fn clean_round_trip() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..200 {
+            let data = rng.next_u64();
+            let (out, outcome) = decode(encode(data));
+            assert_eq!(out, data);
+            assert_eq!(outcome, EccOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        let data = 0xDEAD_BEEF_0123_4567u64;
+        for pos in 0..72u8 {
+            let mut cw = encode(data);
+            cw.flip(pos);
+            let (out, outcome) = decode(cw);
+            assert_eq!(out, data, "data corrupted after flip at {pos}");
+            assert_eq!(outcome, EccOutcome::Corrected { position: pos });
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected() {
+        let data = 0x0F0F_F0F0_AAAA_5555u64;
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..500 {
+            let a = rng.next_below(72) as u8;
+            let mut b = rng.next_below(72) as u8;
+            while b == a {
+                b = rng.next_below(72) as u8;
+            }
+            let mut cw = encode(data);
+            cw.flip(a);
+            cw.flip(b);
+            let (_, outcome) = decode(cw);
+            assert_eq!(
+                outcome,
+                EccOutcome::Uncorrectable,
+                "double error ({a},{b}) must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn triple_errors_can_be_silent_or_miscorrected() {
+        // SEC-DED's known blind spot: 3 flips produce an odd overall
+        // parity and a plausible syndrome — a miscorrection.
+        let data = 0x1111_2222_3333_4444u64;
+        let mut miscorrections = 0;
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..300 {
+            let mut cw = encode(data);
+            let mut picked = std::collections::HashSet::new();
+            while picked.len() < 3 {
+                picked.insert(rng.next_below(72) as u8);
+            }
+            for &p in &picked {
+                cw.flip(p);
+            }
+            let (out, outcome) = decode(cw);
+            if !matches!(outcome, EccOutcome::Uncorrectable) && out != data {
+                miscorrections += 1;
+            }
+        }
+        assert!(
+            miscorrections > 0,
+            "triple flips must sometimes silently corrupt"
+        );
+    }
+
+    #[test]
+    fn judge_classifies_hammer_damage() {
+        // One lone flip: corrected.
+        let (c, u, s) = judge_flips(&[5]);
+        assert_eq!((c, u, s), (1, 0, 0));
+        // Two flips in the same 64-bit word: uncorrectable.
+        let (c, u, s) = judge_flips(&[5, 6]);
+        assert_eq!((c, u, s), (0, 1, 0));
+        // Two flips in different words: both corrected.
+        let (c, u, s) = judge_flips(&[5, 64 + 6]);
+        assert_eq!((c, u, s), (2, 0, 0));
+    }
+
+    #[test]
+    fn data_bit_positions_are_bijective() {
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..64u8 {
+            let p = data_bit_position(d);
+            assert!(!is_check_position(p));
+            assert!(seen.insert(p));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! DDR4 operation energy model.
+//!
+//! Encodes the DRAM-side energy figures of Table 3 (derived by the paper
+//! from the Micron DDR4 system-power calculator): an ACT+PRE pair costs
+//! 11.49 nJ and a per-bank refresh costs 132.25 nJ. Read/write burst
+//! energies are added from the same calculator family so full-system
+//! energy accounting is possible; they do not affect any paper claim.
+//!
+//! All energies are integer **picojoules** to keep accumulation exact.
+
+/// Energy cost (pJ) of each DRAM operation class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramEnergyModel {
+    /// One ACT+PRE pair (row cycle), pJ.
+    pub act_pre_pj: u64,
+    /// One per-bank auto-refresh (tRFC), pJ.
+    pub refresh_bank_pj: u64,
+    /// One read burst, pJ.
+    pub read_pj: u64,
+    /// One write burst, pJ.
+    pub write_pj: u64,
+}
+
+impl DramEnergyModel {
+    /// The DDR4 figures used in Table 3.
+    pub fn ddr4() -> DramEnergyModel {
+        DramEnergyModel {
+            act_pre_pj: 11_490,
+            refresh_bank_pj: 132_250,
+            read_pj: 5_200,
+            write_pj: 5_400,
+        }
+    }
+
+    /// Energy (pJ) of an ARR operation: the aggressor's precharge is part
+    /// of its own row cycle; the ARR itself performs up to two internal
+    /// ACT+PRE pairs on the victim rows.
+    #[inline]
+    pub fn arr_pj(&self, victims: u32) -> u64 {
+        self.act_pre_pj * u64::from(victims)
+    }
+
+    /// Total energy (pJ) for an operation mix.
+    pub fn total_pj(&self, acts: u64, refreshes: u64, reads: u64, writes: u64) -> u64 {
+        acts * self.act_pre_pj
+            + refreshes * self.refresh_bank_pj
+            + reads * self.read_pj
+            + writes * self.write_pj
+    }
+}
+
+impl Default for DramEnergyModel {
+    fn default() -> Self {
+        DramEnergyModel::ddr4()
+    }
+}
+
+/// Formats picojoules as nanojoules with two decimals (Table 3 style).
+pub fn format_nj(pj: u64) -> String {
+    format!("{:.2}", pj as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_constants() {
+        let m = DramEnergyModel::ddr4();
+        assert_eq!(format_nj(m.act_pre_pj), "11.49");
+        assert_eq!(format_nj(m.refresh_bank_pj), "132.25");
+    }
+
+    #[test]
+    fn arr_energy_scales_with_victims() {
+        let m = DramEnergyModel::ddr4();
+        assert_eq!(m.arr_pj(2), 2 * m.act_pre_pj);
+        assert_eq!(m.arr_pj(1), m.act_pre_pj);
+        assert_eq!(m.arr_pj(0), 0);
+    }
+
+    #[test]
+    fn totals_sum_linearly() {
+        let m = DramEnergyModel::ddr4();
+        assert_eq!(
+            m.total_pj(2, 1, 3, 4),
+            2 * m.act_pre_pj + m.refresh_bank_pj + 3 * m.read_pj + 4 * m.write_pj
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! DRAM simulator error types.
+
+use std::error::Error;
+use std::fmt;
+use twice_common::{RowId, Span, Time};
+
+/// Which timing parameter a premature command violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimingKind {
+    /// ACT-to-ACT to the same bank (`tRC`).
+    Trc,
+    /// ACT-to-ACT across banks of a rank (`tRRD`).
+    Trrd,
+    /// Four-activate window (`tFAW`).
+    Tfaw,
+    /// ACT-to-column command (`tRCD`).
+    Trcd,
+    /// ACT-to-PRE minimum (`tRAS`).
+    Tras,
+    /// PRE-to-ACT (`tRP`).
+    Trp,
+    /// Refresh occupancy (`tRFC`).
+    Trfc,
+    /// Adjacent-row-refresh occupancy (`2·tRC + tRP`).
+    Arr,
+}
+
+impl fmt::Display for TimingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TimingKind::Trc => "tRC",
+            TimingKind::Trrd => "tRRD",
+            TimingKind::Tfaw => "tFAW",
+            TimingKind::Trcd => "tRCD",
+            TimingKind::Tras => "tRAS",
+            TimingKind::Trp => "tRP",
+            TimingKind::Trfc => "tRFC",
+            TimingKind::Arr => "ARR busy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A command arrived before the bank/rank was ready for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingViolation {
+    /// The constraint that was violated.
+    pub kind: TimingKind,
+    /// The earliest instant at which the command would have been legal.
+    pub ready_at: Time,
+    /// When the command was actually issued.
+    pub issued_at: Time,
+}
+
+impl TimingViolation {
+    /// How early the command was.
+    pub fn early_by(&self) -> Span {
+        self.ready_at.saturating_since(self.issued_at)
+    }
+}
+
+impl fmt::Display for TimingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} violation: issued at {}, ready at {}",
+            self.kind, self.issued_at, self.ready_at
+        )
+    }
+}
+
+impl Error for TimingViolation {}
+
+/// Any error the DRAM device model can report for an issued command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramError {
+    /// A timing constraint was violated.
+    Timing(TimingViolation),
+    /// A column command or precharge-less ACT hit a bank in the wrong state
+    /// (e.g. RD with no open row, ACT with a row already open).
+    BadState {
+        /// A static description of the conflict.
+        reason: &'static str,
+    },
+    /// The addressed row does not exist in the bank.
+    NoSuchRow {
+        /// The offending row.
+        row: RowId,
+    },
+    /// The addressed bank does not exist in the rank.
+    NoSuchBank {
+        /// The offending bank index.
+        bank: u16,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::Timing(v) => write!(f, "{v}"),
+            DramError::BadState { reason } => write!(f, "bad bank state: {reason}"),
+            DramError::NoSuchRow { row } => write!(f, "no such row: {row}"),
+            DramError::NoSuchBank { bank } => write!(f, "no such bank: {bank}"),
+        }
+    }
+}
+
+impl Error for DramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DramError::Timing(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<TimingViolation> for DramError {
+    fn from(v: TimingViolation) -> Self {
+        DramError::Timing(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twice_common::Span;
+
+    #[test]
+    fn violation_reports_earliness() {
+        let v = TimingViolation {
+            kind: TimingKind::Trc,
+            ready_at: Time::ZERO + Span::from_ns(45),
+            issued_at: Time::ZERO + Span::from_ns(10),
+        };
+        assert_eq!(v.early_by(), Span::from_ns(35));
+        assert!(v.to_string().contains("tRC"));
+    }
+
+    #[test]
+    fn error_is_std_error_with_source() {
+        let v = TimingViolation {
+            kind: TimingKind::Tfaw,
+            ready_at: Time::ZERO,
+            issued_at: Time::ZERO,
+        };
+        let e: DramError = v.into();
+        assert!(Error::source(&e).is_some());
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DramError>();
+    }
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(DramError::BadState { reason: "x" }.to_string().contains("x"));
+        assert!(DramError::NoSuchRow { row: RowId(5) }.to_string().contains("RowId(5)"));
+        assert!(DramError::NoSuchBank { bank: 9 }.to_string().contains('9'));
+    }
+}

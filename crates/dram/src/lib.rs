@@ -1,0 +1,66 @@
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+//! A DDR4 DRAM device simulator with a row-hammer fault model.
+//!
+//! This crate is the substrate the TWiCe paper assumes: a main-memory
+//! back-end that enforces JEDEC timing (so the ACT-rate bounds TWiCe's
+//! proof relies on are physically real), models in-device **row sparing**
+//! (so logical and physical adjacency differ, motivating the ARR command),
+//! injects **row-hammer bit flips** when a victim's neighbors are activated
+//! beyond the disturbance threshold, and implements the paper's proposed
+//! **RCD extension**: the Adjacent Row Refresh command and the nack
+//! feedback path to the memory controller (§5.2).
+//!
+//! Module map:
+//!
+//! * [`cmd`] — the DRAM command vocabulary (ACT/PRE/RD/WR/REF/ARR).
+//! * [`bank`] — per-bank state machine and timing enforcement.
+//! * [`rank`] — rank-level tRRD/tFAW constraints.
+//! * [`remap`] — row sparing and physical-adjacency resolution.
+//! * [`hammer`] — the disturbance/bit-flip fault model.
+//! * [`refresh`] — rowset auto-refresh bookkeeping.
+//! * [`device`] — [`device::DramRank`], the aggregate device model.
+//! * [`rcd`] — the register clock driver hosting a defense, issuing ARR,
+//!   and nacking conflicting commands.
+//! * [`energy`] — the DDR4 energy model of Table 3.
+//! * [`stats`] — command/energy accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use twice_common::{Time, RowId};
+//! use twice_dram::device::{DramRank, RankConfig};
+//! use twice_dram::cmd::DramCommand;
+//!
+//! let mut rank = DramRank::new(RankConfig::for_test(1, 64));
+//! let t0 = Time::ZERO;
+//! rank.issue(DramCommand::Activate { bank: 0, row: RowId(3) }, t0).unwrap();
+//! // A second ACT to the same bank before tRC is a timing violation.
+//! let too_soon = t0 + twice_common::Span::from_ns(1);
+//! assert!(rank
+//!     .issue(DramCommand::Activate { bank: 0, row: RowId(4) }, too_soon)
+//!     .is_err());
+//! ```
+
+pub mod bank;
+pub mod cmd;
+pub mod data;
+pub mod device;
+pub mod ecc;
+pub mod energy;
+pub mod error;
+pub mod hammer;
+pub mod rank;
+pub mod rcd;
+pub mod refresh;
+pub mod remap;
+pub mod stats;
+
+pub use cmd::DramCommand;
+pub use device::{DramRank, RankConfig};
+pub use error::{DramError, TimingViolation};
+pub use data::RowIntegrity;
+pub use ecc::EccOutcome;
+pub use hammer::BitFlip;
+pub use rcd::{Rcd, RcdOutcome};

@@ -1,0 +1,341 @@
+//! Row sparing and physical-adjacency resolution.
+//!
+//! DRAM vendors replace faulty rows with spare rows at test time (§2.2);
+//! the remapping lives in fuses *inside* the device. Consequently a
+//! logical row index differing by one does **not** imply physical
+//! adjacency — the core argument for why the MC/RCD must not compute
+//! victim addresses and why the ARR command exists (§5.2).
+//!
+//! The model: a bank has `rows` *primary* physical rows (indices
+//! `0..rows`) followed by `spares` spare physical rows
+//! (`rows..rows+spares`). Logical row `i` occupies physical row `i`
+//! unless remapped, in which case it occupies one of the spares and
+//! physical row `i` is dead (disconnected).
+
+use std::collections::HashMap;
+use twice_common::rng::SplitMix64;
+use twice_common::RowId;
+
+/// A physical row index within a bank (including the spare region).
+pub type PhysRow = u32;
+
+/// Per-bank row-sparing table.
+#[derive(Debug, Clone)]
+pub struct RemapTable {
+    rows: u32,
+    spares: u32,
+    /// logical → spare physical (only for remapped rows).
+    to_spare: HashMap<u32, PhysRow>,
+    /// spare physical → logical (inverse of `to_spare`).
+    from_spare: HashMap<PhysRow, u32>,
+}
+
+impl RemapTable {
+    /// An identity table: no rows are remapped.
+    pub fn identity(rows: u32) -> RemapTable {
+        RemapTable {
+            rows,
+            spares: 0,
+            to_spare: HashMap::new(),
+            from_spare: HashMap::new(),
+        }
+    }
+
+    /// Builds a table with `faulty` randomly chosen faulty logical rows,
+    /// each remapped to a dedicated spare. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faulty > rows`.
+    pub fn with_random_faults(rows: u32, faulty: u32, seed: u64) -> RemapTable {
+        assert!(faulty <= rows, "cannot have more faulty rows than rows");
+        let mut rng = SplitMix64::new(seed);
+        let mut to_spare = HashMap::with_capacity(faulty as usize);
+        let mut from_spare = HashMap::with_capacity(faulty as usize);
+        let mut next_spare = rows;
+        while to_spare.len() < faulty as usize {
+            let victim = rng.next_below(u64::from(rows)) as u32;
+            if let std::collections::hash_map::Entry::Vacant(e) = to_spare.entry(victim) {
+                e.insert(next_spare);
+                from_spare.insert(next_spare, victim);
+                next_spare += 1;
+            }
+        }
+        RemapTable {
+            rows,
+            spares: faulty,
+            to_spare,
+            from_spare,
+        }
+    }
+
+    /// Number of primary rows in the bank.
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of spare rows appended after the primary region.
+    #[inline]
+    pub fn spares(&self) -> u32 {
+        self.spares
+    }
+
+    /// Number of remapped (spared-out) logical rows.
+    #[inline]
+    pub fn remapped_count(&self) -> usize {
+        self.to_spare.len()
+    }
+
+    /// Whether logical `row` has been remapped to a spare.
+    #[inline]
+    pub fn is_remapped(&self, row: RowId) -> bool {
+        self.to_spare.contains_key(&row.0)
+    }
+
+    /// The physical row a logical row occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn physical_of(&self, row: RowId) -> PhysRow {
+        assert!(row.0 < self.rows, "logical row out of range");
+        match self.to_spare.get(&row.0) {
+            Some(&p) => p,
+            None => row.0,
+        }
+    }
+
+    /// The logical row occupying a physical row, or `None` if the physical
+    /// row is dead (spared-out primary row) or an unused spare.
+    #[inline]
+    pub fn logical_of(&self, phys: PhysRow) -> Option<RowId> {
+        if phys < self.rows {
+            if self.to_spare.contains_key(&phys) {
+                None // primary slot of a remapped row: disconnected
+            } else {
+                Some(RowId(phys))
+            }
+        } else {
+            self.from_spare.get(&phys).copied().map(RowId)
+        }
+    }
+
+    /// The logical rows *physically* adjacent to `aggressor` — the victims
+    /// an ARR must refresh. At most two; physical edge rows and dead
+    /// neighbors yield fewer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggressor` is out of range.
+    pub fn physical_neighbors(&self, aggressor: RowId) -> NeighborRows {
+        let p = self.physical_of(aggressor);
+        let total = self.rows + self.spares;
+        let mut out = NeighborRows::default();
+        if p > 0 {
+            if let Some(v) = self.logical_of(p - 1) {
+                out.push(v);
+            }
+        }
+        if p + 1 < total {
+            if let Some(v) = self.logical_of(p + 1) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// The logical rows at *physical* distance exactly `distance` from
+    /// `aggressor` (distance 1 = the classic victims; distance 2 = the
+    /// Half-Double blast radius). At most two; dead neighbors and edges
+    /// yield fewer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggressor` is out of range or `distance` is zero.
+    pub fn physical_neighbors_at(&self, aggressor: RowId, distance: u32) -> NeighborRows {
+        assert!(distance > 0, "distance must be positive");
+        let p = self.physical_of(aggressor);
+        let total = self.rows + self.spares;
+        let mut out = NeighborRows::default();
+        if p >= distance {
+            if let Some(v) = self.logical_of(p - distance) {
+                out.push(v);
+            }
+        }
+        if p + distance < total {
+            if let Some(v) = self.logical_of(p + distance) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// The logical rows *logically* adjacent to `victim-of-interest`
+    /// (`index ± 1`) — what an MC-resident defense that is oblivious to
+    /// remapping would refresh. Used to model the baselines faithfully.
+    pub fn logical_neighbors(&self, aggressor: RowId) -> NeighborRows {
+        let mut out = NeighborRows::default();
+        if let Some(below) = aggressor.below() {
+            out.push(below);
+        }
+        if let Some(above) = aggressor.above() {
+            if above.0 < self.rows {
+                out.push(above);
+            }
+        }
+        out
+    }
+}
+
+/// Up to two neighbor rows, stack-allocated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NeighborRows {
+    rows: [Option<RowId>; 2],
+    len: u8,
+}
+
+impl NeighborRows {
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already full (two entries).
+    pub fn push(&mut self, row: RowId) {
+        assert!(self.len < 2, "a row has at most two neighbors");
+        self.rows[self.len as usize] = Some(row);
+        self.len += 1;
+    }
+
+    /// Number of neighbors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether there are no neighbors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the neighbor rows.
+    pub fn iter(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.rows.iter().take(self.len as usize).flatten().copied()
+    }
+}
+
+impl IntoIterator for NeighborRows {
+    type Item = RowId;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<RowId>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_straight_through() {
+        let t = RemapTable::identity(16);
+        assert_eq!(t.physical_of(RowId(5)), 5);
+        assert_eq!(t.logical_of(5), Some(RowId(5)));
+        let n: Vec<_> = t.physical_neighbors(RowId(5)).into_iter().collect();
+        assert_eq!(n, vec![RowId(4), RowId(6)]);
+    }
+
+    #[test]
+    fn identity_edges_have_one_neighbor() {
+        let t = RemapTable::identity(16);
+        let low: Vec<_> = t.physical_neighbors(RowId(0)).into_iter().collect();
+        assert_eq!(low, vec![RowId(1)]);
+        let high: Vec<_> = t.physical_neighbors(RowId(15)).into_iter().collect();
+        assert_eq!(high, vec![RowId(14)]);
+    }
+
+    #[test]
+    fn remapped_row_lives_in_spare_region() {
+        let t = RemapTable::with_random_faults(1024, 8, 42);
+        assert_eq!(t.remapped_count(), 8);
+        let remapped: Vec<u32> = (0..1024)
+            .filter(|&r| t.is_remapped(RowId(r)))
+            .collect();
+        assert_eq!(remapped.len(), 8);
+        for &r in &remapped {
+            let p = t.physical_of(RowId(r));
+            assert!(p >= 1024, "remapped row must occupy a spare");
+            assert_eq!(t.logical_of(p), Some(RowId(r)));
+            // Its primary slot is dead.
+            assert_eq!(t.logical_of(r), None);
+        }
+    }
+
+    #[test]
+    fn physical_vs_logical_adjacency_diverges_for_remapped_rows() {
+        let t = RemapTable::with_random_faults(1024, 8, 7);
+        let remapped = (0..1024).find(|&r| t.is_remapped(RowId(r))).unwrap();
+        // Pick a remapped row away from the logical edges.
+        let phys: Vec<_> = t.physical_neighbors(RowId(remapped)).into_iter().collect();
+        let logi: Vec<_> = t.logical_neighbors(RowId(remapped)).into_iter().collect();
+        assert_ne!(phys, logi, "remapping must break logical adjacency");
+        // Physical neighbors of a spare-resident row are in/near the spare region.
+        for v in phys {
+            let p = t.physical_of(v);
+            assert!(p + 1 >= 1024, "neighbor {v} at phys {p} should adjoin spares");
+        }
+    }
+
+    #[test]
+    fn neighbor_of_dead_slot_is_skipped() {
+        // Remap rows until some primary slot is dead, then check its logical
+        // neighbors' physical neighborhood skips it.
+        let t = RemapTable::with_random_faults(128, 4, 3);
+        let dead = (0..128).find(|&r| t.is_remapped(RowId(r))).unwrap();
+        if dead > 0 && !t.is_remapped(RowId(dead - 1)) {
+            let n: Vec<_> = t.physical_neighbors(RowId(dead - 1)).into_iter().collect();
+            assert!(
+                !n.contains(&RowId(dead)),
+                "dead slot must not appear as a victim"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = RemapTable::with_random_faults(512, 5, 9);
+        let b = RemapTable::with_random_faults(512, 5, 9);
+        for r in 0..512 {
+            assert_eq!(a.physical_of(RowId(r)), b.physical_of(RowId(r)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "logical row out of range")]
+    fn out_of_range_row_panics() {
+        RemapTable::identity(4).physical_of(RowId(4));
+    }
+
+    #[test]
+    fn neighbor_rows_is_bounded() {
+        let mut n = NeighborRows::default();
+        assert!(n.is_empty());
+        n.push(RowId(1));
+        n.push(RowId(2));
+        assert_eq!(n.len(), 2);
+        let collected: Vec<_> = n.iter().collect();
+        assert_eq!(collected, vec![RowId(1), RowId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn neighbor_rows_overflow_panics() {
+        let mut n = NeighborRows::default();
+        n.push(RowId(1));
+        n.push(RowId(2));
+        n.push(RowId(3));
+    }
+}

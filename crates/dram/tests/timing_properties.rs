@@ -1,0 +1,171 @@
+//! Property tests: the device model never accepts a timing-illegal
+//! command stream, no matter what a (buggy) controller throws at it.
+//!
+//! This matters beyond hygiene — TWiCe's capacity bound is only sound if
+//! `tRC`/`tRFC` really limit the ACT stream, so the enforcement layer is
+//! part of the proof surface.
+
+use proptest::prelude::*;
+use twice_common::{RowId, Span, Time};
+use twice_dram::cmd::DramCommand;
+use twice_dram::device::{DramRank, RankConfig};
+
+#[derive(Debug, Clone, Copy)]
+enum Attempt {
+    Act { bank: u8, row: u8 },
+    Pre { bank: u8 },
+    Read { bank: u8 },
+    Refresh { bank: u8 },
+    Arr { bank: u8, row: u8 },
+}
+
+fn attempts() -> impl Strategy<Value = Vec<(Attempt, u16)>> {
+    let attempt = prop_oneof![
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(b, r)| Attempt::Act { bank: b % 4, row: r }),
+        3 => any::<u8>().prop_map(|b| Attempt::Pre { bank: b % 4 }),
+        2 => any::<u8>().prop_map(|b| Attempt::Read { bank: b % 4 }),
+        1 => any::<u8>().prop_map(|b| Attempt::Refresh { bank: b % 4 }),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(b, r)| Attempt::Arr { bank: b % 4, row: r }),
+    ];
+    // Each step advances time by 0..=60 ns: short enough to provoke
+    // violations, long enough to let some commands through.
+    proptest::collection::vec((attempt, 0u16..60), 0..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accepted_acts_respect_trc_trrd_and_tfaw(seq in attempts()) {
+        let cfg = RankConfig::for_test(4, 256).with_n_th(1_000_000);
+        let timings = cfg.timings.clone();
+        let mut rank = DramRank::new(cfg);
+        let mut now = Time::ZERO;
+        let mut accepted_acts: Vec<(u16, Time)> = Vec::new();
+        for (attempt, dt) in seq {
+            now += Span::from_ns(u64::from(dt));
+            let cmd = match attempt {
+                Attempt::Act { bank, row } => DramCommand::Activate {
+                    bank: u16::from(bank),
+                    row: RowId(u32::from(row)),
+                },
+                Attempt::Pre { bank } => DramCommand::Precharge { bank: u16::from(bank) },
+                Attempt::Read { bank } => DramCommand::Read {
+                    bank: u16::from(bank),
+                    col: twice_common::ColId(0),
+                },
+                Attempt::Refresh { bank } => DramCommand::Refresh { bank: u16::from(bank) },
+                Attempt::Arr { bank, row } => DramCommand::AdjacentRowRefresh {
+                    bank: u16::from(bank),
+                    row: RowId(u32::from(row)),
+                },
+            };
+            let was_act = cmd.is_activate();
+            if rank.issue(cmd, now).is_ok() && was_act {
+                accepted_acts.push((cmd.bank(), now));
+            }
+        }
+        // Post-hoc: the *accepted* ACT stream satisfies every constraint.
+        for w in accepted_acts.windows(2) {
+            let (_, t0) = w[0];
+            let (_, t1) = w[1];
+            prop_assert!(t1.saturating_since(t0) >= timings.t_rrd, "tRRD violated");
+        }
+        for (bank, t1) in &accepted_acts {
+            // Same-bank tRC.
+            let prev = accepted_acts
+                .iter()
+                .filter(|(b, t)| b == bank && t < t1)
+                .map(|(_, t)| *t)
+                .max();
+            if let Some(t0) = prev {
+                prop_assert!(
+                    t1.saturating_since(t0) >= timings.t_rc,
+                    "tRC violated on bank {bank}"
+                );
+            }
+        }
+        for w in accepted_acts.windows(5) {
+            let (_, t0) = w[0];
+            let (_, t4) = w[4];
+            prop_assert!(t4.saturating_since(t0) >= timings.t_faw, "tFAW violated");
+        }
+    }
+
+    #[test]
+    fn errors_never_mutate_counters(seq in attempts()) {
+        // Issue the same stream twice: once against a fresh device, once
+        // interleaving each command with a guaranteed-rejected duplicate
+        // issued at the same instant. Stats must be identical.
+        let build = || DramRank::new(RankConfig::for_test(2, 256).with_n_th(1_000_000));
+        let mut a = build();
+        let mut b = build();
+        let mut now = Time::ZERO;
+        for (attempt, dt) in seq {
+            now += Span::from_ns(u64::from(dt));
+            let cmd = match attempt {
+                Attempt::Act { bank, row } => DramCommand::Activate {
+                    bank: u16::from(bank % 2),
+                    row: RowId(u32::from(row)),
+                },
+                Attempt::Pre { bank } => DramCommand::Precharge { bank: u16::from(bank % 2) },
+                _ => continue,
+            };
+            let ra = a.issue(cmd, now);
+            let rb = b.issue(cmd, now);
+            prop_assert_eq!(ra.is_ok(), rb.is_ok());
+            if ra.is_ok() {
+                // A duplicate at the same instant must be rejected (ACT:
+                // open row / tRC; PRE: tRAS or no open row) and must not
+                // disturb device B's state.
+                let _ = b.issue(cmd, now);
+            }
+        }
+        prop_assert_eq!(a.stats().acts, b.stats().acts);
+        prop_assert_eq!(a.stats().precharges, b.stats().precharges);
+    }
+
+    #[test]
+    fn disturbance_bookkeeping_matches_accepted_acts(seq in attempts()) {
+        // Total disturbance added equals the number of physical neighbors
+        // of each accepted ACT (minus what refreshes cleared). With
+        // refreshes excluded, check the pure-ACT invariant.
+        let cfg = RankConfig::for_test(1, 64).with_n_th(1_000_000_000);
+        let mut rank = DramRank::new(cfg);
+        let mut now = Time::ZERO;
+        let mut open: Option<RowId> = None;
+        let mut expected: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for (attempt, dt) in seq {
+            now += Span::from_ns(u64::from(dt));
+            match attempt {
+                Attempt::Act { row, .. } => {
+                    let row = RowId(u32::from(row) % 64);
+                    if rank
+                        .issue(DramCommand::Activate { bank: 0, row }, now)
+                        .is_ok()
+                    {
+                        open = Some(row);
+                        expected.insert(row.0, 0); // activation restores self
+                        for v in rank.physical_neighbors(0, row) {
+                            *expected.entry(v.0).or_insert(0) += 1;
+                        }
+                    }
+                }
+                Attempt::Pre { .. }
+                    if rank.issue(DramCommand::Precharge { bank: 0 }, now).is_ok() => {
+                        open = None;
+                    }
+                _ => {}
+            }
+            let _ = open;
+        }
+        for (row, count) in expected {
+            prop_assert_eq!(
+                rank.disturbance_of(0, RowId(row)),
+                count,
+                "row {} disturbance mismatch",
+                row
+            );
+        }
+    }
+}

@@ -1,0 +1,907 @@
+//! The per-channel memory-controller event loop.
+//!
+//! [`ChannelController`] owns one channel's RCD (and through it the
+//! channel's ranks), a request queue, a scheduler, and a page policy. It
+//! converts requests into legal DDR command sequences, self-clocking off
+//! the device model: a command is attempted at the current time and, on a
+//! timing rejection or an RCD nack, retried at the reported ready
+//! instant. Per-bank auto-refreshes are issued every `tREFI`, staggered
+//! across banks.
+//!
+//! The row-hammer defense can live in either place the paper considers:
+//!
+//! * [`DefenseLocation::Rcd`] — the defense rides inside the RCD (TWiCe's
+//!   design point, §5.1): it sees ACTs as they pass through, converts the
+//!   aggressor's PRE into an ARR, and nacks conflicting commands.
+//! * [`DefenseLocation::MemoryController`] — the defense runs beside the
+//!   scheduler (CRA/CBT/PARA's design point, §3). Its refresh requests
+//!   are issued as explicit row activations, and — faithfully to the
+//!   paper's critique — it only knows *logical* adjacency, so an `arr`
+//!   request is expanded to `row ± 1`.
+
+use crate::latency::LatencyHistogram;
+use crate::pagepolicy::PagePolicy;
+use crate::request::{AccessKind, MemRequest};
+use crate::scheduler::{make_scheduler, QueuedRequest, Scheduler, SchedulerKind};
+use twice_common::{
+    BankId, DdrTimings, DefenseResponse, DefenseStats, Detection, RowHammerDefense, RowId,
+    Time,
+};
+use twice_dram::cmd::DramCommand;
+use twice_dram::device::{DramRank, RankConfig};
+use twice_dram::energy::DramEnergyModel;
+use twice_dram::error::DramError;
+use twice_dram::rcd::{Rcd, RcdOutcome};
+use twice_dram::stats::DramStats;
+
+use crate::addrmap::DecodedAccess;
+
+/// How auto-refresh is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshMode {
+    /// One REF per bank per `tREFI`, staggered (DDR4 per-bank mode; the
+    /// paper's TWiCe table update rides on these).
+    #[default]
+    PerBank,
+    /// One REFab per *rank* per `tREFI`: all banks refresh together
+    /// (classic all-bank mode).
+    AllBank,
+}
+
+/// Where the row-hammer defense is implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefenseLocation {
+    /// Inside the register clock driver (TWiCe, §5.1).
+    Rcd,
+    /// Inside the memory controller (PARA/PRoHIT/CBT/CRA, §3).
+    MemoryController,
+}
+
+/// Construction parameters for a [`ChannelController`].
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// DDR timing set.
+    pub timings: DdrTimings,
+    /// Ranks on this channel.
+    pub ranks: u8,
+    /// Banks per rank.
+    pub banks_per_rank: u16,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Row-hammer disturbance threshold for the fault model.
+    pub n_th: u64,
+    /// Remapped (spared) rows per bank.
+    pub faults_per_bank: u32,
+    /// Overdrive fault model (extra flips per excess disturbance).
+    pub overshoot_interval: Option<u64>,
+    /// Half-Double coupling: every `k`-th ACT also disturbs distance-2
+    /// rows.
+    pub far_coupling: Option<u64>,
+    /// ARR blast radius (1 = the paper's design).
+    pub arr_radius: u32,
+    /// Auto-refresh scheduling mode.
+    pub refresh_mode: RefreshMode,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Page policy.
+    pub page_policy: PagePolicy,
+    /// Request-queue capacity (Table 4: 64).
+    pub queue_capacity: usize,
+    /// Whether column accesses move real bytes through the data model
+    /// (off by default: the Figure 7 metrics don't need the data path,
+    /// and integrity experiments turn it on explicitly).
+    pub move_data: bool,
+    /// Global bank-id base for `(rank 0, bank 0)` of this channel.
+    pub bank_base: u32,
+    /// Seed for remap tables.
+    pub remap_seed: u64,
+}
+
+impl ControllerConfig {
+    /// The Table 4 per-channel configuration.
+    pub fn paper_default() -> ControllerConfig {
+        ControllerConfig {
+            timings: DdrTimings::ddr4_2400(),
+            ranks: 2,
+            banks_per_rank: 16,
+            rows_per_bank: 131_072,
+            n_th: 139_000,
+            faults_per_bank: 0,
+            overshoot_interval: None,
+            far_coupling: None,
+            arr_radius: 1,
+            refresh_mode: RefreshMode::PerBank,
+            scheduler: SchedulerKind::ParBs,
+            page_policy: PagePolicy::paper_default(),
+            queue_capacity: 64,
+            move_data: false,
+            bank_base: 0,
+            remap_seed: 1,
+        }
+    }
+
+    /// A small configuration for tests (1 rank × 2 banks × `rows` rows).
+    pub fn for_test(rows: u32) -> ControllerConfig {
+        ControllerConfig {
+            ranks: 1,
+            banks_per_rank: 2,
+            rows_per_bank: rows,
+            n_th: 100,
+            ..ControllerConfig::paper_default()
+        }
+    }
+
+    fn rank_config(&self) -> RankConfig {
+        RankConfig {
+            timings: self.timings.clone(),
+            banks: self.banks_per_rank,
+            rows_per_bank: self.rows_per_bank,
+            n_th: self.n_th,
+            faults_per_bank: self.faults_per_bank,
+            remap_seed: self.remap_seed,
+            overshoot_interval: self.overshoot_interval,
+            far_coupling: self.far_coupling,
+            arr_radius: self.arr_radius,
+        }
+    }
+}
+
+/// A defense that does nothing (used to fill the RCD slot when the real
+/// defense lives in the MC, and as the unprotected baseline).
+#[derive(Debug, Clone, Copy, Default)]
+struct NoDefense;
+
+impl RowHammerDefense for NoDefense {
+    fn name(&self) -> &str {
+        "none"
+    }
+    fn on_activate(&mut self, _: BankId, _: RowId, _: Time) -> DefenseResponse {
+        DefenseResponse::none()
+    }
+}
+
+/// One channel's memory controller, RCD, and DRAM ranks.
+pub struct ChannelController {
+    cfg: ControllerConfig,
+    rcd: Rcd,
+    mc_defense: Option<Box<dyn RowHammerDefense>>,
+    scheduler: Box<dyn Scheduler>,
+    queue: Vec<QueuedRequest>,
+    next_id: u64,
+    now: Time,
+    /// Next auto-refresh due instant per flat (rank, bank).
+    next_ref: Vec<Time>,
+    /// Column accesses served on the currently open row, per flat bank.
+    hits_served: Vec<u32>,
+    defense_stats: DefenseStats,
+    mc_detections: Vec<Detection>,
+    metadata_acts: u64,
+    served: u64,
+    latency: LatencyHistogram,
+}
+
+impl std::fmt::Debug for ChannelController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelController")
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("served", &self.served)
+            .field("scheduler", &self.scheduler.name())
+            .finish()
+    }
+}
+
+impl ChannelController {
+    /// Builds a controller with `defense` at `location`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (zero
+    /// dimensions or an invalid timing set).
+    pub fn new(
+        cfg: ControllerConfig,
+        defense: Box<dyn RowHammerDefense>,
+        location: DefenseLocation,
+    ) -> ChannelController {
+        assert!(cfg.ranks > 0 && cfg.banks_per_rank > 0, "empty channel");
+        assert!(cfg.queue_capacity > 0, "queue capacity must be non-zero");
+        let ranks: Vec<DramRank> = (0..cfg.ranks)
+            .map(|_| DramRank::new(cfg.rank_config()))
+            .collect();
+        let (rcd_defense, mc_defense): (Box<dyn RowHammerDefense>, _) = match location {
+            DefenseLocation::Rcd => (defense, None),
+            DefenseLocation::MemoryController => (Box::new(NoDefense), Some(defense)),
+        };
+        let rcd = Rcd::new(ranks, rcd_defense, cfg.bank_base);
+        let total_banks = usize::from(cfg.ranks) * usize::from(cfg.banks_per_rank);
+        // Stagger per-bank refreshes evenly over one tREFI.
+        let next_ref = (0..total_banks)
+            .map(|i| Time::ZERO + cfg.timings.t_refi / total_banks as u64 * i as u64)
+            .collect();
+        ChannelController {
+            scheduler: make_scheduler(cfg.scheduler),
+            rcd,
+            mc_defense,
+            queue: Vec::with_capacity(cfg.queue_capacity),
+            next_id: 0,
+            now: Time::ZERO,
+            next_ref,
+            hits_served: vec![0; total_banks],
+            defense_stats: DefenseStats::new(),
+            mc_detections: Vec::new(),
+            metadata_acts: 0,
+            served: 0,
+            latency: LatencyHistogram::new(),
+            cfg,
+        }
+    }
+
+    /// Builds an unprotected controller.
+    pub fn without_defense(cfg: ControllerConfig) -> ChannelController {
+        ChannelController::new(cfg, Box::new(NoDefense), DefenseLocation::Rcd)
+    }
+
+    #[inline]
+    fn flat_bank(&self, rank: usize, bank: u16) -> usize {
+        rank * usize::from(self.cfg.banks_per_rank) + usize::from(bank)
+    }
+
+    #[inline]
+    fn global_bank(&self, rank: usize, bank: u16) -> BankId {
+        BankId(
+            self.cfg.bank_base
+                + rank as u32 * u32::from(self.cfg.banks_per_rank)
+                + u32::from(bank),
+        )
+    }
+
+    /// Whether the queue has room for another request.
+    #[inline]
+    pub fn has_capacity(&self) -> bool {
+        self.queue.len() < self.cfg.queue_capacity
+    }
+
+    /// Enqueues a request with its decoded coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (check [`has_capacity`]) or the
+    /// coordinate is out of range for this channel.
+    ///
+    /// [`has_capacity`]: Self::has_capacity
+    pub fn submit(&mut self, req: MemRequest, access: DecodedAccess) {
+        assert!(self.has_capacity(), "request queue overflow");
+        assert!(
+            u8::from(access.rank) < self.cfg.ranks
+                && access.bank < self.cfg.banks_per_rank
+                && access.row.0 < self.cfg.rows_per_bank,
+            "decoded access out of range for this channel"
+        );
+        // Stamp the request with its true enqueue time so latency can be
+        // measured queue-to-completion.
+        let mut req = req;
+        req.arrival = self.now;
+        self.queue.push(QueuedRequest {
+            id: self.next_id,
+            req,
+            access,
+        });
+        self.next_id += 1;
+    }
+
+    /// Runs the controller over a request trace, keeping the queue as
+    /// full as the trace allows, until both the trace and the queue are
+    /// drained.
+    pub fn run<I>(&mut self, trace: I)
+    where
+        I: IntoIterator<Item = (MemRequest, DecodedAccess)>,
+    {
+        let mut trace = trace.into_iter();
+        let mut pending: Option<(MemRequest, DecodedAccess)> = None;
+        loop {
+            // Refill.
+            while self.has_capacity() {
+                match pending.take().or_else(|| trace.next()) {
+                    Some((req, access)) => self.submit(req, access),
+                    None => break,
+                }
+            }
+            if self.queue.is_empty() {
+                match trace.next() {
+                    Some(item) => {
+                        pending = Some(item);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            self.service_one();
+        }
+    }
+
+    /// Services exactly one queued request (plus any refreshes that came
+    /// due). Returns `false` if the queue was empty.
+    pub fn service_one(&mut self) -> bool {
+        self.service_due_refreshes();
+        let pick = {
+            let queue = &self.queue;
+            let rcd = &self.rcd;
+            let open = |rank: twice_common::RankId, bank: u16| {
+                rcd.ranks()[usize::from(rank.0)].open_row(bank)
+            };
+            self.scheduler.pick(queue, &open)
+        };
+        let Some(idx) = pick else { return false };
+        let q = self.queue[idx];
+        let rank = usize::from(q.access.rank.0);
+        let bank = q.access.bank;
+        // Open the right row.
+        match self.rcd.ranks()[rank].open_row(bank) {
+            Some(r) if r == q.access.row => {}
+            Some(_) => {
+                self.issue(rank, DramCommand::Precharge { bank });
+                self.activate(rank, bank, q.access.row);
+            }
+            None => self.activate(rank, bank, q.access.row),
+        }
+        // Column access.
+        let col_cmd = match q.req.kind {
+            AccessKind::Read => DramCommand::Read { bank, col: q.access.col },
+            AccessKind::Write => DramCommand::Write { bank, col: q.access.col },
+        };
+        self.issue(rank, col_cmd);
+        if self.cfg.move_data {
+            let offset = usize::from(q.access.col.0) * 64;
+            match q.req.kind {
+                AccessKind::Write => {
+                    // Deterministic payload derived from the address, so
+                    // integrity checks can recompute expectations.
+                    let mut line = [0u8; 64];
+                    for (i, chunk) in line.chunks_mut(8).enumerate() {
+                        let v = q.req.addr.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ (i as u64) << 56;
+                        chunk.copy_from_slice(&v.to_le_bytes());
+                    }
+                    self.rcd
+                        .rank_mut(rank)
+                        .write_data(bank, q.access.row, offset, &line);
+                }
+                AccessKind::Read => {
+                    let _ = self
+                        .rcd
+                        .rank_mut(rank)
+                        .read_data(bank, q.access.row, offset, 64);
+                }
+            }
+        }
+        let fb = self.flat_bank(rank, bank);
+        self.hits_served[fb] += 1;
+        // Page policy.
+        let queued_hits = self
+            .queue
+            .iter()
+            .filter(|o| {
+                o.id != q.id
+                    && o.access.rank == q.access.rank
+                    && o.access.bank == bank
+                    && o.access.row == q.access.row
+            })
+            .count();
+        if self
+            .cfg
+            .page_policy
+            .close_after_access(self.hits_served[fb], queued_hits)
+        {
+            self.issue(rank, DramCommand::Precharge { bank });
+        }
+        self.queue.swap_remove(idx);
+        self.scheduler.on_complete(q.id);
+        self.served += 1;
+        self.latency.record(self.now.saturating_since(q.req.arrival));
+        true
+    }
+
+    /// Issues any per-bank refreshes that are due at the current time.
+    ///
+    /// A backlog deeper than the eight REFs JEDEC allows a controller to
+    /// postpone (it can build up behind a defense-induced refresh storm)
+    /// is retired as *coalesced* bookkeeping-only refreshes — the rows
+    /// are still refreshed in the fault model and the defense still
+    /// prunes, but the burst does not serialize through the command-bus
+    /// timing model.
+    fn service_due_refreshes(&mut self) {
+        match self.cfg.refresh_mode {
+            RefreshMode::PerBank => self.service_per_bank_refreshes(),
+            RefreshMode::AllBank => self.service_all_bank_refreshes(),
+        }
+    }
+
+    fn service_per_bank_refreshes(&mut self) {
+        const MAX_POSTPONED: u64 = 8;
+        let t_refi = self.cfg.timings.t_refi;
+        for rank in 0..usize::from(self.cfg.ranks) {
+            for bank in 0..self.cfg.banks_per_rank {
+                let fb = self.flat_bank(rank, bank);
+                while self.next_ref[fb] <= self.now {
+                    let gbank = self.global_bank(rank, bank);
+                    let now = self.now;
+                    let backlog = self.now.saturating_since(self.next_ref[fb]) / t_refi;
+                    if backlog > MAX_POSTPONED {
+                        self.rcd.force_refresh(rank, bank, now);
+                    } else {
+                        if self.rcd.ranks()[rank].open_row(bank).is_some() {
+                            self.issue(rank, DramCommand::Precharge { bank });
+                        }
+                        self.issue(rank, DramCommand::Refresh { bank });
+                    }
+                    if let Some(d) = &mut self.mc_defense {
+                        d.on_auto_refresh(gbank, now);
+                    }
+                    self.next_ref[fb] += t_refi;
+                }
+            }
+        }
+    }
+
+    /// All-bank mode: one REFab per rank per `tREFI`, tracked in the
+    /// rank's bank-0 slot; a deep backlog degrades to bookkeeping
+    /// refreshes exactly like the per-bank path.
+    fn service_all_bank_refreshes(&mut self) {
+        const MAX_POSTPONED: u64 = 8;
+        let t_refi = self.cfg.timings.t_refi;
+        for rank in 0..usize::from(self.cfg.ranks) {
+            let slot = self.flat_bank(rank, 0);
+            while self.next_ref[slot] <= self.now {
+                let now = self.now;
+                let backlog = self.now.saturating_since(self.next_ref[slot]) / t_refi;
+                if backlog > MAX_POSTPONED {
+                    for bank in 0..self.cfg.banks_per_rank {
+                        self.rcd.force_refresh(rank, bank, now);
+                    }
+                } else {
+                    // Close every open row, then REFab with retry.
+                    for bank in 0..self.cfg.banks_per_rank {
+                        if self.rcd.ranks()[rank].open_row(bank).is_some() {
+                            self.issue(rank, DramCommand::Precharge { bank });
+                        }
+                    }
+                    let mut guard = 0u32;
+                    loop {
+                        match self.rcd.refresh_all(rank, self.now) {
+                            Ok(()) => {
+                                self.now += self.cfg.timings.clock;
+                                break;
+                            }
+                            Err(DramError::Timing(v)) => {
+                                debug_assert!(v.ready_at > self.now);
+                                self.now = v.ready_at;
+                            }
+                            Err(e) => panic!("REFab failed: {e}"),
+                        }
+                        guard += 1;
+                        assert!(guard < 1_000, "REFab retry livelock");
+                    }
+                }
+                let now = self.now;
+                let gbanks: Vec<BankId> = (0..self.cfg.banks_per_rank)
+                    .map(|bank| self.global_bank(rank, bank))
+                    .collect();
+                if let Some(d) = &mut self.mc_defense {
+                    for gbank in gbanks {
+                        d.on_auto_refresh(gbank, now);
+                    }
+                }
+                self.next_ref[slot] += t_refi;
+            }
+        }
+    }
+
+    /// Issues an ACT and drives the MC-side defense hook.
+    fn activate(&mut self, rank: usize, bank: u16, row: RowId) {
+        self.issue(rank, DramCommand::Activate { bank, row });
+        let fb = self.flat_bank(rank, bank);
+        self.hits_served[fb] = 0;
+        if self.mc_defense.is_some() {
+            let gbank = self.global_bank(rank, bank);
+            let now = self.now;
+            let response = self
+                .mc_defense
+                .as_mut()
+                .expect("checked above")
+                .on_activate(gbank, row, now);
+            self.apply_mc_response(rank, bank, response);
+        }
+    }
+
+    /// Carries out an MC-side defense response.
+    fn apply_mc_response(&mut self, rank: usize, bank: u16, response: DefenseResponse) {
+        if response.is_none() {
+            self.defense_stats.record(&response, 0);
+            return;
+        }
+        let mut rows: Vec<RowId> = response.refresh_rows.clone();
+        let mut arr_neighbors = 0u32;
+        if let Some(aggressor) = response.arr {
+            // An MC-resident defense only knows logical adjacency (§3.4).
+            let logical = self.rcd.ranks()[rank].logical_neighbors(bank, aggressor);
+            arr_neighbors = logical.len() as u32;
+            rows.extend(logical);
+        }
+        let refreshed = self
+            .rcd
+            .rank_mut(rank)
+            .refresh_rows_explicit(bank, rows, self.now)
+            .expect("bank index verified at submit");
+        // Each defense refresh occupies the bank for one row cycle; the
+        // metadata accesses (CRA counter fetches) cost one more each.
+        let stall = u64::from(refreshed) + u64::from(response.metadata_acts);
+        self.now += self.cfg.timings.t_rc * stall;
+        self.metadata_acts += u64::from(response.metadata_acts);
+        if let Some(d) = response.detection {
+            self.mc_detections.push(d);
+        }
+        self.defense_stats.record(&response, arr_neighbors);
+    }
+
+    /// Issues `cmd`, retrying on timing rejections and RCD nacks until it
+    /// lands; advances the controller clock accordingly.
+    fn issue(&mut self, rank: usize, cmd: DramCommand) -> RcdOutcome {
+        let mut guard = 0u32;
+        loop {
+            match self.rcd.issue(rank, cmd, self.now) {
+                Ok(RcdOutcome::Nack { retry_at }) => {
+                    debug_assert!(retry_at > self.now);
+                    self.now = retry_at;
+                }
+                Ok(outcome) => {
+                    // One command-bus slot per issued command.
+                    self.now += self.cfg.timings.clock;
+                    return outcome;
+                }
+                Err(DramError::Timing(v)) => {
+                    debug_assert!(v.ready_at > self.now, "{v}");
+                    self.now = v.ready_at;
+                }
+                Err(e) => panic!("controller issued an illegal command {cmd}: {e}"),
+            }
+            guard += 1;
+            assert!(guard < 1_000, "issue retry livelock for {cmd}");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for experiments.
+    // ------------------------------------------------------------------
+
+    /// The current controller clock.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Requests fully serviced.
+    #[inline]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The configuration.
+    #[inline]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Normal (MC-issued) row activations across the channel's ranks.
+    pub fn normal_acts(&self) -> u64 {
+        self.rank_stats().map(|s| s.acts).sum()
+    }
+
+    /// Additional row activations caused by the defense: ARR victim
+    /// refreshes, explicit defense refreshes, and metadata traffic.
+    pub fn additional_acts(&self) -> u64 {
+        let device: u64 = self
+            .rank_stats()
+            .map(|s| s.arr_victim_acts + s.explicit_refresh_acts)
+            .sum();
+        device + self.metadata_acts
+    }
+
+    /// Figure 7's metric: additional ACTs relative to normal ACTs.
+    pub fn additional_act_ratio(&self) -> f64 {
+        let normal = self.normal_acts();
+        if normal == 0 {
+            0.0
+        } else {
+            self.additional_acts() as f64 / normal as f64
+        }
+    }
+
+    /// Per-rank DRAM statistics.
+    pub fn rank_stats(&self) -> impl Iterator<Item = &DramStats> + '_ {
+        self.rcd.ranks().iter().map(|r| r.stats())
+    }
+
+    /// Total DRAM energy (pJ).
+    pub fn energy_pj(&self, model: &DramEnergyModel) -> u64 {
+        self.rcd.ranks().iter().map(|r| r.energy_pj(model)).sum()
+    }
+
+    /// Attack detections (RCD-side and MC-side).
+    pub fn detections(&self) -> Vec<Detection> {
+        let mut out = self.rcd.detections().to_vec();
+        out.extend_from_slice(&self.mc_detections);
+        out
+    }
+
+    /// Row-hammer bit flips recorded by the fault model, across ranks.
+    pub fn bit_flip_count(&self) -> usize {
+        self.rcd.ranks().iter().map(|r| r.bit_flip_count()).sum()
+    }
+
+    /// Commands nacked by the RCD.
+    pub fn nacks(&self) -> u64 {
+        self.rcd.nacks()
+    }
+
+    /// Defense stats accumulated for an MC-side defense (empty for RCD
+    /// placement; use the device stats instead).
+    pub fn mc_defense_stats(&self) -> DefenseStats {
+        self.defense_stats
+    }
+
+    /// Queue-to-completion request latencies.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Mutable access to the RCD (for fault-model inspection in tests).
+    pub fn rcd_mut(&mut self) -> &mut Rcd {
+        &mut self.rcd
+    }
+
+    /// The RCD.
+    pub fn rcd(&self) -> &Rcd {
+        &self.rcd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addrmap::AddressMapper;
+    use twice_common::{ChannelId, ColId, RankId, Topology};
+
+    fn small_topo() -> Topology {
+        Topology {
+            channels: 1,
+            ranks_per_channel: 1,
+            banks_per_rank: 2,
+            rows_per_bank: 64,
+            cols_per_row: 128,
+            row_bytes: 8_192,
+            devices_per_rank: 8,
+        }
+    }
+
+    fn controller() -> ChannelController {
+        ChannelController::without_defense(ControllerConfig::for_test(64))
+    }
+
+    fn req(mapper: &AddressMapper, bank: u16, row: u32, col: u16) -> (MemRequest, DecodedAccess) {
+        let access = DecodedAccess {
+            channel: ChannelId(0),
+            rank: RankId(0),
+            bank,
+            row: RowId(row),
+            col: ColId(col),
+        };
+        let addr = mapper.encode(access.channel, access.rank, bank, access.row, access.col);
+        (MemRequest::read(addr, 0, Time::ZERO), access)
+    }
+
+    #[test]
+    fn serves_a_simple_trace() {
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        let mut c = controller();
+        let trace: Vec<_> = (0..100u32).map(|i| req(&mapper, 0, i % 8, 0)).collect();
+        c.run(trace);
+        assert_eq!(c.served(), 100);
+        assert!(c.normal_acts() > 0);
+        assert_eq!(c.additional_acts(), 0, "no defense, no extra ACTs");
+        assert_eq!(c.bit_flip_count(), 0);
+    }
+
+    #[test]
+    fn row_hits_reuse_open_row() {
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        let mut c = controller();
+        // 4 hits to the same row: minimalist-open serves them on one ACT.
+        let trace: Vec<_> = (0..4u16).map(|col| req(&mapper, 0, 5, col)).collect();
+        c.run(trace);
+        assert_eq!(c.served(), 4);
+        assert_eq!(c.normal_acts(), 1, "one ACT for four hits");
+    }
+
+    #[test]
+    fn minimalist_open_recloses_after_hit_budget() {
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        let mut c = controller();
+        // 8 hits: budget of 4 per activation -> 2 ACTs.
+        let trace: Vec<_> = (0..8u16).map(|col| req(&mapper, 0, 5, col)).collect();
+        c.run(trace);
+        assert_eq!(c.normal_acts(), 2);
+    }
+
+    #[test]
+    fn refreshes_are_issued_on_schedule() {
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        let mut c = controller();
+        // Run enough conflicting traffic to pass several tREFI (7.8125us):
+        // each row miss costs ~45ns, so ~1000 requests ~ 45us ~ 5 tREFI.
+        let trace: Vec<_> = (0..1000u32).map(|i| req(&mapper, 0, i % 64, 0)).collect();
+        c.run(trace);
+        let refs: u64 = c.rank_stats().map(|s| s.refreshes).sum();
+        let expected = c.now().as_ps() / c.config().timings.t_refi.as_ps() * 2; // 2 banks
+        assert!(refs > 0, "refreshes must be issued");
+        assert!(
+            refs >= expected.saturating_sub(2) && refs <= expected + 2,
+            "got {refs}, expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn unprotected_hammer_produces_bit_flips() {
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        let mut c = controller(); // n_th = 100
+        // Alternate two conflicting rows in one bank: every access is a
+        // row miss, hammering both rows' neighbors.
+        // FR-FCFS coalesces up to 4 queued hits per ACT, so 2000 requests
+        // still yield ~250 ACTs per row, past N_th = 100.
+        let trace: Vec<_> = (0..2000u32).map(|i| req(&mapper, 0, 8 + (i % 2) * 4, 0)).collect();
+        c.run(trace);
+        assert!(c.bit_flip_count() > 0, "N_th=100 must be exceeded");
+    }
+
+    #[test]
+    fn queue_capacity_is_respected() {
+        let mut c = controller();
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        for i in 0..c.config().queue_capacity {
+            let (r, a) = req(&mapper, 0, (i % 64) as u32, 0);
+            c.submit(r, a);
+        }
+        assert!(!c.has_capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "request queue overflow")]
+    fn overflow_panics() {
+        let mut c = controller();
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        for i in 0..=c.config().queue_capacity {
+            let (r, a) = req(&mapper, 0, (i % 64) as u32, 0);
+            c.submit(r, a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn submit_validates_coordinates() {
+        let mut c = controller();
+        let access = DecodedAccess {
+            channel: ChannelId(0),
+            rank: RankId(0),
+            bank: 0,
+            row: RowId(64), // out of range
+            col: ColId(0),
+        };
+        c.submit(MemRequest::read(0, 0, Time::ZERO), access);
+    }
+
+    #[test]
+    fn all_bank_refresh_mode_covers_the_same_schedule() {
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        let mut cfg = ControllerConfig::for_test(64);
+        cfg.refresh_mode = RefreshMode::AllBank;
+        let mut c = ChannelController::without_defense(cfg);
+        let trace: Vec<_> = (0..1000u32).map(|i| req(&mapper, 0, i % 64, 0)).collect();
+        c.run(trace);
+        assert_eq!(c.served(), 1000);
+        let refs: u64 = c.rank_stats().map(|s| s.refreshes).sum();
+        // One REFab per tREFI refreshes both banks: same per-bank REF
+        // count as the staggered per-bank schedule (+/- phase).
+        let expected = c.now().as_ps() / c.config().timings.t_refi.as_ps() * 2;
+        assert!(
+            refs + 2 >= expected && refs <= expected + 2,
+            "got {refs}, expected about {expected}"
+        );
+        assert_eq!(c.bit_flip_count(), 0);
+    }
+
+    #[test]
+    fn all_bank_refresh_still_lets_twice_prune() {
+        // TWiCe in the RCD prunes on every bank's refresh hook; the
+        // REFab path must fire those hooks too.
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        let mut cfg = ControllerConfig::for_test(64);
+        cfg.refresh_mode = RefreshMode::AllBank;
+        cfg.n_th = 1_000_000;
+        struct Probe {
+            prunes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        }
+        impl RowHammerDefense for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn on_activate(&mut self, _: BankId, _: RowId, _: Time) -> DefenseResponse {
+                DefenseResponse::none()
+            }
+            fn on_auto_refresh(&mut self, _: BankId, _: Time) {
+                self.prunes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let prunes = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut c = ChannelController::new(
+            cfg,
+            Box::new(Probe { prunes: prunes.clone() }),
+            DefenseLocation::Rcd,
+        );
+        let trace: Vec<_> = (0..500u32).map(|i| req(&mapper, 0, i % 64, 0)).collect();
+        c.run(trace);
+        let refs: u64 = c.rank_stats().map(|s| s.refreshes).sum();
+        assert!(refs > 0);
+        assert_eq!(prunes.load(std::sync::atomic::Ordering::Relaxed), refs);
+    }
+
+    #[test]
+    fn move_data_round_trips_written_lines() {
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        let mut cfg = ControllerConfig::for_test(64);
+        cfg.move_data = true;
+        cfg.n_th = 1_000_000; // keep the fault model quiet
+        let mut c = ChannelController::without_defense(cfg);
+        let (mut req, access) = req(&mapper, 0, 5, 3);
+        req.kind = AccessKind::Write;
+        let addr = req.addr;
+        c.submit(req, access);
+        while c.service_one() {}
+        // The written line is present in the device's data array and
+        // matches the deterministic payload.
+        let line = c.rcd().ranks()[0].read_data(0, RowId(5), 3 * 64, 64);
+        let expected_first = (addr.wrapping_mul(0x9E37_79B9_7F4A_7C15)).to_le_bytes();
+        assert_eq!(&line[..8], &expected_first);
+        // Integrity: no corruption happened.
+        assert!(!c.rcd().ranks()[0].verify_row(0, RowId(5)).is_corrupted());
+    }
+
+    /// An MC-side defense that refreshes logical neighbors of every 10th ACT.
+    struct Every10;
+    impl RowHammerDefense for Every10 {
+        fn name(&self) -> &str {
+            "every10"
+        }
+        fn on_activate(&mut self, _: BankId, row: RowId, _: Time) -> DefenseResponse {
+            if row.0.is_multiple_of(10) {
+                DefenseResponse::arr(row)
+            } else {
+                DefenseResponse::none()
+            }
+        }
+    }
+
+    #[test]
+    fn mc_side_defense_refreshes_logical_neighbors() {
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        let mut c = ChannelController::new(
+            ControllerConfig::for_test(64),
+            Box::new(Every10),
+            DefenseLocation::MemoryController,
+        );
+        let trace: Vec<_> = (0..40u32).map(|i| req(&mapper, 0, i, 0)).collect();
+        c.run(trace);
+        // Rows 0,10,20,30 trigger; row 0 has 1 logical neighbor, others 2.
+        assert_eq!(c.additional_acts(), 1 + 2 + 2 + 2);
+        let stats = c.mc_defense_stats();
+        assert_eq!(stats.arr_issued, 4);
+    }
+}

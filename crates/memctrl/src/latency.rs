@@ -1,0 +1,200 @@
+//! Request-latency accounting.
+//!
+//! §3.4 of the paper argues that CBT's group refreshes "incur a spike in
+//! memory access latency, which hurts latency-critical workloads". To
+//! make that claim measurable, the controller records every request's
+//! queue-to-completion latency in a logarithmic histogram — constant
+//! memory, fast insert, and accurate enough percentiles at the tail,
+//! where the spikes live.
+
+use std::fmt;
+use twice_common::Span;
+
+/// Number of log2 buckets: covers 1 ps .. ~2^63 ps.
+const BUCKETS: usize = 64;
+
+/// A log2-bucketed latency histogram.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    max: Span,
+    sum_ps: u128,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            max: Span::ZERO,
+            sum_ps: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Span) {
+        let ps = latency.as_ps();
+        let bucket = (64 - ps.leading_zeros()) as usize; // 0 for ps == 0
+        self.counts[bucket.min(BUCKETS - 1)] += 1;
+        self.total += 1;
+        self.sum_ps += u128::from(ps);
+        if latency > self.max {
+            self.max = latency;
+        }
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest recorded latency (exact).
+    #[inline]
+    pub fn max(&self) -> Span {
+        self.max
+    }
+
+    /// Mean latency (exact).
+    pub fn mean(&self) -> Span {
+        if self.total == 0 {
+            Span::ZERO
+        } else {
+            Span::from_ps((self.sum_ps / u128::from(self.total)) as u64)
+        }
+    }
+
+    /// The latency at quantile `q` (0..=1), resolved to the upper edge of
+    /// its bucket — i.e. an upper bound within a factor of 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Span {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return Span::ZERO;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                if bucket == 0 {
+                    return Span::ZERO;
+                }
+                let upper = if bucket >= 63 { u64::MAX } else { (1u64 << bucket) - 1 };
+                return Span::from_ps(upper).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ps += other.sum_ps;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50<={} p99<={} max={}",
+            self.total,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), Span::ZERO);
+        assert_eq!(h.quantile(0.99), Span::ZERO);
+        assert_eq!(h.max(), Span::ZERO);
+    }
+
+    #[test]
+    fn max_and_mean_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for ns in [10u64, 20, 30] {
+            h.record(Span::from_ns(ns));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.max(), Span::from_ns(30));
+        assert_eq!(h.mean(), Span::from_ns(20));
+    }
+
+    #[test]
+    fn quantiles_bound_within_a_factor_of_two() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Span::from_ns(100));
+        }
+        h.record(Span::from_ms(3)); // one spike
+        let p50 = h.quantile(0.50);
+        assert!(p50 >= Span::from_ns(100) && p50 < Span::from_ns(200), "{p50}");
+        // p99 still in the common bucket; p100 is the spike.
+        assert!(h.quantile(0.99) < Span::from_ns(200));
+        assert_eq!(h.quantile(1.0), Span::from_ms(3));
+    }
+
+    #[test]
+    fn spike_dominates_the_tail() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..900 {
+            h.record(Span::from_ns(60));
+        }
+        for _ in 0..100 {
+            h.record(Span::from_ms(2));
+        }
+        assert!(h.quantile(0.95) >= Span::from_ms(1));
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = LatencyHistogram::new();
+        a.record(Span::from_ns(10));
+        let mut b = LatencyHistogram::new();
+        b.record(Span::from_ns(1000));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.max(), Span::from_ns(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        LatencyHistogram::new().quantile(1.5);
+    }
+}

@@ -1,0 +1,61 @@
+//! Memory requests as seen by a memory controller.
+
+use twice_common::Time;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand load / prefetch fill.
+    Read,
+    /// A writeback / store.
+    Write,
+}
+
+/// One cache-line-granular memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Physical byte address (cache-line aligned by the mapper).
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Originating core / thread (used by PAR-BS batching).
+    pub source: u16,
+    /// When the request entered the controller.
+    pub arrival: Time,
+}
+
+impl MemRequest {
+    /// A read request from `source` at address `addr`.
+    pub fn read(addr: u64, source: u16, arrival: Time) -> MemRequest {
+        MemRequest {
+            addr,
+            kind: AccessKind::Read,
+            source,
+            arrival,
+        }
+    }
+
+    /// A write request from `source` at address `addr`.
+    pub fn write(addr: u64, source: u16, arrival: Time) -> MemRequest {
+        MemRequest {
+            addr,
+            kind: AccessKind::Write,
+            source,
+            arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let r = MemRequest::read(0x40, 1, Time::ZERO);
+        assert_eq!(r.kind, AccessKind::Read);
+        let w = MemRequest::write(0x80, 2, Time::ZERO);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert_eq!(w.source, 2);
+    }
+}

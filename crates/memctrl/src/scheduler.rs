@@ -1,0 +1,268 @@
+//! Request schedulers: FCFS, FR-FCFS, and PAR-BS.
+//!
+//! The evaluation system schedules with **PAR-BS** (Table 4,
+//! [Mutlu & Moscibroda, ISCA'08]): requests are grouped into batches with
+//! a per-source cap; the current batch is serviced to completion before
+//! newer requests, which bounds inter-thread interference. Within a batch
+//! (and for the simpler policies) the classic **FR-FCFS** rule applies:
+//! row-buffer hits first, then oldest first.
+
+use crate::addrmap::DecodedAccess;
+use crate::request::MemRequest;
+use std::collections::HashSet;
+use twice_common::{RankId, RowId};
+
+/// A request waiting in the controller queue, with its decoded coordinate.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedRequest {
+    /// Monotonic id assigned by the controller at enqueue.
+    pub id: u64,
+    /// The request.
+    pub req: MemRequest,
+    /// Its decoded DRAM coordinate.
+    pub access: DecodedAccess,
+}
+
+/// Which scheduling policy to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Strict arrival order.
+    Fcfs,
+    /// Row-hit-first, then oldest.
+    FrFcfs,
+    /// Batch scheduling with FR-FCFS inside the batch (Table 4 default).
+    #[default]
+    ParBs,
+}
+
+/// A request scheduler.
+///
+/// `open_row` reports the currently open row of `(rank, bank)` so the
+/// scheduler can prefer row hits.
+pub trait Scheduler: Send {
+    /// The policy's display name.
+    fn name(&self) -> &str;
+
+    /// Picks the index (into `queue`) of the request to service next.
+    /// Returns `None` iff `queue` is empty.
+    fn pick(
+        &mut self,
+        queue: &[QueuedRequest],
+        open_row: &dyn Fn(RankId, u16) -> Option<RowId>,
+    ) -> Option<usize>;
+
+    /// Notifies the scheduler that request `id` completed.
+    fn on_complete(&mut self, id: u64) {
+        let _ = id;
+    }
+}
+
+/// Creates a boxed scheduler of the given kind (PAR-BS uses the paper's
+/// batching cap of 5 requests per source).
+pub fn make_scheduler(kind: SchedulerKind) -> Box<dyn Scheduler> {
+    match kind {
+        SchedulerKind::Fcfs => Box::new(Fcfs),
+        SchedulerKind::FrFcfs => Box::new(FrFcfs),
+        SchedulerKind::ParBs => Box::new(ParBs::new(5)),
+    }
+}
+
+/// First-come first-served.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs;
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> &str {
+        "FCFS"
+    }
+
+    fn pick(
+        &mut self,
+        queue: &[QueuedRequest],
+        _open_row: &dyn Fn(RankId, u16) -> Option<RowId>,
+    ) -> Option<usize> {
+        oldest(queue, |_| true)
+    }
+}
+
+/// Row-hit-first, then oldest-first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrFcfs;
+
+impl Scheduler for FrFcfs {
+    fn name(&self) -> &str {
+        "FR-FCFS"
+    }
+
+    fn pick(
+        &mut self,
+        queue: &[QueuedRequest],
+        open_row: &dyn Fn(RankId, u16) -> Option<RowId>,
+    ) -> Option<usize> {
+        pick_fr_fcfs(queue, open_row, |_| true)
+    }
+}
+
+/// Parallelism-aware batch scheduling.
+#[derive(Debug, Clone)]
+pub struct ParBs {
+    batch_cap: usize,
+    batch: HashSet<u64>,
+}
+
+impl ParBs {
+    /// Creates a PAR-BS scheduler with `batch_cap` requests per source
+    /// per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_cap` is zero.
+    pub fn new(batch_cap: usize) -> ParBs {
+        assert!(batch_cap > 0, "batch cap must be non-zero");
+        ParBs {
+            batch_cap,
+            batch: HashSet::new(),
+        }
+    }
+
+    fn form_batch(&mut self, queue: &[QueuedRequest]) {
+        // Up to `batch_cap` oldest requests per source.
+        let mut order: Vec<&QueuedRequest> = queue.iter().collect();
+        order.sort_by_key(|q| q.id);
+        let mut per_source: std::collections::HashMap<u16, usize> =
+            std::collections::HashMap::new();
+        for q in order {
+            let n = per_source.entry(q.req.source).or_insert(0);
+            if *n < self.batch_cap {
+                *n += 1;
+                self.batch.insert(q.id);
+            }
+        }
+    }
+}
+
+impl Scheduler for ParBs {
+    fn name(&self) -> &str {
+        "PAR-BS"
+    }
+
+    fn pick(
+        &mut self,
+        queue: &[QueuedRequest],
+        open_row: &dyn Fn(RankId, u16) -> Option<RowId>,
+    ) -> Option<usize> {
+        if queue.is_empty() {
+            return None;
+        }
+        // Drop completed ids lazily and re-batch when the batch drains.
+        let live: HashSet<u64> = queue.iter().map(|q| q.id).collect();
+        self.batch.retain(|id| live.contains(id));
+        if self.batch.is_empty() {
+            self.form_batch(queue);
+        }
+        pick_fr_fcfs(queue, open_row, |q| self.batch.contains(&q.id))
+    }
+
+    fn on_complete(&mut self, id: u64) {
+        self.batch.remove(&id);
+    }
+}
+
+fn pick_fr_fcfs(
+    queue: &[QueuedRequest],
+    open_row: &dyn Fn(RankId, u16) -> Option<RowId>,
+    eligible: impl Fn(&QueuedRequest) -> bool,
+) -> Option<usize> {
+    // Row hit first.
+    let hit = oldest(queue, |q| {
+        eligible(q) && open_row(q.access.rank, q.access.bank) == Some(q.access.row)
+    });
+    if hit.is_some() {
+        return hit;
+    }
+    oldest(queue, eligible).or_else(|| oldest(queue, |_| true))
+}
+
+fn oldest(queue: &[QueuedRequest], pred: impl Fn(&QueuedRequest) -> bool) -> Option<usize> {
+    queue
+        .iter()
+        .enumerate()
+        .filter(|(_, q)| pred(q))
+        .min_by_key(|(_, q)| q.id)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twice_common::{ChannelId, ColId, Time};
+
+    fn q(id: u64, source: u16, bank: u16, row: u32) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            req: MemRequest::read(0, source, Time::ZERO),
+            access: DecodedAccess {
+                channel: ChannelId(0),
+                rank: RankId(0),
+                bank,
+                row: RowId(row),
+                col: ColId(0),
+            },
+        }
+    }
+
+    fn no_open(_: RankId, _: u16) -> Option<RowId> {
+        None
+    }
+
+    #[test]
+    fn fcfs_picks_oldest() {
+        let mut s = Fcfs;
+        let queue = vec![q(5, 0, 0, 1), q(2, 0, 1, 2), q(9, 0, 2, 3)];
+        assert_eq!(s.pick(&queue, &no_open), Some(1));
+        assert_eq!(s.pick(&[], &no_open), None);
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hits() {
+        let mut s = FrFcfs;
+        let queue = vec![q(1, 0, 0, 10), q(2, 0, 0, 20), q(3, 0, 0, 20)];
+        let open = |_: RankId, b: u16| if b == 0 { Some(RowId(20)) } else { None };
+        // Oldest row hit is id 2 (index 1), despite id 1 being older.
+        assert_eq!(s.pick(&queue, &open), Some(1));
+        // Without an open row, oldest wins.
+        assert_eq!(s.pick(&queue, &no_open), Some(0));
+    }
+
+    #[test]
+    fn parbs_caps_per_source_and_prioritizes_batch() {
+        let mut s = ParBs::new(1);
+        // Source 0 floods; source 1 has one old request.
+        let queue = vec![q(1, 0, 0, 1), q(2, 0, 0, 2), q(3, 1, 1, 3)];
+        // Batch = {1 (src0 oldest), 3 (src1 oldest)}. Pick oldest in batch.
+        assert_eq!(s.pick(&queue, &no_open), Some(0));
+        s.on_complete(1);
+        let queue = vec![q(2, 0, 0, 2), q(3, 1, 1, 3)];
+        // Request 2 is NOT in the batch; 3 is.
+        assert_eq!(s.pick(&queue, &no_open), Some(1));
+        s.on_complete(3);
+        // Batch drained: a new batch forms and 2 is serviced.
+        let queue = vec![q(2, 0, 0, 2)];
+        assert_eq!(s.pick(&queue, &no_open), Some(0));
+    }
+
+    #[test]
+    fn parbs_prefers_row_hits_within_batch() {
+        let mut s = ParBs::new(2);
+        let queue = vec![q(1, 0, 0, 10), q(2, 0, 0, 20)];
+        let open = |_: RankId, _: u16| Some(RowId(20));
+        assert_eq!(s.pick(&queue, &open), Some(1));
+    }
+
+    #[test]
+    fn factory_names() {
+        assert_eq!(make_scheduler(SchedulerKind::Fcfs).name(), "FCFS");
+        assert_eq!(make_scheduler(SchedulerKind::FrFcfs).name(), "FR-FCFS");
+        assert_eq!(make_scheduler(SchedulerKind::ParBs).name(), "PAR-BS");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: the controller serves arbitrary request mixes
+//! completely and legally under every scheduler / page-policy
+//! combination.
+
+use proptest::prelude::*;
+use twice_common::{ChannelId, ColId, RankId, RowId, Time};
+use twice_memctrl::addrmap::{AddressMapper, DecodedAccess};
+use twice_memctrl::controller::{ChannelController, ControllerConfig};
+use twice_memctrl::pagepolicy::PagePolicy;
+use twice_memctrl::request::MemRequest;
+use twice_memctrl::scheduler::SchedulerKind;
+use twice_common::Topology;
+
+fn topo() -> Topology {
+    Topology {
+        channels: 1,
+        ranks_per_channel: 1,
+        banks_per_rank: 2,
+        rows_per_bank: 64,
+        cols_per_row: 128,
+        row_bytes: 8_192,
+        devices_per_rank: 8,
+    }
+}
+
+/// (bank, row, col, write?, source)
+fn requests() -> impl Strategy<Value = Vec<(u8, u8, u8, bool, u8)>> {
+    proptest::collection::vec(
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>(), any::<u8>()),
+        0..400,
+    )
+}
+
+fn run_with(
+    scheduler: SchedulerKind,
+    policy: PagePolicy,
+    reqs: &[(u8, u8, u8, bool, u8)],
+) -> ChannelController {
+    let cfg = ControllerConfig {
+        scheduler,
+        page_policy: policy,
+        ..ControllerConfig::for_test(64)
+    };
+    let mut ctrl = ChannelController::without_defense(cfg);
+    let mapper = AddressMapper::row_interleaved(&topo());
+    let trace: Vec<_> = reqs
+        .iter()
+        .map(|&(bank, row, col, write, source)| {
+            let access = DecodedAccess {
+                channel: ChannelId(0),
+                rank: RankId(0),
+                bank: u16::from(bank % 2),
+                row: RowId(u32::from(row % 64)),
+                col: ColId(u16::from(col) % 128),
+            };
+            let addr = mapper.encode(access.channel, access.rank, access.bank, access.row, access.col);
+            let req = if write {
+                MemRequest::write(addr, u16::from(source % 16), Time::ZERO)
+            } else {
+                MemRequest::read(addr, u16::from(source % 16), Time::ZERO)
+            };
+            (req, access)
+        })
+        .collect();
+    ctrl.run(trace);
+    ctrl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_request_is_served_under_every_policy(reqs in requests()) {
+        for scheduler in [SchedulerKind::Fcfs, SchedulerKind::FrFcfs, SchedulerKind::ParBs] {
+            for policy in [
+                PagePolicy::Open,
+                PagePolicy::Closed,
+                PagePolicy::MinimalistOpen { max_hits: 4 },
+            ] {
+                let ctrl = run_with(scheduler, policy, &reqs);
+                prop_assert_eq!(ctrl.served(), reqs.len() as u64, "{:?}/{:?}", scheduler, policy);
+                prop_assert_eq!(ctrl.additional_acts(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn column_accesses_match_requests(reqs in requests()) {
+        let ctrl = run_with(SchedulerKind::ParBs, PagePolicy::paper_default(), &reqs);
+        let reads: u64 = ctrl.rank_stats().map(|s| s.reads).sum();
+        let writes: u64 = ctrl.rank_stats().map(|s| s.writes).sum();
+        prop_assert_eq!(reads + writes, reqs.len() as u64);
+        let expected_writes = reqs.iter().filter(|r| r.3).count() as u64;
+        prop_assert_eq!(writes, expected_writes);
+    }
+
+    #[test]
+    fn open_policy_never_needs_more_acts_than_closed_modulo_refreshes(reqs in requests()) {
+        // An auto-refresh forces the open policy to close a row it would
+        // have kept serving, costing one re-ACT the closed policy never
+        // pays — so the comparison holds up to the refresh count.
+        let open = run_with(SchedulerKind::FrFcfs, PagePolicy::Open, &reqs);
+        let closed = run_with(SchedulerKind::FrFcfs, PagePolicy::Closed, &reqs);
+        let refs: u64 = open.rank_stats().map(|s| s.refreshes).sum();
+        prop_assert!(
+            open.normal_acts() <= closed.normal_acts() + refs,
+            "open {} vs closed {} (+{} refs)",
+            open.normal_acts(),
+            closed.normal_acts(),
+            refs
+        );
+    }
+
+    #[test]
+    fn act_count_is_bounded_by_requests_plus_refresh_conflicts(reqs in requests()) {
+        // Every ACT is caused by a request (row misses <= requests) or by
+        // re-opening after a refresh-forced precharge (bounded by the
+        // number of refreshes).
+        let ctrl = run_with(SchedulerKind::ParBs, PagePolicy::paper_default(), &reqs);
+        let refs: u64 = ctrl.rank_stats().map(|s| s.refreshes).sum();
+        prop_assert!(ctrl.normal_acts() <= reqs.len() as u64 + refs);
+    }
+}

@@ -1,0 +1,49 @@
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+//! Baseline row-hammer defenses — the comparators of the TWiCe paper.
+//!
+//! Each implements [`twice_common::RowHammerDefense`], so any of them can
+//! drop into the simulator where TWiCe goes:
+//!
+//! * [`para::Para`] — probabilistic adjacent-row activation
+//!   ([Kim et al., ISCA'14], §3.3). Stateless, cheap, but offers only
+//!   probabilistic protection and cannot detect attacks.
+//! * [`prohit::Prohit`] — PARA extended with a small history table
+//!   ([Son et al., DAC'17]).
+//! * [`cbt::Cbt`] — the Counter-Based Tree ([Seyedzadeh et al.],
+//!   §3.3): a bounded pool of counters arranged as a dynamically-split
+//!   binary tree over row ranges; group refreshes on threshold crossing.
+//! * [`cra::Cra`] — Counter-based Row Activation ([Kim et al., CAL'15]):
+//!   a counter per row stored in DRAM, cached in the MC; cache misses
+//!   cost extra DRAM traffic.
+//! * [`naive::PerRowOracle`] — an exact, unbounded per-row counter. Not
+//!   buildable in hardware; used as the golden model in tests.
+//! * [`none::NoProtection`] — the unprotected baseline.
+//! * [`graphene::Graphene`] — exact Misra–Gries heavy-hitter tracking
+//!   (extension: the MICRO'20 follow-up to TWiCe).
+//! * [`trr::Trr`] — an in-DRAM Target Row Refresh model (extension:
+//!   the vendor mechanism the paper's §8 says is unspecified; our model
+//!   makes its many-sided-attack gap measurable against TWiCe).
+//!
+//! [`registry`] builds any of them (or TWiCe) from a [`registry::DefenseKind`].
+
+pub mod cbt;
+pub mod cra;
+pub mod graphene;
+pub mod naive;
+pub mod none;
+pub mod para;
+pub mod prohit;
+pub mod registry;
+pub mod trr;
+
+pub use cbt::Cbt;
+pub use cra::Cra;
+pub use graphene::Graphene;
+pub use naive::PerRowOracle;
+pub use none::NoProtection;
+pub use para::Para;
+pub use prohit::Prohit;
+pub use registry::{make_defense, DefenseKind};
+pub use trr::Trr;

@@ -1,0 +1,38 @@
+//! The unprotected baseline.
+
+use twice_common::{BankId, DefenseResponse, RowHammerDefense, RowId, Time};
+
+/// A defense that never acts — the vulnerable baseline used to confirm
+/// that the fault model actually flips bits without protection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProtection;
+
+impl NoProtection {
+    /// Creates the null defense.
+    pub fn new() -> NoProtection {
+        NoProtection
+    }
+}
+
+impl RowHammerDefense for NoProtection {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn on_activate(&mut self, _: BankId, _: RowId, _: Time) -> DefenseResponse {
+        DefenseResponse::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_acts() {
+        let mut d = NoProtection::new();
+        for i in 0..100_000u32 {
+            assert!(d.on_activate(BankId(0), RowId(i % 3), Time::ZERO).is_none());
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! A factory over every defense in the workspace (including TWiCe), so
+//! experiments can sweep defenses from a declarative list.
+
+use crate::cbt::Cbt;
+use crate::cra::Cra;
+use crate::graphene::Graphene;
+use crate::naive::PerRowOracle;
+use crate::none::NoProtection;
+use crate::para::Para;
+use crate::prohit::Prohit;
+use crate::trr::Trr;
+use std::fmt;
+use twice::{TableOrganization, TwiceEngine, TwiceParams};
+use twice_common::RowHammerDefense;
+
+/// A defense selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DefenseKind {
+    /// No protection.
+    None,
+    /// TWiCe with the given table organization.
+    Twice(TableOrganization),
+    /// PARA with trigger probability `p`.
+    Para {
+        /// Trigger probability.
+        p: f64,
+    },
+    /// PRoHIT with refresh probability `p`.
+    Prohit {
+        /// Refresh probability.
+        p: f64,
+    },
+    /// CBT with `counters` counters per bank (threshold 32K, 11 levels).
+    Cbt {
+        /// Counters per bank.
+        counters: usize,
+    },
+    /// CRA with `cache_entries` cached counters per bank.
+    Cra {
+        /// Counter-cache entries per bank.
+        cache_entries: usize,
+    },
+    /// The exact per-row oracle.
+    Oracle,
+    /// An in-DRAM TRR model with `entries` tracker slots (extension).
+    Trr {
+        /// Tracker slots per bank.
+        entries: usize,
+    },
+    /// Graphene (MICRO'20 follow-up): exact Misra–Gries tracking sized
+    /// for the refresh window (extension).
+    Graphene,
+}
+
+impl DefenseKind {
+    /// The four defenses of Figure 7, in its display order.
+    pub fn figure7_lineup() -> Vec<DefenseKind> {
+        vec![
+            DefenseKind::Para { p: 0.001 },
+            DefenseKind::Para { p: 0.002 },
+            DefenseKind::Cbt { counters: 256 },
+            DefenseKind::Twice(TableOrganization::FullyAssociative),
+        ]
+    }
+
+    /// Whether this defense belongs in the RCD (TWiCe, oracle) rather
+    /// than the memory controller.
+    pub fn is_rcd_resident(&self) -> bool {
+        matches!(
+            self,
+            DefenseKind::Twice(_)
+                | DefenseKind::Oracle
+                | DefenseKind::None
+                | DefenseKind::Trr { .. }
+                | DefenseKind::Graphene
+        )
+    }
+}
+
+impl fmt::Display for DefenseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenseKind::None => write!(f, "none"),
+            DefenseKind::Twice(org) => write!(f, "TWiCe({})", org.label()),
+            DefenseKind::Para { p } => write!(f, "PARA-{p}"),
+            DefenseKind::Prohit { p } => write!(f, "PRoHIT-{p}"),
+            DefenseKind::Cbt { counters } => write!(f, "CBT-{counters}"),
+            DefenseKind::Cra { cache_entries } => write!(f, "CRA-{cache_entries}"),
+            DefenseKind::Oracle => write!(f, "oracle"),
+            DefenseKind::Trr { entries } => write!(f, "TRR-{entries}"),
+            DefenseKind::Graphene => write!(f, "Graphene"),
+        }
+    }
+}
+
+/// Builds `kind` for a system of `num_banks` banks under `params`.
+///
+/// `seed` feeds the probabilistic defenses; counter-based defenses use
+/// `params` for thresholds and window geometry.
+///
+/// # Panics
+///
+/// Panics if `params` fails validation (for the TWiCe variants) or
+/// `num_banks` is zero.
+pub fn make_defense(
+    kind: DefenseKind,
+    params: &TwiceParams,
+    num_banks: u32,
+    seed: u64,
+) -> Box<dyn RowHammerDefense> {
+    let refs_per_window = params.max_life();
+    match kind {
+        DefenseKind::None => Box::new(NoProtection::new()),
+        DefenseKind::Twice(org) => {
+            Box::new(TwiceEngine::with_organization(params.clone(), num_banks, org))
+        }
+        DefenseKind::Para { p } => Box::new(Para::new(p, seed)),
+        DefenseKind::Prohit { p } => Box::new(Prohit::with_defaults(p, num_banks, seed)),
+        DefenseKind::Cbt { counters } => Box::new(Cbt::new(
+            counters,
+            params.th_rh,
+            11,
+            num_banks,
+            params.rows_per_bank,
+            refs_per_window,
+        )),
+        DefenseKind::Cra { cache_entries } => Box::new(Cra::new(
+            cache_entries,
+            params.th_rh,
+            num_banks,
+            refs_per_window,
+        )),
+        DefenseKind::Oracle => Box::new(PerRowOracle::new(params.th_rh, num_banks, refs_per_window)),
+        DefenseKind::Trr { entries } => Box::new(Trr::new(
+            entries,
+            params.th_rh,
+            num_banks,
+            refs_per_window,
+        )),
+        DefenseKind::Graphene => Box::new(Graphene::sized_for(
+            params.timings.max_acts_per_window(),
+            params.th_rh,
+            num_banks,
+            refs_per_window,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twice_common::{BankId, RowId, Time};
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let params = TwiceParams::fast_test();
+        let kinds = [
+            DefenseKind::None,
+            DefenseKind::Twice(TableOrganization::FullyAssociative),
+            DefenseKind::Twice(TableOrganization::PseudoAssociative),
+            DefenseKind::Twice(TableOrganization::Split),
+            DefenseKind::Para { p: 0.001 },
+            DefenseKind::Prohit { p: 0.001 },
+            DefenseKind::Cbt { counters: 16 },
+            DefenseKind::Cra { cache_entries: 16 },
+            DefenseKind::Oracle,
+            DefenseKind::Trr { entries: 4 },
+            DefenseKind::Graphene,
+        ];
+        for kind in kinds {
+            let mut d = make_defense(kind, &params, 2, 1);
+            // Smoke: every defense accepts the full interface.
+            d.on_activate(BankId(1), RowId(3), Time::ZERO);
+            d.on_auto_refresh(BankId(1), Time::ZERO);
+            d.reset();
+            assert!(!d.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn figure7_lineup_matches_paper_labels() {
+        let labels: Vec<String> = DefenseKind::figure7_lineup()
+            .iter()
+            .map(|k| k.to_string())
+            .collect();
+        assert_eq!(labels, ["PARA-0.001", "PARA-0.002", "CBT-256", "TWiCe(fa)"]);
+    }
+
+    #[test]
+    fn residency_classification() {
+        assert!(DefenseKind::Twice(TableOrganization::Split).is_rcd_resident());
+        assert!(DefenseKind::Oracle.is_rcd_resident());
+        assert!(!DefenseKind::Para { p: 0.1 }.is_rcd_resident());
+        assert!(!DefenseKind::Cbt { counters: 4 }.is_rcd_resident());
+    }
+
+    #[test]
+    fn counter_defenses_detect_and_probabilistic_do_not() {
+        let params = TwiceParams::fast_test();
+        // Hammer one row th_rh times; counter-based kinds must detect.
+        for kind in [
+            DefenseKind::Twice(TableOrganization::FullyAssociative),
+            DefenseKind::Cra { cache_entries: 8 },
+            DefenseKind::Oracle,
+        ] {
+            let mut d = make_defense(kind, &params, 1, 1);
+            let mut detected = false;
+            for _ in 0..params.th_rh {
+                detected |= d
+                    .on_activate(BankId(0), RowId(3), Time::ZERO)
+                    .detection
+                    .is_some();
+            }
+            assert!(detected, "{kind} must detect");
+        }
+        let mut para = make_defense(DefenseKind::Para { p: 0.01 }, &params, 1, 1);
+        for _ in 0..params.th_rh {
+            assert!(para
+                .on_activate(BankId(0), RowId(3), Time::ZERO)
+                .detection
+                .is_none());
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! `twice-exp`: run TWiCe-reproduction experiments from the command line.
+//!
+//! ```console
+//! $ twice-exp tables                      # Tables 2-4, bound, storage, sweeps
+//! $ twice-exp fig7a --requests 250000     # Figure 7(a) at paper scale
+//! $ twice-exp fig7b --requests 1500000    # Figure 7(b) at paper scale
+//! $ twice-exp table1 --requests 40000     # measured defense comparison
+//! $ twice-exp attack --defense twice      # an S3 confrontation
+//! $ twice-exp capacity                    # the 4.4 bound
+//! ```
+
+use std::process::ExitCode;
+use twice::cost::TwiceCostModel;
+use twice::{TableOrganization, TwiceParams};
+use twice_mitigations::DefenseKind;
+use twice_sim::config::SimConfig;
+use twice_sim::experiments::{ablation, capacity, ecc, fig7, latency, storage, table1, table2, table3, table4};
+use twice_sim::runner::WorkloadKind;
+use twice_sim::verify::confront;
+
+struct Args {
+    command: String,
+    requests: Option<u64>,
+    defense: Option<String>,
+    workload: Option<String>,
+    file: Option<String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next()?;
+    let mut requests = None;
+    let mut defense = None;
+    let mut workload = None;
+    let mut file = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--requests" => requests = args.next()?.parse().ok(),
+            "--defense" => defense = args.next(),
+            "--workload" => workload = args.next(),
+            "--file" => file = args.next(),
+            _ => {
+                eprintln!("unknown flag: {flag}");
+                return None;
+            }
+        }
+    }
+    Some(Args {
+        command,
+        requests,
+        defense,
+        workload,
+        file,
+    })
+}
+
+fn defense_from_name(name: &str) -> Option<DefenseKind> {
+    Some(match name {
+        "twice" | "twice-fa" => DefenseKind::Twice(TableOrganization::FullyAssociative),
+        "twice-pa" => DefenseKind::Twice(TableOrganization::PseudoAssociative),
+        "twice-split" => DefenseKind::Twice(TableOrganization::Split),
+        "para" => DefenseKind::Para { p: 0.001 },
+        "para2" => DefenseKind::Para { p: 0.002 },
+        "prohit" => DefenseKind::Prohit { p: 0.001 },
+        "cbt" => DefenseKind::Cbt { counters: 256 },
+        "cra" => DefenseKind::Cra { cache_entries: 512 },
+        "trr" => DefenseKind::Trr { entries: 16 },
+        "graphene" => DefenseKind::Graphene,
+        "oracle" => DefenseKind::Oracle,
+        "none" => DefenseKind::None,
+        _ => return None,
+    })
+}
+
+fn workload_from_name(name: &str) -> Option<WorkloadKind> {
+    Some(match name {
+        "s1" => WorkloadKind::S1,
+        "s2" => WorkloadKind::S2,
+        "s3" => WorkloadKind::S3,
+        "mix-high" => WorkloadKind::MixHigh,
+        "mix-blend" => WorkloadKind::MixBlend,
+        "fft" => WorkloadKind::Fft,
+        "radix" => WorkloadKind::Radix,
+        "mica" => WorkloadKind::Mica,
+        "pagerank" => WorkloadKind::PageRank,
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: twice-exp <command> [--requests N] [--defense NAME]\n\
+         commands:\n\
+         \x20 tables    print every computational table (2,3,4, bound, storage, sweeps)\n\
+         \x20 table1    measured defense comparison (scaled system)\n\
+         \x20 fig7a     Figure 7(a) sweep at paper scale\n\
+         \x20 fig7b     Figure 7(b) sweep at paper scale\n\
+         \x20 capacity  the 4.4 capacity bound\n\
+         \x20 attack    S3 confrontation on the scaled system\n\
+         defenses: twice twice-pa twice-split para para2 prohit cbt cra oracle none"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    let params = TwiceParams::paper_default();
+    match args.command.as_str() {
+        "tables" => {
+            println!("{}", table2::table2(&params));
+            println!(
+                "{}",
+                table3::table3(&TwiceCostModel::table3_45nm(), &params.timings)
+            );
+            println!("{}", table4::table4(&SimConfig::paper_default()));
+            println!("{}", capacity::capacity(&params, 128).table);
+            println!("{}", storage::storage(&params).table);
+            println!("{}", ablation::arr_overhead(&params).table);
+            println!(
+                "{}",
+                ablation::th_rh_sweep(&params, &[8_192, 16_384, 32_768, 65_536])
+            );
+            println!("{}", ablation::timing_sweep(&params));
+        }
+        "table1" => {
+            let cfg = SimConfig::fast_test();
+            let (table, _) = table1::table1(&cfg, args.requests.unwrap_or(40_000));
+            println!("{table}");
+        }
+        "fig7a" => {
+            let cfg = SimConfig::paper_default();
+            let sample = ["mcf", "libquantum", "lbm", "omnetpp", "gcc", "hmmer"];
+            let result = fig7::figure7a(&cfg, &sample, args.requests.unwrap_or(250_000));
+            println!("{}", result.table);
+        }
+        "fig7b" => {
+            let cfg = SimConfig::paper_default();
+            let result = fig7::figure7b(&cfg, args.requests.unwrap_or(1_500_000));
+            println!("{}", result.table);
+        }
+        "capacity" => {
+            println!("{}", capacity::capacity(&params, 256).table);
+        }
+        "latency" => {
+            let cfg = SimConfig::paper_default();
+            let requests = args.requests.unwrap_or(250_000);
+            let workloads = vec![
+                ("S3".to_string(), WorkloadKind::S3, requests),
+                ("S2".to_string(), WorkloadKind::S2, requests.max(1_500_000)),
+            ];
+            println!("{}", latency::latency_spike(&cfg, &workloads).table);
+        }
+        "ecc" => {
+            let cfg = SimConfig::fast_test();
+            let (table, _) = ecc::ecc_experiment(&cfg, args.requests.unwrap_or(60_000));
+            println!("{table}");
+        }
+        "attack" => {
+            let cfg = SimConfig::fast_test();
+            let name = args.defense.as_deref().unwrap_or("twice");
+            let Some(kind) = defense_from_name(name) else {
+                eprintln!("unknown defense: {name}");
+                return usage();
+            };
+            let out = confront(&cfg, WorkloadKind::S3, kind, args.requests.unwrap_or(60_000));
+            println!(
+                "S3 hammer, {} requests (scaled system, N_th = {}):",
+                out.unprotected.requests, cfg.fault_n_th
+            );
+            println!(
+                "  unprotected : {} bit flip(s)",
+                out.unprotected.bit_flips
+            );
+            println!(
+                "  {:11} : {} bit flip(s), {} detection(s), {} additional ACTs ({})",
+                out.defended.defense,
+                out.defended.bit_flips,
+                out.defended.detections,
+                out.defended.additional_acts,
+                out.defended.ratio_percent(),
+            );
+        }
+        "record" => {
+            let Some(path) = args.file.as_deref() else {
+                eprintln!("record needs --file PATH");
+                return usage();
+            };
+            let name = args.workload.as_deref().unwrap_or("s1");
+            let Some(workload) = workload_from_name(name) else {
+                eprintln!("unknown workload: {name}");
+                return usage();
+            };
+            let cfg = SimConfig::paper_default();
+            let trace =
+                twice_sim::runner::build_trace(&cfg, &workload, args.requests.unwrap_or(100_000));
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match twice_workloads::record::write_trace(std::io::BufWriter::new(file), trace) {
+                Ok(n) => println!("wrote {n} accesses to {path}"),
+                Err(e) => {
+                    eprintln!("write failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "replay" => {
+            let Some(path) = args.file.as_deref() else {
+                eprintln!("replay needs --file PATH");
+                return usage();
+            };
+            let name = args.defense.as_deref().unwrap_or("twice");
+            let Some(kind) = defense_from_name(name) else {
+                eprintln!("unknown defense: {name}");
+                return usage();
+            };
+            let cfg = SimConfig::paper_default();
+            let file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let reader = twice_workloads::record::TraceReader::new(
+                std::io::BufReader::new(file),
+                &cfg.topology,
+            );
+            let mut system = twice_sim::system::System::new(&cfg, kind);
+            let mut bad = 0u64;
+            system.run(reader.filter_map(|r| match r {
+                Ok(item) => Some(item),
+                Err(e) => {
+                    if bad == 0 {
+                        eprintln!("skipping malformed line: {e}");
+                    }
+                    bad += 1;
+                    None
+                }
+            }));
+            let m = system.metrics(path.to_string());
+            println!(
+                "{}: {} requests, {} ACTs, {} additional ({}), {} detection(s), {} flip(s)",
+                m.defense,
+                m.requests,
+                m.normal_acts,
+                m.additional_acts,
+                m.ratio_percent(),
+                m.detections,
+                m.bit_flips
+            );
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

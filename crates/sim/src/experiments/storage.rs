@@ -1,0 +1,79 @@
+//! §6.2/§7.1: table storage arithmetic (experiment B2).
+
+use crate::report::Table;
+use twice::cost::TableStorage;
+use twice::{CapacityBound, TwiceParams};
+
+/// The storage experiment's outcome.
+#[derive(Debug, Clone)]
+pub struct StorageResult {
+    /// Unified (fa) layout.
+    pub unified: TableStorage,
+    /// Split layout.
+    pub split: TableStorage,
+    /// Split + pa SB indicators.
+    pub split_pa: TableStorage,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Computes B2 for `params`.
+pub fn storage(params: &TwiceParams) -> StorageResult {
+    let bound = CapacityBound::for_params(params);
+    let unified = TableStorage::unified(params, &bound);
+    let split = TableStorage::split(params, &bound);
+    let split_pa = TableStorage::split_pa(params, &bound, 64);
+    let mut table = Table::new(
+        "Table storage per bank (paper 6.2 / 7.1)",
+        &["layout", "entries", "bits/entry", "total", "note"],
+    );
+    table.row(&[
+        "unified (fa)".into(),
+        unified.long_entries.to_string(),
+        unified.long_entry_bits.to_string(),
+        format!("{:.2} KiB", unified.total_kib()),
+        "paper: 553 x 46b".into(),
+    ]);
+    table.row(&[
+        "split".into(),
+        format!("{}L + {}S", split.long_entries, split.short_entries),
+        format!("{}b / {}b", split.long_entry_bits, split.short_entry_bits),
+        format!("{:.2} KiB", split.total_kib()),
+        format!(
+            "paper: 2.71 KB; saving {:.1}% (paper ~13%)",
+            split.saving_vs(&unified) * 100.0
+        ),
+    ]);
+    table.row(&[
+        "split + pa SB indicators".into(),
+        format!("{} + 72 ind.", split_pa.long_entries + split_pa.short_entries),
+        String::new(),
+        format!("{:.2} KiB", split_pa.total_kib()),
+        format!(
+            "+{} B (paper: +54 B)",
+            split_pa.total_bytes() - split.total_bytes()
+        ),
+    ]);
+    StorageResult {
+        unified,
+        split,
+        split_pa,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_table_matches_paper_scale() {
+        let r = storage(&TwiceParams::paper_default());
+        assert!((2.65..=2.80).contains(&r.split.total_kib()));
+        let saving = r.split.saving_vs(&r.unified);
+        assert!((0.11..=0.14).contains(&saving));
+        assert_eq!(r.split_pa.total_bytes() - r.split.total_bytes(), 54);
+        let s = r.table.to_string();
+        assert!(s.contains("KiB"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Table 1: qualitative comparison of RH defenses — backed by
+//! measurements from this reproduction rather than just claims.
+
+use crate::config::SimConfig;
+use crate::report::{percent, Table};
+use crate::runner::{run, WorkloadKind};
+use twice::TableOrganization;
+use twice_mitigations::DefenseKind;
+
+/// One defense's Table 1 row, with the qualitative claims of the paper
+/// and the measured evidence from this reproduction.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Defense label.
+    pub defense: String,
+    /// Where the scheme lives ("MC" or "RCD").
+    pub location: &'static str,
+    /// Measured additional-ACT ratio on a benign pattern (S1).
+    pub typical_overhead: f64,
+    /// Measured additional-ACT ratio on its worst adversarial pattern.
+    pub adversarial_overhead: f64,
+    /// Whether the scheme raised detections under attack.
+    pub detects: bool,
+}
+
+/// Reproduces Table 1, measuring each scheme on a benign pattern (S1)
+/// and on the adversarial patterns (S2 for the counter trees, S3 for
+/// everyone) with `requests` accesses per run.
+pub fn table1(cfg: &SimConfig, requests: u64) -> (Table, Vec<Comparison>) {
+    let lineup: Vec<(DefenseKind, &'static str)> = vec![
+        (DefenseKind::Cra { cache_entries: 64 }, "MC"),
+        (DefenseKind::Cbt { counters: 256 }, "MC"),
+        (DefenseKind::Para { p: 0.001 }, "MC"),
+        (
+            DefenseKind::Twice(TableOrganization::FullyAssociative),
+            "RCD",
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (kind, location) in lineup {
+        let typical = run(cfg, WorkloadKind::S1, kind, requests);
+        // Each defense's worst pattern: CBT hates S2; everyone else S3;
+        // CRA hates S1 itself, so take the max.
+        let s2 = run(cfg, WorkloadKind::S2, kind, requests);
+        let s3 = run(cfg, WorkloadKind::S3, kind, requests);
+        let adversarial = s2
+            .additional_act_ratio()
+            .max(s3.additional_act_ratio())
+            .max(typical.additional_act_ratio());
+        rows.push(Comparison {
+            defense: kind.to_string(),
+            location,
+            typical_overhead: typical.additional_act_ratio(),
+            adversarial_overhead: adversarial,
+            detects: s3.detections > 0,
+        });
+    }
+    let mut table = Table::new(
+        "Table 1: TWiCe vs previous row-hammer defenses (measured)",
+        &[
+            "defense",
+            "location",
+            "typical overhead (S1)",
+            "worst adversarial overhead",
+            "detects attacks",
+        ],
+    );
+    for c in &rows {
+        table.row(&[
+            c.defense.clone(),
+            c.location.to_string(),
+            percent(c.typical_overhead),
+            percent(c.adversarial_overhead),
+            if c.detects { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_table1_preserves_paper_ordering() {
+        let cfg = SimConfig::fast_test();
+        let (table, rows) = table1(&cfg, 30_000);
+        assert_eq!(table.len(), 4);
+        let by_name = |n: &str| rows.iter().find(|c| c.defense.contains(n)).unwrap();
+        let cra = by_name("CRA");
+        let cbt = by_name("CBT");
+        let para = by_name("PARA");
+        let twice = by_name("TWiCe");
+        // Paper's qualitative claims:
+        assert!(twice.detects && cbt.detects && cra.detects);
+        assert!(!para.detects, "PARA is attack-oblivious");
+        assert!(
+            twice.typical_overhead == 0.0,
+            "TWiCe: no overhead on typical patterns"
+        );
+        assert!(
+            cra.adversarial_overhead > para.adversarial_overhead,
+            "CRA degrades badly on adversarial patterns"
+        );
+        assert!(
+            cbt.adversarial_overhead > twice.adversarial_overhead,
+            "CBT group refreshes dwarf TWiCe's ARRs"
+        );
+        // TWiCe's worst case is analytic: 2 extra ACTs per thRH ACTs.
+        assert!(twice.adversarial_overhead <= 2.5 / cfg.params.th_rh as f64);
+        assert_eq!(twice.location, "RCD");
+    }
+}

@@ -1,0 +1,46 @@
+//! Table 2: TWiCe definitions and typical values.
+
+use crate::report::Table;
+use twice::TwiceParams;
+
+/// Renders Table 2 for `params`, marking which rows match the paper's
+/// published values when `params` is the paper default.
+pub fn table2(params: &TwiceParams) -> Table {
+    let mut t = Table::new(
+        "Table 2: definition and typical values for TWiCe",
+        &["term", "definition", "value", "paper"],
+    );
+    let rows: Vec<(&str, &str, String, &str)> = vec![
+        ("tREFW", "refresh window", params.timings.t_refw.to_string(), "64 ms"),
+        ("tREFI", "refresh interval", params.timings.t_refi.to_string(), "7.8 us"),
+        ("tRFC", "refresh command time", params.timings.t_rfc.to_string(), "350 ns"),
+        ("tRC", "ACT to ACT interval", params.timings.t_rc.to_string(), "45 ns"),
+        ("thRH", "RH detection threshold", params.th_rh.to_string(), "32,768"),
+        ("thPI", "pruning interval threshold", params.th_pi().to_string(), "4"),
+        ("maxact", "max # of ACTs during PI", params.max_act().to_string(), "165"),
+        ("maxlife", "max life of a row in PI", params.max_life().to_string(), "8,192"),
+    ];
+    for (term, def, value, paper) in rows {
+        t.row(&[term.to_string(), def.to_string(), value, paper.to_string()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_reproduce_every_derived_value() {
+        let p = TwiceParams::paper_default();
+        assert_eq!(p.th_pi(), 4);
+        assert_eq!(p.max_act(), 165);
+        assert_eq!(p.max_life(), 8_192);
+        let t = table2(&p);
+        assert_eq!(t.len(), 8);
+        let rendered = t.to_string();
+        assert!(rendered.contains("165"));
+        assert!(rendered.contains("8192"));
+        assert!(rendered.contains("32768"));
+    }
+}

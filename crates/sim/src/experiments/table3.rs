@@ -1,0 +1,73 @@
+//! Table 3: timing and energy of TWiCe and DRAM operations, plus the
+//! §7.1 claims derived from them.
+
+use crate::report::Table;
+use twice::cost::TwiceCostModel;
+use twice_common::DdrTimings;
+
+/// Renders Table 3 and the derived §7.1 claims.
+pub fn table3(model: &TwiceCostModel, timings: &DdrTimings) -> Table {
+    let mut t = Table::new(
+        "Table 3: timing and energy in operating TWiCe and DRAM devices (45nm model)",
+        &["operation", "timing (ns)", "energy (nJ)"],
+    );
+    let rows = [
+        ("fa-TWiCe ACT count", &model.fa_count),
+        ("fa-TWiCe table update", &model.fa_update),
+        ("pa-TWiCe ACT cnt (preferred set)", &model.pa_count_preferred),
+        ("pa-TWiCe ACT cnt (all sets)", &model.pa_count_all),
+        ("pa-TWiCe table update", &model.pa_update),
+        ("DRAM ACT+PRE (tRC)", &model.dram_act_pre),
+        ("DRAM refresh/bank (tRFC)", &model.dram_refresh_bank),
+    ];
+    for (name, op) in rows {
+        t.row(&[
+            name.to_string(),
+            format!("{}", op.latency.as_ns()),
+            format!("{:.3}", op.energy_pj as f64 / 1e3),
+        ]);
+    }
+    t.row(&[
+        "derived: count hides under tRC".to_string(),
+        model.count_hides_under_trc(timings).to_string(),
+        String::new(),
+    ]);
+    t.row(&[
+        "derived: update hides under tRFC".to_string(),
+        model.update_hides_under_trfc(timings).to_string(),
+        String::new(),
+    ]);
+    t.row(&[
+        "derived: fa count energy vs ACT+PRE".to_string(),
+        String::new(),
+        format!("{:.2}%", model.count_energy_overhead(false) * 100.0),
+    ]);
+    t.row(&[
+        "derived: fa update energy vs refresh".to_string(),
+        String::new(),
+        format!("{:.2}%", model.update_energy_overhead(false) * 100.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_reproduces_paper_numbers_and_claims() {
+        let m = TwiceCostModel::table3_45nm();
+        let t = table3(&m, &DdrTimings::ddr4_2400());
+        let s = t.to_string();
+        // The seven measured rows of the paper's Table 3.
+        for needle in ["0.082", "0.663", "0.037", "0.313", "0.474", "11.490", "132.250"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+        // §7.1 claims.
+        assert!(s.contains("count hides under tRC"));
+        assert!(m.count_hides_under_trc(&DdrTimings::ddr4_2400()));
+        assert!(m.update_hides_under_trfc(&DdrTimings::ddr4_2400()));
+        assert!(m.count_energy_overhead(false) < 0.0075);
+        assert!(m.update_energy_overhead(false) < 0.0055);
+    }
+}

@@ -1,0 +1,54 @@
+//! Table 4: the simulated-system configuration.
+
+use crate::config::SimConfig;
+use crate::report::Table;
+use twice_memctrl::scheduler::SchedulerKind;
+
+/// Renders the system configuration in Table 4's shape.
+pub fn table4(cfg: &SimConfig) -> Table {
+    let mut t = Table::new(
+        "Table 4: parameters of the simulated system",
+        &["resource", "value"],
+    );
+    let topo = &cfg.topology;
+    let scheduler = match cfg.scheduler {
+        SchedulerKind::Fcfs => "FCFS",
+        SchedulerKind::FrFcfs => "FR-FCFS",
+        SchedulerKind::ParBs => "PAR-BS",
+    };
+    let rows: Vec<(&str, String)> = vec![
+        ("memory channels / MCs", topo.channels.to_string()),
+        ("ranks per channel", topo.ranks_per_channel.to_string()),
+        ("banks per rank", topo.banks_per_rank.to_string()),
+        ("rows per bank", topo.rows_per_bank.to_string()),
+        ("row size", format!("{} B", topo.row_bytes)),
+        ("total capacity", format!("{} GiB", topo.capacity_bytes() >> 30)),
+        ("module type", "DDR4-2400 (RDIMM, RCD per DIMM)".to_string()),
+        ("request queue", format!("{} entries", cfg.queue_capacity)),
+        ("scheduling policy", scheduler.to_string()),
+        ("DRAM page policy", format!("{:?}", cfg.page_policy)),
+        ("RH threshold N_th", cfg.fault_n_th.to_string()),
+        ("TWiCe thRH", cfg.params.th_rh.to_string()),
+    ];
+    for (k, v) in rows {
+        t.row(&[k.to_string(), v]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_matches_table4() {
+        let t = table4(&SimConfig::paper_default());
+        let s = t.to_string();
+        assert!(s.contains("DDR4-2400"));
+        assert!(s.contains("PAR-BS"));
+        assert!(s.contains("64 entries"));
+        assert!(s.contains("MinimalistOpen"));
+        assert!(s.contains("131072"));
+        assert!(s.contains("64 GiB"));
+    }
+}

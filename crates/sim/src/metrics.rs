@@ -1,0 +1,96 @@
+//! Per-run metric records.
+
+use twice_common::{Span, Time};
+
+/// Everything measured from one workload × defense run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Workload label.
+    pub workload: String,
+    /// Defense label.
+    pub defense: String,
+    /// Requests serviced.
+    pub requests: u64,
+    /// Normal (MC-issued) row activations.
+    pub normal_acts: u64,
+    /// Additional activations caused by the defense (ARR victims,
+    /// explicit refreshes, metadata traffic).
+    pub additional_acts: u64,
+    /// Attack detections raised.
+    pub detections: u64,
+    /// Row-hammer bit flips recorded by the fault model.
+    pub bit_flips: usize,
+    /// Commands nacked by the RCDs.
+    pub nacks: u64,
+    /// Total DRAM energy in picojoules.
+    pub energy_pj: u64,
+    /// Final simulated time.
+    pub sim_time: Time,
+    /// Mean queue-to-completion request latency.
+    pub latency_mean: Span,
+    /// 99th-percentile request latency (upper bucket edge).
+    pub latency_p99: Span,
+    /// Worst-case request latency (exact).
+    pub latency_max: Span,
+}
+
+impl RunMetrics {
+    /// Figure 7's y-axis: additional ACTs relative to normal ACTs.
+    pub fn additional_act_ratio(&self) -> f64 {
+        if self.normal_acts == 0 {
+            0.0
+        } else {
+            self.additional_acts as f64 / self.normal_acts as f64
+        }
+    }
+
+    /// The ratio formatted as Figure 7 prints it (percent).
+    pub fn ratio_percent(&self) -> String {
+        format!("{:.4}%", self.additional_act_ratio() * 100.0)
+    }
+
+    /// Average simulated inter-activation time (sanity metric: must not
+    /// beat `tRC` on a single bank).
+    pub fn mean_act_interval(&self) -> Span {
+        match self.sim_time.as_ps().checked_div(self.normal_acts) {
+            Some(ps) => Span::from_ps(ps),
+            None => Span::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(normal: u64, additional: u64) -> RunMetrics {
+        RunMetrics {
+            workload: "w".into(),
+            defense: "d".into(),
+            requests: 0,
+            normal_acts: normal,
+            additional_acts: additional,
+            detections: 0,
+            bit_flips: 0,
+            nacks: 0,
+            energy_pj: 0,
+            sim_time: Time::from_ps(1_000),
+            latency_mean: Span::ZERO,
+            latency_p99: Span::ZERO,
+            latency_max: Span::ZERO,
+        }
+    }
+
+    #[test]
+    fn ratio_math() {
+        assert_eq!(metrics(0, 5).additional_act_ratio(), 0.0);
+        assert!((metrics(32_768, 2).additional_act_ratio() - 6.1e-5).abs() < 1e-6);
+        assert_eq!(metrics(1000, 1).ratio_percent(), "0.1000%");
+    }
+
+    #[test]
+    fn act_interval() {
+        assert_eq!(metrics(10, 0).mean_act_interval(), Span::from_ps(100));
+        assert_eq!(metrics(0, 0).mean_act_interval(), Span::ZERO);
+    }
+}

@@ -1,0 +1,197 @@
+//! Workload × defense runners.
+
+use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
+use crate::system::System;
+use std::fmt;
+use twice_common::RowId;
+use twice_mitigations::DefenseKind;
+use twice_workloads::attack::{HammerAttack, HammerShape};
+use twice_workloads::fft::FftSource;
+use twice_workloads::mica::MicaSource;
+use twice_workloads::mix::{mix_blend, mix_high, spec_rate};
+use twice_workloads::pagerank::PageRankSource;
+use twice_workloads::radix::RadixSource;
+use twice_workloads::spec::app;
+use twice_workloads::synth::{S1Random, S2CbtAdversarial, S3SingleRowHammer};
+use twice_workloads::{AccessSource, TraceItem};
+
+/// The workloads of §7.2.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadKind {
+    /// 16-copy SPECrate of one application.
+    SpecRate(&'static str),
+    /// The memory-intensive 16-app mix.
+    MixHigh,
+    /// The blended 16-app mix.
+    MixBlend,
+    /// SPLASH-2X FFT.
+    Fft,
+    /// SPLASH-2X RADIX.
+    Radix,
+    /// MICA key-value store.
+    Mica,
+    /// GAP PageRank.
+    PageRank,
+    /// Synthetic: uniform random.
+    S1,
+    /// Synthetic: CBT-adversarial.
+    S2,
+    /// Synthetic: single-row hammer.
+    S3,
+    /// A configurable hammer attack on bank 0.
+    Attack(HammerShape),
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadKind::SpecRate(name) => write!(f, "{name}"),
+            WorkloadKind::MixHigh => write!(f, "mix-high"),
+            WorkloadKind::MixBlend => write!(f, "mix-blend"),
+            WorkloadKind::Fft => write!(f, "FFT"),
+            WorkloadKind::Radix => write!(f, "RADIX"),
+            WorkloadKind::Mica => write!(f, "MICA"),
+            WorkloadKind::PageRank => write!(f, "PageRank"),
+            WorkloadKind::S1 => write!(f, "S1"),
+            WorkloadKind::S2 => write!(f, "S2"),
+            WorkloadKind::S3 => write!(f, "S3"),
+            WorkloadKind::Attack(shape) => write!(f, "attack({shape:?})"),
+        }
+    }
+}
+
+impl WorkloadKind {
+    /// The Figure 7(a) workload list (SPECrate average is computed from
+    /// the individual SpecRate runs by the experiment module).
+    pub fn figure7a() -> Vec<WorkloadKind> {
+        vec![
+            WorkloadKind::MixHigh,
+            WorkloadKind::MixBlend,
+            WorkloadKind::Fft,
+            WorkloadKind::Mica,
+            WorkloadKind::PageRank,
+            WorkloadKind::Radix,
+        ]
+    }
+
+    /// The Figure 7(b) synthetic list.
+    pub fn figure7b() -> Vec<WorkloadKind> {
+        vec![WorkloadKind::S1, WorkloadKind::S2, WorkloadKind::S3]
+    }
+}
+
+/// Builds the bounded trace for `kind` with `requests` accesses.
+///
+/// # Panics
+///
+/// Panics if a `SpecRate` name is unknown.
+pub fn build_trace(
+    cfg: &SimConfig,
+    kind: &WorkloadKind,
+    requests: u64,
+) -> Box<dyn Iterator<Item = TraceItem>> {
+    let topo = &cfg.topology;
+    let seed = cfg.seed;
+    match kind {
+        WorkloadKind::SpecRate(name) => {
+            let model = app(name).unwrap_or_else(|| panic!("unknown SPEC app {name}"));
+            Box::new(spec_rate(topo, &model, seed).take_requests(requests))
+        }
+        WorkloadKind::MixHigh => Box::new(mix_high(topo, seed).take_requests(requests)),
+        WorkloadKind::MixBlend => Box::new(mix_blend(topo, seed).take_requests(requests)),
+        WorkloadKind::Fft => {
+            Box::new(FftSource::new(topo, 1 << 22, 16).take_requests(requests))
+        }
+        WorkloadKind::Radix => {
+            Box::new(RadixSource::new(topo, 1 << 22, 256, 16, seed).take_requests(requests))
+        }
+        WorkloadKind::Mica => Box::new(MicaSource::standard(topo, seed).take_requests(requests)),
+        WorkloadKind::PageRank => {
+            Box::new(PageRankSource::standard(topo, seed).take_requests(requests))
+        }
+        WorkloadKind::S1 => Box::new(S1Random::new(topo, seed).take_requests(requests)),
+        WorkloadKind::S2 => {
+            Box::new(S2CbtAdversarial::standard(topo, seed).take_requests(requests))
+        }
+        WorkloadKind::S3 => Box::new(S3SingleRowHammer::new(topo, seed).take_requests(requests)),
+        WorkloadKind::Attack(shape) => {
+            Box::new(HammerAttack::new(topo, 0, shape.clone()).take_requests(requests))
+        }
+    }
+}
+
+/// Runs `workload` under `defense` for `requests` accesses and collects
+/// the metrics.
+pub fn run(
+    cfg: &SimConfig,
+    workload: WorkloadKind,
+    defense: DefenseKind,
+    requests: u64,
+) -> RunMetrics {
+    let mut system = System::new(cfg, defense);
+    let trace = build_trace(cfg, &workload, requests);
+    system.run(trace);
+    system.metrics(workload.to_string())
+}
+
+/// Convenience: a double-sided attack around `victim`.
+pub fn double_sided(victim: u32) -> WorkloadKind {
+    WorkloadKind::Attack(HammerShape::DoubleSided { victim: RowId(victim) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twice::TableOrganization;
+
+    #[test]
+    fn every_workload_builds_and_runs_briefly() {
+        let cfg = SimConfig::fast_test();
+        let workloads = [
+            WorkloadKind::SpecRate("mcf"),
+            WorkloadKind::MixHigh,
+            WorkloadKind::MixBlend,
+            WorkloadKind::Fft,
+            WorkloadKind::Radix,
+            WorkloadKind::Mica,
+            WorkloadKind::PageRank,
+            WorkloadKind::S1,
+            WorkloadKind::S2,
+            WorkloadKind::S3,
+            double_sided(100),
+        ];
+        for w in workloads {
+            let label = w.to_string();
+            let m = run(&cfg, w, DefenseKind::None, 500);
+            assert_eq!(m.requests, 500, "{label}");
+            assert!(m.normal_acts > 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn s3_under_twice_detects_and_stays_cheap() {
+        let cfg = SimConfig::fast_test(); // thRH = 256
+        let m = run(
+            &cfg,
+            WorkloadKind::S3,
+            DefenseKind::Twice(TableOrganization::FullyAssociative),
+            20_000,
+        );
+        assert!(m.detections > 0, "the hammer must be detected");
+        assert_eq!(m.bit_flips, 0);
+        // Up to 2 additional ACTs per thRH normal ACTs.
+        let bound = (m.normal_acts / cfg.params.th_rh + 1) * 2;
+        assert!(m.additional_acts <= bound + 2);
+        assert!(m.nacks > 0, "ARRs must have nacked some commands");
+    }
+
+    #[test]
+    fn unknown_spec_app_panics() {
+        let cfg = SimConfig::fast_test();
+        let result = std::panic::catch_unwind(|| {
+            build_trace(&cfg, &WorkloadKind::SpecRate("nope"), 1)
+        });
+        assert!(result.is_err());
+    }
+}

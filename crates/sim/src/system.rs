@@ -1,0 +1,170 @@
+//! The multi-channel simulated memory system.
+
+use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
+use twice_common::Time;
+use twice_dram::energy::DramEnergyModel;
+use twice_memctrl::controller::{ChannelController, DefenseLocation};
+use twice_mitigations::{make_defense, DefenseKind};
+use twice_workloads::TraceItem;
+
+/// The full system: one [`ChannelController`] per channel, each with its
+/// own defense instance (defense state is per-bank, so per-channel
+/// instantiation is behavior-preserving).
+pub struct System {
+    controllers: Vec<ChannelController>,
+    defense_label: String,
+    requests: u64,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("channels", &self.controllers.len())
+            .field("defense", &self.defense_label)
+            .field("requests", &self.requests)
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds the system of `cfg` protected by `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: &SimConfig, kind: DefenseKind) -> System {
+        cfg.validate().expect("invalid simulation configuration");
+        let location = if kind.is_rcd_resident() {
+            DefenseLocation::Rcd
+        } else {
+            DefenseLocation::MemoryController
+        };
+        let controllers = (0..cfg.topology.channels)
+            .map(|ch| {
+                let defense = make_defense(
+                    kind,
+                    &cfg.params,
+                    cfg.banks_per_channel(),
+                    cfg.seed ^ (u64::from(ch) << 40),
+                );
+                ChannelController::new(cfg.controller_config(ch), defense, location)
+            })
+            .collect();
+        System {
+            controllers,
+            defense_label: kind.to_string(),
+            requests: 0,
+        }
+    }
+
+    /// Feeds `trace` through the system to completion: items are routed
+    /// to their channel, controllers service requests as their queues
+    /// fill, and all queues are drained at the end.
+    pub fn run(&mut self, trace: impl IntoIterator<Item = TraceItem>) {
+        for (req, access) in trace {
+            let c = access.channel.index();
+            assert!(c < self.controllers.len(), "trace channel out of range");
+            while !self.controllers[c].has_capacity() {
+                self.controllers[c].service_one();
+            }
+            self.controllers[c].submit(req, access);
+            self.requests += 1;
+        }
+        for ctrl in &mut self.controllers {
+            while ctrl.service_one() {}
+        }
+    }
+
+    /// The per-channel controllers.
+    pub fn controllers(&self) -> &[ChannelController] {
+        &self.controllers
+    }
+
+    /// Mutable access to a controller (fault-model inspection).
+    pub fn controller_mut(&mut self, channel: usize) -> &mut ChannelController {
+        &mut self.controllers[channel]
+    }
+
+    /// Collects the run's metrics under `workload_label`.
+    pub fn metrics(&self, workload_label: impl Into<String>) -> RunMetrics {
+        let energy_model = DramEnergyModel::ddr4();
+        let mut latency = twice_memctrl::latency::LatencyHistogram::new();
+        for c in &self.controllers {
+            latency.merge(c.latency());
+        }
+        RunMetrics {
+            workload: workload_label.into(),
+            defense: self.defense_label.clone(),
+            requests: self.requests,
+            normal_acts: self.controllers.iter().map(|c| c.normal_acts()).sum(),
+            additional_acts: self.controllers.iter().map(|c| c.additional_acts()).sum(),
+            detections: self
+                .controllers
+                .iter()
+                .map(|c| c.detections().len() as u64)
+                .sum(),
+            bit_flips: self.controllers.iter().map(|c| c.bit_flip_count()).sum(),
+            nacks: self.controllers.iter().map(|c| c.nacks()).sum(),
+            energy_pj: self.controllers.iter().map(|c| c.energy_pj(&energy_model)).sum(),
+            sim_time: self
+                .controllers
+                .iter()
+                .map(|c| c.now())
+                .max()
+                .unwrap_or(Time::ZERO),
+            latency_mean: latency.mean(),
+            latency_p99: latency.quantile(0.99),
+            latency_max: latency.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twice_workloads::synth::S1Random;
+    use twice_workloads::AccessSource;
+
+    #[test]
+    fn runs_a_random_trace_unprotected() {
+        let cfg = SimConfig::fast_test();
+        let mut sys = System::new(&cfg, DefenseKind::None);
+        let trace = S1Random::new(&cfg.topology, cfg.seed).take_requests(2_000);
+        sys.run(trace);
+        let m = sys.metrics("s1");
+        assert_eq!(m.requests, 2_000);
+        assert!(m.normal_acts > 0);
+        assert_eq!(m.additional_acts, 0);
+        assert_eq!(m.defense, "none");
+    }
+
+    #[test]
+    fn act_rate_respects_trc() {
+        // A single bank cannot take ACTs faster than one per tRC.
+        let cfg = SimConfig::fast_test();
+        let mut sys = System::new(&cfg, DefenseKind::None);
+        let trace = S1Random::new(&cfg.topology, 1).take_requests(5_000);
+        sys.run(trace);
+        let m = sys.metrics("s1");
+        let banks = u64::from(cfg.topology.total_banks());
+        let min_interval = cfg.params.timings.t_rc.as_ps() / banks;
+        assert!(
+            m.mean_act_interval().as_ps() >= min_interval,
+            "mean interval {} beats physics",
+            m.mean_act_interval()
+        );
+    }
+
+    #[test]
+    fn multi_channel_routing() {
+        let mut cfg = SimConfig::fast_test();
+        cfg.topology.channels = 2;
+        let mut sys = System::new(&cfg, DefenseKind::None);
+        let trace = S1Random::new(&cfg.topology, 3).take_requests(2_000);
+        sys.run(trace);
+        for ctrl in sys.controllers() {
+            assert!(ctrl.served() > 500, "both channels must see traffic");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Multi-programmed workloads: SPECrate and the two mixes of §7.2.
+//!
+//! * **SPECrate** — 16 copies of one application, each in its own
+//!   address partition (the paper's per-application bars; Figure 7a
+//!   reports their average).
+//! * **mix-high** — 16 applications drawn from the nine `spec-high`
+//!   (memory-intensive) models.
+//! * **mix-blend** — 16 applications drawn uniformly from all 29.
+//!
+//! Copies are interleaved with weights proportional to MAPKI, modeling
+//! each core's memory intensity.
+
+use crate::spec::{spec_cpu2006, spec_high, AppModel, SpecAppSource};
+use crate::trace::WeightedInterleave;
+use twice_common::rng::SplitMix64;
+use twice_common::Topology;
+
+/// Builds a 16-copy SPECrate workload of `model`.
+pub fn spec_rate(topo: &Topology, model: &AppModel, seed: u64) -> WeightedInterleave {
+    let sources = (0..16u16)
+        .map(|i| {
+            (
+                Box::new(SpecAppSource::new(topo, model.clone(), i, 16, seed)) as Box<_>,
+                1,
+            )
+        })
+        .collect();
+    WeightedInterleave::new(sources)
+}
+
+fn mix_of(topo: &Topology, pool: &[AppModel], seed: u64) -> WeightedInterleave {
+    assert!(!pool.is_empty(), "application pool must be non-empty");
+    let mut rng = SplitMix64::new(seed);
+    let sources = (0..16u16)
+        .map(|i| {
+            let model = pool[rng.next_below(pool.len() as u64) as usize].clone();
+            // Weight by memory intensity, floored so light apps still run.
+            let weight = (model.mapki.round() as u32).max(1);
+            (
+                Box::new(SpecAppSource::new(topo, model, i, 16, seed ^ 0x5eed)) as Box<_>,
+                weight,
+            )
+        })
+        .collect();
+    WeightedInterleave::new(sources)
+}
+
+/// The `mix-high` workload: 16 applications from the `spec-high` set.
+pub fn mix_high(topo: &Topology, seed: u64) -> WeightedInterleave {
+    mix_of(topo, &spec_high(), seed)
+}
+
+/// The `mix-blend` workload: 16 applications from the whole suite.
+pub fn mix_blend(topo: &Topology, seed: u64) -> WeightedInterleave {
+    mix_of(topo, &spec_cpu2006(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::app;
+    use crate::trace::AccessSource;
+
+    #[test]
+    fn spec_rate_uses_all_16_sources() {
+        let topo = Topology::paper_default();
+        let mix = spec_rate(&topo, &app("mcf").unwrap(), 1);
+        let sources: std::collections::HashSet<u16> = mix
+            .take_requests(1000)
+            .map(|(req, _)| req.source)
+            .collect();
+        assert_eq!(sources.len(), 16);
+    }
+
+    #[test]
+    fn mixes_produce_traffic_from_many_cores() {
+        let topo = Topology::paper_default();
+        for mix in [mix_high(&topo, 2), mix_blend(&topo, 3)] {
+            let sources: std::collections::HashSet<u16> = mix
+                .take_requests(5000)
+                .map(|(req, _)| req.source)
+                .collect();
+            assert!(sources.len() >= 8, "only {} sources active", sources.len());
+        }
+    }
+
+    #[test]
+    fn mix_is_deterministic_in_seed() {
+        let topo = Topology::paper_default();
+        let a: Vec<_> = mix_high(&topo, 7).take_requests(200).map(|(r, _)| r.addr).collect();
+        let b: Vec<_> = mix_high(&topo, 7).take_requests(200).map(|(r, _)| r.addr).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,211 @@
+//! Trace characterization: the metrics that determine how a trace looks
+//! to a row-hammer defense.
+//!
+//! A defense only sees row activations, so three properties of a trace
+//! decide everything: how activations spread across banks, how they
+//! concentrate on rows, and how often consecutive accesses stay in an
+//! open row (which determines how many accesses become ACTs at all).
+//! [`TraceProfile`] computes all three in one pass; generator tests use
+//! it to pin each workload's character, and it doubles as a tool for
+//! characterizing recorded traces.
+
+use crate::trace::TraceItem;
+use std::collections::HashMap;
+
+/// One-pass characterization of a trace.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    accesses: u64,
+    row_switches: u64,
+    /// Activations per (channel, rank, bank).
+    per_bank: HashMap<(u8, u8, u16), u64>,
+    /// Activations per (channel, rank, bank, row).
+    per_row: HashMap<(u8, u8, u16, u32), u64>,
+    writes: u64,
+    sources: std::collections::HashSet<u16>,
+}
+
+impl TraceProfile {
+    /// Profiles `trace`.
+    pub fn new(trace: impl IntoIterator<Item = TraceItem>) -> TraceProfile {
+        let mut p = TraceProfile {
+            accesses: 0,
+            row_switches: 0,
+            per_bank: HashMap::new(),
+            per_row: HashMap::new(),
+            writes: 0,
+            sources: std::collections::HashSet::new(),
+        };
+        let mut open: HashMap<(u8, u8, u16), u32> = HashMap::new();
+        for (req, a) in trace {
+            p.accesses += 1;
+            p.sources.insert(req.source);
+            if req.kind == twice_memctrl::request::AccessKind::Write {
+                p.writes += 1;
+            }
+            let bank_key = (a.channel.0, a.rank.0, a.bank);
+            let is_switch = open.insert(bank_key, a.row.0) != Some(a.row.0);
+            if is_switch {
+                p.row_switches += 1;
+                *p.per_bank.entry(bank_key).or_insert(0) += 1;
+                *p
+                    .per_row
+                    .entry((a.channel.0, a.rank.0, a.bank, a.row.0))
+                    .or_insert(0) += 1;
+            }
+        }
+        p
+    }
+
+    /// Total accesses profiled.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Row activations an idealized open-page controller would issue
+    /// (a row switch per bank = one ACT).
+    #[inline]
+    pub fn activations(&self) -> u64 {
+        self.row_switches
+    }
+
+    /// Fraction of accesses that hit the currently open row.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.row_switches as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of accesses that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.accesses as f64
+        }
+    }
+
+    /// Number of distinct banks activated.
+    #[inline]
+    pub fn banks_touched(&self) -> usize {
+        self.per_bank.len()
+    }
+
+    /// Number of distinct rows activated.
+    #[inline]
+    pub fn rows_touched(&self) -> usize {
+        self.per_row.len()
+    }
+
+    /// Number of distinct request sources.
+    #[inline]
+    pub fn sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The hottest row's share of all activations — the signature a
+    /// row-hammer defense keys on (1.0 = pure S3, ~0 = uniform).
+    pub fn hottest_row_share(&self) -> f64 {
+        if self.row_switches == 0 {
+            return 0.0;
+        }
+        let max = self.per_row.values().copied().max().unwrap_or(0);
+        max as f64 / self.row_switches as f64
+    }
+
+    /// Jain's fairness index over per-bank activation counts
+    /// (1.0 = perfectly balanced, 1/banks = all in one bank).
+    pub fn bank_balance(&self) -> f64 {
+        if self.per_bank.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.per_bank.values().map(|&c| c as f64).sum();
+        let sum_sq: f64 = self.per_bank.values().map(|&c| (c as f64).powi(2)).sum();
+        sum * sum / (self.per_bank.len() as f64 * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mica::MicaSource;
+    use crate::spec::{app, SpecAppSource};
+    use crate::synth::{S1Random, S3SingleRowHammer};
+    use crate::trace::AccessSource;
+    use twice_common::Topology;
+
+    #[test]
+    fn s3_has_hottest_row_share_one() {
+        let topo = Topology::paper_default();
+        let p = TraceProfile::new(S3SingleRowHammer::new(&topo, 1).take_requests(5_000));
+        assert_eq!(p.hottest_row_share(), 1.0);
+        assert_eq!(p.rows_touched(), 1);
+        assert_eq!(p.banks_touched(), 1);
+        // Same row every time: one conceptual activation.
+        assert!(p.row_hit_rate() > 0.999);
+    }
+
+    #[test]
+    fn s1_is_balanced_and_cold() {
+        let topo = Topology::paper_default();
+        let p = TraceProfile::new(S1Random::new(&topo, 2).take_requests(64_000));
+        assert!(p.bank_balance() > 0.95, "balance {}", p.bank_balance());
+        assert!(p.hottest_row_share() < 0.01);
+        assert!(p.row_hit_rate() < 0.01, "random rows rarely repeat");
+        assert_eq!(p.banks_touched(), 64);
+    }
+
+    #[test]
+    fn spec_models_expose_their_declared_locality() {
+        let topo = Topology::paper_default();
+        let model = app("libquantum").unwrap(); // declared locality 0.85
+        let p = TraceProfile::new(
+            SpecAppSource::new(&topo, model, 0, 1, 3).take_requests(50_000),
+        );
+        assert!(
+            (0.80..=0.90).contains(&p.row_hit_rate()),
+            "hit rate {}",
+            p.row_hit_rate()
+        );
+    }
+
+    #[test]
+    fn mica_skew_shows_in_hot_row_share() {
+        let topo = Topology::paper_default();
+        let skewed = TraceProfile::new(
+            MicaSource::new(&topo, 100_000, 0.99, 1.0, 4, 5).take_requests(40_000),
+        );
+        let uniform = TraceProfile::new(
+            MicaSource::new(&topo, 100_000, 0.0, 1.0, 4, 5).take_requests(40_000),
+        );
+        assert!(
+            skewed.hottest_row_share() > uniform.hottest_row_share() * 3.0,
+            "zipf {} vs uniform {}",
+            skewed.hottest_row_share(),
+            uniform.hottest_row_share()
+        );
+    }
+
+    #[test]
+    fn write_fraction_and_sources_are_counted() {
+        let topo = Topology::paper_default();
+        let model = app("lbm").unwrap(); // write_fraction 0.45
+        let p = TraceProfile::new(
+            SpecAppSource::new(&topo, model, 0, 1, 3).take_requests(40_000),
+        );
+        assert!((0.40..=0.50).contains(&p.write_fraction()));
+        assert_eq!(p.sources(), 1);
+    }
+
+    #[test]
+    fn empty_trace_profiles_cleanly() {
+        let p = TraceProfile::new(Vec::new());
+        assert_eq!(p.accesses(), 0);
+        assert_eq!(p.row_hit_rate(), 0.0);
+        assert_eq!(p.bank_balance(), 0.0);
+        assert_eq!(p.hottest_row_share(), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! A Zipf-distributed sampler.
+//!
+//! Skewed popularity is the defining feature of key-value (MICA) and
+//! graph (PageRank) traffic; both generators sample from a Zipf
+//! distribution with a configurable exponent. The implementation
+//! precomputes the CDF and inverts it by binary search — O(n) memory,
+//! O(log n) per sample, exact.
+
+use twice_common::rng::SplitMix64;
+
+/// A Zipf(θ) sampler over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with exponent `theta`.
+    ///
+    /// `theta = 0` degenerates to uniform; MICA's standard skew is 0.99.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "support must be non-empty");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// The support size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank (0 = most popular).
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SplitMix64::new(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c} not ~10000");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SplitMix64::new(2);
+        let mut head = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 over 1000 items, the top 10 take ~35-40%.
+        let share = f64::from(head) / f64::from(n);
+        assert!(share > 0.25, "head share {share} too small for Zipf 0.99");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 1.2);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SplitMix64::new(4);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max);
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn empty_support_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

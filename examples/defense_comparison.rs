@@ -1,0 +1,58 @@
+//! Figure 7 in miniature: compare every defense on benign and
+//! adversarial traffic.
+//!
+//! Sweeps the paper's lineup (PARA-0.001/0.002, CBT-256, TWiCe) plus
+//! PRoHIT, CRA, and the per-row oracle across a benign mix, random
+//! traffic (S1), and the single-row hammer (S3), printing the Figure 7
+//! metric — additional ACTs relative to normal ACTs — along with
+//! detections and bit flips.
+//!
+//! Run with: `cargo run --release --example defense_comparison`
+
+use twice_repro::core::TableOrganization;
+use twice_repro::mitigations::DefenseKind;
+use twice_repro::sim::config::SimConfig;
+use twice_repro::sim::report::{percent, Table};
+use twice_repro::sim::runner::{run, WorkloadKind};
+
+fn main() {
+    let cfg = SimConfig::fast_test();
+    let defenses = [
+        DefenseKind::Para { p: 0.001 },
+        DefenseKind::Para { p: 0.002 },
+        DefenseKind::Prohit { p: 0.001 },
+        DefenseKind::Cbt { counters: 256 },
+        DefenseKind::Cra { cache_entries: 512 },
+        DefenseKind::Twice(TableOrganization::Split),
+        DefenseKind::Oracle,
+    ];
+    let workloads = [
+        ("mix-blend", WorkloadKind::MixBlend, 30_000u64),
+        ("S1 random", WorkloadKind::S1, 30_000),
+        ("S3 hammer", WorkloadKind::S3, 60_000),
+    ];
+
+    let mut table = Table::new(
+        "Additional-ACT ratio (Figure 7 metric), detections, flips",
+        &["defense", "workload", "additional ACTs", "detections", "bit flips"],
+    );
+    for &kind in &defenses {
+        for (label, workload, requests) in &workloads {
+            let m = run(&cfg, workload.clone(), kind, *requests);
+            table.row(&[
+                kind.to_string(),
+                (*label).to_string(),
+                percent(m.additional_act_ratio()),
+                m.detections.to_string(),
+                m.bit_flips.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("Reading guide:");
+    println!("  - PARA-p costs ~p everywhere and never detects.");
+    println!("  - CRA's counter-cache misses explode on low-locality traffic.");
+    println!("  - CBT refreshes whole row groups when a counter trips.");
+    println!("  - TWiCe adds nothing on benign traffic and 2 ACTs per thRH on attacks,");
+    println!("    with an explicit detection each time -- same decisions as the oracle.");
+}

@@ -1,0 +1,34 @@
+//! Regenerates every *computational* table of the paper in one shot:
+//! Table 2 (parameters), Table 3 (timing/energy model), Table 4 (system
+//! configuration), the §4.4 capacity bound, the §6.2 storage arithmetic,
+//! and the §5.2 ARR-overhead claims.
+//!
+//! The measured tables (Table 1, Figure 7) need simulation time and live
+//! in `cargo bench` (see EXPERIMENTS.md); everything here is instant.
+//!
+//! Run with: `cargo run --example paper_tables`
+
+use twice_repro::core::cost::TwiceCostModel;
+use twice_repro::core::TwiceParams;
+use twice_repro::sim::config::SimConfig;
+use twice_repro::sim::experiments::{ablation, capacity, storage, table2, table3, table4};
+
+fn main() {
+    let params = TwiceParams::paper_default();
+    let cfg = SimConfig::paper_default();
+
+    println!("{}", table2::table2(&params));
+    println!(
+        "{}",
+        table3::table3(&TwiceCostModel::table3_45nm(), &params.timings)
+    );
+    println!("{}", table4::table4(&cfg));
+    println!("{}", capacity::capacity(&params, 128).table);
+    println!("{}", storage::storage(&params).table);
+    println!("{}", ablation::arr_overhead(&params).table);
+    println!(
+        "{}",
+        ablation::th_rh_sweep(&params, &[8_192, 16_384, 32_768, 65_536])
+    );
+    println!("{}", ablation::timing_sweep(&params));
+}

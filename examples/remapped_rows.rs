@@ -1,0 +1,74 @@
+//! Why the ARR command exists: row sparing breaks logical adjacency.
+//!
+//! DRAM vendors remap faulty rows to spare rows inside the device
+//! (§2.2). A defense living in the memory controller only knows
+//! *logical* adjacency (`row ± 1`), so when the hammered row happens to
+//! be a remapped one, the MC refreshes rows that are **not** the
+//! physical victims — and the real victims flip anyway. TWiCe's ARR
+//! (§5.2) just names the aggressor; the device resolves physical
+//! adjacency internally and refreshes the true victims.
+//!
+//! This example builds a system with spared rows, finds a remapped row,
+//! hammers it, and compares an (idealized, aggressive) MC-side counter
+//! defense against RCD-side TWiCe.
+//!
+//! Run with: `cargo run --release --example remapped_rows`
+
+use twice_repro::core::TableOrganization;
+use twice_repro::mitigations::DefenseKind;
+use twice_repro::sim::config::SimConfig;
+use twice_repro::sim::runner::{run, WorkloadKind};
+use twice_repro::sim::system::System;
+use twice_repro::workloads::attack::HammerShape;
+use twice_repro::common::RowId;
+
+fn main() {
+    let mut cfg = SimConfig::fast_test();
+    cfg.faults_per_bank = 32; // spared rows per bank
+
+    // Find a row of bank 0 that the vendor remapped to a spare.
+    let probe = System::new(&cfg, DefenseKind::None);
+    let remap = probe.controllers()[0].rcd().ranks()[0].remap_table(0);
+    let aggressor = (0..cfg.topology.rows_per_bank)
+        .map(RowId)
+        .find(|&r| remap.is_remapped(r))
+        .expect("32 faults guarantee a remapped row");
+    let physical: Vec<RowId> = remap.physical_neighbors(aggressor).into_iter().collect();
+    let logical: Vec<RowId> = remap.logical_neighbors(aggressor).into_iter().collect();
+    println!("Aggressor row {aggressor} is remapped to a spare.");
+    println!("  logical neighbors (what an MC-side defense refreshes): {logical:?}");
+    println!("  physical victims  (what an ARR refreshes)           : {physical:?}");
+    assert_ne!(physical, logical);
+
+    let attack = WorkloadKind::Attack(HammerShape::SingleSided { aggressor });
+    let requests = 60_000;
+
+    // CRA with TWiCe's own threshold: it counts perfectly and refreshes
+    // *logical* neighbors on every threshold crossing...
+    let cra = run(&cfg, attack.clone(), DefenseKind::Cra { cache_entries: 512 }, requests);
+    // ...while TWiCe asks the device for an ARR.
+    let twice = run(
+        &cfg,
+        attack.clone(),
+        DefenseKind::Twice(TableOrganization::FullyAssociative),
+        requests,
+    );
+    let none = run(&cfg, attack, DefenseKind::None, requests);
+
+    println!("\n{:>14} {:>10} {:>12} {:>10}", "defense", "bit flips", "detections", "extra ACTs");
+    println!("{:>14} {:>10} {:>12} {:>10}", "none", none.bit_flips, none.detections, none.additional_acts);
+    println!("{:>14} {:>10} {:>12} {:>10}", "CRA (MC-side)", cra.bit_flips, cra.detections, cra.additional_acts);
+    println!("{:>14} {:>10} {:>12} {:>10}", "TWiCe (ARR)", twice.bit_flips, twice.detections, twice.additional_acts);
+
+    assert!(none.bit_flips > 0, "the attack must work undefended");
+    assert!(
+        cra.bit_flips > 0,
+        "MC-side refreshes of logical neighbors must miss the real victims"
+    );
+    assert_eq!(twice.bit_flips, 0, "ARR resolves physical adjacency");
+    println!(
+        "\nThe MC-side scheme detected the attack {} times yet still lost data;",
+        cra.detections
+    );
+    println!("only the in-device ARR protected the physically adjacent victims.");
+}

@@ -1,0 +1,68 @@
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+//! Umbrella crate for the TWiCe (ISCA 2019) reproduction.
+//!
+//! Re-exports the workspace crates under short, stable paths so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`common`] — IDs, time, DDR timings, topology, the defense trait.
+//! * [`dram`] — the DDR4 device simulator and row-hammer fault model.
+//! * [`memctrl`] — the memory-controller simulator.
+//! * [`core`] — the TWiCe defense itself (tables, bound, cost model).
+//! * [`mitigations`] — PARA, PRoHIT, CBT, CRA, oracle, and null baselines.
+//! * [`workloads`] — every trace generator used in the evaluation.
+//! * [`sim`] — the full-system simulator and per-table/figure experiments.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use twice_repro::core::{TwiceEngine, TwiceParams};
+//! use twice_repro::common::{BankId, RowId, RowHammerDefense, Time, Span};
+//!
+//! let params = TwiceParams::paper_default();
+//! let mut twice = TwiceEngine::new(params.clone(), 1);
+//!
+//! // Hammer one row: TWiCe issues an Adjacent Row Refresh at thRH.
+//! let mut now = Time::ZERO;
+//! let mut arr_seen = false;
+//! for _ in 0..params.th_rh {
+//!     let resp = twice.on_activate(BankId(0), RowId(42), now);
+//!     arr_seen |= resp.arr.is_some();
+//!     now += params.timings.t_rc;
+//! }
+//! assert!(arr_seen);
+//! ```
+
+/// The most commonly used items, importable in one line.
+///
+/// ```
+/// use twice_repro::prelude::*;
+///
+/// let params = TwiceParams::paper_default();
+/// let mut engine = TwiceEngine::new(params, 16);
+/// let response = engine.on_activate(BankId(0), RowId(1), Time::ZERO);
+/// assert!(response.is_none());
+/// ```
+pub mod prelude {
+    pub use twice::{
+        CapacityBound, DetectionLog, TableOrganization, TwiceEngine, TwiceParams,
+    };
+    pub use twice_common::{
+        BankId, ChannelId, ColId, DdrTimings, DefenseResponse, Detection, RankId,
+        RowHammerDefense, RowId, Span, Time, Topology,
+    };
+    pub use twice_mitigations::{make_defense, DefenseKind};
+    pub use twice_sim::config::SimConfig;
+    pub use twice_sim::runner::{run, WorkloadKind};
+    pub use twice_sim::system::System;
+    pub use twice_workloads::{AccessSource, TraceItem};
+}
+
+pub use twice as core;
+pub use twice_common as common;
+pub use twice_dram as dram;
+pub use twice_memctrl as memctrl;
+pub use twice_mitigations as mitigations;
+pub use twice_sim as sim;
+pub use twice_workloads as workloads;

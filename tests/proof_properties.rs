@@ -1,0 +1,164 @@
+//! Property-based tests of the §4.3 proof obligations.
+//!
+//! The paper's guarantee rests on three claims, here checked with
+//! proptest over arbitrary activation streams that respect the physical
+//! per-PI activation budget (`maxact` ACTs between prunes — enforced by
+//! DDR timing in the real system):
+//!
+//! 1. **No false negatives** (Eq. 1 + 2): any row that accumulates
+//!    `2·thRH` activations within a window is ARR'd before that point.
+//! 2. **Bounded state** (§4.4): table occupancy never exceeds the
+//!    analytic capacity bound, and `TableFull` never fires.
+//! 3. **Organization equivalence** (§6): fa-TWiCe, pa-TWiCe, and the
+//!    split table make identical decisions on identical streams.
+
+use proptest::prelude::*;
+use twice_repro::common::{BankId, RowHammerDefense, RowId, Time};
+use twice_repro::core::{CapacityBound, TableOrganization, TwiceEngine, TwiceParams};
+
+/// One step of an abstract activation stream.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Activate the row with this index (small row space to force reuse).
+    Act(u8),
+    /// Activate the globally hot row.
+    ActHot,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => any::<u8>().prop_map(Step::Act),
+            2 => Just(Step::ActHot),
+        ],
+        0..6_000,
+    )
+}
+
+/// Drives an engine with the stream, pruning every `maxact` ACTs as the
+/// auto-refresh machinery would, and returns per-row ARR counts plus a
+/// shadow exact count of ACTs since each row's last ARR/window reset.
+fn drive(
+    engine: &mut TwiceEngine,
+    stream: &[Step],
+) -> (std::collections::HashMap<u32, u64>, bool) {
+    let params = engine.params().clone();
+    let max_act = params.max_act();
+    let max_life = params.max_life();
+    let th_rh = params.th_rh;
+    let mut arrs: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut since_arr: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut violated = false;
+    let mut acts_this_pi = 0;
+    let mut pis = 0u64;
+    for step in stream {
+        let row = match step {
+            Step::Act(r) => RowId(u32::from(*r)),
+            Step::ActHot => RowId(7),
+        };
+        let response = engine.on_activate(BankId(0), row, Time::ZERO);
+        let count = since_arr.entry(row.0).or_insert(0);
+        *count += 1;
+        // Claim 1: the exact per-window count may never reach 2*thRH
+        // without an ARR in between.
+        if *count >= 2 * th_rh {
+            violated = true;
+        }
+        if response.arr == Some(row) {
+            *arrs.entry(row.0).or_insert(0) += 1;
+            *count = 0;
+        }
+        acts_this_pi += 1;
+        if acts_this_pi >= max_act {
+            acts_this_pi = 0;
+            engine.on_auto_refresh(BankId(0), Time::ZERO);
+            pis += 1;
+            if pis.is_multiple_of(max_life) {
+                // Window boundary: every row has been auto-refreshed.
+                since_arr.clear();
+            }
+        }
+    }
+    (arrs, violated)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_row_accumulates_two_th_rh_without_an_arr(stream in steps()) {
+        let params = TwiceParams::fast_test();
+        let mut engine = TwiceEngine::new(params, 1);
+        let (_, violated) = drive(&mut engine, &stream);
+        prop_assert!(!violated, "a row exceeded 2*thRH unrefreshed");
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_the_capacity_bound(stream in steps()) {
+        let params = TwiceParams::fast_test();
+        let bound = CapacityBound::for_params(&params);
+        let mut engine = TwiceEngine::new(params, 1);
+        drive(&mut engine, &stream);
+        prop_assert!(engine.max_occupancy_any() <= bound.total());
+        prop_assert_eq!(engine.stats().table_full_events, 0);
+    }
+
+    #[test]
+    fn organizations_are_decision_equivalent(stream in steps()) {
+        let params = TwiceParams::fast_test();
+        let mut engines: Vec<TwiceEngine> = [
+            TableOrganization::FullyAssociative,
+            TableOrganization::PseudoAssociative,
+            TableOrganization::Split,
+        ]
+        .into_iter()
+        .map(|o| TwiceEngine::with_organization(params.clone(), 1, o))
+        .collect();
+        let mut results = Vec::new();
+        for engine in &mut engines {
+            results.push(drive(engine, &stream).0);
+        }
+        prop_assert_eq!(&results[0], &results[1], "fa vs pa diverged");
+        prop_assert_eq!(&results[0], &results[2], "fa vs split diverged");
+        let arrs: Vec<u64> = engines.iter().map(|e| e.stats().arrs).collect();
+        prop_assert!(arrs.iter().all(|&a| a == arrs[0]));
+    }
+
+    #[test]
+    fn hot_row_is_always_arred_at_th_rh_when_hammered_solidly(extra in 0u64..200) {
+        // Deterministic corner: an uninterrupted hammer is detected at
+        // exactly thRH no matter how many trailing ACTs follow.
+        let params = TwiceParams::fast_test();
+        let th_rh = params.th_rh;
+        let mut engine = TwiceEngine::new(params.clone(), 1);
+        let mut detections = 0u64;
+        let total = th_rh + extra;
+        let mut acts_this_pi = 0;
+        for i in 0..total {
+            let r = engine.on_activate(BankId(0), RowId(3), Time::ZERO);
+            if r.detection.is_some() {
+                detections += 1;
+                prop_assert!((i + 1) % th_rh == 0, "detected off-threshold at {}", i + 1);
+            }
+            acts_this_pi += 1;
+            if acts_this_pi >= params.max_act() {
+                acts_this_pi = 0;
+                engine.on_auto_refresh(BankId(0), Time::ZERO);
+            }
+        }
+        prop_assert_eq!(detections, total / th_rh);
+    }
+}
+
+/// The Eq. 1 bound itself, exhaustively for the fast parameters: an
+/// always-pruned row can carry at most `thPI·maxlife − maxlife` ACTs
+/// per window — strictly below `thRH`.
+#[test]
+fn untracked_count_bound_is_strict() {
+    let params = TwiceParams::fast_test();
+    let th_pi = params.th_pi();
+    let max_life = params.max_life();
+    // The most ACTs a row can make per PI while being pruned every PI.
+    let per_pi = th_pi - 1;
+    assert!(per_pi * max_life < params.th_rh);
+}
