@@ -18,7 +18,9 @@ fn main() {
         .iter()
         .filter_map(|&t| {
             let p = base.clone().with_th_rh(t);
-            p.validate().ok().map(|_| CapacityBound::for_params(&p).total())
+            p.validate()
+                .ok()
+                .map(|_| CapacityBound::for_params(&p).total())
         })
         .collect();
     assert!(

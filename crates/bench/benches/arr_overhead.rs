@@ -20,15 +20,23 @@ fn main() {
     c.bench_function("arr/device_arr_command", |b| {
         b.iter_batched(
             || {
-                let mut rank =
-                    DramRank::new(RankConfig::for_test(1, 1024).with_n_th(1_000_000));
-                rank.issue(DramCommand::Activate { bank: 0, row: RowId(8) }, Time::ZERO)
-                    .unwrap();
+                let mut rank = DramRank::new(RankConfig::for_test(1, 1024).with_n_th(1_000_000));
+                rank.issue(
+                    DramCommand::Activate {
+                        bank: 0,
+                        row: RowId(8),
+                    },
+                    Time::ZERO,
+                )
+                .unwrap();
                 rank
             },
             |mut rank| {
                 rank.issue(
-                    DramCommand::AdjacentRowRefresh { bank: 0, row: black_box(RowId(8)) },
+                    DramCommand::AdjacentRowRefresh {
+                        bank: 0,
+                        row: black_box(RowId(8)),
+                    },
                     Time::ZERO + Span::from_ns(31),
                 )
                 .unwrap()

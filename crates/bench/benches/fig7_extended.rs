@@ -28,7 +28,14 @@ fn main() {
     let mut c = Criterion::default().configure_from_args();
     c = c.sample_size(10);
     c.bench_function("fig7x/s3_under_graphene_50k", |b| {
-        b.iter(|| run(black_box(&cfg), WorkloadKind::S3, DefenseKind::Graphene, 50_000))
+        b.iter(|| {
+            run(
+                black_box(&cfg),
+                WorkloadKind::S3,
+                DefenseKind::Graphene,
+                50_000,
+            )
+        })
     });
     c.final_summary();
 }

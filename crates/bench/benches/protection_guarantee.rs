@@ -15,7 +15,14 @@ fn main() {
     let cfg = SimConfig::fast_test();
     let mut table = Table::new(
         "V1: protection guarantee (fault model at N_th)",
-        &["attack", "defense", "flips undefended", "flips defended", "detections", "holds"],
+        &[
+            "attack",
+            "defense",
+            "flips undefended",
+            "flips defended",
+            "detections",
+            "holds",
+        ],
     );
     let attacks: Vec<(&str, WorkloadKind)> = vec![
         ("single-sided (S3)", WorkloadKind::S3),

@@ -5,16 +5,18 @@
 
 use criterion::{black_box, Criterion};
 use twice_bench::print_experiment;
+use twice_common::{BankId, RowId, Time};
 use twice_mitigations::{make_defense, DefenseKind};
 use twice_sim::config::SimConfig;
 use twice_sim::experiments::table1::table1;
-use twice_common::{BankId, RowId, Time};
 
 fn main() {
     let cfg = SimConfig::fast_test();
     let (table, rows) = table1(&cfg, 40_000);
     print_experiment("Table 1: defense comparison (measured)", &table);
-    assert!(rows.iter().any(|r| r.defense.contains("TWiCe") && r.detects));
+    assert!(rows
+        .iter()
+        .any(|r| r.defense.contains("TWiCe") && r.detects));
 
     // Kernel: the per-ACT cost of each defense's bookkeeping.
     let params = cfg.params.clone();

@@ -191,17 +191,42 @@ pub trait RowHammerDefense {
     /// bank, i.e. the stream is legal under DDR timing.
     fn on_activate(&mut self, bank: BankId, row: RowId, now: Time) -> DefenseResponse;
 
-    /// Observes a per-bank auto-refresh (REF) command.
+    /// Observes a per-bank auto-refresh (REF) command and returns any
+    /// protective action the defense wants taken during the refresh
+    /// window.
     ///
     /// TWiCe prunes its table here, hiding the update under `tRFC`; CBT
-    /// uses the matching window boundary to reset its tree. The default
-    /// does nothing.
-    fn on_auto_refresh(&mut self, bank: BankId, now: Time) {
+    /// uses the matching window boundary to reset its tree. A hardened
+    /// TWiCe additionally scrubs its counter SRAM here and fails safe on
+    /// corruption: rows whose entries were found corrupted come back in
+    /// `arr` / `refresh_rows` so the simulator refreshes their neighbors
+    /// exactly as it would for a real detection. The default does nothing.
+    fn on_auto_refresh(&mut self, bank: BankId, now: Time) -> DefenseResponse {
         let _ = (bank, now);
+        DefenseResponse::none()
     }
 
     /// Clears all internal state, as if freshly constructed.
     fn reset(&mut self) {}
+
+    /// Cumulative count of internal-corruption events the defense has
+    /// detected (e.g. parity failures found by a counter-SRAM scrub).
+    ///
+    /// The memory controller polls this after refreshes; a rising value
+    /// triggers graceful degradation (falling back to a probabilistic
+    /// MC-side defense until the scrub completes). Defaults to 0 for
+    /// defenses with no self-checking state.
+    fn corruption_events(&self) -> u64 {
+        0
+    }
+
+    /// Cumulative count of faults the defense's own fault injector has
+    /// landed in its internal state (e.g. counter-SRAM SEUs). Reported by
+    /// chaos campaigns so fault pressure is visible even when the defense
+    /// has no self-checking to *detect* the damage. Defaults to 0.
+    fn faults_injected(&self) -> u64 {
+        0
+    }
 
     /// Current number of live tracking entries for `bank`, if the defense
     /// is table-based (used by capacity-bound experiments). Defaults to

@@ -24,6 +24,7 @@
 
 pub mod defense;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod time;
@@ -32,6 +33,7 @@ pub mod topology;
 
 pub use defense::{DefenseResponse, DefenseStats, Detection, RowHammerDefense};
 pub use error::ConfigError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultTargeting};
 pub use ids::{BankId, ChannelId, ColId, DeviceId, RankId, RowId};
 pub use time::{Span, Time};
 pub use timing::DdrTimings;

@@ -307,7 +307,7 @@ mod tests {
         let refw = Span::from_ms(64);
         let refi = Span::from_ns(7_800);
         assert_eq!(refw / refi, 8205); // exact 64ms/7.8us
-        // Using the JEDEC-style definition tREFI = tREFW / 8192:
+                                       // Using the JEDEC-style definition tREFI = tREFW / 8192:
         let refi_exact = refw / 8192;
         assert_eq!(refw / refi_exact, 8192);
     }
@@ -341,7 +341,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(Time::from_ps(u64::MAX).checked_add(Span::from_ps(1)).is_none());
+        assert!(Time::from_ps(u64::MAX)
+            .checked_add(Span::from_ps(1))
+            .is_none());
         assert_eq!(
             Time::ZERO.checked_add(Span::from_ns(1)),
             Some(Time::from_ps(1000))

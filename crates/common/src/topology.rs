@@ -70,7 +70,9 @@ impl Topology {
     /// Total number of banks in the system.
     #[inline]
     pub fn total_banks(&self) -> u32 {
-        u32::from(self.channels) * u32::from(self.ranks_per_channel) * u32::from(self.banks_per_rank)
+        u32::from(self.channels)
+            * u32::from(self.ranks_per_channel)
+            * u32::from(self.banks_per_rank)
     }
 
     /// Banks per channel.

@@ -194,7 +194,10 @@ mod tests {
         // Peaking at 64 PIs is enough to stress the dominant classes.
         let observed = adversarial_max_occupancy(&p, 64);
         assert!(observed <= b.total());
-        assert!(observed >= 300, "expected a substantial transient, got {observed}");
+        assert!(
+            observed >= 300,
+            "expected a substantial transient, got {observed}"
+        );
     }
 
     #[test]

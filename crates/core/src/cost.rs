@@ -50,13 +50,34 @@ impl TwiceCostModel {
     /// The 45 nm FreePDK SPICE characterization of Table 3.
     pub fn table3_45nm() -> TwiceCostModel {
         TwiceCostModel {
-            fa_count: OpCost { latency: Span::from_ns(3), energy_pj: 82 },
-            fa_update: OpCost { latency: Span::from_ns(140), energy_pj: 663 },
-            pa_count_preferred: OpCost { latency: Span::from_ns(6), energy_pj: 37 },
-            pa_count_all: OpCost { latency: Span::from_ns(24), energy_pj: 313 },
-            pa_update: OpCost { latency: Span::from_ns(130), energy_pj: 474 },
-            dram_act_pre: OpCost { latency: Span::from_ns(45), energy_pj: 11_490 },
-            dram_refresh_bank: OpCost { latency: Span::from_ns(350), energy_pj: 132_250 },
+            fa_count: OpCost {
+                latency: Span::from_ns(3),
+                energy_pj: 82,
+            },
+            fa_update: OpCost {
+                latency: Span::from_ns(140),
+                energy_pj: 663,
+            },
+            pa_count_preferred: OpCost {
+                latency: Span::from_ns(6),
+                energy_pj: 37,
+            },
+            pa_count_all: OpCost {
+                latency: Span::from_ns(24),
+                energy_pj: 313,
+            },
+            pa_update: OpCost {
+                latency: Span::from_ns(130),
+                energy_pj: 474,
+            },
+            dram_act_pre: OpCost {
+                latency: Span::from_ns(45),
+                energy_pj: 11_490,
+            },
+            dram_refresh_bank: OpCost {
+                latency: Span::from_ns(350),
+                energy_pj: 132_250,
+            },
         }
     }
 

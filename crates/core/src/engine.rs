@@ -22,7 +22,19 @@ use crate::params::TwiceParams;
 use crate::split::SplitTwice;
 use crate::table::{CounterTable, RecordOutcome};
 use std::fmt;
+use twice_common::fault::{FaultInjector, FaultKind, FaultPlan, FaultTargeting};
 use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
+
+/// Asserts a runtime invariant, compiled in only under the
+/// `debug-invariants` feature (zero cost otherwise).
+macro_rules! debug_invariant {
+    ($($arg:tt)+) => {
+        #[cfg(feature = "debug-invariants")]
+        {
+            assert!($($arg)+);
+        }
+    };
+}
 
 /// Which hardware organization backs each per-bank table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +71,12 @@ pub struct EngineStats {
     pub table_full_events: u64,
     /// Pruning passes executed.
     pub prunes: u64,
+    /// Corrupted entries detected (read-time parity failures plus
+    /// scrub-pass evictions), each answered by a fail-safe ARR.
+    pub corruption_events: u64,
+    /// Counter-SRAM upsets injected by the fault plan (ground truth the
+    /// chaos experiment compares `corruption_events` against).
+    pub seu_injected: u64,
 }
 
 /// The TWiCe row-hammer prevention engine.
@@ -70,6 +88,12 @@ pub struct TwiceEngine {
     max_occupancy: Vec<usize>,
     stats: EngineStats,
     name: String,
+    /// Whether the counter SRAM has a parity column and a scrub pass
+    /// (the hardened configuration). Off models the paper's original,
+    /// fault-oblivious design.
+    scrubbing: bool,
+    /// Chaos-testing hook: injects counter-SRAM upsets per a fault plan.
+    injector: FaultInjector,
 }
 
 impl fmt::Debug for TwiceEngine {
@@ -131,6 +155,71 @@ impl TwiceEngine {
             max_occupancy: vec![0; num_banks as usize],
             tables,
             stats: EngineStats::default(),
+            scrubbing: true,
+            injector: FaultInjector::inert(),
+        }
+    }
+
+    /// Enables or disables the parity/scrub hardening (on by default).
+    ///
+    /// With scrubbing off the engine models the paper's original design:
+    /// no parity column, no scrub pass — injected counter upsets corrupt
+    /// counts silently and can defeat detection. The chaos experiment
+    /// compares the two configurations.
+    #[must_use]
+    pub fn with_scrubbing(mut self, on: bool) -> TwiceEngine {
+        self.scrubbing = on;
+        for t in &mut self.tables {
+            t.set_parity_checking(on);
+        }
+        self
+    }
+
+    /// Arms the engine's counter-SRAM fault injector with `plan`,
+    /// deriving its stream with `salt` (use a distinct salt per engine
+    /// so channels do not alias).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: &FaultPlan, salt: u64) -> TwiceEngine {
+        self.injector = plan.injector(salt);
+        self
+    }
+
+    /// Whether the parity/scrub hardening is enabled.
+    #[inline]
+    pub fn scrubbing(&self) -> bool {
+        self.scrubbing
+    }
+
+    /// Picks an SEU victim in `bank`'s table per the plan's targeting
+    /// policy and flips one stored count bit. Returns `true` if the
+    /// upset landed in a valid entry.
+    fn inject_seu(&mut self, bank: BankId) -> bool {
+        let table = &mut self.tables[bank.index()];
+        let entries = table.entries();
+        if entries.is_empty() {
+            return false; // upset landed in an invalid slot
+        }
+        let (victim, bit) = match self.injector.targeting() {
+            FaultTargeting::Hottest => {
+                let hottest = entries
+                    .iter()
+                    .max_by_key(|e| (e.act_cnt, std::cmp::Reverse(e.row)))
+                    .expect("non-empty");
+                let bit = hottest.top_count_bit().unwrap_or(0);
+                (hottest.row, bit)
+            }
+            FaultTargeting::Random => {
+                let e = entries[self.injector.draw(entries.len() as u64) as usize];
+                // Upsets land anywhere in the count column; width 16
+                // covers every count the fast/paper parameters reach.
+                (e.row, self.injector.draw(16) as u32)
+            }
+        };
+        if table.inject_bit_flip(victim, bit) {
+            self.stats.seu_injected += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -183,9 +272,29 @@ impl RowHammerDefense for TwiceEngine {
 
     fn on_activate(&mut self, bank: BankId, row: RowId, now: Time) -> DefenseResponse {
         self.stats.acts += 1;
+        if self.injector.fire(FaultKind::CounterBitFlip) {
+            self.inject_seu(bank);
+        }
+        #[cfg(feature = "debug-invariants")]
+        let pre_count = self.tables[bank.index()].get(row).map(|e| e.act_cnt);
         let table = &mut self.tables[bank.index()];
         let outcome = table.record_act(row);
         let occ = table.occupancy();
+        debug_invariant!(
+            occ <= table.capacity(),
+            "occupancy {} exceeds capacity {}",
+            occ,
+            table.capacity()
+        );
+        #[cfg(feature = "debug-invariants")]
+        if let RecordOutcome::Counted { act_cnt } = outcome {
+            // Count monotonicity: one ACT advances the entry by exactly 1.
+            let expected = pre_count.unwrap_or(0) + 1;
+            debug_invariant!(
+                act_cnt == expected,
+                "act_cnt jumped from {pre_count:?} to {act_cnt} on one ACT"
+            );
+        }
         if occ > self.max_occupancy[bank.index()] {
             self.max_occupancy[bank.index()] = occ;
         }
@@ -218,12 +327,59 @@ impl RowHammerDefense for TwiceEngine {
                     ..DefenseResponse::arr(row)
                 }
             }
+            RecordOutcome::Corrupted => {
+                // The stored count failed parity on read: its value is
+                // untrustworthy, possibly *under*-reporting a hammer in
+                // progress. Fail safe exactly like `TableFull`: retire the
+                // entry and ARR the row now.
+                table.remove(row);
+                self.stats.corruption_events += 1;
+                self.stats.arrs += 1;
+                DefenseResponse {
+                    detection: Some(Detection {
+                        bank,
+                        row,
+                        at: now,
+                        act_count: 0,
+                    }),
+                    ..DefenseResponse::arr(row)
+                }
+            }
         }
     }
 
-    fn on_auto_refresh(&mut self, bank: BankId, _now: Time) {
+    fn on_auto_refresh(&mut self, bank: BankId, now: Time) -> DefenseResponse {
         self.stats.prunes += 1;
-        self.tables[bank.index()].prune(self.th_pi);
+        let table = &mut self.tables[bank.index()];
+        // Scrub before pruning so a corrupted count cannot influence the
+        // survive/evict decision. Every scrubbed row is ARRed: its true
+        // count is unknown, so the engine assumes the worst.
+        let mut response = DefenseResponse::none();
+        if self.scrubbing {
+            let corrupted = table.scrub();
+            if !corrupted.is_empty() {
+                self.stats.corruption_events += corrupted.len() as u64;
+                self.stats.arrs += corrupted.len() as u64;
+                let mut rows = corrupted.into_iter();
+                let first = rows.next().expect("non-empty");
+                response.arr = Some(first);
+                response.detection = Some(Detection {
+                    bank,
+                    row: first,
+                    at: now,
+                    act_count: 0,
+                });
+                // Remaining corrupted rows ride the explicit-refresh
+                // channel; the caller treats them as ARR aggressors too.
+                response.refresh_rows = rows.collect();
+            }
+        }
+        table.prune(self.th_pi);
+        debug_invariant!(
+            table.occupancy() <= table.capacity(),
+            "occupancy exceeds capacity after prune"
+        );
+        response
     }
 
     fn reset(&mut self) {
@@ -232,6 +388,14 @@ impl RowHammerDefense for TwiceEngine {
         }
         self.max_occupancy.iter_mut().for_each(|m| *m = 0);
         self.stats = EngineStats::default();
+    }
+
+    fn corruption_events(&self) -> u64 {
+        self.stats.corruption_events
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.stats.seu_injected
     }
 
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {

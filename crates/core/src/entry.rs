@@ -47,6 +47,45 @@ impl TableEntry {
             None
         }
     }
+
+    /// Even-parity bit over the entry's stored words (`row`, `act_cnt`,
+    /// `life`), as a per-entry parity SRAM column would compute it on
+    /// write. An odd number of single-bit upsets since the last write
+    /// makes the recomputed parity disagree with the stored bit.
+    #[inline]
+    pub fn parity(&self) -> bool {
+        ((self.act_cnt ^ self.life ^ u64::from(self.row.0)).count_ones() & 1) == 1
+    }
+
+    /// The entry with one bit of its activation count flipped — a
+    /// single-event upset in the count word. Only the count field is
+    /// targetable: a flip in the CAM row-address column would desync the
+    /// table index, which the model scopes out (see `DESIGN.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not below 64.
+    #[inline]
+    #[must_use]
+    pub fn with_count_bit_flipped(self, bit: u32) -> TableEntry {
+        assert!(bit < 64, "act_cnt is a 64-bit word");
+        TableEntry {
+            act_cnt: self.act_cnt ^ (1u64 << bit),
+            ..self
+        }
+    }
+
+    /// The most significant set bit of the activation count, if any —
+    /// the bit whose upset maximally *reduces* the count (the
+    /// adversarial SEU used by hottest-entry targeting).
+    #[inline]
+    pub fn top_count_bit(&self) -> Option<u32> {
+        if self.act_cnt == 0 {
+            None
+        } else {
+            Some(63 - self.act_cnt.leading_zeros())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -64,21 +103,37 @@ mod tests {
     fn prune_rule_matches_figure_4() {
         // Figure 4 step 4: (act_cnt=8, life=2) survives thPI=4 and ages;
         // (act_cnt=1, life=1) is pruned.
-        let survivor = TableEntry { row: RowId(0xC0), act_cnt: 8, life: 2 };
+        let survivor = TableEntry {
+            row: RowId(0xC0),
+            act_cnt: 8,
+            life: 2,
+        };
         let aged = survivor.pruned(4).expect("must survive");
         assert_eq!(aged.life, 3);
         assert_eq!(aged.act_cnt, 8);
 
-        let pruned = TableEntry { row: RowId(0xF0), act_cnt: 1, life: 1 };
+        let pruned = TableEntry {
+            row: RowId(0xF0),
+            act_cnt: 1,
+            life: 1,
+        };
         assert_eq!(pruned.pruned(4), None);
     }
 
     #[test]
     fn boundary_is_inclusive() {
         // act_cnt == thPI * life survives ("equal to or greater", §4.2).
-        let e = TableEntry { row: RowId(1), act_cnt: 8, life: 2 };
+        let e = TableEntry {
+            row: RowId(1),
+            act_cnt: 8,
+            life: 2,
+        };
         assert!(e.survives_prune(4));
-        let e = TableEntry { row: RowId(1), act_cnt: 7, life: 2 };
+        let e = TableEntry {
+            row: RowId(1),
+            act_cnt: 7,
+            life: 2,
+        };
         assert!(!e.survives_prune(4));
     }
 
@@ -90,7 +145,11 @@ mod tests {
         let th_pi = 4u64;
         let max_life = 8192u64;
         // The most an always-pruned entry can carry at life=1 is thPI-1.
-        let e = TableEntry { row: RowId(0), act_cnt: th_pi - 1, life: 1 };
+        let e = TableEntry {
+            row: RowId(0),
+            act_cnt: th_pi - 1,
+            life: 1,
+        };
         assert!(!e.survives_prune(th_pi));
         assert!((th_pi - 1) * max_life < th_pi * max_life);
     }

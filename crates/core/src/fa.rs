@@ -8,7 +8,7 @@
 
 use crate::entry::TableEntry;
 use crate::table::{CounterTable, RecordOutcome};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use twice_common::RowId;
 
 /// Operation counters for the cost model.
@@ -31,6 +31,13 @@ pub struct FaTwice {
     index: HashMap<u32, usize>,
     free: Vec<usize>,
     ops: TableOps,
+    parity_checking: bool,
+    /// Rows whose recomputed parity disagrees with the stored bit: the
+    /// set is toggled by injected upsets and cleared by legitimate
+    /// writes, which is observationally identical to storing a physical
+    /// parity bit per entry (an even number of upsets between writes
+    /// cancels out, exactly as single-bit parity would miss it).
+    mismatch: HashSet<u32>,
 }
 
 impl FaTwice {
@@ -46,6 +53,8 @@ impl FaTwice {
             index: HashMap::with_capacity(capacity),
             free: (0..capacity).rev().collect(),
             ops: TableOps::default(),
+            parity_checking: true,
+            mismatch: HashSet::new(),
         }
     }
 
@@ -58,6 +67,7 @@ impl FaTwice {
     fn remove_slot(&mut self, slot: usize) {
         if let Some(e) = self.slots[slot].take() {
             self.index.remove(&e.row.0);
+            self.mismatch.remove(&e.row.0);
             self.free.push(slot);
             self.ops.removals += 1;
         }
@@ -68,7 +78,15 @@ impl CounterTable for FaTwice {
     fn record_act(&mut self, row: RowId) -> RecordOutcome {
         self.ops.searches += 1;
         if let Some(&slot) = self.index.get(&row.0) {
-            let e = self.slots[slot].as_mut().expect("indexed slot must be valid");
+            if self.parity_checking && self.mismatch.contains(&row.0) {
+                return RecordOutcome::Corrupted;
+            }
+            // A legitimate read-modify-write recomputes the stored
+            // parity, laundering any (unchecked) corruption.
+            self.mismatch.remove(&row.0);
+            let e = self.slots[slot]
+                .as_mut()
+                .expect("indexed slot must be valid");
             e.act_cnt += 1;
             return RecordOutcome::Counted { act_cnt: e.act_cnt };
         }
@@ -118,7 +136,38 @@ impl CounterTable for FaTwice {
         let cap = self.slots.len();
         self.slots.iter_mut().for_each(|s| *s = None);
         self.index.clear();
+        self.mismatch.clear();
         self.free = (0..cap).rev().collect();
+    }
+
+    fn set_parity_checking(&mut self, enabled: bool) {
+        self.parity_checking = enabled;
+    }
+
+    fn inject_bit_flip(&mut self, row: RowId, bit: u32) -> bool {
+        let Some(&slot) = self.index.get(&row.0) else {
+            return false;
+        };
+        let e = self.slots[slot].expect("indexed slot must be valid");
+        self.slots[slot] = Some(e.with_count_bit_flipped(bit));
+        // Toggle: a second upset of the same word flips the parity
+        // relation back (single-bit parity cannot see even upset counts).
+        if !self.mismatch.insert(row.0) {
+            self.mismatch.remove(&row.0);
+        }
+        true
+    }
+
+    fn scrub(&mut self) -> Vec<RowId> {
+        if !self.parity_checking {
+            return Vec::new();
+        }
+        let mut rows: Vec<RowId> = self.mismatch.iter().map(|&r| RowId(r)).collect();
+        rows.sort_unstable();
+        for row in &rows {
+            self.remove(*row);
+        }
+        rows
     }
 }
 
@@ -158,7 +207,10 @@ mod tests {
         t.record_act(RowId(2));
         assert_eq!(t.record_act(RowId(3)), RecordOutcome::TableFull);
         t.remove(RowId(1));
-        assert_eq!(t.record_act(RowId(3)), RecordOutcome::Counted { act_cnt: 1 });
+        assert_eq!(
+            t.record_act(RowId(3)),
+            RecordOutcome::Counted { act_cnt: 1 }
+        );
         assert_eq!(t.occupancy(), 2);
     }
 
@@ -176,9 +228,15 @@ mod tests {
         // Age them to the lives in the figure (counts already set).
         // (Directly assert counts; life progression is covered elsewhere.)
         // ① ACT 0xF0: new entry inserted.
-        assert_eq!(t.record_act(RowId(0xF0)), RecordOutcome::Counted { act_cnt: 1 });
+        assert_eq!(
+            t.record_act(RowId(0xF0)),
+            RecordOutcome::Counted { act_cnt: 1 }
+        );
         // ② ACT 0xC0: found, incremented to 8.
-        assert_eq!(t.record_act(RowId(0xC0)), RecordOutcome::Counted { act_cnt: 8 });
+        assert_eq!(
+            t.record_act(RowId(0xC0)),
+            RecordOutcome::Counted { act_cnt: 8 }
+        );
         // ③ ACT 0x50 reaches thRH = 32768: the engine would ARR + retire.
         assert_eq!(
             t.record_act(RowId(0x50)),

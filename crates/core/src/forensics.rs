@@ -201,7 +201,10 @@ mod tests {
             last_at: Time::ZERO + Span::from_ms(1),
             ..single
         };
-        assert_eq!(DetectionLog::severity(&active, refw), Severity::ActiveAttack);
+        assert_eq!(
+            DetectionLog::severity(&active, refw),
+            Severity::ActiveAttack
+        );
         let persistent = AttackRecord {
             detections: 50,
             last_at: Time::ZERO + Span::from_ms(200),

@@ -69,7 +69,7 @@ pub mod table;
 
 pub use bound::CapacityBound;
 pub use engine::{TableOrganization, TwiceEngine};
-pub use forensics::DetectionLog;
 pub use entry::TableEntry;
+pub use forensics::DetectionLog;
 pub use params::TwiceParams;
 pub use table::{CounterTable, RecordOutcome};

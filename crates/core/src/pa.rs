@@ -16,6 +16,7 @@
 
 use crate::entry::TableEntry;
 use crate::table::{CounterTable, RecordOutcome};
+use std::collections::HashSet;
 use twice_common::RowId;
 
 /// Probe statistics for the energy model.
@@ -41,6 +42,10 @@ pub struct PaTwice {
     sb: Vec<Vec<u32>>,
     ways: usize,
     stats: PaStats,
+    parity_checking: bool,
+    /// Rows whose recomputed parity disagrees with the stored bit (see
+    /// the matching field on [`crate::fa::FaTwice`] for the model).
+    mismatch: HashSet<u32>,
 }
 
 impl PaTwice {
@@ -56,6 +61,8 @@ impl PaTwice {
             sb: vec![vec![0; sets]; sets],
             ways,
             stats: PaStats::default(),
+            parity_checking: true,
+            mismatch: HashSet::new(),
         }
     }
 
@@ -139,6 +146,11 @@ impl CounterTable for PaTwice {
         let (found, extended) = self.find(row);
         self.note_lookup(extended);
         if let Some((s, w)) = found {
+            if self.parity_checking && self.mismatch.contains(&row.0) {
+                return RecordOutcome::Corrupted;
+            }
+            // Legitimate read-modify-write recomputes the stored parity.
+            self.mismatch.remove(&row.0);
             let e = self.sets[s][w].as_mut().expect("found slot must be valid");
             e.act_cnt += 1;
             return RecordOutcome::Counted { act_cnt: e.act_cnt };
@@ -167,6 +179,7 @@ impl CounterTable for PaTwice {
         let (found, _) = self.find(row);
         if let Some((s, w)) = found {
             self.sets[s][w] = None;
+            self.mismatch.remove(&row.0);
             let pref = self.preferred_set(row);
             if s != pref {
                 debug_assert!(self.sb[s][pref] > 0);
@@ -183,6 +196,7 @@ impl CounterTable for PaTwice {
                     Some(aged) => self.sets[s][w] = Some(aged),
                     None => {
                         self.sets[s][w] = None;
+                        self.mismatch.remove(&e.row.0);
                         let pref = self.preferred_set(e.row);
                         if s != pref {
                             debug_assert!(self.sb[s][pref] > 0);
@@ -231,6 +245,41 @@ impl CounterTable for PaTwice {
         for row in &mut self.sb {
             row.iter_mut().for_each(|c| *c = 0);
         }
+        self.mismatch.clear();
+    }
+
+    fn set_parity_checking(&mut self, enabled: bool) {
+        self.parity_checking = enabled;
+    }
+
+    fn inject_bit_flip(&mut self, row: RowId, bit: u32) -> bool {
+        // Locate without going through `find`: a physical upset is not a
+        // lookup and must not perturb the probe-energy statistics.
+        for s in 0..self.sets.len() {
+            for w in 0..self.ways {
+                if self.sets[s][w].map(|e| e.row) == Some(row) {
+                    let e = self.sets[s][w].expect("matched slot must be valid");
+                    self.sets[s][w] = Some(e.with_count_bit_flipped(bit));
+                    if !self.mismatch.insert(row.0) {
+                        self.mismatch.remove(&row.0);
+                    }
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn scrub(&mut self) -> Vec<RowId> {
+        if !self.parity_checking {
+            return Vec::new();
+        }
+        let mut rows: Vec<RowId> = self.mismatch.iter().map(|&r| RowId(r)).collect();
+        rows.sort_unstable();
+        for row in &rows {
+            self.remove(*row);
+        }
+        rows
     }
 }
 
@@ -293,8 +342,8 @@ mod tests {
         t.record_act(RowId(0));
         let before = t.stats().set_probes;
         t.record_act(RowId(4)); // miss in set 0 (occupied by row 0) ...
-        // row 4 prefers set 0, set 0 full -> probe = 1 (pref, SB all zero),
-        // then insert borrows set 1.
+                                // row 4 prefers set 0, set 0 full -> probe = 1 (pref, SB all zero),
+                                // then insert borrows set 1.
         assert_eq!(t.stats().set_probes, before + 1);
     }
 

@@ -18,7 +18,7 @@
 
 use crate::entry::TableEntry;
 use crate::table::{CounterTable, RecordOutcome};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use twice_common::RowId;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,10 @@ pub struct SplitTwice {
     promotions: u64,
     /// Fresh inserts that spilled into the long sub-table.
     spills: u64,
+    parity_checking: bool,
+    /// Rows whose recomputed parity disagrees with the stored bit (see
+    /// the matching field on [`crate::fa::FaTwice`] for the model).
+    mismatch: HashSet<u32>,
 }
 
 impl SplitTwice {
@@ -51,7 +55,10 @@ impl SplitTwice {
     ///
     /// Panics if any capacity or `th_pi` is zero.
     pub fn new(short_capacity: usize, long_capacity: usize, th_pi: u64) -> SplitTwice {
-        assert!(short_capacity > 0 && long_capacity > 0, "capacities must be non-zero");
+        assert!(
+            short_capacity > 0 && long_capacity > 0,
+            "capacities must be non-zero"
+        );
         assert!(th_pi > 0, "thPI must be non-zero");
         SplitTwice {
             th_pi,
@@ -62,6 +69,8 @@ impl SplitTwice {
             index: HashMap::new(),
             promotions: 0,
             spills: 0,
+            parity_checking: true,
+            mismatch: HashSet::new(),
         }
     }
 
@@ -91,6 +100,7 @@ impl SplitTwice {
 
     fn remove_loc(&mut self, row: RowId, loc: Loc) {
         self.index.remove(&row.0);
+        self.mismatch.remove(&row.0);
         match loc {
             Loc::Short(i) => {
                 self.short[i] = None;
@@ -116,9 +126,10 @@ impl SplitTwice {
             return true;
         }
         // Long full: swap with a spilled fresh entry (life 1, below thPI).
-        let victim = self.long.iter().position(|e| {
-            e.map(|e| e.life == 1 && e.act_cnt < self.th_pi) == Some(true)
-        });
+        let victim = self
+            .long
+            .iter()
+            .position(|e| e.map(|e| e.life == 1 && e.act_cnt < self.th_pi) == Some(true));
         let Some(slot) = victim else { return false };
         let spilled = self.long[slot].expect("victim slot must be valid");
         self.long[slot] = Some(entry);
@@ -133,6 +144,11 @@ impl SplitTwice {
 impl CounterTable for SplitTwice {
     fn record_act(&mut self, row: RowId) -> RecordOutcome {
         if let Some(&loc) = self.index.get(&row.0) {
+            if self.parity_checking && self.mismatch.contains(&row.0) {
+                return RecordOutcome::Corrupted;
+            }
+            // Legitimate read-modify-write recomputes the stored parity.
+            self.mismatch.remove(&row.0);
             let act_cnt = match loc {
                 Loc::Short(i) => {
                     let e = self.short[i].as_mut().expect("indexed slot must be valid");
@@ -234,6 +250,39 @@ impl CounterTable for SplitTwice {
         self.short_free = (0..self.short.len()).rev().collect();
         self.long_free = (0..self.long.len()).rev().collect();
         self.index.clear();
+        self.mismatch.clear();
+    }
+
+    fn set_parity_checking(&mut self, enabled: bool) {
+        self.parity_checking = enabled;
+    }
+
+    fn inject_bit_flip(&mut self, row: RowId, bit: u32) -> bool {
+        let Some(&loc) = self.index.get(&row.0) else {
+            return false;
+        };
+        let slot = match loc {
+            Loc::Short(i) => &mut self.short[i],
+            Loc::Long(i) => &mut self.long[i],
+        };
+        let e = slot.expect("indexed slot must be valid");
+        *slot = Some(e.with_count_bit_flipped(bit));
+        if !self.mismatch.insert(row.0) {
+            self.mismatch.remove(&row.0);
+        }
+        true
+    }
+
+    fn scrub(&mut self) -> Vec<RowId> {
+        if !self.parity_checking {
+            return Vec::new();
+        }
+        let mut rows: Vec<RowId> = self.mismatch.iter().map(|&r| RowId(r)).collect();
+        rows.sort_unstable();
+        for row in &rows {
+            self.remove(*row);
+        }
+        rows
     }
 }
 
@@ -294,7 +343,7 @@ mod tests {
         t.record_act(RowId(1)); // short full
         t.record_act(RowId(2));
         t.record_act(RowId(3)); // long full of spills
-        // Promote row 0: must swap with a spilled long entry.
+                                // Promote row 0: must swap with a spilled long entry.
         for _ in 0..3 {
             t.record_act(RowId(0));
         }

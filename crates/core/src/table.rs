@@ -23,6 +23,14 @@ pub enum RecordOutcome {
     /// the paper's §4.4 claim, and it is property-tested); the engine
     /// treats it as an immediate detection as a defensive fallback.
     TableFull,
+    /// The row's stored entry failed its parity check when read (a
+    /// single-event upset corrupted the count since the last legitimate
+    /// write). The entry's value is untrustworthy; the engine fails safe
+    /// by treating the row as detected, exactly like `TableFull`.
+    ///
+    /// Only reported by tables with parity checking enabled
+    /// ([`CounterTable::set_parity_checking`]).
+    Corrupted,
 }
 
 /// A bounded table of per-row activation counters with TWiCe pruning.
@@ -52,6 +60,35 @@ pub trait CounterTable {
 
     /// Clears the table.
     fn clear(&mut self);
+
+    /// Enables or disables per-entry parity checking (hardened TWiCe
+    /// stores one parity bit per entry, written on every legitimate
+    /// update; the unhardened baseline has no such column). With
+    /// checking off, injected upsets corrupt counts silently. Defaults
+    /// to a no-op for table models without a parity column.
+    fn set_parity_checking(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Injects a single-event upset: flips bit `bit` of the stored
+    /// activation count of `row`'s entry *without* updating the stored
+    /// parity bit (that is what makes it a fault). Returns `false` if
+    /// the row is untracked (the upset landed in an invalid slot and has
+    /// no architectural effect). Defaults to no-op for models without
+    /// fault support.
+    fn inject_bit_flip(&mut self, row: RowId, bit: u32) -> bool {
+        let _ = (row, bit);
+        false
+    }
+
+    /// Parity-scrub pass: checks every valid entry's recomputed parity
+    /// against its stored bit, evicts the mismatching entries, and
+    /// returns their rows so the engine can fail safe (ARR them).
+    /// Returns nothing when parity checking is disabled. Defaults to a
+    /// no-op for models without a parity column.
+    fn scrub(&mut self) -> Vec<RowId> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +160,10 @@ pub(crate) mod conformance {
             ));
         }
         assert_eq!(table.occupancy(), cap);
-        assert_eq!(table.record_act(RowId(cap as u32)), RecordOutcome::TableFull);
+        assert_eq!(
+            table.record_act(RowId(cap as u32)),
+            RecordOutcome::TableFull
+        );
         // Existing rows still count fine.
         assert!(matches!(
             table.record_act(RowId(0)),

@@ -1,0 +1,167 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the real statistics-heavy criterion crate cannot be resolved. The
+//! bench targets in `twice-bench` only use a small slice of its API:
+//! [`Criterion::default`], [`Criterion::configure_from_args`],
+//! [`Criterion::sample_size`], [`Criterion::bench_function`],
+//! [`Criterion::final_summary`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and [`black_box`]. This shim
+//! implements exactly that surface with plain wall-clock timing so the
+//! benches compile and run (behind the `bench-harness` feature of
+//! `twice-bench`) and report a mean per-iteration time.
+//!
+//! It is intentionally *not* a statistics engine: no warm-up analysis, no
+//! outlier detection, no HTML reports. Swap the workspace `criterion`
+//! dependency back to the registry crate to get those.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// computation whose result flows into it. Mirrors `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How per-iteration setup values are batched in [`Bencher::iter_batched`].
+///
+/// The shim runs every variant identically (one setup per routine call);
+/// the distinction only matters for the real crate's allocation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values: batch many per allocation.
+    SmallInput,
+    /// Large setup values: fewer per batch.
+    LargeInput,
+    /// One setup value per iteration.
+    PerIteration,
+}
+
+/// Timing helper handed to the closure given to [`Criterion::bench_function`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` over per-iteration inputs produced by `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`: a builder that runs named
+/// benchmark functions and prints one summary line per benchmark.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepts command-line configuration in the real crate; the shim
+    /// ignores the arguments and returns the builder unchanged.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Set the number of timed iterations per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Run `routine` under the timing harness and print its mean
+    /// per-iteration wall-clock time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let per_iter = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / (bencher.iters as u32)
+        };
+        println!(
+            "bench: {name:<48} {per_iter:>12.3?}/iter ({} iters)",
+            bencher.iters
+        );
+        self
+    }
+
+    /// Print the closing summary (a no-op beyond a trailing newline here).
+    pub fn final_summary(&mut self) {
+        println!("bench: done");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine_sample_size_times() {
+        let mut count = 0u64;
+        Criterion::default()
+            .configure_from_args()
+            .sample_size(7)
+            .bench_function("counting", |b| b.iter(|| count += 1));
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_with_routine() {
+        let mut seen = Vec::new();
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("batched", |b| {
+                let mut n = 0;
+                b.iter_batched(
+                    || {
+                        n += 1;
+                        n
+                    },
+                    |v| seen.push(v),
+                    BatchSize::SmallInput,
+                )
+            });
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+}

@@ -287,14 +287,20 @@ mod tests {
         let e = b.precharge(t(10)).unwrap_err();
         assert!(matches!(
             e,
-            DramError::Timing(TimingViolation { kind: TimingKind::Tras, .. })
+            DramError::Timing(TimingViolation {
+                kind: TimingKind::Tras,
+                ..
+            })
         ));
         b.precharge(t(31)).unwrap();
         // ACT before tRP elapsed (31+14=45) fails with Trp.
         let e = b.activate(RowId(2), t(40)).unwrap_err();
         assert!(matches!(
             e,
-            DramError::Timing(TimingViolation { kind: TimingKind::Trp, .. })
+            DramError::Timing(TimingViolation {
+                kind: TimingKind::Trp,
+                ..
+            })
         ));
         // At exactly 45 ns both tRP and tRC (45) are satisfied.
         b.activate(RowId(2), t(45)).unwrap();
@@ -326,7 +332,10 @@ mod tests {
         let e = b.column_access(t(10)).unwrap_err();
         assert!(matches!(
             e,
-            DramError::Timing(TimingViolation { kind: TimingKind::Trcd, .. })
+            DramError::Timing(TimingViolation {
+                kind: TimingKind::Trcd,
+                ..
+            })
         ));
         assert_eq!(b.column_access(t(14)).unwrap(), RowId(7));
     }
@@ -349,7 +358,10 @@ mod tests {
         let e = b.activate(RowId(0), t(349)).unwrap_err();
         assert!(matches!(
             e,
-            DramError::Timing(TimingViolation { kind: TimingKind::Trfc, .. })
+            DramError::Timing(TimingViolation {
+                kind: TimingKind::Trfc,
+                ..
+            })
         ));
         assert!(!b.is_busy(t(350)));
         b.activate(RowId(0), t(350)).unwrap();
@@ -380,7 +392,10 @@ mod tests {
         let e = b.activate(RowId(1), t(134)).unwrap_err();
         assert!(matches!(
             e,
-            DramError::Timing(TimingViolation { kind: TimingKind::Arr, .. })
+            DramError::Timing(TimingViolation {
+                kind: TimingKind::Arr,
+                ..
+            })
         ));
         b.activate(RowId(1), t(135)).unwrap();
     }

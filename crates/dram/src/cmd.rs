@@ -109,12 +109,24 @@ mod tests {
     #[test]
     fn bank_accessor_covers_all_variants() {
         let cmds = [
-            DramCommand::Activate { bank: 3, row: RowId(1) },
+            DramCommand::Activate {
+                bank: 3,
+                row: RowId(1),
+            },
             DramCommand::Precharge { bank: 3 },
-            DramCommand::Read { bank: 3, col: ColId(0) },
-            DramCommand::Write { bank: 3, col: ColId(0) },
+            DramCommand::Read {
+                bank: 3,
+                col: ColId(0),
+            },
+            DramCommand::Write {
+                bank: 3,
+                col: ColId(0),
+            },
             DramCommand::Refresh { bank: 3 },
-            DramCommand::AdjacentRowRefresh { bank: 3, row: RowId(1) },
+            DramCommand::AdjacentRowRefresh {
+                bank: 3,
+                row: RowId(1),
+            },
         ];
         for c in cmds {
             assert_eq!(c.bank(), 3, "{c}");
@@ -123,13 +135,20 @@ mod tests {
 
     #[test]
     fn only_activate_is_activate() {
-        assert!(DramCommand::Activate { bank: 0, row: RowId(0) }.is_activate());
+        assert!(DramCommand::Activate {
+            bank: 0,
+            row: RowId(0)
+        }
+        .is_activate());
         assert!(!DramCommand::Refresh { bank: 0 }.is_activate());
     }
 
     #[test]
     fn display_and_mnemonics() {
-        let arr = DramCommand::AdjacentRowRefresh { bank: 1, row: RowId(0x50) };
+        let arr = DramCommand::AdjacentRowRefresh {
+            bank: 1,
+            row: RowId(0x50),
+        };
         assert_eq!(arr.mnemonic(), "ARR");
         assert_eq!(arr.to_string(), "ARR b1 r0x50");
     }

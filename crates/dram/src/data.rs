@@ -78,8 +78,7 @@ impl BankData {
 
     /// The deterministic background pattern of one granule.
     fn pattern(&self, key: GranuleKey) -> [u8; GRANULE_BYTES] {
-        let mut rng =
-            SplitMix64::new(self.seed ^ (u64::from(key.0) << 24) ^ u64::from(key.1));
+        let mut rng = SplitMix64::new(self.seed ^ (u64::from(key.0) << 24) ^ u64::from(key.1));
         let mut out = [0u8; GRANULE_BYTES];
         for chunk in out.chunks_mut(8) {
             chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
@@ -150,8 +149,7 @@ impl BankData {
         let pos = (bit / 8) as usize;
         let key = (row.0, (pos / GRANULE_BYTES) as u32);
         self.materialize(key);
-        self.actual.get_mut(&key).expect("materialized")[pos % GRANULE_BYTES] ^=
-            1 << (bit % 8);
+        self.actual.get_mut(&key).expect("materialized")[pos % GRANULE_BYTES] ^= 1 << (bit % 8);
     }
 
     /// Compares actual cells against the software shadow.

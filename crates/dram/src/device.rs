@@ -231,6 +231,17 @@ impl DramRank {
         &self.stats
     }
 
+    /// Records one nacked command in the rank's statistics. The RCD calls
+    /// this so experiments can split protocol nacks from chaos-injected
+    /// ones.
+    pub(crate) fn record_nack(&mut self, injected: bool) {
+        if injected {
+            self.stats.injected_nacks += 1;
+        } else {
+            self.stats.nacks += 1;
+        }
+    }
+
     /// Total energy (pJ) consumed so far under `model`.
     pub fn energy_pj(&self, model: &DramEnergyModel) -> u64 {
         self.stats.energy_pj(model)
@@ -307,8 +318,7 @@ impl DramRank {
                     });
                 }
                 let victims = self.arr_victim_rows(cmd.bank(), row);
-                let aggressor =
-                    self.banks[b].adjacent_row_refresh(now, victims.len() as u32)?;
+                let aggressor = self.banks[b].adjacent_row_refresh(now, victims.len() as u32)?;
                 debug_assert_eq!(aggressor, row);
                 for &v in &victims {
                     // Refreshing a victim is an internal ACT+PRE: it
@@ -575,15 +585,33 @@ mod tests {
     #[test]
     fn activate_checks_rank_and_bank_constraints() {
         let mut r = DramRank::new(RankConfig::for_test(4, 64));
-        r.issue(DramCommand::Activate { bank: 0, row: RowId(1) }, t(0))
-            .unwrap();
+        r.issue(
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(1),
+            },
+            t(0),
+        )
+        .unwrap();
         // Bank 1 shares bank group 0: tRRD_L (6ns) applies.
         let e = r
-            .issue(DramCommand::Activate { bank: 1, row: RowId(1) }, t(5))
+            .issue(
+                DramCommand::Activate {
+                    bank: 1,
+                    row: RowId(1),
+                },
+                t(5),
+            )
             .unwrap_err();
         assert!(matches!(e, DramError::Timing(_)));
-        r.issue(DramCommand::Activate { bank: 1, row: RowId(1) }, t(6))
-            .unwrap();
+        r.issue(
+            DramCommand::Activate {
+                bank: 1,
+                row: RowId(1),
+            },
+            t(6),
+        )
+        .unwrap();
         assert_eq!(r.stats().acts, 2);
     }
 
@@ -591,11 +619,23 @@ mod tests {
     fn rejects_unknown_bank_and_row() {
         let mut r = DramRank::new(RankConfig::for_test(2, 64));
         assert!(matches!(
-            r.issue(DramCommand::Activate { bank: 2, row: RowId(0) }, t(0)),
+            r.issue(
+                DramCommand::Activate {
+                    bank: 2,
+                    row: RowId(0)
+                },
+                t(0)
+            ),
             Err(DramError::NoSuchBank { bank: 2 })
         ));
         assert!(matches!(
-            r.issue(DramCommand::Activate { bank: 0, row: RowId(64) }, t(0)),
+            r.issue(
+                DramCommand::Activate {
+                    bank: 0,
+                    row: RowId(64)
+                },
+                t(0)
+            ),
             Err(DramError::NoSuchRow { .. })
         ));
     }
@@ -603,13 +643,31 @@ mod tests {
     #[test]
     fn failed_activate_leaves_state_unchanged() {
         let mut r = DramRank::new(RankConfig::for_test(2, 64));
-        r.issue(DramCommand::Activate { bank: 0, row: RowId(1) }, t(0))
-            .unwrap();
+        r.issue(
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(1),
+            },
+            t(0),
+        )
+        .unwrap();
         // Rank-level failure must not record the ACT in the window.
-        let _ = r.issue(DramCommand::Activate { bank: 1, row: RowId(2) }, t(3));
+        let _ = r.issue(
+            DramCommand::Activate {
+                bank: 1,
+                row: RowId(2),
+            },
+            t(3),
+        );
         // tRRD_L from the *first* ACT only: legal at t=6.
-        r.issue(DramCommand::Activate { bank: 1, row: RowId(2) }, t(6))
-            .unwrap();
+        r.issue(
+            DramCommand::Activate {
+                bank: 1,
+                row: RowId(2),
+            },
+            t(6),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -618,8 +676,14 @@ mod tests {
         let mut r = DramRank::new(cfg);
         let mut now = Time::ZERO;
         for _ in 0..20 {
-            r.issue(DramCommand::Activate { bank: 0, row: RowId(8) }, now)
-                .unwrap();
+            r.issue(
+                DramCommand::Activate {
+                    bank: 0,
+                    row: RowId(8),
+                },
+                now,
+            )
+            .unwrap();
             now += Span::from_ns(31);
             r.issue(DramCommand::Precharge { bank: 0 }, now).unwrap();
             now += Span::from_ns(14);
@@ -633,12 +697,24 @@ mod tests {
     fn arr_refreshes_victims_and_blocks_bank() {
         let cfg = RankConfig::for_test(1, 64).with_n_th(1000);
         let mut r = DramRank::new(cfg);
-        r.issue(DramCommand::Activate { bank: 0, row: RowId(8) }, t(0))
-            .unwrap();
+        r.issue(
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(8),
+            },
+            t(0),
+        )
+        .unwrap();
         // Hammer up some disturbance on the neighbors first.
         assert_eq!(r.disturbance_of(0, RowId(7)), 1);
-        r.issue(DramCommand::AdjacentRowRefresh { bank: 0, row: RowId(8) }, t(31))
-            .unwrap();
+        r.issue(
+            DramCommand::AdjacentRowRefresh {
+                bank: 0,
+                row: RowId(8),
+            },
+            t(31),
+        )
+        .unwrap();
         // Victims restored; their own neighbors disturbed (row 8 got +1+1
         // from the two victim activations, but activation also clears...).
         assert_eq!(r.disturbance_of(0, RowId(7)), 0);
@@ -652,10 +728,22 @@ mod tests {
     #[test]
     fn arr_requires_matching_open_row() {
         let mut r = DramRank::new(RankConfig::for_test(1, 64));
-        r.issue(DramCommand::Activate { bank: 0, row: RowId(8) }, t(0))
-            .unwrap();
+        r.issue(
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(8),
+            },
+            t(0),
+        )
+        .unwrap();
         let e = r
-            .issue(DramCommand::AdjacentRowRefresh { bank: 0, row: RowId(9) }, t(31))
+            .issue(
+                DramCommand::AdjacentRowRefresh {
+                    bank: 0,
+                    row: RowId(9),
+                },
+                t(31),
+            )
             .unwrap_err();
         assert!(matches!(e, DramError::BadState { .. }));
     }
@@ -666,8 +754,14 @@ mod tests {
         // REF covers exactly one row here (64 < 8192).
         let cfg = RankConfig::for_test(1, 64).with_n_th(1000);
         let mut r = DramRank::new(cfg);
-        r.issue(DramCommand::Activate { bank: 0, row: RowId(1) }, t(0))
-            .unwrap();
+        r.issue(
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(1),
+            },
+            t(0),
+        )
+        .unwrap();
         assert_eq!(r.disturbance_of(0, RowId(0)), 1);
         r.issue(DramCommand::Precharge { bank: 0 }, t(31)).unwrap();
         // First REF covers row 0.
@@ -680,8 +774,14 @@ mod tests {
     fn explicit_refresh_restores_rows_and_counts_acts() {
         let cfg = RankConfig::for_test(1, 64).with_n_th(1000);
         let mut r = DramRank::new(cfg);
-        r.issue(DramCommand::Activate { bank: 0, row: RowId(8) }, t(0))
-            .unwrap();
+        r.issue(
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(8),
+            },
+            t(0),
+        )
+        .unwrap();
         let n = r
             .refresh_rows_explicit(0, [RowId(7), RowId(9), RowId(999)], t(31))
             .unwrap();
@@ -699,8 +799,14 @@ mod tests {
         assert_eq!(r.verify_row(0, RowId(7)), RowIntegrity::Clean);
         let mut now = Time::ZERO;
         for _ in 0..20 {
-            r.issue(DramCommand::Activate { bank: 0, row: RowId(8) }, now)
-                .unwrap();
+            r.issue(
+                DramCommand::Activate {
+                    bank: 0,
+                    row: RowId(8),
+                },
+                now,
+            )
+            .unwrap();
             now += Span::from_ns(31);
             r.issue(DramCommand::Precharge { bank: 0 }, now).unwrap();
             now += Span::from_ns(14);
@@ -716,7 +822,7 @@ mod tests {
         let expected_prefix = vec![0xAB; 64];
         let prefix = r.read_data(0, RowId(7), 0, 64);
         let _ = (stored, expected_prefix, prefix); // values depend on flip position
-        // ECC: a single flipped bit per row is correctable.
+                                                   // ECC: a single flipped bit per row is correctable.
         assert_eq!(r.ecc_judgement(0, RowId(7)), (1, 0, 0));
     }
 
@@ -729,8 +835,14 @@ mod tests {
         let mut r = DramRank::new(cfg);
         let mut now = Time::ZERO;
         for _ in 0..1000 {
-            r.issue(DramCommand::Activate { bank: 0, row: RowId(8) }, now)
-                .unwrap();
+            r.issue(
+                DramCommand::Activate {
+                    bank: 0,
+                    row: RowId(8),
+                },
+                now,
+            )
+            .unwrap();
             now += Span::from_ns(31);
             r.issue(DramCommand::Precharge { bank: 0 }, now).unwrap();
             now += Span::from_ns(14);
@@ -758,10 +870,22 @@ mod tests {
     fn energy_accounts_all_activation_sources() {
         let cfg = RankConfig::for_test(1, 64);
         let mut r = DramRank::new(cfg);
-        r.issue(DramCommand::Activate { bank: 0, row: RowId(8) }, t(0))
-            .unwrap();
-        r.issue(DramCommand::AdjacentRowRefresh { bank: 0, row: RowId(8) }, t(31))
-            .unwrap();
+        r.issue(
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(8),
+            },
+            t(0),
+        )
+        .unwrap();
+        r.issue(
+            DramCommand::AdjacentRowRefresh {
+                bank: 0,
+                row: RowId(8),
+            },
+            t(31),
+        )
+        .unwrap();
         let m = DramEnergyModel::ddr4();
         // 1 MC ACT + 2 ARR victim ACTs.
         assert_eq!(r.energy_pj(&m), 3 * m.act_pre_pj);

@@ -151,8 +151,12 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(DramError::BadState { reason: "x" }.to_string().contains("x"));
-        assert!(DramError::NoSuchRow { row: RowId(5) }.to_string().contains("RowId(5)"));
+        assert!(DramError::BadState { reason: "x" }
+            .to_string()
+            .contains("x"));
+        assert!(DramError::NoSuchRow { row: RowId(5) }
+            .to_string()
+            .contains("RowId(5)"));
         assert!(DramError::NoSuchBank { bank: 9 }.to_string().contains('9'));
     }
 }

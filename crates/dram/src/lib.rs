@@ -58,9 +58,9 @@ pub mod remap;
 pub mod stats;
 
 pub use cmd::DramCommand;
-pub use device::{DramRank, RankConfig};
-pub use error::{DramError, TimingViolation};
 pub use data::RowIntegrity;
+pub use device::{DramRank, RankConfig};
 pub use ecc::EccOutcome;
+pub use error::{DramError, TimingViolation};
 pub use hammer::BitFlip;
-pub use rcd::{Rcd, RcdOutcome};
+pub use rcd::{NackReason, Rcd, RcdOutcome};

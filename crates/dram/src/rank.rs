@@ -112,9 +112,7 @@ impl RankActWindow {
         let rrd_l = self.last_in_group[self.group_of(bank)]
             .map(|t| t + self.t_rrd_l)
             .unwrap_or(Time::ZERO);
-        let faw = self.recent[0]
-            .map(|t| t + self.t_faw)
-            .unwrap_or(Time::ZERO);
+        let faw = self.recent[0].map(|t| t + self.t_faw).unwrap_or(Time::ZERO);
         rrd_s.max(rrd_l).max(faw)
     }
 }
@@ -154,7 +152,7 @@ mod tests {
     fn trrd_l_binds_within_a_group() {
         let mut w = window();
         w.record(0, t(0)); // group 0
-        // Bank 1 shares group 0: tRRD_L = 6ns applies.
+                           // Bank 1 shares group 0: tRRD_L = 6ns applies.
         let e = w.check(1, t(5)).unwrap_err();
         assert_eq!(e.kind, TimingKind::Trrd);
         assert_eq!(e.ready_at, t(6));

@@ -17,18 +17,35 @@ use crate::bank::Bank;
 use crate::cmd::DramCommand;
 use crate::device::DramRank;
 use crate::error::DramError;
-use twice_common::{BankId, Detection, RowHammerDefense, RowId, Time};
+use twice_common::fault::{FaultInjector, FaultKind, FaultPlan};
+use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
+
+/// Why the RCD nacked a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackReason {
+    /// The protocol reason (§5.2): the command conflicts with an ARR in
+    /// progress on the target bank or rank. Resending at `retry_at` is
+    /// guaranteed to make progress.
+    ArrInProgress,
+    /// A chaos fault plan injected a spurious nack
+    /// ([`FaultKind::SpuriousNack`]); the protocol would have accepted
+    /// the command. Carries no progress guarantee — under a high
+    /// injection rate only a *bounded* retry loop terminates.
+    Injected,
+}
 
 /// The result of presenting one command to the RCD.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RcdOutcome {
     /// The command was forwarded to the devices and accepted.
     Accepted,
-    /// The command conflicts with an ARR in progress; the MC must resend
-    /// no earlier than `retry_at`.
+    /// The command was not accepted; the MC must resend no earlier than
+    /// `retry_at`.
     Nack {
         /// Earliest instant at which a resend can succeed.
         retry_at: Time,
+        /// Whether this is a real protocol nack or an injected one.
+        reason: NackReason,
     },
     /// The command was a PRE to a detected aggressor and was converted
     /// into an ARR refreshing `victims` physical neighbors.
@@ -53,6 +70,12 @@ pub struct Rcd {
     bank_base: u32,
     detections: Vec<Detection>,
     nacks: u64,
+    /// Fail-safe neighbor refreshes performed for rows the defense
+    /// reported corrupted during a refresh-window scrub.
+    scrub_arrs: u64,
+    /// Chaos-testing hook: injects bus/protocol faults (spurious nacks,
+    /// dropped or duplicated ARR conversions) per a fault plan.
+    injector: FaultInjector,
 }
 
 impl std::fmt::Debug for Rcd {
@@ -97,7 +120,48 @@ impl Rcd {
             bank_base,
             detections: Vec::new(),
             nacks: 0,
+            scrub_arrs: 0,
+            injector: FaultInjector::inert(),
         }
+    }
+
+    /// Arms the RCD's bus/protocol fault injector with `plan`, deriving
+    /// its stream with `salt` (use a distinct salt per RCD so channels do
+    /// not alias).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: &FaultPlan, salt: u64) -> Rcd {
+        self.injector = plan.injector(salt);
+        self
+    }
+
+    /// Books one nack in the RCD and rank statistics.
+    fn nack(&mut self, rank: usize, retry_at: Time, reason: NackReason) -> RcdOutcome {
+        self.nacks += 1;
+        self.ranks[rank].record_nack(reason == NackReason::Injected);
+        RcdOutcome::Nack { retry_at, reason }
+    }
+
+    /// Applies a defense's refresh-window response. By the
+    /// [`RowHammerDefense::on_auto_refresh`] contract, every row named in
+    /// `arr` / `refresh_rows` is a *corrupted aggressor*: its true
+    /// activation count is unknown, so its physical neighbors are
+    /// refreshed during the window exactly as a real ARR would.
+    fn apply_refresh_response(
+        &mut self,
+        rank: usize,
+        bank: u16,
+        response: DefenseResponse,
+        now: Time,
+    ) -> Result<(), DramError> {
+        if let Some(d) = response.detection {
+            self.detections.push(d);
+        }
+        for aggressor in response.arr.into_iter().chain(response.refresh_rows) {
+            let victims = self.ranks[rank].arr_victim_rows(bank, aggressor);
+            self.ranks[rank].refresh_rows_explicit(bank, victims, now)?;
+            self.scrub_arrs += 1;
+        }
+        Ok(())
     }
 
     /// The global [`BankId`] of `(rank, bank)` behind this RCD.
@@ -127,17 +191,20 @@ impl Rcd {
         // MC's own scheduling responsibility and is not nacked.)
         let bank_busy_until = self.bank_arr_until[rank][usize::from(bank)];
         if bank_busy_until > now {
-            self.nacks += 1;
-            return Ok(RcdOutcome::Nack {
-                retry_at: bank_busy_until,
-            });
+            return Ok(self.nack(rank, bank_busy_until, NackReason::ArrInProgress));
         }
         // Nack rule 2: ACTs to a rank with any ARR in progress.
         if cmd.is_activate() && self.arr_block_until[rank] > now {
-            self.nacks += 1;
-            return Ok(RcdOutcome::Nack {
-                retry_at: self.arr_block_until[rank],
-            });
+            let until = self.arr_block_until[rank];
+            return Ok(self.nack(rank, until, NackReason::ArrInProgress));
+        }
+        // Chaos: a spurious nack of a command the protocol would accept.
+        // `retry_at` is the next bus slot — the nack carries no real
+        // wait-for condition, so resending immediately is legal (and may
+        // be nacked again; the MC's retry budget bounds that).
+        if self.injector.fire(FaultKind::SpuriousNack) {
+            let retry_at = now + self.ranks[rank].config().timings.clock;
+            return Ok(self.nack(rank, retry_at, NackReason::Injected));
         }
 
         match cmd {
@@ -169,18 +236,35 @@ impl Rcd {
                 let pending = self.pending_arr[rank][usize::from(bank)];
                 match pending {
                     Some(aggressor) if self.ranks[rank].open_row(bank) == Some(aggressor) => {
+                        // Chaos: the PRE→ARR conversion is dropped on the
+                        // bus. A plain precharge goes through and the
+                        // victims stay unrefreshed this round.
+                        if self.injector.fire(FaultKind::ArrDrop) {
+                            self.ranks[rank].issue(cmd, now)?;
+                            self.pending_arr[rank][usize::from(bank)] = None;
+                            return Ok(RcdOutcome::Accepted);
+                        }
                         let victims =
                             self.ranks[rank].arr_victim_rows(bank, aggressor).len() as u32;
                         self.ranks[rank].issue(
-                            DramCommand::AdjacentRowRefresh { bank, row: aggressor },
+                            DramCommand::AdjacentRowRefresh {
+                                bank,
+                                row: aggressor,
+                            },
                             now,
                         )?;
                         self.pending_arr[rank][usize::from(bank)] = None;
-                        let until = now
-                            + Bank::arr_duration_for(
-                                &self.ranks[rank].config().timings,
-                                victims,
-                            );
+                        let mut until = now
+                            + Bank::arr_duration_for(&self.ranks[rank].config().timings, victims);
+                        // Chaos: the conversion is duplicated. Harmless for
+                        // safety (victims refreshed twice) but costs a
+                        // second round of internal ACTs and bank time.
+                        if self.injector.fire(FaultKind::ArrDuplicate) {
+                            let rows = self.ranks[rank].arr_victim_rows(bank, aggressor);
+                            self.ranks[rank].refresh_rows_explicit(bank, rows, now)?;
+                            until +=
+                                Bank::arr_duration_for(&self.ranks[rank].config().timings, victims);
+                        }
                         self.bank_arr_until[rank][usize::from(bank)] = until;
                         self.arr_block_until[rank] = self.arr_block_until[rank].max(until);
                         Ok(RcdOutcome::ArrPerformed { victims })
@@ -197,7 +281,8 @@ impl Rcd {
             DramCommand::Refresh { bank } => {
                 self.ranks[rank].issue(cmd, now)?;
                 let gbank = self.bank_id_of(rank, bank);
-                self.defense.on_auto_refresh(gbank, now);
+                let response = self.defense.on_auto_refresh(gbank, now);
+                self.apply_refresh_response(rank, bank, response, now)?;
                 Ok(RcdOutcome::Accepted)
             }
             _ => {
@@ -218,7 +303,8 @@ impl Rcd {
         self.ranks[rank].refresh_all(now)?;
         for bank in 0..self.ranks[rank].config().banks {
             let gbank = self.bank_id_of(rank, bank);
-            self.defense.on_auto_refresh(gbank, now);
+            let response = self.defense.on_auto_refresh(gbank, now);
+            self.apply_refresh_response(rank, bank, response, now)?;
         }
         Ok(())
     }
@@ -235,7 +321,9 @@ impl Rcd {
             .force_refresh(bank)
             .expect("bank verified by caller");
         let gbank = self.bank_id_of(rank, bank);
-        self.defense.on_auto_refresh(gbank, now);
+        let response = self.defense.on_auto_refresh(gbank, now);
+        self.apply_refresh_response(rank, bank, response, now)
+            .expect("bank verified by caller");
     }
 
     /// The hosted defense.
@@ -259,9 +347,22 @@ impl Rcd {
         &self.detections
     }
 
-    /// Commands nacked so far.
+    /// Commands nacked so far (protocol and injected alike; the per-rank
+    /// [`crate::stats::DramStats`] split the two).
     pub fn nacks(&self) -> u64 {
         self.nacks
+    }
+
+    /// The RCD's fault-injection stream (counts of opportunities and
+    /// injected faults per kind).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Fail-safe neighbor refreshes performed for scrub-detected
+    /// corrupted entries (see [`RowHammerDefense::corruption_events`]).
+    pub fn scrub_arrs(&self) -> u64 {
+        self.scrub_arrs
     }
 
     /// Whether an ARR is pending or in progress anywhere on `rank`.
@@ -318,8 +419,15 @@ mod tests {
     fn pre_of_detected_aggressor_becomes_arr() {
         let mut r = rcd(1); // every ACT triggers
         assert_eq!(
-            r.issue(0, DramCommand::Activate { bank: 0, row: RowId(8) }, t(0))
-                .unwrap(),
+            r.issue(
+                0,
+                DramCommand::Activate {
+                    bank: 0,
+                    row: RowId(8)
+                },
+                t(0)
+            )
+            .unwrap(),
             RcdOutcome::Accepted
         );
         let out = r
@@ -333,8 +441,15 @@ mod tests {
     #[test]
     fn normal_pre_passes_through() {
         let mut r = rcd(1000); // never triggers in this test
-        r.issue(0, DramCommand::Activate { bank: 0, row: RowId(8) }, t(0))
-            .unwrap();
+        r.issue(
+            0,
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(8),
+            },
+            t(0),
+        )
+        .unwrap();
         let out = r
             .issue(0, DramCommand::Precharge { bank: 0 }, t(31))
             .unwrap();
@@ -346,20 +461,47 @@ mod tests {
     #[test]
     fn acts_to_rank_are_nacked_during_arr() {
         let mut r = rcd(1);
-        r.issue(0, DramCommand::Activate { bank: 0, row: RowId(8) }, t(0))
-            .unwrap();
+        r.issue(
+            0,
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(8),
+            },
+            t(0),
+        )
+        .unwrap();
         r.issue(0, DramCommand::Precharge { bank: 0 }, t(31))
             .unwrap();
         // ARR busy until 31 + 104 = 135 ns; an ACT to *another* bank nacks.
         let out = r
-            .issue(0, DramCommand::Activate { bank: 1, row: RowId(3) }, t(60))
+            .issue(
+                0,
+                DramCommand::Activate {
+                    bank: 1,
+                    row: RowId(3),
+                },
+                t(60),
+            )
             .unwrap();
-        assert_eq!(out, RcdOutcome::Nack { retry_at: t(135) });
+        assert_eq!(
+            out,
+            RcdOutcome::Nack {
+                retry_at: t(135),
+                reason: NackReason::ArrInProgress
+            }
+        );
         assert_eq!(r.nacks(), 1);
         // After the ARR completes, the resend succeeds.
         assert_eq!(
-            r.issue(0, DramCommand::Activate { bank: 1, row: RowId(3) }, t(135))
-                .unwrap(),
+            r.issue(
+                0,
+                DramCommand::Activate {
+                    bank: 1,
+                    row: RowId(3)
+                },
+                t(135)
+            )
+            .unwrap(),
             RcdOutcome::Accepted
         );
     }
@@ -367,8 +509,15 @@ mod tests {
     #[test]
     fn commands_to_the_arr_bank_are_nacked() {
         let mut r = rcd(1);
-        r.issue(0, DramCommand::Activate { bank: 0, row: RowId(8) }, t(0))
-            .unwrap();
+        r.issue(
+            0,
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(8),
+            },
+            t(0),
+        )
+        .unwrap();
         r.issue(0, DramCommand::Precharge { bank: 0 }, t(31))
             .unwrap();
         let out = r
@@ -384,14 +533,28 @@ mod tests {
         // an intervening PRE, so simulate via trigger on first ACT of row 8,
         // then PRE, ACT row 9, PRE).
         let mut r = rcd(1);
-        r.issue(0, DramCommand::Activate { bank: 0, row: RowId(8) }, t(0))
-            .unwrap();
+        r.issue(
+            0,
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(8),
+            },
+            t(0),
+        )
+        .unwrap();
         // This PRE converts to ARR for row 8 (pending matches open row).
         r.issue(0, DramCommand::Precharge { bank: 0 }, t(31))
             .unwrap();
         // Next ACT (after ARR drain) also triggers, pending row 9...
-        r.issue(0, DramCommand::Activate { bank: 0, row: RowId(9) }, t(200))
-            .unwrap();
+        r.issue(
+            0,
+            DramCommand::Activate {
+                bank: 0,
+                row: RowId(9),
+            },
+            t(200),
+        )
+        .unwrap();
         let out = r
             .issue(0, DramCommand::Precharge { bank: 0 }, t(231))
             .unwrap();
@@ -410,17 +573,21 @@ mod tests {
             fn on_activate(&mut self, _: BankId, _: RowId, _: Time) -> DefenseResponse {
                 DefenseResponse::none()
             }
-            fn on_auto_refresh(&mut self, _: BankId, _: Time) {
+            fn on_auto_refresh(&mut self, _: BankId, _: Time) -> DefenseResponse {
                 self.refs.set(self.refs.get() + 1);
+                DefenseResponse::none()
             }
         }
         let rank = DramRank::new(RankConfig::for_test(1, 64));
         let mut rcd = Rcd::new(
             vec![rank],
-            Box::new(CountRefs { refs: std::cell::Cell::new(0) }),
+            Box::new(CountRefs {
+                refs: std::cell::Cell::new(0),
+            }),
             0,
         );
-        rcd.issue(0, DramCommand::Refresh { bank: 0 }, t(0)).unwrap();
+        rcd.issue(0, DramCommand::Refresh { bank: 0 }, t(0))
+            .unwrap();
         // Inspect through Debug name to keep the defense boxed; instead use
         // rank stats to confirm the REF went through.
         assert_eq!(rcd.ranks()[0].stats().refreshes, 1);

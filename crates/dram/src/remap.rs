@@ -261,9 +261,7 @@ mod tests {
     fn remapped_row_lives_in_spare_region() {
         let t = RemapTable::with_random_faults(1024, 8, 42);
         assert_eq!(t.remapped_count(), 8);
-        let remapped: Vec<u32> = (0..1024)
-            .filter(|&r| t.is_remapped(RowId(r)))
-            .collect();
+        let remapped: Vec<u32> = (0..1024).filter(|&r| t.is_remapped(RowId(r))).collect();
         assert_eq!(remapped.len(), 8);
         for &r in &remapped {
             let p = t.physical_of(RowId(r));
@@ -285,7 +283,10 @@ mod tests {
         // Physical neighbors of a spare-resident row are in/near the spare region.
         for v in phys {
             let p = t.physical_of(v);
-            assert!(p + 1 >= 1024, "neighbor {v} at phys {p} should adjoin spares");
+            assert!(
+                p + 1 >= 1024,
+                "neighbor {v} at phys {p} should adjoin spares"
+            );
         }
     }
 

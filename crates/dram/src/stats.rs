@@ -22,8 +22,13 @@ pub struct DramStats {
     /// Internal row activations performed for explicit defense refreshes
     /// (MC-side schemes refreshing logical rows).
     pub explicit_refresh_acts: u64,
-    /// Commands nacked by the RCD because a bank was busy with ARR.
+    /// Commands nacked by the RCD for the *protocol* reason (§5.2): the
+    /// target bank or rank was busy with an ARR in progress.
     pub nacks: u64,
+    /// Commands nacked because a chaos fault plan injected a spurious
+    /// nack the protocol would not have produced. Kept separate so
+    /// experiments can tell real ARR back-pressure from injected noise.
+    pub injected_nacks: u64,
 }
 
 impl DramStats {
@@ -37,6 +42,12 @@ impl DramStats {
     #[inline]
     pub fn total_array_acts(&self) -> u64 {
         self.acts + self.arr_victim_acts + self.explicit_refresh_acts
+    }
+
+    /// All nacks the MC observed, protocol and injected alike.
+    #[inline]
+    pub fn total_nacks(&self) -> u64 {
+        self.nacks + self.injected_nacks
     }
 
     /// Total energy (pJ) under `model`.

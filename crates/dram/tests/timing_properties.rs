@@ -4,8 +4,12 @@
 //! This matters beyond hygiene — TWiCe's capacity bound is only sound if
 //! `tRC`/`tRFC` really limit the ACT stream, so the enforcement layer is
 //! part of the proof surface.
+//!
+//! Streams are generated with the in-tree seeded `SplitMix64` (the
+//! proptest crate is unavailable offline); each seed is a reproducible
+//! case.
 
-use proptest::prelude::*;
+use twice_common::rng::SplitMix64;
 use twice_common::{RowId, Span, Time};
 use twice_dram::cmd::DramCommand;
 use twice_dram::device::{DramRank, RankConfig};
@@ -19,24 +23,34 @@ enum Attempt {
     Arr { bank: u8, row: u8 },
 }
 
-fn attempts() -> impl Strategy<Value = Vec<(Attempt, u16)>> {
-    let attempt = prop_oneof![
-        4 => (any::<u8>(), any::<u8>()).prop_map(|(b, r)| Attempt::Act { bank: b % 4, row: r }),
-        3 => any::<u8>().prop_map(|b| Attempt::Pre { bank: b % 4 }),
-        2 => any::<u8>().prop_map(|b| Attempt::Read { bank: b % 4 }),
-        1 => any::<u8>().prop_map(|b| Attempt::Refresh { bank: b % 4 }),
-        1 => (any::<u8>(), any::<u8>()).prop_map(|(b, r)| Attempt::Arr { bank: b % 4, row: r }),
-    ];
-    // Each step advances time by 0..=60 ns: short enough to provoke
-    // violations, long enough to let some commands through.
-    proptest::collection::vec((attempt, 0u16..60), 0..600)
+/// Weighted like the original proptest strategy: ACT 4, PRE 3, READ 2,
+/// REF 1, ARR 1. Each step advances time by 0..=59 ns — short enough to
+/// provoke violations, long enough to let some commands through.
+fn attempts(seed: u64) -> Vec<(Attempt, u16)> {
+    let mut rng = SplitMix64::new(seed);
+    let n = rng.next_below(600) as usize;
+    (0..n)
+        .map(|_| {
+            let b = rng.next_below(4) as u8;
+            let r = rng.next_u64() as u8;
+            let attempt = match rng.next_below(11) {
+                0..=3 => Attempt::Act { bank: b, row: r },
+                4..=6 => Attempt::Pre { bank: b },
+                7..=8 => Attempt::Read { bank: b },
+                9 => Attempt::Refresh { bank: b },
+                _ => Attempt::Arr { bank: b, row: r },
+            };
+            (attempt, rng.next_below(60) as u16)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn accepted_acts_respect_trc_trrd_and_tfaw(seq in attempts()) {
+#[test]
+fn accepted_acts_respect_trc_trrd_and_tfaw() {
+    for seed in 0..CASES {
+        let seq = attempts(seed);
         let cfg = RankConfig::for_test(4, 256).with_n_th(1_000_000);
         let timings = cfg.timings.clone();
         let mut rank = DramRank::new(cfg);
@@ -49,12 +63,16 @@ proptest! {
                     bank: u16::from(bank),
                     row: RowId(u32::from(row)),
                 },
-                Attempt::Pre { bank } => DramCommand::Precharge { bank: u16::from(bank) },
+                Attempt::Pre { bank } => DramCommand::Precharge {
+                    bank: u16::from(bank),
+                },
                 Attempt::Read { bank } => DramCommand::Read {
                     bank: u16::from(bank),
                     col: twice_common::ColId(0),
                 },
-                Attempt::Refresh { bank } => DramCommand::Refresh { bank: u16::from(bank) },
+                Attempt::Refresh { bank } => DramCommand::Refresh {
+                    bank: u16::from(bank),
+                },
                 Attempt::Arr { bank, row } => DramCommand::AdjacentRowRefresh {
                     bank: u16::from(bank),
                     row: RowId(u32::from(row)),
@@ -69,7 +87,7 @@ proptest! {
         for w in accepted_acts.windows(2) {
             let (_, t0) = w[0];
             let (_, t1) = w[1];
-            prop_assert!(t1.saturating_since(t0) >= timings.t_rrd, "tRRD violated");
+            assert!(t1.saturating_since(t0) >= timings.t_rrd, "tRRD violated");
         }
         for (bank, t1) in &accepted_acts {
             // Same-bank tRC.
@@ -79,7 +97,7 @@ proptest! {
                 .map(|(_, t)| *t)
                 .max();
             if let Some(t0) = prev {
-                prop_assert!(
+                assert!(
                     t1.saturating_since(t0) >= timings.t_rc,
                     "tRC violated on bank {bank}"
                 );
@@ -88,15 +106,18 @@ proptest! {
         for w in accepted_acts.windows(5) {
             let (_, t0) = w[0];
             let (_, t4) = w[4];
-            prop_assert!(t4.saturating_since(t0) >= timings.t_faw, "tFAW violated");
+            assert!(t4.saturating_since(t0) >= timings.t_faw, "tFAW violated");
         }
     }
+}
 
-    #[test]
-    fn errors_never_mutate_counters(seq in attempts()) {
-        // Issue the same stream twice: once against a fresh device, once
-        // interleaving each command with a guaranteed-rejected duplicate
-        // issued at the same instant. Stats must be identical.
+#[test]
+fn errors_never_mutate_counters() {
+    // Issue the same stream twice: once against a fresh device, once
+    // interleaving each command with a guaranteed-rejected duplicate
+    // issued at the same instant. Stats must be identical.
+    for seed in 0..CASES {
+        let seq = attempts(seed ^ 0xD1CE);
         let build = || DramRank::new(RankConfig::for_test(2, 256).with_n_th(1_000_000));
         let mut a = build();
         let mut b = build();
@@ -108,12 +129,14 @@ proptest! {
                     bank: u16::from(bank % 2),
                     row: RowId(u32::from(row)),
                 },
-                Attempt::Pre { bank } => DramCommand::Precharge { bank: u16::from(bank % 2) },
+                Attempt::Pre { bank } => DramCommand::Precharge {
+                    bank: u16::from(bank % 2),
+                },
                 _ => continue,
             };
             let ra = a.issue(cmd, now);
             let rb = b.issue(cmd, now);
-            prop_assert_eq!(ra.is_ok(), rb.is_ok());
+            assert_eq!(ra.is_ok(), rb.is_ok());
             if ra.is_ok() {
                 // A duplicate at the same instant must be rejected (ACT:
                 // open row / tRC; PRE: tRAS or no open row) and must not
@@ -121,15 +144,18 @@ proptest! {
                 let _ = b.issue(cmd, now);
             }
         }
-        prop_assert_eq!(a.stats().acts, b.stats().acts);
-        prop_assert_eq!(a.stats().precharges, b.stats().precharges);
+        assert_eq!(a.stats().acts, b.stats().acts);
+        assert_eq!(a.stats().precharges, b.stats().precharges);
     }
+}
 
-    #[test]
-    fn disturbance_bookkeeping_matches_accepted_acts(seq in attempts()) {
-        // Total disturbance added equals the number of physical neighbors
-        // of each accepted ACT (minus what refreshes cleared). With
-        // refreshes excluded, check the pure-ACT invariant.
+#[test]
+fn disturbance_bookkeeping_matches_accepted_acts() {
+    // Total disturbance added equals the number of physical neighbors
+    // of each accepted ACT (minus what refreshes cleared). With
+    // refreshes excluded, check the pure-ACT invariant.
+    for seed in 0..CASES {
+        let seq = attempts(seed ^ 0xFA11);
         let cfg = RankConfig::for_test(1, 64).with_n_th(1_000_000_000);
         let mut rank = DramRank::new(cfg);
         let mut now = Time::ZERO;
@@ -152,19 +178,19 @@ proptest! {
                     }
                 }
                 Attempt::Pre { .. }
-                    if rank.issue(DramCommand::Precharge { bank: 0 }, now).is_ok() => {
-                        open = None;
-                    }
+                    if rank.issue(DramCommand::Precharge { bank: 0 }, now).is_ok() =>
+                {
+                    open = None;
+                }
                 _ => {}
             }
             let _ = open;
         }
         for (row, count) in expected {
-            prop_assert_eq!(
+            assert_eq!(
                 rank.disturbance_of(0, RowId(row)),
                 count,
-                "row {} disturbance mismatch",
-                row
+                "row {row} disturbance mismatch (seed {seed})"
             );
         }
     }

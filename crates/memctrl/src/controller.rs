@@ -22,10 +22,11 @@
 use crate::latency::LatencyHistogram;
 use crate::pagepolicy::PagePolicy;
 use crate::request::{AccessKind, MemRequest};
+use crate::resilience::{ControllerError, RetryPolicy, RetryState};
 use crate::scheduler::{make_scheduler, QueuedRequest, Scheduler, SchedulerKind};
+use twice_common::fault::{FaultInjector, FaultKind, FaultPlan};
 use twice_common::{
-    BankId, DdrTimings, DefenseResponse, DefenseStats, Detection, RowHammerDefense, RowId,
-    Time,
+    BankId, DdrTimings, DefenseResponse, DefenseStats, Detection, RowHammerDefense, RowId, Time,
 };
 use twice_dram::cmd::DramCommand;
 use twice_dram::device::{DramRank, RankConfig};
@@ -95,6 +96,13 @@ pub struct ControllerConfig {
     pub bank_base: u32,
     /// Seed for remap tables.
     pub remap_seed: u64,
+    /// Retry bounds for the nack-resend loop (attempt budget, backoff,
+    /// starvation watchdog).
+    pub retry: RetryPolicy,
+    /// Chaos fault plan. The RCD and the controller each derive their own
+    /// injection stream from it; [`FaultPlan::none`] (the default) makes
+    /// every injector inert.
+    pub fault_plan: FaultPlan,
 }
 
 impl ControllerConfig {
@@ -117,6 +125,8 @@ impl ControllerConfig {
             move_data: false,
             bank_base: 0,
             remap_seed: 1,
+            retry: RetryPolicy::paper_default(),
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -178,6 +188,18 @@ pub struct ChannelController {
     metadata_acts: u64,
     served: u64,
     latency: LatencyHistogram,
+    /// Chaos-testing hook for MC-side faults (refresh postponement,
+    /// command-bus jitter).
+    injector: FaultInjector,
+    /// MC-side probabilistic fallback defense, engaged while the RCD
+    /// defense reports counter corruption (graceful degradation).
+    fallback: Option<Box<dyn RowHammerDefense>>,
+    /// Fallback stays engaged until this instant.
+    fallback_until: Time,
+    /// Last corruption count polled from the RCD defense.
+    last_corruption_events: u64,
+    /// Distinct fallback windows opened so far.
+    fallback_windows: u64,
 }
 
 impl std::fmt::Debug for ChannelController {
@@ -212,7 +234,12 @@ impl ChannelController {
             DefenseLocation::Rcd => (defense, None),
             DefenseLocation::MemoryController => (Box::new(NoDefense), Some(defense)),
         };
-        let rcd = Rcd::new(ranks, rcd_defense, cfg.bank_base);
+        // Decorrelate the RCD's bus-fault stream from the MC's own
+        // (refresh/jitter) stream with per-component salts; the channel's
+        // bank base keeps multi-channel systems decorrelated too.
+        let rcd = Rcd::new(ranks, rcd_defense, cfg.bank_base)
+            .with_fault_plan(&cfg.fault_plan, 0x5ECD ^ u64::from(cfg.bank_base));
+        let injector = cfg.fault_plan.injector(0x3C01 ^ u64::from(cfg.bank_base));
         let total_banks = usize::from(cfg.ranks) * usize::from(cfg.banks_per_rank);
         // Stagger per-bank refreshes evenly over one tREFI.
         let next_ref = (0..total_banks)
@@ -232,6 +259,11 @@ impl ChannelController {
             metadata_acts: 0,
             served: 0,
             latency: LatencyHistogram::new(),
+            injector,
+            fallback: None,
+            fallback_until: Time::ZERO,
+            last_corruption_events: 0,
+            fallback_windows: 0,
             cfg,
         }
     }
@@ -239,6 +271,18 @@ impl ChannelController {
     /// Builds an unprotected controller.
     pub fn without_defense(cfg: ControllerConfig) -> ChannelController {
         ChannelController::new(cfg, Box::new(NoDefense), DefenseLocation::Rcd)
+    }
+
+    /// Installs an MC-side fallback defense (typically PARA) for graceful
+    /// degradation: while the RCD-resident defense reports counter
+    /// corruption, ACTs are *also* fed through the fallback until the
+    /// scrub has had a full refresh interval to complete. The channel
+    /// stays probabilistically protected even while the deterministic
+    /// counters are untrustworthy.
+    #[must_use]
+    pub fn with_fallback_defense(mut self, d: Box<dyn RowHammerDefense>) -> ChannelController {
+        self.fallback = Some(d);
+        self
     }
 
     #[inline]
@@ -249,9 +293,7 @@ impl ChannelController {
     #[inline]
     fn global_bank(&self, rank: usize, bank: u16) -> BankId {
         BankId(
-            self.cfg.bank_base
-                + rank as u32 * u32::from(self.cfg.banks_per_rank)
-                + u32::from(bank),
+            self.cfg.bank_base + rank as u32 * u32::from(self.cfg.banks_per_rank) + u32::from(bank),
         )
     }
 
@@ -292,7 +334,13 @@ impl ChannelController {
     /// Runs the controller over a request trace, keeping the queue as
     /// full as the trace allows, until both the trace and the queue are
     /// drained.
-    pub fn run<I>(&mut self, trace: I)
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::RetryExhausted`] if a command's nack-retry
+    /// budget runs out (only possible under fault injection; the real
+    /// protocol's nacks always converge).
+    pub fn run<I>(&mut self, trace: I) -> Result<(), ControllerError>
     where
         I: IntoIterator<Item = (MemRequest, DecodedAccess)>,
     {
@@ -315,14 +363,21 @@ impl ChannelController {
                     None => break,
                 }
             }
-            self.service_one();
+            self.service_one()?;
         }
+        Ok(())
     }
 
     /// Services exactly one queued request (plus any refreshes that came
     /// due). Returns `false` if the queue was empty.
-    pub fn service_one(&mut self) -> bool {
-        self.service_due_refreshes();
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::RetryExhausted`] if a command's nack-retry
+    /// budget runs out (only possible under fault injection).
+    pub fn service_one(&mut self) -> Result<bool, ControllerError> {
+        self.service_due_refreshes()?;
+        self.poll_corruption();
         let pick = {
             let queue = &self.queue;
             let rcd = &self.rcd;
@@ -331,7 +386,7 @@ impl ChannelController {
             };
             self.scheduler.pick(queue, &open)
         };
-        let Some(idx) = pick else { return false };
+        let Some(idx) = pick else { return Ok(false) };
         let q = self.queue[idx];
         let rank = usize::from(q.access.rank.0);
         let bank = q.access.bank;
@@ -339,17 +394,23 @@ impl ChannelController {
         match self.rcd.ranks()[rank].open_row(bank) {
             Some(r) if r == q.access.row => {}
             Some(_) => {
-                self.issue(rank, DramCommand::Precharge { bank });
-                self.activate(rank, bank, q.access.row);
+                self.issue(rank, DramCommand::Precharge { bank })?;
+                self.activate(rank, bank, q.access.row)?;
             }
-            None => self.activate(rank, bank, q.access.row),
+            None => self.activate(rank, bank, q.access.row)?,
         }
         // Column access.
         let col_cmd = match q.req.kind {
-            AccessKind::Read => DramCommand::Read { bank, col: q.access.col },
-            AccessKind::Write => DramCommand::Write { bank, col: q.access.col },
+            AccessKind::Read => DramCommand::Read {
+                bank,
+                col: q.access.col,
+            },
+            AccessKind::Write => DramCommand::Write {
+                bank,
+                col: q.access.col,
+            },
         };
-        self.issue(rank, col_cmd);
+        self.issue(rank, col_cmd)?;
         if self.cfg.move_data {
             let offset = usize::from(q.access.col.0) * 64;
             match q.req.kind {
@@ -358,8 +419,7 @@ impl ChannelController {
                     // integrity checks can recompute expectations.
                     let mut line = [0u8; 64];
                     for (i, chunk) in line.chunks_mut(8).enumerate() {
-                        let v = q.req.addr.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            ^ (i as u64) << 56;
+                        let v = q.req.addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64) << 56;
                         chunk.copy_from_slice(&v.to_le_bytes());
                     }
                     self.rcd
@@ -392,13 +452,14 @@ impl ChannelController {
             .page_policy
             .close_after_access(self.hits_served[fb], queued_hits)
         {
-            self.issue(rank, DramCommand::Precharge { bank });
+            self.issue(rank, DramCommand::Precharge { bank })?;
         }
         self.queue.swap_remove(idx);
         self.scheduler.on_complete(q.id);
         self.served += 1;
-        self.latency.record(self.now.saturating_since(q.req.arrival));
-        true
+        self.latency
+            .record(self.now.saturating_since(q.req.arrival));
+        Ok(true)
     }
 
     /// Issues any per-bank refreshes that are due at the current time.
@@ -409,14 +470,14 @@ impl ChannelController {
     /// are still refreshed in the fault model and the defense still
     /// prunes, but the burst does not serialize through the command-bus
     /// timing model.
-    fn service_due_refreshes(&mut self) {
+    fn service_due_refreshes(&mut self) -> Result<(), ControllerError> {
         match self.cfg.refresh_mode {
             RefreshMode::PerBank => self.service_per_bank_refreshes(),
             RefreshMode::AllBank => self.service_all_bank_refreshes(),
         }
     }
 
-    fn service_per_bank_refreshes(&mut self) {
+    fn service_per_bank_refreshes(&mut self) -> Result<(), ControllerError> {
         const MAX_POSTPONED: u64 = 8;
         let t_refi = self.cfg.timings.t_refi;
         for rank in 0..usize::from(self.cfg.ranks) {
@@ -426,27 +487,38 @@ impl ChannelController {
                     let gbank = self.global_bank(rank, bank);
                     let now = self.now;
                     let backlog = self.now.saturating_since(self.next_ref[fb]) / t_refi;
+                    // Chaos: the scheduler postpones this REF by one
+                    // round. The obligation stays due, so pressure builds
+                    // toward the JEDEC cap and the coalescing path below.
+                    if backlog <= MAX_POSTPONED && self.injector.fire(FaultKind::RefreshPostpone) {
+                        break;
+                    }
                     if backlog > MAX_POSTPONED {
                         self.rcd.force_refresh(rank, bank, now);
                     } else {
                         if self.rcd.ranks()[rank].open_row(bank).is_some() {
-                            self.issue(rank, DramCommand::Precharge { bank });
+                            self.issue(rank, DramCommand::Precharge { bank })?;
                         }
-                        self.issue(rank, DramCommand::Refresh { bank });
+                        self.issue(rank, DramCommand::Refresh { bank })?;
                     }
-                    if let Some(d) = &mut self.mc_defense {
-                        d.on_auto_refresh(gbank, now);
+                    let refresh_resp = self
+                        .mc_defense
+                        .as_mut()
+                        .map(|d| d.on_auto_refresh(gbank, now));
+                    if let Some(resp) = refresh_resp {
+                        self.apply_mc_refresh_response(rank, bank, resp);
                     }
                     self.next_ref[fb] += t_refi;
                 }
             }
         }
+        Ok(())
     }
 
     /// All-bank mode: one REFab per rank per `tREFI`, tracked in the
     /// rank's bank-0 slot; a deep backlog degrades to bookkeeping
     /// refreshes exactly like the per-bank path.
-    fn service_all_bank_refreshes(&mut self) {
+    fn service_all_bank_refreshes(&mut self) -> Result<(), ControllerError> {
         const MAX_POSTPONED: u64 = 8;
         let t_refi = self.cfg.timings.t_refi;
         for rank in 0..usize::from(self.cfg.ranks) {
@@ -454,6 +526,11 @@ impl ChannelController {
             while self.next_ref[slot] <= self.now {
                 let now = self.now;
                 let backlog = self.now.saturating_since(self.next_ref[slot]) / t_refi;
+                // Chaos: this REFab round is postponed (see the per-bank
+                // path for the bounding argument).
+                if backlog <= MAX_POSTPONED && self.injector.fire(FaultKind::RefreshPostpone) {
+                    break;
+                }
                 if backlog > MAX_POSTPONED {
                     for bank in 0..self.cfg.banks_per_rank {
                         self.rcd.force_refresh(rank, bank, now);
@@ -462,7 +539,7 @@ impl ChannelController {
                     // Close every open row, then REFab with retry.
                     for bank in 0..self.cfg.banks_per_rank {
                         if self.rcd.ranks()[rank].open_row(bank).is_some() {
-                            self.issue(rank, DramCommand::Precharge { bank });
+                            self.issue(rank, DramCommand::Precharge { bank })?;
                         }
                     }
                     let mut guard = 0u32;
@@ -483,22 +560,27 @@ impl ChannelController {
                     }
                 }
                 let now = self.now;
-                let gbanks: Vec<BankId> = (0..self.cfg.banks_per_rank)
-                    .map(|bank| self.global_bank(rank, bank))
-                    .collect();
-                if let Some(d) = &mut self.mc_defense {
-                    for gbank in gbanks {
-                        d.on_auto_refresh(gbank, now);
+                if self.mc_defense.is_some() {
+                    for bank in 0..self.cfg.banks_per_rank {
+                        let gbank = self.global_bank(rank, bank);
+                        let resp = self
+                            .mc_defense
+                            .as_mut()
+                            .expect("checked above")
+                            .on_auto_refresh(gbank, now);
+                        self.apply_mc_refresh_response(rank, bank, resp);
                     }
                 }
                 self.next_ref[slot] += t_refi;
             }
         }
+        Ok(())
     }
 
-    /// Issues an ACT and drives the MC-side defense hook.
-    fn activate(&mut self, rank: usize, bank: u16, row: RowId) {
-        self.issue(rank, DramCommand::Activate { bank, row });
+    /// Issues an ACT and drives the MC-side defense hook (and, while a
+    /// corruption fallback window is open, the fallback defense).
+    fn activate(&mut self, rank: usize, bank: u16, row: RowId) -> Result<(), ControllerError> {
+        self.issue(rank, DramCommand::Activate { bank, row })?;
         let fb = self.flat_bank(rank, bank);
         self.hits_served[fb] = 0;
         if self.mc_defense.is_some() {
@@ -511,6 +593,56 @@ impl ChannelController {
                 .on_activate(gbank, row, now);
             self.apply_mc_response(rank, bank, response);
         }
+        if self.fallback.is_some() && self.now < self.fallback_until {
+            let gbank = self.global_bank(rank, bank);
+            let now = self.now;
+            let response = self
+                .fallback
+                .as_mut()
+                .expect("checked above")
+                .on_activate(gbank, row, now);
+            self.apply_mc_response(rank, bank, response);
+        }
+        Ok(())
+    }
+
+    /// Polls the RCD defense's corruption counter and opens (or extends)
+    /// a fallback window when it has risen: the deterministic counters
+    /// just proved untrustworthy, so the probabilistic fallback covers
+    /// the channel until the scrub has had a full refresh interval to
+    /// complete.
+    fn poll_corruption(&mut self) {
+        let events = self.rcd.defense().corruption_events();
+        if events > self.last_corruption_events {
+            self.last_corruption_events = events;
+            if self.fallback.is_some() {
+                if self.now >= self.fallback_until {
+                    self.fallback_windows += 1;
+                }
+                let until = self.now + self.cfg.timings.t_refi * 2;
+                self.fallback_until = self.fallback_until.max(until);
+            }
+        }
+    }
+
+    /// Carries out an MC-side defense's *refresh-window* response. Per the
+    /// [`RowHammerDefense::on_auto_refresh`] contract, rows named in
+    /// `arr` / `refresh_rows` are corrupted aggressors: each is expanded
+    /// to its logical neighbors before refreshing.
+    fn apply_mc_refresh_response(&mut self, rank: usize, bank: u16, response: DefenseResponse) {
+        if response.is_none() {
+            return;
+        }
+        let mut expanded = DefenseResponse {
+            detection: response.detection,
+            ..DefenseResponse::none()
+        };
+        for aggressor in response.arr.into_iter().chain(response.refresh_rows) {
+            expanded
+                .refresh_rows
+                .extend(self.rcd.ranks()[rank].logical_neighbors(bank, aggressor));
+        }
+        self.apply_mc_response(rank, bank, expanded);
     }
 
     /// Carries out an MC-side defense response.
@@ -543,20 +675,38 @@ impl ChannelController {
         self.defense_stats.record(&response, arr_neighbors);
     }
 
-    /// Issues `cmd`, retrying on timing rejections and RCD nacks until it
-    /// lands; advances the controller clock accordingly.
-    fn issue(&mut self, rank: usize, cmd: DramCommand) -> RcdOutcome {
+    /// Issues `cmd`, retrying on timing rejections and RCD nacks;
+    /// advances the controller clock accordingly.
+    ///
+    /// Timing rejections self-clock (the device reports a strictly later
+    /// ready instant) and are retried without limit. Nacks are retried
+    /// under the configured [`RetryPolicy`] — attempt budget, exponential
+    /// backoff, starvation watchdog — because an injected spurious nack
+    /// carries no progress guarantee; exhausting the budget surfaces
+    /// [`ControllerError::RetryExhausted`] instead of livelocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::RetryExhausted`] when the nack-retry budget or
+    /// the watchdog is exhausted.
+    fn issue(&mut self, rank: usize, cmd: DramCommand) -> Result<RcdOutcome, ControllerError> {
+        // Chaos: command-bus jitter delays the command before it reaches
+        // the RCD.
+        if self.injector.fire(FaultKind::TimingJitter) {
+            self.now += self.cfg.timings.clock * (1 + self.injector.draw(4));
+        }
+        let mut retry = RetryState::begin(self.now);
         let mut guard = 0u32;
         loop {
             match self.rcd.issue(rank, cmd, self.now) {
-                Ok(RcdOutcome::Nack { retry_at }) => {
+                Ok(RcdOutcome::Nack { retry_at, .. }) => {
                     debug_assert!(retry_at > self.now);
-                    self.now = retry_at;
+                    self.now = retry.on_nack(&self.cfg.retry, cmd, retry_at, self.now)?;
                 }
                 Ok(outcome) => {
                     // One command-bus slot per issued command.
                     self.now += self.cfg.timings.clock;
-                    return outcome;
+                    return Ok(outcome);
                 }
                 Err(DramError::Timing(v)) => {
                     debug_assert!(v.ready_at > self.now, "{v}");
@@ -565,7 +715,7 @@ impl ChannelController {
                 Err(e) => panic!("controller issued an illegal command {cmd}: {e}"),
             }
             guard += 1;
-            assert!(guard < 1_000, "issue retry livelock for {cmd}");
+            assert!(guard < 1_000_000, "issue retry livelock for {cmd}");
         }
     }
 
@@ -577,6 +727,38 @@ impl ChannelController {
     #[inline]
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// Corruption events reported by the RCD-resident defense so far.
+    #[inline]
+    pub fn corruption_events(&self) -> u64 {
+        self.rcd.defense().corruption_events()
+    }
+
+    /// Faults the RCD-resident defense's own injector has landed in its
+    /// internal state (counter-SRAM SEUs).
+    #[inline]
+    pub fn defense_faults_injected(&self) -> u64 {
+        self.rcd.defense().faults_injected()
+    }
+
+    /// Whether the corruption fallback window is currently open.
+    #[inline]
+    pub fn fallback_active(&self) -> bool {
+        self.fallback.is_some() && self.now < self.fallback_until
+    }
+
+    /// Distinct corruption fallback windows opened so far.
+    #[inline]
+    pub fn fallback_windows(&self) -> u64 {
+        self.fallback_windows
+    }
+
+    /// The MC's own fault-injection stream (refresh postponement and
+    /// bus jitter opportunities/injections).
+    #[inline]
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.injector
     }
 
     /// Requests fully serviced.
@@ -704,7 +886,7 @@ mod tests {
         let mapper = AddressMapper::row_interleaved(&small_topo());
         let mut c = controller();
         let trace: Vec<_> = (0..100u32).map(|i| req(&mapper, 0, i % 8, 0)).collect();
-        c.run(trace);
+        c.run(trace).expect("fault-free run");
         assert_eq!(c.served(), 100);
         assert!(c.normal_acts() > 0);
         assert_eq!(c.additional_acts(), 0, "no defense, no extra ACTs");
@@ -717,7 +899,7 @@ mod tests {
         let mut c = controller();
         // 4 hits to the same row: minimalist-open serves them on one ACT.
         let trace: Vec<_> = (0..4u16).map(|col| req(&mapper, 0, 5, col)).collect();
-        c.run(trace);
+        c.run(trace).expect("fault-free run");
         assert_eq!(c.served(), 4);
         assert_eq!(c.normal_acts(), 1, "one ACT for four hits");
     }
@@ -728,7 +910,7 @@ mod tests {
         let mut c = controller();
         // 8 hits: budget of 4 per activation -> 2 ACTs.
         let trace: Vec<_> = (0..8u16).map(|col| req(&mapper, 0, 5, col)).collect();
-        c.run(trace);
+        c.run(trace).expect("fault-free run");
         assert_eq!(c.normal_acts(), 2);
     }
 
@@ -739,7 +921,7 @@ mod tests {
         // Run enough conflicting traffic to pass several tREFI (7.8125us):
         // each row miss costs ~45ns, so ~1000 requests ~ 45us ~ 5 tREFI.
         let trace: Vec<_> = (0..1000u32).map(|i| req(&mapper, 0, i % 64, 0)).collect();
-        c.run(trace);
+        c.run(trace).expect("fault-free run");
         let refs: u64 = c.rank_stats().map(|s| s.refreshes).sum();
         let expected = c.now().as_ps() / c.config().timings.t_refi.as_ps() * 2; // 2 banks
         assert!(refs > 0, "refreshes must be issued");
@@ -753,12 +935,14 @@ mod tests {
     fn unprotected_hammer_produces_bit_flips() {
         let mapper = AddressMapper::row_interleaved(&small_topo());
         let mut c = controller(); // n_th = 100
-        // Alternate two conflicting rows in one bank: every access is a
-        // row miss, hammering both rows' neighbors.
-        // FR-FCFS coalesces up to 4 queued hits per ACT, so 2000 requests
-        // still yield ~250 ACTs per row, past N_th = 100.
-        let trace: Vec<_> = (0..2000u32).map(|i| req(&mapper, 0, 8 + (i % 2) * 4, 0)).collect();
-        c.run(trace);
+                                  // Alternate two conflicting rows in one bank: every access is a
+                                  // row miss, hammering both rows' neighbors.
+                                  // FR-FCFS coalesces up to 4 queued hits per ACT, so 2000 requests
+                                  // still yield ~250 ACTs per row, past N_th = 100.
+        let trace: Vec<_> = (0..2000u32)
+            .map(|i| req(&mapper, 0, 8 + (i % 2) * 4, 0))
+            .collect();
+        c.run(trace).expect("fault-free run");
         assert!(c.bit_flip_count() > 0, "N_th=100 must be exceeded");
     }
 
@@ -805,7 +989,7 @@ mod tests {
         cfg.refresh_mode = RefreshMode::AllBank;
         let mut c = ChannelController::without_defense(cfg);
         let trace: Vec<_> = (0..1000u32).map(|i| req(&mapper, 0, i % 64, 0)).collect();
-        c.run(trace);
+        c.run(trace).expect("fault-free run");
         assert_eq!(c.served(), 1000);
         let refs: u64 = c.rank_stats().map(|s| s.refreshes).sum();
         // One REFab per tREFI refreshes both banks: same per-bank REF
@@ -836,18 +1020,22 @@ mod tests {
             fn on_activate(&mut self, _: BankId, _: RowId, _: Time) -> DefenseResponse {
                 DefenseResponse::none()
             }
-            fn on_auto_refresh(&mut self, _: BankId, _: Time) {
-                self.prunes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            fn on_auto_refresh(&mut self, _: BankId, _: Time) -> DefenseResponse {
+                self.prunes
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                DefenseResponse::none()
             }
         }
         let prunes = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let mut c = ChannelController::new(
             cfg,
-            Box::new(Probe { prunes: prunes.clone() }),
+            Box::new(Probe {
+                prunes: prunes.clone(),
+            }),
             DefenseLocation::Rcd,
         );
         let trace: Vec<_> = (0..500u32).map(|i| req(&mapper, 0, i % 64, 0)).collect();
-        c.run(trace);
+        c.run(trace).expect("fault-free run");
         let refs: u64 = c.rank_stats().map(|s| s.refreshes).sum();
         assert!(refs > 0);
         assert_eq!(prunes.load(std::sync::atomic::Ordering::Relaxed), refs);
@@ -864,7 +1052,7 @@ mod tests {
         req.kind = AccessKind::Write;
         let addr = req.addr;
         c.submit(req, access);
-        while c.service_one() {}
+        while c.service_one().expect("fault-free run") {}
         // The written line is present in the device's data array and
         // matches the deterministic payload.
         let line = c.rcd().ranks()[0].read_data(0, RowId(5), 3 * 64, 64);
@@ -898,7 +1086,7 @@ mod tests {
             DefenseLocation::MemoryController,
         );
         let trace: Vec<_> = (0..40u32).map(|i| req(&mapper, 0, i, 0)).collect();
-        c.run(trace);
+        c.run(trace).expect("fault-free run");
         // Rows 0,10,20,30 trigger; row 0 has 1 logical neighbor, others 2.
         assert_eq!(c.additional_acts(), 1 + 2 + 2 + 2);
         let stats = c.mc_defense_stats();

@@ -91,7 +91,11 @@ impl LatencyHistogram {
                 if bucket == 0 {
                     return Span::ZERO;
                 }
-                let upper = if bucket >= 63 { u64::MAX } else { (1u64 << bucket) - 1 };
+                let upper = if bucket >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
                 return Span::from_ps(upper).min(self.max);
             }
         }
@@ -163,7 +167,10 @@ mod tests {
         }
         h.record(Span::from_ms(3)); // one spike
         let p50 = h.quantile(0.50);
-        assert!(p50 >= Span::from_ns(100) && p50 < Span::from_ns(200), "{p50}");
+        assert!(
+            p50 >= Span::from_ns(100) && p50 < Span::from_ns(200),
+            "{p50}"
+        );
         // p99 still in the common bucket; p100 is the spike.
         assert!(h.quantile(0.99) < Span::from_ns(200));
         assert_eq!(h.quantile(1.0), Span::from_ms(3));

@@ -20,6 +20,8 @@
 //! * [`pagepolicy`] — when to close an open row.
 //! * [`scheduler`] — FCFS, FR-FCFS, and PAR-BS request schedulers.
 //! * [`controller`] — the per-channel controller event loop.
+//! * [`resilience`] — bounded nack retry, backoff, and the starvation
+//!   watchdog that turn protocol faults into structured errors.
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@ pub mod controller;
 pub mod latency;
 pub mod pagepolicy;
 pub mod request;
+pub mod resilience;
 pub mod scheduler;
 
 pub use addrmap::{AddressMapper, DecodedAccess};
@@ -45,4 +48,5 @@ pub use controller::{ChannelController, ControllerConfig, DefenseLocation, Refre
 pub use latency::LatencyHistogram;
 pub use pagepolicy::PagePolicy;
 pub use request::{AccessKind, MemRequest};
+pub use resilience::{ControllerError, RetryPolicy, RetryState};
 pub use scheduler::{make_scheduler, SchedulerKind};

@@ -36,9 +36,7 @@ impl PagePolicy {
         match *self {
             PagePolicy::Open => false,
             PagePolicy::Closed => queued_hits == 0,
-            PagePolicy::MinimalistOpen { max_hits } => {
-                hits_served >= max_hits || queued_hits == 0
-            }
+            PagePolicy::MinimalistOpen { max_hits } => hits_served >= max_hits || queued_hits == 0,
         }
     }
 }

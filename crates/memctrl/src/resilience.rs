@@ -1,0 +1,240 @@
+//! Bounded retry, backoff, and the starvation watchdog for the MC's
+//! command-issue path.
+//!
+//! The paper's nack-resend protocol (§5.2) implicitly assumes every nack
+//! carries a truthful `retry_at`: resend then and the command lands. A
+//! *spurious* nack (see [`twice_dram::rcd::NackReason::Injected`]) breaks
+//! that assumption — a controller that blindly resends forever livelocks.
+//! [`RetryPolicy`] bounds the loop two ways: a per-request attempt budget
+//! and a wall-clock watchdog. Exhausting either surfaces a structured
+//! [`ControllerError::RetryExhausted`] instead of hanging, and the caller
+//! decides how to degrade.
+
+use std::fmt;
+use twice_common::{Span, Time};
+use twice_dram::cmd::DramCommand;
+
+/// Retry bounds for one command's nack-resend loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum resend attempts per command before giving up.
+    pub max_attempts: u32,
+    /// Base backoff added to the reported `retry_at` once resends start
+    /// failing repeatedly; doubles each attempt (capped at
+    /// `max_backoff`) so a persistently-nacking RCD is probed ever more
+    /// slowly instead of hammered every bus slot.
+    pub base_backoff: Span,
+    /// Upper bound on a single backoff step.
+    pub max_backoff: Span,
+    /// Starvation watchdog: total wall-clock a single command may spend
+    /// retrying before the loop is declared stuck.
+    pub watchdog: Span,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::paper_default()
+    }
+}
+
+impl RetryPolicy {
+    /// Defaults sized against DDR4-2400: a real ARR occupies a bank for
+    /// a few hundred nanoseconds, so 64 attempts with exponential
+    /// backoff and a 2 × tREFI (15.6 µs) watchdog is far beyond anything
+    /// the legitimate protocol produces while still bounding a fault.
+    pub fn paper_default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 64,
+            base_backoff: Span::from_ps(830), // one DDR4-2400 clock
+            max_backoff: Span::from_ps(500_000),
+            watchdog: Span::from_ps(15_600_000),
+        }
+    }
+
+    /// The backoff to add after `attempt` consecutive nacks (1-based):
+    /// exponential in the attempt number, capped at `max_backoff`.
+    pub fn backoff_for(&self, attempt: u32) -> Span {
+        let factor = 1u64 << attempt.saturating_sub(1).min(20);
+        let raw = self.base_backoff * factor;
+        if raw > self.max_backoff {
+            self.max_backoff
+        } else {
+            raw
+        }
+    }
+}
+
+/// A structured failure surfaced by the controller instead of a panic or
+/// a livelock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerError {
+    /// A command's nack-resend loop exhausted its retry budget (attempt
+    /// bound or watchdog) without being accepted.
+    RetryExhausted {
+        /// The command that could not be issued.
+        cmd: DramCommand,
+        /// Resend attempts made.
+        attempts: u32,
+        /// Wall-clock spent in the retry loop.
+        waited: Span,
+        /// Whether the watchdog (rather than the attempt budget) fired.
+        watchdog_fired: bool,
+    },
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerError::RetryExhausted {
+                cmd,
+                attempts,
+                waited,
+                watchdog_fired,
+            } => write!(
+                f,
+                "retry budget exhausted for {cmd}: {attempts} attempts over {waited}{}",
+                if *watchdog_fired {
+                    " (starvation watchdog fired)"
+                } else {
+                    ""
+                }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+/// Book-keeping for one command's retry loop, checked against a
+/// [`RetryPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryState {
+    started: Time,
+    attempts: u32,
+}
+
+impl RetryState {
+    /// Starts tracking a command first attempted at `now`.
+    pub fn begin(now: Time) -> RetryState {
+        RetryState {
+            started: now,
+            attempts: 0,
+        }
+    }
+
+    /// Resend attempts recorded so far.
+    #[inline]
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Records one nack at `now` and decides what happens next: the
+    /// instant to resend at (reported `retry_at` plus backoff), or the
+    /// structured error if the budget or watchdog is exhausted.
+    pub fn on_nack(
+        &mut self,
+        policy: &RetryPolicy,
+        cmd: DramCommand,
+        retry_at: Time,
+        now: Time,
+    ) -> Result<Time, ControllerError> {
+        self.attempts += 1;
+        let waited = now.saturating_since(self.started);
+        let watchdog_fired = waited > policy.watchdog;
+        if self.attempts >= policy.max_attempts || watchdog_fired {
+            return Err(ControllerError::RetryExhausted {
+                cmd,
+                attempts: self.attempts,
+                waited,
+                watchdog_fired,
+            });
+        }
+        // Respect the reported ready time, then back off on top: spacing
+        // grows exponentially with consecutive nacks of this command.
+        let resume = retry_at.max(now) + policy.backoff_for(self.attempts);
+        Ok(resume)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd() -> DramCommand {
+        DramCommand::Precharge { bank: 0 }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Span::from_ps(100),
+            max_backoff: Span::from_ps(1_000),
+            watchdog: Span::from_ps(u64::MAX / 2),
+        };
+        assert_eq!(p.backoff_for(1), Span::from_ps(100));
+        assert_eq!(p.backoff_for(2), Span::from_ps(200));
+        assert_eq!(p.backoff_for(3), Span::from_ps(400));
+        assert_eq!(p.backoff_for(5), Span::from_ps(1_000), "capped");
+        assert_eq!(p.backoff_for(30), Span::from_ps(1_000), "shift saturates");
+    }
+
+    #[test]
+    fn attempt_budget_surfaces_retry_exhausted() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::paper_default()
+        };
+        let mut s = RetryState::begin(Time::ZERO);
+        let t1 = s.on_nack(&p, cmd(), Time::from_ps(10), Time::ZERO).unwrap();
+        assert!(t1 >= Time::from_ps(10));
+        let t2 = s.on_nack(&p, cmd(), Time::from_ps(20), t1).unwrap();
+        assert!(t2 > t1);
+        let err = s.on_nack(&p, cmd(), Time::from_ps(30), t2).unwrap_err();
+        let ControllerError::RetryExhausted {
+            attempts,
+            watchdog_fired,
+            ..
+        } = err;
+        assert_eq!(attempts, 3);
+        assert!(!watchdog_fired);
+    }
+
+    #[test]
+    fn watchdog_fires_on_wall_clock_starvation() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            watchdog: Span::from_ps(1_000),
+            ..RetryPolicy::paper_default()
+        };
+        let mut s = RetryState::begin(Time::ZERO);
+        s.on_nack(&p, cmd(), Time::from_ps(5), Time::ZERO).unwrap();
+        let err = s
+            .on_nack(&p, cmd(), Time::from_ps(5_000), Time::from_ps(5_000))
+            .unwrap_err();
+        let ControllerError::RetryExhausted { watchdog_fired, .. } = err;
+        assert!(watchdog_fired);
+    }
+
+    #[test]
+    fn resume_time_respects_reported_retry_at() {
+        let p = RetryPolicy::paper_default();
+        let mut s = RetryState::begin(Time::ZERO);
+        let retry_at = Time::from_ps(1_000_000);
+        let resume = s.on_nack(&p, cmd(), retry_at, Time::ZERO).unwrap();
+        assert!(resume > retry_at, "backoff is added on top of retry_at");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ControllerError::RetryExhausted {
+            cmd: cmd(),
+            attempts: 64,
+            waited: Span::from_ps(1_000),
+            watchdog_fired: true,
+        };
+        let s = e.to_string();
+        assert!(s.contains("64 attempts"));
+        assert!(s.contains("watchdog"));
+    }
+}

@@ -1,15 +1,19 @@
 //! Property tests: the controller serves arbitrary request mixes
 //! completely and legally under every scheduler / page-policy
 //! combination.
+//!
+//! Request mixes are drawn from the in-tree seeded `SplitMix64` (the
+//! proptest crate is unavailable offline); every seed is a reproducible
+//! case.
 
-use proptest::prelude::*;
+use twice_common::rng::SplitMix64;
+use twice_common::Topology;
 use twice_common::{ChannelId, ColId, RankId, RowId, Time};
 use twice_memctrl::addrmap::{AddressMapper, DecodedAccess};
 use twice_memctrl::controller::{ChannelController, ControllerConfig};
 use twice_memctrl::pagepolicy::PagePolicy;
 use twice_memctrl::request::MemRequest;
 use twice_memctrl::scheduler::SchedulerKind;
-use twice_common::Topology;
 
 fn topo() -> Topology {
     Topology {
@@ -24,11 +28,20 @@ fn topo() -> Topology {
 }
 
 /// (bank, row, col, write?, source)
-fn requests() -> impl Strategy<Value = Vec<(u8, u8, u8, bool, u8)>> {
-    proptest::collection::vec(
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<bool>(), any::<u8>()),
-        0..400,
-    )
+fn requests(seed: u64) -> Vec<(u8, u8, u8, bool, u8)> {
+    let mut rng = SplitMix64::new(seed);
+    let n = rng.next_below(400) as usize;
+    (0..n)
+        .map(|_| {
+            (
+                rng.next_u64() as u8,
+                rng.next_u64() as u8,
+                rng.next_u64() as u8,
+                rng.next_below(2) == 1,
+                rng.next_u64() as u8,
+            )
+        })
+        .collect()
 }
 
 fn run_with(
@@ -53,7 +66,13 @@ fn run_with(
                 row: RowId(u32::from(row % 64)),
                 col: ColId(u16::from(col) % 128),
             };
-            let addr = mapper.encode(access.channel, access.rank, access.bank, access.row, access.col);
+            let addr = mapper.encode(
+                access.channel,
+                access.rank,
+                access.bank,
+                access.row,
+                access.col,
+            );
             let req = if write {
                 MemRequest::write(addr, u16::from(source % 16), Time::ZERO)
             } else {
@@ -62,47 +81,59 @@ fn run_with(
             (req, access)
         })
         .collect();
-    ctrl.run(trace);
+    ctrl.run(trace)
+        .expect("fault-free run cannot exhaust retries");
     ctrl
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn every_request_is_served_under_every_policy(reqs in requests()) {
-        for scheduler in [SchedulerKind::Fcfs, SchedulerKind::FrFcfs, SchedulerKind::ParBs] {
+#[test]
+fn every_request_is_served_under_every_policy() {
+    for seed in 0..CASES {
+        let reqs = requests(seed);
+        for scheduler in [
+            SchedulerKind::Fcfs,
+            SchedulerKind::FrFcfs,
+            SchedulerKind::ParBs,
+        ] {
             for policy in [
                 PagePolicy::Open,
                 PagePolicy::Closed,
                 PagePolicy::MinimalistOpen { max_hits: 4 },
             ] {
                 let ctrl = run_with(scheduler, policy, &reqs);
-                prop_assert_eq!(ctrl.served(), reqs.len() as u64, "{:?}/{:?}", scheduler, policy);
-                prop_assert_eq!(ctrl.additional_acts(), 0);
+                assert_eq!(ctrl.served(), reqs.len() as u64, "{scheduler:?}/{policy:?}");
+                assert_eq!(ctrl.additional_acts(), 0);
             }
         }
     }
+}
 
-    #[test]
-    fn column_accesses_match_requests(reqs in requests()) {
+#[test]
+fn column_accesses_match_requests() {
+    for seed in 0..CASES {
+        let reqs = requests(seed ^ 0x5A5A);
         let ctrl = run_with(SchedulerKind::ParBs, PagePolicy::paper_default(), &reqs);
         let reads: u64 = ctrl.rank_stats().map(|s| s.reads).sum();
         let writes: u64 = ctrl.rank_stats().map(|s| s.writes).sum();
-        prop_assert_eq!(reads + writes, reqs.len() as u64);
+        assert_eq!(reads + writes, reqs.len() as u64);
         let expected_writes = reqs.iter().filter(|r| r.3).count() as u64;
-        prop_assert_eq!(writes, expected_writes);
+        assert_eq!(writes, expected_writes);
     }
+}
 
-    #[test]
-    fn open_policy_never_needs_more_acts_than_closed_modulo_refreshes(reqs in requests()) {
-        // An auto-refresh forces the open policy to close a row it would
-        // have kept serving, costing one re-ACT the closed policy never
-        // pays — so the comparison holds up to the refresh count.
+#[test]
+fn open_policy_never_needs_more_acts_than_closed_modulo_refreshes() {
+    // An auto-refresh forces the open policy to close a row it would
+    // have kept serving, costing one re-ACT the closed policy never
+    // pays — so the comparison holds up to the refresh count.
+    for seed in 0..CASES {
+        let reqs = requests(seed ^ 0x6B6B);
         let open = run_with(SchedulerKind::FrFcfs, PagePolicy::Open, &reqs);
         let closed = run_with(SchedulerKind::FrFcfs, PagePolicy::Closed, &reqs);
         let refs: u64 = open.rank_stats().map(|s| s.refreshes).sum();
-        prop_assert!(
+        assert!(
             open.normal_acts() <= closed.normal_acts() + refs,
             "open {} vs closed {} (+{} refs)",
             open.normal_acts(),
@@ -110,14 +141,17 @@ proptest! {
             refs
         );
     }
+}
 
-    #[test]
-    fn act_count_is_bounded_by_requests_plus_refresh_conflicts(reqs in requests()) {
-        // Every ACT is caused by a request (row misses <= requests) or by
-        // re-opening after a refresh-forced precharge (bounded by the
-        // number of refreshes).
+#[test]
+fn act_count_is_bounded_by_requests_plus_refresh_conflicts() {
+    // Every ACT is caused by a request (row misses <= requests) or by
+    // re-opening after a refresh-forced precharge (bounded by the
+    // number of refreshes).
+    for seed in 0..CASES {
+        let reqs = requests(seed ^ 0x7C7C);
         let ctrl = run_with(SchedulerKind::ParBs, PagePolicy::paper_default(), &reqs);
         let refs: u64 = ctrl.rank_stats().map(|s| s.refreshes).sum();
-        prop_assert!(ctrl.normal_acts() <= reqs.len() as u64 + refs);
+        assert!(ctrl.normal_acts() <= reqs.len() as u64 + refs);
     }
 }

@@ -212,7 +212,7 @@ impl RowHammerDefense for Cbt {
         DefenseResponse::none()
     }
 
-    fn on_auto_refresh(&mut self, bank: BankId, _now: Time) {
+    fn on_auto_refresh(&mut self, bank: BankId, _now: Time) -> DefenseResponse {
         let rows = self.rows_per_bank;
         let tree = &mut self.banks[bank.index()];
         tree.refs_seen += 1;
@@ -224,6 +224,7 @@ impl RowHammerDefense for Cbt {
                 count: 0,
             }];
         }
+        DefenseResponse::none()
     }
 
     fn reset(&mut self) {

@@ -134,12 +134,13 @@ impl RowHammerDefense for Cra {
         DefenseResponse::none()
     }
 
-    fn on_auto_refresh(&mut self, bank: BankId, _now: Time) {
+    fn on_auto_refresh(&mut self, bank: BankId, _now: Time) -> DefenseResponse {
         let b = &mut self.banks[bank.index()];
         b.refs_seen += 1;
         if b.refs_seen.is_multiple_of(self.refs_per_window) {
             b.counters.clear();
         }
+        DefenseResponse::none()
     }
 
     fn reset(&mut self) {

@@ -45,5 +45,5 @@ pub use naive::PerRowOracle;
 pub use none::NoProtection;
 pub use para::Para;
 pub use prohit::Prohit;
-pub use registry::{make_defense, DefenseKind};
+pub use registry::{make_defense, make_defense_chaos, DefenseKind};
 pub use trr::Trr;

@@ -35,11 +35,20 @@ impl Prohit {
     ///
     /// Panics if `capacity` or `num_banks` is zero, or a probability is
     /// outside `[0, 1]`.
-    pub fn new(capacity: usize, p_insert: f64, p_refresh: f64, num_banks: u32, seed: u64) -> Prohit {
+    pub fn new(
+        capacity: usize,
+        p_insert: f64,
+        p_refresh: f64,
+        num_banks: u32,
+        seed: u64,
+    ) -> Prohit {
         assert!(capacity > 0, "history table must have entries");
         assert!(num_banks > 0, "need at least one bank");
         assert!((0.0..=1.0).contains(&p_insert), "p_insert must be in [0,1]");
-        assert!((0.0..=1.0).contains(&p_refresh), "p_refresh must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p_refresh),
+            "p_refresh must be in [0,1]"
+        );
         Prohit {
             p_insert,
             p_refresh,

@@ -11,6 +11,7 @@ use crate::prohit::Prohit;
 use crate::trr::Trr;
 use std::fmt;
 use twice::{TableOrganization, TwiceEngine, TwiceParams};
+use twice_common::fault::FaultPlan;
 use twice_common::RowHammerDefense;
 
 /// A defense selector.
@@ -111,9 +112,11 @@ pub fn make_defense(
     let refs_per_window = params.max_life();
     match kind {
         DefenseKind::None => Box::new(NoProtection::new()),
-        DefenseKind::Twice(org) => {
-            Box::new(TwiceEngine::with_organization(params.clone(), num_banks, org))
-        }
+        DefenseKind::Twice(org) => Box::new(TwiceEngine::with_organization(
+            params.clone(),
+            num_banks,
+            org,
+        )),
         DefenseKind::Para { p } => Box::new(Para::new(p, seed)),
         DefenseKind::Prohit { p } => Box::new(Prohit::with_defaults(p, num_banks, seed)),
         DefenseKind::Cbt { counters } => Box::new(Cbt::new(
@@ -130,19 +133,41 @@ pub fn make_defense(
             num_banks,
             refs_per_window,
         )),
-        DefenseKind::Oracle => Box::new(PerRowOracle::new(params.th_rh, num_banks, refs_per_window)),
-        DefenseKind::Trr { entries } => Box::new(Trr::new(
-            entries,
-            params.th_rh,
-            num_banks,
-            refs_per_window,
-        )),
+        DefenseKind::Oracle => {
+            Box::new(PerRowOracle::new(params.th_rh, num_banks, refs_per_window))
+        }
+        DefenseKind::Trr { entries } => {
+            Box::new(Trr::new(entries, params.th_rh, num_banks, refs_per_window))
+        }
         DefenseKind::Graphene => Box::new(Graphene::sized_for(
             params.timings.max_acts_per_window(),
             params.th_rh,
             num_banks,
             refs_per_window,
         )),
+    }
+}
+
+/// Like [`make_defense`], but configures TWiCe's fault hardening: the
+/// engine's counter-SRAM injector is armed with `plan` (salted by `seed`)
+/// and parity/scrub protection is toggled by `scrubbing`. Non-TWiCe kinds
+/// are unaffected — their counters live in the MC, outside this fault
+/// model's scope.
+pub fn make_defense_chaos(
+    kind: DefenseKind,
+    params: &TwiceParams,
+    num_banks: u32,
+    seed: u64,
+    plan: &FaultPlan,
+    scrubbing: bool,
+) -> Box<dyn RowHammerDefense> {
+    match kind {
+        DefenseKind::Twice(org) => Box::new(
+            TwiceEngine::with_organization(params.clone(), num_banks, org)
+                .with_scrubbing(scrubbing)
+                .with_fault_plan(plan, seed),
+        ),
+        _ => make_defense(kind, params, num_banks, seed),
     }
 }
 

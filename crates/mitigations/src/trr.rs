@@ -73,7 +73,11 @@ impl Trr {
     ///
     /// Panics if `bank` is out of range.
     pub fn tracked(&self, bank: BankId) -> Vec<RowId> {
-        self.banks[bank.index()].slots.iter().map(|s| s.row).collect()
+        self.banks[bank.index()]
+            .slots
+            .iter()
+            .map(|s| s.row)
+            .collect()
     }
 }
 
@@ -114,12 +118,13 @@ impl RowHammerDefense for Trr {
         DefenseResponse::none()
     }
 
-    fn on_auto_refresh(&mut self, bank: BankId, _now: Time) {
+    fn on_auto_refresh(&mut self, bank: BankId, _now: Time) -> DefenseResponse {
         let b = &mut self.banks[bank.index()];
         b.refs_seen += 1;
         if b.refs_seen.is_multiple_of(self.refs_per_window) {
             b.slots.clear();
         }
+        DefenseResponse::none()
     }
 
     fn reset(&mut self) {
@@ -142,7 +147,11 @@ mod tests {
         let mut trr = Trr::new(4, 100, 1, 1000);
         let mut arrs = 0;
         for _ in 0..1000 {
-            if trr.on_activate(BankId(0), RowId(7), Time::ZERO).arr.is_some() {
+            if trr
+                .on_activate(BankId(0), RowId(7), Time::ZERO)
+                .arr
+                .is_some()
+            {
                 arrs += 1;
             }
         }

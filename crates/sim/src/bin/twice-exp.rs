@@ -14,7 +14,9 @@ use twice::cost::TwiceCostModel;
 use twice::{TableOrganization, TwiceParams};
 use twice_mitigations::DefenseKind;
 use twice_sim::config::SimConfig;
-use twice_sim::experiments::{ablation, capacity, ecc, fig7, latency, storage, table1, table2, table3, table4};
+use twice_sim::experiments::{
+    ablation, capacity, chaos, ecc, fig7, latency, storage, table1, table2, table3, table4,
+};
 use twice_sim::runner::WorkloadKind;
 use twice_sim::verify::confront;
 
@@ -97,6 +99,7 @@ fn usage() -> ExitCode {
          \x20 fig7b     Figure 7(b) sweep at paper scale\n\
          \x20 capacity  the 4.4 capacity bound\n\
          \x20 attack    S3 confrontation on the scaled system\n\
+         \x20 chaos     fault-injection campaign (SEU sweep + bus gauntlet)\n\
          defenses: twice twice-pa twice-split para para2 prohit cbt cra oracle none"
     );
     ExitCode::FAILURE
@@ -157,6 +160,28 @@ fn main() -> ExitCode {
             let (table, _) = ecc::ecc_experiment(&cfg, args.requests.unwrap_or(60_000));
             println!("{table}");
         }
+        "chaos" => {
+            let cfg = SimConfig::fast_test();
+            let (table, runs) = chaos::chaos_experiment(&cfg, args.requests.unwrap_or(60_000));
+            println!("{table}");
+            let hardened_flips: usize = runs
+                .iter()
+                .filter(|o| o.scrubbing)
+                .map(|o| o.bit_flips)
+                .sum();
+            let unhardened_flips: usize = runs
+                .iter()
+                .filter(|o| !o.scrubbing)
+                .map(|o| o.bit_flips)
+                .sum();
+            println!(
+                "hardened engine: {hardened_flips} bit flip(s) across the grid; \
+                 unhardened: {unhardened_flips}"
+            );
+            if hardened_flips > 0 {
+                return ExitCode::FAILURE;
+            }
+        }
         "attack" => {
             let cfg = SimConfig::fast_test();
             let name = args.defense.as_deref().unwrap_or("twice");
@@ -164,15 +189,17 @@ fn main() -> ExitCode {
                 eprintln!("unknown defense: {name}");
                 return usage();
             };
-            let out = confront(&cfg, WorkloadKind::S3, kind, args.requests.unwrap_or(60_000));
+            let out = confront(
+                &cfg,
+                WorkloadKind::S3,
+                kind,
+                args.requests.unwrap_or(60_000),
+            );
             println!(
                 "S3 hammer, {} requests (scaled system, N_th = {}):",
                 out.unprotected.requests, cfg.fault_n_th
             );
-            println!(
-                "  unprotected : {} bit flip(s)",
-                out.unprotected.bit_flips
-            );
+            println!("  unprotected : {} bit flip(s)", out.unprotected.bit_flips);
             println!(
                 "  {:11} : {} bit flip(s), {} detection(s), {} additional ACTs ({})",
                 out.defended.defense,
@@ -234,7 +261,7 @@ fn main() -> ExitCode {
             );
             let mut system = twice_sim::system::System::new(&cfg, kind);
             let mut bad = 0u64;
-            system.run(reader.filter_map(|r| match r {
+            let outcome = system.run(reader.filter_map(|r| match r {
                 Ok(item) => Some(item),
                 Err(e) => {
                     if bad == 0 {
@@ -244,6 +271,10 @@ fn main() -> ExitCode {
                     None
                 }
             }));
+            if let Err(e) = outcome {
+                eprintln!("replay aborted: {e}");
+                std::process::exit(1);
+            }
             let m = system.metrics(path.to_string());
             println!(
                 "{}: {} requests, {} ACTs, {} additional ({}), {} detection(s), {} flip(s)",

@@ -1,10 +1,12 @@
 //! Simulated-system configuration.
 
 use twice::TwiceParams;
+use twice_common::fault::FaultPlan;
 use twice_common::{ConfigError, Topology};
 use twice_memctrl::controller::ControllerConfig;
-use twice_memctrl::pagepolicy::PagePolicy;
 use twice_memctrl::controller::RefreshMode;
+use twice_memctrl::pagepolicy::PagePolicy;
+use twice_memctrl::resilience::RetryPolicy;
 use twice_memctrl::scheduler::SchedulerKind;
 
 /// Everything needed to build a [`crate::system::System`].
@@ -42,6 +44,18 @@ pub struct SimConfig {
     pub move_data: bool,
     /// Master seed (defenses, remap tables, workloads derive from it).
     pub seed: u64,
+    /// Chaos fault plan applied to every channel (engine SEUs, RCD bus
+    /// faults, MC refresh/jitter faults). [`FaultPlan::none`] by default.
+    pub fault_plan: FaultPlan,
+    /// Nack-retry bounds for every channel controller.
+    pub retry: RetryPolicy,
+    /// Whether TWiCe engines get the parity/scrub hardening (`false`
+    /// models the paper's original, fault-oblivious design).
+    pub twice_scrubbing: bool,
+    /// Probability for the MC-side PARA fallback installed on every
+    /// channel whose primary defense is RCD-resident: while that defense
+    /// reports corruption, PARA covers the channel. `None` = no fallback.
+    pub para_fallback: Option<f64>,
 }
 
 impl SimConfig {
@@ -62,6 +76,10 @@ impl SimConfig {
             queue_capacity: 64,
             move_data: false,
             seed: 0x71CE,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::paper_default(),
+            twice_scrubbing: true,
+            para_fallback: None,
         }
     }
 
@@ -92,6 +110,10 @@ impl SimConfig {
             queue_capacity: 64,
             move_data: false,
             seed: 42,
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::paper_default(),
+            twice_scrubbing: true,
+            para_fallback: None,
         }
     }
 
@@ -119,6 +141,13 @@ impl SimConfig {
             move_data: self.move_data,
             bank_base: 0, // defenses are instantiated per channel
             remap_seed: self.seed ^ (u64::from(channel) << 48),
+            retry: self.retry,
+            fault_plan: {
+                // Give each channel a decorrelated copy of the plan.
+                let mut plan = self.fault_plan.clone();
+                plan.seed ^= u64::from(channel) << 32;
+                plan
+            },
         }
     }
 

@@ -185,24 +185,16 @@ pub fn arr_overhead(params: &TwiceParams) -> ArrOverheadResult {
         format!("{} (= 1/{})", percent(max_rate), params.th_rh),
     ]);
     table.row(&["extra ACTs per ARR (<= 2 victims)".into(), "2".into()]);
-    table.row(&[
-        "worst-case overhead".into(),
-        percent(2.0 * max_rate),
-    ]);
+    table.row(&["worst-case overhead".into(), percent(2.0 * max_rate)]);
     table.row(&[
         "bank blocked per ARR (2*tRC + tRP)".into(),
-        format!(
-            "{}",
-            params.timings.t_rc * 2 + params.timings.t_rp
-        ),
+        format!("{}", params.timings.t_rc * 2 + params.timings.t_rp),
     ]);
     table.row(&[
         "table update fits in tRFC".into(),
         format!(
             "{} ({} <= {})",
-            update_fits,
-            model.fa_update.latency,
-            params.timings.t_rfc
+            update_fits, model.fa_update.latency, params.timings.t_rfc
         ),
     ]);
     ArrOverheadResult {

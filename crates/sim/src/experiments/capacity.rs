@@ -83,11 +83,8 @@ pub fn stress_live_engine(cfg: &SimConfig, requests: u64) -> (usize, u64) {
     // Drive the engine directly with the §4.4 adversary shape: maxact
     // fresh rows per PI plus survivors being fed exactly thPI per PI.
     let params = &cfg.params;
-    let mut engine = TwiceEngine::with_organization(
-        params.clone(),
-        1,
-        TableOrganization::FullyAssociative,
-    );
+    let mut engine =
+        TwiceEngine::with_organization(params.clone(), 1, TableOrganization::FullyAssociative);
     let th_pi = params.th_pi();
     let max_act = params.max_act();
     let keep = (max_act / th_pi).max(1);

@@ -1,0 +1,227 @@
+//! E4 (extension): chaos campaign — TWiCe under injected hardware faults.
+//!
+//! The paper's §4.3 safety proof assumes ideal hardware: counter SRAM
+//! never flips, ARR conversions survive the command bus, the nack-resend
+//! loop converges. This campaign violates those assumptions on purpose
+//! (see `twice_common::fault`) and asks the only question that matters:
+//! does `twice_dram::hammer` ever record a bit flip?
+//!
+//! Two engine configurations face the same seeded fault stream:
+//!
+//! * **hardened** — per-entry parity with scrub-on-prune; a corrupted
+//!   entry fails safe (evicted with an immediate ARR, like `TableFull`),
+//!   and the MC opens a PARA fallback window while corruption is being
+//!   reported.
+//! * **unhardened** — the paper's original, fault-oblivious design: an
+//!   SEU silently corrupts the activation count, and an adversarial
+//!   (`Hottest`) upset stream can hold the hot counter below `th_rh`
+//!   forever, so the ARR never fires and the victim rows accumulate the
+//!   full `N_th` disturbance.
+
+use crate::config::SimConfig;
+use crate::report::Table;
+use crate::runner::{build_trace, WorkloadKind};
+use crate::system::System;
+use twice::TableOrganization;
+use twice_common::fault::{FaultKind, FaultPlan, FaultTargeting};
+use twice_mitigations::DefenseKind;
+
+/// One chaos run's outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Human-readable fault-configuration label.
+    pub label: String,
+    /// Whether the engine's parity/scrub hardening was on.
+    pub scrubbing: bool,
+    /// Counter-SRAM SEUs the engine's injector landed.
+    pub seu_injected: u64,
+    /// Parity failures the hardened engine caught (0 when unhardened —
+    /// without the parity column the damage is invisible).
+    pub corruption_events: u64,
+    /// ARRs plus every other defense-driven extra activation.
+    pub additional_acts: u64,
+    /// Protocol nacks (ARR in progress).
+    pub protocol_nacks: u64,
+    /// Chaos-injected spurious nacks.
+    pub injected_nacks: u64,
+    /// MC-side PARA fallback windows opened on corruption reports.
+    pub fallback_windows: u64,
+    /// Whether the run died with `RetryExhausted` instead of finishing.
+    pub retry_exhausted: bool,
+    /// Bit flips recorded by the DRAM disturbance model. The whole point.
+    pub bit_flips: usize,
+}
+
+/// Runs one S3 hammer campaign under `plan` with the TWiCe hardening
+/// toggled by `scrubbing`; a PARA-0.01 fallback stands by in the MC.
+pub fn chaos_run(
+    cfg_base: &SimConfig,
+    label: &str,
+    plan: FaultPlan,
+    scrubbing: bool,
+    requests: u64,
+) -> ChaosOutcome {
+    let mut cfg = cfg_base.clone();
+    cfg.fault_plan = plan;
+    cfg.twice_scrubbing = scrubbing;
+    cfg.para_fallback = Some(0.01);
+    let mut system = System::new(
+        &cfg,
+        DefenseKind::Twice(TableOrganization::FullyAssociative),
+    );
+    let trace = build_trace(&cfg, &WorkloadKind::S3, requests);
+    let retry_exhausted = system.run(trace).is_err();
+    let m = system.metrics("s3-chaos");
+    let ctrls = system.controllers();
+    ChaosOutcome {
+        label: label.to_string(),
+        scrubbing,
+        seu_injected: ctrls.iter().map(|c| c.defense_faults_injected()).sum(),
+        corruption_events: ctrls.iter().map(|c| c.corruption_events()).sum(),
+        additional_acts: m.additional_acts,
+        protocol_nacks: ctrls
+            .iter()
+            .flat_map(|c| c.rank_stats())
+            .map(|s| s.nacks)
+            .sum(),
+        injected_nacks: ctrls
+            .iter()
+            .flat_map(|c| c.rank_stats())
+            .map(|s| s.injected_nacks)
+            .sum(),
+        fallback_windows: ctrls.iter().map(|c| c.fallback_windows()).sum(),
+        retry_exhausted,
+        bit_flips: m.bit_flips,
+    }
+}
+
+/// The campaign's fault grid: an SEU-rate sweep (random targeting), the
+/// adversarial hottest-counter stream, and a command-bus gauntlet
+/// (spurious nacks + dropped/duplicated ARRs + refresh postponement +
+/// jitter), each against both engine configurations.
+fn fault_grid(seed: u64) -> Vec<(String, FaultPlan)> {
+    let mut grid = Vec::new();
+    for rate in [1e-4, 1e-3, 1e-2] {
+        grid.push((
+            format!("seu {rate:.0e} random"),
+            FaultPlan::with_seed(seed).rate(FaultKind::CounterBitFlip, rate),
+        ));
+    }
+    grid.push((
+        "seu 1e-2 hottest".to_string(),
+        FaultPlan::with_seed(seed)
+            .rate(FaultKind::CounterBitFlip, 1e-2)
+            .targeting(FaultTargeting::Hottest),
+    ));
+    grid.push((
+        "bus gauntlet".to_string(),
+        FaultPlan::with_seed(seed)
+            .rate(FaultKind::SpuriousNack, 1e-3)
+            .rate(FaultKind::ArrDrop, 1e-2)
+            .rate(FaultKind::ArrDuplicate, 1e-2)
+            .rate(FaultKind::RefreshPostpone, 1e-2)
+            .rate(FaultKind::TimingJitter, 1e-3),
+    ));
+    grid
+}
+
+/// Runs the full campaign and renders the report table.
+pub fn chaos_experiment(cfg_base: &SimConfig, requests: u64) -> (Table, Vec<ChaosOutcome>) {
+    let mut table = Table::new(
+        "E4 (extension): fault-injection campaign, S3 hammer",
+        &[
+            "faults",
+            "engine",
+            "SEUs landed",
+            "corruption caught",
+            "extra ACTs",
+            "nacks (proto/injected)",
+            "fallback windows",
+            "retry exhausted",
+            "bit flips",
+        ],
+    );
+    let mut out = Vec::new();
+    for (label, plan) in fault_grid(cfg_base.seed ^ 0xC4A0) {
+        for scrubbing in [true, false] {
+            let o = chaos_run(cfg_base, &label, plan.clone(), scrubbing, requests);
+            table.row(&[
+                o.label.clone(),
+                if o.scrubbing {
+                    "hardened"
+                } else {
+                    "unhardened"
+                }
+                .to_string(),
+                o.seu_injected.to_string(),
+                o.corruption_events.to_string(),
+                o.additional_acts.to_string(),
+                format!("{}/{}", o.protocol_nacks, o.injected_nacks),
+                o.fallback_windows.to_string(),
+                if o.retry_exhausted { "YES" } else { "no" }.to_string(),
+                o.bit_flips.to_string(),
+            ]);
+            out.push(o);
+        }
+    }
+    (table, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardened_twice_survives_the_full_grid() {
+        let cfg = SimConfig::fast_test();
+        let (table, runs) = chaos_experiment(&cfg, 60_000);
+        assert_eq!(table.len(), runs.len());
+        for o in runs.iter().filter(|o| o.scrubbing) {
+            assert_eq!(o.bit_flips, 0, "hardened engine must stay safe: {o:?}");
+            assert!(
+                !o.retry_exhausted,
+                "retry budget must absorb the grid: {o:?}"
+            );
+        }
+        // The adversarial stream demonstrably defeats the unhardened
+        // engine — the hot counter never reaches th_rh, so no ARR fires
+        // and the victims take the full N_th disturbance.
+        let adversarial = runs
+            .iter()
+            .find(|o| o.label.contains("hottest") && !o.scrubbing)
+            .unwrap();
+        assert!(
+            adversarial.bit_flips > 0,
+            "the unhardened engine must lose the hot counter: {adversarial:?}"
+        );
+        // Same fault stream, hardened: every upset is caught by parity.
+        let defended = runs
+            .iter()
+            .find(|o| o.label.contains("hottest") && o.scrubbing)
+            .unwrap();
+        assert!(defended.seu_injected > 0, "faults must actually land");
+        assert!(
+            defended.corruption_events > 0,
+            "parity must catch the upsets: {defended:?}"
+        );
+        assert!(
+            defended.fallback_windows > 0,
+            "corruption reports must open PARA fallback windows: {defended:?}"
+        );
+    }
+
+    #[test]
+    fn bus_gauntlet_exercises_the_nack_path_without_divergence() {
+        let cfg = SimConfig::fast_test();
+        let plan = FaultPlan::with_seed(7)
+            .rate(FaultKind::SpuriousNack, 1e-3)
+            .rate(FaultKind::TimingJitter, 1e-3);
+        let o = chaos_run(&cfg, "nack+jitter", plan, true, 30_000);
+        assert!(o.injected_nacks > 0, "spurious nacks must land: {o:?}");
+        assert!(
+            !o.retry_exhausted,
+            "transient nacks must be absorbed: {o:?}"
+        );
+        assert_eq!(o.bit_flips, 0);
+    }
+}

@@ -39,7 +39,7 @@ pub fn run_with_ecc_judgement(
 ) -> EccSummary {
     let mut system = System::new(cfg, defense);
     let trace = build_trace(cfg, &workload, requests);
-    system.run(trace);
+    system.run(trace).expect("fault-free run");
     let mut summary = EccSummary {
         corrupted_rows: 0,
         corrected: 0,

@@ -29,7 +29,10 @@ pub struct Fig7Result {
 impl Fig7Result {
     /// The measured ratio for (workload, defense), if present.
     pub fn ratio(&self, workload: &str, defense_contains: &str) -> Option<f64> {
-        let d = self.defenses.iter().position(|d| d.contains(defense_contains))?;
+        let d = self
+            .defenses
+            .iter()
+            .position(|d| d.contains(defense_contains))?;
         let (_, metrics) = self.rows.iter().find(|(w, _)| w == workload)?;
         Some(metrics[d].additional_act_ratio())
     }
@@ -121,7 +124,9 @@ pub fn figure7a(cfg: &SimConfig, spec_sample: &[&'static str], requests: u64) ->
         false,
     );
     if !spec_avg.is_empty() {
-        result.rows.insert(0, ("SPECrate(avg)".to_string(), spec_avg));
+        result
+            .rows
+            .insert(0, ("SPECrate(avg)".to_string(), spec_avg));
     }
     // Re-render the table including SPECrate(avg) and the Average row.
     let mut headers: Vec<&str> = vec!["workload"];
@@ -155,16 +160,21 @@ pub fn figure7a(cfg: &SimConfig, spec_sample: &[&'static str], requests: u64) ->
 /// oracle — on S1 and S3.
 pub fn figure7_extended(cfg: &SimConfig, requests: u64) -> Fig7Result {
     use twice::TableOrganization;
-    let lineup = [DefenseKind::Para { p: 0.001 },
+    let lineup = [
+        DefenseKind::Para { p: 0.001 },
         DefenseKind::Prohit { p: 0.001 },
         DefenseKind::Cbt { counters: 256 },
         DefenseKind::Cra { cache_entries: 512 },
         DefenseKind::Trr { entries: 16 },
         DefenseKind::Graphene,
         DefenseKind::Twice(TableOrganization::Split),
-        DefenseKind::Oracle];
+        DefenseKind::Oracle,
+    ];
     let defenses: Vec<String> = lineup.iter().map(|d| d.to_string()).collect();
-    let workloads = [("S1".to_string(), WorkloadKind::S1), ("S3".to_string(), WorkloadKind::S3)];
+    let workloads = [
+        ("S1".to_string(), WorkloadKind::S1),
+        ("S3".to_string(), WorkloadKind::S3),
+    ];
     let mut rows = Vec::new();
     for (label, w) in &workloads {
         let metrics: Vec<RunMetrics> = lineup
@@ -175,10 +185,7 @@ pub fn figure7_extended(cfg: &SimConfig, requests: u64) -> Fig7Result {
     }
     let mut headers: Vec<&str> = vec!["workload"];
     headers.extend(defenses.iter().map(String::as_str));
-    let mut table = Table::new(
-        "Extended defense sweep (additional-ACT ratio)",
-        &headers,
-    );
+    let mut table = Table::new("Extended defense sweep (additional-ACT ratio)", &headers);
     for (label, metrics) in &rows {
         let mut cells = vec![label.clone()];
         cells.extend(metrics.iter().map(|m| percent(m.additional_act_ratio())));

@@ -25,10 +25,7 @@ pub struct LatencyResult {
 }
 
 /// Runs E2: tail latency of each defense under `workloads`.
-pub fn latency_spike(
-    cfg: &SimConfig,
-    workloads: &[(String, WorkloadKind, u64)],
-) -> LatencyResult {
+pub fn latency_spike(cfg: &SimConfig, workloads: &[(String, WorkloadKind, u64)]) -> LatencyResult {
     let defenses = [
         DefenseKind::None,
         DefenseKind::Twice(TableOrganization::FullyAssociative),

@@ -7,6 +7,7 @@
 
 pub mod ablation;
 pub mod capacity;
+pub mod chaos;
 pub mod ecc;
 pub mod fig7;
 pub mod latency;

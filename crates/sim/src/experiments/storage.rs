@@ -46,7 +46,10 @@ pub fn storage(params: &TwiceParams) -> StorageResult {
     ]);
     table.row(&[
         "split + pa SB indicators".into(),
-        format!("{} + 72 ind.", split_pa.long_entries + split_pa.short_entries),
+        format!(
+            "{} + 72 ind.",
+            split_pa.long_entries + split_pa.short_entries
+        ),
         String::new(),
         format!("{:.2} KiB", split_pa.total_kib()),
         format!(

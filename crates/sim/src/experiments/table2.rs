@@ -11,14 +11,54 @@ pub fn table2(params: &TwiceParams) -> Table {
         &["term", "definition", "value", "paper"],
     );
     let rows: Vec<(&str, &str, String, &str)> = vec![
-        ("tREFW", "refresh window", params.timings.t_refw.to_string(), "64 ms"),
-        ("tREFI", "refresh interval", params.timings.t_refi.to_string(), "7.8 us"),
-        ("tRFC", "refresh command time", params.timings.t_rfc.to_string(), "350 ns"),
-        ("tRC", "ACT to ACT interval", params.timings.t_rc.to_string(), "45 ns"),
-        ("thRH", "RH detection threshold", params.th_rh.to_string(), "32,768"),
-        ("thPI", "pruning interval threshold", params.th_pi().to_string(), "4"),
-        ("maxact", "max # of ACTs during PI", params.max_act().to_string(), "165"),
-        ("maxlife", "max life of a row in PI", params.max_life().to_string(), "8,192"),
+        (
+            "tREFW",
+            "refresh window",
+            params.timings.t_refw.to_string(),
+            "64 ms",
+        ),
+        (
+            "tREFI",
+            "refresh interval",
+            params.timings.t_refi.to_string(),
+            "7.8 us",
+        ),
+        (
+            "tRFC",
+            "refresh command time",
+            params.timings.t_rfc.to_string(),
+            "350 ns",
+        ),
+        (
+            "tRC",
+            "ACT to ACT interval",
+            params.timings.t_rc.to_string(),
+            "45 ns",
+        ),
+        (
+            "thRH",
+            "RH detection threshold",
+            params.th_rh.to_string(),
+            "32,768",
+        ),
+        (
+            "thPI",
+            "pruning interval threshold",
+            params.th_pi().to_string(),
+            "4",
+        ),
+        (
+            "maxact",
+            "max # of ACTs during PI",
+            params.max_act().to_string(),
+            "165",
+        ),
+        (
+            "maxlife",
+            "max life of a row in PI",
+            params.max_life().to_string(),
+            "8,192",
+        ),
     ];
     for (term, def, value, paper) in rows {
         t.row(&[term.to_string(), def.to_string(), value, paper.to_string()]);

@@ -14,7 +14,10 @@ pub fn table3(model: &TwiceCostModel, timings: &DdrTimings) -> Table {
     let rows = [
         ("fa-TWiCe ACT count", &model.fa_count),
         ("fa-TWiCe table update", &model.fa_update),
-        ("pa-TWiCe ACT cnt (preferred set)", &model.pa_count_preferred),
+        (
+            "pa-TWiCe ACT cnt (preferred set)",
+            &model.pa_count_preferred,
+        ),
         ("pa-TWiCe ACT cnt (all sets)", &model.pa_count_all),
         ("pa-TWiCe table update", &model.pa_update),
         ("DRAM ACT+PRE (tRC)", &model.dram_act_pre),
@@ -60,7 +63,9 @@ mod tests {
         let t = table3(&m, &DdrTimings::ddr4_2400());
         let s = t.to_string();
         // The seven measured rows of the paper's Table 3.
-        for needle in ["0.082", "0.663", "0.037", "0.313", "0.474", "11.490", "132.250"] {
+        for needle in [
+            "0.082", "0.663", "0.037", "0.313", "0.474", "11.490", "132.250",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
         // §7.1 claims.

@@ -22,7 +22,10 @@ pub fn table4(cfg: &SimConfig) -> Table {
         ("banks per rank", topo.banks_per_rank.to_string()),
         ("rows per bank", topo.rows_per_bank.to_string()),
         ("row size", format!("{} B", topo.row_bytes)),
-        ("total capacity", format!("{} GiB", topo.capacity_bytes() >> 30)),
+        (
+            "total capacity",
+            format!("{} GiB", topo.capacity_bytes() >> 30),
+        ),
         ("module type", "DDR4-2400 (RDIMM, RCD per DIMM)".to_string()),
         ("request queue", format!("{} entries", cfg.queue_capacity)),
         ("scheduling policy", scheduler.to_string()),

@@ -100,9 +100,7 @@ pub fn build_trace(
         }
         WorkloadKind::MixHigh => Box::new(mix_high(topo, seed).take_requests(requests)),
         WorkloadKind::MixBlend => Box::new(mix_blend(topo, seed).take_requests(requests)),
-        WorkloadKind::Fft => {
-            Box::new(FftSource::new(topo, 1 << 22, 16).take_requests(requests))
-        }
+        WorkloadKind::Fft => Box::new(FftSource::new(topo, 1 << 22, 16).take_requests(requests)),
         WorkloadKind::Radix => {
             Box::new(RadixSource::new(topo, 1 << 22, 256, 16, seed).take_requests(requests))
         }
@@ -131,13 +129,17 @@ pub fn run(
 ) -> RunMetrics {
     let mut system = System::new(cfg, defense);
     let trace = build_trace(cfg, &workload, requests);
-    system.run(trace);
+    system
+        .run(trace)
+        .expect("retry budget exhausted; drive System::run directly for fault campaigns");
     system.metrics(workload.to_string())
 }
 
 /// Convenience: a double-sided attack around `victim`.
 pub fn double_sided(victim: u32) -> WorkloadKind {
-    WorkloadKind::Attack(HammerShape::DoubleSided { victim: RowId(victim) })
+    WorkloadKind::Attack(HammerShape::DoubleSided {
+        victim: RowId(victim),
+    })
 }
 
 #[cfg(test)]
@@ -189,9 +191,8 @@ mod tests {
     #[test]
     fn unknown_spec_app_panics() {
         let cfg = SimConfig::fast_test();
-        let result = std::panic::catch_unwind(|| {
-            build_trace(&cfg, &WorkloadKind::SpecRate("nope"), 1)
-        });
+        let result =
+            std::panic::catch_unwind(|| build_trace(&cfg, &WorkloadKind::SpecRate("nope"), 1));
         assert!(result.is_err());
     }
 }

@@ -5,7 +5,8 @@ use crate::metrics::RunMetrics;
 use twice_common::Time;
 use twice_dram::energy::DramEnergyModel;
 use twice_memctrl::controller::{ChannelController, DefenseLocation};
-use twice_mitigations::{make_defense, DefenseKind};
+use twice_memctrl::resilience::ControllerError;
+use twice_mitigations::{make_defense_chaos, DefenseKind, Para};
 use twice_workloads::TraceItem;
 
 /// The full system: one [`ChannelController`] per channel, each with its
@@ -42,13 +43,24 @@ impl System {
         };
         let controllers = (0..cfg.topology.channels)
             .map(|ch| {
-                let defense = make_defense(
+                let defense = make_defense_chaos(
                     kind,
                     &cfg.params,
                     cfg.banks_per_channel(),
                     cfg.seed ^ (u64::from(ch) << 40),
+                    &cfg.fault_plan,
+                    cfg.twice_scrubbing,
                 );
-                ChannelController::new(cfg.controller_config(ch), defense, location)
+                let mut ctrl = ChannelController::new(cfg.controller_config(ch), defense, location);
+                if location == DefenseLocation::Rcd {
+                    if let Some(p) = cfg.para_fallback {
+                        ctrl = ctrl.with_fallback_defense(Box::new(Para::new(
+                            p,
+                            cfg.seed ^ 0xFA11 ^ (u64::from(ch) << 24),
+                        )));
+                    }
+                }
+                ctrl
             })
             .collect();
         System {
@@ -61,19 +73,29 @@ impl System {
     /// Feeds `trace` through the system to completion: items are routed
     /// to their channel, controllers service requests as their queues
     /// fill, and all queues are drained at the end.
-    pub fn run(&mut self, trace: impl IntoIterator<Item = TraceItem>) {
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::RetryExhausted`] if a channel's nack-retry
+    /// budget runs out — only possible under fault injection, so
+    /// fault-free callers can `expect` this.
+    pub fn run(
+        &mut self,
+        trace: impl IntoIterator<Item = TraceItem>,
+    ) -> Result<(), ControllerError> {
         for (req, access) in trace {
             let c = access.channel.index();
             assert!(c < self.controllers.len(), "trace channel out of range");
             while !self.controllers[c].has_capacity() {
-                self.controllers[c].service_one();
+                self.controllers[c].service_one()?;
             }
             self.controllers[c].submit(req, access);
             self.requests += 1;
         }
         for ctrl in &mut self.controllers {
-            while ctrl.service_one() {}
+            while ctrl.service_one()? {}
         }
+        Ok(())
     }
 
     /// The per-channel controllers.
@@ -106,7 +128,11 @@ impl System {
                 .sum(),
             bit_flips: self.controllers.iter().map(|c| c.bit_flip_count()).sum(),
             nacks: self.controllers.iter().map(|c| c.nacks()).sum(),
-            energy_pj: self.controllers.iter().map(|c| c.energy_pj(&energy_model)).sum(),
+            energy_pj: self
+                .controllers
+                .iter()
+                .map(|c| c.energy_pj(&energy_model))
+                .sum(),
             sim_time: self
                 .controllers
                 .iter()
@@ -131,7 +157,7 @@ mod tests {
         let cfg = SimConfig::fast_test();
         let mut sys = System::new(&cfg, DefenseKind::None);
         let trace = S1Random::new(&cfg.topology, cfg.seed).take_requests(2_000);
-        sys.run(trace);
+        sys.run(trace).expect("fault-free run");
         let m = sys.metrics("s1");
         assert_eq!(m.requests, 2_000);
         assert!(m.normal_acts > 0);
@@ -145,7 +171,7 @@ mod tests {
         let cfg = SimConfig::fast_test();
         let mut sys = System::new(&cfg, DefenseKind::None);
         let trace = S1Random::new(&cfg.topology, 1).take_requests(5_000);
-        sys.run(trace);
+        sys.run(trace).expect("fault-free run");
         let m = sys.metrics("s1");
         let banks = u64::from(cfg.topology.total_banks());
         let min_interval = cfg.params.timings.t_rc.as_ps() / banks;
@@ -162,7 +188,7 @@ mod tests {
         cfg.topology.channels = 2;
         let mut sys = System::new(&cfg, DefenseKind::None);
         let trace = S1Random::new(&cfg.topology, 3).take_requests(2_000);
-        sys.run(trace);
+        sys.run(trace).expect("fault-free run");
         for ctrl in sys.controllers() {
             assert!(ctrl.served() > 500, "both channels must see traffic");
         }

@@ -83,7 +83,12 @@ mod tests {
             DefenseKind::Twice(TableOrganization::FullyAssociative),
             REQUESTS,
         );
-        assert!(out.defense_holds(), "flips: {} / {}", out.unprotected.bit_flips, out.defended.bit_flips);
+        assert!(
+            out.defense_holds(),
+            "flips: {} / {}",
+            out.unprotected.bit_flips,
+            out.defended.bit_flips
+        );
     }
 
     #[test]
@@ -94,7 +99,12 @@ mod tests {
 
     #[test]
     fn cbt_also_protects_but_with_group_refreshes() {
-        let out = confront(&cfg(), WorkloadKind::S3, DefenseKind::Cbt { counters: 64 }, REQUESTS);
+        let out = confront(
+            &cfg(),
+            WorkloadKind::S3,
+            DefenseKind::Cbt { counters: 64 },
+            REQUESTS,
+        );
         assert!(out.defense_holds());
         assert!(
             out.defended.additional_acts > 2,

@@ -120,8 +120,13 @@ mod tests {
     #[test]
     fn single_sided_repeats_one_row() {
         let topo = Topology::paper_default();
-        let attack =
-            HammerAttack::new(&topo, 0, HammerShape::SingleSided { aggressor: RowId(7) });
+        let attack = HammerAttack::new(
+            &topo,
+            0,
+            HammerShape::SingleSided {
+                aggressor: RowId(7),
+            },
+        );
         assert!(attack.take_requests(10).all(|(_, a)| a.row == RowId(7)));
     }
 
@@ -132,7 +137,9 @@ mod tests {
         let attack = HammerAttack::new(
             &topo,
             0,
-            HammerShape::ManySided { aggressors: aggressors.clone() },
+            HammerShape::ManySided {
+                aggressors: aggressors.clone(),
+            },
         );
         let rows: Vec<RowId> = attack.take_requests(16).map(|(_, a)| a.row).collect();
         assert_eq!(&rows[..8], &aggressors[..]);
@@ -149,6 +156,12 @@ mod tests {
     #[should_panic(expected = "aggressor out of range")]
     fn rejects_out_of_range_aggressor() {
         let topo = Topology::single_bank(16);
-        HammerAttack::new(&topo, 0, HammerShape::SingleSided { aggressor: RowId(16) });
+        HammerAttack::new(
+            &topo,
+            0,
+            HammerShape::SingleSided {
+                aggressor: RowId(16),
+            },
+        );
     }
 }

@@ -73,7 +73,11 @@ impl AccessSource for FftSource {
         let block = self.index / stride;
         let offset = self.index % stride;
         let base = block * stride * 2 + offset;
-        let element = if self.second_half { base + stride } else { base };
+        let element = if self.second_half {
+            base + stride
+        } else {
+            base
+        };
         let addr = (element * ELEM_BYTES) % self.capacity;
         let kind = if self.writeback {
             AccessKind::Write
@@ -134,7 +138,10 @@ mod tests {
         let fft = FftSource::new(&topo, 1 << 12, 4);
         let kinds: Vec<_> = fft.take_requests(8).map(|(r, _)| r.kind).collect();
         use AccessKind::*;
-        assert_eq!(kinds, vec![Read, Read, Write, Write, Read, Read, Write, Write]);
+        assert_eq!(
+            kinds,
+            vec![Read, Read, Write, Write, Read, Read, Write, Write]
+        );
     }
 
     #[test]

@@ -140,7 +140,9 @@ mod tests {
         let mut row_counts: std::collections::HashMap<(u8, u16, u32), u32> =
             std::collections::HashMap::new();
         for (_, a) in mica.take_requests(50_000) {
-            *row_counts.entry((a.channel.0, a.bank, a.row.0)).or_insert(0) += 1;
+            *row_counts
+                .entry((a.channel.0, a.bank, a.row.0))
+                .or_insert(0) += 1;
         }
         let max = row_counts.values().copied().max().unwrap();
         assert!(max > 50, "skew must concentrate row traffic (max {max})");

@@ -65,10 +65,8 @@ mod tests {
     fn spec_rate_uses_all_16_sources() {
         let topo = Topology::paper_default();
         let mix = spec_rate(&topo, &app("mcf").unwrap(), 1);
-        let sources: std::collections::HashSet<u16> = mix
-            .take_requests(1000)
-            .map(|(req, _)| req.source)
-            .collect();
+        let sources: std::collections::HashSet<u16> =
+            mix.take_requests(1000).map(|(req, _)| req.source).collect();
         assert_eq!(sources.len(), 16);
     }
 
@@ -76,10 +74,8 @@ mod tests {
     fn mixes_produce_traffic_from_many_cores() {
         let topo = Topology::paper_default();
         for mix in [mix_high(&topo, 2), mix_blend(&topo, 3)] {
-            let sources: std::collections::HashSet<u16> = mix
-                .take_requests(5000)
-                .map(|(req, _)| req.source)
-                .collect();
+            let sources: std::collections::HashSet<u16> =
+                mix.take_requests(5000).map(|(req, _)| req.source).collect();
             assert!(sources.len() >= 8, "only {} sources active", sources.len());
         }
     }
@@ -87,8 +83,14 @@ mod tests {
     #[test]
     fn mix_is_deterministic_in_seed() {
         let topo = Topology::paper_default();
-        let a: Vec<_> = mix_high(&topo, 7).take_requests(200).map(|(r, _)| r.addr).collect();
-        let b: Vec<_> = mix_high(&topo, 7).take_requests(200).map(|(r, _)| r.addr).collect();
+        let a: Vec<_> = mix_high(&topo, 7)
+            .take_requests(200)
+            .map(|(r, _)| r.addr)
+            .collect();
+        let b: Vec<_> = mix_high(&topo, 7)
+            .take_requests(200)
+            .map(|(r, _)| r.addr)
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -101,12 +101,13 @@ mod tests {
         let topo = Topology::paper_default();
         let keys = 1000u64;
         let radix = RadixSource::new(&topo, keys, 256, 16, 1);
-        let kinds: Vec<_> = radix
-            .take_requests(2 * keys)
-            .map(|(r, _)| r.kind)
-            .collect();
-        assert!(kinds[..keys as usize].iter().all(|k| *k == AccessKind::Read));
-        assert!(kinds[keys as usize..].iter().all(|k| *k == AccessKind::Write));
+        let kinds: Vec<_> = radix.take_requests(2 * keys).map(|(r, _)| r.kind).collect();
+        assert!(kinds[..keys as usize]
+            .iter()
+            .all(|k| *k == AccessKind::Read));
+        assert!(kinds[keys as usize..]
+            .iter()
+            .all(|k| *k == AccessKind::Write));
     }
 
     #[test]
@@ -134,7 +135,11 @@ mod tests {
             .take_requests(1024)
             .map(|(_, a)| (a.channel, a.bank, a.row))
             .collect();
-        assert!(distinct.len() > 100, "scatter touched {} rows", distinct.len());
+        assert!(
+            distinct.len() > 100,
+            "scatter touched {} rows",
+            distinct.len()
+        );
     }
 
     #[test]

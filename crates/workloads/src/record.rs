@@ -151,8 +151,7 @@ mod tests {
     #[test]
     fn round_trip_preserves_every_access() {
         let topo = Topology::paper_default();
-        let original: Vec<TraceItem> =
-            S1Random::new(&topo, 9).take_requests(500).collect();
+        let original: Vec<TraceItem> = S1Random::new(&topo, 9).take_requests(500).collect();
         let mut buf = Vec::new();
         let n = write_trace(&mut buf, original.clone()).unwrap();
         assert_eq!(n, 500);

@@ -247,7 +247,10 @@ mod tests {
     fn spec_high_matches_the_paper_set() {
         let high = spec_high();
         assert_eq!(high.len(), 9);
-        assert!(high.iter().all(|a| a.mapki >= 10.0), "spec-high is memory-intensive");
+        assert!(
+            high.iter().all(|a| a.mapki >= 10.0),
+            "spec-high is memory-intensive"
+        );
     }
 
     #[test]

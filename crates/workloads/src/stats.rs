@@ -48,8 +48,7 @@ impl TraceProfile {
             if is_switch {
                 p.row_switches += 1;
                 *p.per_bank.entry(bank_key).or_insert(0) += 1;
-                *p
-                    .per_row
+                *p.per_row
                     .entry((a.channel.0, a.rank.0, a.bank, a.row.0))
                     .or_insert(0) += 1;
             }
@@ -162,9 +161,7 @@ mod tests {
     fn spec_models_expose_their_declared_locality() {
         let topo = Topology::paper_default();
         let model = app("libquantum").unwrap(); // declared locality 0.85
-        let p = TraceProfile::new(
-            SpecAppSource::new(&topo, model, 0, 1, 3).take_requests(50_000),
-        );
+        let p = TraceProfile::new(SpecAppSource::new(&topo, model, 0, 1, 3).take_requests(50_000));
         assert!(
             (0.80..=0.90).contains(&p.row_hit_rate()),
             "hit rate {}",
@@ -193,9 +190,7 @@ mod tests {
     fn write_fraction_and_sources_are_counted() {
         let topo = Topology::paper_default();
         let model = app("lbm").unwrap(); // write_fraction 0.45
-        let p = TraceProfile::new(
-            SpecAppSource::new(&topo, model, 0, 1, 3).take_requests(40_000),
-        );
+        let p = TraceProfile::new(SpecAppSource::new(&topo, model, 0, 1, 3).take_requests(40_000));
         assert!((0.40..=0.50).contains(&p.write_fraction()));
         assert_eq!(p.sources(), 1);
     }

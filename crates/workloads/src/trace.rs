@@ -123,7 +123,10 @@ impl WeightedInterleave {
     /// Panics if `sources` is empty or any weight is zero.
     pub fn new(sources: Vec<(Box<dyn AccessSource + Send>, u32)>) -> WeightedInterleave {
         assert!(!sources.is_empty(), "need at least one source");
-        assert!(sources.iter().all(|(_, w)| *w > 0), "weights must be non-zero");
+        assert!(
+            sources.iter().all(|(_, w)| *w > 0),
+            "weights must be non-zero"
+        );
         WeightedInterleave {
             credit: vec![0; sources.len()],
             sources,
@@ -216,16 +219,11 @@ mod tests {
 
     #[test]
     fn weighted_interleave_respects_weights() {
-        let mix = WeightedInterleave::new(vec![
-            (Box::new(Fixed(1)), 3),
-            (Box::new(Fixed(2)), 1),
-        ]);
-        let counts = mix
-            .take_requests(4000)
-            .fold([0u32; 3], |mut acc, (_, a)| {
-                acc[a.row.index()] += 1;
-                acc
-            });
+        let mix = WeightedInterleave::new(vec![(Box::new(Fixed(1)), 3), (Box::new(Fixed(2)), 1)]);
+        let counts = mix.take_requests(4000).fold([0u32; 3], |mut acc, (_, a)| {
+            acc[a.row.index()] += 1;
+            acc
+        });
         let ratio = f64::from(counts[1]) / f64::from(counts[2]);
         assert!((2.5..=3.5).contains(&ratio), "ratio {ratio}, expected ~3");
     }

@@ -53,7 +53,10 @@ impl Zipf {
     /// Draws one rank (0 = most popular).
     pub fn sample(&self, rng: &mut SplitMix64) -> usize {
         let u = rng.next_f64();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -1,8 +1,12 @@
 //! Property tests: every generator emits coordinates that are valid for
 //! its topology, is deterministic in its seed, and the addresses it
 //! fabricates decode back to the coordinates it claims.
+//!
+//! Topologies and seeds are drawn from the in-tree `SplitMix64`
+//! generator (the proptest crate is unavailable offline); each case is
+//! reproducible from its seed.
 
-use proptest::prelude::*;
+use twice_common::rng::SplitMix64;
 use twice_common::Topology;
 use twice_memctrl::addrmap::AddressMapper;
 use twice_workloads::attack::{HammerAttack, HammerShape};
@@ -14,16 +18,16 @@ use twice_workloads::spec::{spec_cpu2006, SpecAppSource};
 use twice_workloads::synth::{S1Random, S2CbtAdversarial, S3SingleRowHammer};
 use twice_workloads::{AccessSource, TraceItem};
 
-fn topologies() -> impl Strategy<Value = Topology> {
-    (1u8..3, 1u8..3, 1u16..5, 6u32..12).prop_map(|(ch, rk, banks, rows_log2)| Topology {
-        channels: ch,
-        ranks_per_channel: rk,
-        banks_per_rank: banks,
-        rows_per_bank: 1 << rows_log2,
+fn topology(rng: &mut SplitMix64) -> Topology {
+    Topology {
+        channels: 1 + rng.next_below(2) as u8,
+        ranks_per_channel: 1 + rng.next_below(2) as u8,
+        banks_per_rank: 1 + rng.next_below(4) as u16,
+        rows_per_bank: 1 << (6 + rng.next_below(6)),
         cols_per_row: 128,
         row_bytes: 8_192,
         devices_per_rank: 8,
-    })
+    }
 }
 
 fn check_stream(topo: &Topology, items: impl Iterator<Item = TraceItem>) -> Result<(), String> {
@@ -45,44 +49,72 @@ fn check_stream(topo: &Topology, items: impl Iterator<Item = TraceItem>) -> Resu
             return Err(format!("col {} out of range", access.col.0));
         }
         if mapper.decode(req.addr) != access {
-            return Err(format!("address {:#x} does not decode to {access:?}", req.addr));
+            return Err(format!(
+                "address {:#x} does not decode to {access:?}",
+                req.addr
+            ));
         }
     }
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn all_generators_stay_in_range(topo in topologies(), seed in any::<u64>()) {
+#[test]
+fn all_generators_stay_in_range() {
+    let mut rng = SplitMix64::new(0x9E3779);
+    for _ in 0..16 {
+        let topo = topology(&mut rng);
+        let seed = rng.next_u64();
         let n = 800;
         let sources: Vec<(&str, Box<dyn Iterator<Item = TraceItem>>)> = vec![
             ("s1", Box::new(S1Random::new(&topo, seed).take_requests(n))),
-            ("s2", Box::new(S2CbtAdversarial::new(&topo, 100, 50, seed).take_requests(n))),
-            ("s3", Box::new(S3SingleRowHammer::new(&topo, seed).take_requests(n))),
-            ("fft", Box::new(FftSource::new(&topo, 1 << 14, 4).take_requests(n))),
-            ("radix", Box::new(RadixSource::new(&topo, 5_000, 16, 4, seed).take_requests(n))),
-            ("mica", Box::new(MicaSource::new(&topo, 10_000, 0.99, 0.9, 4, seed).take_requests(n))),
-            ("pagerank", Box::new(PageRankSource::new(&topo, 10_000, 8, 4, seed).take_requests(n))),
+            (
+                "s2",
+                Box::new(S2CbtAdversarial::new(&topo, 100, 50, seed).take_requests(n)),
+            ),
+            (
+                "s3",
+                Box::new(S3SingleRowHammer::new(&topo, seed).take_requests(n)),
+            ),
+            (
+                "fft",
+                Box::new(FftSource::new(&topo, 1 << 14, 4).take_requests(n)),
+            ),
+            (
+                "radix",
+                Box::new(RadixSource::new(&topo, 5_000, 16, 4, seed).take_requests(n)),
+            ),
+            (
+                "mica",
+                Box::new(MicaSource::new(&topo, 10_000, 0.99, 0.9, 4, seed).take_requests(n)),
+            ),
+            (
+                "pagerank",
+                Box::new(PageRankSource::new(&topo, 10_000, 8, 4, seed).take_requests(n)),
+            ),
         ];
         for (name, stream) in sources {
             if let Err(e) = check_stream(&topo, stream) {
-                return Err(TestCaseError::fail(format!("{name}: {e}")));
+                panic!("{name}: {e}");
             }
         }
     }
+}
 
-    #[test]
-    fn spec_models_stay_in_their_partition(topo in topologies(), seed in any::<u64>(), app_idx in 0usize..29) {
-        let model = spec_cpu2006()[app_idx].clone();
+#[test]
+fn spec_models_stay_in_their_partition() {
+    let mut rng = SplitMix64::new(0xBADC0DE);
+    let apps = spec_cpu2006();
+    for case in 0..16 {
+        let topo = topology(&mut rng);
+        let seed = rng.next_u64();
+        let model = apps[(case * 7) % apps.len()].clone();
         let copies = 4u16;
         for copy in 0..copies {
             let src = SpecAppSource::new(&topo, model.clone(), copy, copies, seed);
             let region = (topo.rows_per_bank / u32::from(copies)).max(1);
             for (_, a) in src.take_requests(300) {
                 let lo = u32::from(copy) * region;
-                prop_assert!(
+                assert!(
                     a.row.0 >= lo && a.row.0 < lo + region,
                     "copy {copy} escaped its region: row {}",
                     a.row
@@ -90,27 +122,49 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn generators_are_deterministic(seed in any::<u64>()) {
+#[test]
+fn generators_are_deterministic() {
+    let mut rng = SplitMix64::new(0x5EED);
+    for _ in 0..8 {
+        let seed = rng.next_u64();
         let topo = Topology::paper_default();
-        let a: Vec<u64> = S1Random::new(&topo, seed).take_requests(200).map(|(r, _)| r.addr).collect();
-        let b: Vec<u64> = S1Random::new(&topo, seed).take_requests(200).map(|(r, _)| r.addr).collect();
-        prop_assert_eq!(a, b);
-        let a: Vec<u64> = MicaSource::new(&topo, 1000, 0.99, 0.5, 2, seed).take_requests(200).map(|(r, _)| r.addr).collect();
-        let b: Vec<u64> = MicaSource::new(&topo, 1000, 0.99, 0.5, 2, seed).take_requests(200).map(|(r, _)| r.addr).collect();
-        prop_assert_eq!(a, b);
+        let a: Vec<u64> = S1Random::new(&topo, seed)
+            .take_requests(200)
+            .map(|(r, _)| r.addr)
+            .collect();
+        let b: Vec<u64> = S1Random::new(&topo, seed)
+            .take_requests(200)
+            .map(|(r, _)| r.addr)
+            .collect();
+        assert_eq!(a, b);
+        let a: Vec<u64> = MicaSource::new(&topo, 1000, 0.99, 0.5, 2, seed)
+            .take_requests(200)
+            .map(|(r, _)| r.addr)
+            .collect();
+        let b: Vec<u64> = MicaSource::new(&topo, 1000, 0.99, 0.5, 2, seed)
+            .take_requests(200)
+            .map(|(r, _)| r.addr)
+            .collect();
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn attacks_only_touch_their_aggressors(victim in 1u32..1000) {
+#[test]
+fn attacks_only_touch_their_aggressors() {
+    let mut rng = SplitMix64::new(0xA66);
+    for _ in 0..16 {
+        let victim = 1 + rng.next_below(999) as u32;
         let topo = Topology::paper_default();
-        let shape = HammerShape::DoubleSided { victim: twice_common::RowId(victim) };
+        let shape = HammerShape::DoubleSided {
+            victim: twice_common::RowId(victim),
+        };
         let aggressors = shape.aggressors();
         let attack = HammerAttack::new(&topo, 0, shape);
         for (_, a) in attack.take_requests(100) {
-            prop_assert!(aggressors.contains(&a.row));
-            prop_assert_ne!(a.row.0, victim, "the victim itself is never touched");
+            assert!(aggressors.contains(&a.row));
+            assert_ne!(a.row.0, victim, "the victim itself is never touched");
         }
     }
 }

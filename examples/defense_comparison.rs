@@ -34,7 +34,13 @@ fn main() {
 
     let mut table = Table::new(
         "Additional-ACT ratio (Figure 7 metric), detections, flips",
-        &["defense", "workload", "additional ACTs", "detections", "bit flips"],
+        &[
+            "defense",
+            "workload",
+            "additional ACTs",
+            "detections",
+            "bit flips",
+        ],
     );
     for &kind in &defenses {
         for (label, workload, requests) in &workloads {

@@ -17,7 +17,10 @@ fn main() {
     println!("  thRH    = {:>6}   (detection threshold)", params.th_rh);
     println!("  thPI    = {:>6}   (pruning threshold)", params.th_pi());
     println!("  maxact  = {:>6}   (max ACTs per tREFI)", params.max_act());
-    println!("  maxlife = {:>6}   (PIs per refresh window)", params.max_life());
+    println!(
+        "  maxlife = {:>6}   (PIs per refresh window)",
+        params.max_life()
+    );
     println!(
         "  table   = {:>6} entries/bank  (vs {} rows: {}x smaller)",
         bound.total(),

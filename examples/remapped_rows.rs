@@ -14,13 +14,13 @@
 //!
 //! Run with: `cargo run --release --example remapped_rows`
 
+use twice_repro::common::RowId;
 use twice_repro::core::TableOrganization;
 use twice_repro::mitigations::DefenseKind;
 use twice_repro::sim::config::SimConfig;
 use twice_repro::sim::runner::{run, WorkloadKind};
 use twice_repro::sim::system::System;
 use twice_repro::workloads::attack::HammerShape;
-use twice_repro::common::RowId;
 
 fn main() {
     let mut cfg = SimConfig::fast_test();
@@ -45,7 +45,12 @@ fn main() {
 
     // CRA with TWiCe's own threshold: it counts perfectly and refreshes
     // *logical* neighbors on every threshold crossing...
-    let cra = run(&cfg, attack.clone(), DefenseKind::Cra { cache_entries: 512 }, requests);
+    let cra = run(
+        &cfg,
+        attack.clone(),
+        DefenseKind::Cra { cache_entries: 512 },
+        requests,
+    );
     // ...while TWiCe asks the device for an ARR.
     let twice = run(
         &cfg,
@@ -55,10 +60,22 @@ fn main() {
     );
     let none = run(&cfg, attack, DefenseKind::None, requests);
 
-    println!("\n{:>14} {:>10} {:>12} {:>10}", "defense", "bit flips", "detections", "extra ACTs");
-    println!("{:>14} {:>10} {:>12} {:>10}", "none", none.bit_flips, none.detections, none.additional_acts);
-    println!("{:>14} {:>10} {:>12} {:>10}", "CRA (MC-side)", cra.bit_flips, cra.detections, cra.additional_acts);
-    println!("{:>14} {:>10} {:>12} {:>10}", "TWiCe (ARR)", twice.bit_flips, twice.detections, twice.additional_acts);
+    println!(
+        "\n{:>14} {:>10} {:>12} {:>10}",
+        "defense", "bit flips", "detections", "extra ACTs"
+    );
+    println!(
+        "{:>14} {:>10} {:>12} {:>10}",
+        "none", none.bit_flips, none.detections, none.additional_acts
+    );
+    println!(
+        "{:>14} {:>10} {:>12} {:>10}",
+        "CRA (MC-side)", cra.bit_flips, cra.detections, cra.additional_acts
+    );
+    println!(
+        "{:>14} {:>10} {:>12} {:>10}",
+        "TWiCe (ARR)", twice.bit_flips, twice.detections, twice.additional_acts
+    );
 
     assert!(none.bit_flips > 0, "the attack must work undefended");
     assert!(

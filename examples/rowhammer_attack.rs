@@ -22,7 +22,10 @@ fn main() {
     let cfg = SimConfig::fast_test();
     println!(
         "System: {} channel(s), {} banks/rank, {} rows/bank, N_th = {}",
-        cfg.topology.channels, cfg.topology.banks_per_rank, cfg.topology.rows_per_bank, cfg.fault_n_th
+        cfg.topology.channels,
+        cfg.topology.banks_per_rank,
+        cfg.topology.rows_per_bank,
+        cfg.fault_n_th
     );
     let requests = 60_000;
 
@@ -60,10 +63,14 @@ fn main() {
     // Forensics: counter-based detection names the aggressor, so the
     // system can act on it (paper 3.4).
     let mut sys = System::new(&cfg, DefenseKind::Twice(TableOrganization::Split));
-    sys.run(build_trace(&cfg, &WorkloadKind::S3, requests));
+    sys.run(build_trace(&cfg, &WorkloadKind::S3, requests))
+        .expect("fault-free run");
     let mut log = DetectionLog::new();
     for ctrl in sys.controllers() {
         log.extend(ctrl.detections());
     }
-    println!("\nIncident report:\n{}", log.report(cfg.params.timings.t_refw));
+    println!(
+        "\nIncident report:\n{}",
+        log.report(cfg.params.timings.t_refw)
+    );
 }

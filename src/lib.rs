@@ -45,12 +45,10 @@
 /// assert!(response.is_none());
 /// ```
 pub mod prelude {
-    pub use twice::{
-        CapacityBound, DetectionLog, TableOrganization, TwiceEngine, TwiceParams,
-    };
+    pub use twice::{CapacityBound, DetectionLog, TableOrganization, TwiceEngine, TwiceParams};
     pub use twice_common::{
-        BankId, ChannelId, ColId, DdrTimings, DefenseResponse, Detection, RankId,
-        RowHammerDefense, RowId, Span, Time, Topology,
+        BankId, ChannelId, ColId, DdrTimings, DefenseResponse, Detection, RankId, RowHammerDefense,
+        RowId, Span, Time, Topology,
     };
     pub use twice_mitigations::{make_defense, DefenseKind};
     pub use twice_sim::config::SimConfig;

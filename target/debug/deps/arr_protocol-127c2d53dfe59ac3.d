@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arr_protocol-127c2d53dfe59ac3.d: tests/arr_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarr_protocol-127c2d53dfe59ac3.rmeta: tests/arr_protocol.rs Cargo.toml
+
+tests/arr_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

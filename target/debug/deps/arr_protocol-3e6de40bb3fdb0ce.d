@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arr_protocol-3e6de40bb3fdb0ce.d: tests/arr_protocol.rs
+
+/root/repo/target/debug/deps/arr_protocol-3e6de40bb3fdb0ce: tests/arr_protocol.rs
+
+tests/arr_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arr_protocol-7a4dbad4e29100ca.d: tests/arr_protocol.rs
+
+/root/repo/target/debug/deps/libarr_protocol-7a4dbad4e29100ca.rmeta: tests/arr_protocol.rs
+
+tests/arr_protocol.rs:

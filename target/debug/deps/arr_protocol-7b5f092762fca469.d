@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arr_protocol-7b5f092762fca469.d: tests/arr_protocol.rs
+
+/root/repo/target/debug/deps/libarr_protocol-7b5f092762fca469.rmeta: tests/arr_protocol.rs
+
+tests/arr_protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/controller_properties-880b97674642bcbc.d: crates/memctrl/tests/controller_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontroller_properties-880b97674642bcbc.rmeta: crates/memctrl/tests/controller_properties.rs Cargo.toml
+
+crates/memctrl/tests/controller_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/controller_properties-c5710ead41fd0ff1.d: crates/memctrl/tests/controller_properties.rs
+
+/root/repo/target/debug/deps/libcontroller_properties-c5710ead41fd0ff1.rmeta: crates/memctrl/tests/controller_properties.rs
+
+crates/memctrl/tests/controller_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/controller_properties-ed3b4eeffe38de75.d: crates/memctrl/tests/controller_properties.rs
+
+/root/repo/target/debug/deps/controller_properties-ed3b4eeffe38de75: crates/memctrl/tests/controller_properties.rs
+
+crates/memctrl/tests/controller_properties.rs:

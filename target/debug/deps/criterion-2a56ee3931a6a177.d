@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-2a56ee3931a6a177.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-2a56ee3931a6a177.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-2fbd190ceaff0f0b.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-2fbd190ceaff0f0b: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-86ca2fcfc50077a7.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-86ca2fcfc50077a7.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-86ca2fcfc50077a7.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

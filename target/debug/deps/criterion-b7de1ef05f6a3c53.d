@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b7de1ef05f6a3c53.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b7de1ef05f6a3c53.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

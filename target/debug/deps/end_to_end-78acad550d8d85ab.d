@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-78acad550d8d85ab.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-78acad550d8d85ab.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7ce30a8ec9a8dedb.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-7ce30a8ec9a8dedb.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7d1adc03fe061404.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7d1adc03fe061404: tests/end_to_end.rs
+
+tests/end_to_end.rs:

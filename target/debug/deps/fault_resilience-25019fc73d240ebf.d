@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_resilience-25019fc73d240ebf.d: tests/fault_resilience.rs
+
+/root/repo/target/debug/deps/fault_resilience-25019fc73d240ebf: tests/fault_resilience.rs
+
+tests/fault_resilience.rs:

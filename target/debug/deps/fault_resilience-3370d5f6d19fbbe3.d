@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_resilience-3370d5f6d19fbbe3.d: tests/fault_resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_resilience-3370d5f6d19fbbe3.rmeta: tests/fault_resilience.rs Cargo.toml
+
+tests/fault_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_resilience-e9a0273bfe48445e.d: tests/fault_resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_resilience-e9a0273bfe48445e.rmeta: tests/fault_resilience.rs Cargo.toml
+
+tests/fault_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_properties-4134d979777bcfbe.d: crates/workloads/tests/generator_properties.rs
+
+/root/repo/target/debug/deps/generator_properties-4134d979777bcfbe: crates/workloads/tests/generator_properties.rs
+
+crates/workloads/tests/generator_properties.rs:

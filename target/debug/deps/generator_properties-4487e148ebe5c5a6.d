@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_properties-4487e148ebe5c5a6.d: crates/workloads/tests/generator_properties.rs
+
+/root/repo/target/debug/deps/libgenerator_properties-4487e148ebe5c5a6.rmeta: crates/workloads/tests/generator_properties.rs
+
+crates/workloads/tests/generator_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator_properties-984426f4052b4591.d: crates/workloads/tests/generator_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator_properties-984426f4052b4591.rmeta: crates/workloads/tests/generator_properties.rs Cargo.toml
+
+crates/workloads/tests/generator_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof_properties-20db600c3fc54fc7.d: tests/proof_properties.rs
+
+/root/repo/target/debug/deps/proof_properties-20db600c3fc54fc7: tests/proof_properties.rs
+
+tests/proof_properties.rs:

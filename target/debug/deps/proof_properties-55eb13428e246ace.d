@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof_properties-55eb13428e246ace.d: tests/proof_properties.rs
+
+/root/repo/target/debug/deps/libproof_properties-55eb13428e246ace.rmeta: tests/proof_properties.rs
+
+tests/proof_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proof_properties-a15eb970b73bf733.d: tests/proof_properties.rs
+
+/root/repo/target/debug/deps/libproof_properties-a15eb970b73bf733.rmeta: tests/proof_properties.rs
+
+tests/proof_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proof_properties-bf11277ac0b24e62.d: tests/proof_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproof_properties-bf11277ac0b24e62.rmeta: tests/proof_properties.rs Cargo.toml
+
+tests/proof_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

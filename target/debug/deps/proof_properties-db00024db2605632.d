@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proof_properties-db00024db2605632.d: tests/proof_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproof_properties-db00024db2605632.rmeta: tests/proof_properties.rs Cargo.toml
+
+tests/proof_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protection-11beecd9d78bcde5.d: tests/protection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotection-11beecd9d78bcde5.rmeta: tests/protection.rs Cargo.toml
+
+tests/protection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

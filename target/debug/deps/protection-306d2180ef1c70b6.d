@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protection-306d2180ef1c70b6.d: tests/protection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotection-306d2180ef1c70b6.rmeta: tests/protection.rs Cargo.toml
+
+tests/protection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

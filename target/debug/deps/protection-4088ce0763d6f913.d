@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protection-4088ce0763d6f913.d: tests/protection.rs
+
+/root/repo/target/debug/deps/libprotection-4088ce0763d6f913.rmeta: tests/protection.rs
+
+tests/protection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protection-514ce857543bef5f.d: tests/protection.rs
+
+/root/repo/target/debug/deps/protection-514ce857543bef5f: tests/protection.rs
+
+tests/protection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protection-fd9398d87f10d639.d: tests/protection.rs
+
+/root/repo/target/debug/deps/libprotection-fd9398d87f10d639.rmeta: tests/protection.rs
+
+tests/protection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scrub_properties-390042402480cbfa.d: crates/core/tests/scrub_properties.rs
+
+/root/repo/target/debug/deps/scrub_properties-390042402480cbfa: crates/core/tests/scrub_properties.rs
+
+crates/core/tests/scrub_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scrub_properties-6d0dc0efb72f47fa.d: crates/core/tests/scrub_properties.rs
+
+/root/repo/target/debug/deps/scrub_properties-6d0dc0efb72f47fa: crates/core/tests/scrub_properties.rs
+
+crates/core/tests/scrub_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scrub_properties-85663122f2c56110.d: crates/core/tests/scrub_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscrub_properties-85663122f2c56110.rmeta: crates/core/tests/scrub_properties.rs Cargo.toml
+
+crates/core/tests/scrub_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_properties-182e0d4febe7211b.d: crates/core/tests/table_properties.rs
+
+/root/repo/target/debug/deps/libtable_properties-182e0d4febe7211b.rmeta: crates/core/tests/table_properties.rs
+
+crates/core/tests/table_properties.rs:

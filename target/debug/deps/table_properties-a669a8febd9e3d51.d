@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_properties-a669a8febd9e3d51.d: crates/core/tests/table_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_properties-a669a8febd9e3d51.rmeta: crates/core/tests/table_properties.rs Cargo.toml
+
+crates/core/tests/table_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_properties-abd9688cd1fc4a8e.d: crates/core/tests/table_properties.rs
+
+/root/repo/target/debug/deps/libtable_properties-abd9688cd1fc4a8e.rmeta: crates/core/tests/table_properties.rs
+
+crates/core/tests/table_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_properties-ebc99d89ccaa1f18.d: crates/core/tests/table_properties.rs
+
+/root/repo/target/debug/deps/table_properties-ebc99d89ccaa1f18: crates/core/tests/table_properties.rs
+
+crates/core/tests/table_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_properties-f3b6624e3efe4000.d: crates/core/tests/table_properties.rs
+
+/root/repo/target/debug/deps/table_properties-f3b6624e3efe4000: crates/core/tests/table_properties.rs
+
+crates/core/tests/table_properties.rs:

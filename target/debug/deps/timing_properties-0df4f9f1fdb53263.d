@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_properties-0df4f9f1fdb53263.d: crates/dram/tests/timing_properties.rs
+
+/root/repo/target/debug/deps/libtiming_properties-0df4f9f1fdb53263.rmeta: crates/dram/tests/timing_properties.rs
+
+crates/dram/tests/timing_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing_properties-415e4ab1107ee8a8.d: crates/dram/tests/timing_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming_properties-415e4ab1107ee8a8.rmeta: crates/dram/tests/timing_properties.rs Cargo.toml
+
+crates/dram/tests/timing_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_properties-8c4964cf1f702637.d: crates/dram/tests/timing_properties.rs
+
+/root/repo/target/debug/deps/timing_properties-8c4964cf1f702637: crates/dram/tests/timing_properties.rs
+
+crates/dram/tests/timing_properties.rs:

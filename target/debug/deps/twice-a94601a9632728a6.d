@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/twice-a94601a9632728a6.d: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/entry.rs crates/core/src/fa.rs crates/core/src/forensics.rs crates/core/src/pa.rs crates/core/src/params.rs crates/core/src/split.rs crates/core/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice-a94601a9632728a6.rmeta: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/entry.rs crates/core/src/fa.rs crates/core/src/forensics.rs crates/core/src/pa.rs crates/core/src/params.rs crates/core/src/split.rs crates/core/src/table.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bound.rs:
+crates/core/src/cost.rs:
+crates/core/src/engine.rs:
+crates/core/src/entry.rs:
+crates/core/src/fa.rs:
+crates/core/src/forensics.rs:
+crates/core/src/pa.rs:
+crates/core/src/params.rs:
+crates/core/src/split.rs:
+crates/core/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/twice-beb4725fc26dde0a.d: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/entry.rs crates/core/src/fa.rs crates/core/src/forensics.rs crates/core/src/pa.rs crates/core/src/params.rs crates/core/src/split.rs crates/core/src/table.rs
+
+/root/repo/target/debug/deps/twice-beb4725fc26dde0a: crates/core/src/lib.rs crates/core/src/bound.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/entry.rs crates/core/src/fa.rs crates/core/src/forensics.rs crates/core/src/pa.rs crates/core/src/params.rs crates/core/src/split.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bound.rs:
+crates/core/src/cost.rs:
+crates/core/src/engine.rs:
+crates/core/src/entry.rs:
+crates/core/src/fa.rs:
+crates/core/src/forensics.rs:
+crates/core/src/pa.rs:
+crates/core/src/params.rs:
+crates/core/src/split.rs:
+crates/core/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_bench-3c7c39b8b1493b96.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_bench-3c7c39b8b1493b96.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

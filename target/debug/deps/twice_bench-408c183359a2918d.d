@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_bench-408c183359a2918d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_bench-408c183359a2918d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_bench-66ddc729e493921b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_bench-66ddc729e493921b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/twice_bench-8858a3f74928a843.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_bench-8858a3f74928a843.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_bench-8858a3f74928a843.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_bench-89cce7a452183407.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/twice_bench-89cce7a452183407: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

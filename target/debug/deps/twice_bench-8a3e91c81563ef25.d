@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twice_bench-8a3e91c81563ef25.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_bench-8a3e91c81563ef25.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

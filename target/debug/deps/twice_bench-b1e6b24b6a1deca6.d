@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_bench-b1e6b24b6a1deca6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_bench-b1e6b24b6a1deca6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

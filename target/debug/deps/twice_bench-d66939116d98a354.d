@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twice_bench-d66939116d98a354.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_bench-d66939116d98a354.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twice_bench-f888365513530507.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_bench-f888365513530507.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/twice_common-e7fd57e3adef6243.d: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
+
+/root/repo/target/debug/deps/libtwice_common-e7fd57e3adef6243.rmeta: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
+
+crates/common/src/lib.rs:
+crates/common/src/defense.rs:
+crates/common/src/error.rs:
+crates/common/src/fault.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/time.rs:
+crates/common/src/timing.rs:
+crates/common/src/topology.rs:

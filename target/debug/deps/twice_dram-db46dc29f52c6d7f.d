@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/twice_dram-db46dc29f52c6d7f.d: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/cmd.rs crates/dram/src/data.rs crates/dram/src/device.rs crates/dram/src/ecc.rs crates/dram/src/energy.rs crates/dram/src/error.rs crates/dram/src/hammer.rs crates/dram/src/rank.rs crates/dram/src/rcd.rs crates/dram/src/refresh.rs crates/dram/src/remap.rs crates/dram/src/stats.rs
+
+/root/repo/target/debug/deps/twice_dram-db46dc29f52c6d7f: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/cmd.rs crates/dram/src/data.rs crates/dram/src/device.rs crates/dram/src/ecc.rs crates/dram/src/energy.rs crates/dram/src/error.rs crates/dram/src/hammer.rs crates/dram/src/rank.rs crates/dram/src/rcd.rs crates/dram/src/refresh.rs crates/dram/src/remap.rs crates/dram/src/stats.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/cmd.rs:
+crates/dram/src/data.rs:
+crates/dram/src/device.rs:
+crates/dram/src/ecc.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/error.rs:
+crates/dram/src/hammer.rs:
+crates/dram/src/rank.rs:
+crates/dram/src/rcd.rs:
+crates/dram/src/refresh.rs:
+crates/dram/src/remap.rs:
+crates/dram/src/stats.rs:

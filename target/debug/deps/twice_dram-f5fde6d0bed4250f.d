@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/twice_dram-f5fde6d0bed4250f.d: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/cmd.rs crates/dram/src/data.rs crates/dram/src/device.rs crates/dram/src/ecc.rs crates/dram/src/energy.rs crates/dram/src/error.rs crates/dram/src/hammer.rs crates/dram/src/rank.rs crates/dram/src/rcd.rs crates/dram/src/refresh.rs crates/dram/src/remap.rs crates/dram/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_dram-f5fde6d0bed4250f.rmeta: crates/dram/src/lib.rs crates/dram/src/bank.rs crates/dram/src/cmd.rs crates/dram/src/data.rs crates/dram/src/device.rs crates/dram/src/ecc.rs crates/dram/src/energy.rs crates/dram/src/error.rs crates/dram/src/hammer.rs crates/dram/src/rank.rs crates/dram/src/rcd.rs crates/dram/src/refresh.rs crates/dram/src/remap.rs crates/dram/src/stats.rs Cargo.toml
+
+crates/dram/src/lib.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/cmd.rs:
+crates/dram/src/data.rs:
+crates/dram/src/device.rs:
+crates/dram/src/ecc.rs:
+crates/dram/src/energy.rs:
+crates/dram/src/error.rs:
+crates/dram/src/hammer.rs:
+crates/dram/src/rank.rs:
+crates/dram/src/rcd.rs:
+crates/dram/src/refresh.rs:
+crates/dram/src/remap.rs:
+crates/dram/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_exp-00bf0f4c8afb2715.d: crates/sim/src/bin/twice-exp.rs
+
+/root/repo/target/debug/deps/libtwice_exp-00bf0f4c8afb2715.rmeta: crates/sim/src/bin/twice-exp.rs
+
+crates/sim/src/bin/twice-exp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twice_exp-01b02d4392cd7bdd.d: crates/sim/src/bin/twice-exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_exp-01b02d4392cd7bdd.rmeta: crates/sim/src/bin/twice-exp.rs Cargo.toml
+
+crates/sim/src/bin/twice-exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

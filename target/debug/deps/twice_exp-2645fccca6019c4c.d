@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_exp-2645fccca6019c4c.d: crates/sim/src/bin/twice-exp.rs
+
+/root/repo/target/debug/deps/twice_exp-2645fccca6019c4c: crates/sim/src/bin/twice-exp.rs
+
+crates/sim/src/bin/twice-exp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_exp-26b5ace1de0ba024.d: crates/sim/src/bin/twice-exp.rs
+
+/root/repo/target/debug/deps/libtwice_exp-26b5ace1de0ba024.rmeta: crates/sim/src/bin/twice-exp.rs
+
+crates/sim/src/bin/twice-exp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_exp-47b649eb0eebd70e.d: crates/sim/src/bin/twice-exp.rs
+
+/root/repo/target/debug/deps/libtwice_exp-47b649eb0eebd70e.rmeta: crates/sim/src/bin/twice-exp.rs
+
+crates/sim/src/bin/twice-exp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_exp-49c9cec9d0e0b938.d: crates/sim/src/bin/twice-exp.rs
+
+/root/repo/target/debug/deps/libtwice_exp-49c9cec9d0e0b938.rmeta: crates/sim/src/bin/twice-exp.rs
+
+crates/sim/src/bin/twice-exp.rs:

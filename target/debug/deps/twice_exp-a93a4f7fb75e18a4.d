@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twice_exp-a93a4f7fb75e18a4.d: crates/sim/src/bin/twice-exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_exp-a93a4f7fb75e18a4.rmeta: crates/sim/src/bin/twice-exp.rs Cargo.toml
+
+crates/sim/src/bin/twice-exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

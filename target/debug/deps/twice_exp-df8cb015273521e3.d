@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twice_exp-df8cb015273521e3.d: crates/sim/src/bin/twice-exp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_exp-df8cb015273521e3.rmeta: crates/sim/src/bin/twice-exp.rs Cargo.toml
+
+crates/sim/src/bin/twice-exp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/twice_memctrl-cda94620408cccbb.d: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs
+
+/root/repo/target/debug/deps/libtwice_memctrl-cda94620408cccbb.rmeta: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs
+
+crates/memctrl/src/lib.rs:
+crates/memctrl/src/addrmap.rs:
+crates/memctrl/src/controller.rs:
+crates/memctrl/src/latency.rs:
+crates/memctrl/src/pagepolicy.rs:
+crates/memctrl/src/request.rs:
+crates/memctrl/src/resilience.rs:
+crates/memctrl/src/scheduler.rs:

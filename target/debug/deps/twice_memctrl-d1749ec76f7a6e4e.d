@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/twice_memctrl-d1749ec76f7a6e4e.d: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs
+
+/root/repo/target/debug/deps/libtwice_memctrl-d1749ec76f7a6e4e.rmeta: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs
+
+crates/memctrl/src/lib.rs:
+crates/memctrl/src/addrmap.rs:
+crates/memctrl/src/controller.rs:
+crates/memctrl/src/latency.rs:
+crates/memctrl/src/pagepolicy.rs:
+crates/memctrl/src/request.rs:
+crates/memctrl/src/resilience.rs:
+crates/memctrl/src/scheduler.rs:

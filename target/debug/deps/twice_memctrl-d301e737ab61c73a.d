@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/twice_memctrl-d301e737ab61c73a.d: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs
+
+/root/repo/target/debug/deps/libtwice_memctrl-d301e737ab61c73a.rlib: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs
+
+/root/repo/target/debug/deps/libtwice_memctrl-d301e737ab61c73a.rmeta: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs
+
+crates/memctrl/src/lib.rs:
+crates/memctrl/src/addrmap.rs:
+crates/memctrl/src/controller.rs:
+crates/memctrl/src/latency.rs:
+crates/memctrl/src/pagepolicy.rs:
+crates/memctrl/src/request.rs:
+crates/memctrl/src/resilience.rs:
+crates/memctrl/src/scheduler.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/twice_memctrl-d6d1ef873a2ca8ba.d: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_memctrl-d6d1ef873a2ca8ba.rmeta: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs Cargo.toml
+
+crates/memctrl/src/lib.rs:
+crates/memctrl/src/addrmap.rs:
+crates/memctrl/src/controller.rs:
+crates/memctrl/src/latency.rs:
+crates/memctrl/src/pagepolicy.rs:
+crates/memctrl/src/request.rs:
+crates/memctrl/src/resilience.rs:
+crates/memctrl/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

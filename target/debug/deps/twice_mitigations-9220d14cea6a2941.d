@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/twice_mitigations-9220d14cea6a2941.d: crates/mitigations/src/lib.rs crates/mitigations/src/cbt.rs crates/mitigations/src/cra.rs crates/mitigations/src/graphene.rs crates/mitigations/src/naive.rs crates/mitigations/src/none.rs crates/mitigations/src/para.rs crates/mitigations/src/prohit.rs crates/mitigations/src/registry.rs crates/mitigations/src/trr.rs
+
+/root/repo/target/debug/deps/libtwice_mitigations-9220d14cea6a2941.rmeta: crates/mitigations/src/lib.rs crates/mitigations/src/cbt.rs crates/mitigations/src/cra.rs crates/mitigations/src/graphene.rs crates/mitigations/src/naive.rs crates/mitigations/src/none.rs crates/mitigations/src/para.rs crates/mitigations/src/prohit.rs crates/mitigations/src/registry.rs crates/mitigations/src/trr.rs
+
+crates/mitigations/src/lib.rs:
+crates/mitigations/src/cbt.rs:
+crates/mitigations/src/cra.rs:
+crates/mitigations/src/graphene.rs:
+crates/mitigations/src/naive.rs:
+crates/mitigations/src/none.rs:
+crates/mitigations/src/para.rs:
+crates/mitigations/src/prohit.rs:
+crates/mitigations/src/registry.rs:
+crates/mitigations/src/trr.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/twice_mitigations-df6905b250b45ed7.d: crates/mitigations/src/lib.rs crates/mitigations/src/cbt.rs crates/mitigations/src/cra.rs crates/mitigations/src/graphene.rs crates/mitigations/src/naive.rs crates/mitigations/src/none.rs crates/mitigations/src/para.rs crates/mitigations/src/prohit.rs crates/mitigations/src/registry.rs crates/mitigations/src/trr.rs
+
+/root/repo/target/debug/deps/libtwice_mitigations-df6905b250b45ed7.rmeta: crates/mitigations/src/lib.rs crates/mitigations/src/cbt.rs crates/mitigations/src/cra.rs crates/mitigations/src/graphene.rs crates/mitigations/src/naive.rs crates/mitigations/src/none.rs crates/mitigations/src/para.rs crates/mitigations/src/prohit.rs crates/mitigations/src/registry.rs crates/mitigations/src/trr.rs
+
+crates/mitigations/src/lib.rs:
+crates/mitigations/src/cbt.rs:
+crates/mitigations/src/cra.rs:
+crates/mitigations/src/graphene.rs:
+crates/mitigations/src/naive.rs:
+crates/mitigations/src/none.rs:
+crates/mitigations/src/para.rs:
+crates/mitigations/src/prohit.rs:
+crates/mitigations/src/registry.rs:
+crates/mitigations/src/trr.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/twice_mitigations-e037f44956959ce5.d: crates/mitigations/src/lib.rs crates/mitigations/src/cbt.rs crates/mitigations/src/cra.rs crates/mitigations/src/graphene.rs crates/mitigations/src/naive.rs crates/mitigations/src/none.rs crates/mitigations/src/para.rs crates/mitigations/src/prohit.rs crates/mitigations/src/registry.rs crates/mitigations/src/trr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_mitigations-e037f44956959ce5.rmeta: crates/mitigations/src/lib.rs crates/mitigations/src/cbt.rs crates/mitigations/src/cra.rs crates/mitigations/src/graphene.rs crates/mitigations/src/naive.rs crates/mitigations/src/none.rs crates/mitigations/src/para.rs crates/mitigations/src/prohit.rs crates/mitigations/src/registry.rs crates/mitigations/src/trr.rs Cargo.toml
+
+crates/mitigations/src/lib.rs:
+crates/mitigations/src/cbt.rs:
+crates/mitigations/src/cra.rs:
+crates/mitigations/src/graphene.rs:
+crates/mitigations/src/naive.rs:
+crates/mitigations/src/none.rs:
+crates/mitigations/src/para.rs:
+crates/mitigations/src/prohit.rs:
+crates/mitigations/src/registry.rs:
+crates/mitigations/src/trr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twice_repro-0e08ce6036e22a30.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_repro-0e08ce6036e22a30.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

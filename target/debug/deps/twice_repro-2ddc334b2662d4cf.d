@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twice_repro-2ddc334b2662d4cf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_repro-2ddc334b2662d4cf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_repro-3538e9b6c3790cf5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_repro-3538e9b6c3790cf5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_repro-535b3984e860e72b.d: src/lib.rs
+
+/root/repo/target/debug/deps/twice_repro-535b3984e860e72b: src/lib.rs
+
+src/lib.rs:

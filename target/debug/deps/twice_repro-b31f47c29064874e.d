@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_repro-b31f47c29064874e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_repro-b31f47c29064874e.rmeta: src/lib.rs
+
+src/lib.rs:

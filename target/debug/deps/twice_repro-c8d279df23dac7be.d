@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_repro-c8d279df23dac7be.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_repro-c8d279df23dac7be.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/twice_repro-cc776580b7d3106f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_repro-cc776580b7d3106f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_repro-cc776580b7d3106f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_repro-dcc0395ee076ba50.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtwice_repro-dcc0395ee076ba50.rmeta: src/lib.rs
+
+src/lib.rs:

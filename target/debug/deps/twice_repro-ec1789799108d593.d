@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twice_repro-ec1789799108d593.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwice_repro-ec1789799108d593.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/twice_sim-dd32869fac6daa09.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/ablation.rs crates/sim/src/experiments/capacity.rs crates/sim/src/experiments/chaos.rs crates/sim/src/experiments/ecc.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/latency.rs crates/sim/src/experiments/storage.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/table2.rs crates/sim/src/experiments/table3.rs crates/sim/src/experiments/table4.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/system.rs crates/sim/src/verify.rs
+
+/root/repo/target/debug/deps/libtwice_sim-dd32869fac6daa09.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/ablation.rs crates/sim/src/experiments/capacity.rs crates/sim/src/experiments/chaos.rs crates/sim/src/experiments/ecc.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/latency.rs crates/sim/src/experiments/storage.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/table2.rs crates/sim/src/experiments/table3.rs crates/sim/src/experiments/table4.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/system.rs crates/sim/src/verify.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/experiments/mod.rs:
+crates/sim/src/experiments/ablation.rs:
+crates/sim/src/experiments/capacity.rs:
+crates/sim/src/experiments/chaos.rs:
+crates/sim/src/experiments/ecc.rs:
+crates/sim/src/experiments/fig7.rs:
+crates/sim/src/experiments/latency.rs:
+crates/sim/src/experiments/storage.rs:
+crates/sim/src/experiments/table1.rs:
+crates/sim/src/experiments/table2.rs:
+crates/sim/src/experiments/table3.rs:
+crates/sim/src/experiments/table4.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/report.rs:
+crates/sim/src/runner.rs:
+crates/sim/src/system.rs:
+crates/sim/src/verify.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/twice_workloads-ee77d6069596e45f.d: crates/workloads/src/lib.rs crates/workloads/src/attack.rs crates/workloads/src/fft.rs crates/workloads/src/mica.rs crates/workloads/src/mix.rs crates/workloads/src/pagerank.rs crates/workloads/src/radix.rs crates/workloads/src/record.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/synth.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libtwice_workloads-ee77d6069596e45f.rlib: crates/workloads/src/lib.rs crates/workloads/src/attack.rs crates/workloads/src/fft.rs crates/workloads/src/mica.rs crates/workloads/src/mix.rs crates/workloads/src/pagerank.rs crates/workloads/src/radix.rs crates/workloads/src/record.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/synth.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libtwice_workloads-ee77d6069596e45f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/attack.rs crates/workloads/src/fft.rs crates/workloads/src/mica.rs crates/workloads/src/mix.rs crates/workloads/src/pagerank.rs crates/workloads/src/radix.rs crates/workloads/src/record.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/synth.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/attack.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/mica.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/pagerank.rs:
+crates/workloads/src/radix.rs:
+crates/workloads/src/record.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/stats.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/defense_comparison-24fcf7246e351c41.d: examples/defense_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdefense_comparison-24fcf7246e351c41.rmeta: examples/defense_comparison.rs Cargo.toml
+
+examples/defense_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

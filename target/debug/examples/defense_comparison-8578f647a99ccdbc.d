@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/defense_comparison-8578f647a99ccdbc.d: examples/defense_comparison.rs
+
+/root/repo/target/debug/examples/libdefense_comparison-8578f647a99ccdbc.rmeta: examples/defense_comparison.rs
+
+examples/defense_comparison.rs:

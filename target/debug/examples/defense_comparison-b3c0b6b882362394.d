@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/defense_comparison-b3c0b6b882362394.d: examples/defense_comparison.rs
+
+/root/repo/target/debug/examples/defense_comparison-b3c0b6b882362394: examples/defense_comparison.rs
+
+examples/defense_comparison.rs:

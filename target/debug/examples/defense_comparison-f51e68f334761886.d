@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/defense_comparison-f51e68f334761886.d: examples/defense_comparison.rs
+
+/root/repo/target/debug/examples/libdefense_comparison-f51e68f334761886.rmeta: examples/defense_comparison.rs
+
+examples/defense_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_tables-1f8c593cea0b5428.d: examples/paper_tables.rs
+
+/root/repo/target/debug/examples/libpaper_tables-1f8c593cea0b5428.rmeta: examples/paper_tables.rs
+
+examples/paper_tables.rs:

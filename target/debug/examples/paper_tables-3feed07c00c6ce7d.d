@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_tables-3feed07c00c6ce7d.d: examples/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_tables-3feed07c00c6ce7d.rmeta: examples/paper_tables.rs Cargo.toml
+
+examples/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

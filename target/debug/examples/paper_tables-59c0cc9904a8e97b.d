@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_tables-59c0cc9904a8e97b.d: examples/paper_tables.rs
+
+/root/repo/target/debug/examples/libpaper_tables-59c0cc9904a8e97b.rmeta: examples/paper_tables.rs
+
+examples/paper_tables.rs:

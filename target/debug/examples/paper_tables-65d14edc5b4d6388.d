@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_tables-65d14edc5b4d6388.d: examples/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_tables-65d14edc5b4d6388.rmeta: examples/paper_tables.rs Cargo.toml
+
+examples/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

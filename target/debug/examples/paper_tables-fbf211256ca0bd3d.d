@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_tables-fbf211256ca0bd3d.d: examples/paper_tables.rs
+
+/root/repo/target/debug/examples/paper_tables-fbf211256ca0bd3d: examples/paper_tables.rs
+
+examples/paper_tables.rs:

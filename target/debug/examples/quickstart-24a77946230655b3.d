@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-24a77946230655b3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-24a77946230655b3.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3695c86ba2d6c471.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-3695c86ba2d6c471.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6649ea62ec3c2b48.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6649ea62ec3c2b48: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remapped_rows-416e68a4b207e828.d: examples/remapped_rows.rs
+
+/root/repo/target/debug/examples/libremapped_rows-416e68a4b207e828.rmeta: examples/remapped_rows.rs
+
+examples/remapped_rows.rs:

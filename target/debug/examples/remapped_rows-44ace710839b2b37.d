@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/remapped_rows-44ace710839b2b37.d: examples/remapped_rows.rs Cargo.toml
+
+/root/repo/target/debug/examples/libremapped_rows-44ace710839b2b37.rmeta: examples/remapped_rows.rs Cargo.toml
+
+examples/remapped_rows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remapped_rows-765a5a1ee4c00e68.d: examples/remapped_rows.rs
+
+/root/repo/target/debug/examples/libremapped_rows-765a5a1ee4c00e68.rmeta: examples/remapped_rows.rs
+
+examples/remapped_rows.rs:

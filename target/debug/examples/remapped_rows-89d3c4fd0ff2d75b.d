@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/remapped_rows-89d3c4fd0ff2d75b.d: examples/remapped_rows.rs Cargo.toml
+
+/root/repo/target/debug/examples/libremapped_rows-89d3c4fd0ff2d75b.rmeta: examples/remapped_rows.rs Cargo.toml
+
+examples/remapped_rows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/remapped_rows-c5a5c5ca058ae5a7.d: examples/remapped_rows.rs
+
+/root/repo/target/debug/examples/remapped_rows-c5a5c5ca058ae5a7: examples/remapped_rows.rs
+
+examples/remapped_rows.rs:

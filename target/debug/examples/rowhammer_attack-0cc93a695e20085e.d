@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rowhammer_attack-0cc93a695e20085e.d: examples/rowhammer_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/librowhammer_attack-0cc93a695e20085e.rmeta: examples/rowhammer_attack.rs Cargo.toml
+
+examples/rowhammer_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rowhammer_attack-77f88dc31975c468.d: examples/rowhammer_attack.rs
+
+/root/repo/target/debug/examples/rowhammer_attack-77f88dc31975c468: examples/rowhammer_attack.rs
+
+examples/rowhammer_attack.rs:

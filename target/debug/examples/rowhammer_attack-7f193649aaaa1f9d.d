@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rowhammer_attack-7f193649aaaa1f9d.d: examples/rowhammer_attack.rs
+
+/root/repo/target/debug/examples/librowhammer_attack-7f193649aaaa1f9d.rmeta: examples/rowhammer_attack.rs
+
+examples/rowhammer_attack.rs:

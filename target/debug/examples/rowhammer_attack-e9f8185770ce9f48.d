@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rowhammer_attack-e9f8185770ce9f48.d: examples/rowhammer_attack.rs
+
+/root/repo/target/debug/examples/librowhammer_attack-e9f8185770ce9f48.rmeta: examples/rowhammer_attack.rs
+
+examples/rowhammer_attack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rowhammer_attack-ef32691ab623f220.d: examples/rowhammer_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/librowhammer_attack-ef32691ab623f220.rmeta: examples/rowhammer_attack.rs Cargo.toml
+
+examples/rowhammer_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/twice_exp-8802a03b380552c6.d: crates/sim/src/bin/twice-exp.rs
+
+/root/repo/target/release/deps/twice_exp-8802a03b380552c6: crates/sim/src/bin/twice-exp.rs
+
+crates/sim/src/bin/twice-exp.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/twice_memctrl-c643752c6f697bd5.d: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs
+
+/root/repo/target/release/deps/libtwice_memctrl-c643752c6f697bd5.rlib: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs
+
+/root/repo/target/release/deps/libtwice_memctrl-c643752c6f697bd5.rmeta: crates/memctrl/src/lib.rs crates/memctrl/src/addrmap.rs crates/memctrl/src/controller.rs crates/memctrl/src/latency.rs crates/memctrl/src/pagepolicy.rs crates/memctrl/src/request.rs crates/memctrl/src/resilience.rs crates/memctrl/src/scheduler.rs
+
+crates/memctrl/src/lib.rs:
+crates/memctrl/src/addrmap.rs:
+crates/memctrl/src/controller.rs:
+crates/memctrl/src/latency.rs:
+crates/memctrl/src/pagepolicy.rs:
+crates/memctrl/src/request.rs:
+crates/memctrl/src/resilience.rs:
+crates/memctrl/src/scheduler.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/twice_mitigations-a9e8aa4231583e28.d: crates/mitigations/src/lib.rs crates/mitigations/src/cbt.rs crates/mitigations/src/cra.rs crates/mitigations/src/graphene.rs crates/mitigations/src/naive.rs crates/mitigations/src/none.rs crates/mitigations/src/para.rs crates/mitigations/src/prohit.rs crates/mitigations/src/registry.rs crates/mitigations/src/trr.rs
+
+/root/repo/target/release/deps/libtwice_mitigations-a9e8aa4231583e28.rlib: crates/mitigations/src/lib.rs crates/mitigations/src/cbt.rs crates/mitigations/src/cra.rs crates/mitigations/src/graphene.rs crates/mitigations/src/naive.rs crates/mitigations/src/none.rs crates/mitigations/src/para.rs crates/mitigations/src/prohit.rs crates/mitigations/src/registry.rs crates/mitigations/src/trr.rs
+
+/root/repo/target/release/deps/libtwice_mitigations-a9e8aa4231583e28.rmeta: crates/mitigations/src/lib.rs crates/mitigations/src/cbt.rs crates/mitigations/src/cra.rs crates/mitigations/src/graphene.rs crates/mitigations/src/naive.rs crates/mitigations/src/none.rs crates/mitigations/src/para.rs crates/mitigations/src/prohit.rs crates/mitigations/src/registry.rs crates/mitigations/src/trr.rs
+
+crates/mitigations/src/lib.rs:
+crates/mitigations/src/cbt.rs:
+crates/mitigations/src/cra.rs:
+crates/mitigations/src/graphene.rs:
+crates/mitigations/src/naive.rs:
+crates/mitigations/src/none.rs:
+crates/mitigations/src/para.rs:
+crates/mitigations/src/prohit.rs:
+crates/mitigations/src/registry.rs:
+crates/mitigations/src/trr.rs:

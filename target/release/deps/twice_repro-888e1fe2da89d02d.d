@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/twice_repro-888e1fe2da89d02d.d: src/lib.rs
+
+/root/repo/target/release/deps/libtwice_repro-888e1fe2da89d02d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtwice_repro-888e1fe2da89d02d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/twice_workloads-710929ce7e762555.d: crates/workloads/src/lib.rs crates/workloads/src/attack.rs crates/workloads/src/fft.rs crates/workloads/src/mica.rs crates/workloads/src/mix.rs crates/workloads/src/pagerank.rs crates/workloads/src/radix.rs crates/workloads/src/record.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/synth.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libtwice_workloads-710929ce7e762555.rlib: crates/workloads/src/lib.rs crates/workloads/src/attack.rs crates/workloads/src/fft.rs crates/workloads/src/mica.rs crates/workloads/src/mix.rs crates/workloads/src/pagerank.rs crates/workloads/src/radix.rs crates/workloads/src/record.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/synth.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libtwice_workloads-710929ce7e762555.rmeta: crates/workloads/src/lib.rs crates/workloads/src/attack.rs crates/workloads/src/fft.rs crates/workloads/src/mica.rs crates/workloads/src/mix.rs crates/workloads/src/pagerank.rs crates/workloads/src/radix.rs crates/workloads/src/record.rs crates/workloads/src/spec.rs crates/workloads/src/stats.rs crates/workloads/src/synth.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/attack.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/mica.rs:
+crates/workloads/src/mix.rs:
+crates/workloads/src/pagerank.rs:
+crates/workloads/src/radix.rs:
+crates/workloads/src/record.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/stats.rs:
+crates/workloads/src/synth.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rowhammer_attack-2290703222b6ffc8.d: examples/rowhammer_attack.rs
+
+/root/repo/target/release/examples/rowhammer_attack-2290703222b6ffc8: examples/rowhammer_attack.rs
+
+examples/rowhammer_attack.rs:

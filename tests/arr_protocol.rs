@@ -1,10 +1,12 @@
 //! Integration tests for the §5.2 ARR/nack protocol between the memory
 //! controller and the RCD.
 
-use twice_repro::common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Span, Time};
+use twice_repro::common::{
+    BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Span, Time,
+};
 use twice_repro::dram::cmd::DramCommand;
 use twice_repro::dram::device::{DramRank, RankConfig};
-use twice_repro::dram::rcd::{Rcd, RcdOutcome};
+use twice_repro::dram::rcd::{NackReason, Rcd, RcdOutcome};
 
 /// A defense that flags a fixed row as an aggressor on its first ACT.
 struct FlagOnce {
@@ -20,7 +22,12 @@ impl RowHammerDefense for FlagOnce {
         if row == self.row && !self.fired {
             self.fired = true;
             DefenseResponse {
-                detection: Some(Detection { bank, row, at: now, act_count: 1 }),
+                detection: Some(Detection {
+                    bank,
+                    row,
+                    at: now,
+                    act_count: 1,
+                }),
                 ..DefenseResponse::arr(row)
             }
         } else {
@@ -44,8 +51,15 @@ fn timing_rejected_pre_still_converts_to_arr_on_resend() {
     // rejected by the device; the MC resends it later and the conversion
     // must still happen.
     let mut rcd = rcd_with_flag(RowId(9));
-    rcd.issue(0, DramCommand::Activate { bank: 0, row: RowId(9) }, t(0))
-        .unwrap();
+    rcd.issue(
+        0,
+        DramCommand::Activate {
+            bank: 0,
+            row: RowId(9),
+        },
+        t(0),
+    )
+    .unwrap();
     // tRAS = 31 ns: this PRE is illegal and must error without consuming
     // the pending ARR.
     assert!(rcd
@@ -61,21 +75,43 @@ fn timing_rejected_pre_still_converts_to_arr_on_resend() {
 #[test]
 fn nacked_commands_succeed_when_resent_at_retry_time() {
     let mut rcd = rcd_with_flag(RowId(9));
-    rcd.issue(0, DramCommand::Activate { bank: 0, row: RowId(9) }, t(0))
-        .unwrap();
+    rcd.issue(
+        0,
+        DramCommand::Activate {
+            bank: 0,
+            row: RowId(9),
+        },
+        t(0),
+    )
+    .unwrap();
     rcd.issue(0, DramCommand::Precharge { bank: 0 }, t(31))
         .unwrap(); // becomes ARR, busy 104 ns
-    // An ACT to a different bank is nacked during the ARR (tFAW safety).
+                   // An ACT to a different bank is nacked during the ARR (tFAW safety).
     let out = rcd
-        .issue(0, DramCommand::Activate { bank: 2, row: RowId(1) }, t(50))
+        .issue(
+            0,
+            DramCommand::Activate {
+                bank: 2,
+                row: RowId(1),
+            },
+            t(50),
+        )
         .unwrap();
-    let RcdOutcome::Nack { retry_at } = out else {
+    let RcdOutcome::Nack { retry_at, reason } = out else {
         panic!("expected a nack, got {out:?}");
     };
     assert_eq!(retry_at, t(135));
+    assert_eq!(reason, NackReason::ArrInProgress);
     assert_eq!(
-        rcd.issue(0, DramCommand::Activate { bank: 2, row: RowId(1) }, retry_at)
-            .unwrap(),
+        rcd.issue(
+            0,
+            DramCommand::Activate {
+                bank: 2,
+                row: RowId(1)
+            },
+            retry_at
+        )
+        .unwrap(),
         RcdOutcome::Accepted
     );
     assert_eq!(rcd.nacks(), 1);
@@ -86,17 +122,34 @@ fn non_act_commands_to_other_banks_proceed_during_arr() {
     // Only ACTs are blocked rank-wide (tFAW accounting); column traffic
     // to already-open rows of other banks flows.
     let mut rcd = rcd_with_flag(RowId(9));
-    rcd.issue(0, DramCommand::Activate { bank: 1, row: RowId(4) }, t(0))
-        .unwrap();
+    rcd.issue(
+        0,
+        DramCommand::Activate {
+            bank: 1,
+            row: RowId(4),
+        },
+        t(0),
+    )
+    .unwrap();
     // Banks 0 and 1 share a bank group: tRRD_L (6 ns) applies.
-    rcd.issue(0, DramCommand::Activate { bank: 0, row: RowId(9) }, t(6))
-        .unwrap();
+    rcd.issue(
+        0,
+        DramCommand::Activate {
+            bank: 0,
+            row: RowId(9),
+        },
+        t(6),
+    )
+    .unwrap();
     rcd.issue(0, DramCommand::Precharge { bank: 0 }, t(37))
         .unwrap(); // ARR on bank 0 until t(141)
     let out = rcd
         .issue(
             0,
-            DramCommand::Read { bank: 1, col: twice_repro::common::ColId(0) },
+            DramCommand::Read {
+                bank: 1,
+                col: twice_repro::common::ColId(0),
+            },
             t(45),
         )
         .unwrap();
@@ -118,17 +171,29 @@ fn arr_victims_are_resolved_through_the_remap_table() {
     let expected: Vec<RowId> = rank.physical_neighbors(0, remapped).into_iter().collect();
     let mut rcd = Rcd::new(
         vec![rank],
-        Box::new(FlagOnce { row: remapped, fired: false }),
+        Box::new(FlagOnce {
+            row: remapped,
+            fired: false,
+        }),
         0,
     );
-    rcd.issue(0, DramCommand::Activate { bank: 0, row: remapped }, t(0))
-        .unwrap();
+    rcd.issue(
+        0,
+        DramCommand::Activate {
+            bank: 0,
+            row: remapped,
+        },
+        t(0),
+    )
+    .unwrap();
     let out = rcd
         .issue(0, DramCommand::Precharge { bank: 0 }, t(31))
         .unwrap();
     assert_eq!(
         out,
-        RcdOutcome::ArrPerformed { victims: expected.len() as u32 }
+        RcdOutcome::ArrPerformed {
+            victims: expected.len() as u32
+        }
     );
     // The physical victims were restored (disturbance cleared).
     for v in expected {
@@ -139,8 +204,15 @@ fn arr_victims_are_resolved_through_the_remap_table() {
 #[test]
 fn detections_surface_through_the_rcd() {
     let mut rcd = rcd_with_flag(RowId(42));
-    rcd.issue(0, DramCommand::Activate { bank: 3, row: RowId(42) }, t(0))
-        .unwrap();
+    rcd.issue(
+        0,
+        DramCommand::Activate {
+            bank: 3,
+            row: RowId(42),
+        },
+        t(0),
+    )
+    .unwrap();
     assert_eq!(rcd.detections().len(), 1);
     let d = rcd.detections()[0];
     assert_eq!(d.row, RowId(42));
@@ -151,8 +223,15 @@ fn detections_surface_through_the_rcd() {
 fn forced_refresh_catchup_keeps_fault_model_current() {
     let mut rcd = rcd_with_flag(RowId(0));
     // Disturb row 0 via its neighbor.
-    rcd.issue(0, DramCommand::Activate { bank: 0, row: RowId(1) }, t(0))
-        .unwrap();
+    rcd.issue(
+        0,
+        DramCommand::Activate {
+            bank: 0,
+            row: RowId(1),
+        },
+        t(0),
+    )
+    .unwrap();
     assert_eq!(rcd.ranks()[0].disturbance_of(0, RowId(0)), 1);
     // The cursor's first rowset covers row 0 (256 rows, 8192 sets -> one
     // row per REF).

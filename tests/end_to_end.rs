@@ -55,7 +55,7 @@ fn refreshes_cover_the_window_schedule() {
     let cfg = cfg();
     let mut sys = System::new(&cfg, DefenseKind::None);
     let trace = S1Random::new(&cfg.topology, 1).take_requests(30_000);
-    sys.run(trace);
+    sys.run(trace).expect("fault-free run");
     let ctrl = &sys.controllers()[0];
     let refs: u64 = ctrl.rank_stats().map(|s| s.refreshes).sum();
     let banks = u64::from(cfg.topology.banks_per_channel());
@@ -78,11 +78,14 @@ fn energy_accounting_is_consistent() {
 #[test]
 fn detections_carry_accurate_coordinates() {
     let cfg = cfg();
-    let mut sys = System::new(&cfg, DefenseKind::Twice(TableOrganization::FullyAssociative));
+    let mut sys = System::new(
+        &cfg,
+        DefenseKind::Twice(TableOrganization::FullyAssociative),
+    );
     let topo = cfg.topology.clone();
     let s3 = twice_repro::workloads::synth::S3SingleRowHammer::new(&topo, cfg.seed);
     let target = s3.target();
-    sys.run(s3.take_requests(20_000));
+    sys.run(s3.take_requests(20_000)).expect("fault-free run");
     let detections = sys.controllers()[0].detections();
     assert!(!detections.is_empty());
     for d in detections {

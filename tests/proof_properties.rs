@@ -1,9 +1,10 @@
 //! Property-based tests of the §4.3 proof obligations.
 //!
-//! The paper's guarantee rests on three claims, here checked with
-//! proptest over arbitrary activation streams that respect the physical
-//! per-PI activation budget (`maxact` ACTs between prunes — enforced by
-//! DDR timing in the real system):
+//! The paper's guarantee rests on three claims, here checked over random
+//! activation streams (seeded in-tree `SplitMix64`; the proptest crate is
+//! unavailable offline) that respect the physical per-PI activation
+//! budget (`maxact` ACTs between prunes — enforced by DDR timing in the
+//! real system):
 //!
 //! 1. **No false negatives** (Eq. 1 + 2): any row that accumulates
 //!    `2·thRH` activations within a window is ARR'd before that point.
@@ -12,7 +13,7 @@
 //! 3. **Organization equivalence** (§6): fa-TWiCe, pa-TWiCe, and the
 //!    split table make identical decisions on identical streams.
 
-use proptest::prelude::*;
+use twice_repro::common::rng::SplitMix64;
 use twice_repro::common::{BankId, RowHammerDefense, RowId, Time};
 use twice_repro::core::{CapacityBound, TableOrganization, TwiceEngine, TwiceParams};
 
@@ -25,23 +26,24 @@ enum Step {
     ActHot,
 }
 
-fn steps() -> impl Strategy<Value = Vec<Step>> {
-    proptest::collection::vec(
-        prop_oneof![
-            3 => any::<u8>().prop_map(Step::Act),
-            2 => Just(Step::ActHot),
-        ],
-        0..6_000,
-    )
+fn steps(seed: u64) -> Vec<Step> {
+    let mut rng = SplitMix64::new(seed);
+    let n = rng.next_below(6_000) as usize;
+    (0..n)
+        .map(|_| {
+            if rng.next_below(5) < 3 {
+                Step::Act(rng.next_u64() as u8)
+            } else {
+                Step::ActHot
+            }
+        })
+        .collect()
 }
 
 /// Drives an engine with the stream, pruning every `maxact` ACTs as the
 /// auto-refresh machinery would, and returns per-row ARR counts plus a
 /// shadow exact count of ACTs since each row's last ARR/window reset.
-fn drive(
-    engine: &mut TwiceEngine,
-    stream: &[Step],
-) -> (std::collections::HashMap<u32, u64>, bool) {
+fn drive(engine: &mut TwiceEngine, stream: &[Step]) -> (std::collections::HashMap<u32, u64>, bool) {
     let params = engine.params().clone();
     let max_act = params.max_act();
     let max_life = params.max_life();
@@ -82,29 +84,34 @@ fn drive(
     (arrs, violated)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn no_row_accumulates_two_th_rh_without_an_arr(stream in steps()) {
+#[test]
+fn no_row_accumulates_two_th_rh_without_an_arr() {
+    for seed in 0..CASES {
         let params = TwiceParams::fast_test();
         let mut engine = TwiceEngine::new(params, 1);
-        let (_, violated) = drive(&mut engine, &stream);
-        prop_assert!(!violated, "a row exceeded 2*thRH unrefreshed");
+        let (_, violated) = drive(&mut engine, &steps(seed));
+        assert!(!violated, "a row exceeded 2*thRH unrefreshed (seed {seed})");
     }
+}
 
-    #[test]
-    fn occupancy_never_exceeds_the_capacity_bound(stream in steps()) {
+#[test]
+fn occupancy_never_exceeds_the_capacity_bound() {
+    for seed in 0..CASES {
         let params = TwiceParams::fast_test();
         let bound = CapacityBound::for_params(&params);
         let mut engine = TwiceEngine::new(params, 1);
-        drive(&mut engine, &stream);
-        prop_assert!(engine.max_occupancy_any() <= bound.total());
-        prop_assert_eq!(engine.stats().table_full_events, 0);
+        drive(&mut engine, &steps(seed ^ 0xAAAA));
+        assert!(engine.max_occupancy_any() <= bound.total());
+        assert_eq!(engine.stats().table_full_events, 0);
     }
+}
 
-    #[test]
-    fn organizations_are_decision_equivalent(stream in steps()) {
+#[test]
+fn organizations_are_decision_equivalent() {
+    for seed in 0..CASES {
+        let stream = steps(seed ^ 0xBBBB);
         let params = TwiceParams::fast_test();
         let mut engines: Vec<TwiceEngine> = [
             TableOrganization::FullyAssociative,
@@ -118,16 +125,20 @@ proptest! {
         for engine in &mut engines {
             results.push(drive(engine, &stream).0);
         }
-        prop_assert_eq!(&results[0], &results[1], "fa vs pa diverged");
-        prop_assert_eq!(&results[0], &results[2], "fa vs split diverged");
+        assert_eq!(results[0], results[1], "fa vs pa diverged (seed {seed})");
+        assert_eq!(results[0], results[2], "fa vs split diverged (seed {seed})");
         let arrs: Vec<u64> = engines.iter().map(|e| e.stats().arrs).collect();
-        prop_assert!(arrs.iter().all(|&a| a == arrs[0]));
+        assert!(arrs.iter().all(|&a| a == arrs[0]));
     }
+}
 
-    #[test]
-    fn hot_row_is_always_arred_at_th_rh_when_hammered_solidly(extra in 0u64..200) {
-        // Deterministic corner: an uninterrupted hammer is detected at
-        // exactly thRH no matter how many trailing ACTs follow.
+#[test]
+fn hot_row_is_always_arred_at_th_rh_when_hammered_solidly() {
+    // Deterministic corner: an uninterrupted hammer is detected at
+    // exactly thRH no matter how many trailing ACTs follow.
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for _ in 0..32 {
+        let extra = rng.next_below(200);
         let params = TwiceParams::fast_test();
         let th_rh = params.th_rh;
         let mut engine = TwiceEngine::new(params.clone(), 1);
@@ -138,7 +149,7 @@ proptest! {
             let r = engine.on_activate(BankId(0), RowId(3), Time::ZERO);
             if r.detection.is_some() {
                 detections += 1;
-                prop_assert!((i + 1) % th_rh == 0, "detected off-threshold at {}", i + 1);
+                assert!((i + 1) % th_rh == 0, "detected off-threshold at {}", i + 1);
             }
             acts_this_pi += 1;
             if acts_this_pi >= params.max_act() {
@@ -146,7 +157,7 @@ proptest! {
                 engine.on_auto_refresh(BankId(0), Time::ZERO);
             }
         }
-        prop_assert_eq!(detections, total / th_rh);
+        assert_eq!(detections, total / th_rh);
     }
 }
 

@@ -99,7 +99,12 @@ fn counter_baselines_also_protect_against_s3() {
     }
     // CBT's group refreshes cost far more per detection than TWiCe's
     // two-row ARRs (the Figure 7b shape).
-    let cbt = confront(&cfg(), WorkloadKind::S3, DefenseKind::Cbt { counters: 64 }, REQUESTS);
+    let cbt = confront(
+        &cfg(),
+        WorkloadKind::S3,
+        DefenseKind::Cbt { counters: 64 },
+        REQUESTS,
+    );
     let twice = confront(
         &cfg(),
         WorkloadKind::S3,
@@ -128,7 +133,12 @@ fn remapped_aggressor_defeats_mc_side_defense_but_not_arr() {
     let attack = WorkloadKind::Attack(HammerShape::SingleSided { aggressor });
 
     // MC-side CRA counts perfectly but refreshes logical neighbors.
-    let cra = run(&cfg, attack.clone(), DefenseKind::Cra { cache_entries: 512 }, REQUESTS);
+    let cra = run(
+        &cfg,
+        attack.clone(),
+        DefenseKind::Cra { cache_entries: 512 },
+        REQUESTS,
+    );
     assert!(
         cra.bit_flips > 0,
         "logical-neighbor refreshes must miss the physical victims"
@@ -158,7 +168,10 @@ fn trr_catches_single_aggressors_but_rotation_slips_past_it() {
 
     // Single aggressor: TRR works.
     let single = confront(&cfg, WorkloadKind::S3, trr, REQUESTS);
-    assert!(single.defense_holds(), "TRR must stop a single-sided hammer");
+    assert!(
+        single.defense_holds(),
+        "TRR must stop a single-sided hammer"
+    );
 
     // Four spread aggressors vs a 2-entry tracker: TRR loses...
     let aggressors: Vec<RowId> = (0..4).map(|i| RowId(200 + i * 10)).collect();
@@ -248,6 +261,11 @@ fn auto_refresh_alone_cannot_stop_a_hammer() {
 fn probabilistic_para_reduces_but_does_not_guarantee() {
     // With a generous p, PARA usually protects; the point here is only
     // that it never *detects* — the paper's qualitative distinction.
-    let m = run(&cfg(), WorkloadKind::S3, DefenseKind::Para { p: 0.05 }, REQUESTS);
+    let m = run(
+        &cfg(),
+        WorkloadKind::S3,
+        DefenseKind::Para { p: 0.05 },
+        REQUESTS,
+    );
     assert_eq!(m.detections, 0, "PARA must be attack-oblivious");
 }
