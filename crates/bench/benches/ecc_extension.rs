@@ -12,8 +12,10 @@ fn main() {
     let cfg = SimConfig::fast_test();
     let (table, runs) = ecc_experiment(&cfg, 60_000);
     print_experiment("E3: ECC vs sustained hammer", &table);
-    assert!(runs[0].uncorrectable + runs[0].silent > 0);
-    assert_eq!(runs[1].corrupted_rows, 0);
+    let unprotected = runs[0].value().expect("undefended run");
+    let twice = runs[1].value().expect("TWiCe run");
+    assert!(unprotected.uncorrectable + unprotected.silent > 0);
+    assert_eq!(twice.corrupted_rows, 0);
 
     let mut c = Criterion::default().configure_from_args();
     c.bench_function("ecc/encode", |b| {

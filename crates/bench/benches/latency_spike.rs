@@ -24,6 +24,7 @@ fn main() {
         result
             .runs
             .iter()
+            .filter_map(|cell| cell.value())
             .filter(|m| m.defense.contains(defense))
             .map(|m| m.latency_max)
             .max()

@@ -16,6 +16,7 @@ fn main() {
     print_experiment("Table 1: defense comparison (measured)", &table);
     assert!(rows
         .iter()
+        .filter_map(|cell| cell.value())
         .any(|r| r.defense.contains("TWiCe") && r.detects));
 
     // Kernel: the per-ACT cost of each defense's bookkeeping.

@@ -150,6 +150,44 @@ impl DefenseStats {
             self.additional_acts() as f64 / self.acts_observed as f64
         }
     }
+
+    fn fields(&self) -> [u64; 6] {
+        [
+            self.acts_observed,
+            self.arr_issued,
+            self.arr_rows_refreshed,
+            self.explicit_rows_refreshed,
+            self.metadata_acts,
+            self.detections,
+        ]
+    }
+}
+
+impl crate::snapshot::Snapshot for DefenseStats {
+    fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        for v in self.fields() {
+            w.put_u64(v);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.acts_observed = r.take_u64()?;
+        self.arr_issued = r.take_u64()?;
+        self.arr_rows_refreshed = r.take_u64()?;
+        self.explicit_rows_refreshed = r.take_u64()?;
+        self.metadata_acts = r.take_u64()?;
+        self.detections = r.take_u64()?;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut crate::snapshot::StateDigest) {
+        for v in self.fields() {
+            d.write_u64(v);
+        }
+    }
 }
 
 /// A row-hammer protection scheme observing the activation stream.
@@ -234,6 +272,32 @@ pub trait RowHammerDefense {
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {
         let _ = bank;
         None
+    }
+
+    /// Serializes the defense's mutable state for a checkpoint.
+    ///
+    /// The counterpart of [`crate::snapshot::Snapshot::save_state`], kept
+    /// directly on this trait so `Box<dyn RowHammerDefense>` can be
+    /// checkpointed without a second trait object. Defaults to writing
+    /// nothing, which is correct for stateless defenses and test doubles.
+    fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        let _ = w;
+    }
+
+    /// Re-establishes state saved by [`RowHammerDefense::save_state`] into
+    /// a defense freshly constructed from the same configuration.
+    fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
+
+    /// Folds the defense's mutable state into a run digest. Stateless
+    /// defenses contribute nothing.
+    fn digest_state(&self, d: &mut crate::snapshot::StateDigest) {
+        let _ = d;
     }
 }
 

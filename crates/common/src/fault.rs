@@ -281,6 +281,38 @@ impl FaultInjector {
     }
 }
 
+impl crate::snapshot::Snapshot for FaultInjector {
+    fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        // The plan is configuration (re-established by the caller); only
+        // the stream position and tallies are run-time state.
+        w.put_u64(self.rng.state());
+        for i in 0..KINDS {
+            w.put_u64(self.opportunities[i]);
+            w.put_u64(self.injected[i]);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.rng.set_state(r.take_u64()?);
+        for i in 0..KINDS {
+            self.opportunities[i] = r.take_u64()?;
+            self.injected[i] = r.take_u64()?;
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut crate::snapshot::StateDigest) {
+        d.write_u64(self.rng.state());
+        for i in 0..KINDS {
+            d.write_u64(self.opportunities[i]);
+            d.write_u64(self.injected[i]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,7 @@ pub mod error;
 pub mod fault;
 pub mod ids;
 pub mod rng;
+pub mod snapshot;
 pub mod time;
 pub mod timing;
 pub mod topology;
@@ -35,6 +36,7 @@ pub use defense::{DefenseResponse, DefenseStats, Detection, RowHammerDefense};
 pub use error::ConfigError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultTargeting};
 pub use ids::{BankId, ChannelId, ColId, DeviceId, RankId, RowId};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 pub use time::{Span, Time};
 pub use timing::DdrTimings;
 pub use topology::Topology;

@@ -73,6 +73,36 @@ impl SplitMix64 {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
         self.next_f64() < p
     }
+
+    /// The raw generator state (for snapshots).
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Re-establishes a previously captured generator state.
+    #[inline]
+    pub fn set_state(&mut self, state: u64) {
+        self.state = state;
+    }
+}
+
+impl crate::snapshot::Snapshot for SplitMix64 {
+    fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.state);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.state = r.take_u64()?;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut crate::snapshot::StateDigest) {
+        d.write_u64(self.state);
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! cost of a spurious refresh.
 
 use crate::bound::CapacityBound;
+use crate::entry::TableEntry;
 use crate::fa::FaTwice;
 use crate::pa::PaTwice;
 use crate::params::TwiceParams;
@@ -23,6 +24,9 @@ use crate::split::SplitTwice;
 use crate::table::{CounterTable, RecordOutcome};
 use std::fmt;
 use twice_common::fault::{FaultInjector, FaultKind, FaultPlan, FaultTargeting};
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
 
 /// Asserts a runtime invariant, compiled in only under the
@@ -195,10 +199,16 @@ impl TwiceEngine {
     /// upset landed in a valid entry.
     fn inject_seu(&mut self, bank: BankId) -> bool {
         let table = &mut self.tables[bank.index()];
-        let entries = table.entries();
+        let mut entries = table.entries();
         if entries.is_empty() {
             return false; // upset landed in an invalid slot
         }
+        // Canonical order: entry order out of the table is a placement
+        // artifact (fa/pa/split lay the same set out differently, and a
+        // snapshot restore repacks slots), so victim selection must not
+        // depend on it or replay would diverge across organizations and
+        // across restores.
+        entries.sort_unstable_by_key(|e| e.row);
         let (victim, bit) = match self.injector.targeting() {
             FaultTargeting::Hottest => {
                 let hottest = entries
@@ -401,6 +411,117 @@ impl RowHammerDefense for TwiceEngine {
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {
         Some(self.tables[bank.index()].occupancy())
     }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.stats.acts);
+        w.put_u64(self.stats.arrs);
+        w.put_u64(self.stats.table_full_events);
+        w.put_u64(self.stats.prunes);
+        w.put_u64(self.stats.corruption_events);
+        w.put_u64(self.stats.seu_injected);
+        w.put_usize(self.max_occupancy.len());
+        for &m in &self.max_occupancy {
+            w.put_usize(m);
+        }
+        self.injector.save_state(w);
+        w.put_usize(self.tables.len());
+        for t in &self.tables {
+            // Sorted so the blob is placement-independent: fa/pa/split lay
+            // identical entry sets out differently.
+            let mut entries = t.entries();
+            entries.sort_unstable_by_key(|e| e.row);
+            w.put_usize(entries.len());
+            for e in &entries {
+                w.put_u32(e.row.0);
+                w.put_u64(e.act_cnt);
+                w.put_u64(e.life);
+            }
+            let corrupted = t.corrupted_rows();
+            w.put_usize(corrupted.len());
+            for r in corrupted {
+                w.put_u32(r.0);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.stats = EngineStats {
+            acts: r.take_u64()?,
+            arrs: r.take_u64()?,
+            table_full_events: r.take_u64()?,
+            prunes: r.take_u64()?,
+            corruption_events: r.take_u64()?,
+            seu_injected: r.take_u64()?,
+        };
+        let banks = r.take_usize()?;
+        if banks != self.max_occupancy.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "engine has {} banks, snapshot has {banks}",
+                self.max_occupancy.len()
+            )));
+        }
+        for m in &mut self.max_occupancy {
+            *m = r.take_usize()?;
+        }
+        self.injector.load_state(r)?;
+        let tables = r.take_usize()?;
+        if tables != self.tables.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "engine has {} tables, snapshot has {tables}",
+                self.tables.len()
+            )));
+        }
+        for t in &mut self.tables {
+            t.clear();
+            let n = r.take_usize()?;
+            for _ in 0..n {
+                let entry = TableEntry {
+                    row: RowId(r.take_u32()?),
+                    act_cnt: r.take_u64()?,
+                    life: r.take_u64()?,
+                };
+                if !t.insert_entry(entry) {
+                    return Err(SnapshotError::StateMismatch(format!(
+                        "no slot for restored entry of row {}",
+                        entry.row.0
+                    )));
+                }
+            }
+            let n = r.take_usize()?;
+            for _ in 0..n {
+                t.mark_corrupted(RowId(r.take_u32()?));
+            }
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.stats.acts);
+        d.write_u64(self.stats.arrs);
+        d.write_u64(self.stats.table_full_events);
+        d.write_u64(self.stats.prunes);
+        d.write_u64(self.stats.corruption_events);
+        d.write_u64(self.stats.seu_injected);
+        for &m in &self.max_occupancy {
+            d.write_usize(m);
+        }
+        self.injector.digest_state(d);
+        for t in &self.tables {
+            let mut entries = t.entries();
+            entries.sort_unstable_by_key(|e| e.row);
+            d.write_usize(entries.len());
+            for e in &entries {
+                d.write_u32(e.row.0);
+                d.write_u64(e.act_cnt);
+                d.write_u64(e.life);
+            }
+            let corrupted = t.corrupted_rows();
+            d.write_usize(corrupted.len());
+            for r in corrupted {
+                d.write_u32(r.0);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -542,6 +663,77 @@ mod tests {
     fn engine_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<TwiceEngine>();
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_behavior_for_every_organization() {
+        use twice_common::rng::SplitMix64;
+        for org in ALL_ORGS {
+            // Drive an engine into a non-trivial mid-run state, with some
+            // injected corruption pending scrub.
+            let plan = FaultPlan::with_seed(5).rate(FaultKind::CounterBitFlip, 0.02);
+            let mut original = TwiceEngine::with_organization(TwiceParams::fast_test(), 2, org)
+                .with_fault_plan(&plan, 0xE0);
+            let mut rng = SplitMix64::new(77);
+            for step in 0..5_000u64 {
+                let bank = BankId(rng.next_below(2) as u32);
+                let row = RowId(rng.next_below(25) as u32);
+                original.on_activate(bank, row, Time::ZERO);
+                if step % 400 == 399 {
+                    original.on_auto_refresh(bank, Time::ZERO);
+                }
+            }
+
+            // Save, restore into a freshly built engine, compare digests.
+            let mut w = SnapshotWriter::new();
+            RowHammerDefense::save_state(&original, &mut w);
+            let blob = w.finish();
+            let mut restored = TwiceEngine::with_organization(TwiceParams::fast_test(), 2, org)
+                .with_fault_plan(&plan, 0xE0);
+            let mut r = SnapshotReader::new(&blob).expect("valid blob");
+            RowHammerDefense::load_state(&mut restored, &mut r).expect("restore");
+
+            let digest = |e: &TwiceEngine| {
+                let mut d = StateDigest::new();
+                RowHammerDefense::digest_state(e, &mut d);
+                d.finish()
+            };
+            assert_eq!(digest(&original), digest(&restored), "{org:?}");
+
+            // And the two engines stay in lockstep afterwards.
+            for step in 0..2_000u64 {
+                let bank = BankId(rng.next_below(2) as u32);
+                let row = RowId(rng.next_below(25) as u32);
+                let a = original.on_activate(bank, row, Time::ZERO);
+                let b = restored.on_activate(bank, row, Time::ZERO);
+                assert_eq!(a, b, "{org:?} diverged at post-restore step {step}");
+                if step % 300 == 299 {
+                    let a = original.on_auto_refresh(bank, Time::ZERO);
+                    let b = restored.on_auto_refresh(bank, Time::ZERO);
+                    assert_eq!(a, b, "{org:?} prune diverged at step {step}");
+                }
+            }
+            assert_eq!(digest(&original), digest(&restored), "{org:?} final");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_geometry() {
+        let original = engine(TableOrganization::FullyAssociative);
+        let mut w = SnapshotWriter::new();
+        RowHammerDefense::save_state(&original, &mut w);
+        let blob = w.finish();
+        // One bank instead of two: the restore must refuse.
+        let mut other = TwiceEngine::with_organization(
+            TwiceParams::fast_test(),
+            1,
+            TableOrganization::FullyAssociative,
+        );
+        let mut r = SnapshotReader::new(&blob).expect("valid blob");
+        assert!(matches!(
+            RowHammerDefense::load_state(&mut other, &mut r),
+            Err(SnapshotError::StateMismatch(_))
+        ));
     }
 
     #[test]

@@ -169,6 +169,30 @@ impl CounterTable for FaTwice {
         }
         rows
     }
+
+    fn insert_entry(&mut self, entry: TableEntry) -> bool {
+        if self.index.contains_key(&entry.row.0) {
+            return false;
+        }
+        let Some(slot) = self.free.pop() else {
+            return false;
+        };
+        self.slots[slot] = Some(entry);
+        self.index.insert(entry.row.0, slot);
+        true
+    }
+
+    fn corrupted_rows(&self) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = self.mismatch.iter().map(|&r| RowId(r)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn mark_corrupted(&mut self, row: RowId) {
+        if self.index.contains_key(&row.0) {
+            self.mismatch.insert(row.0);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -281,6 +281,40 @@ impl CounterTable for PaTwice {
         }
         rows
     }
+
+    fn insert_entry(&mut self, entry: TableEntry) -> bool {
+        if self.get(entry.row).is_some() {
+            return false;
+        }
+        let pref = self.preferred_set(entry.row);
+        if let Some(w) = self.free_way(pref) {
+            self.sets[pref][w] = Some(entry);
+            return true;
+        }
+        for s in 0..self.sets.len() {
+            if s == pref {
+                continue;
+            }
+            if let Some(w) = self.free_way(s) {
+                self.sets[s][w] = Some(entry);
+                self.sb[s][pref] += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn corrupted_rows(&self) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = self.mismatch.iter().map(|&r| RowId(r)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn mark_corrupted(&mut self, row: RowId) {
+        if self.get(row).is_some() {
+            self.mismatch.insert(row.0);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -284,6 +284,48 @@ impl CounterTable for SplitTwice {
         }
         rows
     }
+
+    fn insert_entry(&mut self, entry: TableEntry) -> bool {
+        if self.index.contains_key(&entry.row.0) {
+            return false;
+        }
+        // Proven entries (aged, or counting past the short width) belong
+        // in the long sub-table; fresh ones go short, spilling when full —
+        // the same placement record_act/promote would have produced.
+        let needs_long = entry.life > 1 || entry.act_cnt >= self.th_pi;
+        let (first, second) = if needs_long {
+            (Loc::Long(0), Loc::Short(0))
+        } else {
+            (Loc::Short(0), Loc::Long(0))
+        };
+        for choice in [first, second] {
+            let slot = match choice {
+                Loc::Short(_) => self.short_free.pop().map(Loc::Short),
+                Loc::Long(_) => self.long_free.pop().map(Loc::Long),
+            };
+            if let Some(loc) = slot {
+                match loc {
+                    Loc::Short(i) => self.short[i] = Some(entry),
+                    Loc::Long(i) => self.long[i] = Some(entry),
+                }
+                self.index.insert(entry.row.0, loc);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn corrupted_rows(&self) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = self.mismatch.iter().map(|&r| RowId(r)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn mark_corrupted(&mut self, row: RowId) {
+        if self.index.contains_key(&row.0) {
+            self.mismatch.insert(row.0);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,31 @@ pub trait CounterTable {
     fn scrub(&mut self) -> Vec<RowId> {
         Vec::new()
     }
+
+    /// Restores one exact entry (the snapshot-restore path): the entry is
+    /// placed verbatim, count and life included, without the insertion
+    /// being observable in operation counters. Returns `false` when no
+    /// slot could be found (a snapshot/capacity mismatch). Defaults to
+    /// `false` for models without restore support.
+    fn insert_entry(&mut self, entry: TableEntry) -> bool {
+        let _ = entry;
+        false
+    }
+
+    /// Rows whose stored parity currently disagrees with their contents
+    /// (pending, not-yet-scrubbed corruption). Snapshots carry this set so
+    /// a restored table fails parity on exactly the same rows the saved
+    /// one would have. Defaults to empty for models without a parity
+    /// column.
+    fn corrupted_rows(&self) -> Vec<RowId> {
+        Vec::new()
+    }
+
+    /// Marks `row`'s entry as parity-mismatched (the restore counterpart
+    /// of [`CounterTable::corrupted_rows`]). Defaults to a no-op.
+    fn mark_corrupted(&mut self, row: RowId) {
+        let _ = row;
+    }
 }
 
 #[cfg(test)]

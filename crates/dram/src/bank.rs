@@ -7,6 +7,9 @@
 //! capacity bound is only sound if the ACT stream really respects `tRC`.
 
 use crate::error::{DramError, TimingKind, TimingViolation};
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::{DdrTimings, RowId, Span, Time};
 
 /// The row-state of a bank.
@@ -262,6 +265,90 @@ impl Bank {
     /// Duration an ARR refreshing `victims` rows occupies the bank.
     pub fn arr_duration_for(timings: &DdrTimings, victims: u32) -> Span {
         timings.t_rc * u64::from(victims.max(1)) + timings.t_rp
+    }
+}
+
+impl Snapshot for Bank {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        match self.state {
+            BankState::Precharged => {
+                w.put_bool(false);
+                w.put_u32(0);
+            }
+            BankState::Active { row } => {
+                w.put_bool(true);
+                w.put_u32(row.0);
+            }
+        }
+        w.put_bool(self.last_act.is_some());
+        w.put_u64(self.last_act.map_or(0, Time::as_ps));
+        w.put_u64(self.ready_at.as_ps());
+        w.put_u8(self.ready_kind.code());
+        w.put_u64(self.col_ready_at.as_ps());
+        let (tag, until) = match self.occupancy {
+            Occupancy::Free => (0u8, Time::ZERO),
+            Occupancy::Refreshing(t) => (1, t),
+            Occupancy::ArrInProgress(t) => (2, t),
+        };
+        w.put_u8(tag);
+        w.put_u64(until.as_ps());
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let active = r.take_bool()?;
+        let row = r.take_u32()?;
+        self.state = if active {
+            BankState::Active { row: RowId(row) }
+        } else {
+            BankState::Precharged
+        };
+        let has_act = r.take_bool()?;
+        let act_ps = r.take_u64()?;
+        self.last_act = has_act.then(|| Time::from_ps(act_ps));
+        self.ready_at = Time::from_ps(r.take_u64()?);
+        let code = r.take_u8()?;
+        self.ready_kind = TimingKind::from_code(code).ok_or_else(|| {
+            SnapshotError::StateMismatch(format!("unknown timing-kind code {code}"))
+        })?;
+        self.col_ready_at = Time::from_ps(r.take_u64()?);
+        let tag = r.take_u8()?;
+        let until = Time::from_ps(r.take_u64()?);
+        self.occupancy = match tag {
+            0 => Occupancy::Free,
+            1 => Occupancy::Refreshing(until),
+            2 => Occupancy::ArrInProgress(until),
+            other => {
+                return Err(SnapshotError::StateMismatch(format!(
+                    "unknown occupancy tag {other}"
+                )))
+            }
+        };
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        match self.state {
+            BankState::Precharged => {
+                d.write_bool(false);
+                d.write_u32(0);
+            }
+            BankState::Active { row } => {
+                d.write_bool(true);
+                d.write_u32(row.0);
+            }
+        }
+        d.write_bool(self.last_act.is_some());
+        d.write_u64(self.last_act.map_or(0, Time::as_ps));
+        d.write_u64(self.ready_at.as_ps());
+        d.write_u8(self.ready_kind.code());
+        d.write_u64(self.col_ready_at.as_ps());
+        let (tag, until) = match self.occupancy {
+            Occupancy::Free => (0u8, Time::ZERO),
+            Occupancy::Refreshing(t) => (1, t),
+            Occupancy::ArrInProgress(t) => (2, t),
+        };
+        d.write_u8(tag);
+        d.write_u64(until.as_ps());
     }
 }
 

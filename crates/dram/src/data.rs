@@ -14,6 +14,9 @@
 
 use std::collections::HashMap;
 use twice_common::rng::SplitMix64;
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::RowId;
 
 /// Bytes per storage granule (one cache line).
@@ -192,6 +195,65 @@ impl BankData {
     /// Number of materialized granules (memory-use metric).
     pub fn touched_granules(&self) -> usize {
         self.actual.len()
+    }
+}
+
+fn sorted_granules(map: &HashMap<GranuleKey, [u8; GRANULE_BYTES]>) -> Vec<(GranuleKey, &[u8])> {
+    let mut entries: Vec<(GranuleKey, &[u8])> =
+        map.iter().map(|(&k, v)| (k, v.as_slice())).collect();
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    entries
+}
+
+fn save_granules(w: &mut SnapshotWriter, map: &HashMap<GranuleKey, [u8; GRANULE_BYTES]>) {
+    let entries = sorted_granules(map);
+    w.put_usize(entries.len());
+    for ((row, granule), bytes) in entries {
+        w.put_u32(row);
+        w.put_u32(granule);
+        w.put_bytes(bytes);
+    }
+}
+
+fn load_granules(
+    r: &mut SnapshotReader<'_>,
+) -> Result<HashMap<GranuleKey, [u8; GRANULE_BYTES]>, SnapshotError> {
+    let n = r.take_usize()?;
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let row = r.take_u32()?;
+        let granule = r.take_u32()?;
+        let bytes = r.take_bytes()?;
+        let arr: [u8; GRANULE_BYTES] = bytes.try_into().map_err(|_| {
+            SnapshotError::StateMismatch(format!("granule of {} bytes", bytes.len()))
+        })?;
+        map.insert((row, granule), arr);
+    }
+    Ok(map)
+}
+
+impl Snapshot for BankData {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        save_granules(w, &self.actual);
+        save_granules(w, &self.shadow);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.actual = load_granules(r)?;
+        self.shadow = load_granules(r)?;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        for map in [&self.actual, &self.shadow] {
+            let entries = sorted_granules(map);
+            d.write_usize(entries.len());
+            for ((row, granule), bytes) in entries {
+                d.write_u32(row);
+                d.write_u32(granule);
+                d.write_bytes(bytes);
+            }
+        }
     }
 }
 

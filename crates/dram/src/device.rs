@@ -15,6 +15,9 @@ use crate::rank::RankActWindow;
 use crate::refresh::RefreshCursor;
 use crate::remap::{NeighborRows, RemapTable};
 use crate::stats::DramStats;
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::{DdrTimings, RowId, Time};
 
 /// Construction parameters for a [`DramRank`].
@@ -570,6 +573,77 @@ impl DramRank {
     /// Total number of bit flips recorded so far.
     pub fn bit_flip_count(&self) -> usize {
         self.hammer.iter().map(|h| h.flips().len()).sum()
+    }
+}
+
+impl Snapshot for DramRank {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        // Remap tables are fully determined by the config and need no
+        // bytes; everything else is run-time state.
+        w.put_usize(self.banks.len());
+        for bank in &self.banks {
+            bank.save_state(w);
+        }
+        self.act_window.save_state(w);
+        for h in &self.hammer {
+            h.save_state(w);
+        }
+        for c in &self.refresh {
+            c.save_state(w);
+        }
+        for d in &self.data {
+            d.save_state(w);
+        }
+        self.stats.save_state(w);
+        w.put_u64(self.flip_nonce);
+        w.put_usize(self.flips_applied);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let banks = r.take_usize()?;
+        if banks != self.banks.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "rank has {} banks, snapshot has {banks}",
+                self.banks.len()
+            )));
+        }
+        for bank in &mut self.banks {
+            bank.load_state(r)?;
+        }
+        self.act_window.load_state(r)?;
+        for h in &mut self.hammer {
+            h.load_state(r)?;
+        }
+        for c in &mut self.refresh {
+            c.load_state(r)?;
+        }
+        for d in &mut self.data {
+            d.load_state(r)?;
+        }
+        self.stats.load_state(r)?;
+        self.flip_nonce = r.take_u64()?;
+        self.flips_applied = r.take_usize()?;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_usize(self.banks.len());
+        for bank in &self.banks {
+            bank.digest_state(d);
+        }
+        self.act_window.digest_state(d);
+        for h in &self.hammer {
+            h.digest_state(d);
+        }
+        for c in &self.refresh {
+            c.digest_state(d);
+        }
+        for data in &self.data {
+            data.digest_state(d);
+        }
+        self.stats.digest_state(d);
+        d.write_u64(self.flip_nonce);
+        d.write_usize(self.flips_applied);
     }
 }
 

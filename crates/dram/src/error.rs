@@ -25,6 +25,36 @@ pub enum TimingKind {
     Arr,
 }
 
+impl TimingKind {
+    /// Stable wire code for checkpoints.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            TimingKind::Trc => 0,
+            TimingKind::Trrd => 1,
+            TimingKind::Tfaw => 2,
+            TimingKind::Trcd => 3,
+            TimingKind::Tras => 4,
+            TimingKind::Trp => 5,
+            TimingKind::Trfc => 6,
+            TimingKind::Arr => 7,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<TimingKind> {
+        Some(match code {
+            0 => TimingKind::Trc,
+            1 => TimingKind::Trrd,
+            2 => TimingKind::Tfaw,
+            3 => TimingKind::Trcd,
+            4 => TimingKind::Tras,
+            5 => TimingKind::Trp,
+            6 => TimingKind::Trfc,
+            7 => TimingKind::Arr,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for TimingKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -14,6 +14,9 @@
 //! (double-sided hammering adds up), and exceeding `N_th` always flips.
 
 use crate::remap::RemapTable;
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::{RowId, Time};
 
 /// A recorded row-hammer bit flip.
@@ -178,6 +181,108 @@ impl HammerModel {
     /// The maximum disturbance across all rows (attack-margin metric).
     pub fn max_disturbance(&self) -> u64 {
         self.disturbance.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl Snapshot for HammerModel {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.act_counter);
+        w.put_usize(self.disturbance.len());
+        // Disturbance and emitted-flip vectors are almost entirely zero;
+        // store only the non-zero rows.
+        let nonzero = |v: u64| v != 0;
+        w.put_usize(
+            self.disturbance
+                .iter()
+                .copied()
+                .filter(|&v| nonzero(v))
+                .count(),
+        );
+        for (i, &v) in self.disturbance.iter().enumerate() {
+            if v != 0 {
+                w.put_u32(i as u32);
+                w.put_u64(v);
+            }
+        }
+        w.put_usize(self.flips_emitted.iter().filter(|&&v| v != 0).count());
+        for (i, &v) in self.flips_emitted.iter().enumerate() {
+            if v != 0 {
+                w.put_u32(i as u32);
+                w.put_u32(v);
+            }
+        }
+        w.put_usize(self.flips.len());
+        for f in &self.flips {
+            w.put_u32(f.victim.0);
+            w.put_u64(f.at.as_ps());
+            w.put_u64(f.disturbance);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.act_counter = r.take_u64()?;
+        let rows = r.take_usize()?;
+        if rows != self.disturbance.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "hammer model has {} rows, snapshot has {rows}",
+                self.disturbance.len()
+            )));
+        }
+        self.disturbance.fill(0);
+        let n = r.take_usize()?;
+        for _ in 0..n {
+            let i = r.take_u32()? as usize;
+            let v = r.take_u64()?;
+            *self
+                .disturbance
+                .get_mut(i)
+                .ok_or_else(|| SnapshotError::StateMismatch(format!("row {i} out of range")))? = v;
+        }
+        self.flips_emitted.fill(0);
+        let n = r.take_usize()?;
+        for _ in 0..n {
+            let i = r.take_u32()? as usize;
+            let v = r.take_u32()?;
+            *self
+                .flips_emitted
+                .get_mut(i)
+                .ok_or_else(|| SnapshotError::StateMismatch(format!("row {i} out of range")))? = v;
+        }
+        let n = r.take_usize()?;
+        self.flips.clear();
+        for _ in 0..n {
+            let victim = RowId(r.take_u32()?);
+            let at = Time::from_ps(r.take_u64()?);
+            let disturbance = r.take_u64()?;
+            self.flips.push(BitFlip {
+                victim,
+                at,
+                disturbance,
+            });
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.act_counter);
+        for (i, &v) in self.disturbance.iter().enumerate() {
+            if v != 0 {
+                d.write_u32(i as u32);
+                d.write_u64(v);
+            }
+        }
+        for (i, &v) in self.flips_emitted.iter().enumerate() {
+            if v != 0 {
+                d.write_u32(i as u32);
+                d.write_u32(v);
+            }
+        }
+        d.write_usize(self.flips.len());
+        for f in &self.flips {
+            d.write_u32(f.victim.0);
+            d.write_u64(f.at.as_ps());
+            d.write_u64(f.disturbance);
+        }
     }
 }
 

@@ -9,6 +9,9 @@
 //! aggressors finite.
 
 use crate::error::{TimingKind, TimingViolation};
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::{DdrTimings, Time};
 
 /// Banks per DDR4 bank group.
@@ -114,6 +117,57 @@ impl RankActWindow {
             .unwrap_or(Time::ZERO);
         let faw = self.recent[0].map(|t| t + self.t_faw).unwrap_or(Time::ZERO);
         rrd_s.max(rrd_l).max(faw)
+    }
+}
+
+fn put_opt_time(w: &mut SnapshotWriter, t: Option<Time>) {
+    w.put_bool(t.is_some());
+    w.put_u64(t.map_or(0, Time::as_ps));
+}
+
+fn take_opt_time(r: &mut SnapshotReader<'_>) -> Result<Option<Time>, SnapshotError> {
+    let some = r.take_bool()?;
+    let ps = r.take_u64()?;
+    Ok(some.then(|| Time::from_ps(ps)))
+}
+
+impl Snapshot for RankActWindow {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        for t in self.recent {
+            put_opt_time(w, t);
+        }
+        w.put_usize(self.last_in_group.len());
+        for &t in &self.last_in_group {
+            put_opt_time(w, t);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        for slot in &mut self.recent {
+            *slot = take_opt_time(r)?;
+        }
+        let groups = r.take_usize()?;
+        if groups != self.last_in_group.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "ACT window has {} bank groups, snapshot has {groups}",
+                self.last_in_group.len()
+            )));
+        }
+        for slot in &mut self.last_in_group {
+            *slot = take_opt_time(r)?;
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        for t in self.recent {
+            d.write_bool(t.is_some());
+            d.write_u64(t.map_or(0, Time::as_ps));
+        }
+        for &t in &self.last_in_group {
+            d.write_bool(t.is_some());
+            d.write_u64(t.map_or(0, Time::as_ps));
+        }
     }
 }
 

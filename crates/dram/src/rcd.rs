@@ -18,6 +18,9 @@ use crate::cmd::DramCommand;
 use crate::device::DramRank;
 use crate::error::DramError;
 use twice_common::fault::{FaultInjector, FaultKind, FaultPlan};
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
 
 /// Why the RCD nacked a command.
@@ -368,6 +371,127 @@ impl Rcd {
     /// Whether an ARR is pending or in progress anywhere on `rank`.
     pub fn rank_blocked_until(&self, rank: usize) -> Time {
         self.arr_block_until[rank]
+    }
+}
+
+impl Snapshot for Rcd {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.ranks.len());
+        for rank in &self.ranks {
+            rank.save_state(w);
+        }
+        self.defense.save_state(w);
+        for per_rank in &self.pending_arr {
+            w.put_usize(per_rank.len());
+            for pending in per_rank {
+                w.put_bool(pending.is_some());
+                w.put_u32(pending.map_or(0, |r| r.0));
+            }
+        }
+        for per_rank in &self.bank_arr_until {
+            for &t in per_rank {
+                w.put_u64(t.as_ps());
+            }
+        }
+        for &t in &self.arr_block_until {
+            w.put_u64(t.as_ps());
+        }
+        w.put_usize(self.detections.len());
+        for det in &self.detections {
+            w.put_u32(det.bank.0);
+            w.put_u32(det.row.0);
+            w.put_u64(det.at.as_ps());
+            w.put_u64(det.act_count);
+        }
+        w.put_u64(self.nacks);
+        w.put_u64(self.scrub_arrs);
+        self.injector.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let ranks = r.take_usize()?;
+        if ranks != self.ranks.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "RCD has {} ranks, snapshot has {ranks}",
+                self.ranks.len()
+            )));
+        }
+        for rank in &mut self.ranks {
+            rank.load_state(r)?;
+        }
+        self.defense.load_state(r)?;
+        for per_rank in &mut self.pending_arr {
+            let banks = r.take_usize()?;
+            if banks != per_rank.len() {
+                return Err(SnapshotError::StateMismatch(format!(
+                    "RCD rank has {} banks, snapshot has {banks}",
+                    per_rank.len()
+                )));
+            }
+            for pending in per_rank.iter_mut() {
+                let some = r.take_bool()?;
+                let row = r.take_u32()?;
+                *pending = some.then_some(RowId(row));
+            }
+        }
+        for per_rank in &mut self.bank_arr_until {
+            for t in per_rank.iter_mut() {
+                *t = Time::from_ps(r.take_u64()?);
+            }
+        }
+        for t in &mut self.arr_block_until {
+            *t = Time::from_ps(r.take_u64()?);
+        }
+        let n = r.take_usize()?;
+        self.detections.clear();
+        for _ in 0..n {
+            let bank = BankId(r.take_u32()?);
+            let row = RowId(r.take_u32()?);
+            let at = Time::from_ps(r.take_u64()?);
+            let act_count = r.take_u64()?;
+            self.detections.push(Detection {
+                bank,
+                row,
+                at,
+                act_count,
+            });
+        }
+        self.nacks = r.take_u64()?;
+        self.scrub_arrs = r.take_u64()?;
+        self.injector.load_state(r)?;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_usize(self.ranks.len());
+        for rank in &self.ranks {
+            rank.digest_state(d);
+        }
+        self.defense.digest_state(d);
+        for per_rank in &self.pending_arr {
+            for pending in per_rank {
+                d.write_bool(pending.is_some());
+                d.write_u32(pending.map_or(0, |r| r.0));
+            }
+        }
+        for per_rank in &self.bank_arr_until {
+            for &t in per_rank {
+                d.write_u64(t.as_ps());
+            }
+        }
+        for &t in &self.arr_block_until {
+            d.write_u64(t.as_ps());
+        }
+        d.write_usize(self.detections.len());
+        for det in &self.detections {
+            d.write_u32(det.bank.0);
+            d.write_u32(det.row.0);
+            d.write_u64(det.at.as_ps());
+            d.write_u64(det.act_count);
+        }
+        d.write_u64(self.nacks);
+        d.write_u64(self.scrub_arrs);
+        self.injector.digest_state(d);
     }
 }
 

@@ -6,6 +6,9 @@
 //! reports the covered rows so the fault model can clear their
 //! disturbance.
 
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::RowId;
 
 /// Round-robin cursor over a bank's refresh rowsets.
@@ -65,6 +68,31 @@ impl RefreshCursor {
         let start = set * self.rows_per_set;
         let end = (start + self.rows_per_set).min(self.rows);
         (start..end).map(RowId)
+    }
+}
+
+impl Snapshot for RefreshCursor {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u32(self.next_set);
+        w.put_u64(self.completed_refs);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let next_set = r.take_u32()?;
+        if next_set >= self.num_sets {
+            return Err(SnapshotError::StateMismatch(format!(
+                "cursor set {next_set} out of {} sets",
+                self.num_sets
+            )));
+        }
+        self.next_set = next_set;
+        self.completed_refs = r.take_u64()?;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u32(self.next_set);
+        d.write_u64(self.completed_refs);
     }
 }
 

@@ -1,6 +1,9 @@
 //! Command and energy accounting for a DRAM rank.
 
 use crate::energy::DramEnergyModel;
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 
 /// Running counters for one rank.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +61,49 @@ impl DramStats {
             self.reads,
             self.writes,
         )
+    }
+
+    fn fields(&self) -> [u64; 10] {
+        [
+            self.acts,
+            self.precharges,
+            self.reads,
+            self.writes,
+            self.refreshes,
+            self.arrs,
+            self.arr_victim_acts,
+            self.explicit_refresh_acts,
+            self.nacks,
+            self.injected_nacks,
+        ]
+    }
+}
+
+impl Snapshot for DramStats {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        for v in self.fields() {
+            w.put_u64(v);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.acts = r.take_u64()?;
+        self.precharges = r.take_u64()?;
+        self.reads = r.take_u64()?;
+        self.writes = r.take_u64()?;
+        self.refreshes = r.take_u64()?;
+        self.arrs = r.take_u64()?;
+        self.arr_victim_acts = r.take_u64()?;
+        self.explicit_refresh_acts = r.take_u64()?;
+        self.nacks = r.take_u64()?;
+        self.injected_nacks = r.take_u64()?;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        for v in self.fields() {
+            d.write_u64(v);
+        }
     }
 }
 

@@ -25,8 +25,12 @@ use crate::request::{AccessKind, MemRequest};
 use crate::resilience::{ControllerError, RetryPolicy, RetryState};
 use crate::scheduler::{make_scheduler, QueuedRequest, Scheduler, SchedulerKind};
 use twice_common::fault::{FaultInjector, FaultKind, FaultPlan};
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::{
-    BankId, DdrTimings, DefenseResponse, DefenseStats, Detection, RowHammerDefense, RowId, Time,
+    BankId, ChannelId, ColId, DdrTimings, DefenseResponse, DefenseStats, Detection, RankId,
+    RowHammerDefense, RowId, Time,
 };
 use twice_dram::cmd::DramCommand;
 use twice_dram::device::{DramRank, RankConfig};
@@ -847,6 +851,230 @@ impl ChannelController {
     }
 }
 
+fn save_queued(w: &mut SnapshotWriter, q: &QueuedRequest) {
+    w.put_u64(q.id);
+    w.put_u64(q.req.addr);
+    w.put_bool(q.req.kind == AccessKind::Write);
+    w.put_u32(u32::from(q.req.source));
+    w.put_u64(q.req.arrival.as_ps());
+    w.put_u8(q.access.channel.0);
+    w.put_u8(q.access.rank.0);
+    w.put_u32(u32::from(q.access.bank));
+    w.put_u32(q.access.row.0);
+    w.put_u32(u32::from(q.access.col.0));
+}
+
+fn load_queued(r: &mut SnapshotReader<'_>) -> Result<QueuedRequest, SnapshotError> {
+    let id = r.take_u64()?;
+    let addr = r.take_u64()?;
+    let kind = if r.take_bool()? {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    };
+    let source = r.take_u32()? as u16;
+    let arrival = Time::from_ps(r.take_u64()?);
+    let channel = ChannelId(r.take_u8()?);
+    let rank = RankId(r.take_u8()?);
+    let bank = r.take_u32()? as u16;
+    let row = RowId(r.take_u32()?);
+    let col = ColId(r.take_u32()? as u16);
+    Ok(QueuedRequest {
+        id,
+        req: MemRequest {
+            addr,
+            kind,
+            source,
+            arrival,
+        },
+        access: DecodedAccess {
+            channel,
+            rank,
+            bank,
+            row,
+            col,
+        },
+    })
+}
+
+impl Snapshot for ChannelController {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        // The RCD blob carries the ranks (banks, fault model, data,
+        // stats), the RCD-resident defense, and the ARR/nack state.
+        self.rcd.save_state(w);
+        w.put_bool(self.mc_defense.is_some());
+        if let Some(d) = &self.mc_defense {
+            d.save_state(w);
+        }
+        w.put_bool(self.fallback.is_some());
+        if let Some(d) = &self.fallback {
+            d.save_state(w);
+        }
+        self.scheduler.save_state(w);
+        // Queue order is behavioral: pick() returns indices and the
+        // controller swap_removes, so entries are saved verbatim.
+        w.put_usize(self.queue.len());
+        for q in &self.queue {
+            save_queued(w, q);
+        }
+        w.put_u64(self.next_id);
+        w.put_u64(self.now.as_ps());
+        w.put_usize(self.next_ref.len());
+        for t in &self.next_ref {
+            w.put_u64(t.as_ps());
+        }
+        for &h in &self.hits_served {
+            w.put_u32(h);
+        }
+        self.defense_stats.save_state(w);
+        w.put_usize(self.mc_detections.len());
+        for d in &self.mc_detections {
+            w.put_u32(d.bank.0);
+            w.put_u32(d.row.0);
+            w.put_u64(d.at.as_ps());
+            w.put_u64(d.act_count);
+        }
+        w.put_u64(self.metadata_acts);
+        w.put_u64(self.served);
+        self.latency.save_state(w);
+        self.injector.save_state(w);
+        w.put_u64(self.fallback_until.as_ps());
+        w.put_u64(self.last_corruption_events);
+        w.put_u64(self.fallback_windows);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.rcd.load_state(r)?;
+        let has_mc_defense = r.take_bool()?;
+        if has_mc_defense != self.mc_defense.is_some() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "snapshot {} an MC-side defense, controller {}",
+                if has_mc_defense { "has" } else { "lacks" },
+                if self.mc_defense.is_some() {
+                    "has one"
+                } else {
+                    "lacks one"
+                },
+            )));
+        }
+        if let Some(d) = &mut self.mc_defense {
+            d.load_state(r)?;
+        }
+        let has_fallback = r.take_bool()?;
+        if has_fallback != self.fallback.is_some() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "snapshot {} a fallback defense, controller {}",
+                if has_fallback { "has" } else { "lacks" },
+                if self.fallback.is_some() {
+                    "has one"
+                } else {
+                    "lacks one"
+                },
+            )));
+        }
+        if let Some(d) = &mut self.fallback {
+            d.load_state(r)?;
+        }
+        self.scheduler.load_state(r)?;
+        let queued = r.take_usize()?;
+        if queued > self.cfg.queue_capacity {
+            return Err(SnapshotError::StateMismatch(format!(
+                "snapshot queue of {queued} exceeds capacity {}",
+                self.cfg.queue_capacity
+            )));
+        }
+        self.queue.clear();
+        for _ in 0..queued {
+            self.queue.push(load_queued(r)?);
+        }
+        self.next_id = r.take_u64()?;
+        self.now = Time::from_ps(r.take_u64()?);
+        let banks = r.take_usize()?;
+        if banks != self.next_ref.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "controller has {} banks, snapshot has {banks}",
+                self.next_ref.len()
+            )));
+        }
+        for slot in &mut self.next_ref {
+            *slot = Time::from_ps(r.take_u64()?);
+        }
+        for slot in &mut self.hits_served {
+            *slot = r.take_u32()?;
+        }
+        self.defense_stats.load_state(r)?;
+        let detections = r.take_usize()?;
+        self.mc_detections.clear();
+        for _ in 0..detections {
+            let bank = BankId(r.take_u32()?);
+            let row = RowId(r.take_u32()?);
+            let at = Time::from_ps(r.take_u64()?);
+            let act_count = r.take_u64()?;
+            self.mc_detections.push(Detection {
+                bank,
+                row,
+                at,
+                act_count,
+            });
+        }
+        self.metadata_acts = r.take_u64()?;
+        self.served = r.take_u64()?;
+        self.latency.load_state(r)?;
+        self.injector.load_state(r)?;
+        self.fallback_until = Time::from_ps(r.take_u64()?);
+        self.last_corruption_events = r.take_u64()?;
+        self.fallback_windows = r.take_u64()?;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        self.rcd.digest_state(d);
+        if let Some(def) = &self.mc_defense {
+            def.digest_state(d);
+        }
+        if let Some(def) = &self.fallback {
+            def.digest_state(d);
+        }
+        self.scheduler.digest_state(d);
+        d.write_usize(self.queue.len());
+        for q in &self.queue {
+            d.write_u64(q.id);
+            d.write_u64(q.req.addr);
+            d.write_bool(q.req.kind == AccessKind::Write);
+            d.write_u16(q.req.source);
+            d.write_u64(q.req.arrival.as_ps());
+            d.write_u8(q.access.channel.0);
+            d.write_u8(q.access.rank.0);
+            d.write_u16(q.access.bank);
+            d.write_u32(q.access.row.0);
+            d.write_u16(q.access.col.0);
+        }
+        d.write_u64(self.next_id);
+        d.write_u64(self.now.as_ps());
+        for t in &self.next_ref {
+            d.write_u64(t.as_ps());
+        }
+        for &h in &self.hits_served {
+            d.write_u32(h);
+        }
+        self.defense_stats.digest_state(d);
+        d.write_usize(self.mc_detections.len());
+        for det in &self.mc_detections {
+            d.write_u32(det.bank.0);
+            d.write_u32(det.row.0);
+            d.write_u64(det.at.as_ps());
+            d.write_u64(det.act_count);
+        }
+        d.write_u64(self.metadata_acts);
+        d.write_u64(self.served);
+        self.latency.digest_state(d);
+        self.injector.digest_state(d);
+        d.write_u64(self.fallback_until.as_ps());
+        d.write_u64(self.last_corruption_events);
+        d.write_u64(self.fallback_windows);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1075,6 +1303,72 @@ mod tests {
                 DefenseResponse::none()
             }
         }
+    }
+
+    fn digest(c: &ChannelController) -> u64 {
+        let mut d = StateDigest::new();
+        c.digest_state(&mut d);
+        d.finish()
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_run_resumes_identically() {
+        let mapper = AddressMapper::row_interleaved(&small_topo());
+        let make = || {
+            ChannelController::new(
+                ControllerConfig::for_test(64),
+                Box::new(Every10),
+                DefenseLocation::MemoryController,
+            )
+        };
+        let mut a = make();
+        // Fill the queue and service half the trace, leaving requests
+        // queued so the snapshot captures a genuinely mid-flight state.
+        for i in 0..40u32 {
+            let (req, access) = req(&mapper, (i % 2) as u16, i % 64, (i % 8) as u16);
+            if a.has_capacity() {
+                a.submit(req, access);
+            }
+        }
+        for _ in 0..20 {
+            a.service_one().expect("fault-free run");
+        }
+        assert!(!a.queue.is_empty(), "snapshot must capture queued work");
+        let mut w = SnapshotWriter::new();
+        a.save_state(&mut w);
+        let blob = w.finish();
+        let mut b = make();
+        b.load_state(&mut SnapshotReader::new(&blob).expect("valid header"))
+            .expect("restore");
+        assert_eq!(digest(&a), digest(&b), "restore must be exact");
+        // Lockstep from here: the restored controller must make the same
+        // decisions (scheduler picks, refreshes, defense actions).
+        for _ in 0..40 {
+            let ra = a.service_one().expect("fault-free run");
+            let rb = b.service_one().expect("fault-free run");
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.served(), b.served());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(digest(&a), digest(&b), "divergence after resume");
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_defense_placement() {
+        let mut a = ChannelController::without_defense(ControllerConfig::for_test(64));
+        let mut w = SnapshotWriter::new();
+        a.save_state(&mut w);
+        let blob = w.finish();
+        let mut b = ChannelController::new(
+            ControllerConfig::for_test(64),
+            Box::new(Every10),
+            DefenseLocation::MemoryController,
+        );
+        let err = b
+            .load_state(&mut SnapshotReader::new(&blob).expect("valid header"))
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::StateMismatch(_)), "{err:?}");
+        let _ = a.service_one();
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! where the spikes live.
 
 use std::fmt;
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::Span;
 
 /// Number of log2 buckets: covers 1 ps .. ~2^63 ps.
@@ -112,6 +115,59 @@ impl LatencyHistogram {
         if other.max > self.max {
             self.max = other.max;
         }
+    }
+}
+
+impl Snapshot for LatencyHistogram {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        // Only the occupied buckets: most runs populate a handful of the
+        // 64 log2 bins.
+        let occupied = self.counts.iter().filter(|&&c| c != 0).count();
+        w.put_usize(occupied);
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            if count != 0 {
+                w.put_u8(bucket as u8);
+                w.put_u64(count);
+            }
+        }
+        w.put_u64(self.total);
+        w.put_u64(self.max.as_ps());
+        // u128 as two u64 halves, low first.
+        w.put_u64(self.sum_ps as u64);
+        w.put_u64((self.sum_ps >> 64) as u64);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.counts = [0; BUCKETS];
+        let occupied = r.take_usize()?;
+        for _ in 0..occupied {
+            let bucket = usize::from(r.take_u8()?);
+            if bucket >= BUCKETS {
+                return Err(SnapshotError::StateMismatch(format!(
+                    "latency bucket {bucket} out of {BUCKETS}"
+                )));
+            }
+            self.counts[bucket] = r.take_u64()?;
+        }
+        self.total = r.take_u64()?;
+        self.max = Span::from_ps(r.take_u64()?);
+        let lo = r.take_u64()?;
+        let hi = r.take_u64()?;
+        self.sum_ps = u128::from(lo) | (u128::from(hi) << 64);
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            if count != 0 {
+                d.write_u8(bucket as u8);
+                d.write_u64(count);
+            }
+        }
+        d.write_u64(self.total);
+        d.write_u64(self.max.as_ps());
+        d.write_u64(self.sum_ps as u64);
+        d.write_u64((self.sum_ps >> 64) as u64);
     }
 }
 

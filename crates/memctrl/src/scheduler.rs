@@ -10,6 +10,7 @@
 use crate::addrmap::DecodedAccess;
 use crate::request::MemRequest;
 use std::collections::HashSet;
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::{RankId, RowId};
 
 /// A request waiting in the controller queue, with its decoded coordinate.
@@ -54,6 +55,27 @@ pub trait Scheduler: Send {
     /// Notifies the scheduler that request `id` completed.
     fn on_complete(&mut self, id: u64) {
         let _ = id;
+    }
+
+    /// Serializes mutable scheduling state (checkpointing hook). FCFS and
+    /// FR-FCFS are stateless; PAR-BS overrides this to save its batch.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Decode errors from a truncated or mismatched snapshot.
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
+
+    /// Folds mutable scheduling state into a digest.
+    fn digest_state(&self, d: &mut StateDigest) {
+        let _ = d;
     }
 }
 
@@ -165,6 +187,33 @@ impl Scheduler for ParBs {
 
     fn on_complete(&mut self, id: u64) {
         self.batch.remove(&id);
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        // The batch is a pure set: sorted for a canonical encoding.
+        let mut ids: Vec<u64> = self.batch.iter().copied().collect();
+        ids.sort_unstable();
+        w.put_usize(ids.len());
+        for id in ids {
+            w.put_u64(id);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.take_usize()?;
+        self.batch.clear();
+        for _ in 0..n {
+            self.batch.insert(r.take_u64()?);
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        let mut ids: Vec<u64> = self.batch.iter().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            d.write_u64(id);
+        }
     }
 }
 

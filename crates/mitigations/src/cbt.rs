@@ -19,6 +19,7 @@
 //! ramp `sub_th(level) = thRH · level / (levels + 1)`, which avoids
 //! split cascades (children start below the next level's threshold).
 
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
 
 /// One tree counter covering rows `lo..hi`.
@@ -242,6 +243,63 @@ impl RowHammerDefense for Cbt {
 
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {
         Some(self.banks[bank.index()].leaves.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.banks.len());
+        for tree in &self.banks {
+            w.put_u64(tree.refs_seen);
+            // Leaves are kept sorted by `lo`, so in-order is canonical.
+            w.put_usize(tree.leaves.len());
+            for leaf in &tree.leaves {
+                w.put_u32(leaf.lo);
+                w.put_u32(leaf.hi);
+                w.put_u32(leaf.level);
+                w.put_u64(leaf.count);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let banks = r.take_usize()?;
+        if banks != self.banks.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "CBT has {} banks, snapshot has {banks}",
+                self.banks.len()
+            )));
+        }
+        for tree in &mut self.banks {
+            tree.refs_seen = r.take_u64()?;
+            let n = r.take_usize()?;
+            tree.leaves.clear();
+            for _ in 0..n {
+                tree.leaves.push(Node {
+                    lo: r.take_u32()?,
+                    hi: r.take_u32()?,
+                    level: r.take_u32()?,
+                    count: r.take_u64()?,
+                });
+            }
+            if tree.leaves.is_empty() {
+                return Err(SnapshotError::StateMismatch(
+                    "CBT bank with no leaves".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        for tree in &self.banks {
+            d.write_u64(tree.refs_seen);
+            d.write_usize(tree.leaves.len());
+            for leaf in &tree.leaves {
+                d.write_u32(leaf.lo);
+                d.write_u32(leaf.hi);
+                d.write_u32(leaf.level);
+                d.write_u64(leaf.count);
+            }
+        }
     }
 }
 

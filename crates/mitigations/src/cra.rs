@@ -13,6 +13,7 @@
 //! crossing the threshold gets its (logical) neighbors refreshed.
 
 use std::collections::{HashMap, VecDeque};
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
 
 #[derive(Debug, Clone, Default)]
@@ -151,6 +152,97 @@ impl RowHammerDefense for Cra {
 
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {
         Some(self.banks[bank.index()].cache.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.banks.len());
+        for b in &self.banks {
+            w.put_u64(b.stamp);
+            w.put_u64(b.refs_seen);
+            let mut counters: Vec<(u32, u64)> = b.counters.iter().map(|(&r, &c)| (r, c)).collect();
+            counters.sort_unstable();
+            w.put_usize(counters.len());
+            for (row, count) in counters {
+                w.put_u32(row);
+                w.put_u64(count);
+            }
+            let mut cache: Vec<(u32, u64)> = b.cache.iter().map(|(&r, &s)| (r, s)).collect();
+            cache.sort_unstable();
+            w.put_usize(cache.len());
+            for (row, stamp) in cache {
+                w.put_u32(row);
+                w.put_u64(stamp);
+            }
+            // The lazy queue holds stale entries whose position governs
+            // future evictions, so it is saved verbatim.
+            w.put_usize(b.lru.len());
+            for &(row, stamp) in &b.lru {
+                w.put_u32(row);
+                w.put_u64(stamp);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let banks = r.take_usize()?;
+        if banks != self.banks.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "CRA has {} banks, snapshot has {banks}",
+                self.banks.len()
+            )));
+        }
+        for b in &mut self.banks {
+            b.stamp = r.take_u64()?;
+            b.refs_seen = r.take_u64()?;
+            b.counters.clear();
+            let n = r.take_usize()?;
+            for _ in 0..n {
+                let row = r.take_u32()?;
+                let count = r.take_u64()?;
+                b.counters.insert(row, count);
+            }
+            b.cache.clear();
+            let n = r.take_usize()?;
+            for _ in 0..n {
+                let row = r.take_u32()?;
+                let stamp = r.take_u64()?;
+                b.cache.insert(row, stamp);
+            }
+            b.lru.clear();
+            let n = r.take_usize()?;
+            for _ in 0..n {
+                let row = r.take_u32()?;
+                let stamp = r.take_u64()?;
+                b.lru.push_back((row, stamp));
+            }
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        for b in &self.banks {
+            d.write_u64(b.stamp);
+            d.write_u64(b.refs_seen);
+            let mut counters: Vec<(u32, u64)> = b.counters.iter().map(|(&r, &c)| (r, c)).collect();
+            counters.sort_unstable();
+            d.write_usize(counters.len());
+            for (row, count) in counters {
+                d.write_u32(row);
+                d.write_u64(count);
+            }
+            let mut cache: Vec<(u32, u64)> = b.cache.iter().map(|(&r, &s)| (r, s)).collect();
+            cache.sort_unstable();
+            d.write_usize(cache.len());
+            for (row, stamp) in cache {
+                d.write_u32(row);
+                d.write_u64(stamp);
+            }
+            d.write_usize(b.lru.len());
+            for &(row, stamp) in &b.lru {
+                d.write_u32(row);
+                d.write_u64(stamp);
+            }
+        }
     }
 }
 

@@ -16,6 +16,7 @@
 //! refresh window like TWiCe's accounting.
 
 use std::collections::HashMap;
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
 
 /// The Graphene defense.
@@ -151,6 +152,57 @@ impl RowHammerDefense for Graphene {
 
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {
         Some(self.banks[bank.index()].counts.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.banks.len());
+        for b in &self.banks {
+            w.put_u64(b.spillover);
+            w.put_u64(b.refs_seen);
+            let mut counts: Vec<(u32, u64)> = b.counts.iter().map(|(&r, &c)| (r, c)).collect();
+            counts.sort_unstable();
+            w.put_usize(counts.len());
+            for (row, count) in counts {
+                w.put_u32(row);
+                w.put_u64(count);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let banks = r.take_usize()?;
+        if banks != self.banks.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "Graphene has {} banks, snapshot has {banks}",
+                self.banks.len()
+            )));
+        }
+        for b in &mut self.banks {
+            b.spillover = r.take_u64()?;
+            b.refs_seen = r.take_u64()?;
+            b.counts.clear();
+            let n = r.take_usize()?;
+            for _ in 0..n {
+                let row = r.take_u32()?;
+                let count = r.take_u64()?;
+                b.counts.insert(row, count);
+            }
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        for b in &self.banks {
+            d.write_u64(b.spillover);
+            d.write_u64(b.refs_seen);
+            let mut counts: Vec<(u32, u64)> = b.counts.iter().map(|(&r, &c)| (r, c)).collect();
+            counts.sort_unstable();
+            d.write_usize(counts.len());
+            for (row, count) in counts {
+                d.write_u32(row);
+                d.write_u64(count);
+            }
+        }
     }
 }
 

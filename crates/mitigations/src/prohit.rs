@@ -14,6 +14,7 @@
 //! deterministic guarantee).
 
 use twice_common::rng::SplitMix64;
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::{BankId, DefenseResponse, RowHammerDefense, RowId, Time};
 
 /// The PRoHIT defense.
@@ -119,6 +120,52 @@ impl RowHammerDefense for Prohit {
 
     fn reset(&mut self) {
         self.tables.iter_mut().for_each(Vec::clear);
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.rng.state());
+        w.put_usize(self.tables.len());
+        // Entry order is behavioral (swap_remove ties break by position),
+        // so the tables are saved verbatim, not canonicalized.
+        for table in &self.tables {
+            w.put_usize(table.len());
+            for &(row, hits) in table {
+                w.put_u32(row.0);
+                w.put_u32(hits);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.rng.set_state(r.take_u64()?);
+        let banks = r.take_usize()?;
+        if banks != self.tables.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "PRoHIT has {} banks, snapshot has {banks}",
+                self.tables.len()
+            )));
+        }
+        for table in &mut self.tables {
+            table.clear();
+            let n = r.take_usize()?;
+            for _ in 0..n {
+                let row = RowId(r.take_u32()?);
+                let hits = r.take_u32()?;
+                table.push((row, hits));
+            }
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.rng.state());
+        for table in &self.tables {
+            d.write_usize(table.len());
+            for &(row, hits) in table {
+                d.write_u32(row.0);
+                d.write_u32(hits);
+            }
+        }
     }
 }
 

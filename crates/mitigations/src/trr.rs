@@ -20,6 +20,7 @@
 //! Being in-DRAM, TRR resolves physical adjacency itself; it uses the
 //! ARR response channel like TWiCe does.
 
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
 
 /// One tracker entry.
@@ -135,6 +136,51 @@ impl RowHammerDefense for Trr {
 
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {
         Some(self.banks[bank.index()].slots.len())
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.banks.len());
+        // Slot order is the tracker's insertion order; saved verbatim.
+        for b in &self.banks {
+            w.put_u64(b.refs_seen);
+            w.put_usize(b.slots.len());
+            for slot in &b.slots {
+                w.put_u32(slot.row.0);
+                w.put_u64(slot.count);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let banks = r.take_usize()?;
+        if banks != self.banks.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "TRR has {} banks, snapshot has {banks}",
+                self.banks.len()
+            )));
+        }
+        for b in &mut self.banks {
+            b.refs_seen = r.take_u64()?;
+            let n = r.take_usize()?;
+            b.slots.clear();
+            for _ in 0..n {
+                let row = RowId(r.take_u32()?);
+                let count = r.take_u64()?;
+                b.slots.push(Slot { row, count });
+            }
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        for b in &self.banks {
+            d.write_u64(b.refs_seen);
+            d.write_usize(b.slots.len());
+            for slot in &b.slots {
+                d.write_u32(slot.row.0);
+                d.write_u64(slot.count);
+            }
+        }
     }
 }
 

@@ -7,18 +7,84 @@
 //! $ twice-exp table1 --requests 40000     # measured defense comparison
 //! $ twice-exp attack --defense twice      # an S3 confrontation
 //! $ twice-exp capacity                    # the 4.4 bound
+//! $ twice-exp chaos --journal out/        # crash-safe fault campaign
+//! $ twice-exp chaos --resume out/         # resume a killed campaign
 //! ```
+//!
+//! Failures exit with a distinct code and one structured line on stderr
+//! (`twice-exp: error experiment=… cell=… cause="…"`):
+//!
+//! * `2` — unknown command, defense, workload, or SPEC app name
+//! * `3` — invalid flag value (`--seed`, `--requests`, `--resume`, …)
+//! * `75` — campaign intentionally halted by `--halt-after` (tempfail,
+//!   in the sysexits tradition: rerun with `--resume` to continue)
+//! * `1` — everything else (I/O, a failed safety property)
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use twice::cost::TwiceCostModel;
 use twice::{TableOrganization, TwiceParams};
 use twice_mitigations::DefenseKind;
+use twice_sim::campaign::CampaignConfig;
 use twice_sim::config::SimConfig;
 use twice_sim::experiments::{
-    ablation, capacity, chaos, ecc, fig7, latency, storage, table1, table2, table3, table4,
+    ablation, capacity, ecc, fig7, latency, storage, table1, table2, table3, table4,
 };
 use twice_sim::runner::WorkloadKind;
 use twice_sim::verify::confront;
+
+/// Exit code for unknown experiment/defense/workload names.
+const EXIT_UNKNOWN_NAME: u8 = 2;
+/// Exit code for malformed flag values.
+const EXIT_BAD_FLAG: u8 = 3;
+/// Exit code when `--halt-after` stops a campaign early (tempfail).
+const EXIT_HALTED: u8 = 75;
+
+/// A structured CLI failure: who failed (`experiment`/`cell`, `-` when
+/// not applicable), why, and with which exit code.
+struct CliError {
+    experiment: String,
+    cell: String,
+    cause: String,
+    code: u8,
+}
+
+impl CliError {
+    fn unknown(experiment: &str, cause: impl Into<String>) -> CliError {
+        CliError {
+            experiment: experiment.to_string(),
+            cell: "-".to_string(),
+            cause: cause.into(),
+            code: EXIT_UNKNOWN_NAME,
+        }
+    }
+
+    fn bad_flag(experiment: &str, cause: impl Into<String>) -> CliError {
+        CliError {
+            experiment: experiment.to_string(),
+            cell: "-".to_string(),
+            cause: cause.into(),
+            code: EXIT_BAD_FLAG,
+        }
+    }
+
+    fn failure(experiment: &str, cell: &str, cause: impl Into<String>) -> CliError {
+        CliError {
+            experiment: experiment.to_string(),
+            cell: cell.to_string(),
+            cause: cause.into(),
+            code: 1,
+        }
+    }
+
+    fn report(self) -> ExitCode {
+        eprintln!(
+            "twice-exp: error experiment={} cell={} cause=\"{}\"",
+            self.experiment, self.cell, self.cause
+        );
+        ExitCode::from(self.code)
+    }
+}
 
 struct Args {
     command: String,
@@ -26,34 +92,64 @@ struct Args {
     defense: Option<String>,
     workload: Option<String>,
     file: Option<String>,
+    seed: Option<u64>,
+    resume: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    epoch: Option<u64>,
+    halt_after: Option<usize>,
+    wall_budget_ms: Option<u64>,
 }
 
-fn parse_args() -> Option<Args> {
+fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, CliError> {
+    args.next()
+        .ok_or_else(|| CliError::bad_flag("-", format!("{flag} needs a value")))
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, CliError> {
+    raw.parse()
+        .map_err(|_| CliError::bad_flag("-", format!("invalid {flag} value \"{raw}\"")))
+}
+
+fn parse_args() -> Result<Option<Args>, CliError> {
     let mut args = std::env::args().skip(1);
-    let command = args.next()?;
-    let mut requests = None;
-    let mut defense = None;
-    let mut workload = None;
-    let mut file = None;
+    let Some(command) = args.next() else {
+        return Ok(None);
+    };
+    let mut out = Args {
+        command,
+        requests: None,
+        defense: None,
+        workload: None,
+        file: None,
+        seed: None,
+        resume: None,
+        journal: None,
+        epoch: None,
+        halt_after: None,
+        wall_budget_ms: None,
+    };
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--requests" => requests = args.next()?.parse().ok(),
-            "--defense" => defense = args.next(),
-            "--workload" => workload = args.next(),
-            "--file" => file = args.next(),
-            _ => {
-                eprintln!("unknown flag: {flag}");
-                return None;
+            "--requests" => {
+                out.requests = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
             }
+            "--defense" => out.defense = Some(flag_value(&mut args, &flag)?),
+            "--workload" => out.workload = Some(flag_value(&mut args, &flag)?),
+            "--file" => out.file = Some(flag_value(&mut args, &flag)?),
+            "--seed" => out.seed = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?),
+            "--resume" => out.resume = Some(PathBuf::from(flag_value(&mut args, &flag)?)),
+            "--journal" => out.journal = Some(PathBuf::from(flag_value(&mut args, &flag)?)),
+            "--epoch" => out.epoch = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?),
+            "--halt-after" => {
+                out.halt_after = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
+            }
+            "--wall-budget-ms" => {
+                out.wall_budget_ms = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
+            }
+            _ => return Err(CliError::bad_flag("-", format!("unknown flag {flag}"))),
         }
     }
-    Some(Args {
-        command,
-        requests,
-        defense,
-        workload,
-        file,
-    })
+    Ok(Some(out))
 }
 
 fn defense_from_name(name: &str) -> Option<DefenseKind> {
@@ -100,14 +196,106 @@ fn usage() -> ExitCode {
          \x20 capacity  the 4.4 capacity bound\n\
          \x20 attack    S3 confrontation on the scaled system\n\
          \x20 chaos     fault-injection campaign (SEU sweep + bus gauntlet)\n\
+         chaos flags:\n\
+         \x20 --seed N            override the simulation seed\n\
+         \x20 --journal DIR       journal completed cells + epoch checkpoints to DIR\n\
+         \x20 --resume DIR        resume a killed campaign from DIR (must exist)\n\
+         \x20 --epoch N           requests per checkpoint/watchdog epoch\n\
+         \x20 --halt-after N      stop after N fresh cells (crash simulation, exit 75)\n\
+         \x20 --wall-budget-ms N  per-cell wall-clock watchdog\n\
          defenses: twice twice-pa twice-split para para2 prohit cbt cra oracle none"
     );
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_UNKNOWN_NAME)
+}
+
+fn run_chaos(args: &Args) -> Result<ExitCode, CliError> {
+    let mut cfg = SimConfig::fast_test();
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    let mut cc = CampaignConfig::new(args.requests.unwrap_or(60_000));
+    if let Some(epoch) = args.epoch {
+        if epoch == 0 {
+            return Err(CliError::bad_flag("chaos", "--epoch must be at least 1"));
+        }
+        cc.epoch = epoch;
+    }
+    cc.halt_after = args.halt_after;
+    cc.wall_budget_ms = args.wall_budget_ms;
+    if args.resume.is_some() && args.journal.is_some() {
+        return Err(CliError::bad_flag(
+            "chaos",
+            "--resume and --journal are mutually exclusive (resume implies the journal directory)",
+        ));
+    }
+    if let Some(dir) = &args.resume {
+        if !dir.is_dir() {
+            return Err(CliError::bad_flag(
+                "chaos",
+                format!("--resume directory {} does not exist", dir.display()),
+            ));
+        }
+        cc.dir = Some(dir.clone());
+    } else if let Some(dir) = &args.journal {
+        cc.dir = Some(dir.clone());
+    }
+
+    let report = twice_sim::campaign::chaos_campaign(&cfg, &cc)
+        .map_err(|e| CliError::failure("chaos", "-", format!("journal I/O failed: {e}")))?;
+
+    // The report goes to stdout and is byte-identical between a clean
+    // run and a kill+resume; bookkeeping notes go to stderr.
+    if report.salvaged > 0 {
+        eprintln!(
+            "twice-exp: resumed: {} journaled cell(s) salvaged",
+            report.salvaged
+        );
+    }
+    for cell in &report.cells {
+        if let Some(line) = cell.outcome.error_line() {
+            eprintln!("twice-exp: degraded cell: {line}");
+        }
+    }
+    if report.halted {
+        eprintln!(
+            "twice-exp: halted by --halt-after with {} cell(s) journaled; \
+             rerun with --resume to continue",
+            report.cells.len()
+        );
+        return Ok(ExitCode::from(EXIT_HALTED));
+    }
+
+    println!("{}", report.table);
+    let flips = |scrubbing: bool| -> usize {
+        report
+            .cells
+            .iter()
+            .filter_map(|c| c.outcome.value())
+            .filter(|o| o.scrubbing == scrubbing)
+            .map(|o| o.bit_flips)
+            .sum()
+    };
+    let hardened_flips = flips(true);
+    println!(
+        "hardened engine: {hardened_flips} bit flip(s) across the grid; \
+         unhardened: {}",
+        flips(false)
+    );
+    if hardened_flips > 0 {
+        return Err(CliError::failure(
+            "chaos",
+            "-",
+            format!("hardened engine recorded {hardened_flips} bit flip(s)"),
+        ));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
-    let Some(args) = parse_args() else {
-        return usage();
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return usage(),
+        Err(e) => return e.report(),
     };
     let params = TwiceParams::paper_default();
     match args.command.as_str() {
@@ -161,33 +349,16 @@ fn main() -> ExitCode {
             println!("{table}");
         }
         "chaos" => {
-            let cfg = SimConfig::fast_test();
-            let (table, runs) = chaos::chaos_experiment(&cfg, args.requests.unwrap_or(60_000));
-            println!("{table}");
-            let hardened_flips: usize = runs
-                .iter()
-                .filter(|o| o.scrubbing)
-                .map(|o| o.bit_flips)
-                .sum();
-            let unhardened_flips: usize = runs
-                .iter()
-                .filter(|o| !o.scrubbing)
-                .map(|o| o.bit_flips)
-                .sum();
-            println!(
-                "hardened engine: {hardened_flips} bit flip(s) across the grid; \
-                 unhardened: {unhardened_flips}"
-            );
-            if hardened_flips > 0 {
-                return ExitCode::FAILURE;
-            }
+            return match run_chaos(&args) {
+                Ok(code) => code,
+                Err(e) => e.report(),
+            };
         }
         "attack" => {
             let cfg = SimConfig::fast_test();
             let name = args.defense.as_deref().unwrap_or("twice");
             let Some(kind) = defense_from_name(name) else {
-                eprintln!("unknown defense: {name}");
-                return usage();
+                return CliError::unknown("attack", format!("unknown defense \"{name}\"")).report();
             };
             let out = confront(
                 &cfg,
@@ -211,13 +382,12 @@ fn main() -> ExitCode {
         }
         "record" => {
             let Some(path) = args.file.as_deref() else {
-                eprintln!("record needs --file PATH");
-                return usage();
+                return CliError::bad_flag("record", "record needs --file PATH").report();
             };
             let name = args.workload.as_deref().unwrap_or("s1");
             let Some(workload) = workload_from_name(name) else {
-                eprintln!("unknown workload: {name}");
-                return usage();
+                return CliError::unknown("record", format!("unknown workload \"{name}\""))
+                    .report();
             };
             let cfg = SimConfig::paper_default();
             let trace =
@@ -225,34 +395,31 @@ fn main() -> ExitCode {
             let file = match std::fs::File::create(path) {
                 Ok(f) => f,
                 Err(e) => {
-                    eprintln!("cannot create {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return CliError::failure("record", "-", format!("cannot create {path}: {e}"))
+                        .report()
                 }
             };
             match twice_workloads::record::write_trace(std::io::BufWriter::new(file), trace) {
                 Ok(n) => println!("wrote {n} accesses to {path}"),
                 Err(e) => {
-                    eprintln!("write failed: {e}");
-                    return ExitCode::FAILURE;
+                    return CliError::failure("record", "-", format!("write failed: {e}")).report()
                 }
             }
         }
         "replay" => {
             let Some(path) = args.file.as_deref() else {
-                eprintln!("replay needs --file PATH");
-                return usage();
+                return CliError::bad_flag("replay", "replay needs --file PATH").report();
             };
             let name = args.defense.as_deref().unwrap_or("twice");
             let Some(kind) = defense_from_name(name) else {
-                eprintln!("unknown defense: {name}");
-                return usage();
+                return CliError::unknown("replay", format!("unknown defense \"{name}\"")).report();
             };
             let cfg = SimConfig::paper_default();
             let file = match std::fs::File::open(path) {
                 Ok(f) => f,
                 Err(e) => {
-                    eprintln!("cannot open {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return CliError::failure("replay", "-", format!("cannot open {path}: {e}"))
+                        .report()
                 }
             };
             let reader = twice_workloads::record::TraceReader::new(
@@ -272,8 +439,7 @@ fn main() -> ExitCode {
                 }
             }));
             if let Err(e) = outcome {
-                eprintln!("replay aborted: {e}");
-                std::process::exit(1);
+                return CliError::failure("replay", "-", format!("replay aborted: {e}")).report();
             }
             let m = system.metrics(path.to_string());
             println!(
@@ -287,7 +453,10 @@ fn main() -> ExitCode {
                 m.bit_flips
             );
         }
-        _ => return usage(),
+        other => {
+            eprintln!("twice-exp: error experiment={other} cell=- cause=\"unknown command\"");
+            return usage();
+        }
     }
     ExitCode::SUCCESS
 }

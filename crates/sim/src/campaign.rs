@@ -1,0 +1,404 @@
+//! The supervised, crash-safe chaos campaign.
+//!
+//! Every grid cell runs under `catch_unwind` with a cooperative deadline
+//! — host wall-clock and simulated-time budgets checked at epoch
+//! boundaries — so a panicking, hanging, or over-budget cell degrades to
+//! a structured [`Cell`] outcome instead of aborting the campaign. With
+//! a campaign directory configured, completed cells are appended to a
+//! JSONL journal (`cells.jsonl`) and the in-flight cell checkpoints its
+//! full simulator state every epoch (`cell.ckpt`), so a killed process
+//! loses nothing: rerunning with the same directory skips journaled
+//! cells and salvages the partial cell from its last checkpoint.
+
+use crate::checkpoint::ResumableRun;
+use crate::config::SimConfig;
+use crate::experiments::chaos::{self, ChaosOutcome};
+use crate::journal::{emit_line, parse_line, JsonValue};
+use crate::outcome::{Cell, CellError};
+use crate::report::Table;
+use crate::runner::WorkloadKind;
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use twice_common::fault::FaultPlan;
+
+/// The journal file name inside a campaign directory.
+pub const JOURNAL_FILE: &str = "cells.jsonl";
+
+/// The in-flight cell's checkpoint file name.
+pub const CHECKPOINT_FILE: &str = "cell.ckpt";
+
+/// Supervision knobs for a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Requests per cell.
+    pub requests: u64,
+    /// Requests per epoch (checkpoint/watchdog granularity).
+    pub epoch: u64,
+    /// Per-cell host wall-clock budget, checked at epoch boundaries.
+    pub wall_budget_ms: Option<u64>,
+    /// Per-cell simulated-time budget (ps), checked at epoch boundaries.
+    pub sim_budget_ps: Option<u64>,
+    /// Crash simulation: stop the campaign (exit early, journal intact)
+    /// after this many freshly completed cells.
+    pub halt_after: Option<usize>,
+    /// Campaign directory for the journal and epoch checkpoints; `None`
+    /// runs fully in memory.
+    pub dir: Option<PathBuf>,
+}
+
+impl CampaignConfig {
+    /// A plain in-memory campaign: `requests` per cell, 4096-request
+    /// epochs, no budgets, no journaling.
+    pub fn new(requests: u64) -> CampaignConfig {
+        CampaignConfig {
+            requests,
+            epoch: 4096,
+            wall_budget_ms: None,
+            sim_budget_ps: None,
+            halt_after: None,
+            dir: None,
+        }
+    }
+}
+
+/// One supervised cell: its outcome plus whether it was salvaged from
+/// the journal instead of (re)run.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// The cell's typed outcome.
+    pub outcome: Cell<ChaosOutcome>,
+    /// Whether the outcome came from a previous run's journal.
+    pub salvaged: bool,
+}
+
+/// A finished (or halted) campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The rendered report table (grid order, failures as error rows).
+    pub table: Table,
+    /// Per-cell outcomes in grid order (partial if halted).
+    pub cells: Vec<CampaignCell>,
+    /// Whether `halt_after` stopped the campaign early.
+    pub halted: bool,
+    /// How many cells were salvaged from the journal.
+    pub salvaged: usize,
+}
+
+fn cell_id(label: &str, scrubbing: bool) -> String {
+    format!(
+        "{label}/{}",
+        if scrubbing { "hardened" } else { "unhardened" }
+    )
+}
+
+/// Runs the chaos fault grid under supervision.
+///
+/// # Errors
+///
+/// Journal/checkpoint I/O errors when a campaign directory is set.
+pub fn chaos_campaign(
+    cfg_base: &SimConfig,
+    cc: &CampaignConfig,
+) -> std::io::Result<CampaignReport> {
+    if let Some(dir) = &cc.dir {
+        fs::create_dir_all(dir)?;
+    }
+    let journal_path = cc.dir.as_ref().map(|d| d.join(JOURNAL_FILE));
+    let ckpt_path = cc.dir.as_ref().map(|d| d.join(CHECKPOINT_FILE));
+    let journaled = match &journal_path {
+        Some(p) => load_journal(p)?,
+        None => HashMap::new(),
+    };
+    let mut journal = match &journal_path {
+        Some(p) => Some(fs::OpenOptions::new().create(true).append(true).open(p)?),
+        None => None,
+    };
+
+    let mut cells = Vec::new();
+    let mut fresh_completed = 0usize;
+    let mut salvaged = 0usize;
+    let mut halted = false;
+
+    'grid: for (label, plan) in chaos::fault_grid(cfg_base.seed ^ 0xC4A0) {
+        for scrubbing in [true, false] {
+            let id = cell_id(&label, scrubbing);
+            if let Some(o) = journaled.get(&id) {
+                salvaged += 1;
+                cells.push(CampaignCell {
+                    outcome: Cell::ok("chaos", id, o.clone()),
+                    salvaged: true,
+                });
+                continue;
+            }
+            let outcome = run_cell(
+                cfg_base,
+                &label,
+                plan.clone(),
+                scrubbing,
+                cc,
+                ckpt_path.as_deref(),
+            );
+            if let (Some(f), Ok(o)) = (journal.as_mut(), &outcome.result) {
+                writeln!(f, "{}", journal_line(&outcome.cell, o))?;
+                f.flush()?;
+                if let Some(p) = &ckpt_path {
+                    // The journaled line supersedes the epoch checkpoint.
+                    let _ = fs::remove_file(p);
+                }
+            }
+            let completed_now = outcome.result.is_ok();
+            cells.push(CampaignCell {
+                outcome,
+                salvaged: false,
+            });
+            if completed_now {
+                fresh_completed += 1;
+                if cc.halt_after.is_some_and(|h| fresh_completed >= h) {
+                    halted = true;
+                    break 'grid;
+                }
+            }
+        }
+    }
+
+    let table = chaos::render_table(cells.iter().map(|c| &c.outcome));
+    Ok(CampaignReport {
+        table,
+        cells,
+        halted,
+        salvaged,
+    })
+}
+
+fn run_cell(
+    cfg_base: &SimConfig,
+    label: &str,
+    plan: FaultPlan,
+    scrubbing: bool,
+    cc: &CampaignConfig,
+    ckpt: Option<&Path>,
+) -> Cell<ChaosOutcome> {
+    let id = cell_id(label, scrubbing);
+    let body = catch_unwind(AssertUnwindSafe(|| {
+        cell_body(cfg_base, label, plan, scrubbing, cc, ckpt)
+    }));
+    match body {
+        Ok(Ok(o)) => Cell::ok("chaos", id, o),
+        Ok(Err(e)) => Cell::err("chaos", id, e),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Cell::err("chaos", id, CellError::Panicked(msg))
+        }
+    }
+}
+
+fn cell_body(
+    cfg_base: &SimConfig,
+    label: &str,
+    plan: FaultPlan,
+    scrubbing: bool,
+    cc: &CampaignConfig,
+    ckpt: Option<&Path>,
+) -> Result<ChaosOutcome, CellError> {
+    let cfg = chaos::cell_config(cfg_base, plan, scrubbing);
+    let workload = WorkloadKind::S3;
+    let defense = chaos::chaos_defense();
+    // Salvage the in-flight cell from its last epoch checkpoint. A blob
+    // that fails its checksum, belongs to another cell, or does not
+    // reconstruct its digest is rejected by restore — start fresh then.
+    let mut run = ckpt
+        .and_then(|p| fs::read(p).ok())
+        .and_then(|blob| ResumableRun::restore(&cfg, &workload, defense, cc.requests, &blob).ok());
+    let mut run = match run.take() {
+        Some(r) => r,
+        None => ResumableRun::new(&cfg, &workload, defense, cc.requests)?,
+    };
+    let start = Instant::now();
+    let mut retry_exhausted = false;
+    while !run.is_complete() {
+        // An exhausted retry budget is chaos data, not a cell failure:
+        // record it and report the partial metrics, like the monolithic
+        // runner did.
+        if run.run_epoch(cc.epoch.max(1)).is_err() {
+            retry_exhausted = true;
+            break;
+        }
+        if let Some(p) = ckpt {
+            write_atomically(p, &run.checkpoint()).map_err(|e| CellError::Io(e.to_string()))?;
+        }
+        if let Some(ms) = cc.wall_budget_ms {
+            let elapsed = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+            if elapsed > ms {
+                return Err(CellError::WallClockExceeded {
+                    budget_ms: ms,
+                    done: run.requests_done(),
+                });
+            }
+        }
+        if let Some(ps) = cc.sim_budget_ps {
+            if run.system().sim_time().as_ps() > ps {
+                return Err(CellError::SimTimeExceeded {
+                    budget_ps: ps,
+                    done: run.requests_done(),
+                });
+            }
+        }
+    }
+    Ok(chaos::collect_outcome(
+        run.system(),
+        label,
+        scrubbing,
+        retry_exhausted,
+    ))
+}
+
+/// Writes `bytes` to `path` via a temporary file + rename, so a crash
+/// mid-write never leaves a torn checkpoint behind.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+fn journal_line(id: &str, o: &ChaosOutcome) -> String {
+    emit_line(&[
+        ("cell", JsonValue::Str(id.to_string())),
+        ("label", JsonValue::Str(o.label.clone())),
+        ("scrubbing", JsonValue::Bool(o.scrubbing)),
+        ("seu_injected", JsonValue::U64(o.seu_injected)),
+        ("corruption_events", JsonValue::U64(o.corruption_events)),
+        ("additional_acts", JsonValue::U64(o.additional_acts)),
+        ("protocol_nacks", JsonValue::U64(o.protocol_nacks)),
+        ("injected_nacks", JsonValue::U64(o.injected_nacks)),
+        ("fallback_windows", JsonValue::U64(o.fallback_windows)),
+        ("retry_exhausted", JsonValue::Bool(o.retry_exhausted)),
+        ("bit_flips", JsonValue::U64(o.bit_flips as u64)),
+    ])
+}
+
+/// Loads journaled cell outcomes. Malformed lines (e.g. a line torn by
+/// the very crash being recovered from) are skipped: the affected cell
+/// simply reruns.
+fn load_journal(path: &Path) -> std::io::Result<HashMap<String, ChaosOutcome>> {
+    let mut out = HashMap::new();
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some((id, o)) = parse_journal_line(line) {
+            out.insert(id, o);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_journal_line(line: &str) -> Option<(String, ChaosOutcome)> {
+    let map = parse_line(line).ok()?;
+    let outcome = ChaosOutcome {
+        label: map.get("label")?.as_str()?.to_string(),
+        scrubbing: map.get("scrubbing")?.as_bool()?,
+        seu_injected: map.get("seu_injected")?.as_u64()?,
+        corruption_events: map.get("corruption_events")?.as_u64()?,
+        additional_acts: map.get("additional_acts")?.as_u64()?,
+        protocol_nacks: map.get("protocol_nacks")?.as_u64()?,
+        injected_nacks: map.get("injected_nacks")?.as_u64()?,
+        fallback_windows: map.get("fallback_windows")?.as_u64()?,
+        retry_exhausted: map.get("retry_exhausted")?.as_bool()?,
+        bit_flips: usize::try_from(map.get("bit_flips")?.as_u64()?).ok()?,
+    };
+    Some((map.get("cell")?.as_str()?.to_string(), outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_line_round_trips() {
+        let o = ChaosOutcome {
+            label: "bus gauntlet".to_string(),
+            scrubbing: true,
+            seu_injected: 12,
+            corruption_events: 3,
+            additional_acts: 40,
+            protocol_nacks: 5,
+            injected_nacks: 6,
+            fallback_windows: 2,
+            retry_exhausted: false,
+            bit_flips: 0,
+        };
+        let line = journal_line("bus gauntlet/hardened", &o);
+        let (id, parsed) = parse_journal_line(&line).expect("round trip");
+        assert_eq!(id, "bus gauntlet/hardened");
+        assert_eq!(parsed, o);
+    }
+
+    #[test]
+    fn torn_journal_lines_are_skipped() {
+        let line = journal_line(
+            "x/hardened",
+            &ChaosOutcome {
+                label: "x".to_string(),
+                scrubbing: true,
+                seu_injected: 0,
+                corruption_events: 0,
+                additional_acts: 0,
+                protocol_nacks: 0,
+                injected_nacks: 0,
+                fallback_windows: 0,
+                retry_exhausted: false,
+                bit_flips: 0,
+            },
+        );
+        // A crash mid-write truncates the final line.
+        let torn = &line[..line.len() - 7];
+        assert!(parse_journal_line(torn).is_none());
+    }
+
+    #[test]
+    fn wall_clock_watchdog_fires_at_epoch_boundary() {
+        let cfg = SimConfig::fast_test();
+        let mut cc = CampaignConfig::new(50_000);
+        cc.epoch = 128;
+        cc.wall_budget_ms = Some(0); // fires at the first epoch boundary
+        let grid = chaos::fault_grid(cfg.seed ^ 0xC4A0);
+        let (label, plan) = &grid[0];
+        let cell = run_cell(&cfg, label, plan.clone(), true, &cc, None);
+        match cell.result {
+            Err(CellError::WallClockExceeded { done, .. }) => {
+                assert!(done >= 128, "at least one epoch ran: {done}");
+                assert!(done < 50_000, "the watchdog must cut the cell short");
+            }
+            other => panic!("expected a wall-clock timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sim_time_watchdog_fires_and_degrades_the_cell() {
+        let cfg = SimConfig::fast_test();
+        let mut cc = CampaignConfig::new(50_000);
+        cc.epoch = 256;
+        cc.sim_budget_ps = Some(1); // any simulated progress exceeds this
+        let grid = chaos::fault_grid(cfg.seed ^ 0xC4A0);
+        let (label, plan) = &grid[0];
+        let cell = run_cell(&cfg, label, plan.clone(), false, &cc, None);
+        assert!(
+            matches!(cell.result, Err(CellError::SimTimeExceeded { .. })),
+            "{:?}",
+            cell.result
+        );
+    }
+}

@@ -17,17 +17,24 @@
 //!   (`Hottest`) upset stream can hold the hot counter below `th_rh`
 //!   forever, so the ARR never fires and the victim rows accumulate the
 //!   full `N_th` disturbance.
+//!
+//! The grid is executed by the crash-safe supervisor in
+//! [`crate::campaign`]: each cell runs in epochs under `catch_unwind`
+//! with optional watchdog budgets, and completed cells can be journaled
+//! so an interrupted campaign resumes instead of restarting.
 
+use crate::checkpoint::ResumableRun;
 use crate::config::SimConfig;
+use crate::outcome::{Cell, CellError};
 use crate::report::Table;
-use crate::runner::{build_trace, WorkloadKind};
+use crate::runner::WorkloadKind;
 use crate::system::System;
 use twice::TableOrganization;
 use twice_common::fault::{FaultKind, FaultPlan, FaultTargeting};
 use twice_mitigations::DefenseKind;
 
 /// One chaos run's outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChaosOutcome {
     /// Human-readable fault-configuration label.
     pub label: String,
@@ -52,25 +59,30 @@ pub struct ChaosOutcome {
     pub bit_flips: usize,
 }
 
-/// Runs one S3 hammer campaign under `plan` with the TWiCe hardening
-/// toggled by `scrubbing`; a PARA-0.01 fallback stands by in the MC.
-pub fn chaos_run(
-    cfg_base: &SimConfig,
-    label: &str,
-    plan: FaultPlan,
-    scrubbing: bool,
-    requests: u64,
-) -> ChaosOutcome {
+/// The defense every chaos cell runs: the paper's fully-associative
+/// TWiCe (hardening is toggled per cell through the config).
+pub fn chaos_defense() -> DefenseKind {
+    DefenseKind::Twice(TableOrganization::FullyAssociative)
+}
+
+/// Derives one cell's configuration: the fault plan under test, the
+/// hardening toggle, and the standing PARA-0.01 MC fallback.
+pub fn cell_config(cfg_base: &SimConfig, plan: FaultPlan, scrubbing: bool) -> SimConfig {
     let mut cfg = cfg_base.clone();
     cfg.fault_plan = plan;
     cfg.twice_scrubbing = scrubbing;
     cfg.para_fallback = Some(0.01);
-    let mut system = System::new(
-        &cfg,
-        DefenseKind::Twice(TableOrganization::FullyAssociative),
-    );
-    let trace = build_trace(&cfg, &WorkloadKind::S3, requests);
-    let retry_exhausted = system.run(trace).is_err();
+    cfg
+}
+
+/// Extracts a [`ChaosOutcome`] from a finished (or retry-exhausted)
+/// cell's system state.
+pub(crate) fn collect_outcome(
+    system: &System,
+    label: &str,
+    scrubbing: bool,
+    retry_exhausted: bool,
+) -> ChaosOutcome {
     let m = system.metrics("s3-chaos");
     let ctrls = system.controllers();
     ChaosOutcome {
@@ -95,11 +107,36 @@ pub fn chaos_run(
     }
 }
 
+/// Runs one S3 hammer campaign under `plan` with the TWiCe hardening
+/// toggled by `scrubbing`; a PARA-0.01 fallback stands by in the MC.
+///
+/// # Errors
+///
+/// Typed [`CellError`]s for malformed configuration; an exhausted retry
+/// budget is chaos *data*, recorded in the outcome instead.
+pub fn chaos_run(
+    cfg_base: &SimConfig,
+    label: &str,
+    plan: FaultPlan,
+    scrubbing: bool,
+    requests: u64,
+) -> Result<ChaosOutcome, CellError> {
+    let cfg = cell_config(cfg_base, plan, scrubbing);
+    let mut run = ResumableRun::new(&cfg, &WorkloadKind::S3, chaos_defense(), requests)?;
+    let retry_exhausted = run.run_to_completion(4096).is_err();
+    Ok(collect_outcome(
+        run.system(),
+        label,
+        scrubbing,
+        retry_exhausted,
+    ))
+}
+
 /// The campaign's fault grid: an SEU-rate sweep (random targeting), the
 /// adversarial hottest-counter stream, and a command-bus gauntlet
 /// (spurious nacks + dropped/duplicated ARRs + refresh postponement +
 /// jitter), each against both engine configurations.
-fn fault_grid(seed: u64) -> Vec<(String, FaultPlan)> {
+pub fn fault_grid(seed: u64) -> Vec<(String, FaultPlan)> {
     let mut grid = Vec::new();
     for rate in [1e-4, 1e-3, 1e-2] {
         grid.push((
@@ -125,8 +162,10 @@ fn fault_grid(seed: u64) -> Vec<(String, FaultPlan)> {
     grid
 }
 
-/// Runs the full campaign and renders the report table.
-pub fn chaos_experiment(cfg_base: &SimConfig, requests: u64) -> (Table, Vec<ChaosOutcome>) {
+/// Renders the campaign table: completed cells show their measurements,
+/// failed cells degrade to a structured error row instead of aborting
+/// the report.
+pub(crate) fn render_table<'a>(cells: impl IntoIterator<Item = &'a Cell<ChaosOutcome>>) -> Table {
     let mut table = Table::new(
         "E4 (extension): fault-injection campaign, S3 hammer",
         &[
@@ -141,42 +180,81 @@ pub fn chaos_experiment(cfg_base: &SimConfig, requests: u64) -> (Table, Vec<Chao
             "bit flips",
         ],
     );
-    let mut out = Vec::new();
-    for (label, plan) in fault_grid(cfg_base.seed ^ 0xC4A0) {
-        for scrubbing in [true, false] {
-            let o = chaos_run(cfg_base, &label, plan.clone(), scrubbing, requests);
-            table.row(&[
-                o.label.clone(),
-                if o.scrubbing {
-                    "hardened"
-                } else {
-                    "unhardened"
-                }
-                .to_string(),
-                o.seu_injected.to_string(),
-                o.corruption_events.to_string(),
-                o.additional_acts.to_string(),
-                format!("{}/{}", o.protocol_nacks, o.injected_nacks),
-                o.fallback_windows.to_string(),
-                if o.retry_exhausted { "YES" } else { "no" }.to_string(),
-                o.bit_flips.to_string(),
-            ]);
-            out.push(o);
+    for cell in cells {
+        match &cell.result {
+            Ok(o) => {
+                table.row(&[
+                    o.label.clone(),
+                    if o.scrubbing {
+                        "hardened"
+                    } else {
+                        "unhardened"
+                    }
+                    .to_string(),
+                    o.seu_injected.to_string(),
+                    o.corruption_events.to_string(),
+                    o.additional_acts.to_string(),
+                    format!("{}/{}", o.protocol_nacks, o.injected_nacks),
+                    o.fallback_windows.to_string(),
+                    if o.retry_exhausted { "YES" } else { "no" }.to_string(),
+                    o.bit_flips.to_string(),
+                ]);
+            }
+            Err(e) => {
+                let (label, engine) = cell.cell.rsplit_once('/').unwrap_or((&cell.cell[..], "?"));
+                table.row(&[
+                    label.to_string(),
+                    engine.to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    format!("error: {e}"),
+                ]);
+            }
         }
     }
-    (table, out)
+    table
+}
+
+/// Runs the full campaign in-process and renders the report table.
+///
+/// # Errors
+///
+/// Only journal I/O can fail, and this entry point never journals (no
+/// directory), so an error here indicates a campaign-plumbing bug.
+pub fn chaos_experiment(
+    cfg_base: &SimConfig,
+    requests: u64,
+) -> std::io::Result<(Table, Vec<Cell<ChaosOutcome>>)> {
+    let cc = crate::campaign::CampaignConfig::new(requests);
+    let report = crate::campaign::chaos_campaign(cfg_base, &cc)?;
+    Ok((
+        report.table,
+        report.cells.into_iter().map(|c| c.outcome).collect(),
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::outcome::require;
 
     #[test]
     fn hardened_twice_survives_the_full_grid() {
         let cfg = SimConfig::fast_test();
-        let (table, runs) = chaos_experiment(&cfg, 60_000);
-        assert_eq!(table.len(), runs.len());
-        for o in runs.iter().filter(|o| o.scrubbing) {
+        let (table, cells) = chaos_experiment(&cfg, 60_000).expect("no journal directory");
+        assert_eq!(table.len(), cells.len());
+        for cell in &cells {
+            assert!(
+                cell.result.is_ok(),
+                "no cell may fail: {:?}",
+                cell.error_line()
+            );
+        }
+        for o in crate::outcome::completed(&cells).filter(|o| o.scrubbing) {
             assert_eq!(o.bit_flips, 0, "hardened engine must stay safe: {o:?}");
             assert!(
                 !o.retry_exhausted,
@@ -186,19 +264,19 @@ mod tests {
         // The adversarial stream demonstrably defeats the unhardened
         // engine — the hot counter never reaches th_rh, so no ARR fires
         // and the victims take the full N_th disturbance.
-        let adversarial = runs
-            .iter()
-            .find(|o| o.label.contains("hottest") && !o.scrubbing)
-            .unwrap();
+        let adversarial = require(&cells, "unhardened hottest cell", |o| {
+            o.label.contains("hottest") && !o.scrubbing
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(
             adversarial.bit_flips > 0,
             "the unhardened engine must lose the hot counter: {adversarial:?}"
         );
         // Same fault stream, hardened: every upset is caught by parity.
-        let defended = runs
-            .iter()
-            .find(|o| o.label.contains("hottest") && o.scrubbing)
-            .unwrap();
+        let defended = require(&cells, "hardened hottest cell", |o| {
+            o.label.contains("hottest") && o.scrubbing
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
         assert!(defended.seu_injected > 0, "faults must actually land");
         assert!(
             defended.corruption_events > 0,
@@ -216,7 +294,7 @@ mod tests {
         let plan = FaultPlan::with_seed(7)
             .rate(FaultKind::SpuriousNack, 1e-3)
             .rate(FaultKind::TimingJitter, 1e-3);
-        let o = chaos_run(&cfg, "nack+jitter", plan, true, 30_000);
+        let o = chaos_run(&cfg, "nack+jitter", plan, true, 30_000).expect("valid cell");
         assert!(o.injected_nacks > 0, "spurious nacks must land: {o:?}");
         assert!(
             !o.retry_exhausted,

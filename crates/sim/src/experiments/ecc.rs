@@ -10,11 +10,13 @@
 //! — while TWiCe simply prevents the damage.
 
 use crate::config::SimConfig;
+use crate::outcome::{Cell, CellError};
 use crate::report::Table;
-use crate::runner::{build_trace, WorkloadKind};
+use crate::runner::{try_build_source, WorkloadKind};
 use crate::system::System;
 use twice::TableOrganization;
 use twice_mitigations::DefenseKind;
+use twice_workloads::AccessSource;
 
 /// Per-run ECC outcome summary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,15 +33,25 @@ pub struct EccSummary {
 
 /// Runs `workload` for `requests` on `cfg` under `defense` and judges
 /// every corrupted row with the SEC-DED model.
+///
+/// # Errors
+///
+/// [`CellError::InvalidConfig`] for a malformed configuration and
+/// [`CellError::RetryExhausted`] when the controller gives up — both
+/// degrade one table cell instead of aborting the experiment.
 pub fn run_with_ecc_judgement(
     cfg: &SimConfig,
     workload: WorkloadKind,
     defense: DefenseKind,
     requests: u64,
-) -> EccSummary {
+) -> Result<EccSummary, CellError> {
+    cfg.validate()
+        .map_err(|e| CellError::InvalidConfig(e.to_string()))?;
     let mut system = System::new(cfg, defense);
-    let trace = build_trace(cfg, &workload, requests);
-    system.run(trace).expect("fault-free run");
+    let trace = try_build_source(cfg, &workload)?.take_requests(requests);
+    system
+        .run(trace)
+        .map_err(|e| CellError::RetryExhausted(e.to_string()))?;
     let mut summary = EccSummary {
         corrupted_rows: 0,
         corrected: 0,
@@ -60,11 +72,12 @@ pub fn run_with_ecc_judgement(
             }
         }
     }
-    summary
+    Ok(summary)
 }
 
-/// Runs E3 and renders the comparison table.
-pub fn ecc_experiment(cfg_base: &SimConfig, requests: u64) -> (Table, Vec<EccSummary>) {
+/// Runs E3 and renders the comparison table. A failed run degrades to a
+/// structured error row instead of aborting the experiment.
+pub fn ecc_experiment(cfg_base: &SimConfig, requests: u64) -> (Table, Vec<Cell<EccSummary>>) {
     // Overdrive: one extra flip per N_th/32 of excess disturbance, so a
     // sustained hammer sprays enough bits for same-codeword collisions.
     let mut cfg = cfg_base.clone();
@@ -88,15 +101,32 @@ pub fn ecc_experiment(cfg_base: &SimConfig, requests: u64) -> (Table, Vec<EccSum
     );
     let mut out = Vec::new();
     for (label, defense) in runs {
-        let s = run_with_ecc_judgement(&cfg, WorkloadKind::S3, defense, requests);
-        table.row(&[
-            label.to_string(),
-            s.corrupted_rows.to_string(),
-            s.corrected.to_string(),
-            s.uncorrectable.to_string(),
-            s.silent.to_string(),
-        ]);
-        out.push(s);
+        let cell = Cell {
+            experiment: "ecc",
+            cell: label.to_string(),
+            result: run_with_ecc_judgement(&cfg, WorkloadKind::S3, defense, requests),
+        };
+        match &cell.result {
+            Ok(s) => {
+                table.row(&[
+                    label.to_string(),
+                    s.corrupted_rows.to_string(),
+                    s.corrected.to_string(),
+                    s.uncorrectable.to_string(),
+                    s.silent.to_string(),
+                ]);
+            }
+            Err(e) => {
+                table.row(&[
+                    label.to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    format!("error: {e}"),
+                ]);
+            }
+        }
+        out.push(cell);
     }
     (table, out)
 }
@@ -110,8 +140,13 @@ mod tests {
         let cfg = SimConfig::fast_test();
         let (table, runs) = ecc_experiment(&cfg, 60_000);
         assert_eq!(table.len(), 2);
-        let unprotected = runs[0];
-        let twice = runs[1];
+        let by = |cell: &Cell<EccSummary>| {
+            *cell
+                .value()
+                .unwrap_or_else(|| panic!("{}", cell.error_line().unwrap()))
+        };
+        let unprotected = by(&runs[0]);
+        let twice = by(&runs[1]);
         assert!(
             unprotected.corrupted_rows > 0,
             "the hammer must corrupt rows undefended"
@@ -128,7 +163,8 @@ mod tests {
         // Without overdrive, each victim gets exactly one flipped bit —
         // within SEC-DED's correction power.
         let cfg = SimConfig::fast_test(); // overshoot disabled
-        let s = run_with_ecc_judgement(&cfg, WorkloadKind::S3, DefenseKind::None, 60_000);
+        let s = run_with_ecc_judgement(&cfg, WorkloadKind::S3, DefenseKind::None, 60_000)
+            .expect("fault-free run");
         assert!(s.corrupted_rows > 0);
         // One flip lands per victim per window; flips persist through
         // refresh (that is what makes row-hammer dangerous), so a

@@ -10,16 +10,17 @@
 
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
+use crate::outcome::Cell;
 use crate::report::Table;
-use crate::runner::{run, WorkloadKind};
+use crate::runner::{try_run, WorkloadKind};
 use twice::TableOrganization;
 use twice_mitigations::DefenseKind;
 
 /// The latency-spike comparison.
 #[derive(Debug, Clone)]
 pub struct LatencyResult {
-    /// Per-(workload, defense) metrics.
-    pub runs: Vec<RunMetrics>,
+    /// Per-(workload, defense) cells; failures degrade to error rows.
+    pub runs: Vec<Cell<RunMetrics>>,
     /// Rendered table.
     pub table: Table,
 }
@@ -38,15 +39,32 @@ pub fn latency_spike(cfg: &SimConfig, workloads: &[(String, WorkloadKind, u64)])
     let mut runs = Vec::new();
     for (label, workload, requests) in workloads {
         for &d in &defenses {
-            let m = run(cfg, workload.clone(), d, *requests);
-            table.row(&[
-                label.clone(),
-                m.defense.clone(),
-                m.latency_mean.to_string(),
-                m.latency_p99.to_string(),
-                m.latency_max.to_string(),
-            ]);
-            runs.push(m);
+            let cell = Cell {
+                experiment: "latency",
+                cell: format!("{label}/{d}"),
+                result: try_run(cfg, workload.clone(), d, *requests),
+            };
+            match &cell.result {
+                Ok(m) => {
+                    table.row(&[
+                        label.clone(),
+                        m.defense.clone(),
+                        m.latency_mean.to_string(),
+                        m.latency_p99.to_string(),
+                        m.latency_max.to_string(),
+                    ]);
+                }
+                Err(e) => {
+                    table.row(&[
+                        label.clone(),
+                        d.to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        format!("error: {e}"),
+                    ]);
+                }
+            }
+            runs.push(cell);
         }
     }
     LatencyResult { runs, table }
@@ -55,6 +73,7 @@ pub fn latency_spike(cfg: &SimConfig, workloads: &[(String, WorkloadKind, u64)])
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::outcome::require;
 
     #[test]
     fn cbt_spikes_dwarf_twice_on_its_adversarial_pattern() {
@@ -67,11 +86,10 @@ mod tests {
         let workloads = vec![("S3".to_string(), WorkloadKind::S3, 60_000u64)];
         let result = latency_spike(&cfg, &workloads);
         let by = |name: &str| {
-            result
-                .runs
-                .iter()
-                .find(|m| m.defense.contains(name))
-                .expect("defense present")
+            require(&result.runs, name, |m: &RunMetrics| {
+                m.defense.contains(name)
+            })
+            .unwrap_or_else(|e| panic!("{e}"))
         };
         let twice = by("TWiCe");
         let cbt = by("CBT");

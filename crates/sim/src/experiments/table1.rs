@@ -2,8 +2,9 @@
 //! measurements from this reproduction rather than just claims.
 
 use crate::config::SimConfig;
+use crate::outcome::{Cell, CellError};
 use crate::report::{percent, Table};
-use crate::runner::{run, WorkloadKind};
+use crate::runner::{try_run, WorkloadKind};
 use twice::TableOrganization;
 use twice_mitigations::DefenseKind;
 
@@ -23,10 +24,36 @@ pub struct Comparison {
     pub detects: bool,
 }
 
+fn measure(
+    cfg: &SimConfig,
+    kind: DefenseKind,
+    location: &'static str,
+    requests: u64,
+) -> Result<Comparison, CellError> {
+    let typical = try_run(cfg, WorkloadKind::S1, kind, requests)?;
+    // Each defense's worst pattern: CBT hates S2; everyone else S3;
+    // CRA hates S1 itself, so take the max.
+    let s2 = try_run(cfg, WorkloadKind::S2, kind, requests)?;
+    let s3 = try_run(cfg, WorkloadKind::S3, kind, requests)?;
+    let adversarial = s2
+        .additional_act_ratio()
+        .max(s3.additional_act_ratio())
+        .max(typical.additional_act_ratio());
+    Ok(Comparison {
+        defense: kind.to_string(),
+        location,
+        typical_overhead: typical.additional_act_ratio(),
+        adversarial_overhead: adversarial,
+        detects: s3.detections > 0,
+    })
+}
+
 /// Reproduces Table 1, measuring each scheme on a benign pattern (S1)
 /// and on the adversarial patterns (S2 for the counter trees, S3 for
-/// everyone) with `requests` accesses per run.
-pub fn table1(cfg: &SimConfig, requests: u64) -> (Table, Vec<Comparison>) {
+/// everyone) with `requests` accesses per run. A cell that fails —
+/// malformed configuration, exhausted retry budget — degrades to a
+/// structured error row instead of aborting the table.
+pub fn table1(cfg: &SimConfig, requests: u64) -> (Table, Vec<Cell<Comparison>>) {
     let lineup: Vec<(DefenseKind, &'static str)> = vec![
         (DefenseKind::Cra { cache_entries: 64 }, "MC"),
         (DefenseKind::Cbt { counters: 256 }, "MC"),
@@ -36,23 +63,12 @@ pub fn table1(cfg: &SimConfig, requests: u64) -> (Table, Vec<Comparison>) {
             "RCD",
         ),
     ];
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for (kind, location) in lineup {
-        let typical = run(cfg, WorkloadKind::S1, kind, requests);
-        // Each defense's worst pattern: CBT hates S2; everyone else S3;
-        // CRA hates S1 itself, so take the max.
-        let s2 = run(cfg, WorkloadKind::S2, kind, requests);
-        let s3 = run(cfg, WorkloadKind::S3, kind, requests);
-        let adversarial = s2
-            .additional_act_ratio()
-            .max(s3.additional_act_ratio())
-            .max(typical.additional_act_ratio());
-        rows.push(Comparison {
-            defense: kind.to_string(),
-            location,
-            typical_overhead: typical.additional_act_ratio(),
-            adversarial_overhead: adversarial,
-            detects: s3.detections > 0,
+        cells.push(Cell {
+            experiment: "table1",
+            cell: kind.to_string(),
+            result: measure(cfg, kind, location, requests),
         });
     }
     let mut table = Table::new(
@@ -65,28 +81,45 @@ pub fn table1(cfg: &SimConfig, requests: u64) -> (Table, Vec<Comparison>) {
             "detects attacks",
         ],
     );
-    for c in &rows {
-        table.row(&[
-            c.defense.clone(),
-            c.location.to_string(),
-            percent(c.typical_overhead),
-            percent(c.adversarial_overhead),
-            if c.detects { "yes" } else { "no" }.to_string(),
-        ]);
+    for cell in &cells {
+        match &cell.result {
+            Ok(c) => {
+                table.row(&[
+                    c.defense.clone(),
+                    c.location.to_string(),
+                    percent(c.typical_overhead),
+                    percent(c.adversarial_overhead),
+                    if c.detects { "yes" } else { "no" }.to_string(),
+                ]);
+            }
+            Err(e) => {
+                table.row(&[
+                    cell.cell.clone(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    format!("error: {e}"),
+                ]);
+            }
+        }
     }
-    (table, rows)
+    (table, cells)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::outcome::require;
 
     #[test]
     fn measured_table1_preserves_paper_ordering() {
         let cfg = SimConfig::fast_test();
         let (table, rows) = table1(&cfg, 30_000);
         assert_eq!(table.len(), 4);
-        let by_name = |n: &str| rows.iter().find(|c| c.defense.contains(n)).unwrap();
+        let by_name = |n: &str| {
+            require(&rows, n, |c: &Comparison| c.defense.contains(n))
+                .unwrap_or_else(|e| panic!("{e}"))
+        };
         let cra = by_name("CRA");
         let cbt = by_name("CBT");
         let para = by_name("PARA");

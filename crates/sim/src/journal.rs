@@ -1,0 +1,266 @@
+//! The JSONL cell-outcome journal for resumable campaigns.
+//!
+//! One line per *completed* grid cell, appended and flushed as soon as
+//! the cell finishes, so a crash loses at most the in-flight cell (whose
+//! partial state lives in the epoch checkpoint instead). The format is a
+//! flat JSON object of strings, unsigned integers, and booleans —
+//! written and parsed by the tiny codec below, because the workspace
+//! deliberately has no serde dependency.
+
+use std::collections::BTreeMap;
+
+/// A flat JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// A non-negative JSON integer.
+    U64(u64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` for use inside a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one journal line from ordered key/value pairs.
+pub fn emit_line(fields: &[(&str, JsonValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape(k));
+        out.push_str("\":");
+        match v {
+            JsonValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            JsonValue::U64(n) => out.push_str(&n.to_string()),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Parses one journal line back into a key → value map.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax error.
+pub fn parse_line(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut p = Parser {
+        chars: line.trim().chars().collect(),
+        pos: 0,
+    };
+    let map = p.object()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing garbage at column {}", p.pos));
+    }
+    Ok(map)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or("unexpected end of line")?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        self.skip_ws();
+        let got = self.bump()?;
+        if got != want {
+            return Err(format!(
+                "expected '{want}', got '{got}' at column {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, JsonValue>, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => {}
+                '}' => return Ok(map),
+                c => return Err(format!("expected ',' or '}}', got '{c}'")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of line")? {
+            '"' => Ok(JsonValue::Str(self.string()?)),
+            't' => self.literal("true", JsonValue::Bool(true)),
+            'f' => self.literal("false", JsonValue::Bool(false)),
+            c if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    n.push(self.bump()?);
+                }
+                n.parse::<u64>()
+                    .map(JsonValue::U64)
+                    .map_err(|e| format!("bad integer {n}: {e}"))
+            }
+            c => Err(format!("unexpected value start '{c}'")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        for want in word.chars() {
+            let got = self.bump()?;
+            if got != want {
+                return Err(format!("bad literal: expected {word}"));
+            }
+        }
+        Ok(value)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump()?;
+                            code =
+                                code * 16 + d.to_digit(16).ok_or(format!("bad \\u digit '{d}'"))?;
+                        }
+                        out.push(char::from_u32(code).ok_or(format!("bad codepoint {code:#x}"))?);
+                    }
+                    c => return Err(format!("unsupported escape '\\{c}'")),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_scalar_kind() {
+        let line = emit_line(&[
+            (
+                "cell",
+                JsonValue::Str("seu 1e-4 \"random\"/hardened".into()),
+            ),
+            ("bit_flips", JsonValue::U64(0)),
+            ("scrubbing", JsonValue::Bool(true)),
+            ("retry_exhausted", JsonValue::Bool(false)),
+        ]);
+        let map = parse_line(&line).expect("parse");
+        assert_eq!(
+            map["cell"].as_str().unwrap(),
+            "seu 1e-4 \"random\"/hardened"
+        );
+        assert_eq!(map["bit_flips"].as_u64(), Some(0));
+        assert_eq!(map["scrubbing"].as_bool(), Some(true));
+        assert_eq!(map["retry_exhausted"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let line = emit_line(&[("k", JsonValue::Str("a\nb\t\"c\"\\d\u{1}".into()))]);
+        let map = parse_line(&line).expect("parse");
+        assert_eq!(map["k"].as_str().unwrap(), "a\nb\t\"c\"\\d\u{1}");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["", "{", "{\"k\":}", "{\"k\":1} extra", "{\"k\":nope}"] {
+            assert!(parse_line(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_line("{}").expect("parse").is_empty());
+    }
+}

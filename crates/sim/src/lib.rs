@@ -17,6 +17,10 @@
 //! * [`report`] — ASCII table rendering for experiment output.
 //! * [`verify`] — end-to-end protection checks (DESIGN.md V1).
 //! * [`experiments`] — one module per paper table/figure.
+//! * [`outcome`] — typed per-cell results for experiment grids.
+//! * [`checkpoint`] — epoch-based resumable runs with digests.
+//! * [`journal`] — the JSONL cell-outcome journal.
+//! * [`campaign`] — the supervised, crash-safe chaos campaign.
 //!
 //! # Examples
 //!
@@ -38,9 +42,13 @@
 //! assert_eq!(m.bit_flips, 0, "TWiCe must prevent flips");
 //! ```
 
+pub mod campaign;
+pub mod checkpoint;
 pub mod config;
 pub mod experiments;
+pub mod journal;
 pub mod metrics;
+pub mod outcome;
 pub mod report;
 pub mod runner;
 pub mod system;

@@ -2,6 +2,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
+use crate::outcome::CellError;
 use crate::system::System;
 use std::fmt;
 use twice_common::RowId;
@@ -81,6 +82,44 @@ impl WorkloadKind {
     }
 }
 
+/// Builds the (unbounded, snapshot-capable) generator for `kind`.
+///
+/// The boxed source keeps its [`AccessSource`] snapshot hooks, so a
+/// checkpointed run can save and restore the generator cursor alongside
+/// the system state (see [`crate::checkpoint::ResumableRun`]).
+///
+/// # Errors
+///
+/// [`CellError::UnknownApp`] if a `SpecRate` name has no model.
+pub fn try_build_source(
+    cfg: &SimConfig,
+    kind: &WorkloadKind,
+) -> Result<Box<dyn AccessSource + Send>, CellError> {
+    let topo = &cfg.topology;
+    let seed = cfg.seed;
+    Ok(match kind {
+        WorkloadKind::SpecRate(name) => {
+            let model = app(name).ok_or_else(|| CellError::UnknownApp((*name).to_string()))?;
+            Box::new(spec_rate(topo, &model, seed))
+        }
+        WorkloadKind::MixHigh => Box::new(mix_high(topo, seed)),
+        WorkloadKind::MixBlend => Box::new(mix_blend(topo, seed)),
+        WorkloadKind::Fft => Box::new(FftSource::new(topo, 1 << 22, 16)),
+        WorkloadKind::Radix => Box::new(RadixSource::new(topo, 1 << 22, 256, 16, seed)),
+        WorkloadKind::Mica => Box::new(MicaSource::standard(topo, seed)),
+        WorkloadKind::PageRank => Box::new(PageRankSource::standard(topo, seed)),
+        WorkloadKind::S1 => Box::new(S1Random::new(topo, seed)),
+        WorkloadKind::S2 => Box::new(S2CbtAdversarial::standard(topo, seed)),
+        WorkloadKind::S3 => Box::new(S3SingleRowHammer::new(topo, seed)),
+        WorkloadKind::Attack(shape) => Box::new(HammerAttack::new(topo, 0, shape.clone())),
+    })
+}
+
+/// Builds the generator for `kind`, panicking on unknown SPEC names.
+pub fn build_source(cfg: &SimConfig, kind: &WorkloadKind) -> Box<dyn AccessSource + Send> {
+    try_build_source(cfg, kind).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Builds the bounded trace for `kind` with `requests` accesses.
 ///
 /// # Panics
@@ -91,32 +130,31 @@ pub fn build_trace(
     kind: &WorkloadKind,
     requests: u64,
 ) -> Box<dyn Iterator<Item = TraceItem>> {
-    let topo = &cfg.topology;
-    let seed = cfg.seed;
-    match kind {
-        WorkloadKind::SpecRate(name) => {
-            let model = app(name).unwrap_or_else(|| panic!("unknown SPEC app {name}"));
-            Box::new(spec_rate(topo, &model, seed).take_requests(requests))
-        }
-        WorkloadKind::MixHigh => Box::new(mix_high(topo, seed).take_requests(requests)),
-        WorkloadKind::MixBlend => Box::new(mix_blend(topo, seed).take_requests(requests)),
-        WorkloadKind::Fft => Box::new(FftSource::new(topo, 1 << 22, 16).take_requests(requests)),
-        WorkloadKind::Radix => {
-            Box::new(RadixSource::new(topo, 1 << 22, 256, 16, seed).take_requests(requests))
-        }
-        WorkloadKind::Mica => Box::new(MicaSource::standard(topo, seed).take_requests(requests)),
-        WorkloadKind::PageRank => {
-            Box::new(PageRankSource::standard(topo, seed).take_requests(requests))
-        }
-        WorkloadKind::S1 => Box::new(S1Random::new(topo, seed).take_requests(requests)),
-        WorkloadKind::S2 => {
-            Box::new(S2CbtAdversarial::standard(topo, seed).take_requests(requests))
-        }
-        WorkloadKind::S3 => Box::new(S3SingleRowHammer::new(topo, seed).take_requests(requests)),
-        WorkloadKind::Attack(shape) => {
-            Box::new(HammerAttack::new(topo, 0, shape.clone()).take_requests(requests))
-        }
-    }
+    Box::new(build_source(cfg, kind).take_requests(requests))
+}
+
+/// Runs `workload` under `defense` for `requests` accesses and collects
+/// the metrics, reporting failures as typed per-cell errors instead of
+/// unwinding.
+///
+/// # Errors
+///
+/// [`CellError::InvalidConfig`], [`CellError::UnknownApp`], or
+/// [`CellError::RetryExhausted`].
+pub fn try_run(
+    cfg: &SimConfig,
+    workload: WorkloadKind,
+    defense: DefenseKind,
+    requests: u64,
+) -> Result<RunMetrics, CellError> {
+    cfg.validate()
+        .map_err(|e| CellError::InvalidConfig(e.to_string()))?;
+    let source = try_build_source(cfg, &workload)?;
+    let mut system = System::new(cfg, defense);
+    system
+        .run(source.take_requests(requests))
+        .map_err(|e| CellError::RetryExhausted(e.to_string()))?;
+    Ok(system.metrics(workload.to_string()))
 }
 
 /// Runs `workload` under `defense` for `requests` accesses and collects
@@ -127,12 +165,8 @@ pub fn run(
     defense: DefenseKind,
     requests: u64,
 ) -> RunMetrics {
-    let mut system = System::new(cfg, defense);
-    let trace = build_trace(cfg, &workload, requests);
-    system
-        .run(trace)
-        .expect("retry budget exhausted; drive System::run directly for fault campaigns");
-    system.metrics(workload.to_string())
+    try_run(cfg, workload, defense, requests)
+        .unwrap_or_else(|e| panic!("{e}; use try_run for fallible cells"))
 }
 
 /// Convenience: a double-sided attack around `victim`.

@@ -2,6 +2,9 @@
 
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::Time;
 use twice_dram::energy::DramEnergyModel;
 use twice_memctrl::controller::{ChannelController, DefenseLocation};
@@ -70,6 +73,37 @@ impl System {
         }
     }
 
+    /// Feeds one trace item: routes it to its channel, servicing that
+    /// channel's queue until it has capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::RetryExhausted`] if the channel's nack-retry
+    /// budget runs out while making room.
+    pub fn feed(&mut self, (req, access): TraceItem) -> Result<(), ControllerError> {
+        let c = access.channel.index();
+        assert!(c < self.controllers.len(), "trace channel out of range");
+        while !self.controllers[c].has_capacity() {
+            self.controllers[c].service_one()?;
+        }
+        self.controllers[c].submit(req, access);
+        self.requests += 1;
+        Ok(())
+    }
+
+    /// Services every queued request to completion (idempotent: draining
+    /// an already-empty system is a no-op).
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::RetryExhausted`] as for [`System::feed`].
+    pub fn drain(&mut self) -> Result<(), ControllerError> {
+        for ctrl in &mut self.controllers {
+            while ctrl.service_one()? {}
+        }
+        Ok(())
+    }
+
     /// Feeds `trace` through the system to completion: items are routed
     /// to their channel, controllers service requests as their queues
     /// fill, and all queues are drained at the end.
@@ -83,19 +117,29 @@ impl System {
         &mut self,
         trace: impl IntoIterator<Item = TraceItem>,
     ) -> Result<(), ControllerError> {
-        for (req, access) in trace {
-            let c = access.channel.index();
-            assert!(c < self.controllers.len(), "trace channel out of range");
-            while !self.controllers[c].has_capacity() {
-                self.controllers[c].service_one()?;
-            }
-            self.controllers[c].submit(req, access);
-            self.requests += 1;
+        for item in trace {
+            self.feed(item)?;
         }
-        for ctrl in &mut self.controllers {
-            while ctrl.service_one()? {}
-        }
-        Ok(())
+        self.drain()
+    }
+
+    /// Requests fed so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// The latest simulated instant across all channels.
+    pub fn sim_time(&self) -> Time {
+        self.controllers
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// A 64-bit digest of the complete mutable system state.
+    pub fn digest(&self) -> u64 {
+        twice_common::snapshot::digest_of(self)
     }
 
     /// The per-channel controllers.
@@ -146,6 +190,47 @@ impl System {
     }
 }
 
+impl Snapshot for System {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_str(&self.defense_label);
+        w.put_u64(self.requests);
+        w.put_usize(self.controllers.len());
+        for c in &self.controllers {
+            c.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let label = r.take_str()?;
+        if label != self.defense_label {
+            return Err(SnapshotError::StateMismatch(format!(
+                "snapshot was taken under defense {label}, this system runs {}",
+                self.defense_label
+            )));
+        }
+        self.requests = r.take_u64()?;
+        let channels = r.take_usize()?;
+        if channels != self.controllers.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "snapshot has {channels} channels, this system has {}",
+                self.controllers.len()
+            )));
+        }
+        for c in &mut self.controllers {
+            c.load_state(r)?;
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_str(&self.defense_label);
+        d.write_u64(self.requests);
+        for c in &self.controllers {
+            c.digest_state(d);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +264,43 @@ mod tests {
             m.mean_act_interval().as_ps() >= min_interval,
             "mean interval {} beats physics",
             m.mean_act_interval()
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identically() {
+        let cfg = SimConfig::fast_test();
+        let trace: Vec<_> = S1Random::new(&cfg.topology, cfg.seed)
+            .take_requests(2_000)
+            .collect();
+        let mut a = System::new(&cfg, DefenseKind::None);
+        for item in &trace[..1_000] {
+            a.feed(*item).expect("fault-free feed");
+        }
+        let blob = twice_common::snapshot::snapshot_bytes(&a);
+        let mut b = System::new(&cfg, DefenseKind::None);
+        twice_common::snapshot::restore_from(&mut b, &blob).expect("restore");
+        assert_eq!(a.digest(), b.digest(), "restored digest must match");
+        for item in &trace[1_000..] {
+            a.feed(*item).expect("fault-free feed");
+            b.feed(*item).expect("fault-free feed");
+        }
+        a.drain().expect("drain");
+        b.drain().expect("drain");
+        assert_eq!(a.digest(), b.digest(), "suffix replay must converge");
+        assert_eq!(a.metrics("s1"), b.metrics("s1"));
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_defense() {
+        let cfg = SimConfig::fast_test();
+        let a = System::new(&cfg, DefenseKind::None);
+        let blob = twice_common::snapshot::snapshot_bytes(&a);
+        let mut b = System::new(&cfg, DefenseKind::Oracle);
+        let err = twice_common::snapshot::restore_from(&mut b, &blob).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::StateMismatch(_)),
+            "wrong defense must be rejected, got {err:?}"
         );
     }
 

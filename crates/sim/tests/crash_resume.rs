@@ -1,0 +1,170 @@
+//! Crash-safety properties of the checkpoint/restore/replay machinery:
+//!
+//! 1. For every defense, interrupting a run at an arbitrary epoch,
+//!    serializing it, restoring it, and replaying the remaining trace
+//!    reproduces the uninterrupted run's state digest and metrics
+//!    exactly — any hidden nondeterminism is a hard failure.
+//! 2. A checkpoint with any flipped byte is rejected up front, never
+//!    silently loaded.
+//! 3. A chaos campaign killed mid-grid and resumed from its journal
+//!    produces the same final report as a clean, uninterrupted run.
+
+use twice::TableOrganization;
+use twice_mitigations::DefenseKind;
+use twice_sim::campaign::{chaos_campaign, CampaignConfig};
+use twice_sim::checkpoint::ResumableRun;
+use twice_sim::config::SimConfig;
+use twice_sim::runner::WorkloadKind;
+
+const TOTAL: u64 = 4_000;
+const EPOCH: u64 = 512;
+
+fn every_defense() -> Vec<DefenseKind> {
+    vec![
+        DefenseKind::Twice(TableOrganization::FullyAssociative),
+        DefenseKind::Twice(TableOrganization::PseudoAssociative),
+        DefenseKind::Twice(TableOrganization::Split),
+        DefenseKind::Para { p: 0.001 },
+        DefenseKind::Prohit { p: 0.001 },
+        DefenseKind::Cbt { counters: 256 },
+        DefenseKind::Cra { cache_entries: 512 },
+        DefenseKind::Trr { entries: 16 },
+        DefenseKind::Graphene,
+        DefenseKind::Oracle,
+        DefenseKind::None,
+    ]
+}
+
+#[test]
+fn interrupted_replay_matches_uninterrupted_run_for_every_defense() {
+    let cfg = SimConfig::fast_test();
+    for workload in &[WorkloadKind::S1, WorkloadKind::S3] {
+        for defense in every_defense() {
+            let label = format!("{workload:?}/{defense}");
+
+            let mut clean = ResumableRun::new(&cfg, workload, defense, TOTAL)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            clean
+                .run_to_completion(EPOCH)
+                .unwrap_or_else(|e| panic!("{label}: clean run failed: {e}"));
+
+            let mut interrupted = ResumableRun::new(&cfg, workload, defense, TOTAL)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            for _ in 0..3 {
+                interrupted
+                    .run_epoch(EPOCH)
+                    .unwrap_or_else(|e| panic!("{label}: epoch failed: {e}"));
+            }
+            let blob = interrupted.checkpoint();
+            drop(interrupted); // the "crash"
+
+            let mut resumed = ResumableRun::restore(&cfg, workload, defense, TOTAL, &blob)
+                .unwrap_or_else(|e| panic!("{label}: restore rejected: {e}"));
+            assert_eq!(
+                resumed.requests_done(),
+                3 * EPOCH,
+                "{label}: restore must land at the interruption point"
+            );
+            resumed
+                .run_to_completion(EPOCH)
+                .unwrap_or_else(|e| panic!("{label}: replay failed: {e}"));
+
+            assert_eq!(
+                resumed.digest(),
+                clean.digest(),
+                "{label}: replay digest diverged — hidden nondeterminism"
+            );
+            assert_eq!(
+                resumed.metrics(),
+                clean.metrics(),
+                "{label}: replay metrics diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_checkpoints_are_rejected_not_loaded() {
+    let cfg = SimConfig::fast_test();
+    let workload = WorkloadKind::S3;
+    let defense = DefenseKind::Twice(TableOrganization::FullyAssociative);
+    let mut run = ResumableRun::new(&cfg, &workload, defense, TOTAL).expect("valid run");
+    run.run_epoch(EPOCH).expect("first epoch");
+    let blob = run.checkpoint();
+
+    // A flip anywhere — header, payload, or trailing checksum — must be
+    // caught before any state is loaded. Stride through the blob plus
+    // both ends so every region is exercised.
+    let mut positions: Vec<usize> = (0..blob.len()).step_by(37).collect();
+    positions.push(blob.len() - 1);
+    for pos in positions {
+        let mut bad = blob.clone();
+        bad[pos] ^= 0x40;
+        assert!(
+            ResumableRun::restore(&cfg, &workload, defense, TOTAL, &bad).is_err(),
+            "flipped byte at {pos}/{} must be rejected",
+            blob.len()
+        );
+    }
+
+    // Truncation is rejected too.
+    assert!(
+        ResumableRun::restore(&cfg, &workload, defense, TOTAL, &blob[..blob.len() / 2]).is_err()
+    );
+    assert!(ResumableRun::restore(&cfg, &workload, defense, TOTAL, &[]).is_err());
+
+    // And the pristine blob still loads: the rejections above were about
+    // the corruption, not the machinery.
+    ResumableRun::restore(&cfg, &workload, defense, TOTAL, &blob).expect("pristine blob loads");
+}
+
+#[test]
+fn resumed_campaign_reproduces_the_clean_report() {
+    let cfg = SimConfig::fast_test();
+    let requests = 12_000;
+
+    let clean = chaos_campaign(&cfg, &CampaignConfig::new(requests)).expect("in-memory campaign");
+    assert!(clean.cells.iter().all(|c| c.outcome.result.is_ok()));
+
+    let dir = std::env::temp_dir().join(format!("twice-crash-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // "Kill" the campaign mid-grid: journal to disk, stop after three
+    // freshly completed cells.
+    let mut cc = CampaignConfig::new(requests);
+    cc.dir = Some(dir.clone());
+    cc.halt_after = Some(3);
+    let halted = chaos_campaign(&cfg, &cc).expect("journaled campaign");
+    assert!(halted.halted, "the crash simulation must trigger");
+    assert!(
+        halted.cells.len() < clean.cells.len(),
+        "the halt must land mid-grid"
+    );
+
+    // Resume from the same directory: journaled cells are salvaged, the
+    // rest run fresh, and the final report matches the clean run.
+    cc.halt_after = None;
+    let resumed = chaos_campaign(&cfg, &cc).expect("resumed campaign");
+    assert!(!resumed.halted);
+    assert_eq!(
+        resumed.salvaged, 3,
+        "every journaled cell must be salvaged, not rerun"
+    );
+    assert_eq!(resumed.cells.len(), clean.cells.len());
+    for (r, c) in resumed.cells.iter().zip(&clean.cells) {
+        assert_eq!(r.outcome.cell, c.outcome.cell);
+        assert_eq!(
+            r.outcome.value(),
+            c.outcome.value(),
+            "cell {} diverged after resume",
+            r.outcome.cell
+        );
+    }
+    assert_eq!(
+        resumed.table.to_string(),
+        clean.table.to_string(),
+        "the resumed report must be byte-identical to the clean run's"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

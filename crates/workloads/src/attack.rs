@@ -9,6 +9,7 @@
 //! flip the victim; with TWiCe it must not.
 
 use crate::trace::{item, AccessSource, TraceItem};
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::{ChannelId, ColId, RankId, RowId, Topology};
 use twice_memctrl::addrmap::AddressMapper;
 use twice_memctrl::request::AccessKind;
@@ -89,6 +90,26 @@ impl HammerAttack {
 }
 
 impl AccessSource for HammerAttack {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.cursor);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let cursor = r.take_usize()?;
+        if cursor >= self.aggressors.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "attack cursor {cursor} out of {} aggressors",
+                self.aggressors.len()
+            )));
+        }
+        self.cursor = cursor;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_usize(self.cursor);
+    }
+
     fn next_access(&mut self) -> TraceItem {
         let row = self.aggressors[self.cursor];
         self.cursor = (self.cursor + 1) % self.aggressors.len();

@@ -7,6 +7,7 @@
 //! between distant rows. Multiple worker threads split the index space.
 
 use crate::trace::{item_from_addr, AccessSource, Geometry, TraceItem};
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::Topology;
 use twice_memctrl::request::AccessKind;
 
@@ -65,6 +66,35 @@ impl FftSource {
 }
 
 impl AccessSource for FftSource {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u32(self.pass);
+        w.put_u64(self.index);
+        w.put_bool(self.second_half);
+        w.put_bool(self.writeback);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let pass = r.take_u32()?;
+        if pass >= self.passes() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "FFT pass {pass} out of {}",
+                self.passes()
+            )));
+        }
+        self.pass = pass;
+        self.index = r.take_u64()?;
+        self.second_half = r.take_bool()?;
+        self.writeback = r.take_bool()?;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u32(self.pass);
+        d.write_u64(self.index);
+        d.write_bool(self.second_half);
+        d.write_bool(self.writeback);
+    }
+
     fn next_access(&mut self) -> TraceItem {
         let stride = 1u64 << self.pass;
         // Butterfly `index` in pass `pass` pairs element `base` with

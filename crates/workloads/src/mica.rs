@@ -10,6 +10,7 @@
 use crate::trace::{item_from_addr, AccessSource, Geometry, TraceItem};
 use crate::zipf::Zipf;
 use twice_common::rng::SplitMix64;
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::Topology;
 use twice_memctrl::request::AccessKind;
 
@@ -81,6 +82,43 @@ impl MicaSource {
 }
 
 impl AccessSource for MicaSource {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.rng.state());
+        w.put_bool(self.pending_value.is_some());
+        if let Some((addr, kind, source)) = self.pending_value {
+            w.put_u64(addr);
+            w.put_bool(kind == AccessKind::Write);
+            w.put_u32(u32::from(source));
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.rng.set_state(r.take_u64()?);
+        self.pending_value = if r.take_bool()? {
+            let addr = r.take_u64()?;
+            let kind = if r.take_bool()? {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let source = r.take_u32()? as u16;
+            Some((addr, kind, source))
+        } else {
+            None
+        };
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.rng.state());
+        d.write_bool(self.pending_value.is_some());
+        if let Some((addr, kind, source)) = self.pending_value {
+            d.write_u64(addr);
+            d.write_bool(kind == AccessKind::Write);
+            d.write_u16(source);
+        }
+    }
+
     fn next_access(&mut self) -> TraceItem {
         if let Some((addr, kind, source)) = self.pending_value.take() {
             return item_from_addr(&self.geo.mapper, addr, kind, source);

@@ -11,6 +11,7 @@
 use crate::trace::{item_from_addr, AccessSource, Geometry, TraceItem};
 use crate::zipf::Zipf;
 use twice_common::rng::SplitMix64;
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::Topology;
 use twice_memctrl::request::AccessKind;
 
@@ -79,6 +80,31 @@ impl PageRankSource {
 }
 
 impl AccessSource for PageRankSource {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.rng.state());
+        w.put_u64(self.vertex);
+        w.put_u64(self.edge_in_vertex);
+        w.put_u8(self.phase);
+        w.put_u64(self.edge_cursor);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.rng.set_state(r.take_u64()?);
+        self.vertex = r.take_u64()?;
+        self.edge_in_vertex = r.take_u64()?;
+        self.phase = r.take_u8()?;
+        self.edge_cursor = r.take_u64()?;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.rng.state());
+        d.write_u64(self.vertex);
+        d.write_u64(self.edge_in_vertex);
+        d.write_u8(self.phase);
+        d.write_u64(self.edge_cursor);
+    }
+
     fn next_access(&mut self) -> TraceItem {
         let source = (self.vertex % u64::from(self.threads)) as u16;
         // Memory layout: [edge array][rank array].

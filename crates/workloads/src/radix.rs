@@ -9,6 +9,7 @@
 
 use crate::trace::{item_from_addr, AccessSource, Geometry, TraceItem};
 use twice_common::rng::SplitMix64;
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::Topology;
 use twice_memctrl::request::AccessKind;
 
@@ -61,6 +62,42 @@ impl RadixSource {
 }
 
 impl AccessSource for RadixSource {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.rng.state());
+        w.put_u64(self.cursor);
+        w.put_bool(self.scatter);
+        w.put_usize(self.bucket_fill.len());
+        for &f in &self.bucket_fill {
+            w.put_u64(f);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.rng.set_state(r.take_u64()?);
+        self.cursor = r.take_u64()?;
+        self.scatter = r.take_bool()?;
+        let buckets = r.take_usize()?;
+        if buckets != self.bucket_fill.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "radix has {} buckets, snapshot has {buckets}",
+                self.bucket_fill.len()
+            )));
+        }
+        for f in &mut self.bucket_fill {
+            *f = r.take_u64()?;
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.rng.state());
+        d.write_u64(self.cursor);
+        d.write_bool(self.scatter);
+        for &f in &self.bucket_fill {
+            d.write_u64(f);
+        }
+    }
+
     fn next_access(&mut self) -> TraceItem {
         let source = (self.cursor % u64::from(self.threads)) as u16;
         let out = if !self.scatter {

@@ -13,6 +13,7 @@
 use crate::trace::{item, AccessSource, Geometry, TraceItem};
 use crate::zipf::Zipf;
 use twice_common::rng::SplitMix64;
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::{ChannelId, ColId, RankId, RowId, Topology};
 use twice_memctrl::request::AccessKind;
 
@@ -207,6 +208,44 @@ impl SpecAppSource {
 }
 
 impl AccessSource for SpecAppSource {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        // The Zipf sampler and region bounds are config-derived; only
+        // the RNG and the current coordinate cursor are mutable.
+        w.put_u64(self.rng.state());
+        w.put_u8(self.channel);
+        w.put_u8(self.rank);
+        w.put_u32(u32::from(self.bank));
+        w.put_u32(self.row);
+        w.put_u32(u32::from(self.col));
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.rng.set_state(r.take_u64()?);
+        self.channel = r.take_u8()?;
+        self.rank = r.take_u8()?;
+        self.bank = r.take_u32()? as u16;
+        let row = r.take_u32()?;
+        if row < self.region_base || row >= self.region_base + self.region_rows {
+            return Err(SnapshotError::StateMismatch(format!(
+                "row {row} outside copy region {}..{}",
+                self.region_base,
+                self.region_base + self.region_rows
+            )));
+        }
+        self.row = row;
+        self.col = r.take_u32()? as u16;
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.rng.state());
+        d.write_u8(self.channel);
+        d.write_u8(self.rank);
+        d.write_u16(self.bank);
+        d.write_u32(self.row);
+        d.write_u16(self.col);
+    }
+
     fn next_access(&mut self) -> TraceItem {
         if !self.rng.chance(self.model.row_locality) {
             self.jump_row();

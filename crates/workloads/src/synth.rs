@@ -14,6 +14,7 @@
 
 use crate::trace::{item, AccessSource, Geometry, TraceItem};
 use twice_common::rng::SplitMix64;
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::{ChannelId, ColId, RankId, RowId, Topology};
 use twice_memctrl::request::AccessKind;
 
@@ -35,6 +36,19 @@ impl S1Random {
 }
 
 impl AccessSource for S1Random {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.rng.state());
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.rng.set_state(r.take_u64()?);
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.rng.state());
+    }
+
     fn next_access(&mut self) -> TraceItem {
         let channel = self.rng.next_below(u64::from(self.geo.channels)) as u8;
         let rank = self.rng.next_below(u64::from(self.geo.ranks)) as u8;
@@ -96,6 +110,25 @@ impl S2CbtAdversarial {
 }
 
 impl AccessSource for S2CbtAdversarial {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.cursor);
+        w.put_u32(self.sweep_row);
+        w.put_u64(self.rng.state());
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.cursor = r.take_u64()?;
+        self.sweep_row = r.take_u32()?;
+        self.rng.set_state(r.take_u64()?);
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.cursor);
+        d.write_u32(self.sweep_row);
+        d.write_u64(self.rng.state());
+    }
+
     fn next_access(&mut self) -> TraceItem {
         let half = self.geo.rows / 2;
         let row = if self.in_phase1() {

@@ -1,5 +1,8 @@
 //! The generator abstraction shared by every workload.
 
+use twice_common::snapshot::{
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
+};
 use twice_common::{ChannelId, ColId, RankId, RowId, Time, Topology};
 use twice_memctrl::addrmap::{AddressMapper, DecodedAccess};
 use twice_memctrl::request::{AccessKind, MemRequest};
@@ -25,6 +28,48 @@ pub trait AccessSource {
             remaining: n,
         }
     }
+
+    /// Serializes the generator's mutable cursor/RNG state (checkpointing
+    /// hook). Stateless generators use the no-op default; every stateful
+    /// generator must override so a restored source replays the exact
+    /// suffix an uninterrupted run would have produced.
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// source built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Decode errors from a truncated or mismatched snapshot.
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
+
+    /// Folds the mutable cursor/RNG state into a digest.
+    fn digest_state(&self, d: &mut StateDigest) {
+        let _ = d;
+    }
+}
+
+impl AccessSource for Box<dyn AccessSource + Send> {
+    fn next_access(&mut self) -> TraceItem {
+        (**self).next_access()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        (**self).save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        (**self).load_state(r)
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        (**self).digest_state(d);
+    }
 }
 
 /// A bounded iterator over an [`AccessSource`].
@@ -48,6 +93,23 @@ impl<G: AccessSource> Iterator for Bounded<G> {
     fn size_hint(&self) -> (usize, Option<usize>) {
         let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
         (n, Some(n))
+    }
+}
+
+impl<G: AccessSource> Snapshot for Bounded<G> {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.remaining);
+        self.source.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.remaining = r.take_u64()?;
+        self.source.load_state(r)
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.remaining);
+        self.source.digest_state(d);
     }
 }
 
@@ -136,6 +198,51 @@ impl WeightedInterleave {
 }
 
 impl AccessSource for WeightedInterleave {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.sources.len());
+        for &c in &self.credit {
+            w.put_u64(c as u64);
+        }
+        w.put_usize(self.cursor);
+        for (s, _) in &self.sources {
+            s.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.take_usize()?;
+        if n != self.sources.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "interleave has {} sources, snapshot has {n}",
+                self.sources.len()
+            )));
+        }
+        for c in &mut self.credit {
+            *c = r.take_u64()? as i64;
+        }
+        let cursor = r.take_usize()?;
+        if cursor >= self.sources.len() {
+            return Err(SnapshotError::StateMismatch(format!(
+                "interleave cursor {cursor} out of {n}"
+            )));
+        }
+        self.cursor = cursor;
+        for (s, _) in &mut self.sources {
+            s.load_state(r)?;
+        }
+        Ok(())
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        for &c in &self.credit {
+            d.write_u64(c as u64);
+        }
+        d.write_usize(self.cursor);
+        for (s, _) in &self.sources {
+            s.digest_state(d);
+        }
+    }
+
     fn next_access(&mut self) -> TraceItem {
         // Deficit round-robin: replenish credit by weight each lap; emit
         // from sources while they hold credit.

@@ -1,0 +1,203 @@
+//! Snapshot round-trip tests for every stateful access source: after
+//! advancing a generator, saving it, and restoring the blob into a fresh
+//! generator built from the same configuration, the restored generator
+//! must emit the exact same access suffix. Any hidden mutable state that
+//! escapes `save_state` shows up here as a diverging trace.
+
+use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+use twice_common::RowId;
+use twice_common::Topology;
+use twice_workloads::attack::{HammerAttack, HammerShape};
+use twice_workloads::fft::FftSource;
+use twice_workloads::mica::MicaSource;
+use twice_workloads::mix::mix_high;
+use twice_workloads::pagerank::PageRankSource;
+use twice_workloads::radix::RadixSource;
+use twice_workloads::spec::{app, SpecAppSource};
+use twice_workloads::synth::{S1Random, S2CbtAdversarial, S3SingleRowHammer};
+use twice_workloads::trace::AccessSource;
+
+/// Advances `a` by `warmup`, snapshots it into `b`, then checks the next
+/// `check` accesses agree address-for-address.
+fn assert_resumes<S: AccessSource>(mut a: S, mut b: S, warmup: u64, check: u64, what: &str) {
+    for _ in 0..warmup {
+        a.next_access();
+    }
+    let mut w = SnapshotWriter::new();
+    a.save_state(&mut w);
+    let blob = w.finish();
+    b.load_state(&mut SnapshotReader::new(&blob).expect("valid header"))
+        .unwrap_or_else(|e| panic!("{what}: restore failed: {e:?}"));
+    for i in 0..check {
+        let (ra, aa) = a.next_access();
+        let (rb, ab) = b.next_access();
+        assert_eq!(ra.addr, rb.addr, "{what}: addr diverged at access {i}");
+        assert_eq!(ra.kind, rb.kind, "{what}: kind diverged at access {i}");
+        assert_eq!(ra.source, rb.source, "{what}: source diverged at {i}");
+        assert_eq!(aa, ab, "{what}: coordinate diverged at access {i}");
+    }
+}
+
+#[test]
+fn s1_random_resumes() {
+    let topo = Topology::paper_default();
+    assert_resumes(
+        S1Random::new(&topo, 7),
+        S1Random::new(&topo, 7),
+        1_000,
+        500,
+        "S1",
+    );
+}
+
+#[test]
+fn s2_cbt_adversarial_resumes_across_the_phase_boundary() {
+    let topo = Topology::paper_default();
+    // Warm up to just before the phase-1 -> phase-2 switch so the resumed
+    // suffix crosses it.
+    assert_resumes(
+        S2CbtAdversarial::new(&topo, 300, 100, 3),
+        S2CbtAdversarial::new(&topo, 300, 100, 3),
+        290,
+        200,
+        "S2",
+    );
+}
+
+#[test]
+fn s3_single_row_hammer_resumes() {
+    let topo = Topology::paper_default();
+    assert_resumes(
+        S3SingleRowHammer::new(&topo, 5),
+        S3SingleRowHammer::new(&topo, 5),
+        100,
+        100,
+        "S3",
+    );
+}
+
+#[test]
+fn hammer_attack_cursor_resumes() {
+    let topo = Topology::paper_default();
+    let shape = HammerShape::ManySided {
+        aggressors: (10..17).map(RowId).collect(),
+    };
+    assert_resumes(
+        HammerAttack::new(&topo, 0, shape.clone()),
+        HammerAttack::new(&topo, 0, shape),
+        5, // mid-rotation
+        21,
+        "HammerAttack",
+    );
+}
+
+#[test]
+fn spec_app_resumes() {
+    let topo = Topology::paper_default();
+    for name in ["mcf", "lbm", "omnetpp", "leslie3d"] {
+        let model = app(name).expect("known app");
+        assert_resumes(
+            SpecAppSource::new(&topo, model.clone(), 3, 16, 42),
+            SpecAppSource::new(&topo, model, 3, 16, 42),
+            2_000,
+            1_000,
+            name,
+        );
+    }
+}
+
+#[test]
+fn weighted_interleave_resumes_with_nested_sources() {
+    let topo = Topology::paper_default();
+    assert_resumes(
+        mix_high(&topo, 11),
+        mix_high(&topo, 11),
+        3_000,
+        1_000,
+        "mix-high",
+    );
+}
+
+#[test]
+fn fft_resumes() {
+    let topo = Topology::paper_default();
+    assert_resumes(
+        FftSource::new(&topo, 1 << 12, 4),
+        FftSource::new(&topo, 1 << 12, 4),
+        1_111, // mid-butterfly (RRWW cursor not at a boundary)
+        500,
+        "FFT",
+    );
+}
+
+#[test]
+fn mica_resumes_with_pending_value() {
+    let topo = Topology::paper_default();
+    // Odd warmup leaves a pending value access in flight.
+    assert_resumes(
+        MicaSource::new(&topo, 10_000, 0.99, 0.95, 4, 2),
+        MicaSource::new(&topo, 10_000, 0.99, 0.95, 4, 2),
+        1_001,
+        500,
+        "MICA",
+    );
+}
+
+#[test]
+fn pagerank_resumes_mid_gather() {
+    let topo = Topology::paper_default();
+    assert_resumes(
+        PageRankSource::new(&topo, 5_000, 8, 4, 7),
+        PageRankSource::new(&topo, 5_000, 8, 4, 7),
+        999, // phase = 1
+        500,
+        "PageRank",
+    );
+}
+
+#[test]
+fn radix_resumes_mid_scatter() {
+    let topo = Topology::paper_default();
+    assert_resumes(
+        RadixSource::new(&topo, 500, 16, 4, 9),
+        RadixSource::new(&topo, 500, 16, 4, 9),
+        750, // inside the scatter phase, bucket_fill partly advanced
+        500,
+        "RADIX",
+    );
+}
+
+#[test]
+fn corrupt_source_blob_is_rejected() {
+    let topo = Topology::paper_default();
+    let mut s = S1Random::new(&topo, 7);
+    for _ in 0..10 {
+        s.next_access();
+    }
+    let mut w = SnapshotWriter::new();
+    s.save_state(&mut w);
+    let mut blob = w.finish();
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0x08;
+    match SnapshotReader::new(&blob) {
+        Err(SnapshotError::ChecksumMismatch { .. }) => {}
+        other => panic!("corrupted blob must fail the checksum, got {other:?}"),
+    }
+}
+
+#[test]
+fn restore_into_wrong_shape_is_rejected() {
+    let topo = Topology::paper_default();
+    let mut a = RadixSource::new(&topo, 500, 16, 4, 9);
+    for _ in 0..10 {
+        a.next_access();
+    }
+    let mut w = SnapshotWriter::new();
+    a.save_state(&mut w);
+    let blob = w.finish();
+    let mut b = RadixSource::new(&topo, 500, 32, 4, 9); // different radix
+    let err = b
+        .load_state(&mut SnapshotReader::new(&blob).expect("valid header"))
+        .unwrap_err();
+    assert!(matches!(err, SnapshotError::StateMismatch(_)), "{err:?}");
+}

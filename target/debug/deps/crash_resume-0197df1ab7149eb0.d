@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_resume-0197df1ab7149eb0.d: crates/sim/tests/crash_resume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_resume-0197df1ab7149eb0.rmeta: crates/sim/tests/crash_resume.rs Cargo.toml
+
+crates/sim/tests/crash_resume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_resume-28566e470dd3c821.d: crates/sim/tests/crash_resume.rs
+
+/root/repo/target/debug/deps/crash_resume-28566e470dd3c821: crates/sim/tests/crash_resume.rs
+
+crates/sim/tests/crash_resume.rs:

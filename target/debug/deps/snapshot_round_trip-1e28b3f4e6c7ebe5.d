@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot_round_trip-1e28b3f4e6c7ebe5.d: crates/workloads/tests/snapshot_round_trip.rs
+
+/root/repo/target/debug/deps/snapshot_round_trip-1e28b3f4e6c7ebe5: crates/workloads/tests/snapshot_round_trip.rs
+
+crates/workloads/tests/snapshot_round_trip.rs:

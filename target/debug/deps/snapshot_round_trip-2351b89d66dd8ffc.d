@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snapshot_round_trip-2351b89d66dd8ffc.d: crates/workloads/tests/snapshot_round_trip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnapshot_round_trip-2351b89d66dd8ffc.rmeta: crates/workloads/tests/snapshot_round_trip.rs Cargo.toml
+
+crates/workloads/tests/snapshot_round_trip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

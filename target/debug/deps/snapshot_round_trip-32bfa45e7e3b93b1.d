@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snapshot_round_trip-32bfa45e7e3b93b1.d: crates/mitigations/tests/snapshot_round_trip.rs
+
+/root/repo/target/debug/deps/snapshot_round_trip-32bfa45e7e3b93b1: crates/mitigations/tests/snapshot_round_trip.rs
+
+crates/mitigations/tests/snapshot_round_trip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snapshot_round_trip-673fcce9865dd0a9.d: crates/mitigations/tests/snapshot_round_trip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnapshot_round_trip-673fcce9865dd0a9.rmeta: crates/mitigations/tests/snapshot_round_trip.rs Cargo.toml
+
+crates/mitigations/tests/snapshot_round_trip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/twice_common-502fb365f2003b4f.d: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
+/root/repo/target/debug/deps/twice_common-502fb365f2003b4f.d: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/snapshot.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
 
-/root/repo/target/debug/deps/twice_common-502fb365f2003b4f: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
+/root/repo/target/debug/deps/twice_common-502fb365f2003b4f: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/snapshot.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
 
 crates/common/src/lib.rs:
 crates/common/src/defense.rs:
@@ -8,6 +8,7 @@ crates/common/src/error.rs:
 crates/common/src/fault.rs:
 crates/common/src/ids.rs:
 crates/common/src/rng.rs:
+crates/common/src/snapshot.rs:
 crates/common/src/time.rs:
 crates/common/src/timing.rs:
 crates/common/src/topology.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/twice_common-88b8a95f158b8175.d: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs Cargo.toml
+/root/repo/target/debug/deps/twice_common-88b8a95f158b8175.d: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/snapshot.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs Cargo.toml
 
-/root/repo/target/debug/deps/libtwice_common-88b8a95f158b8175.rmeta: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs Cargo.toml
+/root/repo/target/debug/deps/libtwice_common-88b8a95f158b8175.rmeta: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/snapshot.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs Cargo.toml
 
 crates/common/src/lib.rs:
 crates/common/src/defense.rs:
@@ -8,10 +8,11 @@ crates/common/src/error.rs:
 crates/common/src/fault.rs:
 crates/common/src/ids.rs:
 crates/common/src/rng.rs:
+crates/common/src/snapshot.rs:
 crates/common/src/time.rs:
 crates/common/src/timing.rs:
 crates/common/src/topology.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

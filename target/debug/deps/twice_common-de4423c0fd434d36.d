@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/twice_common-de4423c0fd434d36.d: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
+/root/repo/target/debug/deps/twice_common-de4423c0fd434d36.d: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/snapshot.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
 
-/root/repo/target/debug/deps/libtwice_common-de4423c0fd434d36.rlib: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
+/root/repo/target/debug/deps/libtwice_common-de4423c0fd434d36.rlib: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/snapshot.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
 
-/root/repo/target/debug/deps/libtwice_common-de4423c0fd434d36.rmeta: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
+/root/repo/target/debug/deps/libtwice_common-de4423c0fd434d36.rmeta: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/snapshot.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
 
 crates/common/src/lib.rs:
 crates/common/src/defense.rs:
@@ -10,6 +10,7 @@ crates/common/src/error.rs:
 crates/common/src/fault.rs:
 crates/common/src/ids.rs:
 crates/common/src/rng.rs:
+crates/common/src/snapshot.rs:
 crates/common/src/time.rs:
 crates/common/src/timing.rs:
 crates/common/src/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twice_exp-fbb16ff45ffcee8c.d: crates/sim/src/bin/twice-exp.rs
+
+/root/repo/target/debug/deps/twice_exp-fbb16ff45ffcee8c: crates/sim/src/bin/twice-exp.rs
+
+crates/sim/src/bin/twice-exp.rs:

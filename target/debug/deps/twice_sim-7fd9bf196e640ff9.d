@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/twice_sim-7fd9bf196e640ff9.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/ablation.rs crates/sim/src/experiments/capacity.rs crates/sim/src/experiments/chaos.rs crates/sim/src/experiments/ecc.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/latency.rs crates/sim/src/experiments/storage.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/table2.rs crates/sim/src/experiments/table3.rs crates/sim/src/experiments/table4.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/system.rs crates/sim/src/verify.rs
+/root/repo/target/debug/deps/twice_sim-7fd9bf196e640ff9.d: crates/sim/src/lib.rs crates/sim/src/campaign.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/ablation.rs crates/sim/src/experiments/capacity.rs crates/sim/src/experiments/chaos.rs crates/sim/src/experiments/ecc.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/latency.rs crates/sim/src/experiments/storage.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/table2.rs crates/sim/src/experiments/table3.rs crates/sim/src/experiments/table4.rs crates/sim/src/journal.rs crates/sim/src/metrics.rs crates/sim/src/outcome.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/system.rs crates/sim/src/verify.rs
 
-/root/repo/target/debug/deps/twice_sim-7fd9bf196e640ff9: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/ablation.rs crates/sim/src/experiments/capacity.rs crates/sim/src/experiments/chaos.rs crates/sim/src/experiments/ecc.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/latency.rs crates/sim/src/experiments/storage.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/table2.rs crates/sim/src/experiments/table3.rs crates/sim/src/experiments/table4.rs crates/sim/src/metrics.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/system.rs crates/sim/src/verify.rs
+/root/repo/target/debug/deps/twice_sim-7fd9bf196e640ff9: crates/sim/src/lib.rs crates/sim/src/campaign.rs crates/sim/src/checkpoint.rs crates/sim/src/config.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/ablation.rs crates/sim/src/experiments/capacity.rs crates/sim/src/experiments/chaos.rs crates/sim/src/experiments/ecc.rs crates/sim/src/experiments/fig7.rs crates/sim/src/experiments/latency.rs crates/sim/src/experiments/storage.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/table2.rs crates/sim/src/experiments/table3.rs crates/sim/src/experiments/table4.rs crates/sim/src/journal.rs crates/sim/src/metrics.rs crates/sim/src/outcome.rs crates/sim/src/report.rs crates/sim/src/runner.rs crates/sim/src/system.rs crates/sim/src/verify.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/campaign.rs:
+crates/sim/src/checkpoint.rs:
 crates/sim/src/config.rs:
 crates/sim/src/experiments/mod.rs:
 crates/sim/src/experiments/ablation.rs:
@@ -16,7 +18,9 @@ crates/sim/src/experiments/table1.rs:
 crates/sim/src/experiments/table2.rs:
 crates/sim/src/experiments/table3.rs:
 crates/sim/src/experiments/table4.rs:
+crates/sim/src/journal.rs:
 crates/sim/src/metrics.rs:
+crates/sim/src/outcome.rs:
 crates/sim/src/report.rs:
 crates/sim/src/runner.rs:
 crates/sim/src/system.rs:

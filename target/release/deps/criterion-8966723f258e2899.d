@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-8966723f258e2899.d: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8966723f258e2899.rlib: crates/criterion-shim/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8966723f258e2899.rmeta: crates/criterion-shim/src/lib.rs
+
+crates/criterion-shim/src/lib.rs:

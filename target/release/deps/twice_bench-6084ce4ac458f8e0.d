@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/twice_bench-6084ce4ac458f8e0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtwice_bench-6084ce4ac458f8e0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtwice_bench-6084ce4ac458f8e0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

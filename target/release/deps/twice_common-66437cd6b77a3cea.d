@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/twice_common-66437cd6b77a3cea.d: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
+/root/repo/target/release/deps/twice_common-66437cd6b77a3cea.d: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/snapshot.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
 
-/root/repo/target/release/deps/libtwice_common-66437cd6b77a3cea.rlib: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
+/root/repo/target/release/deps/libtwice_common-66437cd6b77a3cea.rlib: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/snapshot.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
 
-/root/repo/target/release/deps/libtwice_common-66437cd6b77a3cea.rmeta: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
+/root/repo/target/release/deps/libtwice_common-66437cd6b77a3cea.rmeta: crates/common/src/lib.rs crates/common/src/defense.rs crates/common/src/error.rs crates/common/src/fault.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/snapshot.rs crates/common/src/time.rs crates/common/src/timing.rs crates/common/src/topology.rs
 
 crates/common/src/lib.rs:
 crates/common/src/defense.rs:
@@ -10,6 +10,7 @@ crates/common/src/error.rs:
 crates/common/src/fault.rs:
 crates/common/src/ids.rs:
 crates/common/src/rng.rs:
+crates/common/src/snapshot.rs:
 crates/common/src/time.rs:
 crates/common/src/timing.rs:
 crates/common/src/topology.rs:
