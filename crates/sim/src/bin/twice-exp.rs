@@ -98,6 +98,7 @@ struct Args {
     epoch: Option<u64>,
     halt_after: Option<usize>,
     wall_budget_ms: Option<u64>,
+    sim_budget_ps: Option<u64>,
 }
 
 fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, CliError> {
@@ -127,6 +128,7 @@ fn parse_args() -> Result<Option<Args>, CliError> {
         epoch: None,
         halt_after: None,
         wall_budget_ms: None,
+        sim_budget_ps: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -145,6 +147,9 @@ fn parse_args() -> Result<Option<Args>, CliError> {
             }
             "--wall-budget-ms" => {
                 out.wall_budget_ms = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
+            }
+            "--sim-budget-ps" => {
+                out.sim_budget_ps = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
             }
             _ => return Err(CliError::bad_flag("-", format!("unknown flag {flag}"))),
         }
@@ -194,8 +199,12 @@ fn usage() -> ExitCode {
          \x20 fig7a     Figure 7(a) sweep at paper scale\n\
          \x20 fig7b     Figure 7(b) sweep at paper scale\n\
          \x20 capacity  the 4.4 capacity bound\n\
+         \x20 latency   ACT-latency spike comparison (S3 + S2)\n\
+         \x20 ecc       ECC scrubbing fault experiment\n\
          \x20 attack    S3 confrontation on the scaled system\n\
          \x20 chaos     fault-injection campaign (SEU sweep + bus gauntlet)\n\
+         \x20 record    write a workload trace (--workload NAME --file PATH)\n\
+         \x20 replay    replay a trace file (--file PATH [--defense NAME])\n\
          chaos flags:\n\
          \x20 --seed N            override the simulation seed\n\
          \x20 --journal DIR       journal completed cells + epoch checkpoints to DIR\n\
@@ -203,6 +212,7 @@ fn usage() -> ExitCode {
          \x20 --epoch N           requests per checkpoint/watchdog epoch\n\
          \x20 --halt-after N      stop after N fresh cells (crash simulation, exit 75)\n\
          \x20 --wall-budget-ms N  per-cell wall-clock watchdog\n\
+         \x20 --sim-budget-ps N   per-cell simulated-time watchdog (picoseconds)\n\
          defenses: twice twice-pa twice-split para para2 prohit cbt cra oracle none"
     );
     ExitCode::from(EXIT_UNKNOWN_NAME)
@@ -222,6 +232,7 @@ fn run_chaos(args: &Args) -> Result<ExitCode, CliError> {
     }
     cc.halt_after = args.halt_after;
     cc.wall_budget_ms = args.wall_budget_ms;
+    cc.sim_budget_ps = args.sim_budget_ps;
     if args.resume.is_some() && args.journal.is_some() {
         return Err(CliError::bad_flag(
             "chaos",

@@ -24,11 +24,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use twice_common::fault::FaultPlan;
+use twice_common::snapshot::{SnapshotReader, SnapshotWriter};
 
 /// The journal file name inside a campaign directory.
 pub const JOURNAL_FILE: &str = "cells.jsonl";
 
-/// The in-flight cell's checkpoint file name.
+/// The in-flight cell's checkpoint file name. The blob is wrapped with
+/// the owning cell's id: a checkpoint left behind by one cell can never
+/// be adopted by a different cell of the grid.
 pub const CHECKPOINT_FILE: &str = "cell.ckpt";
 
 /// Supervision knobs for a campaign.
@@ -142,13 +145,18 @@ pub fn chaos_campaign(
                 cc,
                 ckpt_path.as_deref(),
             );
+            // The cell is over — completed, panicked, or timed out — so
+            // its epoch checkpoint is stale. Remove it unconditionally:
+            // a failed cell's last checkpoint must never linger where the
+            // next cell (or a later --resume) could find it. The cell-id
+            // check in `read_cell_checkpoint` is the second line of
+            // defense for checkpoints orphaned by a process kill.
+            if let Some(p) = &ckpt_path {
+                let _ = fs::remove_file(p);
+            }
             if let (Some(f), Ok(o)) = (journal.as_mut(), &outcome.result) {
                 writeln!(f, "{}", journal_line(&outcome.cell, o))?;
                 f.flush()?;
-                if let Some(p) = &ckpt_path {
-                    // The journaled line supersedes the epoch checkpoint.
-                    let _ = fs::remove_file(p);
-                }
             }
             let completed_now = outcome.result.is_ok();
             cells.push(CampaignCell {
@@ -208,16 +216,17 @@ fn cell_body(
     cc: &CampaignConfig,
     ckpt: Option<&Path>,
 ) -> Result<ChaosOutcome, CellError> {
+    let id = cell_id(label, scrubbing);
     let cfg = chaos::cell_config(cfg_base, plan, scrubbing);
     let workload = WorkloadKind::S3;
     let defense = chaos::chaos_defense();
     // Salvage the in-flight cell from its last epoch checkpoint. A blob
-    // that fails its checksum, belongs to another cell, or does not
-    // reconstruct its digest is rejected by restore — start fresh then.
-    let mut run = ckpt
-        .and_then(|p| fs::read(p).ok())
+    // that fails its checksum, is owned by a different grid cell, or
+    // does not reconstruct its digest is rejected — start fresh then.
+    let restored = ckpt
+        .and_then(|p| read_cell_checkpoint(p, &id))
         .and_then(|blob| ResumableRun::restore(&cfg, &workload, defense, cc.requests, &blob).ok());
-    let mut run = match run.take() {
+    let mut run = match restored {
         Some(r) => r,
         None => ResumableRun::new(&cfg, &workload, defense, cc.requests)?,
     };
@@ -232,7 +241,7 @@ fn cell_body(
             break;
         }
         if let Some(p) = ckpt {
-            write_atomically(p, &run.checkpoint()).map_err(|e| CellError::Io(e.to_string()))?;
+            write_cell_checkpoint(p, &id, &run).map_err(|e| CellError::Io(e.to_string()))?;
         }
         if let Some(ms) = cc.wall_budget_ms {
             let elapsed = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
@@ -266,6 +275,28 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
     fs::write(&tmp, bytes)?;
     fs::rename(&tmp, path)
+}
+
+/// Seals a cell's epoch checkpoint: the owning cell id wraps the run
+/// blob, so the checkpoint carries its identity, not just its state.
+fn write_cell_checkpoint(path: &Path, id: &str, run: &ResumableRun) -> std::io::Result<()> {
+    let mut w = SnapshotWriter::new();
+    w.put_str(id);
+    w.put_bytes(&run.checkpoint());
+    write_atomically(path, &w.finish())
+}
+
+/// Reads a cell checkpoint back, yielding the inner run blob only when
+/// the file exists, passes its checksum, and is owned by `id`. A
+/// checkpoint orphaned by a killed process therefore resumes exactly the
+/// cell that wrote it; every other cell starts fresh.
+fn read_cell_checkpoint(path: &Path, id: &str) -> Option<Vec<u8>> {
+    let bytes = fs::read(path).ok()?;
+    let mut r = SnapshotReader::new(&bytes).ok()?;
+    if r.take_str().ok()? != id {
+        return None;
+    }
+    Some(r.take_bytes().ok()?.to_vec())
 }
 
 fn journal_line(id: &str, o: &ChaosOutcome) -> String {
@@ -384,6 +415,66 @@ mod tests {
             }
             other => panic!("expected a wall-clock timeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checkpoints_are_bound_to_their_cell() {
+        let cfg = SimConfig::fast_test();
+        let mut run = ResumableRun::new(&cfg, &WorkloadKind::S3, chaos::chaos_defense(), 4_000)
+            .expect("valid cell");
+        run.run_epoch(512).expect("fault-free");
+        let dir = std::env::temp_dir().join(format!("twice-ckpt-owner-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(CHECKPOINT_FILE);
+        write_cell_checkpoint(&path, "seu x1/hardened", &run).expect("write");
+        // The owner reads its checkpoint back; every other cell — even
+        // one differing only in the scrubbing flag — is refused, so no
+        // cell can inherit a failed neighbour's partial state.
+        assert!(read_cell_checkpoint(&path, "seu x1/hardened").is_some());
+        assert!(read_cell_checkpoint(&path, "seu x1/unhardened").is_none());
+        assert!(read_cell_checkpoint(&path, "bus gauntlet/hardened").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_cells_leave_no_checkpoint_for_the_next_cell() {
+        // Every cell dies at its first epoch boundary via a watchdog,
+        // having just written an epoch checkpoint. Each subsequent cell
+        // must start from request 0 — `done` stuck at exactly one epoch
+        // proves no cell adopted a predecessor's checkpoint (which would
+        // resume at 2, 3, … epochs). Both budgets are armed: the
+        // wall-clock one is the scenario under test, the sim-time one
+        // guarantees the kill lands at the *first* boundary even when an
+        // epoch finishes in under a millisecond.
+        let cfg = SimConfig::fast_test();
+        let dir = std::env::temp_dir().join(format!("twice-stale-ckpt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut cc = CampaignConfig::new(50_000);
+        cc.epoch = 128;
+        cc.wall_budget_ms = Some(0);
+        cc.sim_budget_ps = Some(1);
+        cc.dir = Some(dir.clone());
+        let report = chaos_campaign(&cfg, &cc).expect("campaign");
+        assert!(!report.cells.is_empty());
+        for cell in &report.cells {
+            match &cell.outcome.result {
+                Err(
+                    CellError::WallClockExceeded { done, .. }
+                    | CellError::SimTimeExceeded { done, .. },
+                ) => assert_eq!(
+                    *done, 128,
+                    "cell {} must start fresh, not inherit a failed \
+                     predecessor's checkpoint",
+                    cell.outcome.cell
+                ),
+                other => panic!("expected a watchdog timeout, got {other:?}"),
+            }
+        }
+        assert!(
+            !dir.join(CHECKPOINT_FILE).exists(),
+            "a finished campaign must not leave a stale checkpoint behind"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
