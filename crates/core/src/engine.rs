@@ -98,6 +98,13 @@ pub struct TwiceEngine {
     scrubbing: bool,
     /// Chaos-testing hook: injects counter-SRAM upsets per a fault plan.
     injector: FaultInjector,
+    /// Scratch probe set reused across SEU injections so the fault path
+    /// does not allocate per ACT. Never snapshotted or digested: its
+    /// contents are meaningless between calls.
+    scratch_entries: Vec<TableEntry>,
+    /// Scratch victim list reused across scrub passes (same contract as
+    /// `scratch_entries`).
+    scratch_victims: Vec<RowId>,
 }
 
 impl fmt::Debug for TwiceEngine {
@@ -161,6 +168,8 @@ impl TwiceEngine {
             stats: EngineStats::default(),
             scrubbing: true,
             injector: FaultInjector::inert(),
+            scratch_entries: Vec::new(),
+            scratch_victims: Vec::new(),
         }
     }
 
@@ -198,9 +207,10 @@ impl TwiceEngine {
     /// policy and flips one stored count bit. Returns `true` if the
     /// upset landed in a valid entry.
     fn inject_seu(&mut self, bank: BankId) -> bool {
-        let table = &mut self.tables[bank.index()];
-        let mut entries = table.entries();
-        if entries.is_empty() {
+        // The probe set lands in a scratch buffer reused across calls so
+        // a high fault rate does not allocate on every ACT.
+        self.tables[bank.index()].entries_into(&mut self.scratch_entries);
+        if self.scratch_entries.is_empty() {
             return false; // upset landed in an invalid slot
         }
         // Canonical order: entry order out of the table is a placement
@@ -208,10 +218,11 @@ impl TwiceEngine {
         // snapshot restore repacks slots), so victim selection must not
         // depend on it or replay would diverge across organizations and
         // across restores.
-        entries.sort_unstable_by_key(|e| e.row);
+        self.scratch_entries.sort_unstable_by_key(|e| e.row);
         let (victim, bit) = match self.injector.targeting() {
             FaultTargeting::Hottest => {
-                let hottest = entries
+                let hottest = self
+                    .scratch_entries
                     .iter()
                     .max_by_key(|e| (e.act_cnt, std::cmp::Reverse(e.row)))
                     .expect("non-empty");
@@ -219,13 +230,14 @@ impl TwiceEngine {
                 (hottest.row, bit)
             }
             FaultTargeting::Random => {
-                let e = entries[self.injector.draw(entries.len() as u64) as usize];
+                let slot = self.injector.draw(self.scratch_entries.len() as u64) as usize;
+                let e = self.scratch_entries[slot];
                 // Upsets land anywhere in the count column; width 16
                 // covers every count the fast/paper parameters reach.
                 (e.row, self.injector.draw(16) as u32)
             }
         };
-        if table.inject_bit_flip(victim, bit) {
+        if self.tables[bank.index()].inject_bit_flip(victim, bit) {
             self.stats.seu_injected += 1;
             true
         } else {
@@ -360,18 +372,18 @@ impl RowHammerDefense for TwiceEngine {
 
     fn on_auto_refresh(&mut self, bank: BankId, now: Time) -> DefenseResponse {
         self.stats.prunes += 1;
-        let table = &mut self.tables[bank.index()];
         // Scrub before pruning so a corrupted count cannot influence the
         // survive/evict decision. Every scrubbed row is ARRed: its true
-        // count is unknown, so the engine assumes the worst.
+        // count is unknown, so the engine assumes the worst. The victim
+        // list lands in a scratch buffer so the clean-pass common case
+        // (no corruption) never allocates.
         let mut response = DefenseResponse::none();
         if self.scrubbing {
-            let corrupted = table.scrub();
-            if !corrupted.is_empty() {
-                self.stats.corruption_events += corrupted.len() as u64;
-                self.stats.arrs += corrupted.len() as u64;
-                let mut rows = corrupted.into_iter();
-                let first = rows.next().expect("non-empty");
+            self.tables[bank.index()].scrub_into(&mut self.scratch_victims);
+            if !self.scratch_victims.is_empty() {
+                self.stats.corruption_events += self.scratch_victims.len() as u64;
+                self.stats.arrs += self.scratch_victims.len() as u64;
+                let first = self.scratch_victims[0];
                 response.arr = Some(first);
                 response.detection = Some(Detection {
                     bank,
@@ -381,9 +393,10 @@ impl RowHammerDefense for TwiceEngine {
                 });
                 // Remaining corrupted rows ride the explicit-refresh
                 // channel; the caller treats them as ARR aggressors too.
-                response.refresh_rows = rows.collect();
+                response.refresh_rows = self.scratch_victims[1..].to_vec();
             }
         }
+        let table = &mut self.tables[bank.index()];
         table.prune(self.th_pi);
         debug_invariant!(
             table.occupancy() <= table.capacity(),

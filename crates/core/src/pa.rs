@@ -232,10 +232,14 @@ impl CounterTable for PaTwice {
     }
 
     fn entries(&self) -> Vec<TableEntry> {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter().flatten().copied())
-            .collect()
+        let mut out = Vec::new();
+        self.entries_into(&mut out);
+        out
+    }
+
+    fn entries_into(&self, out: &mut Vec<TableEntry>) {
+        out.clear();
+        out.extend(self.sets.iter().flat_map(|s| s.iter().flatten().copied()));
     }
 
     fn clear(&mut self) {
@@ -271,15 +275,21 @@ impl CounterTable for PaTwice {
     }
 
     fn scrub(&mut self) -> Vec<RowId> {
-        if !self.parity_checking {
-            return Vec::new();
-        }
-        let mut rows: Vec<RowId> = self.mismatch.iter().map(|&r| RowId(r)).collect();
-        rows.sort_unstable();
-        for row in &rows {
-            self.remove(*row);
-        }
+        let mut rows = Vec::new();
+        self.scrub_into(&mut rows);
         rows
+    }
+
+    fn scrub_into(&mut self, out: &mut Vec<RowId>) {
+        out.clear();
+        if !self.parity_checking {
+            return;
+        }
+        out.extend(self.mismatch.iter().map(|&r| RowId(r)));
+        out.sort_unstable();
+        for &row in out.iter() {
+            self.remove(row);
+        }
     }
 
     fn insert_entry(&mut self, entry: TableEntry) -> bool {
@@ -330,6 +340,11 @@ mod tests {
     #[test]
     fn overflow_reporting() {
         conformance::check_overflow_reporting(&mut PaTwice::new(2, 4));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_twins() {
+        conformance::check_into_variants(&mut PaTwice::new(4, 8));
     }
 
     #[test]

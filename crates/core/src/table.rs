@@ -58,6 +58,16 @@ pub trait CounterTable {
     /// Snapshot of all valid entries (order unspecified).
     fn entries(&self) -> Vec<TableEntry>;
 
+    /// Fills `out` with all valid entries (order unspecified), reusing
+    /// its capacity — the allocation-free counterpart of
+    /// [`CounterTable::entries`] for hot paths that probe the table on
+    /// every fault-injected ACT. The default delegates to `entries`;
+    /// organizations override it to avoid the intermediate `Vec`.
+    fn entries_into(&self, out: &mut Vec<TableEntry>) {
+        out.clear();
+        out.extend(self.entries());
+    }
+
     /// Clears the table.
     fn clear(&mut self);
 
@@ -88,6 +98,16 @@ pub trait CounterTable {
     /// no-op for models without a parity column.
     fn scrub(&mut self) -> Vec<RowId> {
         Vec::new()
+    }
+
+    /// Fills `out` with the scrub pass's evicted rows (sorted), reusing
+    /// its capacity — the allocation-free counterpart of
+    /// [`CounterTable::scrub`] for the per-refresh hot path. The default
+    /// delegates to `scrub`; organizations override it to avoid the
+    /// intermediate `Vec`.
+    fn scrub_into(&mut self, out: &mut Vec<RowId>) {
+        out.clear();
+        out.extend(self.scrub());
     }
 
     /// Restores one exact entry (the snapshot-restore path): the entry is
@@ -173,6 +193,34 @@ pub(crate) mod conformance {
         table.record_act(RowId(14));
         table.clear();
         assert_eq!(table.occupancy(), 0);
+    }
+
+    /// Checks the allocation-free `_into` variants agree with their
+    /// allocating twins (assumed empty table with fault support).
+    pub(crate) fn check_into_variants(table: &mut dyn CounterTable) {
+        for r in 0..6 {
+            table.record_act(RowId(r));
+            table.record_act(RowId(r));
+        }
+        // entries_into fills (and clears) the scratch buffer.
+        let mut scratch = vec![TableEntry::new(RowId(999))];
+        table.entries_into(&mut scratch);
+        let mut direct = table.entries();
+        scratch.sort_unstable_by_key(|e| e.row);
+        direct.sort_unstable_by_key(|e| e.row);
+        assert_eq!(scratch, direct);
+        // scrub_into evicts exactly what scrub would have.
+        table.inject_bit_flip(RowId(2), 0);
+        table.inject_bit_flip(RowId(4), 1);
+        let mut victims = vec![RowId(999)];
+        table.scrub_into(&mut victims);
+        assert_eq!(victims, vec![RowId(2), RowId(4)]);
+        assert_eq!(table.get(RowId(2)), None);
+        assert_eq!(table.get(RowId(4)), None);
+        assert_eq!(table.occupancy(), 4);
+        // A clean pass leaves the buffer empty.
+        table.scrub_into(&mut victims);
+        assert!(victims.is_empty());
     }
 
     /// Fills the table to capacity and checks `TableFull` is reported.

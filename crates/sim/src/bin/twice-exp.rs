@@ -22,6 +22,7 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 use twice::cost::TwiceCostModel;
 use twice::{TableOrganization, TwiceParams};
 use twice_mitigations::DefenseKind;
@@ -30,6 +31,7 @@ use twice_sim::config::SimConfig;
 use twice_sim::experiments::{
     ablation, capacity, ecc, fig7, latency, storage, table1, table2, table3, table4,
 };
+use twice_sim::parallel::default_jobs;
 use twice_sim::runner::WorkloadKind;
 use twice_sim::verify::confront;
 
@@ -99,6 +101,15 @@ struct Args {
     halt_after: Option<usize>,
     wall_budget_ms: Option<u64>,
     sim_budget_ps: Option<u64>,
+    jobs: Option<usize>,
+}
+
+impl Args {
+    /// The worker count: `--jobs N`, defaulting to the host's available
+    /// parallelism. `--jobs 1` is the exact serial path.
+    fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(default_jobs)
+    }
 }
 
 fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, CliError> {
@@ -129,6 +140,7 @@ fn parse_args() -> Result<Option<Args>, CliError> {
         halt_after: None,
         wall_budget_ms: None,
         sim_budget_ps: None,
+        jobs: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -150,6 +162,13 @@ fn parse_args() -> Result<Option<Args>, CliError> {
             }
             "--sim-budget-ps" => {
                 out.sim_budget_ps = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
+            }
+            "--jobs" => {
+                let jobs: usize = parse_number(&flag, &flag_value(&mut args, &flag)?)?;
+                if jobs == 0 {
+                    return Err(CliError::bad_flag("-", "--jobs must be at least 1"));
+                }
+                out.jobs = Some(jobs);
             }
             _ => return Err(CliError::bad_flag("-", format!("unknown flag {flag}"))),
         }
@@ -203,8 +222,12 @@ fn usage() -> ExitCode {
          \x20 ecc       ECC scrubbing fault experiment\n\
          \x20 attack    S3 confrontation on the scaled system\n\
          \x20 chaos     fault-injection campaign (SEU sweep + bus gauntlet)\n\
+         \x20 bench     time table1 serial vs --jobs and write BENCH_0.json\n\
          \x20 record    write a workload trace (--workload NAME --file PATH)\n\
          \x20 replay    replay a trace file (--file PATH [--defense NAME])\n\
+         common flags:\n\
+         \x20 --jobs N            worker threads for experiment grids\n\
+         \x20                     (default: available parallelism; 1 = serial)\n\
          chaos flags:\n\
          \x20 --seed N            override the simulation seed\n\
          \x20 --journal DIR       journal completed cells + epoch checkpoints to DIR\n\
@@ -233,6 +256,7 @@ fn run_chaos(args: &Args) -> Result<ExitCode, CliError> {
     cc.halt_after = args.halt_after;
     cc.wall_budget_ms = args.wall_budget_ms;
     cc.sim_budget_ps = args.sim_budget_ps;
+    cc.jobs = args.jobs();
     if args.resume.is_some() && args.journal.is_some() {
         return Err(CliError::bad_flag(
             "chaos",
@@ -277,20 +301,13 @@ fn run_chaos(args: &Args) -> Result<ExitCode, CliError> {
     }
 
     println!("{}", report.table);
-    let flips = |scrubbing: bool| -> usize {
-        report
-            .cells
-            .iter()
-            .filter_map(|c| c.outcome.value())
-            .filter(|o| o.scrubbing == scrubbing)
-            .map(|o| o.bit_flips)
-            .sum()
-    };
-    let hardened_flips = flips(true);
+    // Per-cell totals merged at collection time (no shared counters
+    // across workers) — see CampaignTotals.
+    let hardened_flips = usize::try_from(report.hardened.bit_flips).unwrap_or(usize::MAX);
     println!(
         "hardened engine: {hardened_flips} bit flip(s) across the grid; \
          unhardened: {}",
-        flips(false)
+        report.unhardened.bit_flips
     );
     if hardened_flips > 0 {
         return Err(CliError::failure(
@@ -299,6 +316,52 @@ fn run_chaos(args: &Args) -> Result<ExitCode, CliError> {
             format!("hardened engine recorded {hardened_flips} bit flip(s)"),
         ));
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `twice-exp bench`: times Table 1 serial vs pooled and records the
+/// first perf data point (`BENCH_0.json`, overridable via `--file`).
+/// Requests come from `--requests`, then `TWICE_BENCH_REQUESTS`, then
+/// 40 000. The two tables must render identically — the bench doubles
+/// as a serial-equivalence smoke test.
+fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
+    let requests = args
+        .requests
+        .or_else(|| {
+            std::env::var("TWICE_BENCH_REQUESTS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(40_000);
+    let jobs = args.jobs();
+    let cfg = SimConfig::fast_test();
+    let serial_start = Instant::now();
+    let (serial_table, _) = table1::table1_jobs(&cfg, requests, 1);
+    let serial_secs = serial_start.elapsed().as_secs_f64();
+    let pooled_start = Instant::now();
+    let (pooled_table, _) = table1::table1_jobs(&cfg, requests, jobs);
+    let pooled_secs = pooled_start.elapsed().as_secs_f64();
+    if pooled_table.to_string() != serial_table.to_string() {
+        return Err(CliError::failure(
+            "bench",
+            "table1",
+            format!("--jobs {jobs} table diverged from the serial run"),
+        ));
+    }
+    let speedup = serial_secs / pooled_secs.max(1e-9);
+    let path = args.file.clone().unwrap_or_else(|| "BENCH_0.json".into());
+    let json = format!(
+        "{{\n  \"schema\": \"twice-bench-0\",\n  \"experiment\": \"table1\",\n  \
+         \"requests\": {requests},\n  \"jobs\": {jobs},\n  \
+         \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {pooled_secs:.3},\n  \
+         \"speedup\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write(&path, json)
+        .map_err(|e| CliError::failure("bench", "-", format!("cannot write {path}: {e}")))?;
+    println!(
+        "table1 x{requests}: serial {serial_secs:.3}s, --jobs {jobs} {pooled_secs:.3}s, \
+         speedup {speedup:.2}x -> {path}"
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -328,18 +391,20 @@ fn main() -> ExitCode {
         }
         "table1" => {
             let cfg = SimConfig::fast_test();
-            let (table, _) = table1::table1(&cfg, args.requests.unwrap_or(40_000));
+            let (table, _) =
+                table1::table1_jobs(&cfg, args.requests.unwrap_or(40_000), args.jobs());
             println!("{table}");
         }
         "fig7a" => {
             let cfg = SimConfig::paper_default();
             let sample = ["mcf", "libquantum", "lbm", "omnetpp", "gcc", "hmmer"];
-            let result = fig7::figure7a(&cfg, &sample, args.requests.unwrap_or(250_000));
+            let result =
+                fig7::figure7a_jobs(&cfg, &sample, args.requests.unwrap_or(250_000), args.jobs());
             println!("{}", result.table);
         }
         "fig7b" => {
             let cfg = SimConfig::paper_default();
-            let result = fig7::figure7b(&cfg, args.requests.unwrap_or(1_500_000));
+            let result = fig7::figure7b_jobs(&cfg, args.requests.unwrap_or(1_500_000), args.jobs());
             println!("{}", result.table);
         }
         "capacity" => {
@@ -352,15 +417,25 @@ fn main() -> ExitCode {
                 ("S3".to_string(), WorkloadKind::S3, requests),
                 ("S2".to_string(), WorkloadKind::S2, requests.max(1_500_000)),
             ];
-            println!("{}", latency::latency_spike(&cfg, &workloads).table);
+            println!(
+                "{}",
+                latency::latency_spike_jobs(&cfg, &workloads, args.jobs()).table
+            );
         }
         "ecc" => {
             let cfg = SimConfig::fast_test();
-            let (table, _) = ecc::ecc_experiment(&cfg, args.requests.unwrap_or(60_000));
+            let (table, _) =
+                ecc::ecc_experiment_jobs(&cfg, args.requests.unwrap_or(60_000), args.jobs());
             println!("{table}");
         }
         "chaos" => {
             return match run_chaos(&args) {
+                Ok(code) => code,
+                Err(e) => e.report(),
+            };
+        }
+        "bench" => {
+            return match run_bench(&args) {
                 Ok(code) => code,
                 Err(e) => e.report(),
             };

@@ -9,12 +9,27 @@
 //! full simulator state every epoch (`cell.ckpt`), so a killed process
 //! loses nothing: rerunning with the same directory skips journaled
 //! cells and salvages the partial cell from its last checkpoint.
+//!
+//! With `jobs > 1` the grid cells shard across a fixed-size
+//! [`crate::parallel`] worker pool. Each worker owns its cell's
+//! engine/DRAM/workload state end-to-end; journal lines funnel through a
+//! mutex-guarded [`OrderedJournalWriter`] that restores grid order, and
+//! each in-flight cell checkpoints to its own `cell-NN.ckpt` (still
+//! wrapped with the owning cell id). Results are collected back in grid
+//! order, so the final report, the journal bytes, and every per-cell
+//! digest are byte-identical to the serial run — the contract DESIGN.md
+//! §5e spells out and `crates/sim/tests/parallel_equivalence.rs`
+//! enforces.
 
-use crate::checkpoint::ResumableRun;
+use crate::checkpoint::{
+    cell_checkpoint_path, read_cell_checkpoint, write_cell_checkpoint, ResumableRun,
+};
 use crate::config::SimConfig;
 use crate::experiments::chaos::{self, ChaosOutcome};
-use crate::journal::{emit_line, parse_line, JsonValue};
+use crate::journal::{emit_line, parse_line, JsonValue, OrderedJournalWriter};
+use crate::metrics::CampaignTotals;
 use crate::outcome::{Cell, CellError};
+use crate::parallel::parallel_map;
 use crate::report::Table;
 use crate::runner::WorkloadKind;
 use std::collections::HashMap;
@@ -22,16 +37,20 @@ use std::fs;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 use twice_common::fault::FaultPlan;
-use twice_common::snapshot::{SnapshotReader, SnapshotWriter};
+use twice_mitigations::DefenseKind;
 
 /// The journal file name inside a campaign directory.
 pub const JOURNAL_FILE: &str = "cells.jsonl";
 
 /// The in-flight cell's checkpoint file name. The blob is wrapped with
 /// the owning cell's id: a checkpoint left behind by one cell can never
-/// be adopted by a different cell of the grid.
+/// be adopted by a different cell of the grid. Parallel workers write
+/// per-cell `cell-NN.ckpt` files instead (see
+/// [`crate::checkpoint::cell_checkpoint_path`]) but still *adopt* this
+/// shared file when a previous serial run left one behind.
 pub const CHECKPOINT_FILE: &str = "cell.ckpt";
 
 /// Supervision knobs for a campaign.
@@ -51,11 +70,16 @@ pub struct CampaignConfig {
     /// Campaign directory for the journal and epoch checkpoints; `None`
     /// runs fully in memory.
     pub dir: Option<PathBuf>,
+    /// Worker threads for the grid; `1` is the plain serial loop.
+    pub jobs: usize,
+    /// The defense every cell runs (the chaos default is the paper's
+    /// fully-associative TWiCe).
+    pub defense: DefenseKind,
 }
 
 impl CampaignConfig {
     /// A plain in-memory campaign: `requests` per cell, 4096-request
-    /// epochs, no budgets, no journaling.
+    /// epochs, no budgets, no journaling, serial execution.
     pub fn new(requests: u64) -> CampaignConfig {
         CampaignConfig {
             requests,
@@ -64,6 +88,8 @@ impl CampaignConfig {
             sim_budget_ps: None,
             halt_after: None,
             dir: None,
+            jobs: 1,
+            defense: chaos::chaos_defense(),
         }
     }
 }
@@ -89,6 +115,20 @@ pub struct CampaignReport {
     pub halted: bool,
     /// How many cells were salvaged from the journal.
     pub salvaged: usize,
+    /// Aggregates over the completed hardened (scrubbing) cells, merged
+    /// per cell at collection time — workers never share an accumulator.
+    pub hardened: CampaignTotals,
+    /// Aggregates over the completed unhardened cells.
+    pub unhardened: CampaignTotals,
+}
+
+/// One grid cell's static description, fixed before any worker starts.
+#[derive(Debug, Clone)]
+struct CellSpec {
+    id: String,
+    label: String,
+    plan: FaultPlan,
+    scrubbing: bool,
 }
 
 fn cell_id(label: &str, scrubbing: bool) -> String {
@@ -98,7 +138,23 @@ fn cell_id(label: &str, scrubbing: bool) -> String {
     )
 }
 
-/// Runs the chaos fault grid under supervision.
+fn grid_specs(cfg_base: &SimConfig) -> Vec<CellSpec> {
+    let mut specs = Vec::new();
+    for (label, plan) in chaos::fault_grid(cfg_base.seed ^ 0xC4A0) {
+        for scrubbing in [true, false] {
+            specs.push(CellSpec {
+                id: cell_id(&label, scrubbing),
+                label: label.clone(),
+                plan: plan.clone(),
+                scrubbing,
+            });
+        }
+    }
+    specs
+}
+
+/// Runs the chaos fault grid under supervision, serially (`jobs <= 1`)
+/// or across a worker pool with the serial run's exact outputs.
 ///
 /// # Errors
 ///
@@ -116,115 +172,246 @@ pub fn chaos_campaign(
         Some(p) => load_journal(p)?,
         None => HashMap::new(),
     };
-    let mut journal = match &journal_path {
+    let journal = match &journal_path {
         Some(p) => Some(fs::OpenOptions::new().create(true).append(true).open(p)?),
         None => None,
     };
 
-    let mut cells = Vec::new();
-    let mut fresh_completed = 0usize;
-    let mut salvaged = 0usize;
-    let mut halted = false;
+    let specs = grid_specs(cfg_base);
+    let (cells, halted) = if cc.jobs <= 1 {
+        serial_grid(
+            cfg_base,
+            cc,
+            &specs,
+            &journaled,
+            journal,
+            ckpt_path.as_deref(),
+        )?
+    } else {
+        parallel_grid(
+            cfg_base,
+            cc,
+            &specs,
+            &journaled,
+            journal,
+            ckpt_path.as_deref(),
+        )?
+    };
 
-    'grid: for (label, plan) in chaos::fault_grid(cfg_base.seed ^ 0xC4A0) {
-        for scrubbing in [true, false] {
-            let id = cell_id(&label, scrubbing);
-            if let Some(o) = journaled.get(&id) {
-                salvaged += 1;
-                cells.push(CampaignCell {
-                    outcome: Cell::ok("chaos", id, o.clone()),
-                    salvaged: true,
-                });
-                continue;
-            }
-            let outcome = run_cell(
-                cfg_base,
-                &label,
-                plan.clone(),
-                scrubbing,
-                cc,
-                ckpt_path.as_deref(),
-            );
-            // The cell is over — completed, panicked, or timed out — so
-            // its epoch checkpoint is stale. Remove it unconditionally:
-            // a failed cell's last checkpoint must never linger where the
-            // next cell (or a later --resume) could find it. The cell-id
-            // check in `read_cell_checkpoint` is the second line of
-            // defense for checkpoints orphaned by a process kill.
-            if let Some(p) = &ckpt_path {
-                let _ = fs::remove_file(p);
-            }
-            if let (Some(f), Ok(o)) = (journal.as_mut(), &outcome.result) {
-                writeln!(f, "{}", journal_line(&outcome.cell, o))?;
-                f.flush()?;
-            }
-            let completed_now = outcome.result.is_ok();
-            cells.push(CampaignCell {
-                outcome,
-                salvaged: false,
-            });
-            if completed_now {
-                fresh_completed += 1;
-                if cc.halt_after.is_some_and(|h| fresh_completed >= h) {
-                    halted = true;
-                    break 'grid;
-                }
+    if !halted {
+        if let Some(dir) = &cc.dir {
+            // A fully swept grid leaves no epoch checkpoint behind —
+            // neither the serial shared file nor any parallel per-cell
+            // file (including strays from an earlier killed run).
+            let _ = fs::remove_file(dir.join(CHECKPOINT_FILE));
+            for i in 0..specs.len() {
+                let _ = fs::remove_file(cell_checkpoint_path(dir, i));
             }
         }
     }
 
+    let salvaged = cells.iter().filter(|c| c.salvaged).count();
+    let mut hardened = CampaignTotals::default();
+    let mut unhardened = CampaignTotals::default();
+    for cell in &cells {
+        if let Ok(o) = &cell.outcome.result {
+            let side = if o.scrubbing {
+                &mut hardened
+            } else {
+                &mut unhardened
+            };
+            side.merge(&o.totals());
+        }
+    }
     let table = chaos::render_table(cells.iter().map(|c| &c.outcome));
     Ok(CampaignReport {
         table,
         cells,
         halted,
         salvaged,
+        hardened,
+        unhardened,
     })
+}
+
+/// Today's strictly serial loop: one cell at a time in grid order, the
+/// shared `cell.ckpt` for epoch checkpoints, journal lines appended the
+/// moment each cell completes. `--jobs 1` must preserve this behavior
+/// bit for bit, so this path stays structurally untouched.
+fn serial_grid(
+    cfg_base: &SimConfig,
+    cc: &CampaignConfig,
+    specs: &[CellSpec],
+    journaled: &HashMap<String, ChaosOutcome>,
+    mut journal: Option<fs::File>,
+    ckpt_path: Option<&Path>,
+) -> std::io::Result<(Vec<CampaignCell>, bool)> {
+    let mut cells = Vec::new();
+    let mut fresh_completed = 0usize;
+    for spec in specs {
+        if let Some(o) = journaled.get(&spec.id) {
+            cells.push(CampaignCell {
+                outcome: Cell::ok("chaos", spec.id.clone(), o.clone()),
+                salvaged: true,
+            });
+            continue;
+        }
+        let outcome = run_cell(cfg_base, spec, cc, ckpt_path, ckpt_path);
+        // The cell is over — completed, panicked, or timed out — so
+        // its epoch checkpoint is stale. Remove it unconditionally:
+        // a failed cell's last checkpoint must never linger where the
+        // next cell (or a later --resume) could find it. The cell-id
+        // check in `read_cell_checkpoint` is the second line of
+        // defense for checkpoints orphaned by a process kill.
+        if let Some(p) = ckpt_path {
+            let _ = fs::remove_file(p);
+        }
+        if let (Some(f), Ok(o)) = (journal.as_mut(), &outcome.result) {
+            writeln!(f, "{}", journal_line(&outcome.cell, o))?;
+            f.flush()?;
+        }
+        let completed_now = outcome.result.is_ok();
+        cells.push(CampaignCell {
+            outcome,
+            salvaged: false,
+        });
+        if completed_now {
+            fresh_completed += 1;
+            if cc.halt_after.is_some_and(|h| fresh_completed >= h) {
+                return Ok((cells, true));
+            }
+        }
+    }
+    Ok((cells, false))
+}
+
+/// The sharded grid: `cc.jobs` workers claim cells from an atomic
+/// cursor. Every cell submits its index to the [`OrderedJournalWriter`]
+/// exactly once (salvaged and failed cells submit a skip marker), which
+/// is what lets the journal bytes come out identical to the serial
+/// append loop. Fresh-completion counting for `halt_after` goes through
+/// an atomic; once it trips, unclaimed cells are skipped and whatever
+/// finished out of order is flushed to the journal as stragglers.
+fn parallel_grid(
+    cfg_base: &SimConfig,
+    cc: &CampaignConfig,
+    specs: &[CellSpec],
+    journaled: &HashMap<String, ChaosOutcome>,
+    journal: Option<fs::File>,
+    shared_ckpt: Option<&Path>,
+) -> std::io::Result<(Vec<CampaignCell>, bool)> {
+    let writer = journal.map(OrderedJournalWriter::new);
+    let fresh = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let results: Vec<std::io::Result<Option<CampaignCell>>> =
+        parallel_map(cc.jobs, specs, |index, spec| {
+            if let Some(o) = journaled.get(&spec.id) {
+                if let Some(w) = &writer {
+                    // Already journaled: nothing to append, but the
+                    // index must be accounted for or the ordered writer
+                    // would stall behind it forever.
+                    w.submit(index, None)?;
+                }
+                return Ok(Some(CampaignCell {
+                    outcome: Cell::ok("chaos", spec.id.clone(), o.clone()),
+                    salvaged: true,
+                }));
+            }
+            if stop.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            let own_ckpt = cc.dir.as_ref().map(|d| cell_checkpoint_path(d, index));
+            let outcome = run_cell(cfg_base, spec, cc, own_ckpt.as_deref(), shared_ckpt);
+            if let Some(p) = &own_ckpt {
+                let _ = fs::remove_file(p);
+            }
+            if let Some(p) = shared_ckpt {
+                // Consume a serial-era shared checkpoint that belonged
+                // to this cell; other cells' files are left for their
+                // owners (the id check keeps them from being adopted).
+                if read_cell_checkpoint(p, &spec.id).is_some() {
+                    let _ = fs::remove_file(p);
+                }
+            }
+            let line = outcome
+                .result
+                .as_ref()
+                .ok()
+                .map(|o| journal_line(&outcome.cell, o));
+            if let Some(w) = &writer {
+                w.submit(index, line)?;
+            }
+            if outcome.result.is_ok() {
+                let n = fresh.fetch_add(1, Ordering::SeqCst) + 1;
+                if cc.halt_after.is_some_and(|h| n >= h) {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+            Ok(Some(CampaignCell {
+                outcome,
+                salvaged: false,
+            }))
+        });
+    let halted = stop.load(Ordering::SeqCst);
+    let mut cells = Vec::new();
+    for result in results {
+        if let Some(cell) = result? {
+            cells.push(cell);
+        }
+    }
+    if halted {
+        if let Some(w) = &writer {
+            w.flush_stragglers()?;
+        }
+    }
+    Ok((cells, halted))
 }
 
 fn run_cell(
     cfg_base: &SimConfig,
-    label: &str,
-    plan: FaultPlan,
-    scrubbing: bool,
+    spec: &CellSpec,
     cc: &CampaignConfig,
     ckpt: Option<&Path>,
+    adopt: Option<&Path>,
 ) -> Cell<ChaosOutcome> {
-    let id = cell_id(label, scrubbing);
     let body = catch_unwind(AssertUnwindSafe(|| {
-        cell_body(cfg_base, label, plan, scrubbing, cc, ckpt)
+        cell_body(cfg_base, spec, cc, ckpt, adopt)
     }));
     match body {
-        Ok(Ok(o)) => Cell::ok("chaos", id, o),
-        Ok(Err(e)) => Cell::err("chaos", id, e),
+        Ok(Ok(o)) => Cell::ok("chaos", spec.id.clone(), o),
+        Ok(Err(e)) => Cell::err("chaos", spec.id.clone(), e),
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
-            Cell::err("chaos", id, CellError::Panicked(msg))
+            Cell::err("chaos", spec.id.clone(), CellError::Panicked(msg))
         }
     }
 }
 
 fn cell_body(
     cfg_base: &SimConfig,
-    label: &str,
-    plan: FaultPlan,
-    scrubbing: bool,
+    spec: &CellSpec,
     cc: &CampaignConfig,
     ckpt: Option<&Path>,
+    adopt: Option<&Path>,
 ) -> Result<ChaosOutcome, CellError> {
-    let id = cell_id(label, scrubbing);
-    let cfg = chaos::cell_config(cfg_base, plan, scrubbing);
+    let cfg = chaos::cell_config(cfg_base, spec.plan.clone(), spec.scrubbing);
     let workload = WorkloadKind::S3;
-    let defense = chaos::chaos_defense();
-    // Salvage the in-flight cell from its last epoch checkpoint. A blob
+    let defense = cc.defense;
+    // Salvage the in-flight cell from its last epoch checkpoint: first
+    // this cell's own file, then the shared serial-era file. A blob
     // that fails its checksum, is owned by a different grid cell, or
     // does not reconstruct its digest is rejected — start fresh then.
     let restored = ckpt
-        .and_then(|p| read_cell_checkpoint(p, &id))
+        .and_then(|p| read_cell_checkpoint(p, &spec.id))
+        .or_else(|| {
+            adopt
+                .filter(|a| Some(*a) != ckpt)
+                .and_then(|p| read_cell_checkpoint(p, &spec.id))
+        })
         .and_then(|blob| ResumableRun::restore(&cfg, &workload, defense, cc.requests, &blob).ok());
     let mut run = match restored {
         Some(r) => r,
@@ -241,7 +428,7 @@ fn cell_body(
             break;
         }
         if let Some(p) = ckpt {
-            write_cell_checkpoint(p, &id, &run).map_err(|e| CellError::Io(e.to_string()))?;
+            write_cell_checkpoint(p, &spec.id, &run).map_err(|e| CellError::Io(e.to_string()))?;
         }
         if let Some(ms) = cc.wall_budget_ms {
             let elapsed = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
@@ -263,40 +450,11 @@ fn cell_body(
     }
     Ok(chaos::collect_outcome(
         run.system(),
-        label,
-        scrubbing,
+        &spec.label,
+        spec.scrubbing,
         retry_exhausted,
+        run.digest(),
     ))
-}
-
-/// Writes `bytes` to `path` via a temporary file + rename, so a crash
-/// mid-write never leaves a torn checkpoint behind.
-fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, bytes)?;
-    fs::rename(&tmp, path)
-}
-
-/// Seals a cell's epoch checkpoint: the owning cell id wraps the run
-/// blob, so the checkpoint carries its identity, not just its state.
-fn write_cell_checkpoint(path: &Path, id: &str, run: &ResumableRun) -> std::io::Result<()> {
-    let mut w = SnapshotWriter::new();
-    w.put_str(id);
-    w.put_bytes(&run.checkpoint());
-    write_atomically(path, &w.finish())
-}
-
-/// Reads a cell checkpoint back, yielding the inner run blob only when
-/// the file exists, passes its checksum, and is owned by `id`. A
-/// checkpoint orphaned by a killed process therefore resumes exactly the
-/// cell that wrote it; every other cell starts fresh.
-fn read_cell_checkpoint(path: &Path, id: &str) -> Option<Vec<u8>> {
-    let bytes = fs::read(path).ok()?;
-    let mut r = SnapshotReader::new(&bytes).ok()?;
-    if r.take_str().ok()? != id {
-        return None;
-    }
-    Some(r.take_bytes().ok()?.to_vec())
 }
 
 fn journal_line(id: &str, o: &ChaosOutcome) -> String {
@@ -312,12 +470,15 @@ fn journal_line(id: &str, o: &ChaosOutcome) -> String {
         ("fallback_windows", JsonValue::U64(o.fallback_windows)),
         ("retry_exhausted", JsonValue::Bool(o.retry_exhausted)),
         ("bit_flips", JsonValue::U64(o.bit_flips as u64)),
+        ("digest", JsonValue::U64(o.digest)),
     ])
 }
 
 /// Loads journaled cell outcomes. Malformed lines (e.g. a line torn by
 /// the very crash being recovered from) are skipped: the affected cell
-/// simply reruns.
+/// simply reruns. Loading is keyed by cell id, never by line position,
+/// which is what lets a halted parallel campaign journal stragglers out
+/// of grid order without confusing a later `--resume`.
 fn load_journal(path: &Path) -> std::io::Result<HashMap<String, ChaosOutcome>> {
     let mut out = HashMap::new();
     let text = match fs::read_to_string(path) {
@@ -349,6 +510,7 @@ fn parse_journal_line(line: &str) -> Option<(String, ChaosOutcome)> {
         fallback_windows: map.get("fallback_windows")?.as_u64()?,
         retry_exhausted: map.get("retry_exhausted")?.as_bool()?,
         bit_flips: usize::try_from(map.get("bit_flips")?.as_u64()?).ok()?,
+        digest: map.get("digest")?.as_u64()?,
     };
     Some((map.get("cell")?.as_str()?.to_string(), outcome))
 }
@@ -356,6 +518,15 @@ fn parse_journal_line(line: &str) -> Option<(String, ChaosOutcome)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn spec(label: &str, plan: FaultPlan, scrubbing: bool) -> CellSpec {
+        CellSpec {
+            id: cell_id(label, scrubbing),
+            label: label.to_string(),
+            plan,
+            scrubbing,
+        }
+    }
 
     #[test]
     fn journal_line_round_trips() {
@@ -370,6 +541,7 @@ mod tests {
             fallback_windows: 2,
             retry_exhausted: false,
             bit_flips: 0,
+            digest: 0xDEAD_BEEF_0123_4567,
         };
         let line = journal_line("bus gauntlet/hardened", &o);
         let (id, parsed) = parse_journal_line(&line).expect("round trip");
@@ -392,6 +564,7 @@ mod tests {
                 fallback_windows: 0,
                 retry_exhausted: false,
                 bit_flips: 0,
+                digest: 1,
             },
         );
         // A crash mid-write truncates the final line.
@@ -407,7 +580,7 @@ mod tests {
         cc.wall_budget_ms = Some(0); // fires at the first epoch boundary
         let grid = chaos::fault_grid(cfg.seed ^ 0xC4A0);
         let (label, plan) = &grid[0];
-        let cell = run_cell(&cfg, label, plan.clone(), true, &cc, None);
+        let cell = run_cell(&cfg, &spec(label, plan.clone(), true), &cc, None, None);
         match cell.result {
             Err(CellError::WallClockExceeded { done, .. }) => {
                 assert!(done >= 128, "at least one epoch ran: {done}");
@@ -485,11 +658,32 @@ mod tests {
         cc.sim_budget_ps = Some(1); // any simulated progress exceeds this
         let grid = chaos::fault_grid(cfg.seed ^ 0xC4A0);
         let (label, plan) = &grid[0];
-        let cell = run_cell(&cfg, label, plan.clone(), false, &cc, None);
+        let cell = run_cell(&cfg, &spec(label, plan.clone(), false), &cc, None, None);
         assert!(
             matches!(cell.result, Err(CellError::SimTimeExceeded { .. })),
             "{:?}",
             cell.result
         );
+    }
+
+    #[test]
+    fn report_totals_merge_per_cell_at_collection() {
+        let cfg = SimConfig::fast_test();
+        let mut cc = CampaignConfig::new(6_000);
+        cc.epoch = 1_024;
+        let report = chaos_campaign(&cfg, &cc).expect("campaign");
+        let hand_summed: u64 = report
+            .cells
+            .iter()
+            .filter_map(|c| c.outcome.result.as_ref().ok())
+            .filter(|o| o.scrubbing)
+            .map(|o| o.additional_acts)
+            .sum();
+        assert_eq!(report.hardened.additional_acts, hand_summed);
+        assert_eq!(
+            report.hardened.cells + report.unhardened.cells,
+            report.cells.len() as u64
+        );
+        assert_eq!(report.hardened.bit_flips, 0, "hardened cells stay safe");
     }
 }

@@ -18,6 +18,7 @@ use crate::metrics::RunMetrics;
 use crate::outcome::CellError;
 use crate::runner::{try_build_source, WorkloadKind};
 use crate::system::System;
+use std::path::{Path, PathBuf};
 use twice_common::snapshot::{
     Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
 };
@@ -242,6 +243,48 @@ impl Snapshot for ResumableRun {
         self.system.digest_state(d);
         self.source.digest_state(d);
     }
+}
+
+/// The path of grid cell `index`'s private epoch checkpoint inside a
+/// campaign directory. Parallel workers write here — one file per cell,
+/// so no two workers ever contend on a checkpoint — while the serial
+/// loop keeps the single shared [`crate::campaign::CHECKPOINT_FILE`].
+pub fn cell_checkpoint_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("cell-{index:02}.ckpt"))
+}
+
+/// Writes `bytes` to `path` via a temporary file + rename, so a crash
+/// mid-write never leaves a torn checkpoint behind.
+pub fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Seals a cell's epoch checkpoint: the owning cell id wraps the run
+/// blob, so the checkpoint carries its identity, not just its state.
+///
+/// # Errors
+///
+/// Filesystem errors from the atomic write.
+pub fn write_cell_checkpoint(path: &Path, id: &str, run: &ResumableRun) -> std::io::Result<()> {
+    let mut w = SnapshotWriter::new();
+    w.put_str(id);
+    w.put_bytes(&run.checkpoint());
+    write_atomically(path, &w.finish())
+}
+
+/// Reads a cell checkpoint back, yielding the inner run blob only when
+/// the file exists, passes its checksum, and is owned by `id`. A
+/// checkpoint orphaned by a killed process therefore resumes exactly the
+/// cell that wrote it; every other cell starts fresh.
+pub fn read_cell_checkpoint(path: &Path, id: &str) -> Option<Vec<u8>> {
+    let bytes = std::fs::read(path).ok()?;
+    let mut r = SnapshotReader::new(&bytes).ok()?;
+    if r.take_str().ok()? != id {
+        return None;
+    }
+    Some(r.take_bytes().ok()?.to_vec())
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 
 use crate::checkpoint::ResumableRun;
 use crate::config::SimConfig;
+use crate::metrics::CampaignTotals;
 use crate::outcome::{Cell, CellError};
 use crate::report::Table;
 use crate::runner::WorkloadKind;
@@ -57,6 +58,30 @@ pub struct ChaosOutcome {
     pub retry_exhausted: bool,
     /// Bit flips recorded by the DRAM disturbance model. The whole point.
     pub bit_flips: usize,
+    /// The cell's final [`StateDigest`](twice_common::snapshot::StateDigest)
+    /// over the complete simulator state. Journaled with the outcome, so
+    /// a resumed campaign — and the parallel-equivalence test — can
+    /// compare cells bit for bit, not just by their summary counters.
+    pub digest: u64,
+}
+
+impl ChaosOutcome {
+    /// This cell's contribution to the campaign-level aggregates. Each
+    /// worker produces its own [`CampaignTotals`] per cell; the campaign
+    /// merges them at collection time instead of sharing counters across
+    /// threads.
+    pub fn totals(&self) -> CampaignTotals {
+        CampaignTotals {
+            cells: 1,
+            requests: 0,
+            normal_acts: 0,
+            additional_acts: self.additional_acts,
+            detections: 0,
+            bit_flips: self.bit_flips as u64,
+            nacks: self.protocol_nacks + self.injected_nacks,
+            energy_pj: 0,
+        }
+    }
 }
 
 /// The defense every chaos cell runs: the paper's fully-associative
@@ -82,6 +107,7 @@ pub(crate) fn collect_outcome(
     label: &str,
     scrubbing: bool,
     retry_exhausted: bool,
+    digest: u64,
 ) -> ChaosOutcome {
     let m = system.metrics("s3-chaos");
     let ctrls = system.controllers();
@@ -104,6 +130,7 @@ pub(crate) fn collect_outcome(
         fallback_windows: ctrls.iter().map(|c| c.fallback_windows()).sum(),
         retry_exhausted,
         bit_flips: m.bit_flips,
+        digest,
     }
 }
 
@@ -129,6 +156,7 @@ pub fn chaos_run(
         label,
         scrubbing,
         retry_exhausted,
+        run.digest(),
     ))
 }
 

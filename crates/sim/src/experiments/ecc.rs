@@ -78,6 +78,16 @@ pub fn run_with_ecc_judgement(
 /// Runs E3 and renders the comparison table. A failed run degrades to a
 /// structured error row instead of aborting the experiment.
 pub fn ecc_experiment(cfg_base: &SimConfig, requests: u64) -> (Table, Vec<Cell<EccSummary>>) {
+    ecc_experiment_jobs(cfg_base, requests, 1)
+}
+
+/// [`ecc_experiment`] across a worker pool; the two runs are independent
+/// and seeded, so the table is identical for every `jobs` value.
+pub fn ecc_experiment_jobs(
+    cfg_base: &SimConfig,
+    requests: u64,
+    jobs: usize,
+) -> (Table, Vec<Cell<EccSummary>>) {
     // Overdrive: one extra flip per N_th/32 of excess disturbance, so a
     // sustained hammer sprays enough bits for same-codeword collisions.
     let mut cfg = cfg_base.clone();
@@ -89,6 +99,10 @@ pub fn ecc_experiment(cfg_base: &SimConfig, requests: u64) -> (Table, Vec<Cell<E
             DefenseKind::Twice(TableOrganization::FullyAssociative),
         ),
     ];
+    let mut results = crate::parallel::parallel_map(jobs, &runs, |_, (_, defense)| {
+        run_with_ecc_judgement(&cfg, WorkloadKind::S3, *defense, requests)
+    })
+    .into_iter();
     let mut table = Table::new(
         "E3 (extension): SEC-DED ECC vs a sustained hammer",
         &[
@@ -100,11 +114,11 @@ pub fn ecc_experiment(cfg_base: &SimConfig, requests: u64) -> (Table, Vec<Cell<E
         ],
     );
     let mut out = Vec::new();
-    for (label, defense) in runs {
+    for (label, _) in runs {
         let cell = Cell {
             experiment: "ecc",
             cell: label.to_string(),
-            result: run_with_ecc_judgement(&cfg, WorkloadKind::S3, defense, requests),
+            result: results.next().expect("one summary per configured run"),
         };
         match &cell.result {
             Ok(s) => {

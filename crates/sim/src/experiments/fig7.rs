@@ -12,8 +12,16 @@
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
 use crate::report::{percent, Table};
-use crate::runner::{run, WorkloadKind};
+use crate::runner::{run, try_run_batch, RunSpec, WorkloadKind};
 use twice_mitigations::DefenseKind;
+
+/// Unwraps one batched run with [`run`]'s exact panic semantics, so the
+/// pooled sweeps fail the same way the serial loops always did.
+fn expect_run(result: Option<Result<RunMetrics, crate::outcome::CellError>>) -> RunMetrics {
+    result
+        .expect("batch yields one result per spec")
+        .unwrap_or_else(|e| panic!("{e}; use try_run for fallible cells"))
+}
 
 /// The result of one Figure 7 sweep.
 #[derive(Debug, Clone)]
@@ -44,15 +52,18 @@ fn sweep(
     workloads: &[(String, WorkloadKind)],
     requests: u64,
     with_average: bool,
+    jobs: usize,
 ) -> Fig7Result {
     let lineup = DefenseKind::figure7_lineup();
     let defenses: Vec<String> = lineup.iter().map(|d| d.to_string()).collect();
+    let specs: Vec<RunSpec> = workloads
+        .iter()
+        .flat_map(|(_, w)| lineup.iter().map(|&d| (w.clone(), d, requests)))
+        .collect();
+    let mut results = try_run_batch(cfg, &specs, jobs).into_iter();
     let mut rows: Vec<(String, Vec<RunMetrics>)> = Vec::new();
-    for (label, w) in workloads {
-        let metrics: Vec<RunMetrics> = lineup
-            .iter()
-            .map(|&d| run(cfg, w.clone(), d, requests))
-            .collect();
+    for (label, _) in workloads {
+        let metrics: Vec<RunMetrics> = lineup.iter().map(|_| expect_run(results.next())).collect();
         rows.push((label.clone(), metrics));
     }
     let mut headers: Vec<&str> = vec!["workload"];
@@ -86,14 +97,35 @@ fn sweep(
 /// applications to run (their mean is reported as `SPECrate(avg)`);
 /// `requests` is the per-run trace length.
 pub fn figure7a(cfg: &SimConfig, spec_sample: &[&'static str], requests: u64) -> Fig7Result {
+    figure7a_jobs(cfg, spec_sample, requests, 1)
+}
+
+/// [`figure7a`] across a worker pool. The SPECrate accumulation keeps
+/// its serial iteration order — only the underlying runs are pooled —
+/// so the rendered figure is identical for every `jobs` value.
+pub fn figure7a_jobs(
+    cfg: &SimConfig,
+    spec_sample: &[&'static str],
+    requests: u64,
+    jobs: usize,
+) -> Fig7Result {
     let lineup = DefenseKind::figure7_lineup();
     // SPECrate average across the sampled applications.
     let mut spec_avg: Vec<RunMetrics> = Vec::new();
     if !spec_sample.is_empty() {
-        for (d, &kind) in lineup.iter().enumerate() {
+        let specs: Vec<RunSpec> = lineup
+            .iter()
+            .flat_map(|&kind| {
+                spec_sample
+                    .iter()
+                    .map(move |name| (WorkloadKind::SpecRate(name), kind, requests))
+            })
+            .collect();
+        let mut results = try_run_batch(cfg, &specs, jobs).into_iter();
+        for (d, _) in lineup.iter().enumerate() {
             let mut acc: Option<RunMetrics> = None;
-            for name in spec_sample {
-                let m = run(cfg, WorkloadKind::SpecRate(name), kind, requests);
+            for _ in spec_sample {
+                let m = expect_run(results.next());
                 acc = Some(match acc {
                     None => m,
                     Some(mut a) => {
@@ -122,6 +154,7 @@ pub fn figure7a(cfg: &SimConfig, spec_sample: &[&'static str], requests: u64) ->
         &workloads,
         requests,
         false,
+        jobs,
     );
     if !spec_avg.is_empty() {
         result
@@ -200,6 +233,11 @@ pub fn figure7_extended(cfg: &SimConfig, requests: u64) -> Fig7Result {
 
 /// Figure 7(b): the synthetic workloads.
 pub fn figure7b(cfg: &SimConfig, requests: u64) -> Fig7Result {
+    figure7b_jobs(cfg, requests, 1)
+}
+
+/// [`figure7b`] across a worker pool; identical output for every `jobs`.
+pub fn figure7b_jobs(cfg: &SimConfig, requests: u64, jobs: usize) -> Fig7Result {
     let workloads: Vec<(String, WorkloadKind)> = WorkloadKind::figure7b()
         .into_iter()
         .map(|w| (w.to_string(), w))
@@ -210,6 +248,7 @@ pub fn figure7b(cfg: &SimConfig, requests: u64) -> Fig7Result {
         &workloads,
         requests,
         false,
+        jobs,
     )
 }
 

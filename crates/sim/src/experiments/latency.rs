@@ -12,7 +12,7 @@ use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
 use crate::outcome::Cell;
 use crate::report::Table;
-use crate::runner::{try_run, WorkloadKind};
+use crate::runner::{try_run_batch, RunSpec, WorkloadKind};
 use twice::TableOrganization;
 use twice_mitigations::DefenseKind;
 
@@ -27,22 +27,39 @@ pub struct LatencyResult {
 
 /// Runs E2: tail latency of each defense under `workloads`.
 pub fn latency_spike(cfg: &SimConfig, workloads: &[(String, WorkloadKind, u64)]) -> LatencyResult {
+    latency_spike_jobs(cfg, workloads, 1)
+}
+
+/// [`latency_spike`] across a worker pool; cells are independent, so the
+/// rendered table is identical for every `jobs` value.
+pub fn latency_spike_jobs(
+    cfg: &SimConfig,
+    workloads: &[(String, WorkloadKind, u64)],
+    jobs: usize,
+) -> LatencyResult {
     let defenses = [
         DefenseKind::None,
         DefenseKind::Twice(TableOrganization::FullyAssociative),
         DefenseKind::Cbt { counters: 256 },
     ];
+    let specs: Vec<RunSpec> = workloads
+        .iter()
+        .flat_map(|(_, workload, requests)| {
+            defenses.iter().map(|&d| (workload.clone(), d, *requests))
+        })
+        .collect();
+    let mut results = try_run_batch(cfg, &specs, jobs).into_iter();
     let mut table = Table::new(
         "E2: request-latency spikes under refresh bursts (paper 3.4)",
         &["workload", "defense", "mean", "p99 (<=)", "max"],
     );
     let mut runs = Vec::new();
-    for (label, workload, requests) in workloads {
+    for (label, _, _) in workloads {
         for &d in &defenses {
             let cell = Cell {
                 experiment: "latency",
                 cell: format!("{label}/{d}"),
-                result: try_run(cfg, workload.clone(), d, *requests),
+                result: results.next().expect("one run per workload × defense"),
             };
             match &cell.result {
                 Ok(m) => {

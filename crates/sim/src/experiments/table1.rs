@@ -2,9 +2,10 @@
 //! measurements from this reproduction rather than just claims.
 
 use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
 use crate::outcome::{Cell, CellError};
 use crate::report::{percent, Table};
-use crate::runner::{try_run, WorkloadKind};
+use crate::runner::{try_run_batch, RunSpec, WorkloadKind};
 use twice::TableOrganization;
 use twice_mitigations::DefenseKind;
 
@@ -24,17 +25,21 @@ pub struct Comparison {
     pub detects: bool,
 }
 
-fn measure(
-    cfg: &SimConfig,
+/// Assembles one defense's row from its three finished runs, with the
+/// serial `S1 → S2 → S3` error priority: the first failing run in that
+/// order is the cell's error.
+fn combine(
     kind: DefenseKind,
     location: &'static str,
-    requests: u64,
+    typical: Result<RunMetrics, CellError>,
+    s2: Result<RunMetrics, CellError>,
+    s3: Result<RunMetrics, CellError>,
 ) -> Result<Comparison, CellError> {
-    let typical = try_run(cfg, WorkloadKind::S1, kind, requests)?;
+    let typical = typical?;
     // Each defense's worst pattern: CBT hates S2; everyone else S3;
     // CRA hates S1 itself, so take the max.
-    let s2 = try_run(cfg, WorkloadKind::S2, kind, requests)?;
-    let s3 = try_run(cfg, WorkloadKind::S3, kind, requests)?;
+    let s2 = s2?;
+    let s3 = s3?;
     let adversarial = s2
         .additional_act_ratio()
         .max(s3.additional_act_ratio())
@@ -54,6 +59,13 @@ fn measure(
 /// malformed configuration, exhausted retry budget — degrades to a
 /// structured error row instead of aborting the table.
 pub fn table1(cfg: &SimConfig, requests: u64) -> (Table, Vec<Cell<Comparison>>) {
+    table1_jobs(cfg, requests, 1)
+}
+
+/// [`table1`] across a worker pool: all 12 runs (4 defenses × S1/S2/S3)
+/// are independent and seeded by `cfg`, so every `jobs` value yields the
+/// same table — the pool only changes wall-clock time.
+pub fn table1_jobs(cfg: &SimConfig, requests: u64, jobs: usize) -> (Table, Vec<Cell<Comparison>>) {
     let lineup: Vec<(DefenseKind, &'static str)> = vec![
         (DefenseKind::Cra { cache_entries: 64 }, "MC"),
         (DefenseKind::Cbt { counters: 256 }, "MC"),
@@ -63,12 +75,26 @@ pub fn table1(cfg: &SimConfig, requests: u64) -> (Table, Vec<Cell<Comparison>>) 
             "RCD",
         ),
     ];
+    let specs: Vec<RunSpec> = lineup
+        .iter()
+        .flat_map(|&(kind, _)| {
+            [
+                (WorkloadKind::S1, kind, requests),
+                (WorkloadKind::S2, kind, requests),
+                (WorkloadKind::S3, kind, requests),
+            ]
+        })
+        .collect();
+    let mut results = try_run_batch(cfg, &specs, jobs).into_iter();
     let mut cells = Vec::new();
     for (kind, location) in lineup {
+        let typical = results.next().expect("one S1 run per defense");
+        let s2 = results.next().expect("one S2 run per defense");
+        let s3 = results.next().expect("one S3 run per defense");
         cells.push(Cell {
             experiment: "table1",
             cell: kind.to_string(),
-            result: measure(cfg, kind, location, requests),
+            result: combine(kind, location, typical, s2, s3),
         });
     }
     let mut table = Table::new(
@@ -142,5 +168,13 @@ mod tests {
         // TWiCe's worst case is analytic: 2 extra ACTs per thRH ACTs.
         assert!(twice.adversarial_overhead <= 2.5 / cfg.params.th_rh as f64);
         assert_eq!(twice.location, "RCD");
+    }
+
+    #[test]
+    fn pooled_table1_renders_the_serial_bytes() {
+        let cfg = SimConfig::fast_test();
+        let (serial, _) = table1_jobs(&cfg, 8_000, 1);
+        let (pooled, _) = table1_jobs(&cfg, 8_000, 3);
+        assert_eq!(pooled.to_string(), serial.to_string());
     }
 }

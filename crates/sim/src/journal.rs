@@ -8,6 +8,8 @@
 //! deliberately has no serde dependency.
 
 use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::Mutex;
 
 /// A flat JSON scalar.
 #[derive(Debug, Clone, PartialEq)]
@@ -220,6 +222,93 @@ impl Parser {
     }
 }
 
+/// A mutex-guarded journal writer that restores *grid order* to lines
+/// arriving from concurrent workers.
+///
+/// Every grid cell — salvaged, completed, or failed — must `submit` its
+/// index exactly once: completed cells submit their journal line,
+/// salvaged and failed cells submit `None` (the serial loop journals
+/// neither). Lines are held in a pending map and written only as the
+/// contiguous prefix of indices completes, so the bytes that reach the
+/// file are exactly the bytes the serial loop would have appended, in
+/// the same order. Anything still pending when a campaign halts early is
+/// written by [`flush_stragglers`](OrderedJournalWriter::flush_stragglers)
+/// — out of grid order, which is fine because journal *loading* is keyed
+/// by cell id, not line position.
+#[derive(Debug)]
+pub struct OrderedJournalWriter {
+    state: Mutex<WriterState>,
+}
+
+#[derive(Debug)]
+struct WriterState {
+    file: std::fs::File,
+    next: usize,
+    pending: BTreeMap<usize, Option<String>>,
+}
+
+impl OrderedJournalWriter {
+    /// Wraps an append-mode journal file handle.
+    pub fn new(file: std::fs::File) -> OrderedJournalWriter {
+        OrderedJournalWriter {
+            state: Mutex::new(WriterState {
+                file,
+                next: 0,
+                pending: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Records cell `index`'s contribution (`Some(line)` to journal it,
+    /// `None` to skip it) and flushes the contiguous prefix of completed
+    /// indices to the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush errors; pending lines stay queued.
+    pub fn submit(&self, index: usize, line: Option<String>) -> std::io::Result<()> {
+        let mut st = self.state.lock().expect("journal writer poisoned");
+        st.pending.insert(index, line);
+        let mut wrote = false;
+        loop {
+            let next = st.next;
+            match st.pending.remove(&next) {
+                Some(Some(line)) => {
+                    writeln!(st.file, "{line}")?;
+                    wrote = true;
+                    st.next += 1;
+                }
+                Some(None) => st.next += 1,
+                None => break,
+            }
+        }
+        if wrote {
+            st.file.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes every still-pending line (in index order) regardless of
+    /// gaps. Called when a campaign halts early: cells that finished
+    /// while a lower-indexed neighbour was still running must reach the
+    /// journal before the process exits, or their work is lost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush errors.
+    pub fn flush_stragglers(&self) -> std::io::Result<()> {
+        let mut st = self.state.lock().expect("journal writer poisoned");
+        let pending = std::mem::take(&mut st.pending);
+        for (index, line) in pending {
+            if let Some(line) = line {
+                writeln!(st.file, "{line}")?;
+            }
+            st.next = st.next.max(index + 1);
+        }
+        st.file.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +351,57 @@ mod tests {
     #[test]
     fn empty_object_parses() {
         assert!(parse_line("{}").expect("parse").is_empty());
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("twice-journal-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn out_of_order_submissions_reach_the_file_in_index_order() {
+        let path = temp_journal("order");
+        let writer = OrderedJournalWriter::new(std::fs::File::create(&path).expect("create"));
+        // Grid order 0..5, submitted shuffled, with 1 (failed) and 3
+        // (salvaged) contributing nothing.
+        writer.submit(4, Some("four".into())).expect("submit");
+        writer.submit(2, Some("two".into())).expect("submit");
+        writer.submit(0, Some("zero".into())).expect("submit");
+        writer.submit(3, None).expect("submit");
+        writer.submit(1, None).expect("submit");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read"),
+            "zero\ntwo\nfour\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn halting_flushes_stragglers_past_the_gap() {
+        let path = temp_journal("halt");
+        let writer = OrderedJournalWriter::new(std::fs::File::create(&path).expect("create"));
+        writer.submit(0, Some("zero".into())).expect("submit");
+        // Index 1 never completes (the campaign halted); 2 and 4 did.
+        writer.submit(2, Some("two".into())).expect("submit");
+        writer.submit(4, Some("four".into())).expect("submit");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "zero\n");
+        writer.flush_stragglers().expect("flush");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read"),
+            "zero\ntwo\nfour\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_submissions_serialize_in_grid_order() {
+        let path = temp_journal("concurrent");
+        let writer = OrderedJournalWriter::new(std::fs::File::create(&path).expect("create"));
+        let lines: Vec<usize> = (0..64).collect();
+        crate::parallel::parallel_map(8, &lines, |i, _| {
+            writer.submit(i, Some(format!("line {i}"))).expect("submit")
+        });
+        let expect: String = (0..64).map(|i| format!("line {i}\n")).collect();
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), expect);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -21,6 +21,7 @@
 //! * [`checkpoint`] — epoch-based resumable runs with digests.
 //! * [`journal`] — the JSONL cell-outcome journal.
 //! * [`campaign`] — the supervised, crash-safe chaos campaign.
+//! * [`parallel`] — the fixed-size worker pool behind `--jobs`.
 //!
 //! # Examples
 //!
@@ -49,6 +50,7 @@ pub mod experiments;
 pub mod journal;
 pub mod metrics;
 pub mod outcome;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod system;

@@ -59,6 +59,72 @@ impl RunMetrics {
     }
 }
 
+/// Campaign-level aggregates, accumulated **per cell** and merged at
+/// collection time.
+///
+/// Once grid cells run concurrently, a shared mutable `u64` accumulator
+/// would race (or demand atomics and an ordering argument). Instead each
+/// worker sums only the cells it owns into a private `CampaignTotals`,
+/// and the campaign merges the per-cell/per-worker totals after the pool
+/// joins — addition is associative and commutative, so any merge order
+/// yields the serial sum, which `merges_lose_no_counts_under_concurrency`
+/// checks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignTotals {
+    /// Completed cells absorbed.
+    pub cells: u64,
+    /// Requests serviced across those cells.
+    pub requests: u64,
+    /// Normal (MC-issued) row activations.
+    pub normal_acts: u64,
+    /// Defense-driven extra activations.
+    pub additional_acts: u64,
+    /// Attack detections raised.
+    pub detections: u64,
+    /// Row-hammer bit flips recorded by the fault model.
+    pub bit_flips: u64,
+    /// Commands nacked by the RCDs (protocol + injected).
+    pub nacks: u64,
+    /// Total DRAM energy in picojoules.
+    pub energy_pj: u64,
+}
+
+impl CampaignTotals {
+    /// Adds one completed run's metrics to this accumulator.
+    pub fn absorb(&mut self, m: &RunMetrics) {
+        self.cells += 1;
+        self.requests += m.requests;
+        self.normal_acts += m.normal_acts;
+        self.additional_acts += m.additional_acts;
+        self.detections += m.detections;
+        self.bit_flips += m.bit_flips as u64;
+        self.nacks += m.nacks;
+        self.energy_pj += m.energy_pj;
+    }
+
+    /// Folds another accumulator (e.g. one worker's share of the grid)
+    /// into this one.
+    pub fn merge(&mut self, other: &CampaignTotals) {
+        self.cells += other.cells;
+        self.requests += other.requests;
+        self.normal_acts += other.normal_acts;
+        self.additional_acts += other.additional_acts;
+        self.detections += other.detections;
+        self.bit_flips += other.bit_flips;
+        self.nacks += other.nacks;
+        self.energy_pj += other.energy_pj;
+    }
+
+    /// Figure 7's y-axis over the whole campaign.
+    pub fn additional_act_ratio(&self) -> f64 {
+        if self.normal_acts == 0 {
+            0.0
+        } else {
+            self.additional_acts as f64 / self.normal_acts as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +158,68 @@ mod tests {
     fn act_interval() {
         assert_eq!(metrics(10, 0).mean_act_interval(), Span::from_ps(100));
         assert_eq!(metrics(0, 0).mean_act_interval(), Span::ZERO);
+    }
+
+    #[test]
+    fn absorb_sums_every_field() {
+        let mut t = CampaignTotals::default();
+        let mut m = metrics(100, 7);
+        m.requests = 50;
+        m.detections = 3;
+        m.bit_flips = 2;
+        m.nacks = 9;
+        m.energy_pj = 1_000;
+        t.absorb(&m);
+        t.absorb(&m);
+        assert_eq!(
+            t,
+            CampaignTotals {
+                cells: 2,
+                requests: 100,
+                normal_acts: 200,
+                additional_acts: 14,
+                detections: 6,
+                bit_flips: 4,
+                nacks: 18,
+                energy_pj: 2_000,
+            }
+        );
+        assert!((t.additional_act_ratio() - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merges_lose_no_counts_under_concurrency() {
+        // 64 cells of synthetic metrics, absorbed serially as the
+        // reference, then absorbed by an 8-worker pool into per-worker
+        // private accumulators merged at collection. The parallel total
+        // must equal the serial total exactly — no shared counters, no
+        // lost updates.
+        let cells: Vec<RunMetrics> = (0..64u64)
+            .map(|i| {
+                let mut m = metrics(1_000 + i * 17, i * 3);
+                m.requests = 100 + i;
+                m.detections = i % 5;
+                m.bit_flips = (i % 3) as usize;
+                m.nacks = i * 2;
+                m.energy_pj = i * 1_000;
+                m
+            })
+            .collect();
+        let mut serial = CampaignTotals::default();
+        for m in &cells {
+            serial.absorb(m);
+        }
+        // One totals value per cell, produced concurrently...
+        let per_cell = crate::parallel::parallel_map(8, &cells, |_, m| {
+            let mut t = CampaignTotals::default();
+            t.absorb(m);
+            t
+        });
+        // ...then merged single-threaded at collection time.
+        let mut merged = CampaignTotals::default();
+        for t in &per_cell {
+            merged.merge(t);
+        }
+        assert_eq!(merged, serial);
     }
 }

@@ -157,6 +157,26 @@ pub fn try_run(
     Ok(system.metrics(workload.to_string()))
 }
 
+/// One independent cell of an experiment grid: workload × defense ×
+/// request budget.
+pub type RunSpec = (WorkloadKind, DefenseKind, u64);
+
+/// Runs every spec against `cfg` across a pool of `jobs` workers (see
+/// [`crate::parallel::parallel_map`]), returning results in spec order.
+///
+/// Each run is fully self-contained — own generator, own [`System`] —
+/// and seeded by `cfg` alone, so results are identical for every `jobs`
+/// value; the pool only changes wall-clock time.
+pub fn try_run_batch(
+    cfg: &SimConfig,
+    specs: &[RunSpec],
+    jobs: usize,
+) -> Vec<Result<RunMetrics, CellError>> {
+    crate::parallel::parallel_map(jobs, specs, |_, (workload, defense, requests)| {
+        try_run(cfg, workload.clone(), *defense, *requests)
+    })
+}
+
 /// Runs `workload` under `defense` for `requests` accesses and collects
 /// the metrics.
 pub fn run(

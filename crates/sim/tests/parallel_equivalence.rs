@@ -1,0 +1,167 @@
+//! The serial-equivalence guarantee of the parallel campaign runner
+//! (DESIGN.md §5e): for every defense, a `--jobs 4` campaign must be
+//! indistinguishable from `--jobs 1` — identical per-cell state digests,
+//! identical journal bytes, identical rendered report — and a campaign
+//! killed under `--jobs 4` and resumed must reproduce the uninterrupted
+//! run exactly.
+
+use twice::TableOrganization;
+use twice_mitigations::DefenseKind;
+use twice_sim::campaign::{chaos_campaign, CampaignConfig, CampaignReport, JOURNAL_FILE};
+use twice_sim::config::SimConfig;
+
+const REQUESTS: u64 = 4_000;
+const EPOCH: u64 = 512;
+
+fn every_defense() -> Vec<DefenseKind> {
+    vec![
+        DefenseKind::Twice(TableOrganization::FullyAssociative),
+        DefenseKind::Twice(TableOrganization::PseudoAssociative),
+        DefenseKind::Twice(TableOrganization::Split),
+        DefenseKind::Para { p: 0.001 },
+        DefenseKind::Prohit { p: 0.001 },
+        DefenseKind::Cbt { counters: 256 },
+        DefenseKind::Cra { cache_entries: 512 },
+        DefenseKind::Trr { entries: 16 },
+        DefenseKind::Graphene,
+        DefenseKind::Oracle,
+        DefenseKind::None,
+    ]
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("twice-par-eq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Per-cell digests, in grid order; a failed cell would panic with its
+/// structured error so divergence is never hidden behind an `Err`.
+fn digests(report: &CampaignReport, label: &str) -> Vec<(String, u64)> {
+    report
+        .cells
+        .iter()
+        .map(|c| {
+            let o = c
+                .outcome
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{label}: cell {} failed: {e}", c.outcome.cell));
+            (c.outcome.cell.clone(), o.digest)
+        })
+        .collect()
+}
+
+fn sorted_lines(path: &std::path::Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).expect("journal readable");
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn four_workers_match_the_serial_run_for_every_defense() {
+    let cfg = SimConfig::fast_test();
+    for (i, defense) in every_defense().into_iter().enumerate() {
+        let label = format!("{defense}");
+        let dir_serial = temp_dir(&format!("s{i}"));
+        let dir_pooled = temp_dir(&format!("p{i}"));
+
+        let mut cc = CampaignConfig::new(REQUESTS);
+        cc.epoch = EPOCH;
+        cc.defense = defense;
+        cc.dir = Some(dir_serial.clone());
+        cc.jobs = 1;
+        let serial = chaos_campaign(&cfg, &cc).expect("serial campaign");
+
+        cc.dir = Some(dir_pooled.clone());
+        cc.jobs = 4;
+        let pooled = chaos_campaign(&cfg, &cc).expect("pooled campaign");
+
+        assert_eq!(
+            digests(&pooled, &label),
+            digests(&serial, &label),
+            "{label}: per-cell digests diverged under --jobs 4"
+        );
+        for (p, s) in pooled.cells.iter().zip(&serial.cells) {
+            assert_eq!(
+                p.outcome.result, s.outcome.result,
+                "{label}: cell {} outcome diverged",
+                s.outcome.cell
+            );
+        }
+        assert_eq!(
+            pooled.table.to_string(),
+            serial.table.to_string(),
+            "{label}: report bytes diverged under --jobs 4"
+        );
+        // A clean pooled run journals in contiguous grid order, so the
+        // raw bytes — not just the sorted lines — must match.
+        assert_eq!(
+            std::fs::read(dir_pooled.join(JOURNAL_FILE)).expect("pooled journal"),
+            std::fs::read(dir_serial.join(JOURNAL_FILE)).expect("serial journal"),
+            "{label}: journal bytes diverged under --jobs 4"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir_serial);
+        let _ = std::fs::remove_dir_all(&dir_pooled);
+    }
+}
+
+#[test]
+fn killed_parallel_campaign_resumes_to_the_uninterrupted_digests() {
+    let cfg = SimConfig::fast_test();
+    let requests = 6_000;
+
+    // The uninterrupted reference, journaled so its lines are comparable.
+    let ref_dir = temp_dir("ref");
+    let mut cc = CampaignConfig::new(requests);
+    cc.dir = Some(ref_dir.clone());
+    let clean = chaos_campaign(&cfg, &cc).expect("clean campaign");
+    assert!(clean.cells.iter().all(|c| c.outcome.result.is_ok()));
+
+    // Kill a 4-worker campaign mid-grid. In-flight workers drain, so the
+    // journal may hold stragglers past the halt point — out of grid
+    // order, which is why resume loads are keyed by cell id.
+    let dir = temp_dir("kill");
+    let mut cc = CampaignConfig::new(requests);
+    cc.dir = Some(dir.clone());
+    cc.jobs = 4;
+    cc.halt_after = Some(3);
+    let halted = chaos_campaign(&cfg, &cc).expect("halted campaign");
+    assert!(halted.halted, "the crash simulation must trigger");
+    assert!(
+        halted.cells.len() < clean.cells.len(),
+        "the halt must land mid-grid"
+    );
+
+    // Resume the same directory, still with 4 workers.
+    cc.halt_after = None;
+    let resumed = chaos_campaign(&cfg, &cc).expect("resumed campaign");
+    assert!(!resumed.halted);
+    assert!(
+        resumed.salvaged >= 3,
+        "journaled cells must be salvaged, not rerun (got {})",
+        resumed.salvaged
+    );
+    assert_eq!(
+        digests(&resumed, "resumed"),
+        digests(&clean, "clean"),
+        "kill + resume under --jobs 4 must reproduce the uninterrupted digests"
+    );
+    assert_eq!(
+        resumed.table.to_string(),
+        clean.table.to_string(),
+        "the resumed report must be byte-identical to the clean run's"
+    );
+    // The halted journal's stragglers land out of grid order; the full
+    // line *set* still matches the serial journal exactly.
+    assert_eq!(
+        sorted_lines(&dir.join(JOURNAL_FILE)),
+        sorted_lines(&ref_dir.join(JOURNAL_FILE)),
+        "resumed journal content must match the clean journal"
+    );
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,179 @@
+//! Differential protection oracle: TWiCe vs an exact per-row
+//! neighbor-activation counter.
+//!
+//! The engine under test is the real [`TwiceEngine`]; the oracle is a
+//! brute-force ground truth nothing like the implementation: one counter
+//! per row holding the neighbor activations accumulated since the row
+//! was last refreshed (by the rotating auto-refresh, by an ARR on an
+//! adjacent aggressor, or by its own activation rewriting its cells).
+//! §4.3's guarantee says no victim may reach `N_th` such activations in
+//! one of its refresh windows — if the engine ever lets a counter cross
+//! the threshold, the defense is broken regardless of what its internal
+//! table believes.
+//!
+//! Three trace classes, ≥100 randomized traces each:
+//!
+//! * **uniform** — aggressors drawn uniformly; exercises pruning churn.
+//! * **decoy** — one hot aggressor hidden in cold decoy rows; exercises
+//!   the tracked path (the hot row must be caught at `thRH`).
+//! * **straddle** — bursts of `thRH − 1` ACTs separated by idle spans of
+//!   up to a full `tREFW` of refresh slots; exercises the untracked
+//!   budget the proof bounds with `thPI · maxlife`.
+
+use twice_repro::common::rng::SplitMix64;
+use twice_repro::common::{BankId, DefenseResponse, RowHammerDefense, RowId, Time};
+use twice_repro::core::{TwiceEngine, TwiceParams};
+
+/// Rows in play. Matches `maxlife` of the fast parameter set so the
+/// rotating refresh covers every row exactly once per `tREFW`.
+const ROWS: usize = 64;
+/// Randomized traces per pattern class.
+const TRACES_PER_CLASS: u64 = 100;
+/// ACT slots per trace (idle slots included).
+const TRACE_LEN: usize = 4_000;
+
+/// The exact ground-truth counter: `disturb[r]` is the number of ACTs
+/// on row `r`'s neighbors since `r` was last refreshed.
+struct Oracle {
+    disturb: Vec<u64>,
+    n_th: u64,
+    refresh_ptr: usize,
+}
+
+impl Oracle {
+    fn new(n_th: u64) -> Oracle {
+        Oracle {
+            disturb: vec![0; ROWS],
+            n_th,
+            refresh_ptr: 0,
+        }
+    }
+
+    /// One ACT on `a`: both neighbors accumulate disturbance; the
+    /// aggressor's own cells are restored by its activation.
+    fn on_act(&mut self, a: usize) {
+        if a > 0 {
+            self.disturb[a - 1] += 1;
+        }
+        if a + 1 < ROWS {
+            self.disturb[a + 1] += 1;
+        }
+        self.disturb[a] = 0;
+    }
+
+    /// Applies the engine's response: an ARR (and any explicit refresh
+    /// rows) refreshes the *neighbors* of the named aggressor.
+    fn absorb(&mut self, resp: &DefenseResponse) {
+        for &row in resp.arr.iter().chain(resp.refresh_rows.iter()) {
+            let r = row.index();
+            if r > 0 {
+                self.disturb[r - 1] = 0;
+            }
+            if r + 1 < ROWS {
+                self.disturb[r + 1] = 0;
+            }
+        }
+    }
+
+    /// One auto-refresh slot: the rotation refreshes the next row.
+    fn auto_refresh(&mut self) {
+        self.disturb[self.refresh_ptr] = 0;
+        self.refresh_ptr = (self.refresh_ptr + 1) % ROWS;
+    }
+
+    /// The §4.3 guarantee: no row's window counter reaches `N_th`.
+    fn check(&self, class: &str, seed: u64, step: usize) {
+        for (r, &d) in self.disturb.iter().enumerate() {
+            assert!(
+                d < self.n_th,
+                "{class} seed {seed}: row {r} reached {d} >= N_th {} \
+                 activations-in-window without an ARR at step {step}",
+                self.n_th
+            );
+        }
+    }
+}
+
+/// Drives one trace: `next` yields the aggressor for each slot, or
+/// `None` to idle through the rest of the current refresh interval.
+fn drive(class: &str, seed: u64, mut next: impl FnMut(&mut SplitMix64) -> Option<usize>) {
+    let params = TwiceParams::fast_test();
+    let max_act = params.max_act();
+    let n_th = params.n_th;
+    let mut engine = TwiceEngine::new(params, 1);
+    let mut oracle = Oracle::new(n_th);
+    let mut rng = SplitMix64::new(seed ^ 0x0D1F_F00D);
+    let mut acts_this_pi = 0u64;
+    for step in 0..TRACE_LEN {
+        if acts_this_pi >= max_act {
+            let resp = engine.on_auto_refresh(BankId(0), Time::ZERO);
+            oracle.absorb(&resp);
+            oracle.auto_refresh();
+            acts_this_pi = 0;
+        }
+        match next(&mut rng) {
+            Some(a) => {
+                assert!((1..ROWS - 1).contains(&a), "aggressor {a} out of band");
+                acts_this_pi += 1;
+                let resp = engine.on_activate(BankId(0), RowId(a as u32), Time::ZERO);
+                oracle.on_act(a);
+                oracle.absorb(&resp);
+            }
+            // Idle: burn the rest of this pruning interval.
+            None => acts_this_pi = max_act,
+        }
+        oracle.check(class, seed, step);
+    }
+}
+
+#[test]
+fn uniform_traces_never_cross_n_th() {
+    for seed in 0..TRACES_PER_CLASS {
+        drive("uniform", seed, |rng| {
+            Some(1 + rng.next_below((ROWS - 2) as u64) as usize)
+        });
+    }
+}
+
+#[test]
+fn decoy_row_traces_never_cross_n_th() {
+    for seed in 0..TRACES_PER_CLASS {
+        let mut picker = SplitMix64::new(seed.wrapping_mul(0x9E37));
+        let hot = 1 + picker.next_below((ROWS - 2) as u64) as usize;
+        drive("decoy", seed, move |rng| {
+            if rng.chance(0.5) {
+                Some(hot)
+            } else {
+                Some(1 + rng.next_below((ROWS - 2) as u64) as usize)
+            }
+        });
+    }
+}
+
+#[test]
+fn trefw_straddling_traces_never_cross_n_th() {
+    let th_rh = TwiceParams::fast_test().th_rh;
+    for seed in 0..TRACES_PER_CLASS {
+        let mut picker = SplitMix64::new(seed.wrapping_mul(0x51D7));
+        let agg = 1 + picker.next_below((ROWS - 2) as u64) as usize;
+        // Hammer to the brink of thRH, then idle across refresh slots —
+        // possibly a full tREFW, so the tracking entry is pruned — and
+        // resume. The victim's window counter straddles the engine's
+        // pruning intervals.
+        let mut burst = th_rh - 1;
+        let mut idle = 0u64;
+        drive("straddle", seed, move |rng| {
+            if idle > 0 {
+                idle -= 1;
+                return None;
+            }
+            if burst == 0 {
+                burst = th_rh - 1;
+                idle = 1 + rng.next_below(ROWS as u64 + 1);
+                return None;
+            }
+            burst -= 1;
+            Some(agg)
+        });
+    }
+}
