@@ -14,6 +14,13 @@
 //! so two runs with the same plan inject byte-identical fault sequences
 //! regardless of scheduling order between components.
 //!
+//! The same discipline applies to the harness's *own* persistence layer:
+//! the `Storage*` kinds model a hostile filesystem (ENOSPC, torn writes,
+//! partial reads, failed renames, bit-rot) and drive the campaign
+//! runner's `FaultyIo` implementation of `CampaignIo` in `twice-sim`, so
+//! the crash-safety machinery is stress-tested with the same seeded,
+//! replayable vocabulary as the DRAM fault model.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,7 +42,7 @@
 use crate::rng::SplitMix64;
 
 /// The number of distinct [`FaultKind`] variants (size of per-kind arrays).
-const KINDS: usize = 6;
+const KINDS: usize = 11;
 
 /// A category of injectable hardware fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,6 +66,21 @@ pub enum FaultKind {
     /// Command-bus timing jitter: an issued command is delayed by a
     /// random fraction of a clock before it reaches the device.
     TimingJitter,
+    /// Storage: a write fails with "no space left on device" before any
+    /// byte reaches the file.
+    StorageEnospc,
+    /// Storage: a write is torn — only a prefix of the bytes persists,
+    /// and the tear is *silent* (the writer is told it succeeded), as a
+    /// power loss after an unsynced rename would leave it.
+    StorageTornWrite,
+    /// Storage: a read returns only a prefix of the file.
+    StoragePartialRead,
+    /// Storage: the rename step of an atomic write fails, leaving the
+    /// temporary file orphaned next to the intact original.
+    StorageRenameFail,
+    /// Storage: a read returns the file with one bit flipped (media
+    /// bit-rot or an undetected transfer error).
+    StorageBitRot,
 }
 
 impl FaultKind {
@@ -71,6 +93,11 @@ impl FaultKind {
         FaultKind::SpuriousNack,
         FaultKind::RefreshPostpone,
         FaultKind::TimingJitter,
+        FaultKind::StorageEnospc,
+        FaultKind::StorageTornWrite,
+        FaultKind::StoragePartialRead,
+        FaultKind::StorageRenameFail,
+        FaultKind::StorageBitRot,
     ];
 
     /// Stable index of this kind into per-kind arrays.
@@ -83,6 +110,11 @@ impl FaultKind {
             FaultKind::SpuriousNack => 3,
             FaultKind::RefreshPostpone => 4,
             FaultKind::TimingJitter => 5,
+            FaultKind::StorageEnospc => 6,
+            FaultKind::StorageTornWrite => 7,
+            FaultKind::StoragePartialRead => 8,
+            FaultKind::StorageRenameFail => 9,
+            FaultKind::StorageBitRot => 10,
         }
     }
 
@@ -95,6 +127,11 @@ impl FaultKind {
             FaultKind::SpuriousNack => "nack",
             FaultKind::RefreshPostpone => "ref-postpone",
             FaultKind::TimingJitter => "jitter",
+            FaultKind::StorageEnospc => "enospc",
+            FaultKind::StorageTornWrite => "torn-write",
+            FaultKind::StoragePartialRead => "partial-read",
+            FaultKind::StorageRenameFail => "rename-fail",
+            FaultKind::StorageBitRot => "bit-rot",
         }
     }
 }

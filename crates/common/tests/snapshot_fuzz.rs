@@ -1,0 +1,181 @@
+//! Adversarial fuzzing of the snapshot codec (DESIGN.md §5f).
+//!
+//! The campaign's self-healing storage layer leans entirely on one
+//! property: a damaged checkpoint blob is *rejected with a typed
+//! [`SnapshotError`]*, never decoded into garbage state and never a
+//! panic. These tests attack the codec the same way the storage fault
+//! injector does — truncation (torn writes, partial reads), single-bit
+//! flips (bit-rot), random multi-byte damage, and checksum-valid but
+//! hostile payloads — and require that every outcome is an `Err` or a
+//! clean decode, with no panics and no silently-accepted corruption.
+
+use twice_common::rng::SplitMix64;
+use twice_common::snapshot::{fnv1a, SnapshotReader, SnapshotWriter};
+
+/// Magic (4) + version (2); mutations below this offset attack the
+/// header, at or above it the payload.
+const HEADER: usize = 6;
+
+/// A representative blob exercising every field type the simulator
+/// checkpoints with.
+fn specimen() -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.put_u8(0xA5);
+    w.put_u32(0xDEAD_BEEF);
+    w.put_u64(0x0123_4567_89AB_CDEF);
+    w.put_usize(4096);
+    w.put_bool(true);
+    w.put_f64(2.5);
+    w.put_bytes(b"inner checkpoint payload");
+    w.put_str("seu x1/hardened");
+    w.finish()
+}
+
+/// Decodes the specimen's fields in their written order. Any corruption
+/// must surface here as an `Err`, never as a panic.
+fn decode_in_order(blob: &[u8]) -> Result<(), twice_common::snapshot::SnapshotError> {
+    let mut r = SnapshotReader::new(blob)?;
+    let _ = r.take_u8()?;
+    let _ = r.take_u32()?;
+    let _ = r.take_u64()?;
+    let _ = r.take_usize()?;
+    let _ = r.take_bool()?;
+    let _ = r.take_f64()?;
+    let _ = r.take_bytes()?;
+    let _ = r.take_str()?;
+    Ok(())
+}
+
+/// Hammers a blob with take-calls of random types: the decoder must
+/// survive any call sequence on any checksum-valid bytes. Errors are
+/// expected; panics and infinite progress are not.
+fn pump_random_takes(blob: &[u8], rng: &mut SplitMix64) {
+    let Ok(mut r) = SnapshotReader::new(blob) else {
+        return;
+    };
+    for _ in 0..64 {
+        if r.remaining() == 0 {
+            break;
+        }
+        match rng.next_below(8) {
+            0 => drop(r.take_u8()),
+            1 => drop(r.take_u32()),
+            2 => drop(r.take_u64()),
+            3 => drop(r.take_usize()),
+            4 => drop(r.take_bool()),
+            5 => drop(r.take_f64()),
+            6 => drop(r.take_bytes().map(|_| ())),
+            _ => drop(r.take_str().map(|_| ())),
+        }
+    }
+}
+
+/// Re-seals `blob` after payload mutation so the trailing checksum is
+/// valid again — the hostile-payload regime where the codec cannot lean
+/// on the blob checksum and must survive on field-level validation.
+fn reseal(blob: &mut [u8]) {
+    let n = blob.len() - 8;
+    let sum = fnv1a(&blob[..n]);
+    blob[n..].copy_from_slice(&sum.to_le_bytes());
+}
+
+#[test]
+fn the_pristine_specimen_round_trips() {
+    decode_in_order(&specimen()).expect("the uncorrupted blob must decode");
+}
+
+#[test]
+fn every_truncation_is_rejected_without_panic() {
+    let blob = specimen();
+    for n in 0..blob.len() {
+        let torn = &blob[..n];
+        assert!(
+            SnapshotReader::new(torn).is_err(),
+            "a blob torn to {n}/{} bytes must be rejected at construction",
+            blob.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected_without_panic() {
+    let blob = specimen();
+    for i in 0..blob.len() {
+        for bit in 0..8 {
+            let mut rotten = blob.clone();
+            rotten[i] ^= 1 << bit;
+            let outcome = decode_in_order(&rotten);
+            assert!(
+                outcome.is_err(),
+                "bit {bit} of byte {i} flipped: the blob must be rejected, \
+                 got a clean decode"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_multi_byte_damage_is_rejected_without_panic() {
+    let blob = specimen();
+    let mut rng = SplitMix64::new(0xF022_D00D);
+    for round in 0..500 {
+        let mut rotten = blob.clone();
+        let hits = 1 + rng.next_below(8) as usize;
+        for _ in 0..hits {
+            let at = rng.next_below(rotten.len() as u64) as usize;
+            rotten[at] = rng.next_u64() as u8;
+        }
+        if rotten == blob {
+            continue; // the damage happened to rewrite identical bytes
+        }
+        assert!(
+            decode_in_order(&rotten).is_err(),
+            "round {round}: {hits} random byte(s) of damage must not \
+             decode cleanly"
+        );
+    }
+}
+
+#[test]
+fn checksum_valid_hostile_payloads_never_panic_the_decoder() {
+    // Bit-rot that strikes *before* the checkpoint is checksummed (or an
+    // attacker with write access) produces blobs whose trailing checksum
+    // is self-consistent. The codec may decode them or reject them, but
+    // it must do either with a return value.
+    let blob = specimen();
+    let mut rng = SplitMix64::new(0x5EED_FACE);
+    for _ in 0..500 {
+        let mut hostile = blob.clone();
+        let hits = 1 + rng.next_below(6) as usize;
+        for _ in 0..hits {
+            let span = hostile.len() - 8 - HEADER;
+            let at = HEADER + rng.next_below(span as u64) as usize;
+            hostile[at] = rng.next_u64() as u8;
+        }
+        reseal(&mut hostile);
+        let _ = decode_in_order(&hostile);
+        pump_random_takes(&hostile, &mut rng);
+    }
+}
+
+#[test]
+fn a_field_claiming_more_bytes_than_remain_is_an_overrun_not_a_panic() {
+    // Hand-build a checksum-valid blob whose bytes field lies about its
+    // length: tag 0x06, length u32::MAX, two bytes of payload.
+    let mut w = SnapshotWriter::new();
+    w.put_u8(1);
+    let mut blob = w.finish();
+    blob.truncate(blob.len() - 8); // strip the checksum
+    blob.push(0x06); // TAG_BYTES
+    blob.extend_from_slice(&u32::MAX.to_le_bytes());
+    blob.extend_from_slice(b"hi");
+    let sum = fnv1a(&blob);
+    blob.extend_from_slice(&sum.to_le_bytes());
+
+    let mut r = SnapshotReader::new(&blob).expect("checksum is self-consistent");
+    let _ = r.take_u8().expect("the honest field decodes");
+    assert!(
+        r.take_bytes().is_err(),
+        "a length-prefixed field overrunning the payload must error"
+    );
+}

@@ -22,28 +22,34 @@
 //! enforces.
 
 use crate::checkpoint::{
-    cell_checkpoint_path, read_cell_checkpoint, write_cell_checkpoint, ResumableRun,
+    cell_checkpoint_path, read_cell_checkpoint, write_cell_checkpoint, CheckpointRead, ResumableRun,
 };
+use crate::cio::{with_retries, CampaignIo, RealIo, StorageEvents, StorageSummary};
 use crate::config::SimConfig;
 use crate::experiments::chaos::{self, ChaosOutcome};
-use crate::journal::{emit_line, parse_line, JsonValue, OrderedJournalWriter};
+use crate::journal::{
+    emit_line, parse_line, seal_line, unseal_line, JsonValue, OrderedJournalWriter,
+};
 use crate::metrics::CampaignTotals;
 use crate::outcome::{Cell, CellError};
 use crate::parallel::parallel_map;
 use crate::report::Table;
 use crate::runner::WorkloadKind;
 use std::collections::HashMap;
-use std::fs;
-use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use twice_common::fault::FaultPlan;
 use twice_mitigations::DefenseKind;
 
 /// The journal file name inside a campaign directory.
 pub const JOURNAL_FILE: &str = "cells.jsonl";
+
+/// Where journal salvage moves the unparseable suffix it truncated, so
+/// a corrupt tail is preserved for forensics instead of silently lost.
+pub const JOURNAL_CORRUPT_FILE: &str = "journal.corrupt";
 
 /// The in-flight cell's checkpoint file name. The blob is wrapped with
 /// the owning cell's id: a checkpoint left behind by one cell can never
@@ -75,11 +81,30 @@ pub struct CampaignConfig {
     /// The defense every cell runs (the chaos default is the paper's
     /// fully-associative TWiCe).
     pub defense: DefenseKind,
+    /// Whether this run resumes an earlier campaign in `dir`. A fresh
+    /// run (`false`) sweeps stale `*.ckpt` files at start so leftovers
+    /// from a killed run can never be confused with live state; a
+    /// resume keeps them, because the in-flight cell's checkpoint *is*
+    /// the live state being salvaged. Orphaned `*.tmp` files are swept
+    /// either way.
+    pub resume: bool,
+    /// Attempts per cell before an I/O-failing cell is quarantined
+    /// (1 = no retry). Non-I/O failures — panics, watchdogs — are
+    /// deterministic and are never retried.
+    pub retries: u32,
+    /// Linear backoff between attempts, in milliseconds (per-cell retry
+    /// and per-operation journal/salvage retries both scale from this).
+    pub backoff_ms: u64,
+    /// The storage layer every journal/checkpoint byte flows through.
+    /// [`RealIo`] in production; a fault-injecting
+    /// [`FaultyIo`](crate::cio::FaultyIo) under storage chaos.
+    pub io: Arc<dyn CampaignIo>,
 }
 
 impl CampaignConfig {
     /// A plain in-memory campaign: `requests` per cell, 4096-request
-    /// epochs, no budgets, no journaling, serial execution.
+    /// epochs, no budgets, no journaling, serial execution, real I/O,
+    /// up to 3 attempts per I/O-failing cell.
     pub fn new(requests: u64) -> CampaignConfig {
         CampaignConfig {
             requests,
@@ -90,7 +115,18 @@ impl CampaignConfig {
             dir: None,
             jobs: 1,
             defense: chaos::chaos_defense(),
+            resume: false,
+            retries: 3,
+            backoff_ms: 0,
+            io: Arc::new(RealIo),
         }
+    }
+
+    /// Per-operation retry budget for journal appends and salvage
+    /// writes (smaller than the per-cell budget: an operation that
+    /// fails this often is better handled by failing the cell).
+    fn op_retries(&self) -> u32 {
+        self.retries.clamp(1, 3)
     }
 }
 
@@ -120,6 +156,9 @@ pub struct CampaignReport {
     pub hardened: CampaignTotals,
     /// Aggregates over the completed unhardened cells.
     pub unhardened: CampaignTotals,
+    /// The storage recovery ledger: every sweep, salvage, retry, and
+    /// quarantine this run performed. All-zero on a healthy filesystem.
+    pub storage: StorageSummary,
 }
 
 /// One grid cell's static description, fixed before any worker starts.
@@ -156,25 +195,30 @@ fn grid_specs(cfg_base: &SimConfig) -> Vec<CellSpec> {
 /// Runs the chaos fault grid under supervision, serially (`jobs <= 1`)
 /// or across a worker pool with the serial run's exact outputs.
 ///
+/// Storage faults do not abort the campaign: corrupt journals are
+/// salvaged, corrupt checkpoints recomputed, I/O-failing cells retried
+/// and finally quarantined, and the whole ledger is returned on
+/// [`CampaignReport::storage`].
+///
 /// # Errors
 ///
-/// Journal/checkpoint I/O errors when a campaign directory is set.
+/// Only unrecoverable setup I/O: the campaign directory cannot be
+/// created, or the journal cannot be read at all.
 pub fn chaos_campaign(
     cfg_base: &SimConfig,
     cc: &CampaignConfig,
 ) -> std::io::Result<CampaignReport> {
+    let io = cc.io.as_ref();
+    let events = StorageEvents::default();
     if let Some(dir) = &cc.dir {
-        fs::create_dir_all(dir)?;
+        io.create_dir_all(dir)?;
+        sweep_stale_files(io, dir, cc.resume, &events);
     }
     let journal_path = cc.dir.as_ref().map(|d| d.join(JOURNAL_FILE));
     let ckpt_path = cc.dir.as_ref().map(|d| d.join(CHECKPOINT_FILE));
     let journaled = match &journal_path {
-        Some(p) => load_journal(p)?,
+        Some(p) => load_journal(io, p, cc, &events)?,
         None => HashMap::new(),
-    };
-    let journal = match &journal_path {
-        Some(p) => Some(fs::OpenOptions::new().create(true).append(true).open(p)?),
-        None => None,
     };
 
     let specs = grid_specs(cfg_base);
@@ -184,18 +228,20 @@ pub fn chaos_campaign(
             cc,
             &specs,
             &journaled,
-            journal,
+            journal_path.as_deref(),
             ckpt_path.as_deref(),
-        )?
+            &events,
+        )
     } else {
         parallel_grid(
             cfg_base,
             cc,
             &specs,
             &journaled,
-            journal,
+            journal_path.as_deref(),
             ckpt_path.as_deref(),
-        )?
+            &events,
+        )
     };
 
     if !halted {
@@ -203,9 +249,9 @@ pub fn chaos_campaign(
             // A fully swept grid leaves no epoch checkpoint behind —
             // neither the serial shared file nor any parallel per-cell
             // file (including strays from an earlier killed run).
-            let _ = fs::remove_file(dir.join(CHECKPOINT_FILE));
+            let _ = io.remove_file(&dir.join(CHECKPOINT_FILE));
             for i in 0..specs.len() {
-                let _ = fs::remove_file(cell_checkpoint_path(dir, i));
+                let _ = io.remove_file(&cell_checkpoint_path(dir, i));
             }
         }
     }
@@ -231,7 +277,30 @@ pub fn chaos_campaign(
         salvaged,
         hardened,
         unhardened,
+        storage: events.summary(),
     })
+}
+
+/// Start-of-campaign hygiene. Orphaned `*.tmp` files — a failed rename,
+/// or a kill between temp-write and rename — are removed always: no
+/// reader ever trusts them. Stale `*.ckpt` files are removed only on a
+/// *fresh* run: a resume's checkpoint is the live state being salvaged,
+/// but a fresh campaign adopting a previous run's leftover would be
+/// recovery where none was asked for.
+fn sweep_stale_files(io: &dyn CampaignIo, dir: &Path, resume: bool, events: &StorageEvents) {
+    let Ok(entries) = io.list_dir(dir) else {
+        return;
+    };
+    for path in entries {
+        let stale = match path.extension().and_then(|e| e.to_str()) {
+            Some("tmp") => true,
+            Some("ckpt") => !resume,
+            _ => false,
+        };
+        if stale && io.remove_file(&path).is_ok() {
+            StorageEvents::bump(&events.swept_orphans);
+        }
+    }
 }
 
 /// Today's strictly serial loop: one cell at a time in grid order, the
@@ -243,9 +312,11 @@ fn serial_grid(
     cc: &CampaignConfig,
     specs: &[CellSpec],
     journaled: &HashMap<String, ChaosOutcome>,
-    mut journal: Option<fs::File>,
+    journal_path: Option<&Path>,
     ckpt_path: Option<&Path>,
-) -> std::io::Result<(Vec<CampaignCell>, bool)> {
+    events: &StorageEvents,
+) -> (Vec<CampaignCell>, bool) {
+    let io = cc.io.as_ref();
     let mut cells = Vec::new();
     let mut fresh_completed = 0usize;
     for spec in specs {
@@ -256,7 +327,7 @@ fn serial_grid(
             });
             continue;
         }
-        let outcome = run_cell(cfg_base, spec, cc, ckpt_path, ckpt_path);
+        let outcome = run_cell_supervised(cfg_base, spec, cc, ckpt_path, ckpt_path, events);
         // The cell is over — completed, panicked, or timed out — so
         // its epoch checkpoint is stale. Remove it unconditionally:
         // a failed cell's last checkpoint must never linger where the
@@ -264,11 +335,19 @@ fn serial_grid(
         // check in `read_cell_checkpoint` is the second line of
         // defense for checkpoints orphaned by a process kill.
         if let Some(p) = ckpt_path {
-            let _ = fs::remove_file(p);
+            let _ = io.remove_file(p);
         }
-        if let (Some(f), Ok(o)) = (journal.as_mut(), &outcome.result) {
-            writeln!(f, "{}", journal_line(&outcome.cell, o))?;
-            f.flush()?;
+        if let (Some(path), Ok(o)) = (journal_path, &outcome.result) {
+            // A journal line that cannot be appended after retries is
+            // dropped, not fatal: the cell's outcome still reaches this
+            // run's report, and the cell simply reruns on `--resume`.
+            let line = journal_line(&outcome.cell, o);
+            let wrote = with_retries(cc.op_retries(), cc.backoff_ms, || {
+                io.append_line(path, &line)
+            });
+            if wrote.is_err() {
+                StorageEvents::bump(&events.journal_write_failures);
+            }
         }
         let completed_now = outcome.result.is_ok();
         cells.push(CampaignCell {
@@ -278,11 +357,11 @@ fn serial_grid(
         if completed_now {
             fresh_completed += 1;
             if cc.halt_after.is_some_and(|h| fresh_completed >= h) {
-                return Ok((cells, true));
+                return (cells, true);
             }
         }
     }
-    Ok((cells, false))
+    (cells, false)
 }
 
 /// The sharded grid: `cc.jobs` workers claim cells from an atomic
@@ -297,74 +376,131 @@ fn parallel_grid(
     cc: &CampaignConfig,
     specs: &[CellSpec],
     journaled: &HashMap<String, ChaosOutcome>,
-    journal: Option<fs::File>,
+    journal_path: Option<&Path>,
     shared_ckpt: Option<&Path>,
-) -> std::io::Result<(Vec<CampaignCell>, bool)> {
-    let writer = journal.map(OrderedJournalWriter::new);
+    events: &StorageEvents,
+) -> (Vec<CampaignCell>, bool) {
+    let writer = journal_path.map(|p| {
+        OrderedJournalWriter::new(
+            cc.io.clone(),
+            p.to_path_buf(),
+            cc.op_retries(),
+            cc.backoff_ms,
+        )
+    });
     let fresh = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
-    let results: Vec<std::io::Result<Option<CampaignCell>>> =
-        parallel_map(cc.jobs, specs, |index, spec| {
-            if let Some(o) = journaled.get(&spec.id) {
-                if let Some(w) = &writer {
-                    // Already journaled: nothing to append, but the
-                    // index must be accounted for or the ordered writer
-                    // would stall behind it forever.
-                    w.submit(index, None)?;
-                }
-                return Ok(Some(CampaignCell {
-                    outcome: Cell::ok("chaos", spec.id.clone(), o.clone()),
-                    salvaged: true,
-                }));
-            }
-            if stop.load(Ordering::SeqCst) {
-                return Ok(None);
-            }
-            let own_ckpt = cc.dir.as_ref().map(|d| cell_checkpoint_path(d, index));
-            let outcome = run_cell(cfg_base, spec, cc, own_ckpt.as_deref(), shared_ckpt);
-            if let Some(p) = &own_ckpt {
-                let _ = fs::remove_file(p);
-            }
-            if let Some(p) = shared_ckpt {
-                // Consume a serial-era shared checkpoint that belonged
-                // to this cell; other cells' files are left for their
-                // owners (the id check keeps them from being adopted).
-                if read_cell_checkpoint(p, &spec.id).is_some() {
-                    let _ = fs::remove_file(p);
-                }
-            }
-            let line = outcome
-                .result
-                .as_ref()
-                .ok()
-                .map(|o| journal_line(&outcome.cell, o));
+    let results: Vec<Option<CampaignCell>> = parallel_map(cc.jobs, specs, |index, spec| {
+        if let Some(o) = journaled.get(&spec.id) {
             if let Some(w) = &writer {
-                w.submit(index, line)?;
+                // Already journaled: nothing to append, but the
+                // index must be accounted for or the ordered writer
+                // would stall behind it forever.
+                w.submit(index, None);
             }
-            if outcome.result.is_ok() {
-                let n = fresh.fetch_add(1, Ordering::SeqCst) + 1;
-                if cc.halt_after.is_some_and(|h| n >= h) {
-                    stop.store(true, Ordering::SeqCst);
-                }
-            }
-            Ok(Some(CampaignCell {
-                outcome,
-                salvaged: false,
-            }))
-        });
-    let halted = stop.load(Ordering::SeqCst);
-    let mut cells = Vec::new();
-    for result in results {
-        if let Some(cell) = result? {
-            cells.push(cell);
+            return Some(CampaignCell {
+                outcome: Cell::ok("chaos", spec.id.clone(), o.clone()),
+                salvaged: true,
+            });
         }
-    }
+        if stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        let own_ckpt = cc.dir.as_ref().map(|d| cell_checkpoint_path(d, index));
+        let outcome =
+            run_cell_supervised(cfg_base, spec, cc, own_ckpt.as_deref(), shared_ckpt, events);
+        if let Some(p) = &own_ckpt {
+            let _ = cc.io.remove_file(p);
+        }
+        if let Some(p) = shared_ckpt {
+            // Consume a serial-era shared checkpoint that belonged
+            // to this cell; other cells' files are left for their
+            // owners (the id check keeps them from being adopted),
+            // and a corrupt blob is left for the fresh-run sweep — a
+            // transient read fault must not delete live state.
+            if matches!(
+                read_cell_checkpoint(cc.io.as_ref(), p, &spec.id),
+                CheckpointRead::Valid(_)
+            ) {
+                let _ = cc.io.remove_file(p);
+            }
+        }
+        let line = outcome
+            .result
+            .as_ref()
+            .ok()
+            .map(|o| journal_line(&outcome.cell, o));
+        if let Some(w) = &writer {
+            w.submit(index, line);
+        }
+        if outcome.result.is_ok() {
+            let n = fresh.fetch_add(1, Ordering::SeqCst) + 1;
+            if cc.halt_after.is_some_and(|h| n >= h) {
+                stop.store(true, Ordering::SeqCst);
+            }
+        }
+        Some(CampaignCell {
+            outcome,
+            salvaged: false,
+        })
+    });
+    let halted = stop.load(Ordering::SeqCst);
+    let cells = results.into_iter().flatten().collect();
     if halted {
         if let Some(w) = &writer {
-            w.flush_stragglers()?;
+            w.flush_stragglers();
         }
     }
-    Ok((cells, halted))
+    if let Some(w) = &writer {
+        StorageEvents::add(&events.journal_write_failures, w.dropped());
+    }
+    (cells, halted)
+}
+
+/// Runs one cell with bounded retry: an I/O-failing cell (a checkpoint
+/// write that kept failing after per-operation retries) is rerun up to
+/// `cc.retries` times with linear backoff, then **quarantined** — the
+/// campaign completes in degraded mode with a typed
+/// [`CellError::Quarantined`] row instead of aborting. Non-I/O failures
+/// (panics, watchdogs, bad configs) are deterministic; retrying them
+/// would just repeat the failure, so they pass straight through.
+fn run_cell_supervised(
+    cfg_base: &SimConfig,
+    spec: &CellSpec,
+    cc: &CampaignConfig,
+    ckpt: Option<&Path>,
+    adopt: Option<&Path>,
+    events: &StorageEvents,
+) -> Cell<ChaosOutcome> {
+    let max_attempts = cc.retries.max(1);
+    let mut attempt: u32 = 1;
+    loop {
+        let cell = run_cell(cfg_base, spec, cc, ckpt, adopt, events);
+        let cause = match &cell.result {
+            Err(CellError::Io(why)) => why.clone(),
+            _ => return cell,
+        };
+        if attempt >= max_attempts {
+            StorageEvents::bump(&events.quarantined_cells);
+            return Cell::err(
+                "chaos",
+                spec.id.clone(),
+                CellError::Quarantined {
+                    attempts: attempt,
+                    cause,
+                },
+            );
+        }
+        if attempt == 1 {
+            StorageEvents::bump(&events.retried_cells);
+        }
+        if cc.backoff_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                cc.backoff_ms.saturating_mul(u64::from(attempt)),
+            ));
+        }
+        attempt += 1;
+    }
 }
 
 fn run_cell(
@@ -373,9 +509,10 @@ fn run_cell(
     cc: &CampaignConfig,
     ckpt: Option<&Path>,
     adopt: Option<&Path>,
+    events: &StorageEvents,
 ) -> Cell<ChaosOutcome> {
     let body = catch_unwind(AssertUnwindSafe(|| {
-        cell_body(cfg_base, spec, cc, ckpt, adopt)
+        cell_body(cfg_base, spec, cc, ckpt, adopt, events)
     }));
     match body {
         Ok(Ok(o)) => Cell::ok("chaos", spec.id.clone(), o),
@@ -397,22 +534,41 @@ fn cell_body(
     cc: &CampaignConfig,
     ckpt: Option<&Path>,
     adopt: Option<&Path>,
+    events: &StorageEvents,
 ) -> Result<ChaosOutcome, CellError> {
+    let io = cc.io.as_ref();
     let cfg = chaos::cell_config(cfg_base, spec.plan.clone(), spec.scrubbing);
     let workload = WorkloadKind::S3;
     let defense = cc.defense;
     // Salvage the in-flight cell from its last epoch checkpoint: first
     // this cell's own file, then the shared serial-era file. A blob
     // that fails its checksum, is owned by a different grid cell, or
-    // does not reconstruct its digest is rejected — start fresh then.
+    // does not reconstruct its digest is rejected — the cell recomputes
+    // from scratch, and every corrupt rejection is counted on the
+    // recovery ledger rather than silently absorbed.
+    let read_blob = |p: &Path| match read_cell_checkpoint(io, p, &spec.id) {
+        CheckpointRead::Valid(blob) => Some(blob),
+        CheckpointRead::Corrupt(_) => {
+            StorageEvents::bump(&events.corrupt_checkpoints);
+            None
+        }
+        CheckpointRead::Absent | CheckpointRead::Foreign => None,
+    };
     let restored = ckpt
-        .and_then(|p| read_cell_checkpoint(p, &spec.id))
-        .or_else(|| {
-            adopt
-                .filter(|a| Some(*a) != ckpt)
-                .and_then(|p| read_cell_checkpoint(p, &spec.id))
-        })
-        .and_then(|blob| ResumableRun::restore(&cfg, &workload, defense, cc.requests, &blob).ok());
+        .and_then(read_blob)
+        .or_else(|| adopt.filter(|a| Some(*a) != ckpt).and_then(read_blob))
+        .and_then(|blob| {
+            match ResumableRun::restore(&cfg, &workload, defense, cc.requests, &blob) {
+                Ok(r) => Some(r),
+                Err(_) => {
+                    // The wrapper checksum passed but the inner state
+                    // failed to reconstruct (torn inside the run blob,
+                    // or a digest mismatch): still a corrupt checkpoint.
+                    StorageEvents::bump(&events.corrupt_checkpoints);
+                    None
+                }
+            }
+        });
     let mut run = match restored {
         Some(r) => r,
         None => ResumableRun::new(&cfg, &workload, defense, cc.requests)?,
@@ -428,7 +584,14 @@ fn cell_body(
             break;
         }
         if let Some(p) = ckpt {
-            write_cell_checkpoint(p, &spec.id, &run).map_err(|e| CellError::Io(e.to_string()))?;
+            // Per-operation retries absorb transient write faults; a
+            // write that keeps failing fails the cell with an I/O error,
+            // which the supervisor treats as retryable (and, past the
+            // budget, quarantines).
+            with_retries(cc.op_retries(), cc.backoff_ms, || {
+                write_cell_checkpoint(io, p, &spec.id, &run)
+            })
+            .map_err(|e| CellError::Io(e.to_string()))?;
         }
         if let Some(ms) = cc.wall_budget_ms {
             let elapsed = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
@@ -458,7 +621,7 @@ fn cell_body(
 }
 
 fn journal_line(id: &str, o: &ChaosOutcome) -> String {
-    emit_line(&[
+    seal_line(&emit_line(&[
         ("cell", JsonValue::Str(id.to_string())),
         ("label", JsonValue::Str(o.label.clone())),
         ("scrubbing", JsonValue::Bool(o.scrubbing)),
@@ -471,34 +634,81 @@ fn journal_line(id: &str, o: &ChaosOutcome) -> String {
         ("retry_exhausted", JsonValue::Bool(o.retry_exhausted)),
         ("bit_flips", JsonValue::U64(o.bit_flips as u64)),
         ("digest", JsonValue::U64(o.digest)),
-    ])
+    ]))
 }
 
-/// Loads journaled cell outcomes. Malformed lines (e.g. a line torn by
-/// the very crash being recovered from) are skipped: the affected cell
-/// simply reruns. Loading is keyed by cell id, never by line position,
-/// which is what lets a halted parallel campaign journal stragglers out
-/// of grid order without confusing a later `--resume`.
-fn load_journal(path: &Path) -> std::io::Result<HashMap<String, ChaosOutcome>> {
+/// Loads journaled cell outcomes, salvaging the journal when its tail
+/// is corrupt. Every line must parse *and* pass its CRC seal; the first
+/// line that does not ends the trusted prefix. The journal is truncated
+/// to that prefix and the corrupt suffix moved to
+/// [`JOURNAL_CORRUPT_FILE`] for forensics, so the cells whose lines
+/// were lost simply rerun — torn appends, bit-rot, and crash damage all
+/// heal to recomputation, never to trusting a damaged outcome. Loading
+/// is keyed by cell id, never by line position, which is what lets a
+/// halted parallel campaign journal stragglers out of grid order
+/// without confusing a later `--resume`.
+///
+/// # Errors
+///
+/// Only a journal that cannot be read at all (beyond `NotFound`, which
+/// is simply an empty campaign).
+fn load_journal(
+    io: &dyn CampaignIo,
+    path: &Path,
+    cc: &CampaignConfig,
+    events: &StorageEvents,
+) -> std::io::Result<HashMap<String, ChaosOutcome>> {
     let mut out = HashMap::new();
-    let text = match fs::read_to_string(path) {
-        Ok(t) => t,
+    let bytes = match io.read(path) {
+        Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
         Err(e) => return Err(e),
     };
-    for line in text.lines() {
+    // The trusted prefix: contiguous complete, sealed, parseable lines
+    // from the start of the file.
+    let mut good_end = 0usize;
+    for chunk in bytes.split_inclusive(|&b| b == b'\n') {
+        if !chunk.ends_with(b"\n") {
+            break; // a torn final append
+        }
+        let Ok(line) = std::str::from_utf8(&chunk[..chunk.len() - 1]) else {
+            break;
+        };
         if line.trim().is_empty() {
+            good_end += chunk.len();
             continue;
         }
-        if let Some((id, o)) = parse_journal_line(line) {
-            out.insert(id, o);
-        }
+        let Some((id, o)) = parse_journal_line(line) else {
+            break;
+        };
+        out.insert(id, o);
+        good_end += chunk.len();
+    }
+    if good_end < bytes.len() {
+        // Salvage: preserve the corrupt suffix, truncate the journal to
+        // its trusted prefix. Both writes are best-effort with retries —
+        // a failed truncation just means the next load salvages again,
+        // and salvage converges because reruns are deterministic.
+        let suffix = &bytes[good_end..];
+        let dropped = suffix
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .count() as u64;
+        let _ = with_retries(cc.op_retries(), cc.backoff_ms, || {
+            io.write_file(&path.with_file_name(JOURNAL_CORRUPT_FILE), suffix)
+        });
+        let _ = with_retries(cc.op_retries(), cc.backoff_ms, || {
+            io.write_atomically(path, &bytes[..good_end])
+        });
+        StorageEvents::bump(&events.journal_salvages);
+        StorageEvents::add(&events.salvaged_lines_dropped, dropped);
     }
     Ok(out)
 }
 
 fn parse_journal_line(line: &str) -> Option<(String, ChaosOutcome)> {
-    let map = parse_line(line).ok()?;
+    let line = unseal_line(line)?;
+    let map = parse_line(&line).ok()?;
     let outcome = ChaosOutcome {
         label: map.get("label")?.as_str()?.to_string(),
         scrubbing: map.get("scrubbing")?.as_bool()?,
@@ -580,7 +790,15 @@ mod tests {
         cc.wall_budget_ms = Some(0); // fires at the first epoch boundary
         let grid = chaos::fault_grid(cfg.seed ^ 0xC4A0);
         let (label, plan) = &grid[0];
-        let cell = run_cell(&cfg, &spec(label, plan.clone(), true), &cc, None, None);
+        let events = StorageEvents::default();
+        let cell = run_cell(
+            &cfg,
+            &spec(label, plan.clone(), true),
+            &cc,
+            None,
+            None,
+            &events,
+        );
         match cell.result {
             Err(CellError::WallClockExceeded { done, .. }) => {
                 assert!(done >= 128, "at least one epoch ran: {done}");
@@ -597,16 +815,26 @@ mod tests {
             .expect("valid cell");
         run.run_epoch(512).expect("fault-free");
         let dir = std::env::temp_dir().join(format!("twice-ckpt-owner-{}", std::process::id()));
-        fs::create_dir_all(&dir).expect("temp dir");
+        std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join(CHECKPOINT_FILE);
-        write_cell_checkpoint(&path, "seu x1/hardened", &run).expect("write");
+        let io = RealIo;
+        write_cell_checkpoint(&io, &path, "seu x1/hardened", &run).expect("write");
         // The owner reads its checkpoint back; every other cell — even
         // one differing only in the scrubbing flag — is refused, so no
         // cell can inherit a failed neighbour's partial state.
-        assert!(read_cell_checkpoint(&path, "seu x1/hardened").is_some());
-        assert!(read_cell_checkpoint(&path, "seu x1/unhardened").is_none());
-        assert!(read_cell_checkpoint(&path, "bus gauntlet/hardened").is_none());
-        let _ = fs::remove_dir_all(&dir);
+        assert!(matches!(
+            read_cell_checkpoint(&io, &path, "seu x1/hardened"),
+            CheckpointRead::Valid(_)
+        ));
+        assert!(matches!(
+            read_cell_checkpoint(&io, &path, "seu x1/unhardened"),
+            CheckpointRead::Foreign
+        ));
+        assert!(matches!(
+            read_cell_checkpoint(&io, &path, "bus gauntlet/hardened"),
+            CheckpointRead::Foreign
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -621,7 +849,7 @@ mod tests {
         // epoch finishes in under a millisecond.
         let cfg = SimConfig::fast_test();
         let dir = std::env::temp_dir().join(format!("twice-stale-ckpt-{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
         let mut cc = CampaignConfig::new(50_000);
         cc.epoch = 128;
         cc.wall_budget_ms = Some(0);
@@ -647,7 +875,7 @@ mod tests {
             !dir.join(CHECKPOINT_FILE).exists(),
             "a finished campaign must not leave a stale checkpoint behind"
         );
-        let _ = fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -658,7 +886,15 @@ mod tests {
         cc.sim_budget_ps = Some(1); // any simulated progress exceeds this
         let grid = chaos::fault_grid(cfg.seed ^ 0xC4A0);
         let (label, plan) = &grid[0];
-        let cell = run_cell(&cfg, &spec(label, plan.clone(), false), &cc, None, None);
+        let events = StorageEvents::default();
+        let cell = run_cell(
+            &cfg,
+            &spec(label, plan.clone(), false),
+            &cc,
+            None,
+            None,
+            &events,
+        );
         assert!(
             matches!(cell.result, Err(CellError::SimTimeExceeded { .. })),
             "{:?}",

@@ -13,6 +13,7 @@
 //! hidden nondeterminism into a hard test failure (see
 //! `crates/sim/tests/digest_replay.rs`).
 
+use crate::cio::CampaignIo;
 use crate::config::SimConfig;
 use crate::metrics::RunMetrics;
 use crate::outcome::CellError;
@@ -253,12 +254,12 @@ pub fn cell_checkpoint_path(dir: &Path, index: usize) -> PathBuf {
     dir.join(format!("cell-{index:02}.ckpt"))
 }
 
-/// Writes `bytes` to `path` via a temporary file + rename, so a crash
-/// mid-write never leaves a torn checkpoint behind.
+/// Writes `bytes` to `path` via a temporary file + fsync + rename +
+/// parent-directory fsync, so a crash or power loss mid-write never
+/// leaves a torn checkpoint behind — and never persists the rename
+/// without the data (see [`crate::cio::durable_atomic_write`]).
 pub fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)
+    crate::cio::durable_atomic_write(path, bytes)
 }
 
 /// Seals a cell's epoch checkpoint: the owning cell id wraps the run
@@ -266,25 +267,73 @@ pub fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 ///
 /// # Errors
 ///
-/// Filesystem errors from the atomic write.
-pub fn write_cell_checkpoint(path: &Path, id: &str, run: &ResumableRun) -> std::io::Result<()> {
+/// Filesystem errors from the atomic write (injected ones included,
+/// when `io` is a fault-injecting [`CampaignIo`]).
+pub fn write_cell_checkpoint(
+    io: &dyn CampaignIo,
+    path: &Path,
+    id: &str,
+    run: &ResumableRun,
+) -> std::io::Result<()> {
     let mut w = SnapshotWriter::new();
     w.put_str(id);
     w.put_bytes(&run.checkpoint());
-    write_atomically(path, &w.finish())
+    io.write_atomically(path, &w.finish())
+}
+
+/// What a cell-checkpoint read found on disk.
+#[derive(Debug)]
+pub enum CheckpointRead {
+    /// No checkpoint file exists (a fresh cell, the common case).
+    Absent,
+    /// A checkpoint exists but is owned by a different grid cell; the
+    /// caller must start fresh and leave the file for its owner.
+    Foreign,
+    /// The blob failed its checksum, shape, or read — torn write,
+    /// bit-rot, or a partial read. The cell recomputes from scratch;
+    /// the reason feeds the campaign's structured recovery ledger.
+    Corrupt(String),
+    /// The inner run blob, checksummed and owned by the requested id.
+    Valid(Vec<u8>),
+}
+
+impl CheckpointRead {
+    /// The run blob, when the read was [`CheckpointRead::Valid`].
+    pub fn into_blob(self) -> Option<Vec<u8>> {
+        match self {
+            CheckpointRead::Valid(blob) => Some(blob),
+            _ => None,
+        }
+    }
 }
 
 /// Reads a cell checkpoint back, yielding the inner run blob only when
 /// the file exists, passes its checksum, and is owned by `id`. A
 /// checkpoint orphaned by a killed process therefore resumes exactly the
-/// cell that wrote it; every other cell starts fresh.
-pub fn read_cell_checkpoint(path: &Path, id: &str) -> Option<Vec<u8>> {
-    let bytes = std::fs::read(path).ok()?;
-    let mut r = SnapshotReader::new(&bytes).ok()?;
-    if r.take_str().ok()? != id {
-        return None;
+/// cell that wrote it; every other cell starts fresh — and a corrupt
+/// blob is reported as [`CheckpointRead::Corrupt`] so the campaign can
+/// log the recomputation instead of silently absorbing it.
+pub fn read_cell_checkpoint(io: &dyn CampaignIo, path: &Path, id: &str) -> CheckpointRead {
+    let bytes = match io.read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CheckpointRead::Absent,
+        Err(e) => return CheckpointRead::Corrupt(format!("read failed: {e}")),
+    };
+    let mut r = match SnapshotReader::new(&bytes) {
+        Ok(r) => r,
+        Err(e) => return CheckpointRead::Corrupt(e.to_string()),
+    };
+    let owner = match r.take_str() {
+        Ok(o) => o,
+        Err(e) => return CheckpointRead::Corrupt(e.to_string()),
+    };
+    if owner != id {
+        return CheckpointRead::Foreign;
     }
-    Some(r.take_bytes().ok()?.to_vec())
+    match r.take_bytes() {
+        Ok(blob) => CheckpointRead::Valid(blob.to_vec()),
+        Err(e) => CheckpointRead::Corrupt(e.to_string()),
+    }
 }
 
 #[cfg(test)]

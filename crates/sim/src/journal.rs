@@ -6,10 +6,21 @@
 //! flat JSON object of strings, unsigned integers, and booleans —
 //! written and parsed by the tiny codec below, because the workspace
 //! deliberately has no serde dependency.
+//!
+//! Every line the campaign persists is *sealed* with a trailing `crc`
+//! field ([`seal_line`]) — an FNV-1a checksum over the rest of the
+//! object — and loading verifies it ([`unseal_line`]). A torn append
+//! fails to parse; a bit-rotted line that still *looks* like JSON fails
+//! its CRC. Either way the loader treats the line as corrupt and the
+//! salvage machinery in [`crate::campaign`] truncates the journal to
+//! its last sealed line, so corrupted outcomes are recomputed rather
+//! than trusted.
 
+use crate::cio::{with_retries, CampaignIo};
 use std::collections::BTreeMap;
-use std::io::Write as _;
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use twice_common::snapshot::fnv1a;
 
 /// A flat JSON scalar.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +116,34 @@ pub fn parse_line(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
         return Err(format!("trailing garbage at column {}", p.pos));
     }
     Ok(map)
+}
+
+/// Seals a rendered journal line with a trailing `crc` field: FNV-1a
+/// over the line as [`emit_line`] produced it. The result is still one
+/// flat JSON object, parseable by [`parse_line`].
+///
+/// # Panics
+///
+/// Panics if `line` is not a `{…}` object (a programming error — only
+/// [`emit_line`] output is sealed).
+pub fn seal_line(line: &str) -> String {
+    assert!(
+        line.starts_with('{') && line.ends_with('}'),
+        "only emit_line output can be sealed"
+    );
+    let crc = fnv1a(line.as_bytes());
+    format!("{},\"crc\":{crc}}}", &line[..line.len() - 1])
+}
+
+/// Verifies and strips the `crc` seal of [`seal_line`], returning the
+/// inner line. `None` means the line was torn, bit-rotted, or never
+/// sealed — the caller must treat it as corrupt, never as data.
+pub fn unseal_line(line: &str) -> Option<String> {
+    let line = line.trim();
+    let at = line.rfind(",\"crc\":")?;
+    let crc: u64 = line.strip_suffix('}')?.get(at + 7..)?.parse().ok()?;
+    let inner = format!("{}}}", line.get(..at)?);
+    (fnv1a(inner.as_bytes()) == crc).then_some(inner)
 }
 
 struct Parser {
@@ -235,77 +274,106 @@ impl Parser {
 /// written by [`flush_stragglers`](OrderedJournalWriter::flush_stragglers)
 /// — out of grid order, which is fine because journal *loading* is keyed
 /// by cell id, not line position.
+///
+/// Appends go through a [`CampaignIo`] with bounded retries. A line
+/// whose append still fails is **dropped, never allowed to stall the
+/// prefix**: the writer advances past it and counts it in
+/// [`dropped`](OrderedJournalWriter::dropped), and the affected cell
+/// simply reruns on the next `--resume`. Losing one line is recoverable;
+/// wedging every later cell's line behind it is not.
 #[derive(Debug)]
 pub struct OrderedJournalWriter {
+    io: Arc<dyn CampaignIo>,
+    path: PathBuf,
+    retries: u32,
+    backoff_ms: u64,
     state: Mutex<WriterState>,
 }
 
 #[derive(Debug)]
 struct WriterState {
-    file: std::fs::File,
     next: usize,
     pending: BTreeMap<usize, Option<String>>,
+    dropped: u64,
 }
 
 impl OrderedJournalWriter {
-    /// Wraps an append-mode journal file handle.
-    pub fn new(file: std::fs::File) -> OrderedJournalWriter {
+    /// A writer appending to `path` through `io`, retrying each failed
+    /// append up to `retries` times with `backoff_ms` linear backoff.
+    pub fn new(
+        io: Arc<dyn CampaignIo>,
+        path: PathBuf,
+        retries: u32,
+        backoff_ms: u64,
+    ) -> OrderedJournalWriter {
         OrderedJournalWriter {
+            io,
+            path,
+            retries,
+            backoff_ms,
             state: Mutex::new(WriterState {
-                file,
                 next: 0,
                 pending: BTreeMap::new(),
+                dropped: 0,
             }),
+        }
+    }
+
+    /// A panicking worker must not wedge every other worker's journal
+    /// flush: recover the poisoned guard — the state is a cursor plus a
+    /// pending map, both valid at every await-free step.
+    fn lock(&self) -> std::sync::MutexGuard<'_, WriterState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn append(&self, st: &mut WriterState, line: &str) {
+        let result = with_retries(self.retries, self.backoff_ms, || {
+            self.io.append_line(&self.path, line)
+        });
+        if result.is_err() {
+            st.dropped += 1;
         }
     }
 
     /// Records cell `index`'s contribution (`Some(line)` to journal it,
     /// `None` to skip it) and flushes the contiguous prefix of completed
     /// indices to the file.
-    ///
-    /// # Errors
-    ///
-    /// Propagates write/flush errors; pending lines stay queued.
-    pub fn submit(&self, index: usize, line: Option<String>) -> std::io::Result<()> {
-        let mut st = self.state.lock().expect("journal writer poisoned");
+    pub fn submit(&self, index: usize, line: Option<String>) {
+        let mut st = self.lock();
         st.pending.insert(index, line);
-        let mut wrote = false;
         loop {
             let next = st.next;
             match st.pending.remove(&next) {
                 Some(Some(line)) => {
-                    writeln!(st.file, "{line}")?;
-                    wrote = true;
+                    self.append(&mut st, &line);
                     st.next += 1;
                 }
                 Some(None) => st.next += 1,
                 None => break,
             }
         }
-        if wrote {
-            st.file.flush()?;
-        }
-        Ok(())
     }
 
     /// Writes every still-pending line (in index order) regardless of
     /// gaps. Called when a campaign halts early: cells that finished
     /// while a lower-indexed neighbour was still running must reach the
     /// journal before the process exits, or their work is lost.
-    ///
-    /// # Errors
-    ///
-    /// Propagates write/flush errors.
-    pub fn flush_stragglers(&self) -> std::io::Result<()> {
-        let mut st = self.state.lock().expect("journal writer poisoned");
+    pub fn flush_stragglers(&self) {
+        let mut st = self.lock();
         let pending = std::mem::take(&mut st.pending);
         for (index, line) in pending {
             if let Some(line) = line {
-                writeln!(st.file, "{line}")?;
+                self.append(&mut st, &line);
             }
             st.next = st.next.max(index + 1);
         }
-        st.file.flush()
+    }
+
+    /// Lines lost to append failures after retries. Each lost line
+    /// means one cell reruns on the next `--resume` — degraded, never
+    /// wrong.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
     }
 }
 
@@ -354,37 +422,79 @@ mod tests {
     }
 
     fn temp_journal(tag: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join(format!("twice-journal-{tag}-{}", std::process::id()))
+        let path = std::env::temp_dir().join(format!("twice-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn real_writer(path: &std::path::Path) -> OrderedJournalWriter {
+        OrderedJournalWriter::new(Arc::new(crate::cio::RealIo), path.to_path_buf(), 1, 0)
+    }
+
+    #[test]
+    fn seal_and_unseal_round_trip() {
+        let inner = emit_line(&[("cell", JsonValue::Str("x/hardened".into()))]);
+        let sealed = seal_line(&inner);
+        assert_eq!(unseal_line(&sealed).expect("seal verifies"), inner);
+        // The sealed line is still one flat JSON object.
+        let map = parse_line(&sealed).expect("parse");
+        assert!(map.contains_key("crc"));
+    }
+
+    #[test]
+    fn unseal_rejects_tears_and_single_bit_rot() {
+        let sealed = seal_line(&emit_line(&[
+            ("cell", JsonValue::Str("seu 1e-2/unhardened".into())),
+            ("digest", JsonValue::U64(0xDEAD_BEEF)),
+        ]));
+        for n in 0..sealed.len() {
+            assert!(unseal_line(&sealed[..n]).is_none(), "tear at {n}");
+        }
+        let bytes = sealed.as_bytes();
+        for i in 0..bytes.len() {
+            for bit in [0x01u8, 0x20, 0x80] {
+                let mut bad = bytes.to_vec();
+                bad[i] ^= bit;
+                if let Ok(s) = std::str::from_utf8(&bad) {
+                    assert!(
+                        unseal_line(s).is_none(),
+                        "bit-rot at byte {i} bit {bit:#04x} must fail the CRC"
+                    );
+                }
+            }
+        }
+        assert!(unseal_line(&emit_line(&[("k", JsonValue::U64(1))])).is_none());
     }
 
     #[test]
     fn out_of_order_submissions_reach_the_file_in_index_order() {
         let path = temp_journal("order");
-        let writer = OrderedJournalWriter::new(std::fs::File::create(&path).expect("create"));
+        let writer = real_writer(&path);
         // Grid order 0..5, submitted shuffled, with 1 (failed) and 3
         // (salvaged) contributing nothing.
-        writer.submit(4, Some("four".into())).expect("submit");
-        writer.submit(2, Some("two".into())).expect("submit");
-        writer.submit(0, Some("zero".into())).expect("submit");
-        writer.submit(3, None).expect("submit");
-        writer.submit(1, None).expect("submit");
+        writer.submit(4, Some("four".into()));
+        writer.submit(2, Some("two".into()));
+        writer.submit(0, Some("zero".into()));
+        writer.submit(3, None);
+        writer.submit(1, None);
         assert_eq!(
             std::fs::read_to_string(&path).expect("read"),
             "zero\ntwo\nfour\n"
         );
+        assert_eq!(writer.dropped(), 0);
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn halting_flushes_stragglers_past_the_gap() {
         let path = temp_journal("halt");
-        let writer = OrderedJournalWriter::new(std::fs::File::create(&path).expect("create"));
-        writer.submit(0, Some("zero".into())).expect("submit");
+        let writer = real_writer(&path);
+        writer.submit(0, Some("zero".into()));
         // Index 1 never completes (the campaign halted); 2 and 4 did.
-        writer.submit(2, Some("two".into())).expect("submit");
-        writer.submit(4, Some("four".into())).expect("submit");
+        writer.submit(2, Some("two".into()));
+        writer.submit(4, Some("four".into()));
         assert_eq!(std::fs::read_to_string(&path).expect("read"), "zero\n");
-        writer.flush_stragglers().expect("flush");
+        writer.flush_stragglers();
         assert_eq!(
             std::fs::read_to_string(&path).expect("read"),
             "zero\ntwo\nfour\n"
@@ -395,13 +505,50 @@ mod tests {
     #[test]
     fn concurrent_submissions_serialize_in_grid_order() {
         let path = temp_journal("concurrent");
-        let writer = OrderedJournalWriter::new(std::fs::File::create(&path).expect("create"));
+        let writer = real_writer(&path);
         let lines: Vec<usize> = (0..64).collect();
         crate::parallel::parallel_map(8, &lines, |i, _| {
-            writer.submit(i, Some(format!("line {i}"))).expect("submit")
+            writer.submit(i, Some(format!("line {i}")));
         });
         let expect: String = (0..64).map(|i| format!("line {i}\n")).collect();
         assert_eq!(std::fs::read_to_string(&path).expect("read"), expect);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_poisoned_writer_keeps_accepting_lines() {
+        let path = temp_journal("poison");
+        let writer = real_writer(&path);
+        writer.submit(0, Some("before".into()));
+        // A worker panics while holding the journal lock; every other
+        // worker's flush must survive the poisoned mutex.
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = writer.state.lock().expect("first lock is clean");
+            panic!("worker died mid-flush");
+        }));
+        assert!(poisoner.is_err(), "the panic must fire");
+        writer.submit(1, Some("after".into()));
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("read"),
+            "before\nafter\n"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_appends_drop_the_line_instead_of_stalling_the_prefix() {
+        use twice_common::fault::{FaultKind, FaultPlan};
+        let path = temp_journal("drop");
+        // Every append fails with ENOSPC, forever.
+        let io = Arc::new(crate::cio::FaultyIo::new(
+            FaultPlan::with_seed(9).rate(FaultKind::StorageEnospc, 1.0),
+        ));
+        let writer = OrderedJournalWriter::new(io, path.clone(), 2, 0);
+        writer.submit(0, Some("zero".into()));
+        writer.submit(1, Some("one".into()));
+        writer.submit(2, None);
+        assert_eq!(writer.dropped(), 2, "both lines drop; the cursor moves on");
+        assert!(!path.exists(), "nothing must reach the file");
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -22,6 +22,8 @@
 //! * [`journal`] — the JSONL cell-outcome journal.
 //! * [`campaign`] — the supervised, crash-safe chaos campaign.
 //! * [`parallel`] — the fixed-size worker pool behind `--jobs`.
+//! * [`cio`] — campaign storage I/O: durable writes, injectable
+//!   storage faults, and the self-healing recovery ledger.
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@
 
 pub mod campaign;
 pub mod checkpoint;
+pub mod cio;
 pub mod config;
 pub mod experiments;
 pub mod journal;

@@ -40,6 +40,15 @@ pub enum CellError {
     },
     /// Journal or checkpoint I/O failed.
     Io(String),
+    /// The cell kept failing on I/O and was quarantined after
+    /// exhausting its retry budget; the campaign completed in degraded
+    /// mode without it.
+    Quarantined {
+        /// How many whole-cell attempts were made before giving up.
+        attempts: u32,
+        /// The final attempt's I/O failure.
+        cause: String,
+    },
 }
 
 impl fmt::Display for CellError {
@@ -64,6 +73,9 @@ impl fmt::Display for CellError {
                 )
             }
             CellError::Io(why) => write!(f, "journal I/O failed: {why}"),
+            CellError::Quarantined { attempts, cause } => {
+                write!(f, "quarantined after {attempts} attempts: {cause}")
+            }
         }
     }
 }

@@ -135,8 +135,11 @@ fn killed_parallel_campaign_resumes_to_the_uninterrupted_digests() {
         "the halt must land mid-grid"
     );
 
-    // Resume the same directory, still with 4 workers.
+    // Resume the same directory, still with 4 workers. `resume` keeps
+    // the in-flight cells' epoch checkpoints alive — a fresh run would
+    // sweep them as stale.
     cc.halt_after = None;
+    cc.resume = true;
     let resumed = chaos_campaign(&cfg, &cc).expect("resumed campaign");
     assert!(!resumed.halted);
     assert!(
