@@ -42,7 +42,7 @@
 use crate::rng::SplitMix64;
 
 /// The number of distinct [`FaultKind`] variants (size of per-kind arrays).
-const KINDS: usize = 11;
+const KINDS: usize = 14;
 
 /// A category of injectable hardware fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +81,20 @@ pub enum FaultKind {
     /// Storage: a read returns the file with one bit flipped (media
     /// bit-rot or an undetected transfer error).
     StorageBitRot,
+    /// Device: a bank's FSM wedges after a refresh — the bank stays busy
+    /// for several tRFC windows and every command to it is nacked until
+    /// the FSM recovers. Exercises the MC's bounded nack-retry loop.
+    BankStuck,
+    /// Device: a refresh window is silently dropped inside the DRAM —
+    /// the REF is accepted on the bus and the bank FSM cycles, but the
+    /// covered rowset is never actually refreshed, so its disturbance
+    /// (and retention clock) keeps accumulating for a full extra window.
+    RefreshDrop,
+    /// Device: a stuck-at-0 soft error in the TWiCe counter SRAM — the
+    /// hottest entry's top count bit reads back as zero, collapsing the
+    /// count the defense relies on (the worst case for detection, a
+    /// failure mode the paper's §4 SRAM sizing never stress-tests).
+    CounterStuckBit,
 }
 
 impl FaultKind {
@@ -98,6 +112,9 @@ impl FaultKind {
         FaultKind::StoragePartialRead,
         FaultKind::StorageRenameFail,
         FaultKind::StorageBitRot,
+        FaultKind::BankStuck,
+        FaultKind::RefreshDrop,
+        FaultKind::CounterStuckBit,
     ];
 
     /// Stable index of this kind into per-kind arrays.
@@ -115,6 +132,9 @@ impl FaultKind {
             FaultKind::StoragePartialRead => 8,
             FaultKind::StorageRenameFail => 9,
             FaultKind::StorageBitRot => 10,
+            FaultKind::BankStuck => 11,
+            FaultKind::RefreshDrop => 12,
+            FaultKind::CounterStuckBit => 13,
         }
     }
 
@@ -132,6 +152,9 @@ impl FaultKind {
             FaultKind::StoragePartialRead => "partial-read",
             FaultKind::StorageRenameFail => "rename-fail",
             FaultKind::StorageBitRot => "bit-rot",
+            FaultKind::BankStuck => "bank-stuck",
+            FaultKind::RefreshDrop => "ref-drop",
+            FaultKind::CounterStuckBit => "stuck-bit",
         }
     }
 }
@@ -409,6 +432,16 @@ mod tests {
         );
         assert_eq!(inj.opportunities(FaultKind::SpuriousNack), 1);
         assert_eq!(inj.opportunities(FaultKind::CounterBitFlip), 1);
+    }
+
+    #[test]
+    fn kind_table_is_consistent() {
+        for (i, kind) in FaultKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i, "ALL order must match index()");
+        }
+        let labels: std::collections::HashSet<&str> =
+            FaultKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), FaultKind::ALL.len(), "labels must be unique");
     }
 
     #[test]

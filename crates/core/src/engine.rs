@@ -245,6 +245,35 @@ impl TwiceEngine {
         }
     }
 
+    /// Models a stuck-at-0 cell under the hottest entry's top count bit
+    /// (the `CounterStuckBit` device fault): the bit reads back zero, so
+    /// the count the threshold comparator sees is roughly halved — the
+    /// worst case for detection latency, since the stuck cell sits under
+    /// exactly the entry about to cross `th_rh`.
+    fn inject_stuck_bit(&mut self, bank: BankId) -> bool {
+        self.tables[bank.index()].entries_into(&mut self.scratch_entries);
+        if self.scratch_entries.is_empty() {
+            return false; // nothing resident over the stuck cell
+        }
+        self.scratch_entries.sort_unstable_by_key(|e| e.row);
+        let hottest = self
+            .scratch_entries
+            .iter()
+            .max_by_key(|e| (e.act_cnt, std::cmp::Reverse(e.row)))
+            .expect("non-empty");
+        // A count of zero has no set top bit: stuck-at-0 is invisible.
+        let Some(bit) = hottest.top_count_bit() else {
+            return false;
+        };
+        let row = hottest.row;
+        if self.tables[bank.index()].inject_bit_flip(row, bit) {
+            self.stats.seu_injected += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// The engine's parameters.
     #[inline]
     pub fn params(&self) -> &TwiceParams {
@@ -296,6 +325,9 @@ impl RowHammerDefense for TwiceEngine {
         self.stats.acts += 1;
         if self.injector.fire(FaultKind::CounterBitFlip) {
             self.inject_seu(bank);
+        }
+        if self.injector.fire(FaultKind::CounterStuckBit) {
+            self.inject_stuck_bit(bank);
         }
         #[cfg(feature = "debug-invariants")]
         let pre_count = self.tables[bank.index()].get(row).map(|e| e.act_cnt);
@@ -728,6 +760,28 @@ mod tests {
             }
             assert_eq!(digest(&original), digest(&restored), "{org:?} final");
         }
+    }
+
+    #[test]
+    fn stuck_counter_bit_suppresses_detection_without_scrub() {
+        // A stuck-at-0 cell under the hottest entry's top count bit keeps
+        // knocking the count back down; with the parity/scrub hardening
+        // off, the unprotected design never reaches the threshold.
+        let plan = FaultPlan::with_seed(3).rate(FaultKind::CounterStuckBit, 1.0);
+        let mut e = TwiceEngine::with_organization(
+            TwiceParams::fast_test(),
+            1,
+            TableOrganization::FullyAssociative,
+        )
+        .with_fault_plan(&plan, 0xBAD)
+        .with_scrubbing(false);
+        let th_rh = e.params().th_rh;
+        for i in 0..th_rh * 4 {
+            let r = e.on_activate(BankId(0), RowId(7), Time::ZERO);
+            assert!(r.is_none(), "stuck top bit must defeat detection (ACT {i})");
+        }
+        assert!(e.stats().seu_injected > 0, "fault must have landed");
+        assert_eq!(e.stats().arrs, 0);
     }
 
     #[test]

@@ -250,6 +250,23 @@ impl Bank {
         Ok(row)
     }
 
+    /// Chaos hook: wedges the bank FSM — the bank reads busy, as if an
+    /// auto-refresh never completed, until `until` (the `BankStuck`
+    /// device fault). Commands must be held off until the FSM recovers
+    /// on its own; the RCD models that by nacking them with a truthful
+    /// `retry_at`, so the MC's bounded retry loop absorbs the outage.
+    ///
+    /// Only meaningful on a precharged bank (the fault fires on the REF
+    /// path, where the row is already closed); with a row open the wedge
+    /// is ignored.
+    pub fn wedge(&mut self, until: Time) {
+        if self.open_row().is_some() {
+            return;
+        }
+        self.set_ready(until, TimingKind::Trfc);
+        self.occupancy = Occupancy::Refreshing(until);
+    }
+
     fn set_ready(&mut self, at: Time, kind: TimingKind) {
         if at > self.ready_at {
             self.ready_at = at;

@@ -400,6 +400,40 @@ impl DramRank {
         Ok(())
     }
 
+    /// Chaos hook for the `BankStuck` device fault: wedges `bank`'s FSM
+    /// so it reads busy until `until` (see [`Bank::wedge`]). The RCD
+    /// pairs this with its own nack bookkeeping so the MC backs off
+    /// instead of tripping timing violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::NoSuchBank`] for an unknown bank.
+    pub fn wedge_bank(&mut self, bank: u16, until: Time) -> Result<(), DramError> {
+        let b = self.check_bank(bank)?;
+        self.banks[b].wedge(until);
+        Ok(())
+    }
+
+    /// Chaos hook for the `RefreshDrop` device fault: performs the bank
+    /// FSM and timing side of one per-bank REF (the command was accepted
+    /// on the bus and the bank cycles for tRFC), but the covered rowset
+    /// is *not* refreshed — the cursor skips it (see
+    /// [`RefreshCursor::skip`]) and its disturbance keeps accumulating
+    /// for a full extra window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same validation as a real REF (bank precharged and
+    /// ready); on error the device state is unchanged.
+    pub fn drop_refresh(&mut self, bank: u16, now: Time) -> Result<(), DramError> {
+        let b = self.check_bank(bank)?;
+        self.banks[b].refresh(now)?;
+        self.stats.refreshes += 1;
+        self.stats.dropped_refreshes += 1;
+        self.refresh[b].skip();
+        Ok(())
+    }
+
     /// Refreshes explicit logical rows on behalf of an MC-side defense
     /// (PARA/CBT/CRA refresh requests). Each refresh is an internal
     /// ACT+PRE pair with the same disturbance side effects as an ARR

@@ -282,10 +282,34 @@ impl Rcd {
                 }
             }
             DramCommand::Refresh { bank } => {
-                self.ranks[rank].issue(cmd, now)?;
+                // Chaos: the refresh window is dropped *inside* the
+                // device — the command is accepted on the bus and the
+                // bank cycles for tRFC, but the covered rowset stays
+                // unrefreshed. The defense still observes the window
+                // (it watches the bus), so its pruning assumptions are
+                // now wrong — exactly the hazard this fault probes.
+                if self.injector.fire(FaultKind::RefreshDrop) {
+                    self.ranks[rank].drop_refresh(bank, now)?;
+                } else {
+                    self.ranks[rank].issue(cmd, now)?;
+                }
                 let gbank = self.bank_id_of(rank, bank);
                 let response = self.defense.on_auto_refresh(gbank, now);
                 self.apply_refresh_response(rank, bank, response, now)?;
+                // Chaos: the bank FSM wedges after the refresh and
+                // stays busy for several tRFC windows. The RCD books
+                // the outage in its nack window so the MC is told a
+                // truthful retry_at instead of tripping a timing
+                // violation; the bounded retry loop absorbs the rest.
+                if self.injector.fire(FaultKind::BankStuck) {
+                    let t_rfc = self.ranks[rank].config().timings.t_rfc;
+                    let until = now + t_rfc * (2 + self.injector.draw(7));
+                    self.ranks[rank]
+                        .wedge_bank(bank, until)
+                        .expect("bank verified by the REF above");
+                    let slot = &mut self.bank_arr_until[rank][usize::from(bank)];
+                    *slot = (*slot).max(until);
+                }
                 Ok(RcdOutcome::Accepted)
             }
             _ => {
@@ -715,6 +739,73 @@ mod tests {
         // Inspect through Debug name to keep the defense boxed; instead use
         // rank stats to confirm the REF went through.
         assert_eq!(rcd.ranks()[0].stats().refreshes, 1);
+    }
+
+    #[test]
+    fn stuck_bank_nacks_then_recovers() {
+        let plan = FaultPlan::with_seed(11).rate(FaultKind::BankStuck, 1.0);
+        let mut r = rcd(1_000_000).with_fault_plan(&plan, 0x5ECD);
+        r.issue(0, DramCommand::Refresh { bank: 0 }, t(0)).unwrap();
+        assert_eq!(r.fault_injector().injected(FaultKind::BankStuck), 1);
+        // The wedged bank nacks follow-up commands with a truthful
+        // retry_at instead of tripping a timing violation.
+        let out = r
+            .issue(
+                0,
+                DramCommand::Activate {
+                    bank: 0,
+                    row: RowId(3),
+                },
+                t(400),
+            )
+            .unwrap();
+        let RcdOutcome::Nack { retry_at, reason } = out else {
+            panic!("wedged bank accepted a command: {out:?}");
+        };
+        assert_eq!(reason, NackReason::ArrInProgress);
+        assert!(retry_at > t(400), "retry_at must be in the future");
+        // The other bank is unaffected.
+        assert_eq!(
+            r.issue(
+                0,
+                DramCommand::Activate {
+                    bank: 1,
+                    row: RowId(3)
+                },
+                t(400)
+            )
+            .unwrap(),
+            RcdOutcome::Accepted
+        );
+        // Resending at the advertised time succeeds: the FSM recovered.
+        assert_eq!(
+            r.issue(
+                0,
+                DramCommand::Activate {
+                    bank: 0,
+                    row: RowId(3)
+                },
+                retry_at
+            )
+            .unwrap(),
+            RcdOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn dropped_refresh_is_counted_but_invisible_on_the_bus() {
+        let plan = FaultPlan::with_seed(7).rate(FaultKind::RefreshDrop, 1.0);
+        let mut r = rcd(1_000_000).with_fault_plan(&plan, 0x5ECD);
+        assert_eq!(
+            r.issue(0, DramCommand::Refresh { bank: 0 }, t(0)).unwrap(),
+            RcdOutcome::Accepted
+        );
+        let stats = r.ranks()[0].stats();
+        // The bus (and every observer of it) saw an ordinary REF...
+        assert_eq!(stats.refreshes, 1);
+        // ...but the device recorded that the rowset was never touched.
+        assert_eq!(stats.dropped_refreshes, 1);
+        assert_eq!(r.fault_injector().injected(FaultKind::RefreshDrop), 1);
     }
 
     #[test]

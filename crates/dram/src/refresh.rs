@@ -69,6 +69,16 @@ impl RefreshCursor {
         let end = (start + self.rows_per_set).min(self.rows);
         (start..end).map(RowId)
     }
+
+    /// Chaos hook: the REF was *dropped inside the device* (the
+    /// `RefreshDrop` fault) — the cursor advances as if the rowset had
+    /// been refreshed (the device believes it serviced the command), but
+    /// no rows are reported, so their disturbance survives a full extra
+    /// window.
+    pub fn skip(&mut self) {
+        self.next_set = (self.next_set + 1) % self.num_sets;
+        self.completed_refs += 1;
+    }
 }
 
 impl Snapshot for RefreshCursor {
@@ -130,6 +140,19 @@ mod tests {
         }
         let wrapped: Vec<_> = c.refresh().collect();
         assert_eq!(first, wrapped);
+    }
+
+    #[test]
+    fn skip_advances_without_reporting_rows() {
+        let mut a = RefreshCursor::new(8, 4);
+        let mut b = RefreshCursor::new(8, 4);
+        a.refresh().for_each(drop);
+        b.skip();
+        assert_eq!(a.completed_refs(), b.completed_refs());
+        // Both cursors now cover the same next rowset.
+        let ra: Vec<_> = a.refresh().collect();
+        let rb: Vec<_> = b.refresh().collect();
+        assert_eq!(ra, rb);
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct DramStats {
     pub writes: u64,
     /// REF commands accepted.
     pub refreshes: u64,
+    /// REF commands accepted on the bus but silently dropped inside the
+    /// device by the `RefreshDrop` chaos fault: the covered rowset was
+    /// never actually refreshed.
+    pub dropped_refreshes: u64,
     /// ARR commands performed.
     pub arrs: u64,
     /// Internal victim-row activations performed by ARRs.
@@ -63,13 +67,14 @@ impl DramStats {
         )
     }
 
-    fn fields(&self) -> [u64; 10] {
+    fn fields(&self) -> [u64; 11] {
         [
             self.acts,
             self.precharges,
             self.reads,
             self.writes,
             self.refreshes,
+            self.dropped_refreshes,
             self.arrs,
             self.arr_victim_acts,
             self.explicit_refresh_acts,
@@ -92,6 +97,7 @@ impl Snapshot for DramStats {
         self.reads = r.take_u64()?;
         self.writes = r.take_u64()?;
         self.refreshes = r.take_u64()?;
+        self.dropped_refreshes = r.take_u64()?;
         self.arrs = r.take_u64()?;
         self.arr_victim_acts = r.take_u64()?;
         self.explicit_refresh_acts = r.take_u64()?;

@@ -10,6 +10,8 @@
 //! $ twice-exp chaos --journal out/        # crash-safe fault campaign
 //! $ twice-exp chaos --resume out/         # resume a killed campaign
 //! $ twice-exp chaos --storage-faults 7 --journal out/  # storage torture
+//! $ twice-exp fleet --shards 1000 --jobs 8 --journal out/  # fleet run
+//! $ twice-exp fleet --shards 64 --device-faults 9 --journal out/
 //! ```
 //!
 //! Failures exit with a distinct code and one structured line on stderr
@@ -17,9 +19,10 @@
 //!
 //! * `2` — unknown command, defense, workload, or SPEC app name
 //! * `3` — invalid flag value (`--seed`, `--requests`, `--resume`, …)
-//! * `4` — the campaign completed but in degraded mode: at least one
-//!   cell was quarantined after exhausting its I/O retry budget (the
-//!   report is still printed; the storage summary goes to stderr)
+//! * `4` — the run completed but in degraded mode: at least one chaos
+//!   cell or fleet shard was quarantined after exhausting its retry
+//!   ladder (the report is still printed; the storage summary or
+//!   `FleetSummary` goes to stderr)
 //! * `75` — campaign intentionally halted by `--halt-after` (tempfail,
 //!   in the sysexits tradition: rerun with `--resume` to continue)
 //! * `1` — everything else (I/O, a failed safety property)
@@ -29,6 +32,12 @@
 //! failed renames, bit-rot) to exercise the self-healing ladder:
 //! journal salvage, checkpoint recomputation, bounded per-cell retry
 //! (`--retries`/`--backoff-ms`), and quarantine.
+//!
+//! `fleet --device-faults SEED` arms every shard's device fault
+//! injectors (stuck bank FSMs, dropped refresh windows, counter-SRAM
+//! soft errors); shards that panic or blow their deadline restart from
+//! their last epoch checkpoint and are quarantined only after the
+//! supervision ladder is exhausted — the fleet degrades, never aborts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -119,6 +128,11 @@ struct Args {
     storage_faults: Option<u64>,
     retries: Option<u32>,
     backoff_ms: Option<u64>,
+    shards: Option<usize>,
+    device_faults: Option<u64>,
+    dead_shards: Option<usize>,
+    attackers: Option<u16>,
+    telemetry_every: Option<usize>,
 }
 
 impl Args {
@@ -161,6 +175,11 @@ fn parse_args() -> Result<Option<Args>, CliError> {
         storage_faults: None,
         retries: None,
         backoff_ms: None,
+        shards: None,
+        device_faults: None,
+        dead_shards: None,
+        attackers: None,
+        telemetry_every: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -202,6 +221,32 @@ fn parse_args() -> Result<Option<Args>, CliError> {
             }
             "--backoff-ms" => {
                 out.backoff_ms = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
+            }
+            "--shards" => {
+                let shards: usize = parse_number(&flag, &flag_value(&mut args, &flag)?)?;
+                if shards == 0 {
+                    return Err(CliError::bad_flag("-", "--shards must be at least 1"));
+                }
+                out.shards = Some(shards);
+            }
+            "--device-faults" => {
+                out.device_faults = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
+            }
+            "--dead-shards" => {
+                out.dead_shards = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
+            }
+            "--attackers" => {
+                out.attackers = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
+            }
+            "--telemetry-every" => {
+                let every: usize = parse_number(&flag, &flag_value(&mut args, &flag)?)?;
+                if every == 0 {
+                    return Err(CliError::bad_flag(
+                        "-",
+                        "--telemetry-every must be at least 1",
+                    ));
+                }
+                out.telemetry_every = Some(every);
             }
             _ => return Err(CliError::bad_flag("-", format!("unknown flag {flag}"))),
         }
@@ -255,24 +300,40 @@ fn usage() -> ExitCode {
          \x20 ecc       ECC scrubbing fault experiment\n\
          \x20 attack    S3 confrontation on the scaled system\n\
          \x20 chaos     fault-injection campaign (SEU sweep + bus gauntlet)\n\
-         \x20 bench     time table1 serial vs --jobs and write BENCH_0.json\n\
+         \x20 fleet     supervised many-shard fleet (multi-tenant blend, quarantine)\n\
+         \x20 bench     time table1 serial vs --jobs and write BENCH_1.json\n\
          \x20 record    write a workload trace (--workload NAME --file PATH)\n\
          \x20 replay    replay a trace file (--file PATH [--defense NAME])\n\
          common flags:\n\
          \x20 --jobs N            worker threads for experiment grids\n\
          \x20                     (default: available parallelism; 1 = serial)\n\
-         chaos flags:\n\
+         chaos/fleet flags:\n\
          \x20 --seed N            override the simulation seed\n\
          \x20 --journal DIR       journal completed cells + epoch checkpoints to DIR\n\
-         \x20 --resume DIR        resume a killed campaign from DIR (must exist)\n\
+         \x20 --resume DIR        resume a killed campaign/fleet from DIR (must exist)\n\
          \x20 --epoch N           requests per checkpoint/watchdog epoch\n\
          \x20 --halt-after N      stop after N fresh cells (crash simulation, exit 75)\n\
          \x20 --wall-budget-ms N  per-cell wall-clock watchdog\n\
          \x20 --sim-budget-ps N   per-cell simulated-time watchdog (picoseconds)\n\
          \x20 --storage-faults S  inject seeded storage faults into every journal/\n\
          \x20                     checkpoint path (exit 4 if any cell is quarantined)\n\
-         \x20 --retries N         attempts per I/O-failing cell before quarantine\n\
+         \x20 --retries N         attempts per failing cell/shard before quarantine\n\
          \x20 --backoff-ms N      linear backoff between attempts\n\
+         fleet flags:\n\
+         \x20 --shards N          shard instances to run (default 64)\n\
+         \x20 --attackers N       attacker tenants per 16-tenant shard (default 2)\n\
+         \x20 --device-faults S   arm the recoverable device fault plan (stuck bank\n\
+         \x20                     FSMs, dropped refreshes, counter soft errors)\n\
+         \x20 --dead-shards N     sabotage N shards (panics + deadline overruns)\n\
+         \x20 --telemetry-every N cumulative telemetry row cadence (default 16)\n\
+         exit codes:\n\
+         \x20  0  success\n\
+         \x20  2  unknown command, defense, workload, or SPEC app name\n\
+         \x20  3  invalid flag value (e.g. --jobs 0, --shards 0)\n\
+         \x20  4  completed degraded: at least one cell/shard quarantined\n\
+         \x20     (fleet prints its FleetSummary on stderr)\n\
+         \x20 75  halted early by --halt-after (rerun with --resume)\n\
+         \x20  1  everything else (I/O, a failed safety property)\n\
          defenses: twice twice-pa twice-split para para2 prohit cbt cra oracle none"
     );
     ExitCode::from(EXIT_UNKNOWN_NAME)
@@ -379,8 +440,114 @@ fn run_chaos(args: &Args) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `twice-exp fleet`: the supervised many-shard fleet. Every shard is
+/// an independent scaled system running the 16-tenant attacker/benign
+/// blend; panicking, over-deadline, or I/O-starved shards are
+/// quarantined (exit 4 with the `FleetSummary` on stderr) instead of
+/// aborting the fleet. `--journal DIR` makes the run durable and
+/// resumable; on `--resume` the journaled fleet meta wins over flags.
+fn run_fleet(args: &Args) -> Result<ExitCode, CliError> {
+    let mut fc = twice_sim::fleet::FleetConfig::new(args.shards.unwrap_or(64));
+    fc.requests = args.requests.unwrap_or(2_000);
+    if let Some(epoch) = args.epoch {
+        if epoch == 0 {
+            return Err(CliError::bad_flag("fleet", "--epoch must be at least 1"));
+        }
+        fc.epoch = epoch;
+    }
+    if let Some(seed) = args.seed {
+        fc.seed = seed;
+    }
+    fc.attackers = args.attackers.unwrap_or(2);
+    fc.device_faults = args.device_faults;
+    fc.dead_shards = args.dead_shards.unwrap_or(0);
+    fc.halt_after = args.halt_after;
+    // Dead shards stall on purpose; a default wall budget keeps any
+    // non-deterministic hang from wedging the whole fleet.
+    fc.wall_budget_ms = args.wall_budget_ms.or(Some(30_000));
+    fc.sim_budget_ps = args.sim_budget_ps;
+    fc.jobs = args.jobs();
+    if let Some(every) = args.telemetry_every {
+        fc.telemetry_every = every;
+    }
+    if let Some(retries) = args.retries {
+        fc.retries = retries;
+    }
+    if let Some(backoff) = args.backoff_ms {
+        fc.backoff_ms = backoff;
+    }
+    if let Some(seed) = args.storage_faults {
+        fc.io = Arc::new(twice_sim::cio::FaultyIo::with_default_plan(seed));
+    }
+    if args.resume.is_some() && args.journal.is_some() {
+        return Err(CliError::bad_flag(
+            "fleet",
+            "--resume and --journal are mutually exclusive (resume implies the journal directory)",
+        ));
+    }
+    if let Some(dir) = &args.resume {
+        if !dir.is_dir() {
+            return Err(CliError::bad_flag(
+                "fleet",
+                format!("--resume directory {} does not exist", dir.display()),
+            ));
+        }
+        fc.dir = Some(dir.clone());
+        fc.resume = true;
+    } else if let Some(dir) = &args.journal {
+        fc.dir = Some(dir.clone());
+    }
+
+    let report = twice_sim::fleet::run_fleet(&fc)
+        .map_err(|e| CliError::failure("fleet", "-", format!("fleet I/O failed: {e}")))?;
+
+    if report.salvaged > 0 {
+        eprintln!(
+            "twice-exp: resumed: {} journaled shard(s) salvaged",
+            report.salvaged
+        );
+    }
+    if report.storage.is_degraded() {
+        eprintln!("twice-exp: storage recovery: {}", report.storage);
+    }
+    for shard in &report.shards {
+        if let Err(e) = &shard.result {
+            eprintln!("twice-exp: quarantined shard {}: {e}", shard.index);
+        }
+    }
+    if report.halted {
+        eprintln!(
+            "twice-exp: halted by --halt-after with {} shard(s) accounted; \
+             rerun with --resume to continue",
+            report.shards.len()
+        );
+        return Ok(ExitCode::from(EXIT_HALTED));
+    }
+    println!("{}", report.summary);
+    for row in &report.telemetry {
+        println!("{row}");
+    }
+    if report.summary.bit_flips > 0 {
+        return Err(CliError::failure(
+            "fleet",
+            "-",
+            format!(
+                "{} bit flip(s) escaped the defense across the fleet",
+                report.summary.bit_flips
+            ),
+        ));
+    }
+    if report.summary.quarantined > 0 {
+        // Degrade, don't die: the fleet completed around its quarantined
+        // shards. The summary on stderr is the supervisor-facing signal.
+        eprintln!("twice-exp: degraded: {}", report.summary);
+        return Ok(ExitCode::from(EXIT_DEGRADED));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `twice-exp bench`: times Table 1 serial vs pooled and records the
-/// first perf data point (`BENCH_0.json`, overridable via `--file`).
+/// perf data point (`BENCH_1.json`, overridable via `--file`).
 /// Requests come from `--requests`, then `TWICE_BENCH_REQUESTS`, then
 /// 40 000. The two tables must render identically — the bench doubles
 /// as a serial-equivalence smoke test.
@@ -399,7 +566,7 @@ fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
     let (serial_table, _) = table1::table1_jobs(&cfg, requests, 1);
     let serial_secs = serial_start.elapsed().as_secs_f64();
     let pooled_start = Instant::now();
-    let (pooled_table, _) = table1::table1_jobs(&cfg, requests, jobs);
+    let (pooled_table, cells) = table1::table1_jobs(&cfg, requests, jobs);
     let pooled_secs = pooled_start.elapsed().as_secs_f64();
     if pooled_table.to_string() != serial_table.to_string() {
         return Err(CliError::failure(
@@ -409,18 +576,29 @@ fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
         ));
     }
     let speedup = serial_secs / pooled_secs.max(1e-9);
-    let path = args.file.clone().unwrap_or_else(|| "BENCH_0.json".into());
+    // Absolute throughput: total activations simulated by the pooled
+    // pass over its wall time, so BENCH_N.json files are comparable
+    // across machines and request budgets, not just to their own
+    // serial baseline.
+    let acts: u64 = cells
+        .iter()
+        .filter_map(|c| c.result.as_ref().ok())
+        .map(|c| c.acts)
+        .sum();
+    let acts_per_sec = (acts as f64 / pooled_secs.max(1e-9)).round() as u64;
+    let path = args.file.clone().unwrap_or_else(|| "BENCH_1.json".into());
     let json = format!(
-        "{{\n  \"schema\": \"twice-bench-0\",\n  \"experiment\": \"table1\",\n  \
+        "{{\n  \"schema\": \"twice-bench-1\",\n  \"experiment\": \"table1\",\n  \
          \"requests\": {requests},\n  \"jobs\": {jobs},\n  \
          \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {pooled_secs:.3},\n  \
-         \"speedup\": {speedup:.2}\n}}\n"
+         \"speedup\": {speedup:.2},\n  \"acts\": {acts},\n  \
+         \"acts_per_sec\": {acts_per_sec}\n}}\n"
     );
     std::fs::write(&path, json)
         .map_err(|e| CliError::failure("bench", "-", format!("cannot write {path}: {e}")))?;
     println!(
         "table1 x{requests}: serial {serial_secs:.3}s, --jobs {jobs} {pooled_secs:.3}s, \
-         speedup {speedup:.2}x -> {path}"
+         speedup {speedup:.2}x, {acts_per_sec} acts/s -> {path}"
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -490,6 +668,12 @@ fn main() -> ExitCode {
         }
         "chaos" => {
             return match run_chaos(&args) {
+                Ok(code) => code,
+                Err(e) => e.report(),
+            };
+        }
+        "fleet" => {
+            return match run_fleet(&args) {
                 Ok(code) => code,
                 Err(e) => e.report(),
             };

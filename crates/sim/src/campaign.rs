@@ -287,7 +287,12 @@ pub fn chaos_campaign(
 /// *fresh* run: a resume's checkpoint is the live state being salvaged,
 /// but a fresh campaign adopting a previous run's leftover would be
 /// recovery where none was asked for.
-fn sweep_stale_files(io: &dyn CampaignIo, dir: &Path, resume: bool, events: &StorageEvents) {
+pub(crate) fn sweep_stale_files(
+    io: &dyn CampaignIo,
+    dir: &Path,
+    resume: bool,
+    events: &StorageEvents,
+) {
     let Ok(entries) = io.list_dir(dir) else {
         return;
     };

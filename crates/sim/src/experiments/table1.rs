@@ -23,6 +23,10 @@ pub struct Comparison {
     pub adversarial_overhead: f64,
     /// Whether the scheme raised detections under attack.
     pub detects: bool,
+    /// Total activations (normal + additional) across the three
+    /// measured runs — the work unit behind `twice-exp bench`'s
+    /// absolute-throughput figure.
+    pub acts: u64,
 }
 
 /// Assembles one defense's row from its three finished runs, with the
@@ -44,12 +48,17 @@ fn combine(
         .additional_act_ratio()
         .max(s3.additional_act_ratio())
         .max(typical.additional_act_ratio());
+    let acts = [&typical, &s2, &s3]
+        .iter()
+        .map(|m| m.normal_acts + m.additional_acts)
+        .sum();
     Ok(Comparison {
         defense: kind.to_string(),
         location,
         typical_overhead: typical.additional_act_ratio(),
         adversarial_overhead: adversarial,
         detects: s3.detections > 0,
+        acts,
     })
 }
 

@@ -1,0 +1,1207 @@
+//! The supervised fleet runtime behind `twice-exp fleet`.
+//!
+//! A *fleet* is O(10³) independent shard simulations — each shard a
+//! full channel/rank/bank system running a mixed multi-tenant workload
+//! (MAPKI-calibrated benign applications plus a configurable attacker
+//! fraction, see [`twice_workloads::mix::tenant_blend`]) — scheduled
+//! across the [`crate::parallel`] worker pool under the
+//! [`crate::supervisor`] tree. The design goal is **degrade, don't
+//! die**: a shard that panics, exceeds its wall/sim deadline, or
+//! exhausts its I/O retry budget climbs the supervision ladder (retry
+//! with backoff → whole-shard restart from its last epoch checkpoint →
+//! [`ShardError::Quarantined`]) and the fleet completes in degraded
+//! mode with a [`FleetSummary`] instead of aborting.
+//!
+//! * **Device faults** — `device_faults: Some(seed)` arms every shard
+//!   with a recoverable device-level [`FaultPlan`] (stuck bank FSMs,
+//!   dropped refresh windows, counter-SRAM soft errors, bus glitches),
+//!   decorrelated per shard, so the fleet exercises the nack/retry and
+//!   scrub defenses at scale.
+//! * **Durability** — with a fleet directory, completed shards append
+//!   to a CRC-sealed JSONL journal (`shards.jsonl`, grid-ordered via
+//!   [`OrderedJournalWriter`]) behind a meta line that records the
+//!   fleet shape; in-flight shards checkpoint every epoch. On
+//!   `--resume` the recorded meta **wins over CLI flags**, so a run
+//!   resumed under different knobs still converges to the original
+//!   fleet's digests.
+//! * **Telemetry** — completed shards fold into a prefix-ordered
+//!   aggregate; every `telemetry_every` completions a cumulative row
+//!   streams through a bounded channel to a consumer thread that
+//!   appends `telemetry.jsonl`. When the consumer stalls, rows are
+//!   coalesced (newest cumulative row wins) and drop-counted — the
+//!   producer never blocks and never buffers more than one stashed row.
+
+use crate::campaign::sweep_stale_files;
+use crate::checkpoint::{
+    read_cell_checkpoint, write_cell_checkpoint, CheckpointRead, ResumableRun,
+};
+use crate::cio::{with_retries, CampaignIo, RealIo, StorageEvents, StorageSummary};
+use crate::config::SimConfig;
+use crate::experiments::chaos;
+use crate::journal::{
+    emit_line, parse_line, seal_line, unseal_line, JsonValue, OrderedJournalWriter,
+};
+use crate::parallel::parallel_map;
+use crate::runner::WorkloadKind;
+use crate::supervisor::{ShardError, Supervisor};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use twice_common::fault::{FaultKind, FaultPlan};
+use twice_common::rng::SplitMix64;
+
+/// The fleet journal file name inside a fleet directory.
+pub const FLEET_JOURNAL_FILE: &str = "shards.jsonl";
+
+/// The streamed telemetry file name inside a fleet directory.
+pub const FLEET_TELEMETRY_FILE: &str = "telemetry.jsonl";
+
+/// Schema tag on the fleet journal's meta line.
+pub const FLEET_SCHEMA: &str = "twice-fleet-1";
+
+/// Schema tag on every telemetry row.
+pub const TELEMETRY_SCHEMA: &str = "twice-fleet-telemetry-1";
+
+/// Bounded depth of the telemetry stream channel. Small on purpose:
+/// backpressure is the contract under test, not a buffer to hide it.
+const TELEMETRY_DEPTH: usize = 4;
+
+/// Knobs for one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// How many shard instances to run.
+    pub shards: usize,
+    /// Requests per shard.
+    pub requests: u64,
+    /// Requests per epoch (checkpoint/watchdog/sabotage granularity).
+    pub epoch: u64,
+    /// Attacker tenants per shard (of 16; capped at 8 by the blend).
+    pub attackers: u16,
+    /// The fleet seed; every shard's config, workload, and fault plan
+    /// derive from it and the shard index alone.
+    pub seed: u64,
+    /// Arms the per-shard device fault plan with this seed.
+    pub device_faults: Option<u64>,
+    /// Sabotage: this many shards are made to fail deterministically
+    /// (alternating injected panics and deadline overruns), exercising
+    /// quarantine end to end.
+    pub dead_shards: usize,
+    /// Per-shard host wall-clock budget, checked at epoch boundaries.
+    pub wall_budget_ms: Option<u64>,
+    /// Per-shard simulated-time budget (ps), checked at epoch
+    /// boundaries.
+    pub sim_budget_ps: Option<u64>,
+    /// Crash simulation: stop the fleet after this many freshly
+    /// completed shards (journal intact, resumable).
+    pub halt_after: Option<usize>,
+    /// Emit a telemetry row every this many prefix completions.
+    pub telemetry_every: usize,
+    /// Fleet directory for journal, checkpoints, and telemetry; `None`
+    /// runs fully in memory.
+    pub dir: Option<PathBuf>,
+    /// Whether this run resumes an earlier fleet in `dir`.
+    pub resume: bool,
+    /// Worker threads for the shard pool.
+    pub jobs: usize,
+    /// Attempts per shard before quarantine (1 = no retry).
+    pub retries: u32,
+    /// Linear backoff between attempts, in milliseconds.
+    pub backoff_ms: u64,
+    /// The storage layer every journal/checkpoint/telemetry byte flows
+    /// through.
+    pub io: Arc<dyn CampaignIo>,
+}
+
+impl FleetConfig {
+    /// An in-memory fleet of `shards` shards with the smoke-test
+    /// defaults: 2000 requests per shard, 1024-request epochs, two
+    /// attacker tenants, serial execution, real I/O.
+    pub fn new(shards: usize) -> FleetConfig {
+        FleetConfig {
+            shards,
+            requests: 2_000,
+            epoch: 1_024,
+            attackers: 2,
+            seed: 0x1EE7,
+            device_faults: None,
+            dead_shards: 0,
+            wall_budget_ms: None,
+            sim_budget_ps: None,
+            halt_after: None,
+            telemetry_every: 16,
+            dir: None,
+            resume: false,
+            jobs: 1,
+            retries: 3,
+            backoff_ms: 0,
+            io: Arc::new(RealIo),
+        }
+    }
+
+    fn op_retries(&self) -> u32 {
+        self.retries.clamp(1, 3)
+    }
+}
+
+/// A completed shard's aggregate counters, as journaled and fed to
+/// telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Requests simulated.
+    pub requests: u64,
+    /// Normal (demand + refresh-policy) row activations.
+    pub normal_acts: u64,
+    /// Additional activations the defense issued (ARRs, scrubbing).
+    pub additional_acts: u64,
+    /// Row-hammer detections.
+    pub detections: u64,
+    /// Nacked commands (ARR-in-progress plus injected).
+    pub nacks: u64,
+    /// Victim bit flips that escaped the defense (0 in a healthy run).
+    pub bit_flips: u64,
+    /// Device faults injected across the shard's engine, RCD, and MC.
+    pub device_faults: u64,
+    /// Final simulated time, in picoseconds.
+    pub sim_ps: u64,
+    /// p99 request latency, in picoseconds.
+    pub p99_ps: u64,
+    /// The shard's final state digest (bit-for-bit resume oracle).
+    pub digest: u64,
+}
+
+/// One shard's result: completed stats, or the supervision ladder's
+/// terminal error.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The shard index within the fleet.
+    pub index: usize,
+    /// Whether the stats came from a previous run's journal.
+    pub salvaged: bool,
+    /// The stats, or why the shard was quarantined/skipped.
+    pub result: Result<ShardStats, ShardError>,
+}
+
+/// The fleet-wide aggregate, printed to stderr when the fleet degrades.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetSummary {
+    /// Shards the fleet was asked to run.
+    pub shards: usize,
+    /// Shards that completed (fresh or salvaged).
+    pub completed: usize,
+    /// Shards quarantined by the supervisor.
+    pub quarantined: usize,
+    /// Total requests across completed shards.
+    pub requests: u64,
+    /// Total normal activations across completed shards.
+    pub normal_acts: u64,
+    /// Total additional (defense) activations.
+    pub additional_acts: u64,
+    /// Total row-hammer detections.
+    pub detections: u64,
+    /// Total nacked commands.
+    pub nacks: u64,
+    /// Total escaped bit flips.
+    pub bit_flips: u64,
+    /// Total injected device faults.
+    pub device_faults: u64,
+    /// Telemetry rows rendered.
+    pub telemetry_rows: u64,
+    /// Telemetry rows coalesced away by backpressure.
+    pub telemetry_coalesced: u64,
+}
+
+impl fmt::Display for FleetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fleet shards={} completed={} quarantined={} requests={} \
+             detections={} additional_acts={} nacks={} device_faults={} \
+             bit_flips={} telemetry_rows={} coalesced={}",
+            self.shards,
+            self.completed,
+            self.quarantined,
+            self.requests,
+            self.detections,
+            self.additional_acts,
+            self.nacks,
+            self.device_faults,
+            self.bit_flips,
+            self.telemetry_rows,
+            self.telemetry_coalesced,
+        )
+    }
+}
+
+/// A finished (or halted) fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-shard outcomes in index order (partial if halted).
+    pub shards: Vec<ShardOutcome>,
+    /// The fleet-wide aggregate.
+    pub summary: FleetSummary,
+    /// Every telemetry row rendered this run, in emission order (the
+    /// streamed file may hold fewer under backpressure).
+    pub telemetry: Vec<String>,
+    /// Whether `halt_after` stopped the fleet early.
+    pub halted: bool,
+    /// Shards salvaged from the journal instead of (re)run.
+    pub salvaged: usize,
+    /// The storage recovery ledger for the run.
+    pub storage: StorageSummary,
+}
+
+/// How a dead shard is sabotaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sabotage {
+    /// Panic at this epoch boundary, before the checkpoint is written,
+    /// so every restart re-fails deterministically.
+    Panic { at_epoch: u64 },
+    /// Deterministic deadline overrun: the shard runs under a 1 ps
+    /// simulated-time budget, so its first epoch boundary trips the
+    /// watchdog without burning host wall-clock.
+    Deadline,
+}
+
+/// The recoverable device-level fault plan `--device-faults` arms:
+/// counter-SRAM soft errors (transient and stuck bits), stuck bank
+/// FSMs, dropped and postponed refresh windows, spurious nacks, and
+/// bus timing jitter. Every kind is absorbed by a defense layer
+/// (scrub, nack/retry, ARR) — a fleet run under this plan alone must
+/// quarantine nothing.
+pub fn default_device_plan(seed: u64) -> FaultPlan {
+    FaultPlan::with_seed(seed)
+        .rate(FaultKind::CounterBitFlip, 1e-3)
+        .rate(FaultKind::CounterStuckBit, 5e-4)
+        .rate(FaultKind::SpuriousNack, 5e-3)
+        .rate(FaultKind::TimingJitter, 5e-3)
+        .rate(FaultKind::RefreshPostpone, 2e-3)
+        .rate(FaultKind::RefreshDrop, 1e-2)
+        .rate(FaultKind::BankStuck, 2e-3)
+}
+
+/// SplitMix finalization of `(seed, index)`: the single source of every
+/// per-shard stream, so shard `i`'s behavior is a pure function of the
+/// fleet meta — independent of `jobs`, scheduling, and resume.
+fn shard_salt(seed: u64, index: usize) -> u64 {
+    SplitMix64::new(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+fn shard_config(fc: &FleetConfig, index: usize) -> SimConfig {
+    let mut cfg = SimConfig::fast_test();
+    cfg.seed = shard_salt(fc.seed, index);
+    cfg.twice_scrubbing = true;
+    cfg.para_fallback = Some(0.01);
+    if let Some(ds) = fc.device_faults {
+        let mut plan = default_device_plan(ds);
+        plan.seed = shard_salt(ds, index);
+        cfg.fault_plan = plan;
+    }
+    cfg
+}
+
+fn shard_workload(fc: &FleetConfig, index: usize) -> WorkloadKind {
+    WorkloadKind::FleetMix {
+        attackers: fc.attackers,
+        salt: index as u64,
+    }
+}
+
+/// The shard's checkpoint identity: index plus fleet seed, so a
+/// checkpoint from a differently-seeded fleet sharing the directory is
+/// `Foreign`, never adopted.
+fn shard_id(fc: &FleetConfig, index: usize) -> String {
+    format!("shard-{index:04}/{:016x}", fc.seed)
+}
+
+/// `shard-NNNN.ckpt` inside the fleet directory.
+pub fn shard_checkpoint_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:04}.ckpt"))
+}
+
+/// Picks the sabotaged shard set: `dead_shards` distinct indices drawn
+/// from the device seed (or the fleet seed), alternating panic and
+/// deadline sabotage in draw order.
+fn dead_map(fc: &FleetConfig) -> HashMap<usize, Sabotage> {
+    let mut out = HashMap::new();
+    let k = fc.dead_shards.min(fc.shards);
+    if k == 0 {
+        return out;
+    }
+    let mut rng = SplitMix64::new(fc.device_faults.unwrap_or(fc.seed) ^ 0xDEAD_5EED);
+    while out.len() < k {
+        let index = rng.next_below(fc.shards as u64) as usize;
+        let sabotage = if out.len() % 2 == 0 {
+            Sabotage::Panic { at_epoch: 1 }
+        } else {
+            Sabotage::Deadline
+        };
+        if let std::collections::hash_map::Entry::Vacant(e) = out.entry(index) {
+            e.insert(sabotage);
+        }
+    }
+    out
+}
+
+/// One shard's work, bundled so a supervision attempt is a single call.
+struct ShardTask<'a> {
+    fc: &'a FleetConfig,
+    cfg: SimConfig,
+    workload: WorkloadKind,
+    id: String,
+    ckpt: Option<PathBuf>,
+    sabotage: Option<Sabotage>,
+    events: &'a StorageEvents,
+}
+
+impl ShardTask<'_> {
+    /// One attempt: restore from the last epoch checkpoint if one
+    /// exists (the supervisor's restart rung), then run epoch by epoch
+    /// with checkpoint writes and watchdogs at each boundary.
+    fn run_once(&self) -> Result<ShardStats, ShardError> {
+        let fc = self.fc;
+        let io = fc.io.as_ref();
+        let defense = chaos::chaos_defense();
+        let read_blob = |p: &Path| match read_cell_checkpoint(io, p, &self.id) {
+            CheckpointRead::Valid(blob) => Some(blob),
+            CheckpointRead::Corrupt(_) => {
+                StorageEvents::bump(&self.events.corrupt_checkpoints);
+                None
+            }
+            CheckpointRead::Absent | CheckpointRead::Foreign => None,
+        };
+        let restored = self.ckpt.as_deref().and_then(read_blob).and_then(|blob| {
+            match ResumableRun::restore(&self.cfg, &self.workload, defense, fc.requests, &blob) {
+                Ok(r) => Some(r),
+                Err(_) => {
+                    StorageEvents::bump(&self.events.corrupt_checkpoints);
+                    None
+                }
+            }
+        });
+        let mut run = match restored {
+            Some(r) => r,
+            None => ResumableRun::new(&self.cfg, &self.workload, defense, fc.requests)
+                .map_err(|e| ShardError::Invalid(e.to_string()))?,
+        };
+        let epoch = fc.epoch.max(1);
+        let sim_budget = match self.sabotage {
+            Some(Sabotage::Deadline) => Some(1),
+            _ => fc.sim_budget_ps,
+        };
+        let start = Instant::now();
+        let mut epochs = run.requests_done() / epoch;
+        while !run.is_complete() {
+            run.run_epoch(epoch)
+                .map_err(|e| ShardError::Invalid(format!("controller: {e}")))?;
+            epochs += 1;
+            if let Some(Sabotage::Panic { at_epoch }) = self.sabotage {
+                // Before the checkpoint write: a restart replays this
+                // epoch and panics again, so sabotage stays terminal
+                // even when the whole run fits in one epoch.
+                if epochs >= at_epoch {
+                    panic!("injected shard panic at epoch {epochs}");
+                }
+            }
+            // Sim-time watchdog fires before the checkpoint write: an
+            // over-budget epoch must not persist progress, or a retry
+            // could restore a completed run and launder the overrun
+            // into a clean exit.
+            if let Some(ps) = sim_budget {
+                if run.system().sim_time().as_ps() > ps {
+                    return Err(ShardError::SimTimeExceeded {
+                        budget_ps: ps,
+                        done: run.requests_done(),
+                    });
+                }
+            }
+            if let Some(p) = &self.ckpt {
+                with_retries(fc.op_retries(), fc.backoff_ms, || {
+                    write_cell_checkpoint(io, p, &self.id, &run)
+                })
+                .map_err(|e| ShardError::Io(e.to_string()))?;
+            }
+            // The wall watchdog runs after the checkpoint on purpose: a
+            // transiently slow attempt keeps its progress, so a retry
+            // resumes instead of replaying — slowness is recoverable,
+            // unlike a blown sim budget.
+            if let Some(ms) = fc.wall_budget_ms {
+                let elapsed = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+                if elapsed > ms {
+                    return Err(ShardError::WallClockExceeded {
+                        budget_ms: ms,
+                        done: run.requests_done(),
+                    });
+                }
+            }
+        }
+        Ok(collect_stats(&run))
+    }
+}
+
+fn collect_stats(run: &ResumableRun) -> ShardStats {
+    let sys = run.system();
+    let m = sys.metrics("fleet");
+    let device_faults = sys
+        .controllers()
+        .iter()
+        .map(|c| {
+            c.defense_faults_injected()
+                + c.rcd().fault_injector().injected_total()
+                + c.fault_injector().injected_total()
+        })
+        .sum();
+    ShardStats {
+        requests: m.requests,
+        normal_acts: m.normal_acts,
+        additional_acts: m.additional_acts,
+        detections: m.detections,
+        nacks: m.nacks,
+        bit_flips: m.bit_flips as u64,
+        device_faults,
+        sim_ps: m.sim_time.as_ps(),
+        p99_ps: m.latency_p99.as_ps(),
+        digest: run.digest(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry: prefix-ordered aggregation, bounded streaming.
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct TelemetryState {
+    /// Outcomes that completed ahead of the prefix cursor. `None`
+    /// marks a quarantined shard (counted, contributing no stats).
+    pending: BTreeMap<usize, Option<ShardStats>>,
+    next: usize,
+    done: u64,
+    quarantined: u64,
+    requests: u64,
+    normal_acts: u64,
+    additional_acts: u64,
+    detections: u64,
+    nacks: u64,
+    device_faults: u64,
+    sim_ps: u64,
+    p99_ps: u64,
+    coalesced: u64,
+    stash: Option<String>,
+    last_emit: u64,
+    rows: Vec<String>,
+}
+
+/// The fleet telemetry aggregator.
+///
+/// Shards submit their outcome exactly once, in any order; the
+/// aggregator folds them **in index order** (a `BTreeMap` holds
+/// out-of-order completions until the prefix cursor reaches them), so
+/// row *content* is a pure function of the fleet meta — identical
+/// across `jobs` values and resumes. Rows are cumulative: each row
+/// supersedes the previous, which is what makes coalescing sound.
+struct Telemetry {
+    every: u64,
+    tx: SyncSender<String>,
+    state: Mutex<TelemetryState>,
+}
+
+fn render_row(st: &TelemetryState) -> String {
+    // Integer-scaled rates (the journal codec is float-free):
+    // detections per simulated second, and defense (additional) ACTs
+    // per thousand normal ACTs.
+    let det_per_sim_s = st
+        .detections
+        .saturating_mul(1_000_000_000_000)
+        .checked_div(st.sim_ps.max(1))
+        .unwrap_or(0);
+    let arr_per_kact = st
+        .additional_acts
+        .saturating_mul(1_000)
+        .checked_div(st.normal_acts.max(1))
+        .unwrap_or(0);
+    seal_line(&emit_line(&[
+        ("schema", JsonValue::Str(TELEMETRY_SCHEMA.to_string())),
+        ("shards_done", JsonValue::U64(st.done)),
+        ("quarantined", JsonValue::U64(st.quarantined)),
+        ("requests", JsonValue::U64(st.requests)),
+        ("detections", JsonValue::U64(st.detections)),
+        ("det_per_sim_s", JsonValue::U64(det_per_sim_s)),
+        ("arr_per_kact", JsonValue::U64(arr_per_kact)),
+        ("nacks", JsonValue::U64(st.nacks)),
+        ("latency_p99_ps", JsonValue::U64(st.p99_ps)),
+        ("device_faults", JsonValue::U64(st.device_faults)),
+        ("coalesced", JsonValue::U64(st.coalesced)),
+    ]))
+}
+
+impl Telemetry {
+    fn new(every: u64, tx: SyncSender<String>) -> Telemetry {
+        Telemetry {
+            every: every.max(1),
+            tx,
+            state: Mutex::new(TelemetryState::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TelemetryState> {
+        // A worker that panicked while holding the lock poisons it;
+        // telemetry must keep flowing for the surviving shards.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records shard `index`'s outcome (`None` = quarantined) and
+    /// advances the prefix cursor, emitting a cumulative row at every
+    /// `every`-th completion.
+    fn submit(&self, index: usize, stats: Option<&ShardStats>) {
+        let mut st = self.lock();
+        st.pending.insert(index, stats.cloned());
+        while let Some(outcome) = {
+            let next = st.next;
+            st.pending.remove(&next)
+        } {
+            st.next += 1;
+            st.done += 1;
+            match outcome {
+                Some(s) => {
+                    st.requests += s.requests;
+                    st.normal_acts += s.normal_acts;
+                    st.additional_acts += s.additional_acts;
+                    st.detections += s.detections;
+                    st.nacks += s.nacks;
+                    st.device_faults += s.device_faults;
+                    st.sim_ps += s.sim_ps;
+                    st.p99_ps = st.p99_ps.max(s.p99_ps);
+                }
+                None => st.quarantined += 1,
+            }
+            if st.done.is_multiple_of(self.every) {
+                let row = render_row(&st);
+                self.push(&mut st, row);
+                st.last_emit = st.done;
+            }
+        }
+    }
+
+    /// The non-blocking stream side. The row always lands in the
+    /// canonical in-memory sequence; on the channel it is sent with
+    /// `try_send` — a full channel stashes it (newest cumulative row
+    /// wins, the superseded one is drop-counted), a disconnected
+    /// channel (no consumer) discards silently.
+    fn push(&self, st: &mut TelemetryState, row: String) {
+        st.rows.push(row.clone());
+        if let Some(stashed) = st.stash.take() {
+            match self.tx.try_send(stashed) {
+                Ok(()) => {}
+                Err(TrySendError::Full(s)) => st.stash = Some(s),
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+        if st.stash.is_some() {
+            st.stash = Some(row);
+            st.coalesced += 1;
+        } else {
+            match self.tx.try_send(row) {
+                Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+                Err(TrySendError::Full(r)) => st.stash = Some(r),
+            }
+        }
+    }
+
+    /// Emits the final cumulative row (unless the last periodic row
+    /// already covers every completion), gives a stalled consumer a
+    /// bounded grace period to drain the stash, and returns the
+    /// canonical row sequence plus the coalesced-row count.
+    fn finish(&self) -> (Vec<String>, u64) {
+        let mut st = self.lock();
+        if st.rows.is_empty() || st.last_emit != st.done {
+            let row = render_row(&st);
+            self.push(&mut st, row);
+            st.last_emit = st.done;
+        }
+        for _ in 0..50 {
+            let Some(stashed) = st.stash.take() else {
+                break;
+            };
+            match self.tx.try_send(stashed) {
+                Ok(()) | Err(TrySendError::Disconnected(_)) => break,
+                Err(TrySendError::Full(s)) => {
+                    st.stash = Some(s);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        }
+        if st.stash.take().is_some() {
+            st.coalesced += 1;
+        }
+        (st.rows.clone(), st.coalesced)
+    }
+}
+
+fn spawn_consumer(
+    io: Arc<dyn CampaignIo>,
+    path: PathBuf,
+    retries: u32,
+    backoff_ms: u64,
+    rx: Receiver<String>,
+) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let mut written = 0u64;
+        for row in rx {
+            if with_retries(retries, backoff_ms, || io.append_line(&path, &row)).is_ok() {
+                written += 1;
+            }
+        }
+        written
+    })
+}
+
+// ---------------------------------------------------------------------
+// The fleet journal: one sealed meta line, then one line per shard.
+// ---------------------------------------------------------------------
+
+/// The recorded fleet shape. On resume these values override the CLI
+/// flags, so the resumed run reproduces the original fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FleetMeta {
+    shards: usize,
+    requests: u64,
+    epoch: u64,
+    seed: u64,
+    attackers: u16,
+    device_faults: Option<u64>,
+    dead_shards: usize,
+}
+
+impl FleetMeta {
+    fn of(fc: &FleetConfig) -> FleetMeta {
+        FleetMeta {
+            shards: fc.shards,
+            requests: fc.requests,
+            epoch: fc.epoch,
+            seed: fc.seed,
+            attackers: fc.attackers,
+            device_faults: fc.device_faults,
+            dead_shards: fc.dead_shards,
+        }
+    }
+
+    fn apply(&self, fc: &mut FleetConfig) {
+        fc.shards = self.shards;
+        fc.requests = self.requests;
+        fc.epoch = self.epoch;
+        fc.seed = self.seed;
+        fc.attackers = self.attackers;
+        fc.device_faults = self.device_faults;
+        fc.dead_shards = self.dead_shards;
+    }
+}
+
+fn meta_line(m: &FleetMeta) -> String {
+    seal_line(&emit_line(&[
+        ("schema", JsonValue::Str(FLEET_SCHEMA.to_string())),
+        ("shards", JsonValue::U64(m.shards as u64)),
+        ("requests", JsonValue::U64(m.requests)),
+        ("epoch", JsonValue::U64(m.epoch)),
+        ("seed", JsonValue::U64(m.seed)),
+        ("attackers", JsonValue::U64(u64::from(m.attackers))),
+        (
+            "device_faults_set",
+            JsonValue::Bool(m.device_faults.is_some()),
+        ),
+        (
+            "device_faults",
+            JsonValue::U64(m.device_faults.unwrap_or(0)),
+        ),
+        ("dead_shards", JsonValue::U64(m.dead_shards as u64)),
+    ]))
+}
+
+fn shard_line(index: usize, id: &str, s: &ShardStats) -> String {
+    seal_line(&emit_line(&[
+        ("shard", JsonValue::U64(index as u64)),
+        ("id", JsonValue::Str(id.to_string())),
+        ("requests", JsonValue::U64(s.requests)),
+        ("normal_acts", JsonValue::U64(s.normal_acts)),
+        ("additional_acts", JsonValue::U64(s.additional_acts)),
+        ("detections", JsonValue::U64(s.detections)),
+        ("nacks", JsonValue::U64(s.nacks)),
+        ("bit_flips", JsonValue::U64(s.bit_flips)),
+        ("device_faults", JsonValue::U64(s.device_faults)),
+        ("sim_ps", JsonValue::U64(s.sim_ps)),
+        ("p99_ps", JsonValue::U64(s.p99_ps)),
+        ("digest", JsonValue::U64(s.digest)),
+    ]))
+}
+
+enum FleetLine {
+    Meta(FleetMeta),
+    Shard(usize, ShardStats),
+}
+
+fn parse_fleet_line(line: &str) -> Option<FleetLine> {
+    let line = unseal_line(line)?;
+    let map = parse_line(&line).ok()?;
+    if let Some(schema) = map.get("schema") {
+        if schema.as_str()? != FLEET_SCHEMA {
+            return None;
+        }
+        let device_faults = if map.get("device_faults_set")?.as_bool()? {
+            Some(map.get("device_faults")?.as_u64()?)
+        } else {
+            None
+        };
+        return Some(FleetLine::Meta(FleetMeta {
+            shards: usize::try_from(map.get("shards")?.as_u64()?).ok()?,
+            requests: map.get("requests")?.as_u64()?,
+            epoch: map.get("epoch")?.as_u64()?,
+            seed: map.get("seed")?.as_u64()?,
+            attackers: u16::try_from(map.get("attackers")?.as_u64()?).ok()?,
+            device_faults,
+            dead_shards: usize::try_from(map.get("dead_shards")?.as_u64()?).ok()?,
+        }));
+    }
+    let index = usize::try_from(map.get("shard")?.as_u64()?).ok()?;
+    let stats = ShardStats {
+        requests: map.get("requests")?.as_u64()?,
+        normal_acts: map.get("normal_acts")?.as_u64()?,
+        additional_acts: map.get("additional_acts")?.as_u64()?,
+        detections: map.get("detections")?.as_u64()?,
+        nacks: map.get("nacks")?.as_u64()?,
+        bit_flips: map.get("bit_flips")?.as_u64()?,
+        device_faults: map.get("device_faults")?.as_u64()?,
+        sim_ps: map.get("sim_ps")?.as_u64()?,
+        p99_ps: map.get("p99_ps")?.as_u64()?,
+        digest: map.get("digest")?.as_u64()?,
+    };
+    Some(FleetLine::Shard(index, stats))
+}
+
+/// Loads the fleet journal, salvaging a corrupt tail exactly like the
+/// campaign journal loader: the trusted prefix is kept, the suffix
+/// moved to `journal.corrupt`, and the shards whose lines were lost
+/// simply rerun.
+fn load_fleet_journal(
+    io: &dyn CampaignIo,
+    path: &Path,
+    fc: &FleetConfig,
+    events: &StorageEvents,
+) -> std::io::Result<(Option<FleetMeta>, HashMap<usize, ShardStats>)> {
+    let mut meta = None;
+    let mut out = HashMap::new();
+    let bytes = match io.read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((meta, out)),
+        Err(e) => return Err(e),
+    };
+    let mut good_end = 0usize;
+    for chunk in bytes.split_inclusive(|&b| b == b'\n') {
+        if !chunk.ends_with(b"\n") {
+            break;
+        }
+        let Ok(line) = std::str::from_utf8(&chunk[..chunk.len() - 1]) else {
+            break;
+        };
+        if line.trim().is_empty() {
+            good_end += chunk.len();
+            continue;
+        }
+        match parse_fleet_line(line) {
+            Some(FleetLine::Meta(m)) => {
+                meta.get_or_insert(m);
+            }
+            Some(FleetLine::Shard(index, stats)) => {
+                out.insert(index, stats);
+            }
+            None => break,
+        }
+        good_end += chunk.len();
+    }
+    if good_end < bytes.len() {
+        let suffix = &bytes[good_end..];
+        let dropped = suffix
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .count() as u64;
+        let _ = with_retries(fc.op_retries(), fc.backoff_ms, || {
+            io.write_file(
+                &path.with_file_name(crate::campaign::JOURNAL_CORRUPT_FILE),
+                suffix,
+            )
+        });
+        let _ = with_retries(fc.op_retries(), fc.backoff_ms, || {
+            io.write_atomically(path, &bytes[..good_end])
+        });
+        StorageEvents::bump(&events.journal_salvages);
+        StorageEvents::add(&events.salvaged_lines_dropped, dropped);
+    }
+    Ok((meta, out))
+}
+
+// ---------------------------------------------------------------------
+// The fleet runner.
+// ---------------------------------------------------------------------
+
+/// Runs the fleet under supervision: every shard isolated by
+/// `catch_unwind` behind the [`Supervisor`] ladder, journal and
+/// telemetry flowing through bounded, never-blocking paths, and a
+/// degraded (quarantine-carrying) run completing with a full
+/// [`FleetReport`] instead of aborting.
+///
+/// # Errors
+///
+/// Only unrecoverable setup I/O: the fleet directory cannot be created
+/// or the journal cannot be read at all.
+pub fn run_fleet(fc: &FleetConfig) -> std::io::Result<FleetReport> {
+    let events = StorageEvents::default();
+    if let Some(dir) = &fc.dir {
+        fc.io.create_dir_all(dir)?;
+        sweep_stale_files(fc.io.as_ref(), dir, fc.resume, &events);
+    }
+    let journal_path = fc.dir.as_ref().map(|d| d.join(FLEET_JOURNAL_FILE));
+    let (meta, journaled) = match &journal_path {
+        Some(p) => load_fleet_journal(fc.io.as_ref(), p, fc, &events)?,
+        None => (None, HashMap::new()),
+    };
+
+    // The recorded fleet shape wins over the caller's knobs: a resume
+    // under different flags (even a different device-fault seed) still
+    // reproduces the original fleet, which is what makes per-shard
+    // digests byte-stable across kill/resume cycles.
+    let mut fc_eff = fc.clone();
+    if let Some(m) = &meta {
+        m.apply(&mut fc_eff);
+    }
+    let fc_eff = &fc_eff;
+
+    let dead = dead_map(fc_eff);
+    let writer = journal_path.as_ref().map(|p| {
+        OrderedJournalWriter::new(fc.io.clone(), p.clone(), fc.op_retries(), fc.backoff_ms)
+    });
+    if let Some(w) = &writer {
+        // Journal slot 0 is the meta line; shard `i` owns slot `i + 1`.
+        if meta.is_some() {
+            w.submit(0, None);
+        } else {
+            w.submit(0, Some(meta_line(&FleetMeta::of(fc_eff))));
+        }
+    }
+
+    let (tx, rx) = sync_channel(TELEMETRY_DEPTH);
+    let telemetry = Telemetry::new(fc_eff.telemetry_every as u64, tx);
+    let consumer = match &fc.dir {
+        Some(dir) => {
+            let path = dir.join(FLEET_TELEMETRY_FILE);
+            if !fc.resume {
+                let _ = fc.io.remove_file(&path);
+            }
+            Some(spawn_consumer(
+                fc.io.clone(),
+                path,
+                fc.op_retries(),
+                fc.backoff_ms,
+                rx,
+            ))
+        }
+        None => {
+            drop(rx);
+            None
+        }
+    };
+
+    let supervisor = Supervisor::new(fc.retries, fc.backoff_ms);
+    let fresh = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let indices: Vec<usize> = (0..fc_eff.shards).collect();
+    let results: Vec<Option<ShardOutcome>> =
+        parallel_map(fc_eff.jobs.max(1), &indices, |_, &index| {
+            let slot = index + 1;
+            if let Some(s) = journaled.get(&index) {
+                if let Some(w) = &writer {
+                    w.submit(slot, None);
+                }
+                telemetry.submit(index, Some(s));
+                return Some(ShardOutcome {
+                    index,
+                    salvaged: true,
+                    result: Ok(s.clone()),
+                });
+            }
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            let id = shard_id(fc_eff, index);
+            let task = ShardTask {
+                fc: fc_eff,
+                cfg: shard_config(fc_eff, index),
+                workload: shard_workload(fc_eff, index),
+                id: id.clone(),
+                ckpt: fc.dir.as_ref().map(|d| shard_checkpoint_path(d, index)),
+                sabotage: dead.get(&index).copied(),
+                events: &events,
+            };
+            let result = supervisor.supervise(
+                |_| task.run_once(),
+                |attempt, _| {
+                    if attempt == 1 {
+                        StorageEvents::bump(&events.retried_cells);
+                    }
+                },
+            );
+            if result.is_err() {
+                StorageEvents::bump(&events.quarantined_cells);
+            }
+            // The shard is over either way; its epoch checkpoint is
+            // stale (the id binding is the backstop for kills).
+            if let Some(p) = &task.ckpt {
+                let _ = fc.io.remove_file(p);
+            }
+            let line = result.as_ref().ok().map(|s| shard_line(index, &id, s));
+            if let Some(w) = &writer {
+                w.submit(slot, line);
+            }
+            telemetry.submit(index, result.as_ref().ok());
+            if result.is_ok() {
+                let n = fresh.fetch_add(1, Ordering::SeqCst) + 1;
+                if fc_eff.halt_after.is_some_and(|h| n >= h) {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+            Some(ShardOutcome {
+                index,
+                salvaged: false,
+                result,
+            })
+        });
+
+    let halted = stop.load(Ordering::SeqCst);
+    if halted {
+        if let Some(w) = &writer {
+            w.flush_stragglers();
+        }
+    }
+    if let Some(w) = &writer {
+        StorageEvents::add(&events.journal_write_failures, w.dropped());
+    }
+    drop(writer);
+    let (rows, coalesced) = telemetry.finish();
+    drop(telemetry); // closes the channel; the consumer drains and exits
+    if let Some(handle) = consumer {
+        let _ = handle.join();
+    }
+
+    let shards: Vec<ShardOutcome> = results.into_iter().flatten().collect();
+    let salvaged = shards.iter().filter(|s| s.salvaged).count();
+    let mut summary = FleetSummary {
+        shards: fc_eff.shards,
+        telemetry_rows: rows.len() as u64,
+        telemetry_coalesced: coalesced,
+        ..FleetSummary::default()
+    };
+    for o in &shards {
+        match &o.result {
+            Ok(s) => {
+                summary.completed += 1;
+                summary.requests += s.requests;
+                summary.normal_acts += s.normal_acts;
+                summary.additional_acts += s.additional_acts;
+                summary.detections += s.detections;
+                summary.nacks += s.nacks;
+                summary.bit_flips += s.bit_flips;
+                summary.device_faults += s.device_faults;
+            }
+            Err(_) => summary.quarantined += 1,
+        }
+    }
+    Ok(FleetReport {
+        shards,
+        summary,
+        telemetry: rows,
+        halted,
+        salvaged,
+        storage: events.summary(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet(shards: usize) -> FleetConfig {
+        let mut fc = FleetConfig::new(shards);
+        fc.requests = 300;
+        fc.epoch = 128;
+        fc.telemetry_every = 2;
+        fc
+    }
+
+    #[test]
+    fn a_small_fleet_completes_cleanly() {
+        let fc = small_fleet(6);
+        let r = run_fleet(&fc).expect("fleet");
+        assert_eq!(r.summary.completed, 6);
+        assert_eq!(r.summary.quarantined, 0);
+        assert_eq!(r.summary.requests, 6 * 300);
+        assert!(r.shards.iter().all(|s| s.result.is_ok()));
+        assert!(!r.telemetry.is_empty());
+        assert!(!r.halted);
+    }
+
+    #[test]
+    fn fleet_results_are_identical_across_jobs() {
+        let serial = run_fleet(&small_fleet(8)).expect("serial");
+        let mut fc = small_fleet(8);
+        fc.jobs = 4;
+        let pooled = run_fleet(&fc).expect("pooled");
+        let digests = |r: &FleetReport| -> Vec<Option<u64>> {
+            r.shards
+                .iter()
+                .map(|s| s.result.as_ref().ok().map(|st| st.digest))
+                .collect()
+        };
+        assert_eq!(digests(&serial), digests(&pooled));
+        assert_eq!(serial.telemetry, pooled.telemetry);
+        assert_eq!(serial.summary, pooled.summary);
+    }
+
+    #[test]
+    fn dead_shards_quarantine_and_the_fleet_degrades() {
+        let mut fc = small_fleet(6);
+        fc.dead_shards = 2;
+        fc.retries = 2;
+        let r = run_fleet(&fc).expect("fleet");
+        assert_eq!(r.summary.quarantined, 2);
+        assert_eq!(r.summary.completed, 4);
+        for s in &r.shards {
+            if let Err(e) = &s.result {
+                assert!(
+                    matches!(e, ShardError::Quarantined { attempts: 2, .. }),
+                    "{e}"
+                );
+            }
+        }
+        // Sabotage alternates: one panic, one deadline overrun.
+        let causes: Vec<String> = r
+            .shards
+            .iter()
+            .filter_map(|s| s.result.as_ref().err())
+            .map(|e| e.to_string())
+            .collect();
+        assert!(
+            causes.iter().any(|c| c.contains("injected shard panic")),
+            "{causes:?}"
+        );
+        assert!(
+            causes.iter().any(|c| c.contains("sim-time budget")),
+            "{causes:?}"
+        );
+    }
+
+    #[test]
+    fn device_faults_fire_and_stay_recoverable() {
+        let mut fc = small_fleet(4);
+        fc.requests = 2_000;
+        fc.device_faults = Some(0xD5);
+        let r = run_fleet(&fc).expect("fleet");
+        assert_eq!(
+            r.summary.quarantined, 0,
+            "device plan must stay recoverable"
+        );
+        assert!(r.summary.device_faults > 0, "the plan must actually fire");
+    }
+
+    #[test]
+    fn telemetry_backpressure_coalesces_instead_of_blocking() {
+        let (tx, rx) = sync_channel(1);
+        let t = Telemetry::new(1, tx);
+        let stats = ShardStats {
+            requests: 1,
+            normal_acts: 1,
+            additional_acts: 0,
+            detections: 0,
+            nacks: 0,
+            bit_flips: 0,
+            device_faults: 0,
+            sim_ps: 1,
+            p99_ps: 0,
+            digest: 0,
+        };
+        // Nobody drains `rx`: after the single buffered row, every
+        // newer row must coalesce, never block.
+        for i in 0..10 {
+            t.submit(i, Some(&stats));
+        }
+        let (rows, coalesced) = t.finish();
+        assert_eq!(rows.len(), 10, "the canonical sequence keeps every row");
+        assert!(coalesced > 0, "a stalled consumer must cost coalesced rows");
+        assert!(coalesced < 10, "the first row fit the channel");
+        let streamed = rx.try_recv().expect("the buffered row");
+        assert_eq!(streamed, rows[0]);
+    }
+
+    #[test]
+    fn telemetry_rows_parse_and_carry_the_schema() {
+        let fc = small_fleet(4);
+        let r = run_fleet(&fc).expect("fleet");
+        for row in &r.telemetry {
+            let line = unseal_line(row).expect("sealed row");
+            let map = parse_line(&line).expect("parseable row");
+            assert_eq!(map["schema"].as_str(), Some(TELEMETRY_SCHEMA));
+            assert!(map["shards_done"].as_u64().is_some());
+        }
+        let last = r.telemetry.last().expect("final row");
+        let map = parse_line(&unseal_line(last).unwrap()).unwrap();
+        assert_eq!(map["shards_done"].as_u64(), Some(4));
+    }
+
+    #[test]
+    fn meta_and_shard_lines_round_trip() {
+        let m = FleetMeta {
+            shards: 64,
+            requests: 2_000,
+            epoch: 1_024,
+            seed: 0xFEED,
+            attackers: 3,
+            device_faults: Some(0xD5),
+            dead_shards: 2,
+        };
+        match parse_fleet_line(&meta_line(&m)) {
+            Some(FleetLine::Meta(parsed)) => assert_eq!(parsed, m),
+            _ => panic!("meta line must round trip"),
+        }
+        let s = ShardStats {
+            requests: 2_000,
+            normal_acts: 1_900,
+            additional_acts: 12,
+            detections: 3,
+            nacks: 5,
+            bit_flips: 0,
+            device_faults: 7,
+            sim_ps: 123_456_789,
+            p99_ps: 99_000,
+            digest: 0xDEAD_BEEF,
+        };
+        match parse_fleet_line(&shard_line(17, "shard-0017/cafe", &s)) {
+            Some(FleetLine::Shard(index, parsed)) => {
+                assert_eq!(index, 17);
+                assert_eq!(parsed, s);
+            }
+            _ => panic!("shard line must round trip"),
+        }
+    }
+
+    #[test]
+    fn dead_map_is_deterministic_and_alternates() {
+        let mut fc = FleetConfig::new(100);
+        fc.dead_shards = 6;
+        fc.device_faults = Some(0xAB);
+        let a = dead_map(&fc);
+        let b = dead_map(&fc);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        assert!(a.values().any(|s| matches!(s, Sabotage::Panic { .. })));
+        assert!(a.values().any(|s| matches!(s, Sabotage::Deadline)));
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`parallel`] — the fixed-size worker pool behind `--jobs`.
 //! * [`cio`] — campaign storage I/O: durable writes, injectable
 //!   storage faults, and the self-healing recovery ledger.
+//! * [`supervisor`] — panic isolation and the retry-all shard ladder.
+//! * [`fleet`] — the sharded, degrade-don't-die fleet runtime behind
+//!   `twice-exp fleet`.
 //!
 //! # Examples
 //!
@@ -50,12 +53,14 @@ pub mod checkpoint;
 pub mod cio;
 pub mod config;
 pub mod experiments;
+pub mod fleet;
 pub mod journal;
 pub mod metrics;
 pub mod outcome;
 pub mod parallel;
 pub mod report;
 pub mod runner;
+pub mod supervisor;
 pub mod system;
 pub mod verify;
 

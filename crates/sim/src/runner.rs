@@ -10,7 +10,7 @@ use twice_mitigations::DefenseKind;
 use twice_workloads::attack::{HammerAttack, HammerShape};
 use twice_workloads::fft::FftSource;
 use twice_workloads::mica::MicaSource;
-use twice_workloads::mix::{mix_blend, mix_high, spec_rate};
+use twice_workloads::mix::{mix_blend, mix_high, spec_rate, tenant_blend};
 use twice_workloads::pagerank::PageRankSource;
 use twice_workloads::radix::RadixSource;
 use twice_workloads::spec::app;
@@ -42,6 +42,16 @@ pub enum WorkloadKind {
     S3,
     /// A configurable hammer attack on bank 0.
     Attack(HammerShape),
+    /// A 16-tenant fleet blend: `attackers` hammer sources (shapes
+    /// rotating over single-, double-, many-sided, and decoy) mixed
+    /// with MAPKI-weighted SPEC tenants; `salt` decorrelates shards
+    /// sharing one base seed.
+    FleetMix {
+        /// How many of the 16 tenants are attackers (capped at 8).
+        attackers: u16,
+        /// Per-shard seed salt, folded into `cfg.seed`.
+        salt: u64,
+    },
 }
 
 impl fmt::Display for WorkloadKind {
@@ -58,6 +68,9 @@ impl fmt::Display for WorkloadKind {
             WorkloadKind::S2 => write!(f, "S2"),
             WorkloadKind::S3 => write!(f, "S3"),
             WorkloadKind::Attack(shape) => write!(f, "attack({shape:?})"),
+            WorkloadKind::FleetMix { attackers, salt } => {
+                write!(f, "fleet-mix(a{attackers},s{salt:x})")
+            }
         }
     }
 }
@@ -112,6 +125,9 @@ pub fn try_build_source(
         WorkloadKind::S2 => Box::new(S2CbtAdversarial::standard(topo, seed)),
         WorkloadKind::S3 => Box::new(S3SingleRowHammer::new(topo, seed)),
         WorkloadKind::Attack(shape) => Box::new(HammerAttack::new(topo, 0, shape.clone())),
+        WorkloadKind::FleetMix { attackers, salt } => {
+            Box::new(tenant_blend(topo, seed ^ salt, *attackers))
+        }
     })
 }
 
@@ -216,6 +232,10 @@ mod tests {
             WorkloadKind::S2,
             WorkloadKind::S3,
             double_sided(100),
+            WorkloadKind::FleetMix {
+                attackers: 4,
+                salt: 0x42,
+            },
         ];
         for w in workloads {
             let label = w.to_string();

@@ -1,0 +1,285 @@
+//! Shard supervision: panic isolation and the retry-all ladder.
+//!
+//! The fleet runtime (see [`crate::fleet`]) runs O(10³) shard
+//! simulations; any one of them may panic, blow a deadline, or lose its
+//! storage. The campaign supervisor in [`crate::campaign`] retries only
+//! I/O failures, because its grid cells are deterministic: a panicking
+//! cell panics again. Fleet shards are different — they restart from
+//! their *last epoch checkpoint*, so a fault that struck mid-flight
+//! (a torn checkpoint, a transient I/O stall, even a panic whose
+//! trigger state was checkpointed away) can genuinely heal on retry.
+//! The [`Supervisor`] therefore climbs the full ladder for **every**
+//! failure kind: retry with backoff → whole-shard restart from the last
+//! checkpoint → [`ShardError::Quarantined`]. The fleet degrades instead
+//! of aborting; quarantine is the floor, never a crash.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    // True while this thread is inside a supervised body. The quiet
+    // panic hook consults it: a panic raised here is caught and fed to
+    // the retry ladder, so the default "thread panicked" report (and
+    // backtrace) would only flood stderr — once per dead shard per
+    // attempt, across a thousand-shard fleet.
+    static SUPERVISED: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a forwarding panic hook that stays
+/// silent for panics raised inside [`Supervisor::supervise`] and
+/// delegates everything else to the previously installed hook.
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SUPERVISED.with(Cell::get) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// RAII marker for the supervised section; restores the flag's prior
+/// value so nested supervisors stay quiet for their whole extent.
+struct SupervisedScope {
+    prior: bool,
+}
+
+impl SupervisedScope {
+    fn enter() -> SupervisedScope {
+        let prior = SUPERVISED.with(|f| f.replace(true));
+        SupervisedScope { prior }
+    }
+}
+
+impl Drop for SupervisedScope {
+    fn drop(&mut self) {
+        let prior = self.prior;
+        SUPERVISED.with(|f| f.set(prior));
+    }
+}
+
+/// Why a shard attempt (or the whole shard) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The shard body panicked; the payload is preserved.
+    Panicked(String),
+    /// The host wall-clock budget was exceeded at an epoch boundary.
+    WallClockExceeded {
+        /// The budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+        /// Requests completed when the watchdog fired.
+        done: u64,
+    },
+    /// The simulated-time budget was exceeded at an epoch boundary.
+    SimTimeExceeded {
+        /// The budget that was exceeded, in picoseconds.
+        budget_ps: u64,
+        /// Requests completed when the watchdog fired.
+        done: u64,
+    },
+    /// A checkpoint or journal write kept failing after per-operation
+    /// retries.
+    Io(String),
+    /// The shard could not even be constructed (bad config, controller
+    /// retry exhaustion).
+    Invalid(String),
+    /// Every attempt failed; the shard is out of the fleet. `cause` is
+    /// the final attempt's failure.
+    Quarantined {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The last attempt's failure, rendered.
+        cause: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Panicked(msg) => write!(f, "shard panicked: {msg}"),
+            ShardError::WallClockExceeded { budget_ms, done } => {
+                write!(
+                    f,
+                    "wall-clock budget {budget_ms}ms exceeded after {done} requests"
+                )
+            }
+            ShardError::SimTimeExceeded { budget_ps, done } => {
+                write!(
+                    f,
+                    "sim-time budget {budget_ps}ps exceeded after {done} requests"
+                )
+            }
+            ShardError::Io(why) => write!(f, "shard I/O failed: {why}"),
+            ShardError::Invalid(why) => write!(f, "shard invalid: {why}"),
+            ShardError::Quarantined { attempts, cause } => {
+                write!(f, "quarantined after {attempts} attempts: {cause}")
+            }
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload the way the campaign runner does:
+/// string payloads verbatim, anything else a fixed marker.
+pub fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// The retry-all supervision ladder for one shard.
+#[derive(Debug, Clone, Copy)]
+pub struct Supervisor {
+    attempts: u32,
+    backoff_ms: u64,
+}
+
+impl Supervisor {
+    /// A supervisor making up to `attempts` attempts (floored at 1)
+    /// with linear backoff between them.
+    pub fn new(attempts: u32, backoff_ms: u64) -> Supervisor {
+        Supervisor {
+            attempts: attempts.max(1),
+            backoff_ms,
+        }
+    }
+
+    /// Runs `body` under `catch_unwind` until it succeeds or the
+    /// attempt budget is spent, then quarantines. Every failure kind is
+    /// retried — the body restarts from its last epoch checkpoint, so
+    /// transient faults heal while deterministic ones re-fail and land
+    /// in quarantine with their final cause preserved. `on_retry` is
+    /// called before each re-attempt with the attempt number that just
+    /// failed (so the caller can count first retries on its ledger).
+    ///
+    /// Panics raised inside `body` do not reach the default panic hook:
+    /// they are caught here, converted to [`ShardError::Panicked`], and
+    /// reported through the ladder instead of spraying backtraces on
+    /// stderr once per attempt.
+    pub fn supervise<T>(
+        &self,
+        mut body: impl FnMut(u32) -> Result<T, ShardError>,
+        mut on_retry: impl FnMut(u32, &ShardError),
+    ) -> Result<T, ShardError> {
+        install_quiet_hook();
+        let mut last = None;
+        for attempt in 1..=self.attempts {
+            let outcome = {
+                let _quiet = SupervisedScope::enter();
+                catch_unwind(AssertUnwindSafe(|| body(attempt)))
+            };
+            let err = match outcome {
+                Ok(Ok(value)) => return Ok(value),
+                Ok(Err(e)) => e,
+                Err(payload) => ShardError::Panicked(panic_message(payload)),
+            };
+            if attempt < self.attempts {
+                on_retry(attempt, &err);
+                if self.backoff_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        self.backoff_ms.saturating_mul(u64::from(attempt)),
+                    ));
+                }
+            }
+            last = Some(err);
+        }
+        let cause = last.expect("at least one attempt ran").to_string();
+        Err(ShardError::Quarantined {
+            attempts: self.attempts,
+            cause,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_never_retries() {
+        let mut retries = 0;
+        let out = Supervisor::new(3, 0).supervise(|_| Ok::<_, ShardError>(7), |_, _| retries += 1);
+        assert_eq!(out, Ok(7));
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn transient_failures_heal_on_retry() {
+        let mut retries = 0;
+        let out = Supervisor::new(3, 0).supervise(
+            |attempt| {
+                if attempt < 3 {
+                    Err(ShardError::Io("flaky disk".to_string()))
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |_, _| retries += 1,
+        );
+        assert_eq!(out, Ok(3));
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn panics_are_caught_retried_and_quarantined() {
+        let mut attempts_seen = Vec::new();
+        let out: Result<(), _> = Supervisor::new(2, 0).supervise(
+            |attempt| panic!("injected shard panic on attempt {attempt}"),
+            |attempt, err| {
+                assert!(matches!(err, ShardError::Panicked(_)));
+                attempts_seen.push(attempt);
+            },
+        );
+        match out {
+            Err(ShardError::Quarantined { attempts, cause }) => {
+                assert_eq!(attempts, 2);
+                assert!(cause.contains("injected shard panic"), "{cause}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        assert_eq!(attempts_seen, vec![1]);
+    }
+
+    #[test]
+    fn deadline_overruns_climb_the_full_ladder_too() {
+        // Unlike the campaign supervisor, watchdog failures are retried:
+        // a shard restarting from its checkpoint may fit the budget.
+        let mut tries = 0u32;
+        let out: Result<(), _> = Supervisor::new(3, 0).supervise(
+            |_| {
+                tries += 1;
+                Err(ShardError::SimTimeExceeded {
+                    budget_ps: 1,
+                    done: 128,
+                })
+            },
+            |_, _| {},
+        );
+        assert_eq!(tries, 3);
+        assert!(matches!(
+            out,
+            Err(ShardError::Quarantined { attempts: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn attempt_floor_is_one() {
+        let mut tries = 0u32;
+        let _ = Supervisor::new(0, 0).supervise(
+            |_| -> Result<(), _> {
+                tries += 1;
+                Err(ShardError::Invalid("x".to_string()))
+            },
+            |_, _| {},
+        );
+        assert_eq!(tries, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! `OrderedJournalWriter` under hostile storage: failed appends must be
+//! dropped and counted (never allowed to stall the grid-order prefix),
+//! transient failures must heal within the per-append retry budget, and
+//! a worker that dies while holding the journal mutex must not wedge
+//! anyone else's flush.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use twice_sim::cio::{CampaignIo, RealIo};
+use twice_sim::journal::OrderedJournalWriter;
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("twice-jrobust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A storage layer whose appends fail until its failure budget is
+/// spent, then delegate to the real filesystem. Every other operation
+/// is passed straight through.
+#[derive(Debug)]
+struct FlakyAppendIo {
+    budget: AtomicU64,
+    attempts: AtomicU64,
+}
+
+impl FlakyAppendIo {
+    fn failing(times: u64) -> FlakyAppendIo {
+        FlakyAppendIo {
+            budget: AtomicU64::new(times),
+            attempts: AtomicU64::new(0),
+        }
+    }
+}
+
+impl CampaignIo for FlakyAppendIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        RealIo.create_dir_all(dir)
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        RealIo.read(path)
+    }
+    fn write_atomically(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        RealIo.write_atomically(path, bytes)
+    }
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        RealIo.write_file(path, bytes)
+    }
+    fn append_line(&self, path: &Path, line: &str) -> io::Result<()> {
+        self.attempts.fetch_add(1, Ordering::SeqCst);
+        let spent = self
+            .budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+            .is_ok();
+        if spent {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected append failure",
+            ));
+        }
+        RealIo.append_line(path, line)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        RealIo.remove_file(path)
+    }
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        RealIo.list_dir(dir)
+    }
+}
+
+#[test]
+fn a_dead_disk_drops_and_counts_every_line_but_the_prefix_advances() {
+    let path = temp_journal("dead");
+    let io = Arc::new(FlakyAppendIo::failing(u64::MAX));
+    let writer = OrderedJournalWriter::new(io.clone(), path.clone(), 3, 0);
+    writer.submit(0, Some("zero".into()));
+    writer.submit(2, Some("two".into()));
+    writer.submit(1, Some("one".into()));
+    assert_eq!(
+        writer.dropped(),
+        3,
+        "every line is dropped exactly once, in grid order"
+    );
+    assert_eq!(
+        io.attempts.load(Ordering::SeqCst),
+        9,
+        "each drop must first spend the full 3-attempt retry budget"
+    );
+    assert!(!path.exists(), "nothing may reach a dead disk");
+    // The cursor moved past the drops: a late straggler flush has
+    // nothing left to write and drops nothing twice.
+    writer.flush_stragglers();
+    assert_eq!(writer.dropped(), 3);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_transient_append_failure_heals_within_the_retry_budget() {
+    let path = temp_journal("flaky");
+    let io = Arc::new(FlakyAppendIo::failing(2));
+    let writer = OrderedJournalWriter::new(io, path.clone(), 3, 0);
+    writer.submit(0, Some("zero".into()));
+    writer.submit(1, Some("one".into()));
+    assert_eq!(writer.dropped(), 0, "retries must absorb the burst");
+    assert_eq!(
+        std::fs::read_to_string(&path).expect("journal readable"),
+        "zero\none\n",
+        "healed lines land in grid order"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// An append that panics mid-flush, once — the writer holds its mutex
+/// at that moment, so this poisons it the way a dying worker would.
+#[derive(Debug)]
+struct PanicOnceIo {
+    armed: AtomicU64,
+}
+
+impl CampaignIo for PanicOnceIo {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        RealIo.create_dir_all(dir)
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        RealIo.read(path)
+    }
+    fn write_atomically(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        RealIo.write_atomically(path, bytes)
+    }
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        RealIo.write_file(path, bytes)
+    }
+    fn append_line(&self, path: &Path, line: &str) -> io::Result<()> {
+        if self.armed.swap(0, Ordering::SeqCst) == 1 {
+            panic!("worker died mid-append");
+        }
+        RealIo.append_line(path, line)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        RealIo.remove_file(path)
+    }
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        RealIo.list_dir(dir)
+    }
+}
+
+#[test]
+fn a_worker_dying_mid_append_poisons_nothing_for_the_survivors() {
+    let path = temp_journal("poison");
+    let writer = OrderedJournalWriter::new(
+        Arc::new(PanicOnceIo {
+            armed: AtomicU64::new(1),
+        }),
+        path.clone(),
+        1,
+        0,
+    );
+    // Index 0's flush panics while the journal lock is held.
+    let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        writer.submit(0, Some("never lands".into()));
+    }));
+    assert!(died.is_err(), "the injected panic must fire");
+    // Survivors keep submitting through the recovered mutex; their
+    // lines reach the file in grid order.
+    writer.submit(2, Some("two".into()));
+    writer.submit(1, Some("one".into()));
+    writer.flush_stragglers();
+    assert_eq!(
+        std::fs::read_to_string(&path).expect("journal readable"),
+        "one\ntwo\n",
+        "the dead worker loses only its own line"
+    );
+    assert_eq!(writer.dropped(), 0);
+    let _ = std::fs::remove_file(&path);
+}

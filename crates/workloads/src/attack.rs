@@ -32,6 +32,17 @@ pub enum HammerShape {
         /// The aggressor rows, hammered round-robin.
         aggressors: Vec<RowId>,
     },
+    /// One true aggressor interleaved with decoy rows: the decoys draw
+    /// no disturbance of their own worth tracking but inflate a small
+    /// tracker's working set, flushing the real aggressor out of
+    /// capacity-bound tables (the TRR-style evasion TWiCe's sizing
+    /// argument §4.3 is meant to survive).
+    Decoy {
+        /// The row actually being hammered.
+        aggressor: RowId,
+        /// Cover rows cycled between aggressor activations.
+        decoys: Vec<RowId>,
+    },
 }
 
 impl HammerShape {
@@ -44,6 +55,14 @@ impl HammerShape {
                 .flatten()
                 .collect(),
             HammerShape::ManySided { aggressors } => aggressors.clone(),
+            // Interleave [a, d1, a, d2, ...] so the true aggressor keeps
+            // half the activation rate while every decoy churns the
+            // tracker between its activations.
+            HammerShape::Decoy { aggressor, decoys } => decoys
+                .iter()
+                .flat_map(|d| [*aggressor, *d])
+                .chain(decoys.is_empty().then_some(*aggressor))
+                .collect(),
         }
     }
 }
@@ -171,6 +190,33 @@ mod tests {
     fn double_sided_at_edge_has_one_aggressor() {
         let shape = HammerShape::DoubleSided { victim: RowId(0) };
         assert_eq!(shape.aggressors(), vec![RowId(1)]);
+    }
+
+    #[test]
+    fn decoy_gives_the_aggressor_half_the_activations() {
+        let topo = Topology::paper_default();
+        let attack = HammerAttack::new(
+            &topo,
+            0,
+            HammerShape::Decoy {
+                aggressor: RowId(50),
+                decoys: vec![RowId(200), RowId(300), RowId(400)],
+            },
+        );
+        let rows: Vec<u32> = attack.take_requests(12).map(|(_, a)| a.row.0).collect();
+        assert_eq!(
+            rows,
+            vec![50, 200, 50, 300, 50, 400, 50, 200, 50, 300, 50, 400]
+        );
+    }
+
+    #[test]
+    fn decoy_without_decoys_degenerates_to_single_sided() {
+        let shape = HammerShape::Decoy {
+            aggressor: RowId(5),
+            decoys: vec![],
+        };
+        assert_eq!(shape.aggressors(), vec![RowId(5)]);
     }
 
     #[test]
