@@ -323,6 +323,7 @@ impl RowHammerDefense for TwiceEngine {
 
     fn on_activate(&mut self, bank: BankId, row: RowId, now: Time) -> DefenseResponse {
         self.stats.acts += 1;
+        twice_obs::bump(twice_obs::Ctr::CoreActs);
         if self.injector.fire(FaultKind::CounterBitFlip) {
             self.inject_seu(bank);
         }
@@ -356,6 +357,7 @@ impl RowHammerDefense for TwiceEngine {
             RecordOutcome::Counted { act_cnt } if act_cnt >= self.params.th_rh => {
                 table.remove(row);
                 self.stats.arrs += 1;
+                twice_obs::bump(twice_obs::Ctr::CoreArrs);
                 DefenseResponse {
                     detection: Some(Detection {
                         bank,
@@ -371,6 +373,7 @@ impl RowHammerDefense for TwiceEngine {
                 // Fail safe: refresh the row's neighbors immediately.
                 self.stats.table_full_events += 1;
                 self.stats.arrs += 1;
+                twice_obs::bump(twice_obs::Ctr::CoreArrs);
                 DefenseResponse {
                     detection: Some(Detection {
                         bank,
@@ -389,6 +392,7 @@ impl RowHammerDefense for TwiceEngine {
                 table.remove(row);
                 self.stats.corruption_events += 1;
                 self.stats.arrs += 1;
+                twice_obs::bump(twice_obs::Ctr::CoreArrs);
                 DefenseResponse {
                     detection: Some(Detection {
                         bank,
@@ -415,6 +419,7 @@ impl RowHammerDefense for TwiceEngine {
             if !self.scratch_victims.is_empty() {
                 self.stats.corruption_events += self.scratch_victims.len() as u64;
                 self.stats.arrs += self.scratch_victims.len() as u64;
+                twice_obs::add(twice_obs::Ctr::CoreArrs, self.scratch_victims.len() as u64);
                 let first = self.scratch_victims[0];
                 response.arr = Some(first);
                 response.detection = Some(Detection {
@@ -429,7 +434,14 @@ impl RowHammerDefense for TwiceEngine {
             }
         }
         let table = &mut self.tables[bank.index()];
+        let _prune_span = twice_obs::span(twice_obs::SpanId::CorePrune);
+        twice_obs::bump(twice_obs::Ctr::CorePrunePasses);
+        let occ_before = table.occupancy();
         table.prune(self.th_pi);
+        twice_obs::add(
+            twice_obs::Ctr::CorePrunedEntries,
+            occ_before.saturating_sub(table.occupancy()) as u64,
+        );
         debug_invariant!(
             table.occupancy() <= table.capacity(),
             "occupancy exceeds capacity after prune"

@@ -102,6 +102,15 @@ impl PaTwice {
 
     /// Finds `(set, way)` of `row`, counting probes.
     fn find(&mut self, row: RowId) -> (Option<(usize, usize)>, bool) {
+        let before = self.stats.set_probes;
+        let out = self.find_inner(row);
+        let probes = self.stats.set_probes - before;
+        twice_obs::add(twice_obs::Ctr::CorePaSetProbes, probes);
+        twice_obs::record(twice_obs::HistId::CoreProbeSets, probes);
+        out
+    }
+
+    fn find_inner(&mut self, row: RowId) -> (Option<(usize, usize)>, bool) {
         let pref = self.preferred_set(row);
         self.stats.set_probes += 1;
         if let Some(way) = self.probe_set(pref, row) {
@@ -169,6 +178,7 @@ impl CounterTable for PaTwice {
                 self.sets[s][w] = Some(TableEntry::new(row));
                 self.sb[s][pref] += 1;
                 self.stats.borrowed_insertions += 1;
+                twice_obs::bump(twice_obs::Ctr::CorePaBorrowedInserts);
                 return RecordOutcome::Counted { act_cnt: 1 };
             }
         }

@@ -146,6 +146,7 @@ impl Bank {
         self.last_act = Some(now);
         self.col_ready_at = now + self.timings.t_rcd;
         self.occupancy = Occupancy::Free;
+        twice_obs::bump(twice_obs::Ctr::DramBankTransitions);
         Ok(())
     }
 
@@ -172,6 +173,7 @@ impl Bank {
         }
         self.state = BankState::Precharged;
         self.set_ready(now + self.timings.t_rp, TimingKind::Trp);
+        twice_obs::bump(twice_obs::Ctr::DramBankTransitions);
         Ok(())
     }
 
@@ -213,6 +215,7 @@ impl Bank {
         let until = now + self.timings.t_rfc;
         self.set_ready(until, TimingKind::Trfc);
         self.occupancy = Occupancy::Refreshing(until);
+        twice_obs::bump(twice_obs::Ctr::DramBankTransitions);
         Ok(())
     }
 
@@ -247,6 +250,7 @@ impl Bank {
         let until = now + Bank::arr_duration_for(&self.timings, victims);
         self.set_ready(until, TimingKind::Arr);
         self.occupancy = Occupancy::ArrInProgress(until);
+        twice_obs::bump(twice_obs::Ctr::DramBankTransitions);
         Ok(row)
     }
 

@@ -141,6 +141,10 @@ impl Rcd {
     fn nack(&mut self, rank: usize, retry_at: Time, reason: NackReason) -> RcdOutcome {
         self.nacks += 1;
         self.ranks[rank].record_nack(reason == NackReason::Injected);
+        twice_obs::bump(match reason {
+            NackReason::ArrInProgress => twice_obs::Ctr::DramNacksArr,
+            NackReason::Injected => twice_obs::Ctr::DramNacksInjected,
+        });
         RcdOutcome::Nack { retry_at, reason }
     }
 
@@ -282,6 +286,7 @@ impl Rcd {
                 }
             }
             DramCommand::Refresh { bank } => {
+                let _refresh_span = twice_obs::span(twice_obs::SpanId::DramRefresh);
                 // Chaos: the refresh window is dropped *inside* the
                 // device — the command is accepted on the bus and the
                 // bank cycles for tRFC, but the covered rowset stays
@@ -327,6 +332,7 @@ impl Rcd {
     /// Propagates the device's validation (every bank precharged and
     /// ready); no defense hooks run on failure.
     pub fn refresh_all(&mut self, rank: usize, now: Time) -> Result<(), DramError> {
+        let _refresh_span = twice_obs::span(twice_obs::SpanId::DramRefresh);
         self.ranks[rank].refresh_all(now)?;
         for bank in 0..self.ranks[rank].config().banks {
             let gbank = self.bank_id_of(rank, bank);

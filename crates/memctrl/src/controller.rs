@@ -333,6 +333,11 @@ impl ChannelController {
             access,
         });
         self.next_id += 1;
+        twice_obs::bump(twice_obs::Ctr::MemctrlRequests);
+        twice_obs::record(
+            twice_obs::HistId::MemctrlQueueDepth,
+            self.queue.len() as u64,
+        );
     }
 
     /// Runs the controller over a request trace, keeping the queue as
@@ -369,6 +374,19 @@ impl ChannelController {
             }
             self.service_one()?;
         }
+        Ok(())
+    }
+
+    /// Services queued requests until the queue is empty, under one
+    /// `memctrl.drain` timing span.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::RetryExhausted`] if a command's nack-retry
+    /// budget runs out (only possible under fault injection).
+    pub fn drain(&mut self) -> Result<(), ControllerError> {
+        let _drain_span = twice_obs::span(twice_obs::SpanId::MemctrlDrain);
+        while self.service_one()? {}
         Ok(())
     }
 
@@ -555,6 +573,7 @@ impl ChannelController {
                             }
                             Err(DramError::Timing(v)) => {
                                 debug_assert!(v.ready_at > self.now);
+                                twice_obs::bump(twice_obs::Ctr::DramRefreshStalls);
                                 self.now = v.ready_at;
                             }
                             Err(e) => panic!("REFab failed: {e}"),
@@ -705,6 +724,7 @@ impl ChannelController {
             match self.rcd.issue(rank, cmd, self.now) {
                 Ok(RcdOutcome::Nack { retry_at, .. }) => {
                     debug_assert!(retry_at > self.now);
+                    twice_obs::bump(twice_obs::Ctr::MemctrlCmdRetries);
                     self.now = retry.on_nack(&self.cfg.retry, cmd, retry_at, self.now)?;
                 }
                 Ok(outcome) => {
@@ -714,6 +734,9 @@ impl ChannelController {
                 }
                 Err(DramError::Timing(v)) => {
                     debug_assert!(v.ready_at > self.now, "{v}");
+                    if matches!(cmd, DramCommand::Refresh { .. }) {
+                        twice_obs::bump(twice_obs::Ctr::DramRefreshStalls);
+                    }
                     self.now = v.ready_at;
                 }
                 Err(e) => panic!("controller issued an illegal command {cmd}: {e}"),

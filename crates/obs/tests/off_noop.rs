@@ -1,0 +1,37 @@
+//! The `obs-off` contract: with the feature on, every probe is a no-op
+//! against a no-op registry, the span guard is a zero-sized type, and a
+//! snapshot is empty no matter how much "recording" happened. This is
+//! the test the DESIGN.md §5h zero-cost claim leans on: a ZST guard and
+//! empty `#[inline(always)]` bodies leave nothing for codegen to emit.
+#![cfg(feature = "obs-off")]
+
+use twice_obs::{
+    bump, local_counters, record, reset, set_tracing, snapshot, span, tracing, Ctr, HistId,
+    SpanGuard, SpanId, NUM_CTRS,
+};
+
+#[test]
+fn span_guard_is_zero_sized() {
+    assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+}
+
+#[test]
+fn every_probe_is_a_no_op() {
+    reset();
+    set_tracing(true);
+    assert!(!tracing(), "tracing cannot be armed under obs-off");
+    for _ in 0..1_000 {
+        bump(Ctr::CoreActs);
+        record(HistId::MemctrlQueueDepth, 42);
+        let _s = span(SpanId::SimEpoch);
+    }
+    let s = snapshot();
+    assert!(s.is_empty(), "the no-op registry must stay empty");
+    assert_eq!(s.counter(Ctr::CoreActs), 0);
+    assert_eq!(s.span_hist(SpanId::SimEpoch).count(), 0);
+    assert_eq!(local_counters(), [0u64; NUM_CTRS]);
+    assert_eq!(
+        s.chrome_trace_json(),
+        "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+    );
+}

@@ -1,0 +1,172 @@
+//! Histogram correctness properties (ISSUE 7 satellite):
+//!
+//! 1. `Log2Hist::quantile_bounds(q)` always brackets the *exact*
+//!    quantile of the inserted samples, for every quantile and every
+//!    sample distribution tried.
+//! 2. Merging histograms is order-independent: commutative and
+//!    associative, and any shard-then-merge partition of a sample set
+//!    equals the histogram of the whole set — the property the
+//!    thread-local arena merge relies on.
+//!
+//! Hand-rolled generator (SplitMix64) — the workspace builds offline,
+//! so no proptest.
+
+use twice_obs::Log2Hist;
+
+/// SplitMix64, same construction as `twice_common::rng` (inlined here
+/// so `twice-obs` stays dependency-free even in dev).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Draws a sample set with a shape picked by `case`: uniform small,
+/// uniform huge, power-law, constant, zero-heavy, or single-sample.
+fn draw_samples(rng: &mut Rng, case: u64) -> Vec<u64> {
+    let n = 1 + rng.below(400) as usize;
+    match case % 6 {
+        0 => (0..n).map(|_| rng.below(1_000)).collect(),
+        1 => (0..n).map(|_| rng.next_u64()).collect(),
+        2 => (0..n).map(|_| 1u64 << rng.below(63)).collect(),
+        3 => vec![rng.below(1 << 20); n],
+        4 => (0..n)
+            .map(|_| if rng.below(2) == 0 { 0 } else { rng.below(50) })
+            .collect(),
+        _ => vec![rng.next_u64()],
+    }
+}
+
+fn hist_of(samples: &[u64]) -> Log2Hist {
+    let mut h = Log2Hist::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// The exact `q`-quantile under the same rank convention the histogram
+/// documents: the sorted sample at 1-based rank `ceil(q*n)`, clamped to
+/// `[1, n]`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+#[test]
+fn quantile_bounds_bracket_the_exact_quantile() {
+    let mut rng = Rng(0x0B5E_7E57);
+    let quantiles = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+    for case in 0..500u64 {
+        let mut samples = draw_samples(&mut rng, case);
+        let h = hist_of(&samples);
+        samples.sort_unstable();
+        for &q in &quantiles {
+            let exact = exact_quantile(&samples, q);
+            let (lo, hi) = h.quantile_bounds(q);
+            assert!(
+                lo <= exact && exact <= hi,
+                "case {case} q={q}: exact {exact} outside [{lo}, {hi}] \
+                 (n={}, max={})",
+                samples.len(),
+                h.max(),
+            );
+        }
+        // Exact aggregates stay exact regardless of bucketing.
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.max(), *samples.last().expect("non-empty"));
+        assert_eq!(h.sum(), samples.iter().map(|&s| u128::from(s)).sum());
+    }
+}
+
+#[test]
+fn quantile_bounds_are_at_most_a_factor_of_two_apart() {
+    let mut rng = Rng(0x2B1D);
+    for case in 0..200u64 {
+        let samples = draw_samples(&mut rng, case);
+        let h = hist_of(&samples);
+        let (lo, hi) = h.quantile_bounds(0.99);
+        // Log2 buckets: the upper bound is < 2x the lower, except the
+        // zero bucket (0,0) and the top bucket [2^62, max].
+        if lo > 0 && lo < (1u64 << 62) {
+            assert!(hi < lo.saturating_mul(2), "case {case}: ({lo}, {hi})");
+        }
+    }
+}
+
+#[test]
+fn merge_is_commutative() {
+    let mut rng = Rng(0x00C0_FFEE);
+    for case in 0..300u64 {
+        let a = hist_of(&draw_samples(&mut rng, case));
+        let b = hist_of(&draw_samples(&mut rng, case + 1));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "case {case}");
+    }
+}
+
+#[test]
+fn merge_is_associative() {
+    let mut rng = Rng(0xA550C);
+    for case in 0..300u64 {
+        let a = hist_of(&draw_samples(&mut rng, case));
+        let b = hist_of(&draw_samples(&mut rng, case + 1));
+        let c = hist_of(&draw_samples(&mut rng, case + 2));
+        // (a + b) + c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right, "case {case}");
+    }
+}
+
+#[test]
+fn any_partition_merges_to_the_whole() {
+    // The arena contract: samples recorded across k threads and merged
+    // in any order equal the single-histogram recording of all samples.
+    let mut rng = Rng(0x511A2D);
+    for case in 0..200u64 {
+        let samples = draw_samples(&mut rng, case);
+        let whole = hist_of(&samples);
+        let k = 1 + rng.below(5) as usize;
+        let mut shards = vec![Log2Hist::new(); k];
+        for &s in &samples {
+            shards[rng.below(k as u64) as usize].record(s);
+        }
+        // Merge in a rotated order to vary the fold.
+        let start = rng.below(k as u64) as usize;
+        let mut merged = Log2Hist::new();
+        for i in 0..k {
+            merged.merge(&shards[(start + i) % k]);
+        }
+        assert_eq!(merged, whole, "case {case} (k={k})");
+    }
+}
+
+#[test]
+fn empty_histogram_bounds_are_zero() {
+    let h = Log2Hist::new();
+    assert_eq!(h.quantile_bounds(0.5), (0, 0));
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.mean(), 0);
+    assert!(h.is_empty());
+}

@@ -12,6 +12,8 @@
 //! $ twice-exp chaos --storage-faults 7 --journal out/  # storage torture
 //! $ twice-exp fleet --shards 1000 --jobs 8 --journal out/  # fleet run
 //! $ twice-exp fleet --shards 64 --device-faults 9 --journal out/
+//! $ twice-exp profile --obs-out trace.json  # instrumented cell + trace
+//! $ twice-exp bench --jobs 4                # timing + BENCH_2.json
 //! ```
 //!
 //! Failures exit with a distinct code and one structured line on stderr
@@ -133,6 +135,8 @@ struct Args {
     dead_shards: Option<usize>,
     attackers: Option<u16>,
     telemetry_every: Option<usize>,
+    obs_out: Option<String>,
+    heartbeat_counters: Option<String>,
 }
 
 impl Args {
@@ -180,6 +184,8 @@ fn parse_args() -> Result<Option<Args>, CliError> {
         dead_shards: None,
         attackers: None,
         telemetry_every: None,
+        obs_out: None,
+        heartbeat_counters: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -248,6 +254,8 @@ fn parse_args() -> Result<Option<Args>, CliError> {
                 }
                 out.telemetry_every = Some(every);
             }
+            "--obs-out" => out.obs_out = Some(flag_value(&mut args, &flag)?),
+            "--heartbeat-counters" => out.heartbeat_counters = Some(flag_value(&mut args, &flag)?),
             _ => return Err(CliError::bad_flag("-", format!("unknown flag {flag}"))),
         }
     }
@@ -301,7 +309,10 @@ fn usage() -> ExitCode {
          \x20 attack    S3 confrontation on the scaled system\n\
          \x20 chaos     fault-injection campaign (SEU sweep + bus gauntlet)\n\
          \x20 fleet     supervised many-shard fleet (multi-tenant blend, quarantine)\n\
-         \x20 bench     time table1 serial vs --jobs and write BENCH_1.json\n\
+         \x20 bench     time table1 serial vs --jobs; write BENCH_2.json with the\n\
+         \x20           obs counter map and per-phase span totals\n\
+         \x20 profile   run one instrumented cell ([--workload NAME] [--defense NAME])\n\
+         \x20           and write a chrome://tracing trace to --obs-out\n\
          \x20 record    write a workload trace (--workload NAME --file PATH)\n\
          \x20 replay    replay a trace file (--file PATH [--defense NAME])\n\
          common flags:\n\
@@ -326,6 +337,11 @@ fn usage() -> ExitCode {
          \x20                     FSMs, dropped refreshes, counter soft errors)\n\
          \x20 --dead-shards N     sabotage N shards (panics + deadline overruns)\n\
          \x20 --telemetry-every N cumulative telemetry row cadence (default 16)\n\
+         \x20 --heartbeat-counters LIST\n\
+         \x20                     comma-separated obs counters carried on telemetry\n\
+         \x20                     rows (default: the full deterministic heartbeat set)\n\
+         profile flags:\n\
+         \x20 --obs-out PATH      trace_event JSON output (default profile-trace.json)\n\
          exit codes:\n\
          \x20  0  success\n\
          \x20  2  unknown command, defense, workload, or SPEC app name\n\
@@ -440,6 +456,46 @@ fn run_chaos(args: &Args) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Parses `--heartbeat-counters`: a comma-separated list of counter
+/// names (`core.acts` or `core_acts` form). An unrecognized counter
+/// name exits 2 like any other unknown name; a real counter outside
+/// the deterministic [`twice_obs::HEARTBEAT`] set is an invalid *value*
+/// (exit 3) — carrying it would break the rows-identical-across-jobs
+/// telemetry contract.
+fn parse_heartbeat(spec: &str) -> Result<Vec<twice_obs::Ctr>, CliError> {
+    let mut out = Vec::new();
+    for name in spec.split(',').map(str::trim) {
+        if name.is_empty() {
+            continue;
+        }
+        let Some(c) = twice_obs::Ctr::parse(name) else {
+            return Err(CliError::unknown(
+                "fleet",
+                format!("unknown counter \"{name}\""),
+            ));
+        };
+        if !twice_obs::HEARTBEAT.contains(&c) {
+            return Err(CliError::bad_flag(
+                "fleet",
+                format!(
+                    "counter \"{name}\" is not heartbeat-safe; choose from: {}",
+                    twice_obs::HEARTBEAT.map(|h| h.name()).join(", ")
+                ),
+            ));
+        }
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    if out.is_empty() {
+        return Err(CliError::bad_flag(
+            "fleet",
+            "--heartbeat-counters needs at least one counter name",
+        ));
+    }
+    Ok(out)
+}
+
 /// `twice-exp fleet`: the supervised many-shard fleet. Every shard is
 /// an independent scaled system running the 16-tenant attacker/benign
 /// blend; panicking, over-deadline, or I/O-starved shards are
@@ -478,6 +534,9 @@ fn run_fleet(args: &Args) -> Result<ExitCode, CliError> {
     }
     if let Some(seed) = args.storage_faults {
         fc.io = Arc::new(twice_sim::cio::FaultyIo::with_default_plan(seed));
+    }
+    if let Some(spec) = &args.heartbeat_counters {
+        fc.heartbeat = parse_heartbeat(spec)?;
     }
     if args.resume.is_some() && args.journal.is_some() {
         return Err(CliError::bad_flag(
@@ -546,11 +605,80 @@ fn run_fleet(args: &Args) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `twice-exp profile`: one instrumented cell with the trace buffer
+/// armed. Prints the counter/histogram/span report to stdout and
+/// writes the Chrome `trace_event` JSON (validated before the write)
+/// to `--obs-out` (default `profile-trace.json`). Open the file in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+fn run_profile(args: &Args) -> Result<ExitCode, CliError> {
+    let defense_name = args.defense.as_deref().unwrap_or("twice");
+    let Some(defense) = defense_from_name(defense_name) else {
+        return Err(CliError::unknown(
+            "profile",
+            format!("unknown defense \"{defense_name}\""),
+        ));
+    };
+    let workload_name = args.workload.as_deref().unwrap_or("s1");
+    let Some(workload) = workload_from_name(workload_name) else {
+        return Err(CliError::unknown(
+            "profile",
+            format!("unknown workload \"{workload_name}\""),
+        ));
+    };
+    if args.epoch == Some(0) {
+        return Err(CliError::bad_flag("profile", "--epoch must be at least 1"));
+    }
+    let mut cfg = SimConfig::fast_test();
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    let requests = args.requests.unwrap_or(20_000);
+    let epoch = args.epoch.unwrap_or(4_096);
+    let cell = format!("{workload_name}/{defense_name}");
+    let report = twice_sim::profile::profile_cell(&cfg, workload, defense, requests, epoch)
+        .map_err(|e| CliError::failure("profile", &cell, e.to_string()))?;
+
+    if cfg!(feature = "obs-off") {
+        eprintln!(
+            "twice-exp: built with obs-off: every probe is compiled out, \
+             the report and trace are empty"
+        );
+    } else {
+        let missing = report.missing_layers();
+        if !missing.is_empty() {
+            return Err(CliError::failure(
+                "profile",
+                &cell,
+                format!("no trace events from layer(s): {}", missing.join(",")),
+            ));
+        }
+    }
+    let trace = report.trace_json();
+    twice_sim::profile::validate_trace_json(&trace)
+        .map_err(|e| CliError::failure("profile", &cell, format!("trace self-check: {e}")))?;
+    let path = args
+        .obs_out
+        .clone()
+        .unwrap_or_else(|| "profile-trace.json".into());
+    std::fs::write(&path, &trace)
+        .map_err(|e| CliError::failure("profile", "-", format!("cannot write {path}: {e}")))?;
+    print!("{}", report.render());
+    println!(
+        "profiled {cell} x{requests}: {} trace event(s) -> {path}",
+        report.snapshot.trace.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `twice-exp bench`: times Table 1 serial vs pooled and records the
-/// perf data point (`BENCH_1.json`, overridable via `--file`).
+/// perf data point (`BENCH_2.json`, overridable via `--file`) with the
+/// obs counter map and per-span phase totals for the pooled pass.
 /// Requests come from `--requests`, then `TWICE_BENCH_REQUESTS`, then
 /// 40 000. The two tables must render identically — the bench doubles
-/// as a serial-equivalence smoke test.
+/// as a serial-equivalence smoke test. A speedup is only computed (and
+/// only printed) when the parallel job count actually differs from the
+/// serial pass; `serial_jobs`/`parallel_jobs` are recorded separately
+/// so the file can never claim a speedup between two identical runs.
 fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
     let requests = args
         .requests
@@ -560,22 +688,27 @@ fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
                 .and_then(|v| v.parse().ok())
         })
         .unwrap_or(40_000);
-    let jobs = args.jobs();
+    let serial_jobs = 1usize;
+    let parallel_jobs = args.jobs();
     let cfg = SimConfig::fast_test();
     let serial_start = Instant::now();
-    let (serial_table, _) = table1::table1_jobs(&cfg, requests, 1);
+    let (serial_table, _) = table1::table1_jobs(&cfg, requests, serial_jobs);
     let serial_secs = serial_start.elapsed().as_secs_f64();
+    // The counter map and phase totals are scoped to the pooled pass —
+    // the pass whose wall time produces `acts_per_sec`.
+    twice_obs::reset();
     let pooled_start = Instant::now();
-    let (pooled_table, cells) = table1::table1_jobs(&cfg, requests, jobs);
+    let (pooled_table, cells) = table1::table1_jobs(&cfg, requests, parallel_jobs);
     let pooled_secs = pooled_start.elapsed().as_secs_f64();
+    let snapshot = twice_obs::snapshot();
     if pooled_table.to_string() != serial_table.to_string() {
         return Err(CliError::failure(
             "bench",
             "table1",
-            format!("--jobs {jobs} table diverged from the serial run"),
+            format!("--jobs {parallel_jobs} table diverged from the serial run"),
         ));
     }
-    let speedup = serial_secs / pooled_secs.max(1e-9);
+    let speedup = (parallel_jobs != serial_jobs).then(|| serial_secs / pooled_secs.max(1e-9));
     // Absolute throughput: total activations simulated by the pooled
     // pass over its wall time, so BENCH_N.json files are comparable
     // across machines and request budgets, not just to their own
@@ -586,20 +719,60 @@ fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
         .map(|c| c.acts)
         .sum();
     let acts_per_sec = (acts as f64 / pooled_secs.max(1e-9)).round() as u64;
-    let path = args.file.clone().unwrap_or_else(|| "BENCH_1.json".into());
+    let path = args.file.clone().unwrap_or_else(|| "BENCH_2.json".into());
+    let counters: Vec<String> = twice_obs::Ctr::ALL
+        .into_iter()
+        .filter(|c| snapshot.counter(*c) > 0)
+        .map(|c| format!("    \"{}\": {}", c.name(), snapshot.counter(c)))
+        .collect();
+    let phases: Vec<String> = twice_obs::SpanId::ALL
+        .into_iter()
+        .filter(|s| snapshot.span_hist(*s).count() > 0)
+        .map(|s| {
+            let h = snapshot.span_hist(s);
+            format!(
+                "    \"{}\": {{ \"count\": {}, \"total_ns\": {} }}",
+                s.name(),
+                h.count(),
+                h.sum()
+            )
+        })
+        .collect();
+    let speedup_field = speedup
+        .map(|s| format!("  \"speedup\": {s:.2},\n"))
+        .unwrap_or_default();
     let json = format!(
-        "{{\n  \"schema\": \"twice-bench-1\",\n  \"experiment\": \"table1\",\n  \
-         \"requests\": {requests},\n  \"jobs\": {jobs},\n  \
-         \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {pooled_secs:.3},\n  \
-         \"speedup\": {speedup:.2},\n  \"acts\": {acts},\n  \
-         \"acts_per_sec\": {acts_per_sec}\n}}\n"
+        "{{\n  \"schema\": \"twice-bench-2\",\n  \"experiment\": \"table1\",\n  \
+         \"requests\": {requests},\n  \"serial_jobs\": {serial_jobs},\n  \
+         \"parallel_jobs\": {parallel_jobs},\n  \
+         \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {pooled_secs:.3},\n\
+         {speedup_field}  \"acts\": {acts},\n  \"acts_per_sec\": {acts_per_sec},\n  \
+         \"counters\": {{\n{}\n  }},\n  \"phases\": {{\n{}\n  }}\n}}\n",
+        counters.join(",\n"),
+        phases.join(",\n"),
     );
     std::fs::write(&path, json)
         .map_err(|e| CliError::failure("bench", "-", format!("cannot write {path}: {e}")))?;
+    let speedup_note = speedup
+        .map(|s| format!(", speedup {s:.2}x"))
+        .unwrap_or_else(|| ", speedup n/a (serial == parallel jobs)".to_string());
     println!(
-        "table1 x{requests}: serial {serial_secs:.3}s, --jobs {jobs} {pooled_secs:.3}s, \
-         speedup {speedup:.2}x, {acts_per_sec} acts/s -> {path}"
+        "table1 x{requests}: serial {serial_secs:.3}s, --jobs {parallel_jobs} \
+         {pooled_secs:.3}s{speedup_note}, {acts_per_sec} acts/s -> {path}"
     );
+    // The per-phase breakdown, mirrored to stdout for humans.
+    for s in twice_obs::SpanId::ALL {
+        let h = snapshot.span_hist(s);
+        if h.count() > 0 {
+            println!(
+                "phase {:18} n={:<8} total={:.3}ms mean={}ns",
+                s.name(),
+                h.count(),
+                h.sum() as f64 / 1e6,
+                h.mean()
+            );
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -680,6 +853,12 @@ fn main() -> ExitCode {
         }
         "bench" => {
             return match run_bench(&args) {
+                Ok(code) => code,
+                Err(e) => e.report(),
+            };
+        }
+        "profile" => {
+            return match run_profile(&args) {
                 Ok(code) => code,
                 Err(e) => e.report(),
             };

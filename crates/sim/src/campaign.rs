@@ -347,6 +347,8 @@ fn serial_grid(
             // dropped, not fatal: the cell's outcome still reaches this
             // run's report, and the cell simply reruns on `--resume`.
             let line = journal_line(&outcome.cell, o);
+            let _io_span = twice_obs::span(twice_obs::SpanId::SimJournalIo);
+            twice_obs::bump(twice_obs::Ctr::SimJournalAppends);
             let wrote = with_retries(cc.op_retries(), cc.backoff_ms, || {
                 io.append_line(path, &line)
             });

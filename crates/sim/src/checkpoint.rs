@@ -110,6 +110,8 @@ impl ResumableRun {
     ///
     /// [`ControllerError::RetryExhausted`] under fault injection.
     pub fn run_epoch(&mut self, epoch: u64) -> Result<bool, ControllerError> {
+        let _epoch_span = twice_obs::span(twice_obs::SpanId::SimEpoch);
+        twice_obs::bump(twice_obs::Ctr::SimEpochs);
         let n = epoch.min(self.total - self.done);
         for _ in 0..n {
             let item = self.source.next_access();
@@ -278,7 +280,11 @@ pub fn write_cell_checkpoint(
     let mut w = SnapshotWriter::new();
     w.put_str(id);
     w.put_bytes(&run.checkpoint());
-    io.write_atomically(path, &w.finish())
+    let bytes = w.finish();
+    let _io_span = twice_obs::span(twice_obs::SpanId::SimCkptIo);
+    twice_obs::bump(twice_obs::Ctr::SimCkptWrites);
+    twice_obs::add(twice_obs::Ctr::SimCkptBytes, bytes.len() as u64);
+    io.write_atomically(path, &bytes)
 }
 
 /// What a cell-checkpoint read found on disk.
@@ -314,6 +320,7 @@ impl CheckpointRead {
 /// blob is reported as [`CheckpointRead::Corrupt`] so the campaign can
 /// log the recomputation instead of silently absorbing it.
 pub fn read_cell_checkpoint(io: &dyn CampaignIo, path: &Path, id: &str) -> CheckpointRead {
+    let _io_span = twice_obs::span(twice_obs::SpanId::SimCkptIo);
     let bytes = match io.read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CheckpointRead::Absent,

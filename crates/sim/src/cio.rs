@@ -112,6 +112,7 @@ pub fn with_retries<T>(
             Ok(v) => return Ok(v),
             Err(e) => {
                 tried += 1;
+                twice_obs::bump(twice_obs::Ctr::SimIoRetries);
                 if tried >= attempts {
                     return Err(e);
                 }

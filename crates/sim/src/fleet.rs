@@ -53,6 +53,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use twice_common::fault::{FaultKind, FaultPlan};
 use twice_common::rng::SplitMix64;
+use twice_obs::{Ctr, HEARTBEAT};
+
+/// Width of the per-shard heartbeat counter block ([`HEARTBEAT`] order).
+pub const HEARTBEAT_LEN: usize = HEARTBEAT.len();
 
 /// The fleet journal file name inside a fleet directory.
 pub const FLEET_JOURNAL_FILE: &str = "shards.jsonl";
@@ -114,6 +118,11 @@ pub struct FleetConfig {
     /// The storage layer every journal/checkpoint/telemetry byte flows
     /// through.
     pub io: Arc<dyn CampaignIo>,
+    /// Which [`HEARTBEAT`] counters telemetry rows carry. Must be a
+    /// subset of [`HEARTBEAT`]: those are the counters whose per-shard
+    /// deltas are pure functions of the shard seed, which is what keeps
+    /// rows byte-identical across `--jobs` values.
+    pub heartbeat: Vec<Ctr>,
 }
 
 impl FleetConfig {
@@ -139,6 +148,7 @@ impl FleetConfig {
             retries: 3,
             backoff_ms: 0,
             io: Arc::new(RealIo),
+            heartbeat: HEARTBEAT.to_vec(),
         }
     }
 
@@ -169,6 +179,11 @@ pub struct ShardStats {
     pub sim_ps: u64,
     /// p99 request latency, in picoseconds.
     pub p99_ps: u64,
+    /// [`HEARTBEAT`] counter deltas observed while the shard ran on its
+    /// worker thread (zero under `obs-off`). For a from-scratch shard
+    /// these are pure functions of the shard seed; a shard restored
+    /// from an epoch checkpoint only re-counts the epochs it replays.
+    pub obs: [u64; HEARTBEAT_LEN],
     /// The shard's final state digest (bit-for-bit resume oracle).
     pub digest: u64,
 }
@@ -364,6 +379,10 @@ impl ShardTask<'_> {
     fn run_once(&self) -> Result<ShardStats, ShardError> {
         let fc = self.fc;
         let io = fc.io.as_ref();
+        // The shard's heartbeat block is the thread-local counter delta
+        // across this attempt — same worker thread throughout, so the
+        // delta never picks up another shard's work.
+        let obs_before = twice_obs::local_counters();
         let defense = chaos::chaos_defense();
         let read_blob = |p: &Path| match read_cell_checkpoint(io, p, &self.id) {
             CheckpointRead::Valid(blob) => Some(blob),
@@ -438,7 +457,12 @@ impl ShardTask<'_> {
                 }
             }
         }
-        Ok(collect_stats(&run))
+        let mut stats = collect_stats(&run);
+        let obs_after = twice_obs::local_counters();
+        for (slot, c) in HEARTBEAT.iter().enumerate() {
+            stats.obs[slot] = obs_after[*c as usize].saturating_sub(obs_before[*c as usize]);
+        }
+        Ok(stats)
     }
 }
 
@@ -464,6 +488,7 @@ fn collect_stats(run: &ResumableRun) -> ShardStats {
         device_faults,
         sim_ps: m.sim_time.as_ps(),
         p99_ps: m.latency_p99.as_ps(),
+        obs: [0; HEARTBEAT_LEN],
         digest: run.digest(),
     }
 }
@@ -487,7 +512,13 @@ struct TelemetryState {
     nacks: u64,
     device_faults: u64,
     sim_ps: u64,
-    p99_ps: u64,
+    /// Max of the completed shards' per-shard p99s. That max is an
+    /// **upper bound** on the fleet-wide p99, not the p99 itself (the
+    /// true quantile of the pooled latency population can only be
+    /// lower), so the row field is named `latency_p99_upper_ps`.
+    p99_upper_ps: u64,
+    /// Cumulative [`HEARTBEAT`] counter deltas across completed shards.
+    obs: [u64; HEARTBEAT_LEN],
     coalesced: u64,
     stash: Option<String>,
     last_emit: u64,
@@ -505,10 +536,12 @@ struct TelemetryState {
 struct Telemetry {
     every: u64,
     tx: SyncSender<String>,
+    /// The [`HEARTBEAT`] subset each row carries, in caller order.
+    heartbeat: Vec<Ctr>,
     state: Mutex<TelemetryState>,
 }
 
-fn render_row(st: &TelemetryState) -> String {
+fn render_row(st: &TelemetryState, heartbeat: &[Ctr]) -> String {
     // Integer-scaled rates (the journal codec is float-free):
     // detections per simulated second, and defense (additional) ACTs
     // per thousand normal ACTs.
@@ -522,7 +555,7 @@ fn render_row(st: &TelemetryState) -> String {
         .saturating_mul(1_000)
         .checked_div(st.normal_acts.max(1))
         .unwrap_or(0);
-    seal_line(&emit_line(&[
+    let mut fields = vec![
         ("schema", JsonValue::Str(TELEMETRY_SCHEMA.to_string())),
         ("shards_done", JsonValue::U64(st.done)),
         ("quarantined", JsonValue::U64(st.quarantined)),
@@ -531,17 +564,26 @@ fn render_row(st: &TelemetryState) -> String {
         ("det_per_sim_s", JsonValue::U64(det_per_sim_s)),
         ("arr_per_kact", JsonValue::U64(arr_per_kact)),
         ("nacks", JsonValue::U64(st.nacks)),
-        ("latency_p99_ps", JsonValue::U64(st.p99_ps)),
+        ("latency_p99_upper_ps", JsonValue::U64(st.p99_upper_ps)),
         ("device_faults", JsonValue::U64(st.device_faults)),
-        ("coalesced", JsonValue::U64(st.coalesced)),
-    ]))
+    ];
+    for c in heartbeat {
+        let slot = HEARTBEAT
+            .iter()
+            .position(|h| h == c)
+            .expect("heartbeat selections are validated against HEARTBEAT");
+        fields.push((c.key(), JsonValue::U64(st.obs[slot])));
+    }
+    fields.push(("coalesced", JsonValue::U64(st.coalesced)));
+    seal_line(&emit_line(&fields))
 }
 
 impl Telemetry {
-    fn new(every: u64, tx: SyncSender<String>) -> Telemetry {
+    fn new(every: u64, tx: SyncSender<String>, heartbeat: Vec<Ctr>) -> Telemetry {
         Telemetry {
             every: every.max(1),
             tx,
+            heartbeat,
             state: Mutex::new(TelemetryState::default()),
         }
     }
@@ -573,12 +615,15 @@ impl Telemetry {
                     st.nacks += s.nacks;
                     st.device_faults += s.device_faults;
                     st.sim_ps += s.sim_ps;
-                    st.p99_ps = st.p99_ps.max(s.p99_ps);
+                    st.p99_upper_ps = st.p99_upper_ps.max(s.p99_ps);
+                    for (slot, v) in s.obs.iter().enumerate() {
+                        st.obs[slot] += v;
+                    }
                 }
                 None => st.quarantined += 1,
             }
             if st.done.is_multiple_of(self.every) {
-                let row = render_row(&st);
+                let row = render_row(&st, &self.heartbeat);
                 self.push(&mut st, row);
                 st.last_emit = st.done;
             }
@@ -617,7 +662,7 @@ impl Telemetry {
     fn finish(&self) -> (Vec<String>, u64) {
         let mut st = self.lock();
         if st.rows.is_empty() || st.last_emit != st.done {
-            let row = render_row(&st);
+            let row = render_row(&st, &self.heartbeat);
             self.push(&mut st, row);
             st.last_emit = st.done;
         }
@@ -650,6 +695,8 @@ fn spawn_consumer(
     std::thread::spawn(move || {
         let mut written = 0u64;
         for row in rx {
+            let _io_span = twice_obs::span(twice_obs::SpanId::SimJournalIo);
+            twice_obs::bump(twice_obs::Ctr::SimJournalAppends);
             if with_retries(retries, backoff_ms, || io.append_line(&path, &row)).is_ok() {
                 written += 1;
             }
@@ -720,7 +767,7 @@ fn meta_line(m: &FleetMeta) -> String {
 }
 
 fn shard_line(index: usize, id: &str, s: &ShardStats) -> String {
-    seal_line(&emit_line(&[
+    let mut fields = vec![
         ("shard", JsonValue::U64(index as u64)),
         ("id", JsonValue::Str(id.to_string())),
         ("requests", JsonValue::U64(s.requests)),
@@ -732,8 +779,14 @@ fn shard_line(index: usize, id: &str, s: &ShardStats) -> String {
         ("device_faults", JsonValue::U64(s.device_faults)),
         ("sim_ps", JsonValue::U64(s.sim_ps)),
         ("p99_ps", JsonValue::U64(s.p99_ps)),
-        ("digest", JsonValue::U64(s.digest)),
-    ]))
+    ];
+    // The heartbeat block is journaled so a salvaged shard's telemetry
+    // contribution matches the run that produced it byte-for-byte.
+    for (slot, c) in HEARTBEAT.iter().enumerate() {
+        fields.push((c.key(), JsonValue::U64(s.obs[slot])));
+    }
+    fields.push(("digest", JsonValue::U64(s.digest)));
+    seal_line(&emit_line(&fields))
 }
 
 enum FleetLine {
@@ -764,6 +817,10 @@ fn parse_fleet_line(line: &str) -> Option<FleetLine> {
         }));
     }
     let index = usize::try_from(map.get("shard")?.as_u64()?).ok()?;
+    let mut obs = [0u64; HEARTBEAT_LEN];
+    for (slot, c) in HEARTBEAT.iter().enumerate() {
+        obs[slot] = map.get(c.key())?.as_u64()?;
+    }
     let stats = ShardStats {
         requests: map.get("requests")?.as_u64()?,
         normal_acts: map.get("normal_acts")?.as_u64()?,
@@ -774,6 +831,7 @@ fn parse_fleet_line(line: &str) -> Option<FleetLine> {
         device_faults: map.get("device_faults")?.as_u64()?,
         sim_ps: map.get("sim_ps")?.as_u64()?,
         p99_ps: map.get("p99_ps")?.as_u64()?,
+        obs,
         digest: map.get("digest")?.as_u64()?,
     };
     Some(FleetLine::Shard(index, stats))
@@ -890,7 +948,7 @@ pub fn run_fleet(fc: &FleetConfig) -> std::io::Result<FleetReport> {
     }
 
     let (tx, rx) = sync_channel(TELEMETRY_DEPTH);
-    let telemetry = Telemetry::new(fc_eff.telemetry_every as u64, tx);
+    let telemetry = Telemetry::new(fc_eff.telemetry_every as u64, tx, fc_eff.heartbeat.clone());
     let consumer = match &fc.dir {
         Some(dir) => {
             let path = dir.join(FLEET_TELEMETRY_FILE);
@@ -1115,7 +1173,7 @@ mod tests {
     #[test]
     fn telemetry_backpressure_coalesces_instead_of_blocking() {
         let (tx, rx) = sync_channel(1);
-        let t = Telemetry::new(1, tx);
+        let t = Telemetry::new(1, tx, HEARTBEAT.to_vec());
         let stats = ShardStats {
             requests: 1,
             normal_acts: 1,
@@ -1126,6 +1184,7 @@ mod tests {
             device_faults: 0,
             sim_ps: 1,
             p99_ps: 0,
+            obs: [0; HEARTBEAT_LEN],
             digest: 0,
         };
         // Nobody drains `rx`: after the single buffered row, every
@@ -1157,6 +1216,38 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_rows_carry_the_heartbeat_counters() {
+        let fc = small_fleet(4);
+        let r = run_fleet(&fc).expect("fleet");
+        let last = r.telemetry.last().expect("final row");
+        let map = parse_line(&unseal_line(last).unwrap()).unwrap();
+        for c in HEARTBEAT {
+            assert!(map.contains_key(c.key()), "row must carry {}", c.name());
+        }
+        assert!(map.contains_key("latency_p99_upper_ps"));
+        assert!(!map.contains_key("latency_p99_ps"), "old field renamed");
+        // With probes compiled in, four completed shards must have
+        // observed activations and epochs.
+        #[cfg(not(feature = "obs-off"))]
+        {
+            assert!(map["core_acts"].as_u64().unwrap() > 0);
+            assert!(map["sim_epochs"].as_u64().unwrap() >= 4);
+        }
+    }
+
+    #[test]
+    fn the_heartbeat_selection_filters_row_counters() {
+        let mut fc = small_fleet(4);
+        fc.heartbeat = vec![Ctr::SimEpochs];
+        let r = run_fleet(&fc).expect("fleet");
+        let last = r.telemetry.last().expect("final row");
+        let map = parse_line(&unseal_line(last).unwrap()).unwrap();
+        assert!(map.contains_key("sim_epochs"));
+        assert!(!map.contains_key("core_acts"));
+        assert!(!map.contains_key("dram_bank_transitions"));
+    }
+
+    #[test]
     fn meta_and_shard_lines_round_trip() {
         let m = FleetMeta {
             shards: 64,
@@ -1181,6 +1272,7 @@ mod tests {
             device_faults: 7,
             sim_ps: 123_456_789,
             p99_ps: 99_000,
+            obs: [7, 6, 5, 4, 3, 2],
             digest: 0xDEAD_BEEF,
         };
         match parse_fleet_line(&shard_line(17, "shard-0017/cafe", &s)) {

@@ -327,6 +327,8 @@ impl OrderedJournalWriter {
     }
 
     fn append(&self, st: &mut WriterState, line: &str) {
+        let _io_span = twice_obs::span(twice_obs::SpanId::SimJournalIo);
+        twice_obs::bump(twice_obs::Ctr::SimJournalAppends);
         let result = with_retries(self.retries, self.backoff_ms, || {
             self.io.append_line(&self.path, line)
         });

@@ -22,6 +22,8 @@
 //! * [`journal`] — the JSONL cell-outcome journal.
 //! * [`campaign`] — the supervised, crash-safe chaos campaign.
 //! * [`parallel`] — the fixed-size worker pool behind `--jobs`.
+//! * [`profile`] — the instrumented single-cell profiler behind
+//!   `twice-exp profile` (Chrome trace_event export).
 //! * [`cio`] — campaign storage I/O: durable writes, injectable
 //!   storage faults, and the self-healing recovery ledger.
 //! * [`supervisor`] — panic isolation and the retry-all shard ladder.
@@ -58,6 +60,7 @@ pub mod journal;
 pub mod metrics;
 pub mod outcome;
 pub mod parallel;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod supervisor;

@@ -1,0 +1,430 @@
+//! `twice-exp profile`: one instrumented cell, traced end to end.
+//!
+//! Runs a single workload × defense cell through the epoched
+//! [`ResumableRun`] path with the twice-obs trace buffer armed, then
+//! snapshots every counter, histogram, and span. The span stream
+//! renders as Chrome `trace_event` JSON (open in `chrome://tracing` or
+//! Perfetto); counters and histograms render as a plain-text report.
+//!
+//! The epoched path is chosen deliberately: it guarantees at least one
+//! span from every instrumented layer — `sim.epoch` per epoch,
+//! `memctrl.drain` at the final drain, `dram.refresh` per refresh
+//! window, and `core.prune` per per-bank prune pass — so a trace that
+//! is missing a layer is a regression, not a scheduling accident.
+
+use crate::checkpoint::ResumableRun;
+use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
+use crate::outcome::CellError;
+use crate::runner::WorkloadKind;
+use twice_mitigations::DefenseKind;
+use twice_obs::{Ctr, HistId, ObsSnapshot, SpanId};
+
+/// The instrumented layers a profile trace must cover.
+pub const REQUIRED_LAYERS: [&str; 4] = ["core", "dram", "memctrl", "sim"];
+
+/// A profiled cell: its run metrics plus the full obs snapshot.
+#[derive(Debug)]
+pub struct ProfileReport {
+    /// Metrics of the profiled run (same shape as any other run).
+    pub metrics: RunMetrics,
+    /// Counters, histograms, span stats, and the trace buffer.
+    pub snapshot: ObsSnapshot,
+}
+
+impl ProfileReport {
+    /// The Chrome `trace_event` JSON document for the profiled run.
+    pub fn trace_json(&self) -> String {
+        self.snapshot.chrome_trace_json()
+    }
+
+    /// The instrumented layers that produced at least one trace event.
+    pub fn layers_traced(&self) -> Vec<&'static str> {
+        let mut layers: Vec<&'static str> =
+            self.snapshot.trace.iter().map(|e| e.id.layer()).collect();
+        layers.sort_unstable();
+        layers.dedup();
+        layers
+    }
+
+    /// The required layers (core, dram, memctrl, sim) missing from the
+    /// trace — empty on a healthy run.
+    pub fn missing_layers(&self) -> Vec<&'static str> {
+        let traced = self.layers_traced();
+        REQUIRED_LAYERS
+            .iter()
+            .copied()
+            .filter(|l| !traced.contains(l))
+            .collect()
+    }
+
+    /// A plain-text summary: non-zero counters, histogram quantile
+    /// bounds, and per-span totals.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "counters:");
+        for c in Ctr::ALL {
+            let v = self.snapshot.counter(c);
+            if v > 0 {
+                let _ = writeln!(out, "  {:28} {v}", c.name());
+            }
+        }
+        let _ = writeln!(out, "histograms (p50 / p99 upper bounds):");
+        for h in [HistId::CoreProbeSets, HistId::MemctrlQueueDepth] {
+            let hist = self.snapshot.hist(h);
+            if hist.count() > 0 {
+                let p50 = hist.quantile_bounds(0.50).1;
+                let p99 = hist.quantile_bounds(0.99).1;
+                let _ = writeln!(
+                    out,
+                    "  {:28} n={} mean={} p50<={p50} p99<={p99} max={}",
+                    h.name(),
+                    hist.count(),
+                    hist.mean(),
+                    hist.max()
+                );
+            }
+        }
+        let _ = writeln!(out, "spans:");
+        for s in SpanId::ALL {
+            let hist = self.snapshot.span_hist(s);
+            if hist.count() > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {:28} n={} total={}ns mean={}ns max={}ns",
+                    s.name(),
+                    hist.count(),
+                    hist.sum(),
+                    hist.mean(),
+                    hist.max()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "trace: {} event(s), {} dropped, layers: {}",
+            self.snapshot.trace.len(),
+            self.snapshot.trace_dropped,
+            self.layers_traced().join(",")
+        );
+        out
+    }
+}
+
+/// Profiles one cell: resets the obs registry, arms the trace buffer,
+/// runs `requests` requests in epochs of `epoch`, and snapshots.
+///
+/// The reset makes the snapshot attributable to this cell alone, so
+/// `profile` must own the process (the CLI does; library callers
+/// sharing a process with other instrumented work will see that work's
+/// counters folded in if they skip the reset — hence it lives here).
+///
+/// # Errors
+///
+/// [`CellError`] when the cell is invalid for the configuration or the
+/// run fails (only possible under fault injection).
+pub fn profile_cell(
+    cfg: &SimConfig,
+    workload: WorkloadKind,
+    defense: DefenseKind,
+    requests: u64,
+    epoch: u64,
+) -> Result<ProfileReport, CellError> {
+    twice_obs::reset();
+    twice_obs::set_tracing(true);
+    let mut run = ResumableRun::new(cfg, &workload, defense, requests)?;
+    let result = run.run_to_completion(epoch.max(1));
+    twice_obs::set_tracing(false);
+    result.map_err(|e| CellError::RetryExhausted(e.to_string()))?;
+    Ok(ProfileReport {
+        metrics: run.metrics(),
+        snapshot: twice_obs::snapshot(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Trace validation: a tiny general JSON syntax checker.
+// ---------------------------------------------------------------------
+//
+// The journal codec ([`crate::journal::parse_line`]) is deliberately
+// flat — strings, u64s, booleans — and cannot read the nested
+// trace_event document, so the profile path carries its own checker.
+// It validates full JSON syntax and extracts each event's `name`/`cat`,
+// which is all the smoke test and CI need; it is not a general decoder.
+
+/// Validates `json` as a Chrome `trace_event` document and returns the
+/// `(name, cat)` of every event in `traceEvents`.
+///
+/// # Errors
+///
+/// A description of the first syntax problem, or of a missing /
+/// malformed `traceEvents` array.
+pub fn validate_trace_json(json: &str) -> Result<Vec<(String, String)>, String> {
+    let mut p = TraceParser {
+        bytes: json.as_bytes(),
+        pos: 0,
+        events: Vec::new(),
+        in_events: false,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    if !p.in_events {
+        return Err("no traceEvents array".to_string());
+    }
+    Ok(p.events)
+}
+
+struct TraceParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    events: Vec<(String, String)>,
+    /// Whether a top-level `traceEvents` key was seen.
+    in_events: bool,
+}
+
+impl TraceParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(c) => Err(format!(
+                "expected '{}', got '{}' at byte {}",
+                want as char, c as char, self.pos
+            )),
+            None => Err("unexpected end of document".to_string()),
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek().ok_or("unexpected end of document")? {
+            b'{' => self.object(None),
+            b'[' => self.array(None),
+            b'"' => self.string().map(|_| ()),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+        }
+    }
+
+    /// Parses an object. When `event` is given, `name`/`cat` string
+    /// members are captured into it.
+    fn object(&mut self, mut event: Option<&mut (String, String)>) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            self.skip_ws();
+            match (&mut event, key.as_str()) {
+                (Some(ev), "name") if self.peek() == Some(b'"') => ev.0 = self.string()?,
+                (Some(ev), "cat") if self.peek() == Some(b'"') => ev.1 = self.string()?,
+                (None, "traceEvents") if self.peek() == Some(b'[') => {
+                    self.in_events = true;
+                    self.array(Some(()))?;
+                }
+                _ => self.value()?,
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    /// Parses an array. When `capture` is given, each element must be
+    /// an object and is recorded as a trace event.
+    fn array(&mut self, capture: Option<()>) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if capture.is_some() {
+                let mut ev = (String::new(), String::new());
+                self.object(Some(&mut ev))?;
+                self.events.push(ev);
+            } else {
+                self.value()?;
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' => out.push(esc as char),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' | b'f' => {}
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            self.pos += 4;
+                        }
+                        c => return Err(format!("bad escape '\\{}'", c as char)),
+                    }
+                }
+                c => {
+                    self.pos += 1;
+                    out.push(c as char);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(|_| ())
+            .map_err(|_| format!("bad number \"{text}\" at byte {start}"))
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twice::TableOrganization;
+
+    // The live-registry assertions share the obs globals with the rest
+    // of the process; run() holds them to one test at a time.
+    #[cfg(not(feature = "obs-off"))]
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn profile_small() -> ProfileReport {
+        let cfg = SimConfig::fast_test();
+        profile_cell(
+            &cfg,
+            WorkloadKind::S1,
+            DefenseKind::Twice(TableOrganization::FullyAssociative),
+            8_000,
+            2_048,
+        )
+        .expect("fault-free profile cell")
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn profile_covers_every_instrumented_layer() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let report = profile_small();
+        assert_eq!(report.missing_layers(), Vec::<&str>::new());
+        assert!(report.snapshot.counter(Ctr::CoreActs) > 0);
+        assert!(report.snapshot.counter(Ctr::MemctrlRequests) > 0);
+        assert!(report.snapshot.hist(HistId::MemctrlQueueDepth).count() > 0);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn trace_json_is_valid_and_nonempty() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let report = profile_small();
+        let events = validate_trace_json(&report.trace_json()).expect("trace JSON must parse");
+        assert_eq!(events.len(), report.snapshot.trace.len());
+        let cats: std::collections::BTreeSet<&str> =
+            events.iter().map(|(_, cat)| cat.as_str()).collect();
+        for layer in REQUIRED_LAYERS {
+            assert!(cats.contains(layer), "no {layer} events in the trace");
+        }
+        for (name, cat) in &events {
+            assert!(!name.is_empty() && !cat.is_empty());
+        }
+    }
+
+    #[test]
+    fn the_validator_rejects_malformed_documents() {
+        assert!(validate_trace_json("{\"traceEvents\":[").is_err());
+        assert!(validate_trace_json("{\"traceEvents\":[{}]} x").is_err());
+        assert!(
+            validate_trace_json("{\"other\":[]}").is_err(),
+            "no traceEvents"
+        );
+        assert!(validate_trace_json("{\"traceEvents\":[]}").is_ok());
+        let doc = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{\"name\":\"sim.epoch\",\
+                   \"cat\":\"sim\",\"ph\":\"X\",\"ts\":0.001,\"dur\":2.5,\"pid\":1,\"tid\":3}]}";
+        let events = validate_trace_json(doc).expect("well-formed");
+        assert_eq!(events, vec![("sim.epoch".to_string(), "sim".to_string())]);
+    }
+
+    #[test]
+    #[cfg(feature = "obs-off")]
+    fn profile_degrades_to_empty_under_obs_off() {
+        let report = profile_small();
+        assert!(report.snapshot.is_empty());
+        assert_eq!(
+            report.missing_layers(),
+            vec!["core", "dram", "memctrl", "sim"]
+        );
+    }
+}

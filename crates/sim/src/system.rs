@@ -99,7 +99,7 @@ impl System {
     /// [`ControllerError::RetryExhausted`] as for [`System::feed`].
     pub fn drain(&mut self) -> Result<(), ControllerError> {
         for ctrl in &mut self.controllers {
-            while ctrl.service_one()? {}
+            ctrl.drain()?;
         }
         Ok(())
     }
