@@ -22,6 +22,7 @@
 //! assert_eq!(t.max_acts_per_refi(), 165);
 //! ```
 
+pub mod crc32;
 pub mod defense;
 pub mod error;
 pub mod fault;

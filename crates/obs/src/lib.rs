@@ -78,10 +78,16 @@ pub enum Ctr {
     SimJournalAppends,
     /// Storage-op retries taken by the campaign I/O retry ladder.
     SimIoRetries,
+    /// Binary trace frames decoded cleanly.
+    SimTraceFramesRead,
+    /// Binary trace corrupt regions skipped by the salvage reader.
+    SimTraceFramesDropped,
+    /// Binary trace bytes quarantined by the salvage reader.
+    SimTraceBytesQuarantined,
 }
 
 /// Number of registered counters.
-pub const NUM_CTRS: usize = 17;
+pub const NUM_CTRS: usize = 20;
 
 impl Ctr {
     /// Every registered counter, in declaration order.
@@ -103,6 +109,9 @@ impl Ctr {
         Ctr::SimCkptBytes,
         Ctr::SimJournalAppends,
         Ctr::SimIoRetries,
+        Ctr::SimTraceFramesRead,
+        Ctr::SimTraceFramesDropped,
+        Ctr::SimTraceBytesQuarantined,
     ];
 
     /// The counter's canonical `layer.event` name.
@@ -125,6 +134,9 @@ impl Ctr {
             Ctr::SimCkptBytes => "sim.ckpt_bytes",
             Ctr::SimJournalAppends => "sim.journal_appends",
             Ctr::SimIoRetries => "sim.io_retries",
+            Ctr::SimTraceFramesRead => "sim.trace_frames_read",
+            Ctr::SimTraceFramesDropped => "sim.trace_frames_dropped",
+            Ctr::SimTraceBytesQuarantined => "sim.trace_bytes_quarantined",
         }
     }
 
@@ -156,6 +168,9 @@ impl Ctr {
             Ctr::SimCkptBytes => "sim_ckpt_bytes",
             Ctr::SimJournalAppends => "sim_journal_appends",
             Ctr::SimIoRetries => "sim_io_retries",
+            Ctr::SimTraceFramesRead => "sim_trace_frames_read",
+            Ctr::SimTraceFramesDropped => "sim_trace_frames_dropped",
+            Ctr::SimTraceBytesQuarantined => "sim_trace_bytes_quarantined",
         }
     }
 

@@ -14,6 +14,10 @@
 //! $ twice-exp fleet --shards 64 --device-faults 9 --journal out/
 //! $ twice-exp profile --obs-out trace.json  # instrumented cell + trace
 //! $ twice-exp bench --jobs 4                # timing + BENCH_2.json
+//! $ twice-exp trace record --workload mica --file m.twt2   # binary trace
+//! $ twice-exp trace replay --file m.twt2 --defense twice   # digest-faithful
+//! $ twice-exp trace verify --file m.twt2    # salvage report, exit 0/4/2
+//! $ twice-exp trace stat --file m.twt2      # sizes + v1-vs-v2 compression
 //! ```
 //!
 //! Failures exit with a distinct code and one structured line on stderr
@@ -95,6 +99,17 @@ impl CliError {
         }
     }
 
+    /// An unusable trace (header damage, wrong topology, nothing
+    /// salvageable): exit 2, same bucket as other bad-input failures.
+    fn unusable(experiment: &str, cause: impl Into<String>) -> CliError {
+        CliError {
+            experiment: experiment.to_string(),
+            cell: "-".to_string(),
+            cause: cause.into(),
+            code: EXIT_UNKNOWN_NAME,
+        }
+    }
+
     fn failure(experiment: &str, cell: &str, cause: impl Into<String>) -> CliError {
         CliError {
             experiment: experiment.to_string(),
@@ -115,6 +130,7 @@ impl CliError {
 
 struct Args {
     command: String,
+    subcommand: Option<String>,
     requests: Option<u64>,
     defense: Option<String>,
     workload: Option<String>,
@@ -164,6 +180,7 @@ fn parse_args() -> Result<Option<Args>, CliError> {
     };
     let mut out = Args {
         command,
+        subcommand: None,
         requests: None,
         defense: None,
         workload: None,
@@ -256,6 +273,9 @@ fn parse_args() -> Result<Option<Args>, CliError> {
             }
             "--obs-out" => out.obs_out = Some(flag_value(&mut args, &flag)?),
             "--heartbeat-counters" => out.heartbeat_counters = Some(flag_value(&mut args, &flag)?),
+            _ if !flag.starts_with('-') && out.command == "trace" && out.subcommand.is_none() => {
+                out.subcommand = Some(flag)
+            }
             _ => return Err(CliError::bad_flag("-", format!("unknown flag {flag}"))),
         }
     }
@@ -281,18 +301,8 @@ fn defense_from_name(name: &str) -> Option<DefenseKind> {
 }
 
 fn workload_from_name(name: &str) -> Option<WorkloadKind> {
-    Some(match name {
-        "s1" => WorkloadKind::S1,
-        "s2" => WorkloadKind::S2,
-        "s3" => WorkloadKind::S3,
-        "mix-high" => WorkloadKind::MixHigh,
-        "mix-blend" => WorkloadKind::MixBlend,
-        "fft" => WorkloadKind::Fft,
-        "radix" => WorkloadKind::Radix,
-        "mica" => WorkloadKind::Mica,
-        "pagerank" => WorkloadKind::PageRank,
-        _ => return None,
-    })
+    // The named kinds plus every SPEC CPU2006 app model (as SPECrate).
+    WorkloadKind::parse(name)
 }
 
 fn usage() -> ExitCode {
@@ -313,8 +323,15 @@ fn usage() -> ExitCode {
          \x20           obs counter map and per-phase span totals\n\
          \x20 profile   run one instrumented cell ([--workload NAME] [--defense NAME])\n\
          \x20           and write a chrome://tracing trace to --obs-out\n\
-         \x20 record    write a workload trace (--workload NAME --file PATH)\n\
-         \x20 replay    replay a trace file (--file PATH [--defense NAME])\n\
+         \x20 record    write a v1 text workload trace (--workload NAME --file PATH)\n\
+         \x20 replay    replay a v1 text trace (--file PATH [--defense NAME])\n\
+         \x20 trace     binary (twice-trace v2) trace ecosystem; subcommands:\n\
+         \x20   trace record  encode a workload (--workload NAME --file PATH [--requests N])\n\
+         \x20   trace replay  salvage-decode and replay (--file PATH [--defense NAME])\n\
+         \x20   trace verify  salvage-decode and report health (--file PATH)\n\
+         \x20   trace stat    sizes, composition, v1-vs-v2 compression (--file PATH)\n\
+         \x20           trace subcommands honor --storage-faults/--retries/--backoff-ms\n\
+         \x20           and exit 0 clean / 4 salvaged-and-degraded / 2 unusable\n\
          common flags:\n\
          \x20 --jobs N            worker threads for experiment grids\n\
          \x20                     (default: available parallelism; 1 = serial)\n\
@@ -347,7 +364,10 @@ fn usage() -> ExitCode {
          \x20  2  unknown command, defense, workload, or SPEC app name\n\
          \x20  3  invalid flag value (e.g. --jobs 0, --shards 0)\n\
          \x20  4  completed degraded: at least one cell/shard quarantined\n\
-         \x20     (fleet prints its FleetSummary on stderr)\n\
+         \x20     (fleet prints its FleetSummary on stderr), or a trace\n\
+         \x20     replayed/verified only after salvage dropped frames\n\
+         \x20  2  (trace) the trace file is unusable: damaged header,\n\
+         \x20     foreign version/topology, or nothing salvageable\n\
          \x20 75  halted early by --halt-after (rerun with --resume)\n\
          \x20  1  everything else (I/O, a failed safety property)\n\
          defenses: twice twice-pa twice-split para para2 prohit cbt cra oracle none"
@@ -776,6 +796,152 @@ fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `twice-exp trace <record|replay|verify|stat>`: the binary
+/// (`twice-trace v2`) trace ecosystem. All file I/O goes through the
+/// campaign storage seam, so `--storage-faults` tortures these paths
+/// exactly like journals and checkpoints. Exit codes follow the trace
+/// health ladder: 0 clean, 4 salvaged-and-degraded, 2 unusable.
+fn run_trace(args: &Args) -> Result<ExitCode, CliError> {
+    use twice_sim::tracecli::{self, TraceIo};
+    use twice_workloads::tracev2::TraceHealth;
+
+    let Some(sub) = args.subcommand.as_deref() else {
+        return Err(CliError::bad_flag(
+            "trace",
+            "trace needs a subcommand: record | replay | verify | stat",
+        ));
+    };
+    if !matches!(sub, "record" | "replay" | "verify" | "stat") {
+        return Err(CliError::unknown(
+            "trace",
+            format!("unknown trace subcommand \"{sub}\""),
+        ));
+    }
+    let experiment = format!("trace {sub}");
+    let Some(path) = args.file.as_deref() else {
+        return Err(CliError::bad_flag(&experiment, "trace needs --file PATH"));
+    };
+    let path = std::path::Path::new(path);
+    let mut cfg = SimConfig::paper_default();
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    let mut tio = TraceIo::real();
+    if let Some(seed) = args.storage_faults {
+        tio.io = Arc::new(twice_sim::cio::FaultyIo::with_default_plan(seed));
+    }
+    if let Some(retries) = args.retries {
+        tio.attempts = retries;
+    }
+    if let Some(backoff) = args.backoff_ms {
+        tio.backoff_ms = backoff;
+    }
+
+    if sub == "record" {
+        let name = args.workload.as_deref().unwrap_or("s1");
+        let Some(workload) = workload_from_name(name) else {
+            return Err(CliError::unknown(
+                &experiment,
+                format!("unknown workload \"{name}\""),
+            ));
+        };
+        let requests = args.requests.unwrap_or(100_000);
+        let out = tracecli::record_trace(&tio, &cfg, &workload, requests, path)
+            .map_err(|e| CliError::failure(&experiment, name, e.to_string()))?;
+        println!(
+            "recorded {} accesses ({} bytes) of {name} to {}",
+            out.records,
+            out.bytes,
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Every other subcommand starts by loading + salvage-decoding.
+    let loaded = tracecli::load_trace(&tio, &cfg, path).map_err(|e| match e {
+        tracecli::TraceCliError::Header(h) => CliError::unusable(&experiment, h.to_string()),
+        other => CliError::failure(&experiment, "-", other.to_string()),
+    })?;
+    let health = loaded.salvaged.health();
+    let summary = &loaded.salvaged.summary;
+    if summary.is_degraded() {
+        eprintln!(
+            "twice-exp: trace salvage: {} frame(s) kept, {} corrupt region(s), \
+             {} byte(s) quarantined",
+            summary.frames_kept, summary.frames_dropped, summary.bytes_quarantined
+        );
+        for err in &summary.errors {
+            eprintln!("twice-exp: trace salvage: {err}");
+        }
+        if summary.errors_truncated {
+            eprintln!("twice-exp: trace salvage: (further errors elided)");
+        }
+    }
+    if health == TraceHealth::Unusable {
+        return Err(CliError::unusable(
+            &experiment,
+            format!(
+                "no records salvageable from {} ({} byte(s) quarantined)",
+                path.display(),
+                summary.bytes_quarantined
+            ),
+        ));
+    }
+
+    match sub {
+        "verify" | "stat" => {
+            if sub == "stat" {
+                println!("{}", loaded.stats());
+            } else {
+                println!(
+                    "{}: {} record(s) in {} frame(s){}",
+                    path.display(),
+                    summary.records,
+                    summary.frames_kept,
+                    if health == TraceHealth::Salvaged {
+                        " (salvaged)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+        "replay" => {
+            let name = args.defense.as_deref().unwrap_or("twice");
+            let Some(kind) = defense_from_name(name) else {
+                return Err(CliError::unknown(
+                    &experiment,
+                    format!("unknown defense \"{name}\""),
+                ));
+            };
+            let label = format!("{}", path.display());
+            let out = tracecli::replay_trace(&cfg, kind, Arc::new(loaded.salvaged.items), &label)
+                .map_err(|e| {
+                CliError::failure(&experiment, name, format!("replay aborted: {e}"))
+            })?;
+            let m = &out.metrics;
+            println!(
+                "{}: {} requests, {} ACTs, {} additional ({}), {} detection(s), {} flip(s), \
+                 digest {:#018x}",
+                m.defense,
+                m.requests,
+                m.normal_acts,
+                m.additional_acts,
+                m.ratio_percent(),
+                m.detections,
+                m.bit_flips,
+                out.digest
+            );
+        }
+        _ => unreachable!("subcommand validated above"),
+    }
+    if health == TraceHealth::Salvaged {
+        eprintln!("twice-exp: degraded: replayable records were salvaged from a damaged trace");
+        return Ok(ExitCode::from(EXIT_DEGRADED));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(Some(a)) => a,
@@ -863,6 +1029,12 @@ fn main() -> ExitCode {
                 Err(e) => e.report(),
             };
         }
+        "trace" => {
+            return match run_trace(&args) {
+                Ok(code) => code,
+                Err(e) => e.report(),
+            };
+        }
         "attack" => {
             let cfg = SimConfig::fast_test();
             let name = args.defense.as_deref().unwrap_or("twice");
@@ -901,19 +1073,24 @@ fn main() -> ExitCode {
             let cfg = SimConfig::paper_default();
             let trace =
                 twice_sim::runner::build_trace(&cfg, &workload, args.requests.unwrap_or(100_000));
-            let file = match std::fs::File::create(path) {
-                Ok(f) => f,
+            // Serialize in memory, then land the file atomically (temp +
+            // fsync + rename): a killed record never leaves a torn,
+            // header-valid trace behind.
+            let mut buf = Vec::new();
+            let n = match twice_workloads::record::write_trace(&mut buf, trace) {
+                Ok(n) => n,
                 Err(e) => {
-                    return CliError::failure("record", "-", format!("cannot create {path}: {e}"))
-                        .report()
+                    return CliError::failure("record", "-", format!("encode failed: {e}")).report()
                 }
             };
-            match twice_workloads::record::write_trace(std::io::BufWriter::new(file), trace) {
-                Ok(n) => println!("wrote {n} accesses to {path}"),
-                Err(e) => {
-                    return CliError::failure("record", "-", format!("write failed: {e}")).report()
-                }
+            use twice_sim::cio::CampaignIo as _;
+            if let Err(e) =
+                twice_sim::cio::RealIo.write_atomically(std::path::Path::new(path), &buf)
+            {
+                return CliError::failure("record", "-", format!("cannot write {path}: {e}"))
+                    .report();
             }
+            println!("wrote {n} accesses to {path}");
         }
         "replay" => {
             let Some(path) = args.file.as_deref() else {
@@ -931,10 +1108,13 @@ fn main() -> ExitCode {
                         .report()
                 }
             };
-            let reader = twice_workloads::record::TraceReader::new(
+            let reader = match twice_workloads::record::TraceReader::open(
                 std::io::BufReader::new(file),
                 &cfg.topology,
-            );
+            ) {
+                Ok(r) => r,
+                Err(e) => return CliError::unusable("replay", e.to_string()).report(),
+            };
             let mut system = twice_sim::system::System::new(&cfg, kind);
             let mut bad = 0u64;
             let outcome = system.run(reader.filter_map(|r| match r {

@@ -27,6 +27,8 @@
 //! * [`cio`] — campaign storage I/O: durable writes, injectable
 //!   storage faults, and the self-healing recovery ledger.
 //! * [`supervisor`] — panic isolation and the retry-all shard ladder.
+//! * [`tracecli`] — binary trace record/replay/verify through the
+//!   campaign storage seam (`twice-exp trace …`).
 //! * [`fleet`] — the sharded, degrade-don't-die fleet runtime behind
 //!   `twice-exp fleet`.
 //!
@@ -65,6 +67,7 @@ pub mod report;
 pub mod runner;
 pub mod supervisor;
 pub mod system;
+pub mod tracecli;
 pub mod verify;
 
 pub use config::SimConfig;

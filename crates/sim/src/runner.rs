@@ -93,6 +93,24 @@ impl WorkloadKind {
     pub fn figure7b() -> Vec<WorkloadKind> {
         vec![WorkloadKind::S1, WorkloadKind::S2, WorkloadKind::S3]
     }
+
+    /// Resolves a CLI workload name: the named kinds (`s1`, `mix-high`,
+    /// `pagerank`, …) plus every SPEC CPU2006 application model
+    /// (`mcf`, `libquantum`, …) as a 16-copy SPECrate run.
+    pub fn parse(name: &str) -> Option<WorkloadKind> {
+        Some(match name {
+            "s1" => WorkloadKind::S1,
+            "s2" => WorkloadKind::S2,
+            "s3" => WorkloadKind::S3,
+            "mix-high" => WorkloadKind::MixHigh,
+            "mix-blend" => WorkloadKind::MixBlend,
+            "fft" => WorkloadKind::Fft,
+            "radix" => WorkloadKind::Radix,
+            "mica" => WorkloadKind::Mica,
+            "pagerank" => WorkloadKind::PageRank,
+            other => WorkloadKind::SpecRate(app(other)?.name),
+        })
+    }
 }
 
 /// Builds the (unbounded, snapshot-capable) generator for `kind`.
@@ -260,6 +278,21 @@ mod tests {
         let bound = (m.normal_acts / cfg.params.th_rh + 1) * 2;
         assert!(m.additional_acts <= bound + 2);
         assert!(m.nacks > 0, "ARRs must have nacked some commands");
+    }
+
+    #[test]
+    fn parse_covers_named_kinds_and_spec_apps() {
+        assert_eq!(WorkloadKind::parse("s3"), Some(WorkloadKind::S3));
+        assert_eq!(WorkloadKind::parse("mix-high"), Some(WorkloadKind::MixHigh));
+        assert_eq!(
+            WorkloadKind::parse("pagerank"),
+            Some(WorkloadKind::PageRank)
+        );
+        assert_eq!(
+            WorkloadKind::parse("mcf"),
+            Some(WorkloadKind::SpecRate("mcf"))
+        );
+        assert_eq!(WorkloadKind::parse("nope"), None);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! The replay-equivalence guarantee for `twice-trace v2`.
+//!
+//! Replaying a recorded trace must reproduce the live run's
+//! `StateDigest` for every defense — serially, across a `--jobs`-style
+//! worker pool, and through a kill+resume snapshot cycle — and every
+//! workload generator must round-trip through record/replay byte-exact.
+//! The compression floor (binary ≥ 4x smaller than v1 text) is enforced
+//! here too, so a format regression fails loudly.
+
+use std::sync::Arc;
+use twice::TableOrganization;
+use twice_common::snapshot::{restore_from, snapshot_bytes, SnapshotReader, SnapshotWriter};
+use twice_mitigations::DefenseKind;
+use twice_sim::config::SimConfig;
+use twice_sim::parallel::parallel_map;
+use twice_sim::runner::{build_trace, WorkloadKind};
+use twice_sim::system::System;
+use twice_sim::tracecli::{load_trace, record_trace, replay_trace, ReplaySource, TraceIo};
+use twice_workloads::tracev2::TraceHealth;
+use twice_workloads::{AccessSource, TraceItem};
+
+/// Every registered defense, including all three TWiCe organizations.
+fn all_defenses() -> Vec<DefenseKind> {
+    vec![
+        DefenseKind::None,
+        DefenseKind::Twice(TableOrganization::FullyAssociative),
+        DefenseKind::Twice(TableOrganization::PseudoAssociative),
+        DefenseKind::Twice(TableOrganization::Split),
+        DefenseKind::Para { p: 0.001 },
+        DefenseKind::Para { p: 0.002 },
+        DefenseKind::Prohit { p: 0.001 },
+        DefenseKind::Cbt { counters: 256 },
+        DefenseKind::Cra { cache_entries: 512 },
+        DefenseKind::Trr { entries: 16 },
+        DefenseKind::Graphene,
+        DefenseKind::Oracle,
+    ]
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("twice-replay-eq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Records `kind`, loads it back clean, and returns the shared items.
+fn recorded(
+    cfg: &SimConfig,
+    kind: &WorkloadKind,
+    n: u64,
+    dir: &std::path::Path,
+) -> Arc<Vec<TraceItem>> {
+    let path = dir.join(format!("{kind}.twt2"));
+    let tio = TraceIo::real();
+    let outcome = record_trace(&tio, cfg, kind, n, &path).unwrap();
+    assert_eq!(outcome.records, n);
+    let loaded = load_trace(&tio, cfg, &path).unwrap();
+    assert_eq!(loaded.salvaged.health(), TraceHealth::Clean);
+    let live: Vec<TraceItem> = build_trace(cfg, kind, n).collect();
+    assert_eq!(
+        loaded.salvaged.items, live,
+        "{kind}: decode must be byte-exact"
+    );
+    Arc::new(loaded.salvaged.items)
+}
+
+fn live_digest(cfg: &SimConfig, defense: DefenseKind, items: &[TraceItem]) -> u64 {
+    let mut system = System::new(cfg, defense);
+    system.run(items.iter().copied()).unwrap();
+    system.digest()
+}
+
+#[test]
+fn every_defense_replays_to_the_live_digest() {
+    let cfg = SimConfig::fast_test();
+    let dir = tmpdir("defenses");
+    let items = recorded(&cfg, &WorkloadKind::S2, 4_000, &dir);
+    for defense in all_defenses() {
+        let live = live_digest(&cfg, defense, &items);
+        let replayed = replay_trace(&cfg, defense, items.clone(), &defense.to_string()).unwrap();
+        assert_eq!(
+            replayed.digest, live,
+            "{defense}: replay digest diverged from the live run"
+        );
+        assert_eq!(replayed.metrics.requests, 4_000, "{defense}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_replay_matches_serial() {
+    let cfg = SimConfig::fast_test();
+    let dir = tmpdir("jobs");
+    let items = recorded(&cfg, &WorkloadKind::S2, 2_000, &dir);
+    let defenses = all_defenses();
+    let serial: Vec<u64> = defenses
+        .iter()
+        .map(|d| {
+            replay_trace(&cfg, *d, items.clone(), "serial")
+                .unwrap()
+                .digest
+        })
+        .collect();
+    let pooled: Vec<u64> = parallel_map(4, &defenses, |_, d| {
+        replay_trace(&cfg, *d, items.clone(), "pooled")
+            .unwrap()
+            .digest
+    });
+    assert_eq!(pooled, serial, "--jobs must not change replay results");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_and_resumed_replay_matches_uninterrupted() {
+    let cfg = SimConfig::fast_test();
+    let dir = tmpdir("resume");
+    let items = recorded(&cfg, &WorkloadKind::S2, 3_000, &dir);
+    let defense = DefenseKind::Twice(TableOrganization::FullyAssociative);
+    let total = items.len() as u64;
+
+    let uninterrupted = replay_trace(&cfg, defense, items.clone(), "base").unwrap();
+
+    // First half, then checkpoint system + replay cursor.
+    let mut system = System::new(&cfg, defense);
+    let mut source = ReplaySource::new(items.clone());
+    for _ in 0..total / 2 {
+        system.feed(source.next_access()).unwrap();
+    }
+    let system_blob = snapshot_bytes(&system);
+    let mut w = SnapshotWriter::new();
+    AccessSource::save_state(&source, &mut w);
+    let source_blob = w.finish();
+    drop(system);
+    drop(source);
+
+    // "Kill": rebuild both from configuration + blobs, finish the run.
+    let mut system = System::new(&cfg, defense);
+    restore_from(&mut system, &system_blob).unwrap();
+    let mut source = ReplaySource::new(items.clone());
+    let mut r = SnapshotReader::new(&source_blob).unwrap();
+    AccessSource::load_state(&mut source, &mut r).unwrap();
+    assert_eq!(source.position(), total / 2);
+    for _ in total / 2..total {
+        system.feed(source.next_access()).unwrap();
+    }
+    system.drain().unwrap();
+
+    assert_eq!(
+        system.digest(),
+        uninterrupted.digest,
+        "kill+resume must land on the uninterrupted digest"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_generator_round_trips_through_record_and_replay() {
+    let cfg = SimConfig::fast_test();
+    let dir = tmpdir("generators");
+    let kinds = [
+        WorkloadKind::S1,
+        WorkloadKind::S2,
+        WorkloadKind::S3,
+        WorkloadKind::MixHigh,
+        WorkloadKind::MixBlend,
+        WorkloadKind::Fft,
+        WorkloadKind::Radix,
+        WorkloadKind::Mica,
+        WorkloadKind::PageRank,
+        WorkloadKind::SpecRate("mcf"),
+    ];
+    let defense = DefenseKind::Twice(TableOrganization::FullyAssociative);
+    for kind in kinds {
+        let items = recorded(&cfg, &kind, 800, &dir);
+        let live = live_digest(&cfg, defense, &items);
+        let replayed = replay_trace(&cfg, defense, items, &kind.to_string()).unwrap();
+        assert_eq!(replayed.digest, live, "{kind}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn binary_trace_is_at_least_4x_smaller_than_v1_text() {
+    // The acceptance floor from the format's design brief: on a
+    // locality-bearing workload at the paper topology, v2 must encode
+    // the same 100k-request stream in at most a quarter of the v1 text
+    // bytes.
+    let cfg = SimConfig::paper_default();
+    let dir = tmpdir("ratio");
+    let path = dir.join("fft.twt2");
+    let tio = TraceIo::real();
+    record_trace(&tio, &cfg, &WorkloadKind::Fft, 100_000, &path).unwrap();
+    let stats = load_trace(&tio, &cfg, &path).unwrap().stats();
+    assert_eq!(stats.records, 100_000);
+    assert_eq!(stats.frames_dropped, 0);
+    assert!(
+        stats.ratio() >= 4.0,
+        "compression regressed: v2 {} bytes vs v1 {} bytes = {:.2}x",
+        stats.v2_bytes,
+        stats.v1_bytes,
+        stats.ratio()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,7 +19,8 @@
 //! * [`mica`] — skewed key-value GET/SET traffic.
 //! * [`pagerank`] — CSR scan + power-law gather traffic.
 //! * [`synth`] — S1/S2/S3 from §7.2.
-//! * [`record`] — trace serialization and replay.
+//! * [`record`] — v1 text trace serialization and replay.
+//! * [`tracev2`] — the CRC-framed binary trace format with salvage.
 //! * [`stats`] — one-pass trace characterization (row reuse, bank
 //!   spread, hot-row share).
 //! * [`attack`] — a row-hammer attack kit (single/double/many-sided).
@@ -51,6 +52,8 @@ pub mod spec;
 pub mod stats;
 pub mod synth;
 pub mod trace;
+pub mod tracev2;
 pub mod zipf;
 
 pub use trace::{AccessSource, Bounded, TraceItem};
+pub use tracev2::{SalvageSummary, SalvagedTrace, TraceHealth, TraceV2Writer};

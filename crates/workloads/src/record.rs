@@ -5,7 +5,9 @@
 //! output to a simple line format, and [`TraceReader`] replays it as an
 //! [`crate::trace::AccessSource`]-compatible iterator.
 //!
-//! Format: one access per line, `#`-comments allowed —
+//! Format: a mandatory `# twice-trace v1` header (validated by
+//! [`TraceReader::open`]), then one access per line, `#`-comments
+//! allowed —
 //!
 //! ```text
 //! # twice-trace v1
@@ -74,13 +76,51 @@ pub struct TraceReader<R> {
 }
 
 impl<R: BufRead> TraceReader<R> {
-    /// Opens a trace over `reader` for `topo`.
-    pub fn new(reader: R, topo: &Topology) -> TraceReader<R> {
-        TraceReader {
+    /// Opens a trace over `reader` for `topo`, validating the
+    /// `# twice-trace v1` header.
+    ///
+    /// The header is a format contract, not a comment: a file without
+    /// it is rejected up front instead of best-effort parsed, and a
+    /// future `v2`-and-beyond header is reported as an unsupported
+    /// version rather than silently skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceFormatError`] if the first line is missing, is not a
+    /// `twice-trace` header, or names an unknown version.
+    pub fn open(mut reader: R, topo: &Topology) -> Result<TraceReader<R>, TraceFormatError> {
+        let mut first = String::new();
+        let got = reader.read_line(&mut first).map_err(|e| TraceFormatError {
+            line: 1,
+            message: format!("io error: {e}"),
+        })?;
+        let trimmed = first.trim();
+        let version = trimmed
+            .strip_prefix('#')
+            .map(|rest| rest.trim())
+            .and_then(|rest| rest.strip_prefix("twice-trace"))
+            .map(|rest| rest.trim());
+        let version = match version {
+            Some(v) => v,
+            None => {
+                let what = if got == 0 { "empty file" } else { "first line" };
+                return Err(TraceFormatError {
+                    line: 1,
+                    message: format!("missing `{HEADER}` header ({what})"),
+                });
+            }
+        };
+        if version != "v1" {
+            return Err(TraceFormatError {
+                line: 1,
+                message: format!("unsupported trace version {version:?} (reader speaks v1)"),
+            });
+        }
+        Ok(TraceReader {
             lines: reader.lines(),
             mapper: AddressMapper::row_interleaved(topo),
-            line_no: 0,
-        }
+            line_no: 1,
+        })
     }
 
     fn parse(&self, line: &str) -> Result<TraceItem, TraceFormatError> {
@@ -155,7 +195,8 @@ mod tests {
         let mut buf = Vec::new();
         let n = write_trace(&mut buf, original.clone()).unwrap();
         assert_eq!(n, 500);
-        let replayed: Vec<TraceItem> = TraceReader::new(BufReader::new(&buf[..]), &topo)
+        let replayed: Vec<TraceItem> = TraceReader::open(BufReader::new(&buf[..]), &topo)
+            .unwrap()
             .collect::<Result<_, _>>()
             .unwrap();
         assert_eq!(replayed.len(), original.len());
@@ -171,7 +212,8 @@ mod tests {
     fn comments_and_blank_lines_are_skipped() {
         let topo = Topology::paper_default();
         let text = format!("{HEADER}\n\n# comment\nR 0x40 3\n");
-        let items: Vec<_> = TraceReader::new(BufReader::new(text.as_bytes()), &topo)
+        let items: Vec<_> = TraceReader::open(BufReader::new(text.as_bytes()), &topo)
+            .unwrap()
             .collect::<Result<Vec<_>, _>>()
             .unwrap();
         assert_eq!(items.len(), 1);
@@ -182,8 +224,9 @@ mod tests {
     #[test]
     fn decimal_addresses_are_accepted() {
         let topo = Topology::paper_default();
-        let text = "W 128 0\n";
-        let items: Vec<_> = TraceReader::new(BufReader::new(text.as_bytes()), &topo)
+        let text = format!("{HEADER}\nW 128 0\n");
+        let items: Vec<_> = TraceReader::open(BufReader::new(text.as_bytes()), &topo)
+            .unwrap()
             .collect::<Result<Vec<_>, _>>()
             .unwrap();
         assert_eq!(items[0].0.addr, 128);
@@ -193,17 +236,42 @@ mod tests {
     #[test]
     fn malformed_lines_report_their_position() {
         let topo = Topology::paper_default();
-        for (text, needle) in [
-            ("X 0x40 1\n", "bad kind"),
-            ("R zzz 1\n", "bad address"),
-            ("R 0x40\n", "missing source"),
-            ("R 0x40 1 extra\n", "trailing"),
+        for (line, needle) in [
+            ("X 0x40 1", "bad kind"),
+            ("R zzz 1", "bad address"),
+            ("R 0x40", "missing source"),
+            ("R 0x40 1 extra", "trailing"),
         ] {
-            let err = TraceReader::new(BufReader::new(text.as_bytes()), &topo)
+            let text = format!("{HEADER}\n{line}\n");
+            let err = TraceReader::open(BufReader::new(text.as_bytes()), &topo)
+                .unwrap()
                 .next()
                 .unwrap()
                 .unwrap_err();
-            assert!(err.message.contains(needle), "{text:?} -> {err}");
+            assert!(err.message.contains(needle), "{line:?} -> {err}");
+            assert_eq!(err.line, 2);
+        }
+    }
+
+    #[test]
+    fn missing_header_is_rejected_on_open() {
+        let topo = Topology::paper_default();
+        for text in ["", "W 128 0\n", "# a plain comment\nR 0x40 1\n"] {
+            let err = TraceReader::open(BufReader::new(text.as_bytes()), &topo).unwrap_err();
+            assert!(err.message.contains("missing"), "{text:?} -> {err}");
+            assert_eq!(err.line, 1);
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_on_open() {
+        let topo = Topology::paper_default();
+        for text in ["# twice-trace v2\nR 0x40 1\n", "# twice-trace v99\n"] {
+            let err = TraceReader::open(BufReader::new(text.as_bytes()), &topo).unwrap_err();
+            assert!(
+                err.message.contains("unsupported trace version"),
+                "{text:?} -> {err}"
+            );
             assert_eq!(err.line, 1);
         }
     }
