@@ -1,0 +1,54 @@
+//! Review PoC: hostile CRC-valid frame with a huge row delta after a
+//! nonzero base row should not panic, per the salvage contract.
+
+use twice_common::crc32::crc32;
+use twice_common::Topology;
+use twice_workloads::tracev2::{decode_salvage, TraceV2Writer, RESYNC};
+
+fn small_topo() -> Topology {
+    let mut t = Topology::paper_default();
+    t.channels = 1;
+    t.ranks_per_channel = 1;
+    t.banks_per_rank = 4;
+    t.rows_per_bank = 1024;
+    t
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn forge_frame(payload: &[u8], count: u32) -> Vec<u8> {
+    let mut f = Vec::new();
+    f.extend_from_slice(&RESYNC);
+    let body_start = f.len();
+    f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    f.extend_from_slice(&count.to_le_bytes());
+    f.extend_from_slice(payload);
+    let crc = crc32(&f[body_start..]);
+    f.extend_from_slice(&crc.to_le_bytes());
+    f
+}
+
+#[test]
+fn huge_row_delta_after_nonzero_base_does_not_panic() {
+    let topo = small_topo();
+    let head = TraceV2Writer::new(&topo).finish();
+    // record 0: row delta +5 (valid); record 1: row delta = i64::MAX.
+    let mut payload = vec![0x04];
+    put_varint(&mut payload, 10); // zigzag(+5)
+    payload.push(0x04);
+    put_varint(&mut payload, u64::MAX - 1); // zigzag(i64::MAX)
+    let mut file = head;
+    file.extend_from_slice(&forge_frame(&payload, 2));
+    let s = decode_salvage(&file, &topo).unwrap();
+    assert_eq!(s.summary.records, 0);
+}
