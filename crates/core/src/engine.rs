@@ -20,6 +20,7 @@ use crate::entry::TableEntry;
 use crate::fa::FaTwice;
 use crate::pa::PaTwice;
 use crate::params::TwiceParams;
+use crate::soa::{SoaFa, SoaPa, SoaSplit};
 use crate::split::SplitTwice;
 use crate::table::{CounterTable, RecordOutcome};
 use std::fmt;
@@ -41,6 +42,13 @@ macro_rules! debug_invariant {
 }
 
 /// Which hardware organization backs each per-bank table.
+///
+/// The three primary variants run on the struct-of-arrays layout
+/// ([`crate::soa`]); the `Legacy*` variants keep the original map-based
+/// tables and exist as the differential-conformance oracle (and for the
+/// cost-model ablations that introspect the map-based types directly).
+/// Both layouts model the *same hardware* and make identical decisions —
+/// pinned by `tests/soa_equivalence.rs`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TableOrganization {
     /// fa-TWiCe: fully-associative CAM (§7.1 baseline).
@@ -50,6 +58,12 @@ pub enum TableOrganization {
     PseudoAssociative,
     /// Split short/long entries (§6.2).
     Split,
+    /// fa-TWiCe on the original map-based table (conformance oracle).
+    LegacyFullyAssociative,
+    /// pa-TWiCe on the original map-based table (conformance oracle).
+    LegacyPseudoAssociative,
+    /// Split organization on the original map-based table (oracle).
+    LegacySplit,
 }
 
 impl TableOrganization {
@@ -59,6 +73,32 @@ impl TableOrganization {
             TableOrganization::FullyAssociative => "fa",
             TableOrganization::PseudoAssociative => "pa",
             TableOrganization::Split => "split",
+            TableOrganization::LegacyFullyAssociative => "fa-legacy",
+            TableOrganization::LegacyPseudoAssociative => "pa-legacy",
+            TableOrganization::LegacySplit => "split-legacy",
+        }
+    }
+
+    /// The struct-of-arrays twin of a legacy organization (identity for
+    /// the SoA variants). Useful for pairing oracle and subject in
+    /// differential tests.
+    pub fn soa_twin(self) -> TableOrganization {
+        match self {
+            TableOrganization::LegacyFullyAssociative => TableOrganization::FullyAssociative,
+            TableOrganization::LegacyPseudoAssociative => TableOrganization::PseudoAssociative,
+            TableOrganization::LegacySplit => TableOrganization::Split,
+            other => other,
+        }
+    }
+
+    /// The legacy (map-based) twin of an SoA organization (identity for
+    /// the legacy variants).
+    pub fn legacy_twin(self) -> TableOrganization {
+        match self {
+            TableOrganization::FullyAssociative => TableOrganization::LegacyFullyAssociative,
+            TableOrganization::PseudoAssociative => TableOrganization::LegacyPseudoAssociative,
+            TableOrganization::Split => TableOrganization::LegacySplit,
+            other => other,
         }
     }
 }
@@ -82,6 +122,10 @@ pub struct EngineStats {
     /// chaos experiment compares `corruption_events` against).
     pub seu_injected: u64,
 }
+
+/// Version stamp for the engine's snapshot layout. `0x5457_4332` is
+/// ASCII `"TWC2"`: layout generation 2, the struct-of-arrays arena era.
+const ENGINE_LAYOUT_VERSION: u32 = 0x5457_4332;
 
 /// The TWiCe row-hammer prevention engine.
 pub struct TwiceEngine {
@@ -143,14 +187,33 @@ impl TwiceEngine {
         assert!(num_banks > 0, "need at least one bank");
         let bound = CapacityBound::for_params(&params);
         let th_pi = params.th_pi();
+        // The SoA death ring is sized by the largest count a tracked
+        // entry can carry; entries retire at thRH, so that is the bound
+        // on any uncorrupted count (corrupted ones take the overflow
+        // path).
+        let max_cnt = params.th_rh;
         let tables: Vec<Box<dyn CounterTable + Send>> = (0..num_banks)
             .map(|_| -> Box<dyn CounterTable + Send> {
                 match organization {
-                    TableOrganization::FullyAssociative => Box::new(FaTwice::new(bound.total())),
+                    TableOrganization::FullyAssociative => {
+                        Box::new(SoaFa::new(bound.total(), th_pi, max_cnt))
+                    }
                     TableOrganization::PseudoAssociative => {
+                        Box::new(SoaPa::with_capacity_64way(bound.total(), th_pi, max_cnt))
+                    }
+                    TableOrganization::Split => Box::new(SoaSplit::new(
+                        bound.split_short(),
+                        bound.split_long(),
+                        th_pi,
+                        max_cnt,
+                    )),
+                    TableOrganization::LegacyFullyAssociative => {
+                        Box::new(FaTwice::new(bound.total()))
+                    }
+                    TableOrganization::LegacyPseudoAssociative => {
                         Box::new(PaTwice::with_capacity_64way(bound.total()))
                     }
-                    TableOrganization::Split => Box::new(SplitTwice::new(
+                    TableOrganization::LegacySplit => Box::new(SplitTwice::new(
                         bound.split_short(),
                         bound.split_long(),
                         th_pi,
@@ -470,6 +533,13 @@ impl RowHammerDefense for TwiceEngine {
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
+        // Layout version: bumped with the SoA arena rewrite. Blobs from
+        // the pre-SoA layout open with a u64 stats field where this u32
+        // sits, so the tagged codec rejects them with a typed
+        // `SnapshotError` before any state is touched. The *digest* is
+        // intentionally unversioned: it must stay comparable across the
+        // legacy and SoA layouts (the conformance suite relies on that).
+        w.put_u32(ENGINE_LAYOUT_VERSION);
         w.put_u64(self.stats.acts);
         w.put_u64(self.stats.arrs);
         w.put_u64(self.stats.table_full_events);
@@ -502,6 +572,13 @@ impl RowHammerDefense for TwiceEngine {
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let version = r.take_u32()?;
+        if version != ENGINE_LAYOUT_VERSION {
+            return Err(SnapshotError::StateMismatch(format!(
+                "engine table-layout version {version:#010x} is not the supported \
+                 {ENGINE_LAYOUT_VERSION:#010x}"
+            )));
+        }
         self.stats = EngineStats {
             acts: r.take_u64()?,
             arrs: r.take_u64()?,
@@ -589,10 +666,13 @@ mod tests {
         TwiceEngine::with_organization(TwiceParams::fast_test(), 2, org)
     }
 
-    const ALL_ORGS: [TableOrganization; 3] = [
+    const ALL_ORGS: [TableOrganization; 6] = [
         TableOrganization::FullyAssociative,
         TableOrganization::PseudoAssociative,
         TableOrganization::Split,
+        TableOrganization::LegacyFullyAssociative,
+        TableOrganization::LegacyPseudoAssociative,
+        TableOrganization::LegacySplit,
     ];
 
     #[test]
@@ -704,13 +784,19 @@ mod tests {
                 .iter_mut()
                 .map(|e| e.on_activate(BankId(0), row, Time::ZERO))
                 .collect();
-            assert_eq!(responses[0].arr, responses[1].arr, "fa vs pa at {step}");
-            assert_eq!(responses[0].arr, responses[2].arr, "fa vs split at {step}");
+            for (i, r) in responses.iter().enumerate().skip(1) {
+                assert_eq!(
+                    responses[0].arr, r.arr,
+                    "{:?} vs {:?} at {step}",
+                    ALL_ORGS[0], ALL_ORGS[i]
+                );
+            }
         }
         let arrs: Vec<u64> = engines.iter().map(|e| e.stats().arrs).collect();
         assert!(arrs[0] > 0, "test should have triggered ARRs");
-        assert_eq!(arrs[0], arrs[1]);
-        assert_eq!(arrs[0], arrs[2]);
+        for (i, &a) in arrs.iter().enumerate().skip(1) {
+            assert_eq!(arrs[0], a, "{:?}", ALL_ORGS[i]);
+        }
         for e in &engines {
             assert_eq!(e.stats().table_full_events, 0);
         }
@@ -813,6 +899,61 @@ mod tests {
             RowHammerDefense::load_state(&mut other, &mut r),
             Err(SnapshotError::StateMismatch(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_rejects_pre_soa_layout_blob() {
+        // A pre-SoA blob has no layout stamp: its first field is the u64
+        // acts counter. The tagged codec must refuse it with a typed
+        // error, never a panic.
+        let mut w = SnapshotWriter::new();
+        w.put_u64(42); // acts, old layout
+        w.put_u64(0);
+        let blob = w.finish();
+        let mut e = engine(TableOrganization::FullyAssociative);
+        let mut r = SnapshotReader::new(&blob).expect("valid container");
+        let err = RowHammerDefense::load_state(&mut e, &mut r).expect_err("must reject");
+        assert!(matches!(err, SnapshotError::WrongFieldType { .. }), "{err}");
+
+        // A future layout version is refused with a message, too.
+        let mut w = SnapshotWriter::new();
+        w.put_u32(0xDEAD_BEEF);
+        let blob = w.finish();
+        let mut r = SnapshotReader::new(&blob).expect("valid container");
+        let err = RowHammerDefense::load_state(&mut e, &mut r).expect_err("must reject");
+        assert!(matches!(err, SnapshotError::StateMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn legacy_and_soa_twins_are_digest_identical() {
+        use twice_common::rng::SplitMix64;
+        for org in [
+            TableOrganization::FullyAssociative,
+            TableOrganization::PseudoAssociative,
+            TableOrganization::Split,
+        ] {
+            let mut soa = engine(org);
+            let mut legacy = engine(org.legacy_twin());
+            let mut rng = SplitMix64::new(404);
+            for step in 0..6_000u64 {
+                if rng.chance(0.02) {
+                    let a = soa.on_auto_refresh(BankId(0), Time::ZERO);
+                    let b = legacy.on_auto_refresh(BankId(0), Time::ZERO);
+                    assert_eq!(a, b, "{org:?} prune at {step}");
+                    continue;
+                }
+                let row = RowId(rng.next_below(40) as u32);
+                let a = soa.on_activate(BankId(0), row, Time::ZERO);
+                let b = legacy.on_activate(BankId(0), row, Time::ZERO);
+                assert_eq!(a, b, "{org:?} at {step}");
+            }
+            let digest = |e: &TwiceEngine| {
+                let mut d = StateDigest::new();
+                RowHammerDefense::digest_state(e, &mut d);
+                d.finish()
+            };
+            assert_eq!(digest(&soa), digest(&legacy), "{org:?}");
+        }
     }
 
     #[test]

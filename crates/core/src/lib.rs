@@ -25,6 +25,9 @@
 //! * [`pa`] — pa-TWiCe: the pseudo-associative organization with
 //!   set-borrowing indicators (§6.1).
 //! * [`split`] — the split short/long-entry organization (§6.2).
+//! * [`soa`] — struct-of-arrays twins of all three organizations with
+//!   generation-stamped lazy pruning (the default hot path; the map-based
+//!   modules above are retained as the conformance oracle).
 //! * [`engine`] — [`TwiceEngine`], the
 //!   [`twice_common::RowHammerDefense`] implementation.
 //! * [`bound`] — the §4.4 analytic capacity bound and an adversarial
@@ -64,6 +67,7 @@ pub mod fa;
 pub mod forensics;
 pub mod pa;
 pub mod params;
+pub mod soa;
 pub mod split;
 pub mod table;
 
@@ -72,4 +76,5 @@ pub use engine::{TableOrganization, TwiceEngine};
 pub use entry::TableEntry;
 pub use forensics::DetectionLog;
 pub use params::TwiceParams;
+pub use soa::{SoaFa, SoaPa, SoaSplit};
 pub use table::{CounterTable, RecordOutcome};

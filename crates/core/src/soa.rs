@@ -1,0 +1,1270 @@
+//! Struct-of-arrays counter tables with generation-stamped lazy pruning.
+//!
+//! The legacy organizations ([`crate::fa`], [`crate::pa`], [`crate::split`])
+//! model each table as boxed `Option<TableEntry>` slots behind SipHash
+//! maps and sweep every slot on every per-bank auto-refresh. That layout
+//! is faithful but seed-shaped: the per-ACT hot path pays a hash per
+//! lookup and the per-tREFI sweep pays O(capacity) even when nothing is
+//! due to die. The organizations here keep *bit-identical observable
+//! behavior* (same [`RecordOutcome`]s, same entry sets and lives, same
+//! probe statistics, same free-slot recycling order) on a flat layout:
+//!
+//! * **One array per field** ([`Arena`]): `rows`, `cnts`, `lives`,
+//!   `stamps`, `deaths` — contiguous, indexed by slot, no per-ACT
+//!   allocation and no hashing on any path the engine drives per ACT.
+//! * **Generation-stamped lives**: a pruning pass is an epoch bump.
+//!   An entry's `life` is settled lazily as `lives[s] + (epoch -
+//!   stamps[s])`, so survivors are never touched by a prune.
+//! * **Scheduled deaths instead of sweeps**: TWiCe's prune rule
+//!   (`act_cnt >= thPI × life` survives, ages; else evicted) makes an
+//!   entry's eviction epoch a *closed-form function* of its count:
+//!   with base life `l` stamped at epoch `s`, the first failing epoch is
+//!   `s + max(1, ⌊cnt/thPI⌋ + 2 − l)`. Each entry carries that death
+//!   epoch and sits in a ring bucket keyed by it; a prune only visits
+//!   the bucket that just came due. A count increment only moves the
+//!   death epoch when it crosses a `thPI` multiple, so rescheduling is
+//!   amortized O(1/thPI) per ACT.
+//!
+//! Stale bucket references (an entry was hit, removed, or re-slotted
+//! after scheduling) are tolerated, never chased: a reference only kills
+//! its slot if the slot is live *and* its recorded death epoch matches
+//! the epoch being processed. Deaths far beyond the ring (possible only
+//! via injected count corruption) park in an overflow list scanned per
+//! prune. Each epoch's due slots are processed in ascending slot order,
+//! which reproduces the legacy sweep's free-list push order exactly —
+//! that matters for the split organization, whose promote-victim search
+//! is position-dependent.
+//!
+//! Equivalence with the legacy twins is pinned three ways: the
+//! conformance suite in [`crate::table`], the lazy-vs-eager property
+//! tests in `tests/soa_equivalence.rs`, and the engine-level
+//! differential harness that runs both layouts over every workload
+//! generator asserting identical digests, ARR decisions and obs
+//! counters.
+
+use crate::entry::TableEntry;
+use crate::pa::PaStats;
+use crate::table::{CounterTable, RecordOutcome};
+use twice_common::RowId;
+
+/// Sentinel marking a free slot in [`Arena::rows`].
+const FREE: u32 = u32::MAX;
+
+/// The shared struct-of-arrays entry store plus the death scheduler.
+///
+/// Organizations own placement (which slot an entry lands in, how it is
+/// found); the arena owns the per-entry fields and the pruning clock.
+#[derive(Debug, Clone)]
+struct Arena {
+    th_pi: u64,
+    /// Row tracked by each slot; [`FREE`] marks an empty slot.
+    rows: Vec<u32>,
+    /// Activation count per slot.
+    cnts: Vec<u64>,
+    /// Base life per slot, valid as of `stamps[s]`.
+    lives: Vec<u64>,
+    /// Epoch at which `lives[s]` was last settled.
+    stamps: Vec<u64>,
+    /// Scheduled eviction epoch per slot.
+    deaths: Vec<u64>,
+    /// Pruning passes performed so far.
+    epoch: u64,
+    /// Live entry count (exact: slots are freed eagerly at their death
+    /// epoch, so there are no zombies to subtract).
+    live: usize,
+    /// Ring of death buckets: slot s with death d sits in
+    /// `dying[d % dying.len()]`. Entries are hints, validated on use.
+    dying: Vec<Vec<u32>>,
+    /// Slots whose death is too far ahead for the ring (only reachable
+    /// through injected count corruption); rescanned each prune.
+    overflow: Vec<u32>,
+    /// Rows whose recomputed parity disagrees with the stored bit (same
+    /// model as the legacy `mismatch` sets; a small unsorted vec because
+    /// it is empty outside fault-injection runs).
+    corrupt: Vec<u32>,
+    parity: bool,
+    /// Scratch: the slots genuinely due at the current epoch, ascending.
+    due: Vec<u32>,
+}
+
+impl Arena {
+    fn new(capacity: usize, th_pi: u64, max_cnt: u64) -> Arena {
+        assert!(capacity > 0, "capacity must be non-zero");
+        assert!(th_pi > 0, "thPI must be non-zero");
+        // Legal streams keep counts below the detection threshold, so
+        // deaths land within ⌊max_cnt/thPI⌋ + 2 epochs of their stamp;
+        // headroom on top keeps even boundary cases off the overflow
+        // path. Corrupted counts beyond that park in `overflow`.
+        let ring = (max_cnt / th_pi + 6) as usize;
+        Arena {
+            th_pi,
+            rows: vec![FREE; capacity],
+            cnts: vec![0; capacity],
+            lives: vec![0; capacity],
+            stamps: vec![0; capacity],
+            deaths: vec![0; capacity],
+            epoch: 0,
+            live: 0,
+            dying: (0..ring).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            corrupt: Vec::new(),
+            parity: true,
+            due: Vec::new(),
+        }
+    }
+
+    /// The epoch at which the slot's entry fails `cnt >= thPI × life`,
+    /// given its current count and base life. Invariant under settling.
+    #[inline]
+    fn death_epoch(&self, slot: usize) -> u64 {
+        let q = self.cnts[slot] / self.th_pi;
+        self.stamps[slot] + (q + 2).saturating_sub(self.lives[slot]).max(1)
+    }
+
+    /// The life the legacy per-epoch aging would show right now.
+    #[inline]
+    fn life(&self, slot: usize) -> u64 {
+        self.lives[slot] + (self.epoch - self.stamps[slot])
+    }
+
+    /// (Re)schedules the slot's death, pushing a ring or overflow
+    /// reference only when the death epoch actually moved.
+    fn schedule(&mut self, slot: usize) {
+        // An injected downward count flip can compute a death epoch in
+        // the past. The survive condition `cnt >= thPI × life` is
+        // monotone once false (the count is fixed, the life keeps
+        // growing), so the legacy sweep would evict at the next prune:
+        // clamp to exactly that.
+        let d = self.death_epoch(slot).max(self.epoch + 1);
+        if d == self.deaths[slot] {
+            return;
+        }
+        self.deaths[slot] = d;
+        self.push_ref(slot, d);
+    }
+
+    #[inline]
+    fn push_ref(&mut self, slot: usize, d: u64) {
+        let ring = self.dying.len() as u64;
+        if d - self.epoch < ring {
+            self.dying[(d % ring) as usize].push(slot as u32);
+        } else {
+            self.overflow.push(slot as u32);
+        }
+    }
+
+    /// Installs a fresh or restored entry into a free slot.
+    fn fill(&mut self, slot: usize, row: u32, cnt: u64, life: u64) {
+        debug_assert_eq!(self.rows[slot], FREE, "fill of an occupied slot");
+        debug_assert_ne!(row, FREE, "row id u32::MAX is reserved");
+        self.rows[slot] = row;
+        self.cnts[slot] = cnt;
+        self.lives[slot] = life;
+        self.stamps[slot] = self.epoch;
+        self.deaths[slot] = 0; // force a reschedule
+        self.live += 1;
+        self.schedule(slot);
+    }
+
+    /// Counts one hit: settles the lazy life, bumps the count, and
+    /// reschedules the death if it moved. Returns the new count.
+    fn hit(&mut self, slot: usize) -> u64 {
+        self.lives[slot] = self.life(slot);
+        self.stamps[slot] = self.epoch;
+        self.cnts[slot] += 1;
+        self.schedule(slot);
+        self.cnts[slot]
+    }
+
+    /// Frees the slot, clearing any pending corruption mark. The caller
+    /// handles organization bookkeeping (indexes, free lists).
+    fn kill(&mut self, slot: usize) {
+        let row = self.rows[slot];
+        self.rows[slot] = FREE;
+        self.live -= 1;
+        self.launder(row);
+    }
+
+    /// Moves the entry in `from` to the empty slot `to`, carrying its
+    /// death schedule along (corruption marks are keyed by row and ride
+    /// for free).
+    fn move_slot(&mut self, from: usize, to: usize) {
+        debug_assert_eq!(self.rows[to], FREE, "move into an occupied slot");
+        self.rows[to] = self.rows[from];
+        self.cnts[to] = self.cnts[from];
+        self.lives[to] = self.lives[from];
+        self.stamps[to] = self.stamps[from];
+        self.deaths[to] = self.deaths[from];
+        self.rows[from] = FREE;
+        self.push_ref(to, self.deaths[to]);
+    }
+
+    /// Swaps the entries in two occupied slots, re-referencing both.
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.rows.swap(a, b);
+        self.cnts.swap(a, b);
+        self.lives.swap(a, b);
+        self.stamps.swap(a, b);
+        self.deaths.swap(a, b);
+        self.push_ref(a, self.deaths[a]);
+        self.push_ref(b, self.deaths[b]);
+    }
+
+    fn entry(&self, slot: usize) -> TableEntry {
+        TableEntry {
+            row: RowId(self.rows[slot]),
+            act_cnt: self.cnts[slot],
+            life: self.life(slot),
+        }
+    }
+
+    fn entries_into(&self, out: &mut Vec<TableEntry>) {
+        out.clear();
+        for slot in 0..self.rows.len() {
+            if self.rows[slot] != FREE {
+                out.push(self.entry(slot));
+            }
+        }
+    }
+
+    /// Advances the epoch and gathers the slots genuinely due to die
+    /// into `self.due`, ascending — the same order the legacy sweep
+    /// frees slots in.
+    fn collect_due(&mut self) {
+        self.epoch += 1;
+        let ring = self.dying.len() as u64;
+        let idx = (self.epoch % ring) as usize;
+        let mut bucket = std::mem::take(&mut self.dying[idx]);
+        self.due.clear();
+        for &s in &bucket {
+            let slot = s as usize;
+            if self.rows[slot] != FREE && self.deaths[slot] == self.epoch {
+                self.due.push(s);
+            }
+        }
+        bucket.clear();
+        self.dying[idx] = bucket;
+        if !self.overflow.is_empty() {
+            let epoch = self.epoch;
+            let Arena {
+                overflow,
+                rows,
+                deaths,
+                due,
+                ..
+            } = self;
+            overflow.retain(|&s| {
+                let slot = s as usize;
+                if rows[slot] == FREE || deaths[slot] < epoch {
+                    return false; // dead, or a stale reference
+                }
+                if deaths[slot] == epoch {
+                    due.push(s);
+                    return false;
+                }
+                true
+            });
+        }
+        self.due.sort_unstable();
+        self.due.dedup();
+    }
+
+    fn is_corrupt(&self, row: u32) -> bool {
+        self.corrupt.contains(&row)
+    }
+
+    fn launder(&mut self, row: u32) {
+        if let Some(p) = self.corrupt.iter().position(|&r| r == row) {
+            self.corrupt.swap_remove(p);
+        }
+    }
+
+    /// Toggles the parity-mismatch mark (an even number of upsets
+    /// between writes cancels out, exactly as single-bit parity would
+    /// miss it).
+    fn toggle_corrupt(&mut self, row: u32) {
+        if let Some(p) = self.corrupt.iter().position(|&r| r == row) {
+            self.corrupt.swap_remove(p);
+        } else {
+            self.corrupt.push(row);
+        }
+    }
+
+    fn mark_corrupt(&mut self, row: u32) {
+        if !self.is_corrupt(row) {
+            self.corrupt.push(row);
+        }
+    }
+
+    fn flip_count_bit(&mut self, slot: usize, bit: u32) {
+        assert!(bit < 64, "bit index out of range");
+        self.cnts[slot] ^= 1u64 << bit;
+        self.schedule(slot);
+    }
+
+    fn corrupted_rows(&self) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = self.corrupt.iter().map(|&r| RowId(r)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn scrub_victims_into(&self, out: &mut Vec<RowId>) {
+        out.clear();
+        if !self.parity {
+            return;
+        }
+        out.extend(self.corrupt.iter().map(|&r| RowId(r)));
+        out.sort_unstable();
+    }
+
+    fn clear(&mut self) {
+        self.rows.iter_mut().for_each(|r| *r = FREE);
+        self.epoch = 0;
+        self.live = 0;
+        for b in &mut self.dying {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.corrupt.clear();
+        self.due.clear();
+    }
+}
+
+/// fa-TWiCe on the struct-of-arrays arena: the CAM is modeled by a
+/// direct-mapped row index (`row → slot + 1`, grown on demand), so a
+/// lookup is one array read instead of a SipHash probe.
+#[derive(Debug, Clone)]
+pub struct SoaFa {
+    a: Arena,
+    /// `idx[row] = slot + 1`, 0 = untracked. Sized to the highest row
+    /// ever seen; the engine's row space is bounded by the bank geometry.
+    idx: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl SoaFa {
+    /// Creates a table with `capacity` entry slots. `th_pi` binds the
+    /// pruning threshold at construction (death epochs are precomputed
+    /// from it); `max_cnt` sizes the death ring — pass the detection
+    /// threshold the engine retires entries at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `th_pi` is zero.
+    pub fn new(capacity: usize, th_pi: u64, max_cnt: u64) -> SoaFa {
+        SoaFa {
+            a: Arena::new(capacity, th_pi, max_cnt),
+            idx: Vec::new(),
+            free: (0..capacity as u32).rev().collect(),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, row: RowId) -> Option<usize> {
+        let s = *self.idx.get(row.0 as usize)?;
+        if s == 0 {
+            None
+        } else {
+            Some((s - 1) as usize)
+        }
+    }
+
+    #[inline]
+    fn set_index(&mut self, row: u32, slot: u32) {
+        let r = row as usize;
+        if r >= self.idx.len() {
+            self.idx.resize(r + 1, 0);
+        }
+        self.idx[r] = slot + 1;
+    }
+
+    fn free_slot(&mut self, slot: usize) {
+        let row = self.a.rows[slot];
+        self.a.kill(slot);
+        self.idx[row as usize] = 0;
+        self.free.push(slot as u32);
+    }
+}
+
+impl CounterTable for SoaFa {
+    fn record_act(&mut self, row: RowId) -> RecordOutcome {
+        if let Some(slot) = self.slot_of(row) {
+            if !self.a.corrupt.is_empty() {
+                if self.a.parity && self.a.is_corrupt(row.0) {
+                    return RecordOutcome::Corrupted;
+                }
+                // A legitimate read-modify-write recomputes the stored
+                // parity, laundering any (unchecked) corruption.
+                self.a.launder(row.0);
+            }
+            return RecordOutcome::Counted {
+                act_cnt: self.a.hit(slot),
+            };
+        }
+        let Some(slot) = self.free.pop() else {
+            return RecordOutcome::TableFull;
+        };
+        self.a.fill(slot as usize, row.0, 1, 1);
+        self.set_index(row.0, slot);
+        RecordOutcome::Counted { act_cnt: 1 }
+    }
+
+    fn remove(&mut self, row: RowId) {
+        if let Some(slot) = self.slot_of(row) {
+            self.free_slot(slot);
+        }
+    }
+
+    fn prune(&mut self, th_pi: u64) {
+        debug_assert_eq!(th_pi, self.a.th_pi, "SoA tables bind thPI at construction");
+        self.a.collect_due();
+        for i in 0..self.a.due.len() {
+            let slot = self.a.due[i] as usize;
+            if self.a.rows[slot] != FREE {
+                self.free_slot(slot);
+            }
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.a.live
+    }
+
+    fn capacity(&self) -> usize {
+        self.a.rows.len()
+    }
+
+    fn get(&self, row: RowId) -> Option<TableEntry> {
+        self.slot_of(row).map(|s| self.a.entry(s))
+    }
+
+    fn entries(&self) -> Vec<TableEntry> {
+        let mut out = Vec::with_capacity(self.a.live);
+        self.entries_into(&mut out);
+        out
+    }
+
+    fn entries_into(&self, out: &mut Vec<TableEntry>) {
+        self.a.entries_into(out);
+    }
+
+    fn clear(&mut self) {
+        self.a.clear();
+        self.idx.iter_mut().for_each(|s| *s = 0);
+        self.free.clear();
+        self.free.extend((0..self.a.rows.len() as u32).rev());
+    }
+
+    fn set_parity_checking(&mut self, enabled: bool) {
+        self.a.parity = enabled;
+    }
+
+    fn inject_bit_flip(&mut self, row: RowId, bit: u32) -> bool {
+        let Some(slot) = self.slot_of(row) else {
+            return false;
+        };
+        self.a.flip_count_bit(slot, bit);
+        self.a.toggle_corrupt(row.0);
+        true
+    }
+
+    fn scrub(&mut self) -> Vec<RowId> {
+        let mut rows = Vec::new();
+        self.scrub_into(&mut rows);
+        rows
+    }
+
+    fn scrub_into(&mut self, out: &mut Vec<RowId>) {
+        self.a.scrub_victims_into(out);
+        for &row in out.iter() {
+            self.remove(row);
+        }
+    }
+
+    fn insert_entry(&mut self, entry: TableEntry) -> bool {
+        if self.slot_of(entry.row).is_some() {
+            return false;
+        }
+        let Some(slot) = self.free.pop() else {
+            return false;
+        };
+        self.a
+            .fill(slot as usize, entry.row.0, entry.act_cnt, entry.life);
+        self.set_index(entry.row.0, slot);
+        true
+    }
+
+    fn corrupted_rows(&self) -> Vec<RowId> {
+        self.a.corrupted_rows()
+    }
+
+    fn mark_corrupted(&mut self, row: RowId) {
+        if self.slot_of(row).is_some() {
+            self.a.mark_corrupt(row.0);
+        }
+    }
+}
+
+/// pa-TWiCe on the struct-of-arrays arena: sets are contiguous runs of
+/// `ways` slots, the set-borrowing indicators are one flat array, and a
+/// probe is a branch-light linear scan over a `u32` row lane — but the
+/// probe *statistics* (the energy model) are computed by exactly the
+/// legacy rules.
+#[derive(Debug, Clone)]
+pub struct SoaPa {
+    a: Arena,
+    /// `sb[s * nsets + p]` = entries with preferred set `p` hosted by
+    /// set `s` (`s != p`).
+    sb: Vec<u32>,
+    nsets: usize,
+    ways: usize,
+    stats: PaStats,
+}
+
+impl SoaPa {
+    /// Creates a table of `sets × ways` slots. See [`SoaFa::new`] for
+    /// the `th_pi` / `max_cnt` contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets`, `ways` or `th_pi` is zero.
+    pub fn new(sets: usize, ways: usize, th_pi: u64, max_cnt: u64) -> SoaPa {
+        assert!(sets > 0 && ways > 0, "geometry must be non-zero");
+        SoaPa {
+            a: Arena::new(sets * ways, th_pi, max_cnt),
+            sb: vec![0; sets * sets],
+            nsets: sets,
+            ways,
+            stats: PaStats::default(),
+        }
+    }
+
+    /// The paper's geometry: 64 ways (§6.1/§7.1), sized to cover
+    /// `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `th_pi` is zero.
+    pub fn with_capacity_64way(capacity: usize, th_pi: u64, max_cnt: u64) -> SoaPa {
+        assert!(capacity > 0, "capacity must be non-zero");
+        SoaPa::new(capacity.div_ceil(64), 64, th_pi, max_cnt)
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.nsets
+    }
+
+    /// Ways per set.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Probe statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> PaStats {
+        self.stats
+    }
+
+    #[inline]
+    fn preferred_set(&self, row: RowId) -> usize {
+        row.index() % self.nsets
+    }
+
+    #[inline]
+    fn probe_set(&self, set: usize, row: u32) -> Option<usize> {
+        let base = set * self.ways;
+        self.a.rows[base..base + self.ways]
+            .iter()
+            .position(|&r| r == row)
+            .map(|w| base + w)
+    }
+
+    #[inline]
+    fn free_way(&self, set: usize) -> Option<usize> {
+        let base = set * self.ways;
+        self.a.rows[base..base + self.ways]
+            .iter()
+            .position(|&r| r == FREE)
+            .map(|w| base + w)
+    }
+
+    /// Finds `row`'s slot, counting probes (legacy rules, including the
+    /// obs export).
+    fn find(&mut self, row: RowId) -> (Option<usize>, bool) {
+        let before = self.stats.set_probes;
+        let out = self.find_inner(row);
+        let probes = self.stats.set_probes - before;
+        twice_obs::add(twice_obs::Ctr::CorePaSetProbes, probes);
+        twice_obs::record(twice_obs::HistId::CoreProbeSets, probes);
+        out
+    }
+
+    fn find_inner(&mut self, row: RowId) -> (Option<usize>, bool) {
+        let pref = self.preferred_set(row);
+        self.stats.set_probes += 1;
+        if let Some(slot) = self.probe_set(pref, row.0) {
+            return (Some(slot), false);
+        }
+        // Chase borrowed entries: only sets hosting entries of `pref`.
+        let mut extended = false;
+        for s in 0..self.nsets {
+            if s == pref || self.sb[s * self.nsets + pref] == 0 {
+                continue;
+            }
+            extended = true;
+            self.stats.set_probes += 1;
+            if let Some(slot) = self.probe_set(s, row.0) {
+                return (Some(slot), true);
+            }
+        }
+        (None, extended)
+    }
+
+    fn note_lookup(&mut self, extended: bool) {
+        if extended {
+            self.stats.extended += 1;
+        } else {
+            self.stats.preferred_only += 1;
+        }
+    }
+
+    fn free_slot(&mut self, slot: usize) {
+        let row = self.a.rows[slot];
+        let s = slot / self.ways;
+        let pref = RowId(row).index() % self.nsets;
+        self.a.kill(slot);
+        if s != pref {
+            debug_assert!(self.sb[s * self.nsets + pref] > 0);
+            self.sb[s * self.nsets + pref] -= 1;
+        }
+    }
+}
+
+impl CounterTable for SoaPa {
+    fn record_act(&mut self, row: RowId) -> RecordOutcome {
+        let (found, extended) = self.find(row);
+        self.note_lookup(extended);
+        if let Some(slot) = found {
+            if !self.a.corrupt.is_empty() {
+                if self.a.parity && self.a.is_corrupt(row.0) {
+                    return RecordOutcome::Corrupted;
+                }
+                self.a.launder(row.0);
+            }
+            return RecordOutcome::Counted {
+                act_cnt: self.a.hit(slot),
+            };
+        }
+        // Insert: preferred set first (Figure 6 step 4).
+        let pref = self.preferred_set(row);
+        if let Some(slot) = self.free_way(pref) {
+            self.a.fill(slot, row.0, 1, 1);
+            return RecordOutcome::Counted { act_cnt: 1 };
+        }
+        for s in 0..self.nsets {
+            if s == pref {
+                continue;
+            }
+            if let Some(slot) = self.free_way(s) {
+                self.a.fill(slot, row.0, 1, 1);
+                self.sb[s * self.nsets + pref] += 1;
+                self.stats.borrowed_insertions += 1;
+                twice_obs::bump(twice_obs::Ctr::CorePaBorrowedInserts);
+                return RecordOutcome::Counted { act_cnt: 1 };
+            }
+        }
+        RecordOutcome::TableFull
+    }
+
+    fn remove(&mut self, row: RowId) {
+        let (found, _) = self.find(row);
+        if let Some(slot) = found {
+            self.free_slot(slot);
+        }
+    }
+
+    fn prune(&mut self, th_pi: u64) {
+        debug_assert_eq!(th_pi, self.a.th_pi, "SoA tables bind thPI at construction");
+        self.a.collect_due();
+        for i in 0..self.a.due.len() {
+            let slot = self.a.due[i] as usize;
+            if self.a.rows[slot] != FREE {
+                self.free_slot(slot);
+            }
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.a.live
+    }
+
+    fn capacity(&self) -> usize {
+        self.nsets * self.ways
+    }
+
+    fn get(&self, row: RowId) -> Option<TableEntry> {
+        let pref = self.preferred_set(row);
+        if let Some(slot) = self.probe_set(pref, row.0) {
+            return Some(self.a.entry(slot));
+        }
+        for s in 0..self.nsets {
+            if s != pref && self.sb[s * self.nsets + pref] > 0 {
+                if let Some(slot) = self.probe_set(s, row.0) {
+                    return Some(self.a.entry(slot));
+                }
+            }
+        }
+        None
+    }
+
+    fn entries(&self) -> Vec<TableEntry> {
+        let mut out = Vec::with_capacity(self.a.live);
+        self.entries_into(&mut out);
+        out
+    }
+
+    fn entries_into(&self, out: &mut Vec<TableEntry>) {
+        self.a.entries_into(out);
+    }
+
+    fn clear(&mut self) {
+        self.a.clear();
+        self.sb.iter_mut().for_each(|c| *c = 0);
+    }
+
+    fn set_parity_checking(&mut self, enabled: bool) {
+        self.a.parity = enabled;
+    }
+
+    fn inject_bit_flip(&mut self, row: RowId, bit: u32) -> bool {
+        // Locate without going through `find`: a physical upset is not a
+        // lookup and must not perturb the probe-energy statistics.
+        for slot in 0..self.a.rows.len() {
+            if self.a.rows[slot] == row.0 {
+                self.a.flip_count_bit(slot, bit);
+                self.a.toggle_corrupt(row.0);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn scrub(&mut self) -> Vec<RowId> {
+        let mut rows = Vec::new();
+        self.scrub_into(&mut rows);
+        rows
+    }
+
+    fn scrub_into(&mut self, out: &mut Vec<RowId>) {
+        self.a.scrub_victims_into(out);
+        // `remove` goes through `find` on purpose: the legacy scrub pass
+        // pays (and counts) a lookup per eviction.
+        for &row in out.iter() {
+            self.remove(row);
+        }
+    }
+
+    fn insert_entry(&mut self, entry: TableEntry) -> bool {
+        if self.get(entry.row).is_some() {
+            return false;
+        }
+        let pref = self.preferred_set(entry.row);
+        if let Some(slot) = self.free_way(pref) {
+            self.a.fill(slot, entry.row.0, entry.act_cnt, entry.life);
+            return true;
+        }
+        for s in 0..self.nsets {
+            if s == pref {
+                continue;
+            }
+            if let Some(slot) = self.free_way(s) {
+                self.a.fill(slot, entry.row.0, entry.act_cnt, entry.life);
+                self.sb[s * self.nsets + pref] += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn corrupted_rows(&self) -> Vec<RowId> {
+        self.a.corrupted_rows()
+    }
+
+    fn mark_corrupted(&mut self, row: RowId) {
+        if self.get(row).is_some() {
+            self.a.mark_corrupt(row.0);
+        }
+    }
+}
+
+/// The split short/long organization on the struct-of-arrays arena:
+/// slots `0..short_capacity` are the short sub-table, the rest are long.
+/// Absolute slot numbering keeps the legacy free-list discipline for
+/// free — ascending due-slot processing frees shorts before longs in
+/// slot order, exactly like the legacy two-phase sweep.
+#[derive(Debug, Clone)]
+pub struct SoaSplit {
+    a: Arena,
+    short_cap: usize,
+    /// `idx[row] = slot + 1`, 0 = untracked (see [`SoaFa::idx`]).
+    idx: Vec<u32>,
+    short_free: Vec<u32>,
+    long_free: Vec<u32>,
+    promotions: u64,
+    spills: u64,
+    /// Whether any short slot may hold an entry that could survive the
+    /// next prune (promotion failed with the long sub-table full, a
+    /// restored survivor landed short, or a count upset hit a short
+    /// entry). While set, prunes run the legacy eager short sweep so
+    /// survivors age into long exactly as the map-based table does;
+    /// the flag clears itself once no such entry remains.
+    short_survivors: bool,
+    /// Scratch for the eager sweep: long slots that received a promoted
+    /// survivor this prune and still owe the legacy long-phase revisit.
+    /// Always empty outside [`SoaSplit::prune`].
+    sweep_moved: Vec<u32>,
+}
+
+impl SoaSplit {
+    /// Creates a split table with `short_capacity` + `long_capacity`
+    /// slots, promoting entries at `th_pi` activations. See
+    /// [`SoaFa::new`] for the `max_cnt` contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity or `th_pi` is zero.
+    pub fn new(short_capacity: usize, long_capacity: usize, th_pi: u64, max_cnt: u64) -> SoaSplit {
+        assert!(
+            short_capacity > 0 && long_capacity > 0,
+            "capacities must be non-zero"
+        );
+        let total = short_capacity + long_capacity;
+        SoaSplit {
+            a: Arena::new(total, th_pi, max_cnt),
+            short_cap: short_capacity,
+            idx: Vec::new(),
+            short_free: (0..short_capacity as u32).rev().collect(),
+            long_free: (short_capacity as u32..total as u32).rev().collect(),
+            promotions: 0,
+            spills: 0,
+            short_survivors: false,
+            sweep_moved: Vec::new(),
+        }
+    }
+
+    /// Short-sub-table slots.
+    #[inline]
+    pub fn short_capacity(&self) -> usize {
+        self.short_cap
+    }
+
+    /// Long-sub-table slots.
+    #[inline]
+    pub fn long_capacity(&self) -> usize {
+        self.a.rows.len() - self.short_cap
+    }
+
+    /// Promotions performed so far.
+    #[inline]
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Fresh inserts that spilled into long slots so far.
+    #[inline]
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    #[inline]
+    fn slot_of(&self, row: RowId) -> Option<usize> {
+        let s = *self.idx.get(row.0 as usize)?;
+        if s == 0 {
+            None
+        } else {
+            Some((s - 1) as usize)
+        }
+    }
+
+    #[inline]
+    fn set_index(&mut self, row: u32, slot: usize) {
+        let r = row as usize;
+        if r >= self.idx.len() {
+            self.idx.resize(r + 1, 0);
+        }
+        self.idx[r] = slot as u32 + 1;
+    }
+
+    fn free_slot(&mut self, slot: usize) {
+        let row = self.a.rows[slot];
+        self.a.kill(slot);
+        self.idx[row as usize] = 0;
+        if slot < self.short_cap {
+            self.short_free.push(slot as u32);
+        } else {
+            self.long_free.push(slot as u32);
+        }
+    }
+
+    /// Moves the short entry at `slot` into the long sub-table.
+    /// Returns `false` when no room could be made.
+    fn promote(&mut self, slot: usize) -> bool {
+        if let Some(l) = self.long_free.pop() {
+            let row = self.a.rows[slot];
+            self.a.move_slot(slot, l as usize);
+            self.set_index(row, l as usize);
+            self.short_free.push(slot as u32);
+            self.promotions += 1;
+            return true;
+        }
+        // Long full: swap with a spilled fresh entry (life 1, below thPI).
+        let victim = (self.short_cap..self.a.rows.len()).find(|&l| {
+            self.a.rows[l] != FREE && self.a.life(l) == 1 && self.a.cnts[l] < self.a.th_pi
+        });
+        let Some(l) = victim else {
+            return false;
+        };
+        self.a.swap_slots(slot, l);
+        self.set_index(self.a.rows[l], l);
+        self.set_index(self.a.rows[slot], slot);
+        self.promotions += 1;
+        true
+    }
+
+    /// The legacy eager short sweep, run only while `short_survivors`
+    /// is set. It reproduces the map-based prune's two-phase pass
+    /// exactly, including its quirk: a short survivor moved into the
+    /// long sub-table is *visited again* by the long phase of the same
+    /// prune — aged a second time, or evicted on the spot if its count
+    /// no longer covers the once-aged life. Kills happen in slot order
+    /// (shorts during this sweep, longs later in the merged due loop),
+    /// so free-list recycling order matches the legacy sweep's.
+    fn eager_short_sweep(&mut self) {
+        let mut any_left = false;
+        debug_assert!(self.sweep_moved.is_empty());
+        for slot in 0..self.short_cap {
+            if self.a.rows[slot] == FREE {
+                continue;
+            }
+            // The survive check uses the life *before* this epoch's aging.
+            let life_before = self.a.lives[slot] + (self.a.epoch - 1 - self.a.stamps[slot]);
+            if self.a.cnts[slot] >= self.a.th_pi * life_before {
+                if let Some(l) = self.long_free.pop() {
+                    let row = self.a.rows[slot];
+                    self.a.move_slot(slot, l as usize);
+                    self.set_index(row, l as usize);
+                    self.short_free.push(slot as u32);
+                    // Settle the short-phase aging; the long-phase
+                    // revisit happens after the whole short sweep.
+                    self.a.lives[l as usize] = life_before + 1;
+                    self.a.stamps[l as usize] = self.a.epoch;
+                    self.sweep_moved.push(l);
+                } else {
+                    any_left = true;
+                }
+            } else {
+                self.free_slot(slot);
+            }
+        }
+        self.short_survivors = any_left;
+        // Legacy long-phase revisit of just-moved survivors: age again,
+        // or die now if the count no longer covers the aged life. Deaths
+        // join the due list so all long-slot frees happen in ascending
+        // slot order, exactly like the legacy long sweep.
+        for i in 0..self.sweep_moved.len() {
+            let l = self.sweep_moved[i] as usize;
+            if self.a.cnts[l] >= self.a.th_pi * self.a.lives[l] {
+                self.a.lives[l] += 1;
+                self.a.schedule(l);
+            } else {
+                self.a.deaths[l] = self.a.epoch;
+                self.a.due.push(l as u32);
+            }
+        }
+        if !self.sweep_moved.is_empty() {
+            self.sweep_moved.clear();
+            self.a.due.sort_unstable();
+            self.a.due.dedup();
+        }
+    }
+}
+
+impl CounterTable for SoaSplit {
+    fn record_act(&mut self, row: RowId) -> RecordOutcome {
+        if let Some(slot) = self.slot_of(row) {
+            if !self.a.corrupt.is_empty() {
+                if self.a.parity && self.a.is_corrupt(row.0) {
+                    return RecordOutcome::Corrupted;
+                }
+                self.a.launder(row.0);
+            }
+            let act_cnt = self.a.hit(slot);
+            if slot < self.short_cap && act_cnt >= self.a.th_pi && !self.promote(slot) {
+                // Cannot represent the count in a short entry and no
+                // long slot is available: the entry stays short at or
+                // above thPI, so the next prune must run the eager
+                // sweep to age (or re-promote) it like the legacy table.
+                self.short_survivors = true;
+                return RecordOutcome::TableFull;
+            }
+            return RecordOutcome::Counted { act_cnt };
+        }
+        // Fresh insert: short first, spill to long.
+        if let Some(s) = self.short_free.pop() {
+            self.a.fill(s as usize, row.0, 1, 1);
+            self.set_index(row.0, s as usize);
+            return RecordOutcome::Counted { act_cnt: 1 };
+        }
+        if let Some(s) = self.long_free.pop() {
+            self.a.fill(s as usize, row.0, 1, 1);
+            self.set_index(row.0, s as usize);
+            self.spills += 1;
+            return RecordOutcome::Counted { act_cnt: 1 };
+        }
+        RecordOutcome::TableFull
+    }
+
+    fn remove(&mut self, row: RowId) {
+        if let Some(slot) = self.slot_of(row) {
+            self.free_slot(slot);
+        }
+    }
+
+    fn prune(&mut self, th_pi: u64) {
+        debug_assert_eq!(th_pi, self.a.th_pi, "SoA tables bind thPI at construction");
+        self.a.collect_due();
+        if self.short_survivors {
+            self.eager_short_sweep();
+        }
+        for i in 0..self.a.due.len() {
+            let slot = self.a.due[i] as usize;
+            if self.a.rows[slot] != FREE && self.a.deaths[slot] == self.a.epoch {
+                self.free_slot(slot);
+            }
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.a.live
+    }
+
+    fn capacity(&self) -> usize {
+        self.a.rows.len()
+    }
+
+    fn get(&self, row: RowId) -> Option<TableEntry> {
+        self.slot_of(row).map(|s| self.a.entry(s))
+    }
+
+    fn entries(&self) -> Vec<TableEntry> {
+        let mut out = Vec::with_capacity(self.a.live);
+        self.entries_into(&mut out);
+        out
+    }
+
+    fn entries_into(&self, out: &mut Vec<TableEntry>) {
+        self.a.entries_into(out);
+    }
+
+    fn clear(&mut self) {
+        self.a.clear();
+        self.idx.iter_mut().for_each(|s| *s = 0);
+        self.short_free.clear();
+        self.short_free.extend((0..self.short_cap as u32).rev());
+        self.long_free.clear();
+        self.long_free
+            .extend((self.short_cap as u32..self.a.rows.len() as u32).rev());
+        self.short_survivors = false;
+    }
+
+    fn set_parity_checking(&mut self, enabled: bool) {
+        self.a.parity = enabled;
+    }
+
+    fn inject_bit_flip(&mut self, row: RowId, bit: u32) -> bool {
+        let Some(slot) = self.slot_of(row) else {
+            return false;
+        };
+        self.a.flip_count_bit(slot, bit);
+        self.a.toggle_corrupt(row.0);
+        if slot < self.short_cap {
+            // The upset may have pushed a short entry over thPI; let the
+            // next prune run the eager sweep and sort it out.
+            self.short_survivors = true;
+        }
+        true
+    }
+
+    fn scrub(&mut self) -> Vec<RowId> {
+        let mut rows = Vec::new();
+        self.scrub_into(&mut rows);
+        rows
+    }
+
+    fn scrub_into(&mut self, out: &mut Vec<RowId>) {
+        self.a.scrub_victims_into(out);
+        for &row in out.iter() {
+            self.remove(row);
+        }
+    }
+
+    fn insert_entry(&mut self, entry: TableEntry) -> bool {
+        if self.slot_of(entry.row).is_some() {
+            return false;
+        }
+        // Proven entries (aged, or counting past the short width) belong
+        // in the long sub-table; fresh ones go short, spilling when full —
+        // the same placement record_act/promote would have produced.
+        let needs_long = entry.life > 1 || entry.act_cnt >= self.a.th_pi;
+        let slot = if needs_long {
+            self.long_free.pop().or_else(|| self.short_free.pop())
+        } else {
+            self.short_free.pop().or_else(|| self.long_free.pop())
+        };
+        let Some(s) = slot else {
+            return false;
+        };
+        self.a
+            .fill(s as usize, entry.row.0, entry.act_cnt, entry.life);
+        self.set_index(entry.row.0, s as usize);
+        if (s as usize) < self.short_cap && needs_long {
+            self.short_survivors = true;
+        }
+        true
+    }
+
+    fn corrupted_rows(&self) -> Vec<RowId> {
+        self.a.corrupted_rows()
+    }
+
+    fn mark_corrupted(&mut self, row: RowId) {
+        if self.slot_of(row).is_some() {
+            self.a.mark_corrupt(row.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::conformance;
+
+    #[test]
+    fn fa_basic_contract() {
+        conformance::check_basic_contract(&mut SoaFa::new(16, 4, 256));
+    }
+
+    #[test]
+    fn fa_overflow_reporting() {
+        conformance::check_overflow_reporting(&mut SoaFa::new(8, 4, 256));
+    }
+
+    #[test]
+    fn fa_into_variants() {
+        conformance::check_into_variants(&mut SoaFa::new(16, 4, 256));
+    }
+
+    #[test]
+    fn pa_basic_contract() {
+        conformance::check_basic_contract(&mut SoaPa::new(4, 8, 4, 256));
+    }
+
+    #[test]
+    fn pa_overflow_reporting() {
+        conformance::check_overflow_reporting(&mut SoaPa::new(2, 4, 4, 256));
+    }
+
+    #[test]
+    fn pa_into_variants() {
+        conformance::check_into_variants(&mut SoaPa::new(4, 8, 4, 256));
+    }
+
+    #[test]
+    fn split_basic_contract() {
+        conformance::check_basic_contract(&mut SoaSplit::new(8, 8, 4, 256));
+    }
+
+    #[test]
+    fn split_overflow_reporting() {
+        conformance::check_overflow_reporting(&mut SoaSplit::new(4, 4, 4, 256));
+    }
+
+    #[test]
+    fn split_into_variants() {
+        conformance::check_into_variants(&mut SoaSplit::new(8, 8, 4, 256));
+    }
+
+    #[test]
+    fn death_ring_survives_window_straddling_gaps() {
+        // An entry hammered just under thPI per epoch stays alive across
+        // many epochs (far beyond the ring length of max_cnt/thPI + 6),
+        // then dies exactly one epoch after the hits stop.
+        let mut t = SoaFa::new(8, 4, 16); // ring length 10
+        use twice_common::RowId;
+        for epoch in 0..64 {
+            for _ in 0..4 {
+                t.record_act(RowId(7));
+            }
+            t.prune(4);
+            assert_eq!(
+                t.get(RowId(7)).unwrap().life,
+                epoch + 2,
+                "survivor must age every epoch"
+            );
+        }
+        t.prune(4);
+        assert_eq!(t.get(RowId(7)), None, "starved entry must die");
+    }
+
+    #[test]
+    fn overflow_parks_absurd_corrupted_counts() {
+        let mut t = SoaFa::new(8, 4, 16); // ring length 10
+        use twice_common::RowId;
+        t.record_act(RowId(3));
+        // Flip bit 40: the count becomes astronomically large, the death
+        // epoch lands far beyond the ring. Parity off = silent corruption.
+        t.set_parity_checking(false);
+        assert!(t.inject_bit_flip(RowId(3), 40));
+        for _ in 0..32 {
+            t.prune(4);
+            assert!(
+                t.get(RowId(3)).is_some(),
+                "corrupted count must keep surviving, like the legacy sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn split_promote_failure_keeps_short_survivor_alive() {
+        // 1 short + 1 long: fill the long with a promoted entry, then
+        // push a second short entry past thPI — promotion fails (the long
+        // victim is not spilled-fresh), the entry stays short and must
+        // survive prunes exactly like the legacy table keeps it.
+        let mut t = SoaSplit::new(1, 1, 4, 256);
+        let mut l = crate::split::SplitTwice::new(1, 1, 4);
+        use crate::table::{CounterTable, RecordOutcome};
+        use twice_common::RowId;
+        for step in 0..40 {
+            for row in [0u32, 1] {
+                for _ in 0..4 {
+                    let a = t.record_act(RowId(row));
+                    let b = l.record_act(RowId(row));
+                    assert_eq!(a, b, "step {step} row {row}");
+                    if matches!(a, RecordOutcome::TableFull) {
+                        break;
+                    }
+                }
+            }
+            t.prune(4);
+            l.prune(4);
+            let mut te = t.entries();
+            let mut le = l.entries();
+            te.sort_unstable_by_key(|e| e.row);
+            le.sort_unstable_by_key(|e| e.row);
+            assert_eq!(te, le, "entries diverged at step {step}");
+        }
+    }
+}

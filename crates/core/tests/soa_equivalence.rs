@@ -1,0 +1,322 @@
+//! Differential conformance: the struct-of-arrays engine vs the legacy
+//! map-based engine, over real workload generators.
+//!
+//! This is the safety harness the SoA rewrite ships inside. For every
+//! table organization × workload (the paper's S1/S2/S3 synthetics, a
+//! decoy-hammer attack, FFT, and the mcf SPEC model), a SoA engine and
+//! its legacy twin consume the *same* ACT/refresh stream and must agree
+//! on:
+//!
+//! * every per-ACT [`DefenseResponse`] (ARR decisions, detections and
+//!   their reported counts),
+//! * every per-epoch prune response,
+//! * the full [`StateDigest`] at every epoch boundary (entry sets,
+//!   counts, *lives* — so lazy generation-stamped aging must be
+//!   indistinguishable from the legacy eager sweep),
+//! * the per-thread obs counter deltas attributable to each engine.
+//!
+//! Runs last hundreds of epochs — several times `maxlife` and past the
+//! death-ring's wraparound point — so tREFW-straddling patterns and ring
+//! reuse are exercised, not just steady state.
+
+use twice::engine::{TableOrganization, TwiceEngine};
+use twice::params::TwiceParams;
+use twice_common::fault::{FaultKind, FaultPlan};
+use twice_common::rng::SplitMix64;
+use twice_common::snapshot::StateDigest;
+use twice_common::{BankId, RowHammerDefense, RowId, Time, Topology};
+use twice_workloads::attack::{HammerAttack, HammerShape};
+use twice_workloads::fft::FftSource;
+use twice_workloads::spec::{app, SpecAppSource};
+use twice_workloads::synth::{S1Random, S2CbtAdversarial, S3SingleRowHammer};
+use twice_workloads::trace::AccessSource;
+
+/// A small topology so the fast-test table bound sees real pressure.
+fn topo() -> Topology {
+    let mut t = Topology::paper_default();
+    t.channels = 1;
+    t.ranks_per_channel = 1;
+    t.banks_per_rank = 4;
+    t.rows_per_bank = 4_096;
+    t
+}
+
+const SOA_ORGS: [TableOrganization; 3] = [
+    TableOrganization::FullyAssociative,
+    TableOrganization::PseudoAssociative,
+    TableOrganization::Split,
+];
+
+fn digest(e: &TwiceEngine) -> u64 {
+    let mut d = StateDigest::new();
+    RowHammerDefense::digest_state(e, &mut d);
+    d.finish()
+}
+
+/// Drives `source` into a SoA engine and its legacy twin in lockstep,
+/// asserting the full conformance contract. `acts` is the total stream
+/// length; all banks are refreshed every `max_act` ACTs (the DDR
+/// environment guarantees at least that prune rate).
+fn assert_conformance(
+    label: &str,
+    org: TableOrganization,
+    mut source: impl AccessSource,
+    acts: u64,
+) {
+    let params = TwiceParams::fast_test();
+    let max_act = params.max_act();
+    let banks = 4u32;
+    let mut soa = TwiceEngine::with_organization(params.clone(), banks, org);
+    let mut legacy = TwiceEngine::with_organization(params, banks, org.legacy_twin());
+    assert_eq!(digest(&soa), digest(&legacy), "{label}/{org:?}: fresh");
+
+    let mut soa_ctrs = vec![0u64; twice_obs::NUM_CTRS];
+    let mut legacy_ctrs = vec![0u64; twice_obs::NUM_CTRS];
+    let mut epochs = 0u64;
+    for step in 0..acts {
+        if step > 0 && step % max_act == 0 {
+            for b in 0..banks {
+                let c0 = twice_obs::local_counters();
+                let a = soa.on_auto_refresh(BankId(b), Time::ZERO);
+                let c1 = twice_obs::local_counters();
+                let l = legacy.on_auto_refresh(BankId(b), Time::ZERO);
+                let c2 = twice_obs::local_counters();
+                assert_eq!(a, l, "{label}/{org:?}: prune response, epoch {epochs}");
+                for i in 0..twice_obs::NUM_CTRS {
+                    soa_ctrs[i] += c1[i] - c0[i];
+                    legacy_ctrs[i] += c2[i] - c1[i];
+                }
+            }
+            epochs += 1;
+            assert_eq!(
+                digest(&soa),
+                digest(&legacy),
+                "{label}/{org:?}: digest diverged at epoch {epochs}"
+            );
+        }
+        let (_, decoded) = source.next_access();
+        let bank = BankId(u32::from(decoded.bank) % banks);
+        let row = decoded.row;
+        let c0 = twice_obs::local_counters();
+        let a = soa.on_activate(bank, row, Time::ZERO);
+        let c1 = twice_obs::local_counters();
+        let l = legacy.on_activate(bank, row, Time::ZERO);
+        let c2 = twice_obs::local_counters();
+        assert_eq!(a, l, "{label}/{org:?}: ACT {step} response");
+        for i in 0..twice_obs::NUM_CTRS {
+            soa_ctrs[i] += c1[i] - c0[i];
+            legacy_ctrs[i] += c2[i] - c1[i];
+        }
+    }
+    assert!(
+        epochs > 2 * TwiceParams::fast_test().max_life(),
+        "{label}: stream too short to straddle tREFW ({epochs} epochs)"
+    );
+    assert_eq!(
+        digest(&soa),
+        digest(&legacy),
+        "{label}/{org:?}: final digest"
+    );
+    // Probe-count parity is part of the contract: pa's set-probe counter
+    // and histogram feed the energy model, so the SoA table must count
+    // lookups identically, not just resolve them identically.
+    assert_eq!(
+        soa_ctrs, legacy_ctrs,
+        "{label}/{org:?}: obs counter deltas diverged"
+    );
+    assert_eq!(soa.stats(), legacy.stats(), "{label}/{org:?}: engine stats");
+}
+
+/// Every organization × every workload generator. One test per workload
+/// keeps failures attributable.
+fn run_all_orgs(label: &str, make: impl Fn() -> Box<dyn AccessSource + Send>, acts: u64) {
+    for org in SOA_ORGS {
+        assert_conformance(label, org, make(), acts);
+    }
+}
+
+// ~40k ACTs ≈ 2000 epochs at fast-test maxact=20: far past maxlife (64)
+// and the death-ring length (256/4 + 6 = 70), so the ring wraps many
+// times and entries straddle whole refresh windows.
+const STREAM: u64 = 40_000;
+
+#[test]
+fn s1_random_conforms() {
+    let t = topo();
+    run_all_orgs("s1", || Box::new(S1Random::new(&t, 11)), STREAM);
+}
+
+#[test]
+fn s2_cbt_adversarial_conforms() {
+    let t = topo();
+    run_all_orgs(
+        "s2",
+        || Box::new(S2CbtAdversarial::new(&t, 300, 300, 22)),
+        STREAM,
+    );
+}
+
+#[test]
+fn s3_single_row_hammer_conforms() {
+    let t = topo();
+    run_all_orgs("s3", || Box::new(S3SingleRowHammer::new(&t, 33)), STREAM);
+}
+
+#[test]
+fn decoy_hammer_conforms() {
+    let t = topo();
+    run_all_orgs(
+        "decoy",
+        || {
+            Box::new(HammerAttack::new(
+                &t,
+                1,
+                HammerShape::Decoy {
+                    aggressor: RowId(100),
+                    decoys: (0..24).map(|i| RowId(200 + 4 * i)).collect(),
+                },
+            ))
+        },
+        STREAM,
+    );
+}
+
+#[test]
+fn fft_conforms() {
+    let t = topo();
+    run_all_orgs("fft", || Box::new(FftSource::new(&t, 1 << 14, 4)), STREAM);
+}
+
+#[test]
+fn mcf_conforms() {
+    let t = topo();
+    run_all_orgs(
+        "mcf",
+        || {
+            Box::new(SpecAppSource::new(
+                &t,
+                app("mcf").expect("mcf model"),
+                0,
+                1,
+                44,
+            ))
+        },
+        STREAM,
+    );
+}
+
+/// Fault injection drives the corruption paths (parity hits, scrub
+/// evictions, the split table's eager-sweep fallback). Both engines arm
+/// the same plan and salt, so the injected upset streams are identical
+/// and every downstream decision must be too.
+#[test]
+fn fault_injected_streams_conform() {
+    let t = topo();
+    let params = TwiceParams::fast_test();
+    let max_act = params.max_act();
+    for org in SOA_ORGS {
+        for scrubbing in [true, false] {
+            let plan = FaultPlan::with_seed(9)
+                .rate(FaultKind::CounterBitFlip, 0.01)
+                .rate(FaultKind::CounterStuckBit, 0.002);
+            let mut soa = TwiceEngine::with_organization(params.clone(), 4, org)
+                .with_scrubbing(scrubbing)
+                .with_fault_plan(&plan, 0x51);
+            let mut legacy = TwiceEngine::with_organization(params.clone(), 4, org.legacy_twin())
+                .with_scrubbing(scrubbing)
+                .with_fault_plan(&plan, 0x51);
+            let mut src = S1Random::new(&t, 77);
+            for step in 0..20_000u64 {
+                if step > 0 && step % max_act == 0 {
+                    for b in 0..4 {
+                        let a = soa.on_auto_refresh(BankId(b), Time::ZERO);
+                        let l = legacy.on_auto_refresh(BankId(b), Time::ZERO);
+                        assert_eq!(a, l, "{org:?} scrub={scrubbing} prune at {step}");
+                    }
+                    assert_eq!(
+                        digest(&soa),
+                        digest(&legacy),
+                        "{org:?} scrub={scrubbing} digest at {step}"
+                    );
+                }
+                let (_, d) = src.next_access();
+                let bank = BankId(u32::from(d.bank) % 4);
+                let a = soa.on_activate(bank, d.row, Time::ZERO);
+                let l = legacy.on_activate(bank, d.row, Time::ZERO);
+                assert_eq!(a, l, "{org:?} scrub={scrubbing} ACT {step}");
+            }
+            assert!(
+                soa.stats().seu_injected > 0,
+                "{org:?}: plan must actually fire"
+            );
+            assert_eq!(soa.stats(), legacy.stats(), "{org:?} scrub={scrubbing}");
+        }
+    }
+}
+
+/// Lazy-prune ≡ eager-sweep under arbitrary ACT/refresh interleavings,
+/// at the table level: random scripts where refreshes can cluster
+/// (several prunes back-to-back with no ACTs — the pattern the death
+/// ring must absorb without dropping an entry early or late).
+#[test]
+fn random_interleavings_prune_identically() {
+    use twice::table::{CounterTable, RecordOutcome};
+    const TH_PI: u64 = 4;
+    const MAX_CNT: u64 = 256;
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x50A0 + case);
+        let mut pairs: Vec<(Box<dyn CounterTable>, Box<dyn CounterTable>)> = vec![
+            (
+                Box::new(twice::soa::SoaFa::new(24, TH_PI, MAX_CNT)),
+                Box::new(twice::fa::FaTwice::new(24)),
+            ),
+            (
+                Box::new(twice::soa::SoaPa::new(4, 6, TH_PI, MAX_CNT)),
+                Box::new(twice::pa::PaTwice::new(4, 6)),
+            ),
+            (
+                Box::new(twice::soa::SoaSplit::new(6, 18, TH_PI, MAX_CNT)),
+                Box::new(twice::split::SplitTwice::new(6, 18, TH_PI)),
+            ),
+        ];
+        for step in 0..1_200u32 {
+            // 1-in-8 ops is a refresh; refreshes often arrive in bursts
+            // (an idle bank keeps refreshing with no intervening ACTs).
+            if rng.chance(0.125) {
+                let burst = 1 + rng.next_below(4);
+                for _ in 0..burst {
+                    for (soa, legacy) in &mut pairs {
+                        soa.prune(TH_PI);
+                        legacy.prune(TH_PI);
+                    }
+                }
+            } else {
+                let row = RowId(rng.next_below(40) as u32);
+                for (soa, legacy) in &mut pairs {
+                    let a = soa.record_act(row);
+                    let b = legacy.record_act(row);
+                    assert_eq!(a, b, "case {case} step {step}");
+                    if let (
+                        RecordOutcome::Counted { act_cnt },
+                        RecordOutcome::Counted { act_cnt: expect },
+                    ) = (a, b)
+                    {
+                        assert_eq!(act_cnt, expect, "case {case} step {step}");
+                    }
+                }
+            }
+            for (soa, legacy) in &mut pairs {
+                assert_eq!(
+                    soa.occupancy(),
+                    legacy.occupancy(),
+                    "case {case} step {step}"
+                );
+                let mut a = soa.entries();
+                let mut b = legacy.entries();
+                a.sort_unstable_by_key(|e| e.row);
+                b.sort_unstable_by_key(|e| e.row);
+                assert_eq!(a, b, "case {case} step {step}: entry sets/lives");
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use twice::fa::FaTwice;
 use twice::pa::PaTwice;
+use twice::soa::{SoaFa, SoaPa, SoaSplit};
 use twice::split::SplitTwice;
 use twice::table::{CounterTable, RecordOutcome};
 use twice_common::rng::SplitMix64;
@@ -150,5 +151,64 @@ fn all_three_agree_with_each_other() {
         let c = run_script(&mut SplitTwice::new(24, 104, 4), &s, 4);
         assert_eq!(a, b, "fa vs pa diverged (seed {seed})");
         assert_eq!(a, c, "fa vs split diverged (seed {seed})");
+    }
+}
+
+// The struct-of-arrays rewrites must satisfy the same reference-model
+// contract as the legacy tables, over the same scripts — lazy
+// generation-stamped pruning is indistinguishable from the model's
+// eager retain. `max_cnt` mirrors fast-test physics (20-op PIs keep
+// counts far below it).
+const MAX_CNT: u64 = 1 << 16;
+
+#[test]
+fn soa_fa_matches_the_reference_model() {
+    for seed in 0..CASES {
+        run_script(&mut SoaFa::new(128, 4, MAX_CNT), &script(seed), 4);
+    }
+}
+
+#[test]
+fn soa_pa_matches_the_reference_model() {
+    for seed in 0..CASES {
+        run_script(
+            &mut SoaPa::new(8, 16, 4, MAX_CNT),
+            &script(seed ^ 0x1111),
+            4,
+        );
+    }
+}
+
+#[test]
+fn soa_split_matches_the_reference_model() {
+    for seed in 0..CASES {
+        run_script(
+            &mut SoaSplit::new(24, 104, 4, MAX_CNT),
+            &script(seed ^ 0x2222),
+            4,
+        );
+    }
+}
+
+#[test]
+fn soa_and_legacy_tables_agree_on_shared_scripts() {
+    for seed in 0..CASES {
+        let s = script(seed ^ 0x4444);
+        let fa = run_script(&mut FaTwice::new(128), &s, 4);
+        assert_eq!(
+            fa,
+            run_script(&mut SoaFa::new(128, 4, MAX_CNT), &s, 4),
+            "fa vs soa-fa diverged (seed {seed})"
+        );
+        assert_eq!(
+            run_script(&mut PaTwice::new(8, 16), &s, 4),
+            run_script(&mut SoaPa::new(8, 16, 4, MAX_CNT), &s, 4),
+            "pa vs soa-pa diverged (seed {seed})"
+        );
+        assert_eq!(
+            run_script(&mut SplitTwice::new(24, 104, 4), &s, 4),
+            run_script(&mut SoaSplit::new(24, 104, 4, MAX_CNT), &s, 4),
+            "split vs soa-split diverged (seed {seed})"
+        );
     }
 }

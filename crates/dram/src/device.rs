@@ -130,8 +130,16 @@ pub struct DramRank {
     stats: DramStats,
     /// Monotone counter seeding deterministic flip positions.
     flip_nonce: u64,
-    /// Flip events already applied to the data arrays.
+    /// Flip events already applied to the data arrays (total across
+    /// banks; the serialized form, kept for snapshot compatibility).
     flips_applied: usize,
+    /// Per-bank applied-event counts — the derived index that lets
+    /// [`sync_flips`](Self::sync_flips) diff one bank's event list
+    /// instead of summing every bank's on each ACT. Recomputed on
+    /// restore, never serialized. Invariant: `flips_seen[b]` equals
+    /// `hammer[b].flips().len()` after every sync, and the counts sum
+    /// to `flips_applied`.
+    flips_seen: Vec<usize>,
 }
 
 impl DramRank {
@@ -178,6 +186,7 @@ impl DramRank {
         let refresh = (0..config.banks)
             .map(|_| RefreshCursor::new(config.rows_per_bank, refs_per_window))
             .collect();
+        let nbanks = usize::from(config.banks);
         DramRank {
             act_window: RankActWindow::new(&config.timings, config.banks),
             config,
@@ -189,6 +198,7 @@ impl DramRank {
             stats: DramStats::new(),
             flip_nonce: 0,
             flips_applied: 0,
+            flips_seen: vec![0; nbanks],
         }
     }
 
@@ -197,20 +207,11 @@ impl DramRank {
     fn sync_flips(&mut self, b: usize) {
         use twice_common::rng::SplitMix64;
         let new = self.hammer[b].flips().len();
-        let already: usize = self
-            .hammer
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != b)
-            .map(|(_, h)| h.flips().len())
-            .sum();
-        let total = new + already;
-        if total <= self.flips_applied {
+        let seen = self.flips_seen[b];
+        if new <= seen {
             return;
         }
-        // Only bank b can have produced new events since the last sync.
-        let fresh = total - self.flips_applied;
-        let events: Vec<_> = self.hammer[b].flips()[new - fresh..].to_vec();
+        let events: Vec<_> = self.hammer[b].flips()[seen..].to_vec();
         for flip in events {
             self.flip_nonce += 1;
             let mut rng = SplitMix64::new(
@@ -219,7 +220,8 @@ impl DramRank {
             let bit = rng.next_below(8_192 * 8);
             self.data[b].flip_bit(flip.victim, bit);
         }
-        self.flips_applied = total;
+        self.flips_applied += new - seen;
+        self.flips_seen[b] = new;
     }
 
     /// The construction parameters.
@@ -657,6 +659,11 @@ impl Snapshot for DramRank {
         self.stats.load_state(r)?;
         self.flip_nonce = r.take_u64()?;
         self.flips_applied = r.take_usize()?;
+        // Derived: every recorded flip had been applied by save time, so
+        // each bank's seen count is just its restored event-list length.
+        for b in 0..self.hammer.len() {
+            self.flips_seen[b] = self.hammer[b].flips().len();
+        }
         Ok(())
     }
 

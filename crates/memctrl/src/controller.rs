@@ -185,6 +185,12 @@ pub struct ChannelController {
     now: Time,
     /// Next auto-refresh due instant per flat (rank, bank).
     next_ref: Vec<Time>,
+    /// Earliest due instant among the slots the active refresh mode
+    /// actually advances (all of them per-bank; only each rank's bank-0
+    /// slot in all-bank mode). Derived from `next_ref` — recomputed
+    /// after every refresh pass and on restore, never serialized. Lets
+    /// `service_one` skip the rank×bank scan while nothing is due.
+    min_next_ref: Time,
     /// Column accesses served on the currently open row, per flat bank.
     hits_served: Vec<u32>,
     defense_stats: DefenseStats,
@@ -249,7 +255,7 @@ impl ChannelController {
         let next_ref = (0..total_banks)
             .map(|i| Time::ZERO + cfg.timings.t_refi / total_banks as u64 * i as u64)
             .collect();
-        ChannelController {
+        let mut c = ChannelController {
             scheduler: make_scheduler(cfg.scheduler),
             rcd,
             mc_defense,
@@ -257,6 +263,7 @@ impl ChannelController {
             next_id: 0,
             now: Time::ZERO,
             next_ref,
+            min_next_ref: Time::ZERO,
             hits_served: vec![0; total_banks],
             defense_stats: DefenseStats::new(),
             mc_detections: Vec::new(),
@@ -269,7 +276,9 @@ impl ChannelController {
             last_corruption_events: 0,
             fallback_windows: 0,
             cfg,
-        }
+        };
+        c.recompute_min_next_ref();
+        c
     }
 
     /// Builds an unprotected controller.
@@ -493,10 +502,29 @@ impl ChannelController {
     /// prunes, but the burst does not serialize through the command-bus
     /// timing model.
     fn service_due_refreshes(&mut self) -> Result<(), ControllerError> {
-        match self.cfg.refresh_mode {
+        if self.now < self.min_next_ref {
+            return Ok(());
+        }
+        let result = match self.cfg.refresh_mode {
             RefreshMode::PerBank => self.service_per_bank_refreshes(),
             RefreshMode::AllBank => self.service_all_bank_refreshes(),
+        };
+        // A postponed REF (chaos injection) leaves its slot due, so the
+        // recomputed minimum stays ≤ now and the next call rescans —
+        // preserving the exact injector draw sequence of the uncached
+        // scan, which only consulted the injector for *due* slots.
+        self.recompute_min_next_ref();
+        result
+    }
+
+    fn recompute_min_next_ref(&mut self) {
+        self.min_next_ref = match self.cfg.refresh_mode {
+            RefreshMode::PerBank => self.next_ref.iter().copied().min(),
+            RefreshMode::AllBank => (0..usize::from(self.cfg.ranks))
+                .map(|r| self.next_ref[self.flat_bank(r, 0)])
+                .min(),
         }
+        .expect("channel has at least one bank");
     }
 
     fn service_per_bank_refreshes(&mut self) -> Result<(), ControllerError> {
@@ -1047,6 +1075,7 @@ impl Snapshot for ChannelController {
         self.fallback_until = Time::from_ps(r.take_u64()?);
         self.last_corruption_events = r.take_u64()?;
         self.fallback_windows = r.take_u64()?;
+        self.recompute_min_next_ref();
         Ok(())
     }
 

@@ -9,7 +9,6 @@
 
 use crate::addrmap::DecodedAccess;
 use crate::request::MemRequest;
-use std::collections::HashSet;
 use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
 use twice_common::{RankId, RowId};
 
@@ -126,10 +125,19 @@ impl Scheduler for FrFcfs {
 }
 
 /// Parallelism-aware batch scheduling.
+///
+/// The batch is a sorted id vector rather than a hash set: ids are
+/// assigned monotonically, batch formation walks the queue in id order
+/// (so pushes arrive pre-sorted), and membership checks become binary
+/// searches over a handful of contiguous words. The snapshot encoding —
+/// length then ascending ids — is byte-identical to the old set-based
+/// one, which serialized sorted.
 #[derive(Debug, Clone)]
 pub struct ParBs {
     batch_cap: usize,
-    batch: HashSet<u64>,
+    batch: Vec<u64>,
+    /// Scratch for batch formation: per-source grant counts.
+    per_source: Vec<(u16, usize)>,
 }
 
 impl ParBs {
@@ -143,23 +151,37 @@ impl ParBs {
         assert!(batch_cap > 0, "batch cap must be non-zero");
         ParBs {
             batch_cap,
-            batch: HashSet::new(),
+            batch: Vec::new(),
+            per_source: Vec::new(),
         }
     }
 
+    fn contains(&self, id: u64) -> bool {
+        self.batch.binary_search(&id).is_ok()
+    }
+
     fn form_batch(&mut self, queue: &[QueuedRequest]) {
-        // Up to `batch_cap` oldest requests per source.
-        let mut order: Vec<&QueuedRequest> = queue.iter().collect();
-        order.sort_by_key(|q| q.id);
-        let mut per_source: std::collections::HashMap<u16, usize> =
-            std::collections::HashMap::new();
-        for q in order {
-            let n = per_source.entry(q.req.source).or_insert(0);
+        // Up to `batch_cap` oldest requests per source. The queue is not
+        // id-sorted, so gather (id, source) pairs and order them; the
+        // pass then grants in arrival order and the batch comes out
+        // sorted for free.
+        let mut order: Vec<(u64, u16)> = queue.iter().map(|q| (q.id, q.req.source)).collect();
+        order.sort_unstable();
+        self.per_source.clear();
+        for (id, source) in order {
+            let n = match self.per_source.iter_mut().find(|(s, _)| *s == source) {
+                Some((_, n)) => n,
+                None => {
+                    self.per_source.push((source, 0));
+                    &mut self.per_source.last_mut().expect("just pushed").1
+                }
+            };
             if *n < self.batch_cap {
                 *n += 1;
-                self.batch.insert(q.id);
+                self.batch.push(id);
             }
         }
+        debug_assert!(self.batch.windows(2).all(|w| w[0] < w[1]));
     }
 }
 
@@ -177,25 +199,26 @@ impl Scheduler for ParBs {
             return None;
         }
         // Drop completed ids lazily and re-batch when the batch drains.
-        let live: HashSet<u64> = queue.iter().map(|q| q.id).collect();
-        self.batch.retain(|id| live.contains(id));
+        // Queues are short (bounded by the controller's queue depth), so
+        // a linear membership scan beats building a hash set per pick.
+        self.batch.retain(|id| queue.iter().any(|q| q.id == *id));
         if self.batch.is_empty() {
             self.form_batch(queue);
         }
-        pick_fr_fcfs(queue, open_row, |q| self.batch.contains(&q.id))
+        pick_fr_fcfs(queue, open_row, |q| self.contains(q.id))
     }
 
     fn on_complete(&mut self, id: u64) {
-        self.batch.remove(&id);
+        if let Ok(i) = self.batch.binary_search(&id) {
+            self.batch.remove(i);
+        }
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
-        // The batch is a pure set: sorted for a canonical encoding.
-        let mut ids: Vec<u64> = self.batch.iter().copied().collect();
-        ids.sort_unstable();
-        w.put_usize(ids.len());
-        for id in ids {
-            w.put_u64(id);
+        // The batch is a pure set, kept sorted: canonical as-is.
+        w.put_usize(self.batch.len());
+        for id in &self.batch {
+            w.put_u64(*id);
         }
     }
 
@@ -203,33 +226,50 @@ impl Scheduler for ParBs {
         let n = r.take_usize()?;
         self.batch.clear();
         for _ in 0..n {
-            self.batch.insert(r.take_u64()?);
+            self.batch.push(r.take_u64()?);
         }
+        // Snapshots we write are ascending, but the set semantics never
+        // depended on blob order — normalize rather than reject.
+        self.batch.sort_unstable();
+        self.batch.dedup();
         Ok(())
     }
 
     fn digest_state(&self, d: &mut StateDigest) {
-        let mut ids: Vec<u64> = self.batch.iter().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            d.write_u64(id);
+        for id in &self.batch {
+            d.write_u64(*id);
         }
     }
 }
 
+/// One pass over the queue tracking all three FR-FCFS preference tiers
+/// at once: oldest eligible row hit, oldest eligible, oldest overall
+/// (the fallback when the eligibility filter matches nothing).
 fn pick_fr_fcfs(
     queue: &[QueuedRequest],
     open_row: &dyn Fn(RankId, u16) -> Option<RowId>,
     eligible: impl Fn(&QueuedRequest) -> bool,
 ) -> Option<usize> {
-    // Row hit first.
-    let hit = oldest(queue, |q| {
-        eligible(q) && open_row(q.access.rank, q.access.bank) == Some(q.access.row)
-    });
-    if hit.is_some() {
-        return hit;
+    let mut hit: Option<(u64, usize)> = None;
+    let mut elig: Option<(u64, usize)> = None;
+    let mut any: Option<(u64, usize)> = None;
+    for (i, q) in queue.iter().enumerate() {
+        let key = (q.id, i);
+        if any.is_none_or(|b| key < b) {
+            any = Some(key);
+        }
+        if eligible(q) {
+            if elig.is_none_or(|b| key < b) {
+                elig = Some(key);
+            }
+            if open_row(q.access.rank, q.access.bank) == Some(q.access.row)
+                && hit.is_none_or(|b| key < b)
+            {
+                hit = Some(key);
+            }
+        }
     }
-    oldest(queue, eligible).or_else(|| oldest(queue, |_| true))
+    hit.or(elig).or(any).map(|(_, i)| i)
 }
 
 fn oldest(queue: &[QueuedRequest], pred: impl Fn(&QueuedRequest) -> bool) -> Option<usize> {

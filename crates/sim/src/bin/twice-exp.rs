@@ -13,7 +13,7 @@
 //! $ twice-exp fleet --shards 1000 --jobs 8 --journal out/  # fleet run
 //! $ twice-exp fleet --shards 64 --device-faults 9 --journal out/
 //! $ twice-exp profile --obs-out trace.json  # instrumented cell + trace
-//! $ twice-exp bench --jobs 4                # timing + BENCH_2.json
+//! $ twice-exp bench --jobs 4                # timing + BENCH_3.json
 //! $ twice-exp trace record --workload mica --file m.twt2   # binary trace
 //! $ twice-exp trace replay --file m.twt2 --defense twice   # digest-faithful
 //! $ twice-exp trace verify --file m.twt2    # salvage report, exit 0/4/2
@@ -319,8 +319,8 @@ fn usage() -> ExitCode {
          \x20 attack    S3 confrontation on the scaled system\n\
          \x20 chaos     fault-injection campaign (SEU sweep + bus gauntlet)\n\
          \x20 fleet     supervised many-shard fleet (multi-tenant blend, quarantine)\n\
-         \x20 bench     time table1 serial vs --jobs; write BENCH_2.json with the\n\
-         \x20           obs counter map and per-phase span totals\n\
+         \x20 bench     time table1 serial vs --jobs and each table variant's hot\n\
+         \x20           path; write BENCH_3.json with the obs counter map\n\
          \x20 profile   run one instrumented cell ([--workload NAME] [--defense NAME])\n\
          \x20           and write a chrome://tracing trace to --obs-out\n\
          \x20 record    write a v1 text workload trace (--workload NAME --file PATH)\n\
@@ -690,15 +690,53 @@ fn run_profile(args: &Args) -> Result<ExitCode, CliError> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `twice-exp bench`: times Table 1 serial vs pooled and records the
-/// perf data point (`BENCH_2.json`, overridable via `--file`) with the
-/// obs counter map and per-span phase totals for the pooled pass.
+/// Times one table organization's engine hot path directly: a
+/// deterministic pseudo-random row stream into `on_activate`, with a
+/// prune across all banks every `max_act` ACTs — the TWiCe per-ACT work
+/// with no simulator around it, so the SoA-vs-legacy layout difference
+/// is what the clock sees. Returns (wall seconds, anti-DCE sink).
+fn bench_table_variant(org: TableOrganization, acts: u64) -> (f64, u64) {
+    use twice::TwiceEngine;
+    use twice_common::rng::SplitMix64;
+    use twice_common::{BankId, RowHammerDefense, RowId, Time};
+    const BANKS: u32 = 4;
+    let params = TwiceParams::fast_test();
+    let max_act = params.max_act();
+    let mut engine = TwiceEngine::with_organization(params, BANKS, org);
+    let mut rng = SplitMix64::new(0xB311C4);
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for step in 0..acts {
+        if step > 0 && step.is_multiple_of(max_act) {
+            for b in 0..BANKS {
+                sink ^= engine
+                    .on_auto_refresh(BankId(b), Time::ZERO)
+                    .refresh_rows
+                    .len() as u64;
+            }
+        }
+        let bank = BankId(rng.next_below(u64::from(BANKS)) as u32);
+        let row = RowId(rng.next_below(4_096) as u32);
+        sink ^= engine
+            .on_activate(bank, row, Time::ZERO)
+            .arr
+            .map_or(0, |r| u64::from(r.0));
+    }
+    (start.elapsed().as_secs_f64(), sink)
+}
+
+/// `twice-exp bench`: times Table 1 serial vs pooled, then each table
+/// organization's engine hot path in isolation, and records the perf
+/// data point (`BENCH_3.json`, overridable via `--file`) with the obs
+/// counter map and per-span phase totals for the pooled pass.
 /// Requests come from `--requests`, then `TWICE_BENCH_REQUESTS`, then
 /// 40 000. The two tables must render identically — the bench doubles
 /// as a serial-equivalence smoke test. A speedup is only computed (and
 /// only printed) when the parallel job count actually differs from the
 /// serial pass; `serial_jobs`/`parallel_jobs` are recorded separately
 /// so the file can never claim a speedup between two identical runs.
+/// `soa_acts_per_sec` is the *slowest* SoA variant's hot-path
+/// throughput — the honest floor a regression guard can compare.
 fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
     let requests = args
         .requests
@@ -739,7 +777,33 @@ fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
         .map(|c| c.acts)
         .sum();
     let acts_per_sec = (acts as f64 / pooled_secs.max(1e-9)).round() as u64;
-    let path = args.file.clone().unwrap_or_else(|| "BENCH_2.json".into());
+    // Hot-path throughput per table organization (SoA variants and
+    // their map-based legacy twins). The budget scales with the request
+    // budget so CI smoke runs stay quick, with a floor that keeps the
+    // measurement out of timer-noise territory.
+    let variant_acts = (requests * 25).max(1_000_000);
+    const VARIANT_ORGS: [TableOrganization; 6] = [
+        TableOrganization::FullyAssociative,
+        TableOrganization::PseudoAssociative,
+        TableOrganization::Split,
+        TableOrganization::LegacyFullyAssociative,
+        TableOrganization::LegacyPseudoAssociative,
+        TableOrganization::LegacySplit,
+    ];
+    let variants: Vec<(&'static str, f64, u64)> = VARIANT_ORGS
+        .into_iter()
+        .map(|org| {
+            let (secs, _sink) = bench_table_variant(org, variant_acts);
+            let aps = (variant_acts as f64 / secs.max(1e-9)).round() as u64;
+            (org.label(), secs, aps)
+        })
+        .collect();
+    let soa_acts_per_sec = variants[..3]
+        .iter()
+        .map(|(_, _, aps)| *aps)
+        .min()
+        .expect("three SoA variants");
+    let path = args.file.clone().unwrap_or_else(|| "BENCH_3.json".into());
     let counters: Vec<String> = twice_obs::Ctr::ALL
         .into_iter()
         .filter(|c| snapshot.counter(*c) > 0)
@@ -761,13 +825,25 @@ fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
     let speedup_field = speedup
         .map(|s| format!("  \"speedup\": {s:.2},\n"))
         .unwrap_or_default();
+    let variant_rows: Vec<String> = variants
+        .iter()
+        .map(|(label, secs, aps)| {
+            format!(
+                "    {{ \"table_variant\": \"{label}\", \"acts\": {variant_acts}, \
+                 \"secs\": {secs:.3}, \"acts_per_sec\": {aps} }}"
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"schema\": \"twice-bench-2\",\n  \"experiment\": \"table1\",\n  \
+        "{{\n  \"schema\": \"twice-bench-3\",\n  \"experiment\": \"table1\",\n  \
          \"requests\": {requests},\n  \"serial_jobs\": {serial_jobs},\n  \
          \"parallel_jobs\": {parallel_jobs},\n  \
          \"serial_secs\": {serial_secs:.3},\n  \"parallel_secs\": {pooled_secs:.3},\n\
          {speedup_field}  \"acts\": {acts},\n  \"acts_per_sec\": {acts_per_sec},\n  \
+         \"soa_acts_per_sec\": {soa_acts_per_sec},\n  \
+         \"table_variants\": [\n{}\n  ],\n  \
          \"counters\": {{\n{}\n  }},\n  \"phases\": {{\n{}\n  }}\n}}\n",
+        variant_rows.join(",\n"),
         counters.join(",\n"),
         phases.join(",\n"),
     );
@@ -780,6 +856,20 @@ fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
         "table1 x{requests}: serial {serial_secs:.3}s, --jobs {parallel_jobs} \
          {pooled_secs:.3}s{speedup_note}, {acts_per_sec} acts/s -> {path}"
     );
+    // Hot-path rows, with each SoA variant's gain over its legacy twin.
+    for (i, (label, secs, aps)) in variants.iter().enumerate() {
+        let vs_legacy = if i < 3 {
+            let legacy_aps = variants[i + 3].2;
+            format!(
+                ", {:.1}x vs {}",
+                *aps as f64 / legacy_aps.max(1) as f64,
+                variants[i + 3].0
+            )
+        } else {
+            String::new()
+        };
+        println!("table {label:12} x{variant_acts}: {secs:.3}s, {aps} acts/s{vs_legacy}");
+    }
     // The per-phase breakdown, mirrored to stdout for humans.
     for s in twice_obs::SpanId::ALL {
         let h = snapshot.span_hist(s);

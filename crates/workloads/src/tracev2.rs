@@ -744,7 +744,9 @@ fn decode_payload(
         }
         let row = if flags & FLAG_ROW != 0 {
             let delta = unzigzag(cur.take_varint(record)?);
-            let row = i64::from(ctx.rows[flat as usize]) + delta;
+            // Saturating: a hostile delta near i64::MAX must land in the
+            // out-of-range arm, not overflow the add.
+            let row = i64::from(ctx.rows[flat as usize]).saturating_add(delta);
             if row < 0 || row >= shape.rows as i64 {
                 return Err(RecordError::RowOutOfRange { record, row });
             }
@@ -754,7 +756,7 @@ fn decode_payload(
         };
         let col = if flags & FLAG_COL != 0 {
             let delta = unzigzag(cur.take_varint(record)?);
-            let col = i64::from(ctx.cols[flat as usize]) + delta;
+            let col = i64::from(ctx.cols[flat as usize]).saturating_add(delta);
             if col < 0 || col >= shape.cols as i64 {
                 return Err(RecordError::ColOutOfRange { record, col });
             }
