@@ -95,6 +95,49 @@ impl DefenseResponse {
     }
 }
 
+/// A defense's own view of how hard it is being pushed.
+///
+/// Red-team searches use this to score *near misses*: an attack that drove
+/// a tracker to 999‰ of its trigger threshold without ever firing is far
+/// more interesting than one the defense never noticed. Probabilistic
+/// defenses (PARA, PRoHIT's promotion dice) have no meaningful notion of
+/// "distance to trigger" and report the default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefensePressure {
+    /// Protective actions the defense has fired so far (ARRs issued,
+    /// explicit refreshes, detections — whatever the scheme counts as
+    /// "I acted").
+    pub triggers: u64,
+    /// How close the hottest live tracking counter is to firing, in
+    /// per-mille of the trigger threshold (0 = idle, 1000 = at the
+    /// threshold). Capped at 1000.
+    pub near_miss_permille: u32,
+}
+
+impl DefensePressure {
+    /// Pressure computed from a raw counter value and its trigger
+    /// threshold (`threshold == 0` reports zero pressure).
+    pub fn from_counter(hottest: u64, threshold: u64, triggers: u64) -> DefensePressure {
+        let near_miss_permille = hottest
+            .saturating_mul(1000)
+            .checked_div(threshold)
+            .map_or(0, |p| p.min(1000) as u32);
+        DefensePressure {
+            triggers,
+            near_miss_permille,
+        }
+    }
+
+    /// Merges two pressure readings (e.g. RCD- and MC-side defenses on
+    /// one channel): triggers add, near-miss takes the maximum.
+    pub fn merge(self, other: DefensePressure) -> DefensePressure {
+        DefensePressure {
+            triggers: self.triggers + other.triggers,
+            near_miss_permille: self.near_miss_permille.max(other.near_miss_permille),
+        }
+    }
+}
+
 /// Running totals a simulator accumulates from [`DefenseResponse`]s.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DefenseStats {
@@ -266,6 +309,14 @@ pub trait RowHammerDefense {
         0
     }
 
+    /// How hard this defense is currently being pushed: actions fired so
+    /// far and the hottest live counter as a fraction of its trigger
+    /// threshold. The red-team search scores stealth with this. Defaults
+    /// to idle, which is correct for stateless/probabilistic defenses.
+    fn pressure(&self) -> DefensePressure {
+        DefensePressure::default()
+    }
+
     /// Current number of live tracking entries for `bank`, if the defense
     /// is table-based (used by capacity-bound experiments). Defaults to
     /// `None` for stateless defenses.
@@ -358,5 +409,29 @@ mod tests {
     #[test]
     fn ratio_of_empty_stats_is_zero() {
         assert_eq!(DefenseStats::new().additional_act_ratio(), 0.0);
+    }
+
+    #[test]
+    fn pressure_from_counter_caps_and_guards_zero() {
+        let p = DefensePressure::from_counter(255, 256, 3);
+        assert_eq!(p.near_miss_permille, 996);
+        assert_eq!(p.triggers, 3);
+        assert_eq!(
+            DefensePressure::from_counter(900, 256, 0).near_miss_permille,
+            1000
+        );
+        assert_eq!(
+            DefensePressure::from_counter(900, 0, 0).near_miss_permille,
+            0
+        );
+    }
+
+    #[test]
+    fn pressure_merge_adds_triggers_takes_max_near_miss() {
+        let a = DefensePressure::from_counter(100, 1000, 2);
+        let b = DefensePressure::from_counter(700, 1000, 5);
+        let m = a.merge(b);
+        assert_eq!(m.triggers, 7);
+        assert_eq!(m.near_miss_permille, 700);
     }
 }

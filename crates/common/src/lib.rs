@@ -33,7 +33,7 @@ pub mod time;
 pub mod timing;
 pub mod topology;
 
-pub use defense::{DefenseResponse, DefenseStats, Detection, RowHammerDefense};
+pub use defense::{DefensePressure, DefenseResponse, DefenseStats, Detection, RowHammerDefense};
 pub use error::ConfigError;
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultTargeting};
 pub use ids::{BankId, ChannelId, ColId, DeviceId, RankId, RowId};

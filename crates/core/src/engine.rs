@@ -28,7 +28,9 @@ use twice_common::fault::{FaultInjector, FaultKind, FaultPlan, FaultTargeting};
 use twice_common::snapshot::{
     Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StateDigest,
 };
-use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
+use twice_common::{
+    BankId, DefensePressure, DefenseResponse, Detection, RowHammerDefense, RowId, Time,
+};
 
 /// Asserts a runtime invariant, compiled in only under the
 /// `debug-invariants` feature (zero cost otherwise).
@@ -522,6 +524,23 @@ impl RowHammerDefense for TwiceEngine {
 
     fn corruption_events(&self) -> u64 {
         self.stats.corruption_events
+    }
+
+    fn pressure(&self) -> DefensePressure {
+        // Hottest live act_cnt across all bank tables, against thRH. The
+        // per-bank entry walk is O(occupancy) and only runs when a caller
+        // polls (epoch boundaries), never on the ACT hot path.
+        let mut hottest = 0;
+        for t in &self.tables {
+            for e in t.entries() {
+                hottest = hottest.max(e.act_cnt);
+            }
+        }
+        DefensePressure::from_counter(
+            hottest,
+            self.params.th_rh,
+            self.stats.arrs + self.stats.table_full_events,
+        )
     }
 
     fn faults_injected(&self) -> u64 {

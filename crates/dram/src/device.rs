@@ -610,6 +610,17 @@ impl DramRank {
     pub fn bit_flip_count(&self) -> usize {
         self.hammer.iter().map(|h| h.flips().len()).sum()
     }
+
+    /// The highest disturbance any row in any bank has ever reached
+    /// (monotone watermark; survives refreshes). The red-team search's
+    /// attack-margin probe.
+    pub fn peak_disturbance(&self) -> u64 {
+        self.hammer
+            .iter()
+            .map(|h| h.peak_disturbance())
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 impl Snapshot for DramRank {

@@ -49,6 +49,11 @@ pub struct HammerModel {
     far_coupling: Option<u64>,
     /// Global activation counter driving the deterministic far coupling.
     act_counter: u64,
+    /// Highest disturbance any row has ever reached (monotone; refreshes
+    /// clear `disturbance` but not this watermark). The red-team fitness
+    /// probe: how close an attack got to `N_th`, even if a defense later
+    /// wiped the evidence.
+    peak: u64,
 }
 
 impl HammerModel {
@@ -68,6 +73,7 @@ impl HammerModel {
             overshoot_interval: None,
             far_coupling: None,
             act_counter: 0,
+            peak: 0,
         }
     }
 
@@ -139,6 +145,9 @@ impl HammerModel {
     fn bump(&mut self, victim: RowId, now: Time) {
         self.disturbance[victim.index()] += 1;
         let d = self.disturbance[victim.index()];
+        if d > self.peak {
+            self.peak = d;
+        }
         while self.flips_emitted[victim.index()] < self.flips_allowed(d) {
             self.flips_emitted[victim.index()] += 1;
             self.flips.push(BitFlip {
@@ -182,11 +191,22 @@ impl HammerModel {
     pub fn max_disturbance(&self) -> u64 {
         self.disturbance.iter().copied().max().unwrap_or(0)
     }
+
+    /// The highest disturbance any row has *ever* reached in this bank.
+    ///
+    /// Unlike [`HammerModel::max_disturbance`] this watermark survives
+    /// refreshes, so it measures the attack margin an adversary achieved
+    /// even when a defense cleaned up afterwards.
+    #[inline]
+    pub fn peak_disturbance(&self) -> u64 {
+        self.peak
+    }
 }
 
 impl Snapshot for HammerModel {
     fn save_state(&self, w: &mut SnapshotWriter) {
         w.put_u64(self.act_counter);
+        w.put_u64(self.peak);
         w.put_usize(self.disturbance.len());
         // Disturbance and emitted-flip vectors are almost entirely zero;
         // store only the non-zero rows.
@@ -221,6 +241,7 @@ impl Snapshot for HammerModel {
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
         self.act_counter = r.take_u64()?;
+        self.peak = r.take_u64()?;
         let rows = r.take_usize()?;
         if rows != self.disturbance.len() {
             return Err(SnapshotError::StateMismatch(format!(
@@ -265,6 +286,7 @@ impl Snapshot for HammerModel {
 
     fn digest_state(&self, d: &mut StateDigest) {
         d.write_u64(self.act_counter);
+        d.write_u64(self.peak);
         for (i, &v) in self.disturbance.iter().enumerate() {
             if v != 0 {
                 d.write_u32(i as u32);
@@ -414,5 +436,20 @@ mod tests {
     #[should_panic(expected = "N_th must be positive")]
     fn zero_threshold_panics() {
         HammerModel::new(4, 0);
+    }
+
+    #[test]
+    fn peak_disturbance_survives_refresh() {
+        let (mut m, remap) = model(8, 100);
+        for i in 0..9 {
+            m.on_activate(RowId(3), &remap, Time::from_ps(i));
+        }
+        assert_eq!(m.peak_disturbance(), 9);
+        m.on_refresh(RowId(2));
+        m.on_refresh(RowId(4));
+        assert_eq!(m.max_disturbance(), 0, "refresh clears live disturbance");
+        assert_eq!(m.peak_disturbance(), 9, "watermark survives refresh");
+        m.on_activate(RowId(3), &remap, Time::from_ps(100));
+        assert_eq!(m.peak_disturbance(), 9, "lower rebound does not move it");
     }
 }

@@ -875,6 +875,31 @@ impl ChannelController {
         self.rcd.ranks().iter().map(|r| r.bit_flip_count()).sum()
     }
 
+    /// Highest disturbance any row behind this channel ever reached
+    /// (monotone; survives refreshes).
+    pub fn peak_disturbance(&self) -> u64 {
+        self.rcd
+            .ranks()
+            .iter()
+            .map(|r| r.peak_disturbance())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Combined pressure reading from every defense watching this
+    /// channel (RCD-resident, MC-resident, and the engaged fallback):
+    /// triggers add, near-miss takes the hottest.
+    pub fn defense_pressure(&self) -> twice_common::DefensePressure {
+        let mut p = self.rcd.defense().pressure();
+        if let Some(d) = &self.mc_defense {
+            p = p.merge(d.pressure());
+        }
+        if let Some(d) = &self.fallback {
+            p = p.merge(d.pressure());
+        }
+        p
+    }
+
     /// Commands nacked by the RCD.
     pub fn nacks(&self) -> u64 {
         self.rcd.nacks()

@@ -20,7 +20,9 @@
 //! split cascades (children start below the next level's threshold).
 
 use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
-use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
+use twice_common::{
+    BankId, DefensePressure, DefenseResponse, Detection, RowHammerDefense, RowId, Time,
+};
 
 /// One tree counter covering rows `lo..hi`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +49,8 @@ pub struct Cbt {
     rows_per_bank: u32,
     refs_per_window: u64,
     banks: Vec<BankTree>,
+    /// Group refreshes fired (pressure introspection).
+    fired: u64,
     name: String,
 }
 
@@ -92,6 +96,7 @@ impl Cbt {
                 };
                 num_banks as usize
             ],
+            fired: 0,
         }
     }
 
@@ -196,6 +201,7 @@ impl RowHammerDefense for Cbt {
         if tree.leaves[i].count >= th_rh {
             let leaf = tree.leaves[i];
             tree.leaves[i].count = 0;
+            self.fired += 1;
             let lo = leaf.lo.saturating_sub(1);
             let hi = (leaf.hi + 1).min(self.rows_per_bank);
             let rows: Vec<RowId> = (lo..hi).map(RowId).collect();
@@ -239,6 +245,17 @@ impl RowHammerDefense for Cbt {
             }];
             tree.refs_seen = 0;
         }
+        self.fired = 0;
+    }
+
+    fn pressure(&self) -> DefensePressure {
+        let hottest = self
+            .banks
+            .iter()
+            .flat_map(|tree| tree.leaves.iter().map(|leaf| leaf.count))
+            .max()
+            .unwrap_or(0);
+        DefensePressure::from_counter(hottest, self.th_rh, self.fired)
     }
 
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {
@@ -246,6 +263,7 @@ impl RowHammerDefense for Cbt {
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.fired);
         w.put_usize(self.banks.len());
         for tree in &self.banks {
             w.put_u64(tree.refs_seen);
@@ -261,6 +279,7 @@ impl RowHammerDefense for Cbt {
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.fired = r.take_u64()?;
         let banks = r.take_usize()?;
         if banks != self.banks.len() {
             return Err(SnapshotError::StateMismatch(format!(
@@ -290,6 +309,7 @@ impl RowHammerDefense for Cbt {
     }
 
     fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.fired);
         for tree in &self.banks {
             d.write_u64(tree.refs_seen);
             d.write_usize(tree.leaves.len());

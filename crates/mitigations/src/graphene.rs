@@ -17,7 +17,9 @@
 
 use std::collections::HashMap;
 use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
-use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
+use twice_common::{
+    BankId, DefensePressure, DefenseResponse, Detection, RowHammerDefense, RowId, Time,
+};
 
 /// The Graphene defense.
 #[derive(Debug, Clone)]
@@ -28,6 +30,8 @@ pub struct Graphene {
     entries: usize,
     refs_per_window: u64,
     banks: Vec<GrapheneBank>,
+    /// Detections fired (pressure introspection).
+    fired: u64,
     name: String,
 }
 
@@ -59,6 +63,7 @@ impl Graphene {
             entries,
             refs_per_window,
             banks: vec![GrapheneBank::default(); num_banks as usize],
+            fired: 0,
         }
     }
 
@@ -121,6 +126,7 @@ impl RowHammerDefense for Graphene {
         };
         if count >= threshold {
             b.counts.remove(&row.0);
+            self.fired += 1;
             return DefenseResponse {
                 detection: Some(Detection {
                     bank,
@@ -148,6 +154,17 @@ impl RowHammerDefense for Graphene {
         for b in &mut self.banks {
             *b = GrapheneBank::default();
         }
+        self.fired = 0;
+    }
+
+    fn pressure(&self) -> DefensePressure {
+        let hottest = self
+            .banks
+            .iter()
+            .flat_map(|b| b.counts.values().copied())
+            .max()
+            .unwrap_or(0);
+        DefensePressure::from_counter(hottest, self.threshold, self.fired)
     }
 
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {
@@ -155,6 +172,7 @@ impl RowHammerDefense for Graphene {
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.fired);
         w.put_usize(self.banks.len());
         for b in &self.banks {
             w.put_u64(b.spillover);
@@ -170,6 +188,7 @@ impl RowHammerDefense for Graphene {
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.fired = r.take_u64()?;
         let banks = r.take_usize()?;
         if banks != self.banks.len() {
             return Err(SnapshotError::StateMismatch(format!(
@@ -192,6 +211,7 @@ impl RowHammerDefense for Graphene {
     }
 
     fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.fired);
         for b in &self.banks {
             d.write_u64(b.spillover);
             d.write_u64(b.refs_seen);

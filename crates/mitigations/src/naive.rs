@@ -12,7 +12,9 @@
 
 use std::collections::HashMap;
 use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
-use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
+use twice_common::{
+    BankId, DefensePressure, DefenseResponse, Detection, RowHammerDefense, RowId, Time,
+};
 
 /// The exact per-row counting oracle.
 #[derive(Debug, Clone)]
@@ -20,6 +22,8 @@ pub struct PerRowOracle {
     th_rh: u64,
     refs_per_window: u64,
     banks: Vec<OracleBank>,
+    /// Detections fired (pressure introspection).
+    fired: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -43,6 +47,7 @@ impl PerRowOracle {
             th_rh,
             refs_per_window,
             banks: vec![OracleBank::default(); num_banks as usize],
+            fired: 0,
         }
     }
 
@@ -72,6 +77,7 @@ impl RowHammerDefense for PerRowOracle {
         if *count >= self.th_rh {
             let act_count = *count;
             b.counts.remove(&row.0);
+            self.fired += 1;
             return DefenseResponse {
                 detection: Some(Detection {
                     bank,
@@ -98,6 +104,17 @@ impl RowHammerDefense for PerRowOracle {
         for b in &mut self.banks {
             *b = OracleBank::default();
         }
+        self.fired = 0;
+    }
+
+    fn pressure(&self) -> DefensePressure {
+        let hottest = self
+            .banks
+            .iter()
+            .flat_map(|b| b.counts.values().copied())
+            .max()
+            .unwrap_or(0);
+        DefensePressure::from_counter(hottest, self.th_rh, self.fired)
     }
 
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {
@@ -105,6 +122,7 @@ impl RowHammerDefense for PerRowOracle {
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.fired);
         w.put_usize(self.banks.len());
         for b in &self.banks {
             w.put_u64(b.refs_seen);
@@ -119,6 +137,7 @@ impl RowHammerDefense for PerRowOracle {
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.fired = r.take_u64()?;
         let banks = r.take_usize()?;
         if banks != self.banks.len() {
             return Err(SnapshotError::StateMismatch(format!(
@@ -140,6 +159,7 @@ impl RowHammerDefense for PerRowOracle {
     }
 
     fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.fired);
         for b in &self.banks {
             d.write_u64(b.refs_seen);
             let mut counts: Vec<(u32, u64)> = b.counts.iter().map(|(&r, &c)| (r, c)).collect();

@@ -54,6 +54,76 @@ pub enum DefenseKind {
 }
 
 impl DefenseKind {
+    /// Every CLI defense name [`DefenseKind::parse`] accepts, in parse
+    /// order. Error messages list these so a typo comes back with the
+    /// full menu.
+    pub const NAMES: [&'static str; 13] = [
+        "twice",
+        "twice-fa",
+        "twice-pa",
+        "twice-split",
+        "para",
+        "para2",
+        "prohit",
+        "cbt",
+        "cra",
+        "trr",
+        "graphene",
+        "oracle",
+        "none",
+    ];
+
+    /// Parses a CLI defense name. This is the single source of truth for
+    /// every subcommand (`redteam`, `trace`, `fleet`, `chaos`, ...);
+    /// unknown names should be reported with [`DefenseKind::NAMES`] and
+    /// exit code 2.
+    pub fn parse(name: &str) -> Option<DefenseKind> {
+        Some(match name {
+            "twice" | "twice-fa" => DefenseKind::Twice(TableOrganization::FullyAssociative),
+            "twice-pa" => DefenseKind::Twice(TableOrganization::PseudoAssociative),
+            "twice-split" => DefenseKind::Twice(TableOrganization::Split),
+            "para" => DefenseKind::Para { p: 0.001 },
+            "para2" => DefenseKind::Para { p: 0.002 },
+            "prohit" => DefenseKind::Prohit { p: 0.001 },
+            "cbt" => DefenseKind::Cbt { counters: 256 },
+            "cra" => DefenseKind::Cra { cache_entries: 512 },
+            "trr" => DefenseKind::Trr { entries: 16 },
+            "graphene" => DefenseKind::Graphene,
+            "oracle" => DefenseKind::Oracle,
+            "none" => DefenseKind::None,
+            _ => return None,
+        })
+    }
+
+    /// The canonical CLI name for this kind (round-trips through
+    /// [`DefenseKind::parse`] for every parseable configuration).
+    pub fn cli_name(&self) -> Option<&'static str> {
+        for name in DefenseKind::NAMES {
+            if name == "twice" {
+                continue; // alias of twice-fa
+            }
+            if DefenseKind::parse(name) == Some(*self) {
+                return Some(name);
+            }
+        }
+        None
+    }
+
+    /// The distinct defenses the security-regression gate replays the
+    /// corpus against: every parseable kind, deduplicated. `none` is
+    /// included deliberately — an adversarial trace that does *not* flip
+    /// bits on unprotected DRAM is not adversarial.
+    pub fn verify_lineup() -> Vec<DefenseKind> {
+        let mut out = Vec::new();
+        for name in DefenseKind::NAMES {
+            let kind = DefenseKind::parse(name).expect("NAMES entries parse");
+            if !out.contains(&kind) {
+                out.push(kind);
+            }
+        }
+        out
+    }
+
     /// The four defenses of Figure 7, in its display order.
     pub fn figure7_lineup() -> Vec<DefenseKind> {
         vec![
@@ -199,6 +269,32 @@ mod tests {
             d.on_auto_refresh(BankId(1), Time::ZERO);
             d.reset();
             assert!(!d.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_name_parses_and_round_trips() {
+        for name in DefenseKind::NAMES {
+            let kind = DefenseKind::parse(name).unwrap_or_else(|| panic!("{name} must parse"));
+            let canonical = kind.cli_name().expect("parseable kinds have a name");
+            assert_eq!(
+                DefenseKind::parse(canonical),
+                Some(kind),
+                "{name} -> {canonical} must round-trip"
+            );
+        }
+        assert_eq!(DefenseKind::parse("twice"), DefenseKind::parse("twice-fa"));
+        assert!(DefenseKind::parse("no-such-defense").is_none());
+        assert!(DefenseKind::parse("TWICE").is_none(), "names are exact");
+    }
+
+    #[test]
+    fn verify_lineup_is_distinct_and_covers_none() {
+        let lineup = DefenseKind::verify_lineup();
+        assert_eq!(lineup.len(), 12, "13 names minus the twice alias");
+        assert!(lineup.contains(&DefenseKind::None));
+        for (i, a) in lineup.iter().enumerate() {
+            assert!(!lineup[i + 1..].contains(a), "{a} duplicated");
         }
     }
 

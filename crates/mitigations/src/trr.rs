@@ -21,7 +21,9 @@
 //! ARR response channel like TWiCe does.
 
 use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, StateDigest};
-use twice_common::{BankId, DefenseResponse, Detection, RowHammerDefense, RowId, Time};
+use twice_common::{
+    BankId, DefensePressure, DefenseResponse, Detection, RowHammerDefense, RowId, Time,
+};
 
 /// One tracker entry.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +39,8 @@ pub struct Trr {
     mac: u64,
     refs_per_window: u64,
     banks: Vec<TrrBank>,
+    /// TRR refreshes fired (pressure introspection).
+    fired: u64,
     name: String,
 }
 
@@ -65,6 +69,7 @@ impl Trr {
             mac,
             refs_per_window,
             banks: vec![TrrBank::default(); num_banks as usize],
+            fired: 0,
         }
     }
 
@@ -97,6 +102,7 @@ impl RowHammerDefense for Trr {
             if slot.count >= mac {
                 let aggressor = slot.row;
                 slot.count = 0;
+                self.fired += 1;
                 return DefenseResponse {
                     detection: Some(Detection {
                         bank,
@@ -132,6 +138,17 @@ impl RowHammerDefense for Trr {
         for b in &mut self.banks {
             *b = TrrBank::default();
         }
+        self.fired = 0;
+    }
+
+    fn pressure(&self) -> DefensePressure {
+        let hottest = self
+            .banks
+            .iter()
+            .flat_map(|b| b.slots.iter().map(|s| s.count))
+            .max()
+            .unwrap_or(0);
+        DefensePressure::from_counter(hottest, self.mac, self.fired)
     }
 
     fn table_occupancy(&self, bank: BankId) -> Option<usize> {
@@ -139,6 +156,7 @@ impl RowHammerDefense for Trr {
     }
 
     fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.fired);
         w.put_usize(self.banks.len());
         // Slot order is the tracker's insertion order; saved verbatim.
         for b in &self.banks {
@@ -152,6 +170,7 @@ impl RowHammerDefense for Trr {
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.fired = r.take_u64()?;
         let banks = r.take_usize()?;
         if banks != self.banks.len() {
             return Err(SnapshotError::StateMismatch(format!(
@@ -173,6 +192,7 @@ impl RowHammerDefense for Trr {
     }
 
     fn digest_state(&self, d: &mut StateDigest) {
+        d.write_u64(self.fired);
         for b in &self.banks {
             d.write_u64(b.refs_seen);
             d.write_usize(b.slots.len());

@@ -84,10 +84,17 @@ pub enum Ctr {
     SimTraceFramesDropped,
     /// Binary trace bytes quarantined by the salvage reader.
     SimTraceBytesQuarantined,
+    /// Red-team genome evaluations run (live, not journal-cached).
+    SimRedteamEvals,
+    /// Red-team genomes quarantined (panic or budget blowout).
+    SimRedteamQuarantined,
+    /// Corpus replays where a protected defense let a victim cross
+    /// `N_th` unmitigated.
+    SimRedteamBreaks,
 }
 
 /// Number of registered counters.
-pub const NUM_CTRS: usize = 20;
+pub const NUM_CTRS: usize = 23;
 
 impl Ctr {
     /// Every registered counter, in declaration order.
@@ -112,6 +119,9 @@ impl Ctr {
         Ctr::SimTraceFramesRead,
         Ctr::SimTraceFramesDropped,
         Ctr::SimTraceBytesQuarantined,
+        Ctr::SimRedteamEvals,
+        Ctr::SimRedteamQuarantined,
+        Ctr::SimRedteamBreaks,
     ];
 
     /// The counter's canonical `layer.event` name.
@@ -137,6 +147,9 @@ impl Ctr {
             Ctr::SimTraceFramesRead => "sim.trace_frames_read",
             Ctr::SimTraceFramesDropped => "sim.trace_frames_dropped",
             Ctr::SimTraceBytesQuarantined => "sim.trace_bytes_quarantined",
+            Ctr::SimRedteamEvals => "sim.redteam_evals",
+            Ctr::SimRedteamQuarantined => "sim.redteam_quarantined",
+            Ctr::SimRedteamBreaks => "sim.redteam_breaks",
         }
     }
 
@@ -171,6 +184,9 @@ impl Ctr {
             Ctr::SimTraceFramesRead => "sim_trace_frames_read",
             Ctr::SimTraceFramesDropped => "sim_trace_frames_dropped",
             Ctr::SimTraceBytesQuarantined => "sim_trace_bytes_quarantined",
+            Ctr::SimRedteamEvals => "sim_redteam_evals",
+            Ctr::SimRedteamQuarantined => "sim_redteam_quarantined",
+            Ctr::SimRedteamBreaks => "sim_redteam_breaks",
         }
     }
 

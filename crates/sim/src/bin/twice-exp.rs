@@ -18,6 +18,10 @@
 //! $ twice-exp trace replay --file m.twt2 --defense twice   # digest-faithful
 //! $ twice-exp trace verify --file m.twt2    # salvage report, exit 0/4/2
 //! $ twice-exp trace stat --file m.twt2      # sizes + v1-vs-v2 compression
+//! $ twice-exp trace diff --file m.twt2 --defense-a twice --defense-b trr
+//! $ twice-exp redteam --defense trr --journal rt/       # evolve attacks
+//! $ twice-exp redteam --resume rt/ --corpus corpus/     # resume + distill
+//! $ twice-exp redteam verify --corpus corpus/           # regression gate
 //! ```
 //!
 //! Failures exit with a distinct code and one structured line on stderr
@@ -153,6 +157,13 @@ struct Args {
     telemetry_every: Option<usize>,
     obs_out: Option<String>,
     heartbeat_counters: Option<String>,
+    population: Option<usize>,
+    generations: Option<u32>,
+    corpus: Option<PathBuf>,
+    top: Option<usize>,
+    sabotage: Option<usize>,
+    defense_a: Option<String>,
+    defense_b: Option<String>,
 }
 
 impl Args {
@@ -203,6 +214,13 @@ fn parse_args() -> Result<Option<Args>, CliError> {
         telemetry_every: None,
         obs_out: None,
         heartbeat_counters: None,
+        population: None,
+        generations: None,
+        corpus: None,
+        top: None,
+        sabotage: None,
+        defense_a: None,
+        defense_b: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -273,7 +291,37 @@ fn parse_args() -> Result<Option<Args>, CliError> {
             }
             "--obs-out" => out.obs_out = Some(flag_value(&mut args, &flag)?),
             "--heartbeat-counters" => out.heartbeat_counters = Some(flag_value(&mut args, &flag)?),
-            _ if !flag.starts_with('-') && out.command == "trace" && out.subcommand.is_none() => {
+            "--population" => {
+                let population: usize = parse_number(&flag, &flag_value(&mut args, &flag)?)?;
+                if population < 2 {
+                    return Err(CliError::bad_flag("-", "--population must be at least 2"));
+                }
+                out.population = Some(population);
+            }
+            "--generations" => {
+                let generations: u32 = parse_number(&flag, &flag_value(&mut args, &flag)?)?;
+                if generations == 0 {
+                    return Err(CliError::bad_flag("-", "--generations must be at least 1"));
+                }
+                out.generations = Some(generations);
+            }
+            "--corpus" => out.corpus = Some(PathBuf::from(flag_value(&mut args, &flag)?)),
+            "--top" => {
+                let top: usize = parse_number(&flag, &flag_value(&mut args, &flag)?)?;
+                if top == 0 {
+                    return Err(CliError::bad_flag("-", "--top must be at least 1"));
+                }
+                out.top = Some(top);
+            }
+            "--sabotage" => {
+                out.sabotage = Some(parse_number(&flag, &flag_value(&mut args, &flag)?)?)
+            }
+            "--defense-a" => out.defense_a = Some(flag_value(&mut args, &flag)?),
+            "--defense-b" => out.defense_b = Some(flag_value(&mut args, &flag)?),
+            _ if !flag.starts_with('-')
+                && matches!(out.command.as_str(), "trace" | "redteam")
+                && out.subcommand.is_none() =>
+            {
                 out.subcommand = Some(flag)
             }
             _ => return Err(CliError::bad_flag("-", format!("unknown flag {flag}"))),
@@ -282,21 +330,18 @@ fn parse_args() -> Result<Option<Args>, CliError> {
     Ok(Some(out))
 }
 
-fn defense_from_name(name: &str) -> Option<DefenseKind> {
-    Some(match name {
-        "twice" | "twice-fa" => DefenseKind::Twice(TableOrganization::FullyAssociative),
-        "twice-pa" => DefenseKind::Twice(TableOrganization::PseudoAssociative),
-        "twice-split" => DefenseKind::Twice(TableOrganization::Split),
-        "para" => DefenseKind::Para { p: 0.001 },
-        "para2" => DefenseKind::Para { p: 0.002 },
-        "prohit" => DefenseKind::Prohit { p: 0.001 },
-        "cbt" => DefenseKind::Cbt { counters: 256 },
-        "cra" => DefenseKind::Cra { cache_entries: 512 },
-        "trr" => DefenseKind::Trr { entries: 16 },
-        "graphene" => DefenseKind::Graphene,
-        "oracle" => DefenseKind::Oracle,
-        "none" => DefenseKind::None,
-        _ => return None,
+/// The one defense-name parser every subcommand shares
+/// ([`DefenseKind::parse`]); a typo exits 2 with the full known-name
+/// menu instead of a bare "unknown defense".
+fn parse_defense(experiment: &str, name: &str) -> Result<DefenseKind, CliError> {
+    DefenseKind::parse(name).ok_or_else(|| {
+        CliError::unknown(
+            experiment,
+            format!(
+                "unknown defense \"{name}\" (known: {})",
+                DefenseKind::NAMES.join(" ")
+            ),
+        )
     })
 }
 
@@ -323,6 +368,12 @@ fn usage() -> ExitCode {
          \x20           path; write BENCH_3.json with the obs counter map\n\
          \x20 profile   run one instrumented cell ([--workload NAME] [--defense NAME])\n\
          \x20           and write a chrome://tracing trace to --obs-out\n\
+         \x20 redteam   supervised adversarial search: evolve hammer-pattern genomes\n\
+         \x20           against --defense NAME (quarantining pathological genomes,\n\
+         \x20           journaling every evaluation for kill+resume); distill the\n\
+         \x20           champions into a regression corpus with --corpus DIR\n\
+         \x20   redteam verify  replay a corpus against EVERY defense and diff the\n\
+         \x20                   hold/break outcomes against the sealed manifest\n\
          \x20 record    write a v1 text workload trace (--workload NAME --file PATH)\n\
          \x20 replay    replay a v1 text trace (--file PATH [--defense NAME])\n\
          \x20 trace     binary (twice-trace v2) trace ecosystem; subcommands:\n\
@@ -330,6 +381,8 @@ fn usage() -> ExitCode {
          \x20   trace replay  salvage-decode and replay (--file PATH [--defense NAME])\n\
          \x20   trace verify  salvage-decode and report health (--file PATH)\n\
          \x20   trace stat    sizes, composition, v1-vs-v2 compression (--file PATH)\n\
+         \x20   trace diff    replay one trace under two defenses and report the\n\
+         \x20                 first divergence (--file PATH --defense-a A --defense-b B)\n\
          \x20           trace subcommands honor --storage-faults/--retries/--backoff-ms\n\
          \x20           and exit 0 clean / 4 salvaged-and-degraded / 2 unusable\n\
          common flags:\n\
@@ -359,18 +412,31 @@ fn usage() -> ExitCode {
          \x20                     rows (default: the full deterministic heartbeat set)\n\
          profile flags:\n\
          \x20 --obs-out PATH      trace_event JSON output (default profile-trace.json)\n\
+         redteam flags:\n\
+         \x20 --population N      genomes per generation (default 16)\n\
+         \x20 --generations N     generations to evolve (default 8)\n\
+         \x20 --requests N        requests per evaluation (default 24000)\n\
+         \x20 --corpus DIR        distill the top genomes into DIR (search) /\n\
+         \x20                     the corpus to replay (verify)\n\
+         \x20 --top N             corpus traces to distill (default 3)\n\
+         \x20 --sabotage N        poison N generation-0 genomes (panic + budget\n\
+         \x20                     blowout) to exercise quarantine\n\
+         \x20 (--journal/--resume/--jobs/--epoch/--halt-after/--seed and the\n\
+         \x20  budget/storage/retry flags work as for chaos)\n\
          exit codes:\n\
          \x20  0  success\n\
          \x20  2  unknown command, defense, workload, or SPEC app name\n\
          \x20  3  invalid flag value (e.g. --jobs 0, --shards 0)\n\
          \x20  4  completed degraded: at least one cell/shard quarantined\n\
-         \x20     (fleet prints its FleetSummary on stderr), or a trace\n\
-         \x20     replayed/verified only after salvage dropped frames\n\
+         \x20     (fleet prints its FleetSummary on stderr), a trace\n\
+         \x20     replayed/verified only after salvage dropped frames, or a\n\
+         \x20     defense fell to the red-team corpus (redteam/redteam verify)\n\
          \x20  2  (trace) the trace file is unusable: damaged header,\n\
          \x20     foreign version/topology, or nothing salvageable\n\
          \x20 75  halted early by --halt-after (rerun with --resume)\n\
          \x20  1  everything else (I/O, a failed safety property)\n\
-         defenses: twice twice-pa twice-split para para2 prohit cbt cra oracle none"
+         defenses: twice twice-fa twice-pa twice-split para para2 prohit cbt cra\n\
+         \x20         trr graphene oracle none"
     );
     ExitCode::from(EXIT_UNKNOWN_NAME)
 }
@@ -632,12 +698,7 @@ fn run_fleet(args: &Args) -> Result<ExitCode, CliError> {
 /// `chrome://tracing` or <https://ui.perfetto.dev>.
 fn run_profile(args: &Args) -> Result<ExitCode, CliError> {
     let defense_name = args.defense.as_deref().unwrap_or("twice");
-    let Some(defense) = defense_from_name(defense_name) else {
-        return Err(CliError::unknown(
-            "profile",
-            format!("unknown defense \"{defense_name}\""),
-        ));
-    };
+    let defense = parse_defense("profile", defense_name)?;
     let workload_name = args.workload.as_deref().unwrap_or("s1");
     let Some(workload) = workload_from_name(workload_name) else {
         return Err(CliError::unknown(
@@ -891,6 +952,205 @@ fn run_bench(args: &Args) -> Result<ExitCode, CliError> {
 /// campaign storage seam, so `--storage-faults` tortures these paths
 /// exactly like journals and checkpoints. Exit codes follow the trace
 /// health ladder: 0 clean, 4 salvaged-and-degraded, 2 unusable.
+/// `redteam` — evolve adversarial hammer patterns against a defense
+/// under the supervision ladder, journal every evaluation for
+/// kill+resume, and optionally distill the winners into a regression
+/// corpus. `redteam verify` replays a corpus against every defense and
+/// exits 4 on any contract violation (a defense fell).
+fn run_redteam(args: &Args) -> Result<ExitCode, CliError> {
+    use twice_sim::redteam::{self, RedteamConfig, RedteamOutcome, CORPUS_MANIFEST, MUST_HOLD};
+
+    if let Some(sub) = args.subcommand.as_deref() {
+        if sub != "verify" {
+            return Err(CliError::unknown(
+                "redteam",
+                format!("unknown redteam subcommand \"{sub}\" (only: verify)"),
+            ));
+        }
+        let Some(corpus_dir) = &args.corpus else {
+            return Err(CliError::bad_flag(
+                "redteam verify",
+                "redteam verify needs --corpus DIR",
+            ));
+        };
+        let mut cfg = SimConfig::fast_test();
+        if let Some(seed) = args.seed {
+            cfg.seed = seed;
+        }
+        let io: Arc<dyn twice_sim::cio::CampaignIo> = match args.storage_faults {
+            Some(seed) => Arc::new(twice_sim::cio::FaultyIo::with_default_plan(seed)),
+            None => Arc::new(twice_sim::cio::RealIo),
+        };
+        let report = redteam::verify_corpus(
+            &cfg,
+            &io,
+            corpus_dir,
+            args.retries.unwrap_or(3),
+            args.backoff_ms.unwrap_or(0),
+        )
+        .map_err(|e| {
+            if e.contains(CORPUS_MANIFEST) {
+                CliError::unusable("redteam verify", e)
+            } else {
+                CliError::failure("redteam verify", "-", e)
+            }
+        })?;
+        for finding in &report.findings {
+            println!("finding: {finding}");
+        }
+        println!(
+            "verified {} trace(s) x {} defense replay(s): {} expected break(s), {} regression(s)",
+            report.traces,
+            report.replays,
+            report.findings.len(),
+            report.regressions.len()
+        );
+        if !report.regressions.is_empty() {
+            for r in &report.regressions {
+                eprintln!("twice-exp: corpus regression: {r}");
+            }
+            eprintln!("twice-exp: degraded: a defense fell to the red-team corpus");
+            return Ok(ExitCode::from(EXIT_DEGRADED));
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut cfg = SimConfig::fast_test();
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    let name = args.defense.as_deref().unwrap_or("twice");
+    let defense = parse_defense("redteam", name)?;
+    if args.resume.is_some() && args.journal.is_some() {
+        return Err(CliError::bad_flag(
+            "redteam",
+            "--resume and --journal are mutually exclusive (resume implies the journal directory)",
+        ));
+    }
+    let dir = if let Some(d) = &args.resume {
+        if !d.is_dir() {
+            return Err(CliError::bad_flag(
+                "redteam",
+                format!("--resume directory {} does not exist", d.display()),
+            ));
+        }
+        d.clone()
+    } else {
+        args.journal
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("redteam-out"))
+    };
+    let mut rc = RedteamConfig::new(cfg, defense, dir);
+    if let Some(p) = args.population {
+        rc.population = p;
+    }
+    if let Some(g) = args.generations {
+        rc.generations = g;
+    }
+    if let Some(r) = args.requests {
+        rc.requests = r;
+    }
+    if let Some(e) = args.epoch {
+        if e == 0 {
+            return Err(CliError::bad_flag("redteam", "--epoch must be at least 1"));
+        }
+        rc.epoch = e;
+    }
+    rc.wall_budget_ms = args.wall_budget_ms.unwrap_or(0);
+    rc.sim_budget_ps = args.sim_budget_ps.unwrap_or(0);
+    rc.jobs = args.jobs();
+    if let Some(r) = args.retries {
+        rc.retries = r;
+    }
+    if let Some(b) = args.backoff_ms {
+        rc.backoff_ms = b;
+    }
+    rc.sabotage = args.sabotage.unwrap_or(0);
+    rc.halt_after = args.halt_after.map(|n| n as u64);
+    if let Some(seed) = args.storage_faults {
+        rc.io = Arc::new(twice_sim::cio::FaultyIo::with_default_plan(seed));
+    }
+
+    let outcome = redteam::redteam_search(&rc).map_err(|e| {
+        if e.contains("different campaign") {
+            CliError::unusable("redteam", e)
+        } else {
+            CliError::failure("redteam", "-", e)
+        }
+    })?;
+    let report = match outcome {
+        RedteamOutcome::Halted { evals_live } => {
+            eprintln!(
+                "twice-exp: redteam halted after {evals_live} live evaluation(s); \
+                 rerun with --resume {} to continue",
+                rc.dir.display()
+            );
+            return Ok(ExitCode::from(EXIT_HALTED));
+        }
+        RedteamOutcome::Completed(r) => r,
+    };
+
+    println!(
+        "redteam search: defense={} population={} generations={} requests={} seed={}",
+        rc.defense, rc.population, rc.generations, rc.requests, rc.cfg.seed
+    );
+    println!("gen  best_fitness  quarantined  digest              best");
+    for g in &report.generations {
+        println!(
+            "{:>3}  {:>12}  {:>11}  {:#018x}  {}",
+            g.gen, g.best_fitness, g.quarantined, g.digest, g.best_summary
+        );
+    }
+    println!(
+        "evals: {} live, {} cached; {} quarantined; {} journal line(s) dropped, {} corrupt",
+        report.evals_live,
+        report.evals_cached,
+        report.quarantined,
+        report.journal_dropped,
+        report.journal_corrupt
+    );
+    if let Some((genome, best)) = report.best.first() {
+        println!(
+            "champion: {} (fitness {}, {} flip(s), stealth peak {}, near-miss {}permille) {}",
+            genome.summary(),
+            best.fitness,
+            best.bit_flips,
+            best.stealth_peak,
+            best.near_miss_permille,
+            genome.hex()
+        );
+    }
+
+    if let Some(corpus_dir) = &args.corpus {
+        let entries = redteam::distill_corpus(&rc, &report.best, corpus_dir, args.top.unwrap_or(3))
+            .map_err(|e| CliError::failure("redteam", "corpus", e))?;
+        let mut fallen = Vec::new();
+        for e in &entries {
+            println!(
+                "corpus {}: fitness {} holds=[{}] breaks=[{}]",
+                e.file,
+                e.fitness,
+                e.holds.join(","),
+                e.breaks.join(",")
+            );
+            for broken in &e.breaks {
+                if MUST_HOLD.contains(&broken.as_str()) {
+                    fallen.push(format!("{} fell to {}", broken, e.file));
+                }
+            }
+        }
+        if !fallen.is_empty() {
+            for f in &fallen {
+                eprintln!(
+                    "twice-exp: HEADLINE: {f} - record this in DESIGN.md, do not ship silently"
+                );
+            }
+            return Ok(ExitCode::from(EXIT_DEGRADED));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run_trace(args: &Args) -> Result<ExitCode, CliError> {
     use twice_sim::tracecli::{self, TraceIo};
     use twice_workloads::tracev2::TraceHealth;
@@ -898,10 +1158,10 @@ fn run_trace(args: &Args) -> Result<ExitCode, CliError> {
     let Some(sub) = args.subcommand.as_deref() else {
         return Err(CliError::bad_flag(
             "trace",
-            "trace needs a subcommand: record | replay | verify | stat",
+            "trace needs a subcommand: record | replay | verify | stat | diff",
         ));
     };
-    if !matches!(sub, "record" | "replay" | "verify" | "stat") {
+    if !matches!(sub, "record" | "replay" | "verify" | "stat" | "diff") {
         return Err(CliError::unknown(
             "trace",
             format!("unknown trace subcommand \"{sub}\""),
@@ -996,14 +1256,63 @@ fn run_trace(args: &Args) -> Result<ExitCode, CliError> {
                 );
             }
         }
-        "replay" => {
-            let name = args.defense.as_deref().unwrap_or("twice");
-            let Some(kind) = defense_from_name(name) else {
-                return Err(CliError::unknown(
+        "diff" => {
+            let Some(name_a) = args.defense_a.as_deref() else {
+                return Err(CliError::bad_flag(
                     &experiment,
-                    format!("unknown defense \"{name}\""),
+                    "trace diff needs --defense-a NAME",
                 ));
             };
+            let Some(name_b) = args.defense_b.as_deref() else {
+                return Err(CliError::bad_flag(
+                    &experiment,
+                    "trace diff needs --defense-b NAME",
+                ));
+            };
+            let kind_a = parse_defense(&experiment, name_a)?;
+            let kind_b = parse_defense(&experiment, name_b)?;
+            let label = format!("{}", path.display());
+            let total = loaded.salvaged.items.len();
+            let diff = tracecli::diff_trace(
+                &cfg,
+                kind_a,
+                kind_b,
+                Arc::new(loaded.salvaged.items),
+                &label,
+            )
+            .map_err(|e| CliError::failure(&experiment, "-", format!("diff aborted: {e}")))?;
+            println!("{label}: {} vs {}", diff.a.defense, diff.b.defense);
+            match diff.divergence {
+                Some(d) => println!(
+                    "first divergence at access {}/{total}: {} {} vs {}",
+                    d.access, d.field, d.a, d.b
+                ),
+                None => println!("no observable divergence over {total} accesses"),
+            }
+            for m in [&diff.a, &diff.b] {
+                println!(
+                    "  {:12} {} additional ACT(s) ({}), {} detection(s), {} flip(s), {} nack(s)",
+                    m.defense,
+                    m.additional_acts,
+                    m.ratio_percent(),
+                    m.detections,
+                    m.bit_flips,
+                    m.nacks
+                );
+            }
+            println!(
+                "  delta        {:+} additional ACT(s), {:+} detection(s), {:+} flip(s), \
+                 digests {:#018x} / {:#018x}",
+                diff.b.additional_acts as i64 - diff.a.additional_acts as i64,
+                diff.b.detections as i64 - diff.a.detections as i64,
+                diff.b.bit_flips as i64 - diff.a.bit_flips as i64,
+                diff.digest_a,
+                diff.digest_b
+            );
+        }
+        "replay" => {
+            let name = args.defense.as_deref().unwrap_or("twice");
+            let kind = parse_defense(&experiment, name)?;
             let label = format!("{}", path.display());
             let out = tracecli::replay_trace(&cfg, kind, Arc::new(loaded.salvaged.items), &label)
                 .map_err(|e| {
@@ -1125,11 +1434,18 @@ fn main() -> ExitCode {
                 Err(e) => e.report(),
             };
         }
+        "redteam" => {
+            return match run_redteam(&args) {
+                Ok(code) => code,
+                Err(e) => e.report(),
+            };
+        }
         "attack" => {
             let cfg = SimConfig::fast_test();
             let name = args.defense.as_deref().unwrap_or("twice");
-            let Some(kind) = defense_from_name(name) else {
-                return CliError::unknown("attack", format!("unknown defense \"{name}\"")).report();
+            let kind = match parse_defense("attack", name) {
+                Ok(k) => k,
+                Err(e) => return e.report(),
             };
             let out = confront(
                 &cfg,
@@ -1187,8 +1503,9 @@ fn main() -> ExitCode {
                 return CliError::bad_flag("replay", "replay needs --file PATH").report();
             };
             let name = args.defense.as_deref().unwrap_or("twice");
-            let Some(kind) = defense_from_name(name) else {
-                return CliError::unknown("replay", format!("unknown defense \"{name}\"")).report();
+            let kind = match parse_defense("replay", name) {
+                Ok(k) => k,
+                Err(e) => return e.report(),
             };
             let cfg = SimConfig::paper_default();
             let file = match std::fs::File::open(path) {

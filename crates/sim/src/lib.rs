@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod outcome;
 pub mod parallel;
 pub mod profile;
+pub mod redteam;
 pub mod report;
 pub mod runner;
 pub mod supervisor;

@@ -147,6 +147,44 @@ impl System {
         &self.controllers
     }
 
+    /// Highest disturbance any row in the whole system ever reached
+    /// (monotone watermark; survives refreshes). The red-team fitness
+    /// probe: how far an attack pushed a victim even if a defense later
+    /// cleaned up.
+    pub fn peak_disturbance(&self) -> u64 {
+        self.controllers
+            .iter()
+            .map(|c| c.peak_disturbance())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Merged pressure reading across every defense in the system.
+    pub fn defense_pressure(&self) -> twice_common::DefensePressure {
+        self.controllers
+            .iter()
+            .map(|c| c.defense_pressure())
+            .fold(twice_common::DefensePressure::default(), |acc, p| {
+                acc.merge(p)
+            })
+    }
+
+    /// Total bit flips recorded by the fault model across all channels —
+    /// each one a victim that crossed `N_th` without a timely mitigation.
+    pub fn bit_flip_count(&self) -> usize {
+        self.controllers.iter().map(|c| c.bit_flip_count()).sum()
+    }
+
+    /// Cumulative mitigation activity across all channels: additional
+    /// ACTs the defenses caused plus detections raised. Zero means no
+    /// defense ever acted — the red-team "stealth" predicate.
+    pub fn mitigation_activity(&self) -> u64 {
+        self.controllers
+            .iter()
+            .map(|c| c.additional_acts() + c.detections().len() as u64)
+            .sum()
+    }
+
     /// Mutable access to a controller (fault-model inspection).
     pub fn controller_mut(&mut self, channel: usize) -> &mut ChannelController {
         &mut self.controllers[channel]

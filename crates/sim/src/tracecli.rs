@@ -352,6 +352,113 @@ impl fmt::Display for TraceStats {
     }
 }
 
+/// Where two defenses' observable behavior first diverged on a shared
+/// ACT stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivergencePoint {
+    /// 1-based access count at which the divergence was observed.
+    pub access: u64,
+    /// Which cumulative counter differed first (`additional_acts`,
+    /// `detections`, `bit_flips`, or `nacks`).
+    pub field: &'static str,
+    /// Defense A's value at that point.
+    pub a: u64,
+    /// Defense B's value at that point.
+    pub b: u64,
+}
+
+/// `trace diff` result: the same captured stream fed access-by-access
+/// into two defenses, with the first observable divergence pinpointed
+/// and both full metric records for delta reporting.
+#[derive(Debug, Clone)]
+pub struct TraceDiff {
+    /// First divergence, if the defenses ever disagreed.
+    pub divergence: Option<DivergencePoint>,
+    /// Defense A's completed metrics.
+    pub a: RunMetrics,
+    /// Defense B's completed metrics.
+    pub b: RunMetrics,
+    /// Defense A's final system digest.
+    pub digest_a: u64,
+    /// Defense B's final system digest.
+    pub digest_b: u64,
+}
+
+fn observables(sys: &System) -> [(&'static str, u64); 4] {
+    let m = sys
+        .controllers()
+        .iter()
+        .fold((0u64, 0u64, 0u64), |(aa, det, nk), c| {
+            (
+                aa + c.additional_acts(),
+                det + c.detections().len() as u64,
+                nk + c.nacks(),
+            )
+        });
+    [
+        ("additional_acts", m.0),
+        ("detections", m.1),
+        ("bit_flips", sys.bit_flip_count() as u64),
+        ("nacks", m.2),
+    ]
+}
+
+/// Feeds one captured stream into two defenses, ACT by ACT, and reports
+/// where their observable behavior (additional ACTs, detections, bit
+/// flips, nacks) first diverges plus both final metric records.
+///
+/// # Errors
+///
+/// The controller error message if either system rejects the stream.
+pub fn diff_trace(
+    cfg: &SimConfig,
+    kind_a: DefenseKind,
+    kind_b: DefenseKind,
+    items: Arc<Vec<TraceItem>>,
+    label: &str,
+) -> Result<TraceDiff, String> {
+    let mut sys_a = System::new(cfg, kind_a);
+    let mut sys_b = System::new(cfg, kind_b);
+    let mut divergence = None;
+    for (i, item) in items.iter().enumerate() {
+        sys_a.feed(*item).map_err(|e| format!("{kind_a}: {e}"))?;
+        sys_b.feed(*item).map_err(|e| format!("{kind_b}: {e}"))?;
+        if divergence.is_none() {
+            let oa = observables(&sys_a);
+            let ob = observables(&sys_b);
+            if let Some(((field, a), (_, b))) = oa.iter().zip(ob.iter()).find(|(x, y)| x.1 != y.1) {
+                divergence = Some(DivergencePoint {
+                    access: i as u64 + 1,
+                    field,
+                    a: *a,
+                    b: *b,
+                });
+            }
+        }
+    }
+    sys_a.drain().map_err(|e| format!("{kind_a}: {e}"))?;
+    sys_b.drain().map_err(|e| format!("{kind_b}: {e}"))?;
+    if divergence.is_none() {
+        let oa = observables(&sys_a);
+        let ob = observables(&sys_b);
+        if let Some(((field, a), (_, b))) = oa.iter().zip(ob.iter()).find(|(x, y)| x.1 != y.1) {
+            divergence = Some(DivergencePoint {
+                access: items.len() as u64,
+                field,
+                a: *a,
+                b: *b,
+            });
+        }
+    }
+    Ok(TraceDiff {
+        divergence,
+        a: sys_a.metrics(label.to_string()),
+        b: sys_b.metrics(label.to_string()),
+        digest_a: sys_a.digest(),
+        digest_b: sys_b.digest(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +498,38 @@ mod tests {
         .unwrap();
         assert_eq!(replayed.digest, system.digest());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_pinpoints_first_defense_divergence() {
+        let cfg = SimConfig::fast_test();
+        // S3 hammers a single row: the oracle mitigates, `none` never
+        // does, so additional_acts must diverge — and a self-diff must
+        // never diverge at all.
+        let items: Vec<TraceItem> = build_trace(&cfg, &WorkloadKind::S3, 4_000).collect();
+        let items = Arc::new(items);
+        let same = diff_trace(
+            &cfg,
+            DefenseKind::None,
+            DefenseKind::None,
+            items.clone(),
+            "self",
+        )
+        .unwrap();
+        assert_eq!(
+            same.divergence, None,
+            "a defense cannot diverge from itself"
+        );
+        assert_eq!(same.digest_a, same.digest_b);
+
+        let diff = diff_trace(&cfg, DefenseKind::None, DefenseKind::Oracle, items, "s3").unwrap();
+        let d = diff.divergence.expect("oracle must act on a hammer");
+        assert!(d.access > 0 && d.access <= 4_000);
+        assert!(d.a != d.b, "recorded values must actually differ");
+        assert!(
+            diff.b.additional_acts > diff.a.additional_acts,
+            "oracle issues ARRs, none does not"
+        );
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! The security-regression contract for the checked-in `corpus/`.
+//!
+//! The corpus is the red-team search's distilled output: adversarial
+//! traces plus a sealed manifest recording which defenses hold and
+//! which fall. This suite replays the real corpus (not a fixture) so
+//! any change to a defense, the DRAM model, or the trace codec that
+//! shifts a hold/break outcome fails here before it ships. It also
+//! re-evaluates every checked-in genome from its manifest hex and
+//! asserts the recorded fitness reproduces — serially and across a
+//! `--jobs 4` worker pool, which must be outcome-identical.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use twice_mitigations::DefenseKind;
+use twice_sim::cio::{CampaignIo, RealIo};
+use twice_sim::config::SimConfig;
+use twice_sim::journal::{parse_line, unseal_line, JsonValue};
+use twice_sim::parallel::parallel_map;
+use twice_sim::redteam::{eval_genome, verify_corpus, EvalOutcome, CORPUS_MANIFEST, MUST_HOLD};
+use twice_workloads::genome::PatternGenome;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+fn get_str<'a>(
+    fields: &'a std::collections::BTreeMap<String, JsonValue>,
+    key: &str,
+) -> Option<&'a str> {
+    fields.get(key).and_then(JsonValue::as_str)
+}
+
+fn get_u64(fields: &std::collections::BTreeMap<String, JsonValue>, key: &str) -> Option<u64> {
+    fields.get(key).and_then(JsonValue::as_u64)
+}
+
+/// One manifest trace line, decoded for re-evaluation.
+struct ManifestEntry {
+    file: String,
+    genome: PatternGenome,
+    fitness: u64,
+    breaks: Vec<String>,
+}
+
+fn load_manifest() -> (u64, u64, DefenseKind, Vec<ManifestEntry>) {
+    let bytes = std::fs::read(corpus_dir().join(CORPUS_MANIFEST)).expect("corpus manifest exists");
+    let mut seed = None;
+    let mut requests = None;
+    let mut target = None;
+    let mut entries = Vec::new();
+    for raw in String::from_utf8(bytes).expect("manifest is utf-8").lines() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = unseal_line(raw).expect("every manifest line passes its CRC seal");
+        let fields = parse_line(&line).expect("every manifest line parses");
+        match get_str(&fields, "kind") {
+            Some("meta") => {
+                seed = get_u64(&fields, "seed");
+                requests = get_u64(&fields, "requests");
+                target = get_str(&fields, "target")
+                    .and_then(DefenseKind::parse)
+                    .map(Some)
+                    .expect("manifest target is a known defense");
+            }
+            Some("trace") => {
+                let genome = PatternGenome::from_hex(
+                    get_str(&fields, "genome").expect("trace line has a genome"),
+                )
+                .expect("manifest genome hex decodes");
+                entries.push(ManifestEntry {
+                    file: get_str(&fields, "file")
+                        .expect("trace line has a file")
+                        .to_string(),
+                    genome,
+                    fitness: get_u64(&fields, "fit").expect("trace line has a fitness"),
+                    breaks: get_str(&fields, "breaks")
+                        .unwrap_or("")
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                });
+            }
+            _ => {}
+        }
+    }
+    (
+        seed.expect("manifest meta has a seed"),
+        requests.expect("manifest meta has a request count"),
+        target.expect("manifest meta names its target"),
+        entries,
+    )
+}
+
+#[test]
+fn checked_in_corpus_replays_without_regressions() {
+    let cfg = SimConfig::fast_test();
+    let io: Arc<dyn CampaignIo> = Arc::new(RealIo);
+    let report =
+        verify_corpus(&cfg, &io, &corpus_dir(), 1, 0).expect("corpus manifest is readable");
+    assert!(
+        report.traces >= 3,
+        "corpus holds {} trace(s), need >= 3",
+        report.traces
+    );
+    assert_eq!(
+        report.replays,
+        report.traces * 12,
+        "every trace replays against the full 12-defense lineup"
+    );
+    assert!(
+        report.regressions.is_empty(),
+        "corpus regressions: {:?}",
+        report.regressions
+    );
+    // The corpus must be genuinely adversarial: unprotected DRAM falls.
+    assert!(
+        report.findings.iter().any(|f| f.contains("under none")),
+        "no trace breaks unprotected DRAM: {:?}",
+        report.findings
+    );
+    // And the paper's core claim must hold against it.
+    for f in &report.findings {
+        for name in MUST_HOLD {
+            assert!(
+                !f.contains(&format!("under {name}")),
+                "MUST_HOLD defense fell: {f}"
+            );
+        }
+    }
+}
+
+#[test]
+fn manifest_genomes_reproduce_their_fitness_serially_and_in_parallel() {
+    let (seed, requests, target, entries) = load_manifest();
+    assert!(
+        entries.len() >= 3,
+        "manifest records {} genome(s)",
+        entries.len()
+    );
+    let mut cfg = SimConfig::fast_test();
+    cfg.seed = seed;
+    let eval = |e: &ManifestEntry| -> EvalOutcome {
+        eval_genome(&cfg, target, &e.genome, requests, 2_048, 0, 0, None)
+    };
+    let serial: Vec<EvalOutcome> = entries.iter().map(eval).collect();
+    let pooled: Vec<EvalOutcome> = parallel_map(4, &entries, |_idx, e| eval(e));
+    assert_eq!(
+        serial, pooled,
+        "--jobs 4 must be outcome-identical to serial"
+    );
+    for (e, outcome) in entries.iter().zip(&serial) {
+        assert!(outcome.quarantined.is_none(), "{}: quarantined", e.file);
+        assert_eq!(
+            outcome.fitness, e.fitness,
+            "{}: fitness drifted from the manifest",
+            e.file
+        );
+        // A recorded break against the target defense means the eval
+        // must still see flips (and vice versa).
+        let target_name = target.cli_name().expect("target has a CLI name");
+        assert_eq!(
+            outcome.bit_flips > 0,
+            e.breaks.iter().any(|b| b == target_name),
+            "{}: target hold/break outcome drifted",
+            e.file
+        );
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod attack;
 pub mod fft;
+pub mod genome;
 pub mod mica;
 pub mod mix;
 pub mod pagerank;

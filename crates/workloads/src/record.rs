@@ -72,6 +72,7 @@ impl std::error::Error for TraceFormatError {}
 pub struct TraceReader<R> {
     lines: io::Lines<R>,
     mapper: AddressMapper,
+    capacity: u64,
     line_no: u64,
 }
 
@@ -119,6 +120,7 @@ impl<R: BufRead> TraceReader<R> {
         Ok(TraceReader {
             lines: reader.lines(),
             mapper: AddressMapper::row_interleaved(topo),
+            capacity: topo.capacity_bytes(),
             line_no: 1,
         })
     }
@@ -147,6 +149,16 @@ impl<R: BufRead> TraceReader<R> {
             .map_err(|e| err(format!("bad source: {e}")))?;
         if parts.next().is_some() {
             return Err(err("trailing fields".into()));
+        }
+        // The mapper decodes modulo the topology, so an oversized address
+        // would silently alias onto a real row — a hostile trace could
+        // steer activations while looking like it targets nothing. Reject
+        // instead of wrapping.
+        if addr >= self.capacity {
+            return Err(err(format!(
+                "address {addr:#x} beyond topology capacity {:#x}",
+                self.capacity
+            )));
         }
         let access = self.mapper.decode(addr);
         let req = match kind {
@@ -251,6 +263,28 @@ mod tests {
             assert!(err.message.contains(needle), "{line:?} -> {err}");
             assert_eq!(err.line, 2);
         }
+    }
+
+    #[test]
+    fn oversized_addresses_are_rejected_not_aliased() {
+        let topo = Topology::paper_default();
+        let beyond = topo.capacity_bytes(); // first invalid byte address
+        let text = format!("{HEADER}\nR {beyond:#x} 0\nR 0xffffffffffffffff 0\n");
+        let results: Vec<_> = TraceReader::open(BufReader::new(text.as_bytes()), &topo)
+            .unwrap()
+            .collect();
+        assert_eq!(results.len(), 2);
+        for r in results {
+            let err = r.unwrap_err();
+            assert!(err.message.contains("beyond topology capacity"), "{err}");
+        }
+        // The last valid address still decodes.
+        let text = format!("{HEADER}\nR {:#x} 0\n", beyond - 1);
+        let items: Vec<_> = TraceReader::open(BufReader::new(text.as_bytes()), &topo)
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(items.len(), 1);
     }
 
     #[test]

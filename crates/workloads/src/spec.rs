@@ -220,10 +220,32 @@ impl AccessSource for SpecAppSource {
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        self.rng.set_state(r.take_u64()?);
-        self.channel = r.take_u8()?;
-        self.rank = r.take_u8()?;
-        self.bank = r.take_u32()? as u16;
+        // Snapshot bytes are untrusted (they come off disk): every
+        // coordinate is range-checked so a doctored checkpoint yields a
+        // typed error here instead of an out-of-range access tripping an
+        // assert deep in the controller.
+        let rng_state = r.take_u64()?;
+        let channel = r.take_u8()?;
+        if channel >= self.geo.channels {
+            return Err(SnapshotError::StateMismatch(format!(
+                "channel {channel} out of range (topology has {})",
+                self.geo.channels
+            )));
+        }
+        let rank = r.take_u8()?;
+        if rank >= self.geo.ranks {
+            return Err(SnapshotError::StateMismatch(format!(
+                "rank {rank} out of range (topology has {})",
+                self.geo.ranks
+            )));
+        }
+        let bank = r.take_u32()?;
+        if bank >= u32::from(self.geo.banks) {
+            return Err(SnapshotError::StateMismatch(format!(
+                "bank {bank} out of range (topology has {})",
+                self.geo.banks
+            )));
+        }
         let row = r.take_u32()?;
         if row < self.region_base || row >= self.region_base + self.region_rows {
             return Err(SnapshotError::StateMismatch(format!(
@@ -232,8 +254,19 @@ impl AccessSource for SpecAppSource {
                 self.region_base + self.region_rows
             )));
         }
+        let col = r.take_u32()?;
+        if col >= u32::from(self.geo.cols) {
+            return Err(SnapshotError::StateMismatch(format!(
+                "col {col} out of range (topology has {})",
+                self.geo.cols
+            )));
+        }
+        self.rng.set_state(rng_state);
+        self.channel = channel;
+        self.rank = rank;
+        self.bank = bank as u16;
         self.row = row;
-        self.col = r.take_u32()? as u16;
+        self.col = col as u16;
         Ok(())
     }
 
@@ -337,6 +370,46 @@ mod tests {
         let r0 = src.next_access().1.row.0;
         let r1 = src.next_access().1.row.0;
         assert_eq!(r1, r0 + 1, "streaming advances one row at a time");
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn doctored_snapshots_are_rejected_with_typed_errors() {
+        use twice_common::snapshot::{SnapshotError, SnapshotWriter};
+        let topo = Topology::paper_default();
+        // (rng, channel, rank, bank, row, col) with one field poisoned
+        // per case; all-valid must load.
+        let cases: [(u8, u8, u32, u32, u32, Option<&str>); 6] = [
+            (0, 0, 0, 0, 0, None),
+            (99, 0, 0, 0, 0, Some("channel")),
+            (0, 99, 0, 0, 0, Some("rank")),
+            (0, 0, 9_999, 0, 0, Some("bank")),
+            (0, 0, 0, u32::MAX, 0, Some("row")),
+            (0, 0, 0, 0, 999_999, Some("col")),
+        ];
+        for (channel, rank, bank, row, col, want) in cases {
+            let mut src = SpecAppSource::new(&topo, app("mcf").unwrap(), 0, 1, 42);
+            let mut w = SnapshotWriter::new();
+            w.put_u64(7);
+            w.put_u8(channel);
+            w.put_u8(rank);
+            w.put_u32(bank);
+            w.put_u32(row);
+            w.put_u32(col);
+            let bytes = w.finish();
+            let mut r = twice_common::snapshot::SnapshotReader::new(&bytes).unwrap();
+            let got = src.load_state(&mut r);
+            match want {
+                None => got.unwrap(),
+                Some(field) => {
+                    let err = got.unwrap_err();
+                    let SnapshotError::StateMismatch(msg) = &err else {
+                        panic!("expected StateMismatch, got {err:?}");
+                    };
+                    assert!(msg.contains(field), "{field}: {msg}");
+                }
+            }
+        }
     }
 
     #[test]

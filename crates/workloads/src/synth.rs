@@ -117,8 +117,18 @@ impl AccessSource for S2CbtAdversarial {
     }
 
     fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        self.cursor = r.take_u64()?;
-        self.sweep_row = r.take_u32()?;
+        let cursor = r.take_u64()?;
+        let sweep_row = r.take_u32()?;
+        // The sweep stays in the lower half of the bank; a doctored
+        // checkpoint must not be able to move it out.
+        let half = (self.geo.rows / 2).max(1);
+        if sweep_row >= half {
+            return Err(SnapshotError::StateMismatch(format!(
+                "sweep row {sweep_row} outside phase-1 half 0..{half}"
+            )));
+        }
+        self.cursor = cursor;
+        self.sweep_row = sweep_row;
         self.rng.set_state(r.take_u64()?);
         Ok(())
     }
@@ -233,6 +243,21 @@ mod tests {
         let rows: Vec<u32> = s2.take_requests(40).map(|(_, a)| a.row.0).collect();
         let half = topo.rows_per_bank / 2;
         assert!(rows[20..30].iter().all(|&r| r < half), "cycle restarts");
+    }
+
+    #[test]
+    fn s2_rejects_out_of_half_sweep_row_from_snapshot() {
+        use twice_common::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+        let topo = Topology::paper_default();
+        let mut s2 = S2CbtAdversarial::new(&topo, 10, 10, 1);
+        let mut w = SnapshotWriter::new();
+        w.put_u64(0); // cursor
+        w.put_u32(topo.rows_per_bank); // sweep row, far outside the half
+        w.put_u64(1); // rng
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        let err = s2.load_state(&mut r).unwrap_err();
+        assert!(matches!(err, SnapshotError::StateMismatch(_)), "{err:?}");
     }
 
     #[test]
